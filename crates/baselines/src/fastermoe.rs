@@ -1,0 +1,165 @@
+//! FasterMoE-style baseline: "shadowing" — the hottest experts are
+//! broadcast to *every* device each iteration, on top of the static EP
+//! layout (Sec. 6: "FasterMoE broadcasts hot experts to all devices,
+//! introducing extra expert communication").
+
+use crate::context::SystemContext;
+use crate::system::{LayerPlan, MoeSystem};
+use laer_cluster::{DeviceId, ExpertId};
+use laer_fsep::ScheduleOptions;
+use laer_model::BF16_BYTES;
+use laer_planner::{lite_route, ExpertLayout};
+use laer_routing::RoutingMatrix;
+
+/// FasterMoE with `shadows` hot experts replicated everywhere.
+#[derive(Debug, Clone)]
+pub struct FasterMoeSystem {
+    ctx: SystemContext,
+    shadows: usize,
+}
+
+impl FasterMoeSystem {
+    /// Creates the system; `shadows` is the number of hottest experts
+    /// broadcast per layer per iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shadows` is zero.
+    pub fn new(ctx: SystemContext, shadows: usize) -> Self {
+        assert!(shadows >= 1, "at least one shadow expert");
+        Self { ctx, shadows }
+    }
+
+    /// Number of shadowed experts.
+    pub fn shadows(&self) -> usize {
+        self.shadows
+    }
+
+    /// Per-layer broadcast time for the shadow parameters plus the
+    /// gradient all-reduce they require afterwards.
+    fn shadow_comm_time(&self) -> f64 {
+        let n = self.ctx.topology().num_devices() as f64;
+        let bytes = (self.shadows as u64 * self.ctx.model().expert_params() * BF16_BYTES) as f64;
+        // Broadcast ≈ one full copy over the bottleneck, all-reduce ≈ 2x.
+        3.0 * bytes * (n - 1.0) / n / self.ctx.effective_a2a_bw()
+    }
+}
+
+impl MoeSystem for FasterMoeSystem {
+    fn name(&self) -> &'static str {
+        "fastermoe"
+    }
+
+    fn schedule_options(&self) -> ScheduleOptions {
+        ScheduleOptions::optimized()
+    }
+
+    fn plan_layer(&mut self, _layer: usize, _iteration: u64, demand: &RoutingMatrix) -> LayerPlan {
+        let n = demand.num_devices();
+        let e = demand.num_experts();
+        let c = self.ctx.capacity();
+        let loads = demand.expert_loads();
+        // Hottest `shadows` experts.
+        let mut order: Vec<usize> = (0..e).collect();
+        order.sort_by(|&a, &b| loads[b].cmp(&loads[a]).then(a.cmp(&b)));
+        let hot: Vec<usize> = order.into_iter().take(self.shadows).collect();
+        // Static classic-EP layout + shadows on every device. The
+        // shadows are *extra* memory beyond C, which is exactly
+        // FasterMoE's cost; model it with capacity C + shadows.
+        let base = ExpertLayout::classic_ep(n, e, c).expect("classic EP layout");
+        let mut layout = ExpertLayout::empty(n, e, c + self.shadows).expect("shadow layout");
+        for d in 0..n {
+            let dev = DeviceId::new(d);
+            for j in 0..e {
+                let ex = ExpertId::new(j);
+                for _ in 0..base.replica_count(dev, ex) {
+                    layout.add_replica(dev, ex);
+                }
+            }
+            for &h in &hot {
+                layout.add_replica(dev, ExpertId::new(h));
+            }
+        }
+        let routing = lite_route(self.ctx.topology(), demand, &layout);
+        let mut timings = self.ctx.layer_timings(
+            &routing,
+            0.0,
+            self.ctx.fsdp_prefetch_time(),
+            self.ctx.fsdp_grad_sync_time() + self.shadow_comm_time(),
+        );
+        // The broadcast happens before expert compute and is not
+        // overlapped in FasterMoE's design: charge it to the prefetch.
+        timings.prefetch += self.shadow_comm_time();
+        LayerPlan {
+            layout,
+            routing,
+            timings,
+        }
+    }
+
+    fn context(&self) -> &SystemContext {
+        &self.ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laer_cluster::Topology;
+    use laer_model::{GpuSpec, ModelPreset};
+    use laer_routing::{RoutingGenerator, RoutingGeneratorConfig};
+
+    fn ctx() -> SystemContext {
+        SystemContext::new(
+            Topology::paper_cluster(),
+            ModelPreset::Mixtral8x7bE8k2.config(),
+            GpuSpec::a100(),
+            16 * 1024,
+            8192,
+        )
+    }
+
+    #[test]
+    fn shadows_spread_hot_load() {
+        let mut fast = FasterMoeSystem::new(ctx(), 1);
+        let demand =
+            RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(16))
+                .next_iteration();
+        let plan = fast.plan_layer(0, 0, &demand);
+        assert!(plan.routing.validate(&demand, &plan.layout).is_ok());
+        // The hottest expert is on every device.
+        let loads = demand.expert_loads();
+        let hot = (0..8).max_by_key(|&j| loads[j]).unwrap();
+        for d in 0..32 {
+            assert!(
+                plan.layout
+                    .replica_count(laer_cluster::DeviceId::new(d), ExpertId::new(hot))
+                    >= 1
+            );
+        }
+        // Shadowing pays broadcast time.
+        assert!(plan.timings.prefetch > FsdpTime::prefetch(&fast.ctx));
+    }
+
+    struct FsdpTime;
+    impl FsdpTime {
+        fn prefetch(ctx: &SystemContext) -> f64 {
+            ctx.fsdp_prefetch_time()
+        }
+    }
+
+    #[test]
+    fn balances_better_than_no_shadowing() {
+        let mut fast = FasterMoeSystem::new(ctx(), 2);
+        let demand =
+            RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(17))
+                .next_iteration();
+        let (_, vanilla) = crate::vanilla::vanilla_routing(&demand, 2);
+        let plan = fast.plan_layer(0, 0, &demand);
+        let max_fast = plan.max_token_ratio();
+        let loads = vanilla.device_compute_loads();
+        let max_v = *loads.iter().max().unwrap() as f64
+            / (loads.iter().sum::<u64>() as f64 / loads.len() as f64);
+        assert!(max_fast < max_v, "shadowing {max_fast:.2} vs vanilla {max_v:.2}");
+    }
+}

@@ -1,0 +1,40 @@
+//! The evaluated training systems: LAER-MoE and the baselines of Sec. 5.
+//!
+//! Every system implements [`MoeSystem`]: per MoE layer and iteration it
+//! receives the routing demand `R` and returns a [`LayerPlan`] — the
+//! expert layout, the token routing, and the per-layer
+//! [`laer_fsep::LayerTimings`] the simulator executes. Differences between
+//! systems are exactly the paper's:
+//!
+//! | System | Layout | Routing | Extra costs |
+//! |---|---|---|---|
+//! | [`LaerSystem`] | per-iteration planner (Alg. 2) | lite routing (Alg. 3) | FSEP unshard/reshard (overlapped) |
+//! | [`FsdpEpSystem`] | fixed classic EP | within the EP group | FSDP all-gather / reduce-scatter (overlapped, with the paper's comm opts) |
+//! | [`MegatronSystem`] | fixed classic EP | within the EP group | TP all-reduce in attention, DP gradient all-reduce; larger TP forced on >40 B-parameter configs |
+//! | [`FlexMoeSystem`] | incremental replica scheduler (≤ `max_changes` moves/iter, change penalty) on FSEP | lite routing | FSEP costs |
+//! | [`SmartMoeSystem`] | periodic relocation, no replication | lite routing | FSEP costs, stale between refreshes |
+//! | [`FasterMoeSystem`] | classic EP + shadows of the hottest experts on every device | lite routing over the shadowed layout | per-iteration shadow broadcast + shadow gradient all-reduce |
+//! | [`VanillaEpSystem`] | fixed classic EP | within the EP group | no comm optimisations (the Fig. 1b "default") |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod fastermoe;
+mod flexmoe;
+mod fsdp_ep;
+mod laer;
+mod megatron;
+mod smartmoe;
+mod system;
+mod vanilla;
+
+pub use context::SystemContext;
+pub use fastermoe::FasterMoeSystem;
+pub use flexmoe::FlexMoeSystem;
+pub use fsdp_ep::FsdpEpSystem;
+pub use laer::{LaerSystem, PlanningMode};
+pub use megatron::MegatronSystem;
+pub use smartmoe::SmartMoeSystem;
+pub use system::{LayerPlan, MoeSystem, SystemKind};
+pub use vanilla::{vanilla_routing, VanillaEpSystem};

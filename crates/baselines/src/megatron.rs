@@ -1,0 +1,140 @@
+//! The Megatron baseline with heterogeneous expert parallelism:
+//! tensor-parallel attention + classic EP experts.
+//!
+//! Following Sec. 5.2: the >40 B-parameter e8k2 configurations force
+//! `TP = 4` to fit the (unsharded) model state, hurting efficiency —
+//! that memory pressure also halves the achievable micro-batch, modelled
+//! as a fixed arithmetic-efficiency penalty on compute; the ~35 B e16k4
+//! configurations run at `TP = 2`. Attention TP communication lands in
+//! the "Others" breakdown bucket, reproducing the larger "Others" share
+//! the paper reports for Megatron (Sec. 5.3).
+
+use crate::context::SystemContext;
+use crate::system::{LayerPlan, MoeSystem};
+use crate::vanilla::vanilla_routing;
+use laer_fsep::ScheduleOptions;
+use laer_routing::RoutingMatrix;
+
+/// Compute-efficiency penalty applied when memory pressure forces the
+/// halved micro-batch (TP = 4 configs): smaller GEMMs run at lower MFU
+/// and fixed per-micro-batch overheads amortise worse.
+const SMALL_BATCH_COMPUTE_PENALTY: f64 = 1.15;
+
+/// Megatron-LM with heterogeneous expert parallelism.
+#[derive(Debug, Clone)]
+pub struct MegatronSystem {
+    ctx: SystemContext,
+    tp: usize,
+}
+
+impl MegatronSystem {
+    /// Creates the system; the TP degree is derived from the model's
+    /// memory footprint (see [`SystemContext::megatron_tp`]).
+    pub fn new(ctx: SystemContext) -> Self {
+        let tp = ctx.megatron_tp();
+        Self { ctx, tp }
+    }
+
+    /// The tensor-parallel degree in use.
+    pub fn tp(&self) -> usize {
+        self.tp
+    }
+
+    fn compute_penalty(&self) -> f64 {
+        if self.tp >= 4 {
+            SMALL_BATCH_COMPUTE_PENALTY
+        } else {
+            1.0
+        }
+    }
+}
+
+impl MoeSystem for MegatronSystem {
+    fn name(&self) -> &'static str {
+        "megatron"
+    }
+
+    fn schedule_options(&self) -> ScheduleOptions {
+        // Megatron overlaps what it can; it has no parameter prefetch to
+        // schedule (experts are resident), so the optimized schedule is
+        // the fair setting.
+        ScheduleOptions::optimized()
+    }
+
+    fn plan_layer(&mut self, _layer: usize, _iteration: u64, demand: &RoutingMatrix) -> LayerPlan {
+        let (layout, routing) = vanilla_routing(demand, self.ctx.capacity());
+        let mut timings = self.ctx.layer_timings(
+            &routing,
+            self.ctx.tp_attention_comm(self.tp),
+            0.0, // experts resident: no parameter prefetch
+            self.ctx.megatron_grad_sync_time(self.tp),
+        );
+        let penalty = self.compute_penalty();
+        timings.attention *= penalty;
+        for t in &mut timings.expert_forward {
+            *t *= penalty;
+        }
+        LayerPlan {
+            layout,
+            routing,
+            timings,
+        }
+    }
+
+    fn context(&self) -> &SystemContext {
+        &self.ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laer_cluster::Topology;
+    use laer_model::{GpuSpec, ModelPreset};
+    use laer_routing::{RoutingGenerator, RoutingGeneratorConfig};
+
+    fn ctx(preset: ModelPreset) -> SystemContext {
+        SystemContext::new(
+            Topology::paper_cluster(),
+            preset.config(),
+            GpuSpec::a100(),
+            16 * 1024,
+            8192,
+        )
+    }
+
+    #[test]
+    fn tp_depends_on_model_size() {
+        assert_eq!(MegatronSystem::new(ctx(ModelPreset::Mixtral8x7bE8k2)).tp(), 4);
+        assert_eq!(MegatronSystem::new(ctx(ModelPreset::Mixtral8x7bE16k4)).tp(), 2);
+    }
+
+    /// Sec. 5.3: Megatron's attention ("Others") time exceeds LAER's
+    /// because of TP communication and the memory-forced smaller
+    /// micro-batch.
+    #[test]
+    fn attention_time_exceeds_laer() {
+        let demand =
+            RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(6))
+                .next_iteration();
+        let mut mega = MegatronSystem::new(ctx(ModelPreset::Mixtral8x7bE8k2));
+        let mut laer = crate::LaerSystem::new(ctx(ModelPreset::Mixtral8x7bE8k2));
+        let pm = mega.plan_layer(0, 0, &demand);
+        let pl = laer.plan_layer(0, 0, &demand);
+        assert!(pm.timings.attention > pl.timings.attention * 1.15);
+        assert_eq!(pm.timings.prefetch, 0.0);
+        assert!(pm.timings.grad_sync > 0.0);
+    }
+
+    /// The TP overhead gap between e8k2 (TP=4) and e16k4 (TP=2) is the
+    /// mechanism behind the Fig. 8 win/loss flip.
+    #[test]
+    fn overhead_gap_between_configs() {
+        let c8 = ctx(ModelPreset::Mixtral8x7bE8k2);
+        let c16 = ctx(ModelPreset::Mixtral8x7bE16k4);
+        let tp8 = c8.tp_attention_comm(4);
+        let tp16 = c16.tp_attention_comm(2);
+        // Analytically: 2(t−1)/t·t = 2(t−1), so TP=4 costs exactly 3x TP=2.
+        assert!(tp8 >= 2.9 * tp16, "tp4 {tp8} vs tp2 {tp16}");
+    }
+}

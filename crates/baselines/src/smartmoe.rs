@@ -1,0 +1,154 @@
+//! SmartMoE-style baseline: expert *relocation only* (no replication),
+//! refreshed at a low frequency (Sec. 1: "SmartMoE regulates relocation
+//! frequency to be low (e.g., hundreds of iterations)").
+
+use crate::context::SystemContext;
+use crate::system::{LayerPlan, MoeSystem};
+use laer_fsep::ScheduleOptions;
+use laer_planner::{expert_relocation, lite_route, ExpertLayout};
+use laer_routing::RoutingMatrix;
+
+/// SmartMoE: periodic relocation with even replica counts.
+#[derive(Debug, Clone)]
+pub struct SmartMoeSystem {
+    ctx: SystemContext,
+    period: u64,
+    /// Per-layer cached layout and accumulated loads since last refresh.
+    state: Vec<Option<(ExpertLayout, Vec<u64>)>>,
+}
+
+impl SmartMoeSystem {
+    /// Creates the system with a relocation period (iterations between
+    /// layout refreshes; the paper cites hundreds — tests use smaller
+    /// values).
+    pub fn new(ctx: SystemContext, layers: usize, period: u64) -> Self {
+        assert!(period >= 1, "period must be at least 1");
+        Self {
+            ctx,
+            period,
+            state: vec![None; layers],
+        }
+    }
+
+    /// The relocation period.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    fn even_rep(&self, experts: usize) -> Vec<usize> {
+        let total = self.ctx.topology().num_devices() * self.ctx.capacity();
+        // Relocation-only: every expert keeps the same replica count.
+        vec![total / experts; experts]
+    }
+}
+
+impl MoeSystem for SmartMoeSystem {
+    fn name(&self) -> &'static str {
+        "smartmoe"
+    }
+
+    fn schedule_options(&self) -> ScheduleOptions {
+        ScheduleOptions::optimized()
+    }
+
+    fn plan_layer(&mut self, layer: usize, iteration: u64, demand: &RoutingMatrix) -> LayerPlan {
+        assert!(layer < self.state.len(), "layer index out of range");
+        let loads = demand.expert_loads();
+        let refresh = iteration % self.period == 0 || self.state[layer].is_none();
+        let layout = if refresh {
+            // Refresh from the historical average (or current demand on
+            // cold start).
+            let hist = self.state[layer]
+                .as_ref()
+                .map(|(_, acc)| acc.clone())
+                .unwrap_or_else(|| loads.clone());
+            let rep = self.even_rep(loads.len());
+            let layout = expert_relocation(&rep, &hist, self.ctx.topology(), self.ctx.capacity());
+            self.state[layer] = Some((layout.clone(), loads.clone()));
+            layout
+        } else {
+            let (layout, acc) = self.state[layer].as_mut().expect("checked by refresh");
+            for (a, l) in acc.iter_mut().zip(&loads) {
+                *a += l;
+            }
+            layout.clone()
+        };
+        let routing = lite_route(self.ctx.topology(), demand, &layout);
+        let timings = self.ctx.layer_timings(
+            &routing,
+            0.0,
+            self.ctx.fsep_prefetch_time(),
+            self.ctx.fsep_grad_sync_time(),
+        );
+        LayerPlan {
+            layout,
+            routing,
+            timings,
+        }
+    }
+
+    fn context(&self) -> &SystemContext {
+        &self.ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laer::LaerSystem;
+    use laer_cluster::Topology;
+    use laer_model::{GpuSpec, ModelPreset};
+    use laer_routing::{RoutingGenerator, RoutingGeneratorConfig};
+
+    fn ctx() -> SystemContext {
+        SystemContext::new(
+            Topology::paper_cluster(),
+            ModelPreset::Mixtral8x7bE8k2.config(),
+            GpuSpec::a100(),
+            16 * 1024,
+            8192,
+        )
+    }
+
+    #[test]
+    fn layout_is_stale_between_refreshes() {
+        let mut smart = SmartMoeSystem::new(ctx(), 1, 5);
+        let mut gen =
+            RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(13));
+        let mut layouts = Vec::new();
+        for it in 0..5 {
+            let demand = gen.next_iteration();
+            layouts.push(smart.plan_layer(0, it, &demand).layout);
+        }
+        for w in layouts.windows(2) {
+            assert_eq!(w[0], w[1], "layout must not change between refreshes");
+        }
+    }
+
+    #[test]
+    fn replica_counts_stay_even() {
+        let mut smart = SmartMoeSystem::new(ctx(), 1, 3);
+        let demand =
+            RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(14))
+                .next_iteration();
+        let plan = smart.plan_layer(0, 0, &demand);
+        assert!(plan.layout.replica_vector().iter().all(|&r| r == 8));
+    }
+
+    /// Per-iteration re-layout (LAER) beats periodic relocation-only.
+    #[test]
+    fn laer_beats_smartmoe_in_aggregate() {
+        let mut smart = SmartMoeSystem::new(ctx(), 1, 50);
+        let mut laer = LaerSystem::new(ctx());
+        let mut gen =
+            RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(15));
+        let mut s = 0.0;
+        let mut l = 0.0;
+        for it in 0..25 {
+            let demand = gen.next_iteration();
+            s += smart.plan_layer(0, it, &demand).max_token_ratio();
+            l += laer.plan_layer(0, it, &demand).max_token_ratio();
+        }
+        assert!(l < s, "LAER {l:.2} vs SmartMoE {s:.2}");
+    }
+}

@@ -1,0 +1,135 @@
+//! The [`MoeSystem`] trait and common plan types.
+
+use crate::context::SystemContext;
+use laer_fsep::{LayerTimings, ScheduleOptions};
+use laer_planner::{ExpertLayout, TokenRouting};
+use laer_routing::RoutingMatrix;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A system's decision for one MoE layer of one iteration.
+#[derive(Debug, Clone)]
+pub struct LayerPlan {
+    /// Expert layout executed this iteration.
+    pub layout: ExpertLayout,
+    /// Token routing executed this iteration.
+    pub routing: TokenRouting,
+    /// Operation durations handed to the simulator.
+    pub timings: LayerTimings,
+}
+
+impl LayerPlan {
+    /// Maximum token-assignment count over devices divided by the ideal
+    /// balanced count — the metric of Fig. 10(b).
+    pub fn max_token_ratio(&self) -> f64 {
+        let loads = self.routing.device_compute_loads();
+        let max = loads.iter().copied().max().unwrap_or(0) as f64;
+        let total: u64 = loads.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let ideal = total as f64 / loads.len() as f64;
+        max / ideal
+    }
+}
+
+/// A distributed MoE training system: given each layer's routing demand,
+/// decides layout, routing and costs.
+pub trait MoeSystem {
+    /// Human-readable system name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Stream-scheduling options the executor runs under.
+    fn schedule_options(&self) -> ScheduleOptions;
+
+    /// Plans one MoE layer. `layer` indexes the transformer layer (each
+    /// layer has independent routing and, for stateful planners,
+    /// independent state); `iteration` is the global step.
+    fn plan_layer(&mut self, layer: usize, iteration: u64, demand: &RoutingMatrix) -> LayerPlan;
+
+    /// The shared cost context.
+    fn context(&self) -> &SystemContext;
+}
+
+/// Identifier for the systems compared in the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// LAER-MoE (this paper).
+    Laer,
+    /// FlexMoE's scheduler running on FSEP (as evaluated in Sec. 5.2).
+    Flex,
+    /// FSDP + expert parallelism with the paper's comm optimisations.
+    FsdpEp,
+    /// Megatron with heterogeneous expert parallelism.
+    Megatron,
+    /// Vanilla expert parallelism without comm optimisations (Fig. 1b).
+    VanillaEp,
+    /// SmartMoE-style periodic relocation (related work).
+    SmartMoe,
+    /// FasterMoE-style hot-expert shadowing (related work).
+    FasterMoe,
+}
+
+impl SystemKind {
+    /// The four systems of the end-to-end comparison (Fig. 8).
+    pub const FIG8: [SystemKind; 4] = [
+        SystemKind::Laer,
+        SystemKind::Flex,
+        SystemKind::FsdpEp,
+        SystemKind::Megatron,
+    ];
+
+    /// Artifact-appendix identifier (`LAER`, `FLEX`, `FSDP`,
+    /// `megatron`, ...).
+    pub fn id(self) -> &'static str {
+        match self {
+            SystemKind::Laer => "LAER",
+            SystemKind::Flex => "FLEX",
+            SystemKind::FsdpEp => "FSDP",
+            SystemKind::Megatron => "megatron",
+            SystemKind::VanillaEp => "vanillaEP",
+            SystemKind::SmartMoe => "smartmoe",
+            SystemKind::FasterMoe => "fastermoe",
+        }
+    }
+}
+
+impl fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+impl FromStr for SystemKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        [
+            SystemKind::Laer,
+            SystemKind::Flex,
+            SystemKind::FsdpEp,
+            SystemKind::Megatron,
+            SystemKind::VanillaEp,
+            SystemKind::SmartMoe,
+            SystemKind::FasterMoe,
+        ]
+        .into_iter()
+        .find(|k| k.id().eq_ignore_ascii_case(s))
+        .ok_or_else(|| format!("unknown system `{s}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrip() {
+        for k in SystemKind::FIG8 {
+            assert_eq!(k.id().parse::<SystemKind>().unwrap(), k);
+        }
+        assert_eq!("laer".parse::<SystemKind>().unwrap(), SystemKind::Laer);
+        assert!("bogus".parse::<SystemKind>().is_err());
+    }
+}

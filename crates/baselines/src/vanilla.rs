@@ -1,0 +1,162 @@
+//! Vanilla expert parallelism (GShard-style): fixed layout, routing
+//! confined to the sender's EP group, no communication optimisations.
+//!
+//! This is the "default" configuration of Fig. 1(b): because EP groups
+//! are consecutive devices (and therefore NVLink-local on the paper's
+//! 8-GPU nodes), the All-to-All itself is cheap when balanced — the
+//! imbalance cost manifests as collective wait time behind overloaded
+//! devices.
+
+use crate::context::SystemContext;
+use crate::system::{LayerPlan, MoeSystem};
+use laer_cluster::{DeviceId, ExpertId};
+use laer_fsep::ScheduleOptions;
+use laer_planner::{ExpertLayout, TokenRouting};
+use laer_routing::RoutingMatrix;
+
+/// Routes every token to the device hosting its expert *within the
+/// sender's own EP group* — vanilla EP semantics (no cross-group help,
+/// even if another group's replica idles).
+///
+/// # Panics
+///
+/// Panics if `experts % capacity != 0` or shapes disagree.
+pub fn vanilla_routing(
+    demand: &RoutingMatrix,
+    capacity: usize,
+) -> (ExpertLayout, TokenRouting) {
+    let n = demand.num_devices();
+    let e = demand.num_experts();
+    assert_eq!(e % capacity, 0, "capacity must divide expert count");
+    let p_ep = e / capacity;
+    let layout = ExpertLayout::classic_ep(n, e, capacity).expect("classic EP layout");
+    let mut routing = TokenRouting::new(n, e);
+    for i in 0..n {
+        let src = DeviceId::new(i);
+        let group_base = (i / p_ep) * p_ep;
+        for j in 0..e {
+            let expert = ExpertId::new(j);
+            let tokens = demand.get(src, expert);
+            if tokens == 0 {
+                continue;
+            }
+            let dst = DeviceId::new(group_base + j / capacity);
+            routing.push(src, expert, dst, tokens);
+        }
+    }
+    (layout, routing)
+}
+
+/// Vanilla EP system: fixed layout, group-local routing, *no* Fig. 5
+/// communication optimisations.
+#[derive(Debug, Clone)]
+pub struct VanillaEpSystem {
+    ctx: SystemContext,
+}
+
+impl VanillaEpSystem {
+    /// Creates the system.
+    pub fn new(ctx: SystemContext) -> Self {
+        Self { ctx }
+    }
+}
+
+impl MoeSystem for VanillaEpSystem {
+    fn name(&self) -> &'static str {
+        "vanilla-ep"
+    }
+
+    fn schedule_options(&self) -> ScheduleOptions {
+        ScheduleOptions::unoptimized()
+    }
+
+    fn plan_layer(&mut self, _layer: usize, _iteration: u64, demand: &RoutingMatrix) -> LayerPlan {
+        let (layout, routing) = vanilla_routing(demand, self.ctx.capacity());
+        let mut timings = self.ctx.layer_timings(
+            &routing,
+            0.0,
+            self.ctx.fsdp_prefetch_time(),
+            self.ctx.fsdp_grad_sync_time(),
+        );
+        timings.attention += crate::fsdp_ep::HOST_BOUND_OVERHEAD;
+        LayerPlan {
+            layout,
+            routing,
+            timings,
+        }
+    }
+
+    fn context(&self) -> &SystemContext {
+        &self.ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laer_cluster::Topology;
+    use laer_model::{GpuSpec, ModelPreset};
+    use laer_routing::{RoutingGenerator, RoutingGeneratorConfig};
+
+    fn ctx() -> SystemContext {
+        SystemContext::new(
+            Topology::paper_cluster(),
+            ModelPreset::Mixtral8x7bE8k2.config(),
+            GpuSpec::a100(),
+            16 * 1024,
+            8192,
+        )
+    }
+
+    #[test]
+    fn routing_is_valid_and_group_local() {
+        let mut gen =
+            RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(1));
+        let demand = gen.next_iteration();
+        let (layout, routing) = vanilla_routing(&demand, 2);
+        assert!(routing.validate(&demand, &layout).is_ok());
+        // Group-local: every transfer stays within a block of P_ep = 4
+        // consecutive devices.
+        for &(src, _, dst, _) in routing.entries() {
+            assert_eq!(src.index() / 4, dst.index() / 4, "{src} -> {dst}");
+        }
+    }
+
+    /// On the paper cluster (8 devices per node, P_ep = 4), vanilla EP
+    /// traffic never crosses nodes — the Fig. 1(b) premise that balanced
+    /// A2A is cheap.
+    #[test]
+    fn traffic_stays_intra_node() {
+        let topo = Topology::paper_cluster();
+        let mut gen =
+            RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(2));
+        let (_, routing) = vanilla_routing(&gen.next_iteration(), 2);
+        for &(src, _, dst, _) in routing.entries() {
+            assert!(topo.same_node(src, dst));
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_compute() {
+        let mut gen =
+            RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(3));
+        let (_, routing) = vanilla_routing(&gen.next_iteration(), 2);
+        let loads = routing.device_compute_loads();
+        let max = *loads.iter().max().unwrap() as f64;
+        let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+        assert!(max / mean > 1.3, "skew should persist under vanilla EP");
+    }
+
+    #[test]
+    fn system_produces_consistent_plan() {
+        let mut sys = VanillaEpSystem::new(ctx());
+        let mut gen =
+            RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(4));
+        let demand = gen.next_iteration();
+        let plan = sys.plan_layer(0, 0, &demand);
+        assert!(plan.routing.validate(&demand, &plan.layout).is_ok());
+        assert_eq!(plan.timings.dispatch.len(), 32);
+        assert!(plan.max_token_ratio() > 1.0);
+        assert_eq!(sys.schedule_options(), ScheduleOptions::unoptimized());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests over the evaluated systems: routing validity
+//! and timing sanity must hold for every system on arbitrary demands.
+
+use laer_baselines::{
+    vanilla_routing, FlexMoeSystem, FsdpEpSystem, LaerSystem, MegatronSystem, MoeSystem,
+    SystemContext, VanillaEpSystem,
+};
+use laer_cluster::Topology;
+use laer_model::{GpuSpec, ModelPreset};
+use laer_routing::RoutingMatrix;
+use proptest::prelude::*;
+
+fn demand_strategy() -> impl Strategy<Value = RoutingMatrix> {
+    proptest::collection::vec(0u64..20_000, 32 * 8)
+        .prop_map(|data| RoutingMatrix::from_rows(32, 8, data).expect("32x8"))
+}
+
+fn ctx() -> SystemContext {
+    SystemContext::new(
+        Topology::paper_cluster(),
+        ModelPreset::Mixtral8x7bE8k2.config(),
+        GpuSpec::a100(),
+        16 * 1024,
+        8192,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Vanilla EP routing conserves tokens and stays group-local for any
+    /// demand matrix.
+    #[test]
+    fn vanilla_routing_invariants(demand in demand_strategy()) {
+        let (layout, routing) = vanilla_routing(&demand, 2);
+        prop_assert!(routing.validate(&demand, &layout).is_ok());
+        for &(src, _, dst, _) in routing.entries() {
+            prop_assert_eq!(src.index() / 4, dst.index() / 4);
+        }
+        let total: u64 = routing.device_compute_loads().iter().sum();
+        prop_assert_eq!(total, demand.total());
+    }
+
+    /// Every system yields valid plans with finite, non-negative timing
+    /// vectors for arbitrary demands.
+    #[test]
+    fn systems_yield_valid_plans(demand in demand_strategy(), iter in 0u64..4) {
+        let mut systems: Vec<Box<dyn MoeSystem>> = vec![
+            Box::new(LaerSystem::new(ctx())),
+            Box::new(FlexMoeSystem::new(ctx(), 1)),
+            Box::new(FsdpEpSystem::new(ctx())),
+            Box::new(MegatronSystem::new(ctx())),
+            Box::new(VanillaEpSystem::new(ctx())),
+        ];
+        for sys in &mut systems {
+            let plan = sys.plan_layer(0, iter, &demand);
+            prop_assert!(plan.routing.validate(&demand, &plan.layout).is_ok(), "{}", sys.name());
+            let t = &plan.timings;
+            prop_assert!(t.attention.is_finite() && t.attention >= 0.0);
+            prop_assert!(t.prefetch.is_finite() && t.prefetch >= 0.0);
+            prop_assert!(t.grad_sync.is_finite() && t.grad_sync >= 0.0);
+            for v in t.dispatch.iter().chain(&t.expert_forward).chain(&t.combine) {
+                prop_assert!(v.is_finite() && *v >= 0.0, "{}", sys.name());
+            }
+            // Compute time conserves total work.
+            let loads: u64 = plan.routing.device_compute_loads().iter().sum();
+            prop_assert_eq!(loads, demand.total(), "{}", sys.name());
+        }
+    }
+
+    /// On *skewed* demand — the regime the planner targets — LAER's
+    /// straggler load never exceeds the static EP baseline's. (On
+    /// adversarial near-uniform demands the Eq. 2 objective may trade a
+    /// little balance for communication, so no such guarantee exists
+    /// there; the guaranteed objective-level property is covered by the
+    /// planner crate's proptests.)
+    #[test]
+    fn laer_balances_skewed_demand_no_worse_than_static(
+        base in proptest::collection::vec(0u64..5_000, 32 * 8),
+        hot in 0usize..8,
+        heat in 5u64..20,
+    ) {
+        // Plant a hot expert: multiply one column of the demand.
+        let mut data = base;
+        for d in 0..32 {
+            data[d * 8 + hot] = (data[d * 8 + hot] + 1000) * heat;
+        }
+        let demand = RoutingMatrix::from_rows(32, 8, data).expect("32x8");
+        let mut laer = LaerSystem::new(ctx());
+        let mut fsdp = FsdpEpSystem::new(ctx());
+        let pl = laer.plan_layer(0, 0, &demand);
+        let pf = fsdp.plan_layer(0, 0, &demand);
+        prop_assert!(
+            pl.max_token_ratio() <= pf.max_token_ratio() * 1.05 + 0.05,
+            "LAER {} vs static {}",
+            pl.max_token_ratio(),
+            pf.max_token_ratio()
+        );
+    }
+}

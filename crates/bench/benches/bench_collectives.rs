@@ -1,0 +1,31 @@
+//! Criterion bench of the collective cost models (the simulator's inner
+//! loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laer_cluster::{DeviceId, Topology};
+use laer_sim::{all_to_all_balanced_time, all_to_all_time, A2aMatrix};
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    for &n in &[32usize, 128, 512] {
+        let topo = Topology::new(n / 8, 8).expect("cluster");
+        let mut m = A2aMatrix::new(n);
+        for i in 0..n {
+            for k in 0..n {
+                if i != k {
+                    m.add(DeviceId::new(i), DeviceId::new(k), 1e6 + (i * k) as f64);
+                }
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("a2a_imbalanced", n), &m, |b, m| {
+            b.iter(|| all_to_all_time(&topo, m).expect("sized"))
+        });
+        group.bench_with_input(BenchmarkId::new("a2a_balanced", n), &topo, |b, topo| {
+            b.iter(|| all_to_all_balanced_time(topo, 256.0 * 1024.0 * 1024.0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

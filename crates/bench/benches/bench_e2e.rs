@@ -1,0 +1,27 @@
+//! Criterion bench of the end-to-end experiment driver (Fig. 8's
+//! machinery): one simulated training iteration per system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laer_baselines::SystemKind;
+use laer_model::ModelPreset;
+use laer_train::{run_experiment, ExperimentConfig};
+
+fn bench_e2e_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e_iteration");
+    group.sample_size(10);
+    for system in SystemKind::FIG8 {
+        let cfg = ExperimentConfig::new(ModelPreset::Mixtral8x7bE8k2, system)
+            .with_layers(4)
+            .with_iterations(3, 1)
+            .with_seed(3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(system.id()),
+            &cfg,
+            |b, cfg| b.iter(|| run_experiment(cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2e_iteration);
+criterion_main!(benches);

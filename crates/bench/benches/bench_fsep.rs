@@ -1,0 +1,46 @@
+//! Criterion bench of the FSEP numeric engine: shard, unshard, and a
+//! full training step against the dense reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laer_cluster::{DeviceId, ExpertId};
+use laer_fsep::reference::{run_fsep_step, TokenBatch};
+use laer_fsep::{AdamConfig, ExpertParams, FsepExperts, Matrix, ShardedAdam};
+use laer_planner::ExpertLayout;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (Vec<ExpertParams>, ExpertLayout, Vec<TokenBatch>) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let (n, e, h, hp) = (8usize, 8usize, 32usize, 64usize);
+    let experts: Vec<_> = (0..e).map(|_| ExpertParams::random(h, hp, &mut rng)).collect();
+    let layout = ExpertLayout::classic_ep(n, e, 2).expect("layout");
+    let batches: Vec<_> = (0..n)
+        .map(|d| TokenBatch {
+            device: DeviceId::new(d),
+            expert: ExpertId::new((d % 4) * 2),
+            tokens: Matrix::random(16, h, 0.5, &mut rng),
+        })
+        .collect();
+    (experts, layout, batches)
+}
+
+fn bench_fsep(c: &mut Criterion) {
+    let (experts, layout, batches) = setup();
+    c.bench_function("fsep_shard", |b| {
+        b.iter(|| FsepExperts::shard(&experts, 8).expect("shard"))
+    });
+    let sharded = FsepExperts::shard(&experts, 8).expect("shard");
+    c.bench_function("fsep_unshard", |b| {
+        b.iter(|| sharded.unshard(&layout).expect("unshard"))
+    });
+    c.bench_function("fsep_train_step", |b| {
+        b.iter(|| {
+            let mut s = sharded.clone();
+            let mut opt = ShardedAdam::new(AdamConfig::default(), &s);
+            run_fsep_step(&mut s, &mut opt, &layout, &batches).expect("step")
+        })
+    });
+}
+
+criterion_group!(benches, bench_fsep);
+criterion_main!(benches);

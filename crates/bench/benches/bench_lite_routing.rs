@@ -1,0 +1,33 @@
+//! Criterion bench for the lite-routing token dispatcher (Tab. 3's
+//! quantity): one layer's routing decision on the paper cluster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laer_cluster::Topology;
+use laer_planner::{lite_route, CostParams, Planner, PlannerConfig};
+use laer_routing::{RoutingGenerator, RoutingGeneratorConfig};
+
+fn bench_lite_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lite_routing");
+    for &(experts, capacity) in &[(8usize, 2usize), (16, 4)] {
+        let topo = Topology::paper_cluster();
+        let planner = Planner::new(
+            PlannerConfig::new(capacity).with_epsilon(2),
+            CostParams::mixtral_8x7b(),
+            topo.clone(),
+        );
+        let demand = RoutingGenerator::new(
+            RoutingGeneratorConfig::new(32, experts, 32 * 1024).with_seed(2),
+        )
+        .next_iteration();
+        let layout = planner.plan(&demand).layout;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("e{experts}c{capacity}")),
+            &(demand, layout),
+            |b, (demand, layout)| b.iter(|| lite_route(&topo, demand, layout)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lite_routing);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for the expert layout solver (Fig. 11's quantity):
+//! full Alg. 2 plans across cluster sizes and capacities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laer_cluster::Topology;
+use laer_planner::{CostParams, Planner, PlannerConfig};
+use laer_routing::{RoutingGenerator, RoutingGeneratorConfig};
+
+fn bench_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_solve");
+    for &(gpus, capacity) in &[(8usize, 2usize), (32, 2), (128, 2), (32, 4), (128, 4)] {
+        let experts = 8.max(capacity * 4);
+        let topo = Topology::new(gpus / 8, 8).expect("cluster");
+        let planner = Planner::new(
+            PlannerConfig::new(capacity).with_epsilon(2),
+            CostParams::mixtral_8x7b(),
+            topo,
+        );
+        let demand = RoutingGenerator::new(
+            RoutingGeneratorConfig::new(gpus, experts, 16 * 1024).with_seed(1),
+        )
+        .next_iteration();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("N{gpus}_C{capacity}")),
+            &demand,
+            |b, demand| b.iter(|| planner.plan(demand)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan);
+criterion_main!(benches);

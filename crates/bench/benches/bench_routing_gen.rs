@@ -1,0 +1,25 @@
+//! Criterion bench of the routing-trace generator (every experiment's
+//! input pipeline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laer_routing::{RoutingGenerator, RoutingGeneratorConfig};
+
+fn bench_routing_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_generator");
+    for &(devices, experts) in &[(32usize, 8usize), (128, 8), (32, 16), (1024, 16)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{devices}_e{experts}")),
+            &(devices, experts),
+            |b, &(devices, experts)| {
+                let mut gen = RoutingGenerator::new(
+                    RoutingGeneratorConfig::new(devices, experts, 32 * 1024).with_seed(5),
+                );
+                b.iter(|| gen.next_iteration())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing_gen);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! `repro` — regenerate any table or figure of the paper.
+//!
+//! ```text
+//! repro <target> [--quick|--full]
+//!
+//! targets: fig1a fig1b fig2 tab2 eq1 fig8 fig9 fig10a fig10b fig11
+//!          fig12 tab3 tab4 all
+//! ```
+
+use laer_bench::{eq1, fig1, fig10, fig11, fig12, fig2, fig8, fig9, tab2, tab3, tab4, Effort};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let target = args.first().map(String::as_str).unwrap_or("help");
+    let effort = if args.iter().any(|a| a == "--full") {
+        Effort::Full
+    } else {
+        Effort::Quick
+    };
+    let ran = dispatch(target, effort);
+    if !ran {
+        eprintln!(
+            "usage: repro <target> [--quick|--full]\n\
+             targets: fig1a fig1b fig2 tab2 eq1 fig8 fig9 fig10a fig10b fig11 fig12 tab3 tab4 ext-refine ext-staleness ext-rack ext-overlap all"
+        );
+        std::process::exit(if target == "help" { 0 } else { 2 });
+    }
+}
+
+fn dispatch(target: &str, effort: Effort) -> bool {
+    match target {
+        "fig1a" => {
+            let a = fig1::fig1a();
+            for p in a.iter().step_by(4) {
+                println!(
+                    "iter {:>3}  max/mean {:.2}  shares {:?}",
+                    p.iteration,
+                    p.imbalance,
+                    p.expert_shares
+                        .iter()
+                        .map(|s| (s * 1000.0).round() / 10.0)
+                        .collect::<Vec<_>>()
+                );
+            }
+            laer_bench::output::save_json("fig1a", &a);
+        }
+        "fig1b" => {
+            let b = fig1::fig1b(effort);
+            for bar in &b {
+                println!(
+                    "{:<9} a2a {:>7.1} ms  rest {:>7.1} ms  share {:>5.1}%",
+                    bar.condition,
+                    bar.a2a * 1e3,
+                    bar.rest * 1e3,
+                    bar.a2a_fraction * 100.0
+                );
+            }
+            laer_bench::output::save_json("fig1b", &b);
+        }
+        "fig1" => {
+            fig1::run(effort);
+        }
+        "fig2" => {
+            fig2::run();
+        }
+        "tab2" => {
+            tab2::run();
+        }
+        "eq1" => {
+            eq1::run();
+        }
+        "fig8" => {
+            fig8::run(effort);
+        }
+        "fig9" => {
+            fig9::run(effort);
+        }
+        "fig10" | "fig10a" | "fig10b" => {
+            fig10::run(effort);
+        }
+        "fig11" => {
+            fig11::run();
+        }
+        "fig12" => {
+            fig12::run(effort);
+        }
+        "tab3" => {
+            tab3::run(effort);
+        }
+        "tab4" => {
+            tab4::run();
+        }
+        "ext-refine" => {
+            laer_bench::ext_refine::run();
+        }
+        "ext-staleness" => {
+            laer_bench::ext_staleness::run();
+        }
+        "ext-rack" => {
+            laer_bench::ext_rack::run();
+        }
+        "ext-overlap" => {
+            laer_bench::ext_overlap::run();
+        }
+        "all" => {
+            for t in [
+                "tab2", "eq1", "fig1", "fig2", "fig8", "fig9", "fig10", "fig11", "fig12",
+                "tab3", "tab4", "ext-refine", "ext-staleness", "ext-rack", "ext-overlap",
+            ] {
+                println!("\n================ {t} ================\n");
+                dispatch(t, effort);
+            }
+        }
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,90 @@
+//! Minimal ASCII charts for the `repro` output: horizontal bars and
+//! block-character heat rows, so figure shapes are visible in the
+//! terminal without plotting dependencies.
+
+/// Renders a horizontal bar of `width` cells for `value` on a
+/// `[0, max]` scale.
+///
+/// # Panics
+///
+/// Panics if `max` is not positive and finite or `width` is zero.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    assert!(max > 0.0 && max.is_finite(), "max must be positive");
+    assert!(width > 0, "width must be non-zero");
+    let frac = (value / max).clamp(0.0, 1.0);
+    let cells = (frac * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < cells { '█' } else { '·' });
+    }
+    s
+}
+
+/// Renders one heat row: each value in `[0, max]` becomes one of eight
+/// block characters (` ▁▂▃▄▅▆▇█`).
+///
+/// # Panics
+///
+/// Panics if `max` is not positive and finite.
+pub fn heat_row(values: &[f64], max: f64) -> String {
+    assert!(max > 0.0 && max.is_finite(), "max must be positive");
+    const BLOCKS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v / max).clamp(0.0, 1.0) * 8.0).round() as usize;
+            BLOCKS[idx]
+        })
+        .collect()
+}
+
+/// Renders labelled bars with aligned labels and values.
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> Vec<String> {
+    let max = rows.iter().map(|(_, v)| *v).fold(f64::MIN_POSITIVE, f64::max);
+    let label_width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    rows.iter()
+        .map(|(label, value)| {
+            format!(
+                "{label:<label_width$}  {} {value:.0}",
+                bar(*value, max, width)
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(5.0, 10.0, 10), "█████·····");
+        assert_eq!(bar(0.0, 10.0, 4), "····");
+        assert_eq!(bar(20.0, 10.0, 4), "████"); // clamped
+    }
+
+    #[test]
+    fn heat_row_maps_blocks() {
+        let row = heat_row(&[0.0, 0.5, 1.0], 1.0);
+        let chars: Vec<char> = row.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], ' ');
+        assert_eq!(chars[2], '█');
+    }
+
+    #[test]
+    fn bar_chart_aligns_labels() {
+        let rows = vec![("a".to_string(), 10.0), ("long".to_string(), 5.0)];
+        let lines = bar_chart(&rows, 8);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("a   "));
+        assert!(lines[0].contains("████████"));
+        assert!(lines[1].contains("████····"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_max_panics() {
+        let _ = bar(1.0, 0.0, 4);
+    }
+}

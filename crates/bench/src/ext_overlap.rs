@@ -1,0 +1,160 @@
+//! Extension experiment: stream occupancy under the Fig. 5 schedules.
+//!
+//! For each schedule variant we report per-stream utilisation (S1
+//! compute, S2 prefetch, S3 token A2A, S4 grad sync) and the fraction of
+//! parameter communication hidden under computation — the quantity the
+//! Fig. 5 optimisations exist to maximise.
+
+use laer_baselines::{LaerSystem, MoeSystem, SystemContext};
+use laer_cluster::{DeviceId, Topology};
+use laer_fsep::{schedule_iteration, LayerTimings, ScheduleOptions};
+use laer_model::{GpuSpec, ModelPreset};
+use laer_routing::{RoutingGenerator, RoutingGeneratorConfig};
+use laer_sim::{Engine, StreamKind};
+use serde::{Deserialize, Serialize};
+
+/// Per-variant stream occupancy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OverlapRow {
+    /// Schedule variant label.
+    pub variant: String,
+    /// Iteration seconds.
+    pub iteration_time: f64,
+    /// Mean utilisation of the compute stream (S1).
+    pub compute_util: f64,
+    /// Mean utilisation of the prefetch stream (S2).
+    pub prefetch_util: f64,
+    /// Fraction of prefetch+grad-sync time hidden under compute: 1 −
+    /// exposed/total, where exposed is the iteration-time difference
+    /// against a zero-communication run.
+    pub hidden_fraction: f64,
+}
+
+fn schedule_variants() -> Vec<(&'static str, ScheduleOptions)> {
+    let mut unrelaxed = ScheduleOptions::optimized();
+    unrelaxed.relaxed_prefetch = false;
+    let mut unordered = ScheduleOptions::optimized();
+    unordered.order_prefetch_after_a2a = false;
+    vec![
+        ("optimized (Fig. 5b/c/e)", ScheduleOptions::optimized()),
+        ("prefetch under attention (Fig. 5a)", unrelaxed),
+        ("prefetch unordered vs A2A", unordered),
+        ("no comm optimisations", ScheduleOptions::unoptimized()),
+    ]
+}
+
+/// Measures every variant on the same planned workload.
+pub fn rows(layers: usize) -> Vec<OverlapRow> {
+    let topo = Topology::paper_cluster();
+    let cfg = ModelPreset::Mixtral8x7bE8k2.config();
+    let tokens = 16 * 1024u64;
+    let ctx = SystemContext::new(topo.clone(), cfg.clone(), GpuSpec::a100(), tokens, 8192);
+    let mut system = LaerSystem::new(ctx);
+    let mut gens: Vec<_> = (0..layers)
+        .map(|l| {
+            RoutingGenerator::new(
+                RoutingGeneratorConfig::new(32, cfg.experts(), tokens * cfg.top_k() as u64)
+                    .with_seed(21 + l as u64),
+            )
+        })
+        .collect();
+    let timings: Vec<LayerTimings> = gens
+        .iter_mut()
+        .enumerate()
+        .map(|(l, g)| system.plan_layer(l, 0, &g.next_iteration()).timings)
+        .collect();
+    // Zero-communication reference: what the iteration costs if all
+    // parameter communication were free.
+    let mut zero_comm = timings.clone();
+    for t in &mut zero_comm {
+        t.prefetch = 0.0;
+        t.grad_sync = 0.0;
+    }
+    let n = topo.num_devices();
+    let comm_per_iter: f64 = timings
+        .iter()
+        .map(|t| 2.0 * t.prefetch + t.grad_sync)
+        .sum();
+    schedule_variants()
+        .into_iter()
+        .map(|(label, opts)| {
+            let mut engine = Engine::new(&topo);
+            let t = schedule_iteration(&mut engine, &topo, &timings, opts);
+            let mut zero_engine = Engine::new(&topo);
+            let t0 = schedule_iteration(&mut zero_engine, &topo, &zero_comm, opts);
+            let exposed = (t.total - t0.total).max(0.0);
+            let timeline = engine.timeline();
+            let avg_util = |stream| {
+                (0..n)
+                    .map(|d| timeline.stream_utilization(DeviceId::new(d), stream))
+                    .sum::<f64>()
+                    / n as f64
+            };
+            OverlapRow {
+                variant: label.to_string(),
+                iteration_time: t.total,
+                compute_util: avg_util(StreamKind::Compute),
+                prefetch_util: avg_util(StreamKind::Prefetch),
+                hidden_fraction: 1.0 - (exposed / comm_per_iter).min(1.0),
+            }
+        })
+        .collect()
+}
+
+/// Runs and prints the study.
+pub fn run() -> Vec<OverlapRow> {
+    println!("Extension: stream occupancy under the Fig. 5 schedule variants\n");
+    println!(
+        "{:<36} {:>10} {:>9} {:>9} {:>9}",
+        "variant", "iter (ms)", "S1 util", "S2 util", "hidden"
+    );
+    let rows = rows(6);
+    for r in &rows {
+        println!(
+            "{:<36} {:>10.1} {:>8.1}% {:>8.1}% {:>8.1}%",
+            r.variant,
+            r.iteration_time * 1e3,
+            r.compute_util * 100.0,
+            r.prefetch_util * 100.0,
+            r.hidden_fraction * 100.0
+        );
+    }
+    println!(
+        "\nThe optimized schedule hides nearly all parameter communication under\n\
+         expert computation (the Sec. 3.1 claim); each disabled optimisation\n\
+         exposes more of it on the critical path."
+    );
+    crate::output::save_json("ext_overlap", &rows);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The optimized schedule hides more communication and finishes
+    /// faster than every degraded variant; expert compute keeps S1 busy.
+    #[test]
+    fn optimized_hides_most_communication() {
+        let rows = rows(4);
+        let optimized = &rows[0];
+        assert!(
+            optimized.hidden_fraction > 0.9,
+            "optimized hides {:.2}",
+            optimized.hidden_fraction
+        );
+        for r in &rows[1..] {
+            assert!(
+                r.iteration_time >= optimized.iteration_time - 1e-9,
+                "{} faster than optimized",
+                r.variant
+            );
+        }
+        let worst = &rows[3];
+        assert!(
+            worst.hidden_fraction < optimized.hidden_fraction,
+            "unoptimized should hide less"
+        );
+        assert!(optimized.compute_util > 0.5);
+    }
+}

@@ -1,0 +1,62 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (Sec. 5 and the appendices).
+//!
+//! Each module computes one experiment's data, returns it as a
+//! serializable struct and renders the same rows/series the paper
+//! reports. The `repro` binary dispatches on experiment id:
+//!
+//! ```text
+//! cargo run --release -p laer-bench --bin repro -- tab2
+//! cargo run --release -p laer-bench --bin repro -- fig8 --quick
+//! cargo run --release -p laer-bench --bin repro -- all --quick
+//! ```
+//!
+//! JSON copies of every result land under `target/repro/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod eq1;
+pub mod ext_overlap;
+pub mod ext_rack;
+pub mod ext_refine;
+pub mod ext_staleness;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig2;
+pub mod fig8;
+pub mod fig9;
+pub mod output;
+pub mod tab2;
+pub mod tab3;
+pub mod tab4;
+
+/// Effort level of a reproduction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Reduced layer/iteration counts — minutes, same shapes.
+    Quick,
+    /// Paper-scale iteration counts (still simulated) — slower.
+    Full,
+}
+
+impl Effort {
+    /// Simulated transformer layers for end-to-end runs.
+    pub fn layers(self, model_layers: usize) -> usize {
+        match self {
+            Effort::Quick => model_layers.min(8),
+            Effort::Full => model_layers,
+        }
+    }
+
+    /// (measured, warmup) iterations for end-to-end runs.
+    pub fn iterations(self) -> (usize, usize) {
+        match self {
+            Effort::Quick => (15, 5),
+            Effort::Full => (50, 20),
+        }
+    }
+}

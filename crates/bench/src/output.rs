@@ -1,0 +1,62 @@
+//! Result persistence: every experiment dumps a JSON copy under
+//! `target/repro/`.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory JSON results are written to.
+pub fn repro_dir() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop(); // crates/
+    dir.pop(); // repo root
+    dir.push("target");
+    dir.push("repro");
+    dir
+}
+
+/// Serializes `value` to `target/repro/<name>.json`, creating the
+/// directory if needed. I/O failures are reported to stderr but do not
+/// abort the experiment (results are also printed).
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = repro_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repro_dir_is_under_target() {
+        let d = repro_dir();
+        assert!(d.ends_with("target/repro"));
+    }
+
+    #[test]
+    fn save_json_roundtrip() {
+        #[derive(serde::Serialize)]
+        struct T {
+            x: u32,
+        }
+        save_json("unit_test_artifact", &T { x: 7 });
+        let path = repro_dir().join("unit_test_artifact.json");
+        let body = std::fs::read_to_string(&path).expect("file written");
+        assert!(body.contains("7"));
+        std::fs::remove_file(path).ok();
+    }
+}

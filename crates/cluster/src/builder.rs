@@ -1,0 +1,109 @@
+//! Builder for [`Topology`] values (`C-BUILDER`).
+
+use crate::{Topology, TopologyError, DEFAULT_INTER_BW, DEFAULT_INTRA_BW};
+
+/// Incrementally configures a [`Topology`].
+///
+/// ```
+/// use laer_cluster::TopologyBuilder;
+///
+/// # fn main() -> Result<(), laer_cluster::TopologyError> {
+/// let topo = TopologyBuilder::new(2, 4)
+///     .intra_bandwidth_gbps(600.0)
+///     .inter_bandwidth_gbps(50.0)
+///     .latencies(5e-6, 20e-6)
+///     .build()?;
+/// assert_eq!(topo.num_devices(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    nodes: usize,
+    devices_per_node: usize,
+    intra_bw: f64,
+    inter_bw: f64,
+    latencies: Option<(f64, f64)>,
+}
+
+impl TopologyBuilder {
+    /// Starts a builder for `nodes × devices_per_node` devices.
+    pub fn new(nodes: usize, devices_per_node: usize) -> Self {
+        Self {
+            nodes,
+            devices_per_node,
+            intra_bw: DEFAULT_INTRA_BW,
+            inter_bw: DEFAULT_INTER_BW,
+            latencies: None,
+        }
+    }
+
+    /// Sets the intra-node bandwidth in GB/s.
+    pub fn intra_bandwidth_gbps(mut self, gbps: f64) -> Self {
+        self.intra_bw = gbps * crate::GB_PER_S;
+        self
+    }
+
+    /// Sets the inter-node bandwidth in GB/s.
+    pub fn inter_bandwidth_gbps(mut self, gbps: f64) -> Self {
+        self.inter_bw = gbps * crate::GB_PER_S;
+        self
+    }
+
+    /// Sets the intra- and inter-node link latencies in seconds.
+    pub fn latencies(mut self, intra: f64, inter: f64) -> Self {
+        self.latencies = Some((intra, inter));
+        self
+    }
+
+    /// Builds the topology.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyError`] for empty clusters or invalid
+    /// bandwidth/latency parameters.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        let mut topo = Topology::with_bandwidths(
+            self.nodes,
+            self.devices_per_node,
+            self.intra_bw,
+            self.inter_bw,
+        )?;
+        if let Some((intra, inter)) = self.latencies {
+            topo.set_latencies(intra, inter)?;
+        }
+        Ok(topo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceId;
+
+    #[test]
+    fn builder_defaults_match_paper() {
+        let topo = TopologyBuilder::new(4, 8).build().unwrap();
+        assert_eq!(topo, Topology::paper_cluster());
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let topo = TopologyBuilder::new(1, 2)
+            .intra_bandwidth_gbps(10.0)
+            .latencies(0.0, 0.0)
+            .build()
+            .unwrap();
+        assert_eq!(topo.intra_bandwidth(), 10.0 * crate::GB_PER_S);
+        assert_eq!(topo.latency(DeviceId::new(0), DeviceId::new(1)), 0.0);
+    }
+
+    #[test]
+    fn builder_propagates_errors() {
+        assert!(TopologyBuilder::new(0, 0).build().is_err());
+        assert!(TopologyBuilder::new(1, 2)
+            .intra_bandwidth_gbps(-5.0)
+            .build()
+            .is_err());
+    }
+}

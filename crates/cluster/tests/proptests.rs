@@ -1,0 +1,73 @@
+//! Property-based tests for the topology substrate.
+
+use laer_cluster::{DeviceId, LinkKind, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Link classification is symmetric and consistent with node/rack
+    /// membership for arbitrary cluster shapes.
+    #[test]
+    fn link_kind_is_symmetric(
+        nodes in 1usize..6,
+        dpn in 1usize..6,
+        a_seed in 0usize..1000,
+        b_seed in 0usize..1000,
+    ) {
+        let topo = Topology::new(nodes, dpn).expect("non-empty");
+        let n = topo.num_devices();
+        let a = DeviceId::new(a_seed % n);
+        let b = DeviceId::new(b_seed % n);
+        prop_assert_eq!(topo.link_kind(a, b), topo.link_kind(b, a));
+        prop_assert_eq!(topo.bandwidth(a, b), topo.bandwidth(b, a));
+        prop_assert_eq!(topo.latency(a, b), topo.latency(b, a));
+        match topo.link_kind(a, b) {
+            LinkKind::Local => prop_assert_eq!(a, b),
+            LinkKind::IntraNode => {
+                prop_assert_ne!(a, b);
+                prop_assert!(topo.same_node(a, b));
+            }
+            LinkKind::InterNode | LinkKind::InterRack => {
+                prop_assert!(!topo.same_node(a, b));
+            }
+        }
+    }
+
+    /// Devices partition exactly into nodes.
+    #[test]
+    fn devices_partition_into_nodes(nodes in 1usize..8, dpn in 1usize..8) {
+        let topo = Topology::new(nodes, dpn).expect("non-empty");
+        let mut seen = vec![false; topo.num_devices()];
+        for node in topo.node_ids() {
+            for dev in topo.devices_on(node) {
+                prop_assert_eq!(topo.node_of(dev), node);
+                prop_assert!(!seen[dev.index()], "device listed twice");
+                seen[dev.index()] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    /// Rack membership partitions devices and the bandwidth hierarchy
+    /// holds whenever the rack uplink is slower than the node NIC.
+    #[test]
+    fn rack_hierarchy(
+        racks in 1usize..4,
+        npr in 1usize..4,
+        dpn in 1usize..4,
+        rack_gbps in 1.0f64..90.0,
+    ) {
+        let topo = Topology::with_racks(racks, npr, dpn, rack_gbps * 1e9).expect("non-empty");
+        for a in topo.devices() {
+            let rack = topo.rack_of(a).expect("three-level");
+            prop_assert!(rack < racks);
+            for b in topo.devices() {
+                if topo.link_kind(a, b) == LinkKind::InterRack {
+                    prop_assert_ne!(topo.rack_of(a), topo.rack_of(b));
+                    prop_assert!(topo.bandwidth(a, b) <= topo.inter_bandwidth());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! `laer` — command-line explorer for the LAER-MoE reproduction.
+//!
+//! ```text
+//! laer plan     [--devices N] [--experts E] [--capacity C] [--seed S]
+//! laer simulate [--model ID] [--system KIND] [--layers L] [--iters I] [--seed S]
+//! laer memory   [--model ID]
+//! laer trace    [--devices N] [--experts E] [--iters I] [--seed S] --out FILE
+//! laer replay   --model ID --system KIND --in FILE
+//! ```
+
+use laer_moe::planner::CostParams;
+use laer_moe::prelude::*;
+use laer_moe::train::run_experiment_on_trace;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage(0);
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage(2);
+        }
+    };
+    let result = match command.as_str() {
+        "plan" => cmd_plan(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "memory" => cmd_memory(&flags),
+        "trace" => cmd_trace(&flags),
+        "replay" => cmd_replay(&flags),
+        "help" | "--help" | "-h" => return usage(0),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn usage(code: u8) -> ExitCode {
+    eprintln!(
+        "laer — LAER-MoE reproduction CLI\n\n\
+         commands:\n\
+         \x20 plan      plan one iteration's expert re-layout and show it\n\
+         \x20 simulate  run an end-to-end throughput experiment\n\
+         \x20 memory    per-device memory analysis for a model\n\
+         \x20 trace     record a synthetic routing trace to JSON\n\
+         \x20 replay    run an experiment over a recorded trace\n\n\
+         common flags: --model <id> --system <LAER|FLEX|FSDP|megatron|vanillaEP>\n\
+         \x20             --devices N --experts E --capacity C --layers L\n\
+         \x20             --iters I --seed S --aux W --in FILE --out FILE\n\n\
+         model ids: {}",
+        ModelPreset::ALL.map(|p| p.id()).join(" ")
+    );
+    ExitCode::from(code)
+}
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected --flag, got `{flag}`"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} requires a value"))?;
+        out.insert(name.to_string(), value.clone());
+    }
+    Ok(out)
+}
+
+fn get<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("--{name}: {e}")),
+    }
+}
+
+fn model(flags: &Flags) -> Result<ModelPreset, String> {
+    get(flags, "model", ModelPreset::Mixtral8x7bE8k2).map_err(|e| {
+        format!("{e} (valid: {})", ModelPreset::ALL.map(|p| p.id()).join(" "))
+    })
+}
+
+fn cmd_plan(flags: &Flags) -> Result<(), String> {
+    let devices: usize = get(flags, "devices", 8)?;
+    let experts: usize = get(flags, "experts", 8)?;
+    let capacity: usize = get(flags, "capacity", 2)?;
+    let seed: u64 = get(flags, "seed", 0)?;
+    if devices % 8 != 0 && devices > 8 {
+        return Err("--devices must be ≤8 or a multiple of 8".into());
+    }
+    let topo = if devices <= 8 {
+        Topology::single_node(devices).map_err(|e| e.to_string())?
+    } else {
+        Topology::new(devices / 8, 8).map_err(|e| e.to_string())?
+    };
+    let demand = RoutingGenerator::new(
+        RoutingGeneratorConfig::new(devices, experts, 16 * 1024).with_seed(seed),
+    )
+    .next_iteration();
+    let planner = Planner::new(
+        PlannerConfig::new(capacity),
+        CostParams::mixtral_8x7b(),
+        topo,
+    );
+    let plan = planner.plan(&demand);
+    println!("expert loads: {:?}", demand.expert_loads());
+    println!("replica vector: {:?}", plan.layout.replica_vector());
+    println!("{}", plan.layout);
+    let loads = plan.routing.device_compute_loads();
+    let ideal = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    let max = *loads.iter().max().unwrap_or(&0) as f64;
+    println!(
+        "device loads {:?}\nmax/ideal {:.3}, predicted T = {:.3} ms (comm {:.3} + comp {:.3})",
+        loads,
+        max / ideal,
+        plan.predicted.total() * 1e3,
+        plan.predicted.comm * 1e3,
+        plan.predicted.comp * 1e3
+    );
+    Ok(())
+}
+
+fn cmd_simulate(flags: &Flags) -> Result<(), String> {
+    let preset = model(flags)?;
+    let system: SystemKind = get(flags, "system", SystemKind::Laer)?;
+    let layers: usize = get(flags, "layers", 8)?;
+    let iters: usize = get(flags, "iters", 15)?;
+    let seed: u64 = get(flags, "seed", 0)?;
+    let aux: f64 = get(flags, "aux", 0.0)?;
+    let cfg = ExperimentConfig::new(preset, system)
+        .with_layers(layers)
+        .with_iterations(iters, (iters / 3).max(1))
+        .with_aux_loss(aux)
+        .with_seed(seed);
+    let r = run_experiment(&cfg);
+    print_result(&r);
+    Ok(())
+}
+
+fn print_result(r: &ExperimentResult) {
+    println!(
+        "{}: {:.0} tokens/s  (iter {:.1} ms)",
+        r.system,
+        r.tokens_per_second,
+        r.avg_iteration_time * 1e3
+    );
+    println!(
+        "breakdown: a2a {:.1} ms ({:.1}%), expert {:.1} ms, others {:.1} ms",
+        r.breakdown.a2a * 1e3,
+        r.breakdown.a2a_fraction() * 100.0,
+        r.breakdown.expert_compute * 1e3,
+        r.breakdown.others * 1e3
+    );
+    println!("max/ideal device load: {:.3}", r.avg_max_token_ratio);
+}
+
+fn cmd_memory(flags: &Flags) -> Result<(), String> {
+    use laer_moe::model::memory;
+    let preset = model(flags)?;
+    let cfg = preset.config();
+    let c = cfg.default_capacity();
+    println!("{cfg}");
+    println!(
+        "total {:.2} B params, activated {:.2} B",
+        cfg.total_params() as f64 / 1e9,
+        cfg.activated_params() as f64 / 1e9
+    );
+    let fsep = memory::memory_report(&cfg, 32, c);
+    println!(
+        "FSEP @32 devices: optimizer {:.1} GiB + params {:.1} GiB + grads {:.1} GiB = {:.1} GiB",
+        gib(fsep.optimizer_state),
+        gib(fsep.parameter_state),
+        gib(fsep.gradient_state),
+        gib(fsep.total())
+    );
+    let full = memory::fully_sharded_memory_bytes(&cfg, 32, c, 16 * 1024);
+    println!("FSEP + activations @16K tokens: {:.1} GiB", gib(full));
+    for tp in [1usize, 2, 4, 8] {
+        let bytes = memory::megatron_memory_bytes(&cfg, 32, tp, c, 16 * 1024);
+        let fits = bytes <= memory::DEVICE_MEMORY_BUDGET;
+        println!(
+            "Megatron TP={tp}: {:.1} GiB {}",
+            gib(bytes),
+            if fits { "(fits)" } else { "(OOM)" }
+        );
+    }
+    Ok(())
+}
+
+fn gib(bytes: u64) -> f64 {
+    bytes as f64 / (1u64 << 30) as f64
+}
+
+fn cmd_trace(flags: &Flags) -> Result<(), String> {
+    let devices: usize = get(flags, "devices", 32)?;
+    let experts: usize = get(flags, "experts", 8)?;
+    let iters: usize = get(flags, "iters", 100)?;
+    let seed: u64 = get(flags, "seed", 0)?;
+    let out = flags.get("out").ok_or("--out FILE required")?;
+    let trace = RoutingTrace::record(
+        RoutingGeneratorConfig::new(devices, experts, 32 * 1024).with_seed(seed),
+        iters,
+    );
+    trace.save_json(out).map_err(|e| e.to_string())?;
+    println!("wrote {iters} iterations of {devices}x{experts} routing to {out}");
+    Ok(())
+}
+
+fn cmd_replay(flags: &Flags) -> Result<(), String> {
+    let preset = model(flags)?;
+    let system: SystemKind = get(flags, "system", SystemKind::Laer)?;
+    let input = flags.get("in").ok_or("--in FILE required")?;
+    let trace = RoutingTrace::load_json(input).map_err(|e| e.to_string())?;
+    let first = trace.get(0).ok_or("trace is empty")?;
+    let devices = first.num_devices();
+    if devices % 8 != 0 {
+        return Err("trace must cover a multiple of 8 devices".into());
+    }
+    let cfg = ExperimentConfig::new(preset, system)
+        .with_cluster(devices / 8, 8)
+        .with_layers(4)
+        .with_iterations(trace.len().min(30), 2);
+    let r = run_experiment_on_trace(&cfg, &trace);
+    print_result(&r);
+    Ok(())
+}

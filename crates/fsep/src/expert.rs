@@ -1,0 +1,338 @@
+//! SwiGLU expert MLPs over flat parameter buffers.
+//!
+//! An expert is `y = (SiLU(x·W1ᵀ) ⊙ (x·W3ᵀ))·W2ᵀ` with `W1, W3 ∈
+//! ℝ^{H'×H}` and `W2 ∈ ℝ^{H×H'}` — `Ψ_expert = 3·H·H'` parameters,
+//! matching the paper's cost analysis (`6·H·H'` forward FLOPs/token).
+//!
+//! Parameters live in a single flat buffer laid out `[W1 | W3 | W2]`.
+//! That flatness is exactly what FSEP's `shard` operation relies on
+//! (Fig. 4a): the *flat* buffer is chunked across devices
+//! (`total_experts`), while the shape information needed to run the
+//! forward pass is kept separately as [`ExpertMeta`] (`real_experts`).
+
+use crate::tensor::{silu, silu_prime, Matrix};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Shape metadata of one expert — the `real_experts` meta-information of
+/// Fig. 4(a), recorded at shard time and used to un-flatten restored
+/// buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpertMeta {
+    /// Hidden dimension `H`.
+    pub hidden: usize,
+    /// Intermediate dimension `H'`.
+    pub intermediate: usize,
+}
+
+impl ExpertMeta {
+    /// Flat parameter count `3·H·H'`.
+    pub fn param_count(&self) -> usize {
+        3 * self.hidden * self.intermediate
+    }
+}
+
+/// One expert's parameters as a flat `[W1 | W3 | W2]` buffer plus meta.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpertParams {
+    meta: ExpertMeta,
+    data: Vec<f32>,
+}
+
+/// Activations cached by the forward pass for the backward pass.
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    x: Matrix,
+    gate: Matrix,
+    up: Matrix,
+    hidden_act: Matrix,
+}
+
+/// Flat gradient buffer with the same `[W1 | W3 | W2]` layout as
+/// [`ExpertParams`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpertGrad {
+    meta: ExpertMeta,
+    data: Vec<f32>,
+}
+
+impl ExpertGrad {
+    /// Zero gradient for an expert shape.
+    pub fn zeros(meta: ExpertMeta) -> Self {
+        Self {
+            meta,
+            data: vec![0.0; meta.param_count()],
+        }
+    }
+
+    /// Creates a gradient from a flat buffer (same `[W1 | W3 | W2]`
+    /// layout as [`ExpertParams`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != 3·H·H'`.
+    pub fn from_parts(meta: ExpertMeta, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), meta.param_count(), "flat gradient length");
+        Self { meta, data }
+    }
+
+    /// Shape metadata.
+    pub fn meta(&self) -> ExpertMeta {
+        self.meta
+    }
+
+    /// Flat gradient values.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Accumulates another gradient (deterministic element-wise sum).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn accumulate(&mut self, other: &ExpertGrad) {
+        assert_eq!(self.meta, other.meta, "gradient shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+}
+
+impl ExpertParams {
+    /// Creates an expert from a flat buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != 3·H·H'`.
+    pub fn from_flat(meta: ExpertMeta, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), meta.param_count(), "flat buffer length");
+        Self { meta, data }
+    }
+
+    /// Random expert with small weights (scale `1/√H`).
+    pub fn random(hidden: usize, intermediate: usize, rng: &mut StdRng) -> Self {
+        let meta = ExpertMeta {
+            hidden,
+            intermediate,
+        };
+        let scale = 1.0 / (hidden as f32).sqrt();
+        let m = Matrix::random(1, meta.param_count(), scale, rng);
+        Self {
+            meta,
+            data: m.data().to_vec(),
+        }
+    }
+
+    /// Shape metadata.
+    pub fn meta(&self) -> ExpertMeta {
+        self.meta
+    }
+
+    /// The flat `[W1 | W3 | W2]` buffer.
+    pub fn flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Consumes the expert, returning its flat buffer.
+    pub fn into_flat(self) -> Vec<f32> {
+        self.data
+    }
+
+    fn w1(&self) -> Matrix {
+        let hp = self.meta.intermediate;
+        let h = self.meta.hidden;
+        Matrix::from_vec(hp, h, self.data[0..hp * h].to_vec())
+    }
+
+    fn w3(&self) -> Matrix {
+        let hp = self.meta.intermediate;
+        let h = self.meta.hidden;
+        Matrix::from_vec(hp, h, self.data[hp * h..2 * hp * h].to_vec())
+    }
+
+    fn w2(&self) -> Matrix {
+        let hp = self.meta.intermediate;
+        let h = self.meta.hidden;
+        Matrix::from_vec(h, hp, self.data[2 * hp * h..].to_vec())
+    }
+
+    /// Forward pass over a token batch `x` (`S × H`), returning the
+    /// output (`S × H`) and the cache needed by [`Self::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != H`.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, ForwardCache) {
+        assert_eq!(x.cols(), self.meta.hidden, "token width");
+        let gate = x.matmul_nt(&self.w1()); // S x H'
+        let up = x.matmul_nt(&self.w3()); // S x H'
+        let hidden_act = gate.map(silu).hadamard(&up); // S x H'
+        let y = hidden_act.matmul_nt(&self.w2()); // S x H
+        (
+            y,
+            ForwardCache {
+                x: x.clone(),
+                gate,
+                up,
+                hidden_act,
+            },
+        )
+    }
+
+    /// Backward pass: given `dL/dy` (`S × H`) and the forward cache,
+    /// returns `dL/dx` (`S × H`) and the flat weight gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree with the cache.
+    pub fn backward(&self, cache: &ForwardCache, grad_y: &Matrix) -> (Matrix, ExpertGrad) {
+        assert_eq!(grad_y.rows(), cache.x.rows(), "batch size");
+        assert_eq!(grad_y.cols(), self.meta.hidden, "output width");
+        let w2 = self.w2();
+        // dH = dY · W2   (S x H')
+        let d_hidden = grad_y.matmul_nn(&w2);
+        // dW2 = dYᵀ · Hact   (H x H')
+        let d_w2 = grad_y.matmul_tn(&cache.hidden_act);
+        // dUp = dH ⊙ SiLU(gate); dGate = dH ⊙ up ⊙ SiLU'(gate)
+        let silu_gate = cache.gate.map(silu);
+        let d_up = d_hidden.hadamard(&silu_gate);
+        let d_gate = d_hidden.hadamard(&cache.up).hadamard(&cache.gate.map(silu_prime));
+        // dW1 = dGateᵀ · X ; dW3 = dUpᵀ · X   (H' x H)
+        let d_w1 = d_gate.matmul_tn(&cache.x);
+        let d_w3 = d_up.matmul_tn(&cache.x);
+        // dX = dGate · W1 + dUp · W3   (S x H)
+        let mut d_x = d_gate.matmul_nn(&self.w1());
+        d_x.add_assign(&d_up.matmul_nn(&self.w3()));
+
+        let mut flat = Vec::with_capacity(self.meta.param_count());
+        flat.extend_from_slice(d_w1.data());
+        flat.extend_from_slice(d_w3.data());
+        flat.extend_from_slice(d_w2.data());
+        (
+            d_x,
+            ExpertGrad {
+                meta: self.meta,
+                data: flat,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut r = rng();
+        let e = ExpertParams::random(8, 16, &mut r);
+        let x = Matrix::random(5, 8, 1.0, &mut r);
+        let (y, cache) = e.forward(&x);
+        assert_eq!(y.rows(), 5);
+        assert_eq!(y.cols(), 8);
+        assert_eq!(cache.hidden_act.cols(), 16);
+    }
+
+    /// Gradient check against central finite differences on the
+    /// quadratic loss `L = ½‖y‖²` (so `dL/dy = y`).
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut r = rng();
+        let h = 4;
+        let hp = 6;
+        let e = ExpertParams::random(h, hp, &mut r);
+        let x = Matrix::random(3, h, 0.5, &mut r);
+        let (y, cache) = e.forward(&x);
+        let (_, grad) = e.backward(&cache, &y);
+        let loss = |p: &ExpertParams| -> f64 { p.forward(&x).0.squared_norm() * 0.5 };
+        let eps = 1e-2f32;
+        // Probe a spread of parameter indices across W1, W3, W2.
+        for &idx in &[0usize, 5, h * hp + 3, 2 * h * hp + 1, 3 * h * hp - 1] {
+            let mut up = e.clone();
+            up.data[idx] += eps;
+            let mut dn = e.clone();
+            dn.data[idx] -= eps;
+            let fd = (loss(&up) - loss(&dn)) / (2.0 * eps as f64);
+            let analytic = grad.data[idx] as f64;
+            assert!(
+                (fd - analytic).abs() < 1e-2 * (1.0 + analytic.abs()),
+                "param {idx}: fd {fd} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut r = rng();
+        let e = ExpertParams::random(4, 6, &mut r);
+        let x = Matrix::random(2, 4, 0.5, &mut r);
+        let (y, cache) = e.forward(&x);
+        let (dx, _) = e.backward(&cache, &y);
+        let eps = 1e-2f32;
+        for idx in 0..8 {
+            let mut up = x.clone();
+            up.data_mut()[idx] += eps;
+            let mut dn = x.clone();
+            dn.data_mut()[idx] -= eps;
+            let fd = (e.forward(&up).0.squared_norm() * 0.5
+                - e.forward(&dn).0.squared_norm() * 0.5)
+                / (2.0 * eps as f64);
+            let analytic = dx.data()[idx] as f64;
+            assert!(
+                (fd - analytic).abs() < 1e-2 * (1.0 + analytic.abs()),
+                "x[{idx}]: fd {fd} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let mut r = rng();
+        let e = ExpertParams::random(4, 4, &mut r);
+        let meta = e.meta();
+        let flat = e.clone().into_flat();
+        let e2 = ExpertParams::from_flat(meta, flat);
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn grad_accumulate_is_elementwise() {
+        let meta = ExpertMeta {
+            hidden: 2,
+            intermediate: 2,
+        };
+        let mut a = ExpertGrad::zeros(meta);
+        let b = ExpertGrad {
+            meta,
+            data: vec![1.0; meta.param_count()],
+        };
+        a.accumulate(&b);
+        a.accumulate(&b);
+        assert!(a.data().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "flat buffer length")]
+    fn wrong_flat_length_panics() {
+        let meta = ExpertMeta {
+            hidden: 2,
+            intermediate: 2,
+        };
+        let _ = ExpertParams::from_flat(meta, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn param_count_is_3hh() {
+        let meta = ExpertMeta {
+            hidden: 8,
+            intermediate: 16,
+        };
+        assert_eq!(meta.param_count(), 3 * 8 * 16);
+    }
+}

@@ -1,0 +1,437 @@
+//! A complete numeric MoE layer: top-k gating, dispatch, expert
+//! computation and *weighted* combine (`y = Σ g_i(x) · f_i(x)`, Sec. 2),
+//! with exact backward through both the experts and the gate.
+//!
+//! The [`crate::reference`] machinery proves FSEP's losslessness at
+//! per-expert-batch granularity; this module closes the loop at full
+//! layer granularity: tokens are routed by a real gate, computed on
+//! whichever replica the token dispatcher picked, scaled by the gate
+//! weights, and the gate itself receives gradients through the top-k
+//! softmax — all bit-identical between the dense and FSEP executions.
+
+use crate::expert::{ExpertGrad, ExpertParams};
+use crate::shard::{FsepError, FsepExperts, RestoredExperts};
+use crate::tensor::Matrix;
+use laer_cluster::{DeviceId, ExpertId};
+use laer_planner::ExpertLayout;
+use laer_routing::TokenGate;
+use serde::{Deserialize, Serialize};
+
+/// Router weights `W_g ∈ ℝ^{E×H}` (row-major, one row per expert).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateParams {
+    weights: Matrix,
+    top_k: usize,
+}
+
+impl GateParams {
+    /// Creates a gate from an `E × H` weight matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `top_k` is zero or exceeds the expert count.
+    pub fn new(weights: Matrix, top_k: usize) -> Self {
+        assert!(
+            top_k >= 1 && top_k <= weights.rows(),
+            "top_k must be in 1..=experts"
+        );
+        Self { weights, top_k }
+    }
+
+    /// Number of experts `E`.
+    pub fn experts(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Router top-k `K`.
+    pub fn top_k(&self) -> usize {
+        self.top_k
+    }
+
+    /// The raw weights.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+}
+
+/// One token's routing decision with everything backward needs.
+#[derive(Debug, Clone)]
+struct TokenRoute {
+    experts: Vec<usize>,
+    weights: Vec<f32>,
+}
+
+/// Output of a forward pass through the MoE layer.
+#[derive(Debug, Clone)]
+pub struct MoeForward {
+    /// Layer output, `S × H`.
+    pub output: Matrix,
+    routes: Vec<TokenRoute>,
+    x: Matrix,
+    /// Expert outputs per token per slot (`routes[t].experts[s]` applied
+    /// to token `t`), kept for the gate backward.
+    expert_outputs: Vec<Vec<Matrix>>,
+}
+
+/// Gradients of one MoE-layer backward pass.
+#[derive(Debug, Clone)]
+pub struct MoeGrads {
+    /// `dL/dW_g`, `E × H`.
+    pub gate: Matrix,
+    /// Per-expert flat weight gradients (zero for unused experts).
+    pub experts: Vec<ExpertGrad>,
+}
+
+/// Access to full expert parameters during layer execution — either the
+/// dense store or FSEP-restored parameters on a chosen device.
+trait ExpertAccess {
+    fn params(&self, token_index: usize, expert: ExpertId) -> &ExpertParams;
+}
+
+struct DenseAccess<'a> {
+    experts: &'a [ExpertParams],
+}
+
+impl ExpertAccess for DenseAccess<'_> {
+    fn params(&self, _token: usize, expert: ExpertId) -> &ExpertParams {
+        &self.experts[expert.index()]
+    }
+}
+
+struct FsepAccess<'a> {
+    restored: &'a RestoredExperts,
+    /// Device computing each token's experts (round-robin replica pick,
+    /// deterministic).
+    placement: Vec<Vec<DeviceId>>,
+}
+
+impl ExpertAccess for FsepAccess<'_> {
+    fn params(&self, token: usize, expert: ExpertId) -> &ExpertParams {
+        let dev = self.device_for(token, expert);
+        self.restored
+            .device(dev.index())
+            .expert(expert)
+            .expect("placement only selects hosting devices")
+    }
+}
+
+impl FsepAccess<'_> {
+    fn device_for(&self, token: usize, expert: ExpertId) -> DeviceId {
+        // Placement stores one device per (token, slot); find the slot
+        // matching this expert by scanning the token's devices and
+        // checking hosting.
+        for &dev in &self.placement[token] {
+            if self.restored.device(dev.index()).expert(expert).is_some() {
+                return dev;
+            }
+        }
+        unreachable!("token placement must include a host of {expert}")
+    }
+}
+
+/// A numeric MoE layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoeLayer {
+    gate: GateParams,
+}
+
+impl MoeLayer {
+    /// Creates a layer from gate parameters.
+    pub fn new(gate: GateParams) -> Self {
+        Self { gate }
+    }
+
+    /// The gate in use.
+    pub fn gate(&self) -> &GateParams {
+        &self.gate
+    }
+
+    /// Dense forward: every expert's parameters are local.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree (`x` is `S × H`, experts are `E`).
+    pub fn forward_dense(&self, x: &Matrix, experts: &[ExpertParams]) -> MoeForward {
+        assert_eq!(experts.len(), self.gate.experts(), "expert count");
+        self.forward_with(x, &DenseAccess { experts })
+    }
+
+    /// FSEP forward: expert parameters come from an unshard under
+    /// `layout`; each token's experts are computed on the first hosting
+    /// device (a deterministic stand-in for the dispatcher's pick —
+    /// parameters are bit-identical on every replica, so the choice
+    /// cannot affect values).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsepError`] if the layout misses an expert entirely.
+    pub fn forward_fsep(
+        &self,
+        x: &Matrix,
+        sharded: &FsepExperts,
+        layout: &ExpertLayout,
+    ) -> Result<MoeForward, FsepError> {
+        let restored = sharded.unshard(layout)?;
+        // Token t, slot s -> first device hosting the routed expert.
+        let gate = TokenGate::new(self.gate.experts(), self.gate.top_k());
+        let logits = x.matmul_nt(self.gate.weights());
+        let mut placement = Vec::with_capacity(x.rows());
+        for t in 0..x.rows() {
+            let route = gate.route(logits.row(t));
+            let mut devs = Vec::with_capacity(route.experts.len());
+            for &e in &route.experts {
+                let host = (0..layout.num_devices())
+                    .map(DeviceId::new)
+                    .find(|d| layout.replica_count(*d, ExpertId::new(e)) > 0)
+                    .ok_or(FsepError::LayoutMismatch {
+                        expected: (layout.num_devices(), layout.num_experts()),
+                        got: (layout.num_devices(), layout.num_experts()),
+                    })?;
+                devs.push(host);
+            }
+            placement.push(devs);
+        }
+        let access = FsepAccess {
+            restored: &restored,
+            placement,
+        };
+        Ok(self.forward_with(x, &access))
+    }
+
+    fn forward_with(&self, x: &Matrix, access: &dyn ExpertAccess) -> MoeForward {
+        let gate = TokenGate::new(self.gate.experts(), self.gate.top_k());
+        let logits = x.matmul_nt(self.gate.weights()); // S x E
+        let mut output = Matrix::zeros(x.rows(), x.cols());
+        let mut routes = Vec::with_capacity(x.rows());
+        let mut expert_outputs = Vec::with_capacity(x.rows());
+        for t in 0..x.rows() {
+            let assignment = gate.route(logits.row(t));
+            let token = Matrix::from_vec(1, x.cols(), x.row(t).to_vec());
+            let mut slot_outputs = Vec::with_capacity(assignment.experts.len());
+            for (slot, &e) in assignment.experts.iter().enumerate() {
+                let params = access.params(t, ExpertId::new(e));
+                let (y, _) = params.forward(&token);
+                let w = assignment.weights[slot];
+                for (o, &v) in output.data_mut()[t * x.cols()..(t + 1) * x.cols()]
+                    .iter_mut()
+                    .zip(y.data())
+                {
+                    *o += w * v;
+                }
+                slot_outputs.push(y);
+            }
+            routes.push(TokenRoute {
+                experts: assignment.experts,
+                weights: assignment.weights,
+            });
+            expert_outputs.push(slot_outputs);
+        }
+        MoeForward {
+            output,
+            routes,
+            x: x.clone(),
+            expert_outputs,
+        }
+    }
+
+    /// Backward through the weighted combine, the experts and the gate's
+    /// top-k softmax, given `dL/dy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_y`'s shape disagrees with the forward output.
+    pub fn backward_dense(
+        &self,
+        fwd: &MoeForward,
+        experts: &[ExpertParams],
+        grad_y: &Matrix,
+    ) -> MoeGrads {
+        assert_eq!(grad_y.rows(), fwd.output.rows(), "batch size");
+        assert_eq!(grad_y.cols(), fwd.output.cols(), "hidden width");
+        let h = fwd.x.cols();
+        let e = self.gate.experts();
+        let mut expert_grads: Vec<ExpertGrad> = experts
+            .iter()
+            .map(|p| ExpertGrad::zeros(p.meta()))
+            .collect();
+        // dL/dlogits, densified over the selected slots only.
+        let mut d_logits = Matrix::zeros(fwd.x.rows(), e);
+        for t in 0..fwd.x.rows() {
+            let route = &fwd.routes[t];
+            let token = Matrix::from_vec(1, h, fwd.x.row(t).to_vec());
+            let dy_t = Matrix::from_vec(1, h, grad_y.row(t).to_vec());
+            // dL/dw_s = dy . f_s(x); expert grad via scaled dy.
+            let mut d_weights = Vec::with_capacity(route.experts.len());
+            for (slot, &ex) in route.experts.iter().enumerate() {
+                let y_s = &fwd.expert_outputs[t][slot];
+                let dot: f32 = dy_t
+                    .data()
+                    .iter()
+                    .zip(y_s.data())
+                    .map(|(a, b)| a * b)
+                    .sum();
+                d_weights.push(dot);
+                // Expert backward with dy scaled by the gate weight.
+                let scaled =
+                    Matrix::from_vec(1, h, dy_t.data().iter().map(|v| v * route.weights[slot]).collect());
+                let params = &experts[ex];
+                let (_, cache) = params.forward(&token);
+                let (_, g) = params.backward(&cache, &scaled);
+                expert_grads[ex].accumulate(&g);
+            }
+            // Softmax backward over the selected slots:
+            // dL/dz_s = w_s · (dL/dw_s − Σ_r w_r · dL/dw_r).
+            let inner: f32 = route
+                .weights
+                .iter()
+                .zip(&d_weights)
+                .map(|(w, dw)| w * dw)
+                .sum();
+            for (slot, &ex) in route.experts.iter().enumerate() {
+                let dz = route.weights[slot] * (d_weights[slot] - inner);
+                d_logits.data_mut()[t * e + ex] = dz;
+            }
+        }
+        // dW_g = d_logitsᵀ · x  (E x H).
+        let gate = d_logits.matmul_tn(&fwd.x);
+        MoeGrads {
+            gate,
+            experts: expert_grads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (MoeLayer, Vec<ExpertParams>, Matrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (e, h, hp, s) = (4usize, 6usize, 8usize, 5usize);
+        let gate = GateParams::new(Matrix::random(e, h, 0.8, &mut rng), 2);
+        let experts: Vec<_> = (0..e).map(|_| ExpertParams::random(h, hp, &mut rng)).collect();
+        let x = Matrix::random(s, h, 0.5, &mut rng);
+        (MoeLayer::new(gate), experts, x)
+    }
+
+    #[test]
+    fn forward_is_weighted_combination() {
+        let (layer, experts, x) = setup(1);
+        let fwd = layer.forward_dense(&x, &experts);
+        // Recompute token 0 by hand.
+        let route = &fwd.routes[0];
+        let token = Matrix::from_vec(1, x.cols(), x.row(0).to_vec());
+        let mut manual = vec![0.0f32; x.cols()];
+        for (slot, &e) in route.experts.iter().enumerate() {
+            let (y, _) = experts[e].forward(&token);
+            for (m, &v) in manual.iter_mut().zip(y.data()) {
+                *m += route.weights[slot] * v;
+            }
+        }
+        for (a, b) in manual.iter().zip(fwd.output.row(0)) {
+            assert_eq!(a, b);
+        }
+    }
+
+    /// FSEP forward equals the dense forward bit-for-bit under an
+    /// arbitrary replicated layout — the full-layer precision claim.
+    #[test]
+    fn fsep_forward_equals_dense() {
+        let (layer, experts, x) = setup(2);
+        let dense = layer.forward_dense(&x, &experts);
+        let sharded = FsepExperts::shard(&experts, 4).unwrap();
+        let mut layout = ExpertLayout::empty(4, 4, 2).unwrap();
+        layout.add_replica(DeviceId::new(0), ExpertId::new(0));
+        layout.add_replica(DeviceId::new(0), ExpertId::new(1));
+        layout.add_replica(DeviceId::new(1), ExpertId::new(0));
+        layout.add_replica(DeviceId::new(1), ExpertId::new(2));
+        layout.add_replica(DeviceId::new(2), ExpertId::new(3));
+        layout.add_replica(DeviceId::new(2), ExpertId::new(1));
+        layout.add_replica(DeviceId::new(3), ExpertId::new(2));
+        layout.add_replica(DeviceId::new(3), ExpertId::new(3));
+        layout.validate().unwrap();
+        let fsep = layer.forward_fsep(&x, &sharded, &layout).unwrap();
+        assert_eq!(dense.output, fsep.output);
+    }
+
+    /// Gate gradient check against central finite differences on the
+    /// quadratic loss `L = ½‖y‖²`.
+    #[test]
+    fn gate_gradients_match_finite_differences() {
+        let (layer, experts, x) = setup(3);
+        let fwd = layer.forward_dense(&x, &experts);
+        let grads = layer.backward_dense(&fwd, &experts, &fwd.output);
+        let loss = |l: &MoeLayer| l.forward_dense(&x, &experts).output.squared_norm() * 0.5;
+        let eps = 1e-2f32;
+        let e = layer.gate.experts();
+        let h = x.cols();
+        for idx in [0usize, 3, h + 1, 2 * h + 5, e * h - 1] {
+            let mut wp = layer.gate.weights().clone();
+            wp.data_mut()[idx] += eps;
+            let lp = loss(&MoeLayer::new(GateParams::new(wp, 2)));
+            let mut wm = layer.gate.weights().clone();
+            wm.data_mut()[idx] -= eps;
+            let lm = loss(&MoeLayer::new(GateParams::new(wm, 2)));
+            let fd = (lp - lm) / (2.0 * eps as f64);
+            let analytic = grads.gate.data()[idx] as f64;
+            assert!(
+                (fd - analytic).abs() < 2e-2 * (1.0 + analytic.abs()),
+                "W_g[{idx}]: fd {fd} vs analytic {analytic}"
+            );
+        }
+    }
+
+    /// Expert gradient check: perturbing an expert's weight changes the
+    /// loss as predicted by the layer backward.
+    #[test]
+    fn expert_gradients_match_finite_differences() {
+        let (layer, experts, x) = setup(4);
+        let fwd = layer.forward_dense(&x, &experts);
+        let grads = layer.backward_dense(&fwd, &experts, &fwd.output);
+        // Pick the most-used expert to ensure a nonzero gradient.
+        let used: Vec<usize> = fwd.routes.iter().flat_map(|r| r.experts.clone()).collect();
+        let target = *used.first().expect("some expert used");
+        let eps = 1e-2f32;
+        for idx in [0usize, 7, 31] {
+            let mut up = experts.clone();
+            let mut flat = up[target].clone().into_flat();
+            flat[idx] += eps;
+            up[target] = ExpertParams::from_flat(up[target].meta(), flat);
+            let lp = layer.forward_dense(&x, &up).output.squared_norm() * 0.5;
+            let mut dn = experts.clone();
+            let mut flat = dn[target].clone().into_flat();
+            flat[idx] -= eps;
+            dn[target] = ExpertParams::from_flat(dn[target].meta(), flat);
+            let lm = layer.forward_dense(&x, &dn).output.squared_norm() * 0.5;
+            let fd = (lp - lm) / (2.0 * eps as f64);
+            let analytic = grads.experts[target].data()[idx] as f64;
+            assert!(
+                (fd - analytic).abs() < 2e-2 * (1.0 + analytic.abs()),
+                "expert {target} w[{idx}]: fd {fd} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn unused_experts_get_zero_gradients() {
+        let (layer, experts, x) = setup(5);
+        let fwd = layer.forward_dense(&x, &experts);
+        let grads = layer.backward_dense(&fwd, &experts, &fwd.output);
+        let used: std::collections::BTreeSet<usize> =
+            fwd.routes.iter().flat_map(|r| r.experts.clone()).collect();
+        for (e, g) in grads.experts.iter().enumerate() {
+            if !used.contains(&e) {
+                assert!(g.data().iter().all(|&v| v == 0.0), "expert {e}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "top_k")]
+    fn invalid_gate_panics() {
+        let w = Matrix::zeros(2, 4);
+        let _ = GateParams::new(w, 3);
+    }
+}

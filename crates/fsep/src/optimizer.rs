@@ -1,0 +1,175 @@
+//! Sharded Adam — each device steps only its own parameter chunks,
+//! exactly as FSDP/ZeRO shard the optimizer state (the `Ψ_all·12/P`
+//! optimizer-state term of Sec. 3.1's memory analysis).
+
+use crate::shard::FsepExperts;
+use serde::{Deserialize, Serialize};
+
+/// Adam hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+/// Element-wise Adam update shared by the sharded and dense optimizers,
+/// guaranteeing identical arithmetic on both paths.
+pub(crate) fn adam_update(
+    cfg: &AdamConfig,
+    step: u64,
+    param: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    grad: &[f32],
+) {
+    let bc1 = 1.0 - cfg.beta1.powi(step as i32);
+    let bc2 = 1.0 - cfg.beta2.powi(step as i32);
+    for i in 0..param.len() {
+        m[i] = cfg.beta1 * m[i] + (1.0 - cfg.beta1) * grad[i];
+        v[i] = cfg.beta2 * v[i] + (1.0 - cfg.beta2) * grad[i] * grad[i];
+        let m_hat = m[i] / bc1;
+        let v_hat = v[i] / bc2;
+        param[i] -= cfg.lr * m_hat / (v_hat.sqrt() + cfg.eps);
+    }
+}
+
+/// Adam over the sharded expert state: moments live per (device, expert)
+/// chunk, so each device's optimizer memory is `1/N` of the total.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardedAdam {
+    cfg: AdamConfig,
+    step: u64,
+    /// `m[d][e]` / `v[d][e]` matching `FsepExperts` chunk shapes.
+    m: Vec<Vec<Vec<f32>>>,
+    v: Vec<Vec<Vec<f32>>>,
+}
+
+impl ShardedAdam {
+    /// Creates zero-state Adam matching a sharded expert store.
+    pub fn new(cfg: AdamConfig, experts: &FsepExperts) -> Self {
+        let shape: Vec<Vec<Vec<f32>>> = (0..experts.num_devices())
+            .map(|_| {
+                (0..experts.num_experts())
+                    .map(|_| vec![0.0; experts.chunk_len()])
+                    .collect()
+            })
+            .collect();
+        Self {
+            cfg,
+            step: 0,
+            m: shape.clone(),
+            v: shape,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> AdamConfig {
+        self.cfg
+    }
+
+    /// Optimizer steps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.step
+    }
+
+    /// Applies one Adam step to every device's chunks given the resharded
+    /// gradients (`grads[d][e]`, as produced by
+    /// [`FsepExperts::reshard_gradients`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient shapes disagree with the expert store.
+    pub fn step(&mut self, experts: &mut FsepExperts, grads: &[Vec<Vec<f32>>]) {
+        assert_eq!(grads.len(), experts.num_devices(), "device count");
+        self.step += 1;
+        for d in 0..experts.num_devices() {
+            assert_eq!(grads[d].len(), experts.num_experts(), "expert count");
+            for e in 0..experts.num_experts() {
+                let param = experts.chunk_mut(d, e);
+                assert_eq!(grads[d][e].len(), param.len(), "chunk length");
+                adam_update(
+                    &self.cfg,
+                    self.step,
+                    param,
+                    &mut self.m[d][e],
+                    &mut self.v[d][e],
+                    &grads[d][e],
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expert::ExpertParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn store() -> FsepExperts {
+        let mut rng = StdRng::seed_from_u64(1);
+        let experts: Vec<_> = (0..2)
+            .map(|_| ExpertParams::random(4, 4, &mut rng))
+            .collect();
+        FsepExperts::shard(&experts, 2).unwrap()
+    }
+
+    #[test]
+    fn zero_gradient_changes_nothing_at_zero_moments_excluded() {
+        // With zero grads, m and v stay zero and the update is exactly 0
+        // (0 / (0 + eps)).
+        let mut experts = store();
+        let before = experts.materialize_all();
+        let mut opt = ShardedAdam::new(AdamConfig::default(), &experts);
+        let zero =
+            vec![vec![vec![0.0f32; 3 * 4 * 4 / 2]; 2]; 2];
+        opt.step(&mut experts, &zero);
+        assert_eq!(experts.materialize_all(), before);
+        assert_eq!(opt.steps_taken(), 1);
+    }
+
+    #[test]
+    fn constant_gradient_moves_params_by_lr() {
+        let mut experts = store();
+        let before = experts.materialize_all();
+        let cfg = AdamConfig::default();
+        let mut opt = ShardedAdam::new(cfg, &experts);
+        let chunk_len = 3 * 4 * 4 / 2;
+        let ones = vec![vec![vec![1.0f32; chunk_len]; 2]; 2];
+        opt.step(&mut experts, &ones);
+        let after = experts.materialize_all();
+        // First Adam step with constant grad moves every param by
+        // ~lr (m_hat/√v_hat ≈ 1).
+        for (b, a) in before[0].flat().iter().zip(after[0].flat()) {
+            let delta = b - a;
+            assert!((delta - cfg.lr).abs() < 1e-6, "delta {delta}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk length")]
+    fn wrong_chunk_length_panics() {
+        let mut experts = store();
+        let mut opt = ShardedAdam::new(AdamConfig::default(), &experts);
+        let bad = vec![vec![vec![0.0f32; 3]; 2]; 2];
+        opt.step(&mut experts, &bad);
+    }
+}

@@ -1,0 +1,420 @@
+//! Reference executors for the numerical-equivalence proof of Sec. 3.1.
+//!
+//! The paper asserts: *"FSEP maintains numerical precision identical to
+//! FSDP ... because FSEP only modifies the parameter storage and
+//! communication patterns, while the actual forward and backward
+//! computations remain unchanged."* The tests in this module (and in
+//! `tests/fsep_equivalence.rs`) verify it constructively:
+//!
+//! * [`DenseReference`] — a single-device trainer holding every expert
+//!   unsharded; the ground truth.
+//! * [`FsdpReference`] — classic FSDP sharding: *all* experts flattened
+//!   into one buffer, chunked across devices, restored by all-gather
+//!   (every device gets every expert).
+//! * [`run_fsep_step`] / [`TokenBatch`] — the full FSEP pipeline:
+//!   unshard under an arbitrary layout, per-replica forward/backward,
+//!   gradient reshard with deterministic reduction, sharded Adam.
+//!
+//! All three produce *exactly equal* parameters after any number of
+//! steps, for any layout, because the arithmetic (shared through
+//! [`crate::expert::ExpertParams`] and `adam_update`) is identical and
+//! the reductions are ordered.
+
+use crate::expert::{ExpertGrad, ExpertParams};
+use crate::optimizer::{adam_update, AdamConfig, ShardedAdam};
+use crate::shard::{FsepError, FsepExperts};
+use crate::tensor::Matrix;
+use laer_cluster::{DeviceId, ExpertId};
+use laer_planner::ExpertLayout;
+
+/// One token batch assigned to a (replica device, expert) pair — the
+/// unit of work the token dispatcher hands to the executor.
+#[derive(Debug, Clone)]
+pub struct TokenBatch {
+    /// Device computing this batch.
+    pub device: DeviceId,
+    /// Expert applied to the batch.
+    pub expert: ExpertId,
+    /// The tokens (`S × H`).
+    pub tokens: Matrix,
+}
+
+/// Runs one full FSEP training step (unshard → compute → reshard →
+/// sharded Adam) with the quadratic loss `L = ½‖y‖²` and returns the
+/// total loss.
+///
+/// # Errors
+///
+/// Returns [`FsepError`] if the layout or batches are inconsistent with
+/// the sharded state.
+pub fn run_fsep_step(
+    experts: &mut FsepExperts,
+    opt: &mut ShardedAdam,
+    layout: &ExpertLayout,
+    batches: &[TokenBatch],
+) -> Result<f64, FsepError> {
+    let restored = experts.unshard(layout)?;
+    let n = experts.num_devices();
+    let mut loss = 0.0f64;
+    // Per-device gradient accumulation in batch order.
+    let mut device_grads: Vec<Vec<(ExpertId, ExpertGrad)>> = vec![Vec::new(); n];
+    for batch in batches {
+        let dev = batch.device;
+        let params = restored
+            .device(dev.index())
+            .expert(batch.expert)
+            .ok_or(FsepError::UnexpectedGradient {
+                device: dev,
+                expert: batch.expert,
+            })?;
+        let (y, cache) = params.forward(&batch.tokens);
+        loss += 0.5 * y.squared_norm();
+        let (_, grad) = params.backward(&cache, &y);
+        let slot = device_grads[dev.index()]
+            .iter_mut()
+            .find(|(e, _)| *e == batch.expert);
+        match slot {
+            Some((_, g)) => g.accumulate(&grad),
+            None => device_grads[dev.index()].push((batch.expert, grad)),
+        }
+    }
+    let (sharded_grads, _comm) = experts.reshard_gradients(layout, &device_grads)?;
+    opt.step(experts, &sharded_grads);
+    Ok(loss)
+}
+
+/// Single-device dense trainer: the ground-truth executor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseReference {
+    experts: Vec<ExpertParams>,
+    cfg: AdamConfig,
+    step: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl DenseReference {
+    /// Creates the reference from initial expert parameters.
+    pub fn new(experts: Vec<ExpertParams>, cfg: AdamConfig) -> Self {
+        let m = experts
+            .iter()
+            .map(|e| vec![0.0; e.meta().param_count()])
+            .collect::<Vec<_>>();
+        Self {
+            v: m.clone(),
+            m,
+            experts,
+            cfg,
+            step: 0,
+        }
+    }
+
+    /// Current expert parameters.
+    pub fn experts(&self) -> &[ExpertParams] {
+        &self.experts
+    }
+
+    /// One training step over the same batches as the FSEP pipeline.
+    ///
+    /// Gradient accumulation follows the exact order FSEP's reshard
+    /// reduction uses — per expert, ascending device, batch order within
+    /// a device — so results are bit-identical.
+    pub fn step(&mut self, batches: &[TokenBatch]) -> f64 {
+        let e = self.experts.len();
+        let mut loss = 0.0f64;
+        let mut grads: Vec<Option<ExpertGrad>> = vec![None; e];
+        // Device-major accumulation per expert (matching the reshard
+        // reduction order). First accumulate per device in batch order.
+        let mut per_device: Vec<Vec<(usize, ExpertGrad)>> = Vec::new();
+        let max_dev = batches
+            .iter()
+            .map(|b| b.device.index())
+            .max()
+            .map_or(0, |d| d + 1);
+        per_device.resize(max_dev, Vec::new());
+        for batch in batches {
+            let params = &self.experts[batch.expert.index()];
+            let (y, cache) = params.forward(&batch.tokens);
+            loss += 0.5 * y.squared_norm();
+            let (_, grad) = params.backward(&cache, &y);
+            let bucket = &mut per_device[batch.device.index()];
+            match bucket.iter_mut().find(|(ei, _)| *ei == batch.expert.index()) {
+                Some((_, g)) => g.accumulate(&grad),
+                None => bucket.push((batch.expert.index(), grad)),
+            }
+        }
+        for bucket in per_device {
+            for (ei, grad) in bucket {
+                match &mut grads[ei] {
+                    Some(g) => g.accumulate(&grad),
+                    None => {
+                        let mut z = ExpertGrad::zeros(self.experts[ei].meta());
+                        z.accumulate(&grad);
+                        grads[ei] = Some(z);
+                    }
+                }
+            }
+        }
+        self.step += 1;
+        for (ei, grad) in grads.into_iter().enumerate() {
+            let meta = self.experts[ei].meta();
+            let grad = grad.unwrap_or_else(|| ExpertGrad::zeros(meta));
+            let mut flat = self.experts[ei].clone().into_flat();
+            adam_update(
+                &self.cfg,
+                self.step,
+                &mut flat,
+                &mut self.m[ei],
+                &mut self.v[ei],
+                grad.data(),
+            );
+            self.experts[ei] = ExpertParams::from_flat(meta, flat);
+        }
+        loss
+    }
+}
+
+/// Classic FSDP over the expert stack: all experts flattened into a
+/// single buffer, chunked evenly across devices, restored via all-gather
+/// (every device materialises every expert), gradients reduce-scattered.
+///
+/// Functionally this is the paper's FSDP+EP baseline storage scheme with
+/// `P_fsdp = N`; it exists to show FSEP's chunking-per-expert is
+/// numerically indistinguishable from FSDP's chunking-over-everything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FsdpReference {
+    devices: usize,
+    metas: Vec<crate::expert::ExpertMeta>,
+    chunk_len: usize,
+    /// `chunks[d]` — device `d`'s slice of the concatenated buffer.
+    chunks: Vec<Vec<f32>>,
+    cfg: AdamConfig,
+    step: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl FsdpReference {
+    /// Shards the concatenated expert buffer over `devices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `experts` is empty or `devices` is zero.
+    pub fn shard(experts: &[ExpertParams], devices: usize) -> Self {
+        assert!(!experts.is_empty(), "at least one expert");
+        assert!(devices > 0, "at least one device");
+        let metas: Vec<_> = experts.iter().map(|e| e.meta()).collect();
+        let mut all: Vec<f32> = Vec::new();
+        for e in experts {
+            all.extend_from_slice(e.flat());
+        }
+        let chunk_len = all.len().div_ceil(devices);
+        all.resize(chunk_len * devices, 0.0);
+        let chunks: Vec<Vec<f32>> = all.chunks(chunk_len).map(<[f32]>::to_vec).collect();
+        let m = vec![vec![0.0; chunk_len]; devices];
+        Self {
+            devices,
+            metas,
+            chunk_len,
+            chunks,
+            cfg: AdamConfig::default(),
+            step: 0,
+            v: m.clone(),
+            m,
+        }
+    }
+
+    /// Overrides the Adam configuration.
+    pub fn with_adam(mut self, cfg: AdamConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// All-gather: reconstructs every expert (what each device would
+    /// materialise during an FSDP unshard).
+    pub fn unshard_all(&self) -> Vec<ExpertParams> {
+        let mut all: Vec<f32> = Vec::with_capacity(self.chunk_len * self.devices);
+        for c in &self.chunks {
+            all.extend_from_slice(c);
+        }
+        let mut out = Vec::with_capacity(self.metas.len());
+        let mut offset = 0;
+        for meta in &self.metas {
+            let len = meta.param_count();
+            out.push(ExpertParams::from_flat(*meta, all[offset..offset + len].to_vec()));
+            offset += len;
+        }
+        out
+    }
+
+    /// One training step over the same batches, with the same
+    /// device-major gradient reduction order.
+    pub fn step(&mut self, batches: &[TokenBatch]) -> f64 {
+        let experts = self.unshard_all();
+        let mut loss = 0.0f64;
+        // Concatenated gradient in the canonical reduction order.
+        let total: usize = self.metas.iter().map(|m| m.param_count()).sum();
+        let mut grad_all = vec![0.0f32; total];
+        let max_dev = batches
+            .iter()
+            .map(|b| b.device.index())
+            .max()
+            .map_or(0, |d| d + 1);
+        let mut per_device: Vec<Vec<(usize, ExpertGrad)>> = vec![Vec::new(); max_dev];
+        for batch in batches {
+            let params = &experts[batch.expert.index()];
+            let (y, cache) = params.forward(&batch.tokens);
+            loss += 0.5 * y.squared_norm();
+            let (_, grad) = params.backward(&cache, &y);
+            let bucket = &mut per_device[batch.device.index()];
+            match bucket.iter_mut().find(|(ei, _)| *ei == batch.expert.index()) {
+                Some((_, g)) => g.accumulate(&grad),
+                None => bucket.push((batch.expert.index(), grad)),
+            }
+        }
+        let offsets: Vec<usize> = self
+            .metas
+            .iter()
+            .scan(0usize, |acc, m| {
+                let o = *acc;
+                *acc += m.param_count();
+                Some(o)
+            })
+            .collect();
+        for bucket in per_device {
+            for (ei, grad) in bucket {
+                let o = offsets[ei];
+                for (slot, &g) in grad_all[o..o + grad.data().len()].iter_mut().zip(grad.data()) {
+                    *slot += g;
+                }
+            }
+        }
+        // Reduce-scatter: each device receives its slice; Adam per chunk.
+        grad_all.resize(self.chunk_len * self.devices, 0.0);
+        self.step += 1;
+        for d in 0..self.devices {
+            let gslice = &grad_all[d * self.chunk_len..(d + 1) * self.chunk_len];
+            adam_update(
+                &self.cfg,
+                self.step,
+                &mut self.chunks[d],
+                &mut self.m[d],
+                &mut self.v[d],
+                gslice,
+            );
+        }
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (Vec<ExpertParams>, Vec<TokenBatch>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let experts: Vec<_> = (0..4)
+            .map(|_| ExpertParams::random(8, 12, &mut rng))
+            .collect();
+        // Batches on 4 devices; expert 0 is hot and replicated later.
+        let mut batches = Vec::new();
+        for d in 0..4 {
+            batches.push(TokenBatch {
+                device: DeviceId::new(d),
+                expert: ExpertId::new(d % 4),
+                tokens: Matrix::random(3 + d, 8, 0.5, &mut rng),
+            });
+        }
+        batches.push(TokenBatch {
+            device: DeviceId::new(1),
+            expert: ExpertId::new(0),
+            tokens: Matrix::random(5, 8, 0.5, &mut rng),
+        });
+        (experts, batches)
+    }
+
+    /// The headline Sec. 3.1 claim: FSEP ≡ dense reference, bit for bit,
+    /// across several optimizer steps under a replicated layout.
+    #[test]
+    fn fsep_equals_dense_reference() {
+        let (experts, batches) = setup(11);
+        let mut dense = DenseReference::new(experts.clone(), AdamConfig::default());
+        let mut sharded = FsepExperts::shard(&experts, 4).unwrap();
+        let mut opt = ShardedAdam::new(AdamConfig::default(), &sharded);
+        // Layout replicating hot expert 0 on devices 0 and 1.
+        let mut layout = ExpertLayout::empty(4, 4, 2).unwrap();
+        layout.add_replica(DeviceId::new(0), ExpertId::new(0));
+        layout.add_replica(DeviceId::new(0), ExpertId::new(3));
+        layout.add_replica(DeviceId::new(1), ExpertId::new(0));
+        layout.add_replica(DeviceId::new(1), ExpertId::new(1));
+        layout.add_replica(DeviceId::new(2), ExpertId::new(2));
+        layout.add_replica(DeviceId::new(2), ExpertId::new(1));
+        layout.add_replica(DeviceId::new(3), ExpertId::new(3));
+        layout.add_replica(DeviceId::new(3), ExpertId::new(2));
+        layout.validate().unwrap();
+        for step in 0..3 {
+            let l_dense = dense.step(&batches);
+            let l_fsep = run_fsep_step(&mut sharded, &mut opt, &layout, &batches).unwrap();
+            assert_eq!(l_dense, l_fsep, "loss diverged at step {step}");
+            let mat = sharded.materialize_all();
+            for (a, b) in mat.iter().zip(dense.experts()) {
+                assert_eq!(a, b, "params diverged at step {step}");
+            }
+        }
+    }
+
+    /// FSDP's chunk-over-everything sharding is also bit-identical.
+    #[test]
+    fn fsdp_equals_dense_reference() {
+        let (experts, batches) = setup(13);
+        let mut dense = DenseReference::new(experts.clone(), AdamConfig::default());
+        let mut fsdp = FsdpReference::shard(&experts, 4);
+        for step in 0..3 {
+            let l_dense = dense.step(&batches);
+            let l_fsdp = fsdp.step(&batches);
+            assert_eq!(l_dense, l_fsdp, "loss diverged at step {step}");
+            for (a, b) in fsdp.unshard_all().iter().zip(dense.experts()) {
+                assert_eq!(a, b, "params diverged at step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn loss_decreases_under_training() {
+        let (experts, batches) = setup(17);
+        let mut dense = DenseReference::new(
+            experts,
+            AdamConfig {
+                lr: 5e-3,
+                ..AdamConfig::default()
+            },
+        );
+        let first = dense.step(&batches);
+        let mut last = first;
+        for _ in 0..20 {
+            last = dense.step(&batches);
+        }
+        assert!(
+            last < first * 0.9,
+            "quadratic loss should shrink: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn fsep_step_rejects_batch_on_wrong_device() {
+        let (experts, _) = setup(19);
+        let mut sharded = FsepExperts::shard(&experts, 4).unwrap();
+        let mut opt = ShardedAdam::new(AdamConfig::default(), &sharded);
+        let layout = ExpertLayout::classic_ep(4, 4, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        // Expert 3 is not hosted on device 0 under classic EP (C = 1).
+        let bad = vec![TokenBatch {
+            device: DeviceId::new(0),
+            expert: ExpertId::new(3),
+            tokens: Matrix::random(2, 8, 0.5, &mut rng),
+        }];
+        assert!(run_fsep_step(&mut sharded, &mut opt, &layout, &bad).is_err());
+    }
+}

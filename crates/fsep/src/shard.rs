@@ -1,0 +1,498 @@
+//! The three FSEP sharding operations of Fig. 4: `shard`, `unshard`,
+//! `reshard`.
+//!
+//! * **shard** — at initialisation, each expert's flat parameter buffer
+//!   is split into `N` equal chunks (zero-padded to a multiple of `N`);
+//!   device `d` keeps chunk `d` of *every* expert. Shape metadata is kept
+//!   separately ([`crate::ExpertMeta`]) so restored buffers can be
+//!   un-flattened — the `total_experts` / `real_experts` separation of
+//!   Fig. 4(a).
+//! * **unshard** — given an arbitrary [`ExpertLayout`], every device
+//!   restores the full parameters of exactly the experts the layout
+//!   assigns to it, pulling one chunk from every device: a regular,
+//!   balanced All-to-All (Sec. 3.1's communication analysis). The data
+//!   movement is performed for real and logged into a [`CommLog`].
+//! * **reshard** — after backward, each device splits its full expert
+//!   gradients into `N` chunks and sends chunk `d` to device `d`, where
+//!   contributions from all replicas are reduced in ascending device
+//!   order (deterministic — the FSDP-equivalence tests depend on it).
+
+use crate::expert::{ExpertGrad, ExpertMeta, ExpertParams};
+use laer_cluster::{DeviceId, ExpertId};
+use laer_planner::ExpertLayout;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error produced by the FSEP sharding engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsepError {
+    /// No experts were given to `shard`.
+    NoExperts,
+    /// Experts had inconsistent shapes.
+    MixedShapes,
+    /// The layout's dimensions disagree with the sharded state.
+    LayoutMismatch {
+        /// Expected (devices, experts).
+        expected: (usize, usize),
+        /// Layout's (devices, experts).
+        got: (usize, usize),
+    },
+    /// A gradient was supplied for an expert the device did not restore.
+    UnexpectedGradient {
+        /// Reporting device.
+        device: DeviceId,
+        /// Offending expert.
+        expert: ExpertId,
+    },
+}
+
+impl fmt::Display for FsepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsepError::NoExperts => write!(f, "shard requires at least one expert"),
+            FsepError::MixedShapes => write!(f, "experts must share one shape"),
+            FsepError::LayoutMismatch { expected, got } => write!(
+                f,
+                "layout shape {got:?} does not match sharded state {expected:?}"
+            ),
+            FsepError::UnexpectedGradient { device, expert } => {
+                write!(f, "{device} produced a gradient for unrestored {expert}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FsepError {}
+
+/// Byte-level record of the data movement performed by `unshard` /
+/// `reshard`, used to charge simulated communication time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommLog {
+    /// `(src, dst, bytes)` transfers, excluding local (src == dst) moves.
+    pub transfers: Vec<(DeviceId, DeviceId, u64)>,
+}
+
+impl CommLog {
+    /// Total bytes moved across device boundaries.
+    pub fn total_bytes(&self) -> u64 {
+        self.transfers.iter().map(|&(_, _, b)| b).sum()
+    }
+
+    /// Bytes sent by each device (indexed by device).
+    pub fn send_bytes(&self, n: usize) -> Vec<u64> {
+        let mut out = vec![0u64; n];
+        for &(src, _, b) in &self.transfers {
+            out[src.index()] += b;
+        }
+        out
+    }
+
+    /// Bytes received by each device (indexed by device).
+    pub fn recv_bytes(&self, n: usize) -> Vec<u64> {
+        let mut out = vec![0u64; n];
+        for &(_, dst, b) in &self.transfers {
+            out[dst.index()] += b;
+        }
+        out
+    }
+}
+
+/// The fully restored experts of one device after `unshard`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestoredDevice {
+    device: DeviceId,
+    experts: Vec<(ExpertId, ExpertParams)>,
+}
+
+impl RestoredDevice {
+    /// The device these experts were restored on.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// The restored `(expert, parameters)` pairs, ascending by expert id
+    /// (replicated ids appear once — a device computes each hosted expert
+    /// with one parameter copy regardless of replica multiplicity).
+    pub fn experts(&self) -> &[(ExpertId, ExpertParams)] {
+        &self.experts
+    }
+
+    /// Parameters of one restored expert, if hosted here.
+    pub fn expert(&self, id: ExpertId) -> Option<&ExpertParams> {
+        self.experts
+            .iter()
+            .find(|(e, _)| *e == id)
+            .map(|(_, p)| p)
+    }
+}
+
+/// Result of an `unshard`: per-device restored experts plus the
+/// communication log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestoredExperts {
+    devices: Vec<RestoredDevice>,
+    comm: CommLog,
+}
+
+impl RestoredExperts {
+    /// Restored state of device `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn device(&self, d: usize) -> &RestoredDevice {
+        &self.devices[d]
+    }
+
+    /// All devices, ascending.
+    pub fn devices(&self) -> &[RestoredDevice] {
+        &self.devices
+    }
+
+    /// The data movement performed by this unshard.
+    pub fn comm_log(&self) -> &CommLog {
+        &self.comm
+    }
+}
+
+/// The sharded expert state of one MoE layer across `N` devices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FsepExperts {
+    devices: usize,
+    meta: ExpertMeta,
+    chunk_len: usize,
+    /// `chunks[d][e]` — device `d`'s chunk of expert `e` (zero-padded).
+    chunks: Vec<Vec<Vec<f32>>>,
+}
+
+impl FsepExperts {
+    /// `shard`: splits every expert across `devices` chunks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsepError::NoExperts`] or [`FsepError::MixedShapes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is zero.
+    pub fn shard(experts: &[ExpertParams], devices: usize) -> Result<Self, FsepError> {
+        assert!(devices > 0, "at least one device");
+        let meta = experts.first().ok_or(FsepError::NoExperts)?.meta();
+        if experts.iter().any(|e| e.meta() != meta) {
+            return Err(FsepError::MixedShapes);
+        }
+        let param_len = meta.param_count();
+        let chunk_len = param_len.div_ceil(devices);
+        let mut chunks = vec![Vec::with_capacity(experts.len()); devices];
+        for expert in experts {
+            let mut padded = expert.flat().to_vec();
+            padded.resize(chunk_len * devices, 0.0);
+            for (d, chunk) in padded.chunks(chunk_len).enumerate() {
+                chunks[d].push(chunk.to_vec());
+            }
+        }
+        Ok(Self {
+            devices,
+            meta,
+            chunk_len,
+            chunks,
+        })
+    }
+
+    /// Number of devices `N`.
+    pub fn num_devices(&self) -> usize {
+        self.devices
+    }
+
+    /// Number of experts `E`.
+    pub fn num_experts(&self) -> usize {
+        self.chunks[0].len()
+    }
+
+    /// Expert shape metadata (`real_experts`).
+    pub fn meta(&self) -> ExpertMeta {
+        self.meta
+    }
+
+    /// Per-device sharded bytes (model-state share of one layer).
+    pub fn shard_bytes_per_device(&self) -> u64 {
+        (self.num_experts() * self.chunk_len * 4) as u64
+    }
+
+    /// Length of one parameter chunk (`⌈3·H·H' / N⌉` elements).
+    pub fn chunk_len(&self) -> usize {
+        self.chunk_len
+    }
+
+    /// `unshard`: restores full parameters per the layout, moving chunk
+    /// data between devices and logging the traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsepError::LayoutMismatch`] if the layout's shape
+    /// disagrees.
+    pub fn unshard(&self, layout: &ExpertLayout) -> Result<RestoredExperts, FsepError> {
+        self.check_layout(layout)?;
+        let mut comm = CommLog::default();
+        let mut devices = Vec::with_capacity(self.devices);
+        for d in 0..self.devices {
+            let dst = DeviceId::new(d);
+            let mut experts = Vec::new();
+            for e in 0..self.num_experts() {
+                let expert = ExpertId::new(e);
+                if layout.replica_count(dst, expert) == 0 {
+                    continue;
+                }
+                // Gather chunk s from every device s (ascending order).
+                let mut flat = Vec::with_capacity(self.chunk_len * self.devices);
+                for s in 0..self.devices {
+                    flat.extend_from_slice(&self.chunks[s][e]);
+                    if s != d {
+                        comm.transfers.push((
+                            DeviceId::new(s),
+                            dst,
+                            (self.chunk_len * 4) as u64,
+                        ));
+                    }
+                }
+                flat.truncate(self.meta.param_count());
+                experts.push((expert, ExpertParams::from_flat(self.meta, flat)));
+            }
+            devices.push(RestoredDevice {
+                device: dst,
+                experts,
+            });
+        }
+        Ok(RestoredExperts { devices, comm })
+    }
+
+    /// `reshard`: splits every device's full expert gradients into
+    /// chunks, routes chunk `d` to device `d` and reduces replicas in
+    /// ascending source-device order. Returns the per-device sharded
+    /// gradients (`grads[d][e]`, zero where no replica contributed) and
+    /// the communication log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsepError`] if shapes disagree or a gradient arrives for
+    /// an expert the layout did not place on the reporting device.
+    pub fn reshard_gradients(
+        &self,
+        layout: &ExpertLayout,
+        device_grads: &[Vec<(ExpertId, ExpertGrad)>],
+    ) -> Result<(Vec<Vec<Vec<f32>>>, CommLog), FsepError> {
+        self.check_layout(layout)?;
+        if device_grads.len() != self.devices {
+            return Err(FsepError::LayoutMismatch {
+                expected: (self.devices, self.num_experts()),
+                got: (device_grads.len(), self.num_experts()),
+            });
+        }
+        let mut comm = CommLog::default();
+        let mut out =
+            vec![vec![vec![0.0f32; self.chunk_len]; self.num_experts()]; self.devices];
+        for (src_idx, grads) in device_grads.iter().enumerate() {
+            let src = DeviceId::new(src_idx);
+            for (expert, grad) in grads {
+                if layout.replica_count(src, *expert) == 0 {
+                    return Err(FsepError::UnexpectedGradient {
+                        device: src,
+                        expert: *expert,
+                    });
+                }
+                let mut padded = grad.data().to_vec();
+                padded.resize(self.chunk_len * self.devices, 0.0);
+                for (dst_idx, chunk) in padded.chunks(self.chunk_len).enumerate() {
+                    let acc = &mut out[dst_idx][expert.index()];
+                    for (a, &g) in acc.iter_mut().zip(chunk) {
+                        *a += g;
+                    }
+                    if dst_idx != src_idx {
+                        comm.transfers.push((
+                            src,
+                            DeviceId::new(dst_idx),
+                            (self.chunk_len * 4) as u64,
+                        ));
+                    }
+                }
+            }
+        }
+        Ok((out, comm))
+    }
+
+    /// Applies an in-place update to device `d`'s chunk of expert `e`
+    /// (used by the sharded optimizer).
+    pub(crate) fn chunk_mut(&mut self, device: usize, expert: usize) -> &mut [f32] {
+        &mut self.chunks[device][expert]
+    }
+
+    /// Reconstructs the full parameters of every expert (test/debug
+    /// convenience; communication-free gather).
+    pub fn materialize_all(&self) -> Vec<ExpertParams> {
+        (0..self.num_experts())
+            .map(|e| {
+                let mut flat = Vec::with_capacity(self.chunk_len * self.devices);
+                for d in 0..self.devices {
+                    flat.extend_from_slice(&self.chunks[d][e]);
+                }
+                flat.truncate(self.meta.param_count());
+                ExpertParams::from_flat(self.meta, flat)
+            })
+            .collect()
+    }
+
+    fn check_layout(&self, layout: &ExpertLayout) -> Result<(), FsepError> {
+        if layout.num_devices() != self.devices || layout.num_experts() != self.num_experts() {
+            return Err(FsepError::LayoutMismatch {
+                expected: (self.devices, self.num_experts()),
+                got: (layout.num_devices(), layout.num_experts()),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn experts(n: usize, h: usize, hp: usize, seed: u64) -> Vec<ExpertParams> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| ExpertParams::random(h, hp, &mut rng)).collect()
+    }
+
+    #[test]
+    fn shard_unshard_roundtrip_is_bit_exact() {
+        let exps = experts(4, 8, 12, 1);
+        let sharded = FsepExperts::shard(&exps, 4).unwrap();
+        let layout = ExpertLayout::classic_ep(4, 4, 2).unwrap();
+        let restored = sharded.unshard(&layout).unwrap();
+        // Device 0 hosts experts 0 and 1 in the classic layout.
+        assert_eq!(restored.device(0).experts().len(), 2);
+        assert_eq!(*restored.device(0).expert(ExpertId::new(0)).unwrap(), exps[0]);
+        assert_eq!(*restored.device(0).expert(ExpertId::new(1)).unwrap(), exps[1]);
+        assert!(restored.device(0).expert(ExpertId::new(2)).is_none());
+    }
+
+    #[test]
+    fn unshard_supports_arbitrary_layout() {
+        let exps = experts(4, 8, 12, 2);
+        let sharded = FsepExperts::shard(&exps, 4).unwrap();
+        // Hot-expert layout: device 1 restores experts 0 and 1 even
+        // though classic EP would pin it to {2, 3} (Fig. 6's re-layout).
+        let mut layout = ExpertLayout::empty(4, 4, 2).unwrap();
+        for d in 0..4 {
+            layout.add_replica(DeviceId::new(d), ExpertId::new(0));
+        }
+        layout.add_replica(DeviceId::new(0), ExpertId::new(1));
+        layout.add_replica(DeviceId::new(1), ExpertId::new(1));
+        layout.add_replica(DeviceId::new(2), ExpertId::new(2));
+        layout.add_replica(DeviceId::new(3), ExpertId::new(3));
+        layout.validate().unwrap();
+        let restored = sharded.unshard(&layout).unwrap();
+        assert_eq!(*restored.device(1).expert(ExpertId::new(0)).unwrap(), exps[0]);
+        assert_eq!(*restored.device(1).expert(ExpertId::new(1)).unwrap(), exps[1]);
+    }
+
+    /// Sec. 3.1: unshard communication is a *balanced* All-to-All —
+    /// `C·(N−1)/N·Ψ_expert` bytes sent and received per device.
+    #[test]
+    fn unshard_traffic_is_balanced() {
+        let exps = experts(8, 8, 12, 3);
+        let n = 4;
+        let sharded = FsepExperts::shard(&exps, n).unwrap();
+        let layout = ExpertLayout::classic_ep(n, 8, 2).unwrap();
+        let restored = sharded.unshard(&layout).unwrap();
+        let recv = restored.comm_log().recv_bytes(n);
+        // Every device receives C*(N-1) chunks.
+        let chunk = (8 * 12 * 3usize).div_ceil(n) * 4;
+        for &r in &recv {
+            assert_eq!(r, (2 * (n - 1) * chunk) as u64);
+        }
+        let send = restored.comm_log().send_bytes(n);
+        let first = send[0];
+        assert!(send.iter().all(|&s| s == first), "sends balanced: {send:?}");
+    }
+
+    #[test]
+    fn reshard_reduces_replica_gradients() {
+        let exps = experts(2, 4, 4, 4);
+        let n = 2;
+        let sharded = FsepExperts::shard(&exps, n).unwrap();
+        // Both devices host expert 0; expert 1 only on device 1.
+        let mut layout = ExpertLayout::empty(2, 2, 2).unwrap();
+        layout.add_replica(DeviceId::new(0), ExpertId::new(0));
+        layout.add_replica(DeviceId::new(0), ExpertId::new(0));
+        layout.add_replica(DeviceId::new(1), ExpertId::new(0));
+        layout.add_replica(DeviceId::new(1), ExpertId::new(1));
+        let meta = sharded.meta();
+        let grad_of = |v: f32| ExpertGrad::from_parts(meta, vec![v; meta.param_count()]);
+        let grads = vec![
+            vec![(ExpertId::new(0), grad_of(1.0))],
+            vec![
+                (ExpertId::new(0), grad_of(2.0)),
+                (ExpertId::new(1), grad_of(5.0)),
+            ],
+        ];
+        let (out, comm) = sharded.reshard_gradients(&layout, &grads).unwrap();
+        // Expert 0's gradient chunks hold 1.0 + 2.0 everywhere (within
+        // the unpadded region).
+        let unpadded = meta.param_count().div_ceil(n);
+        assert!(out[0][0][..unpadded].iter().all(|&g| g == 3.0));
+        assert!(out[1][1][..meta.param_count() - unpadded].iter().all(|&g| g == 5.0));
+        assert!(comm.total_bytes() > 0);
+    }
+
+    #[test]
+    fn reshard_rejects_gradient_without_replica() {
+        let exps = experts(2, 4, 4, 5);
+        let sharded = FsepExperts::shard(&exps, 2).unwrap();
+        let layout = ExpertLayout::classic_ep(2, 2, 1).unwrap();
+        let grads = vec![
+            vec![(ExpertId::new(1), ExpertGrad::zeros(sharded.meta()))],
+            vec![],
+        ];
+        assert!(matches!(
+            sharded.reshard_gradients(&layout, &grads),
+            Err(FsepError::UnexpectedGradient { .. })
+        ));
+    }
+
+    #[test]
+    fn shard_validates_input() {
+        assert!(matches!(
+            FsepExperts::shard(&[], 4),
+            Err(FsepError::NoExperts)
+        ));
+        let mut rng = StdRng::seed_from_u64(0);
+        let mixed = vec![
+            ExpertParams::random(4, 4, &mut rng),
+            ExpertParams::random(4, 8, &mut rng),
+        ];
+        assert!(matches!(
+            FsepExperts::shard(&mixed, 2),
+            Err(FsepError::MixedShapes)
+        ));
+    }
+
+    #[test]
+    fn materialize_matches_originals() {
+        let exps = experts(3, 4, 6, 6);
+        // 3*4*6 = 72 params over 5 devices -> padding path exercised.
+        let sharded = FsepExperts::shard(&exps, 5).unwrap();
+        assert_eq!(sharded.materialize_all(), exps);
+    }
+
+    #[test]
+    fn layout_mismatch_detected() {
+        let exps = experts(4, 4, 4, 7);
+        let sharded = FsepExperts::shard(&exps, 4).unwrap();
+        let wrong = ExpertLayout::classic_ep(2, 4, 2).unwrap();
+        assert!(matches!(
+            sharded.unshard(&wrong),
+            Err(FsepError::LayoutMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,356 @@
+//! Minimal deterministic dense-tensor kernel.
+//!
+//! Everything the FSEP numeric engine needs: row-major `f32` matrices
+//! with sequential (and therefore bit-reproducible) accumulation order.
+//! Determinism is load-bearing — the FSDP-equivalence tests assert
+//! *bit-exact* equality, which only holds if every reduction runs in a
+//! fixed order.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Row-major `rows × cols` matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or a dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        assert_eq!(data.len(), rows * cols, "data length");
+        Self { rows, cols, data }
+    }
+
+    /// Uniform random matrix in `[-scale, scale]`.
+    pub fn random(rows: usize, cols: usize, scale: f32, rng: &mut StdRng) -> Self {
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..=scale))
+            .collect();
+        Self::from_vec(rows, cols, data)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-major backing slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable backing slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self · bᵀ` where `b` is `n × cols` — i.e. `(rows × cols) ·
+    /// (cols × n)` with `b` stored transposed, the natural layout for
+    /// `x · Wᵀ` projections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul_nt(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.cols, "inner dimension (nt)");
+        let mut out = Matrix::zeros(self.rows, b.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..b.rows {
+                let b_row = b.row(j);
+                let mut acc = 0.0f32;
+                for k in 0..self.cols {
+                    acc += a_row[k] * b_row[k];
+                }
+                out.data[i * b.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// `self · b` — plain `(rows × cols) · (cols × n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul_nn(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.rows, "inner dimension (nn)");
+        let mut out = Matrix::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for k in 0..self.cols {
+                let a = a_row[k];
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(k);
+                let out_row = &mut out.data[i * b.cols..(i + 1) * b.cols];
+                for j in 0..b.cols {
+                    out_row[j] += a * b_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · b` — `(cols × rows) · (rows × n)`, used for weight
+    /// gradients (`dW = dYᵀ · X`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts disagree.
+    pub fn matmul_tn(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.rows, b.rows, "inner dimension (tn)");
+        let mut out = Matrix::zeros(self.cols, b.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = b.row(k);
+            for i in 0..self.cols {
+                let a = a_row[i];
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * b.cols..(i + 1) * b.cols];
+                for j in 0..b.cols {
+                    out_row[j] += a * b_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Element-wise sum, accumulated into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Applies a function element-wise, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|&v| f(v)).collect())
+    }
+
+    /// Sum of squares of all elements (used by the quadratic test loss).
+    pub fn squared_norm(&self) -> f64 {
+        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum()
+    }
+
+    /// Vertically stacks matrices with equal column counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or column counts differ.
+    pub fn vstack(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "vstack needs at least one part");
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for m in parts {
+            assert_eq!(m.cols, cols, "vstack column mismatch");
+            data.extend_from_slice(&m.data);
+        }
+        Matrix::from_vec(rows, cols, data)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix[{}x{}]", self.rows, self.cols)
+    }
+}
+
+/// SiLU activation `z·σ(z)` (the Swish of SwiGLU).
+pub fn silu(z: f32) -> f32 {
+    z * sigmoid(z)
+}
+
+/// Derivative of SiLU: `σ(z)·(1 + z·(1 − σ(z)))`.
+pub fn silu_prime(z: f32) -> f32 {
+    let s = sigmoid(z);
+    s * (1.0 + z * (1.0 - s))
+}
+
+fn sigmoid(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_nt_small() {
+        // a = [[1,2],[3,4]], b (stored transposed, 1x2) = [5,6]
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(1, 2, vec![5.0, 6.0]);
+        let c = a.matmul_nt(&b);
+        assert_eq!(c.data(), &[17.0, 39.0]);
+    }
+
+    #[test]
+    fn matmul_nn_matches_nt() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Matrix::random(3, 4, 1.0, &mut rng);
+        let b = Matrix::random(5, 4, 1.0, &mut rng);
+        // a·bᵀ via nt should equal a·(b transposed) via nn.
+        let bt = transpose(&b);
+        let via_nt = a.matmul_nt(&b);
+        let via_nn = a.matmul_nn(&bt);
+        for (x, y) in via_nt.data().iter().zip(via_nn.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_is_transpose_product() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 1, vec![10.0, 20.0]);
+        // aᵀ·b = [[1,3],[2,4]]·[[10],[20]] = [[70],[100]]
+        let c = a.matmul_tn(&b);
+        assert_eq!(c.data(), &[70.0, 100.0]);
+    }
+
+    fn transpose(m: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(m.cols(), m.rows());
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                out.data_mut()[j * m.rows() + i] = m.at(i, j);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hadamard_and_add() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.hadamard(&b).data(), &[4.0, 10.0, 18.0]);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c.data(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn vstack_concatenates_rows() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
+        let c = Matrix::vstack(&[&a, &b]);
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn silu_values() {
+        assert_eq!(silu(0.0), 0.0);
+        assert!((silu(1.0) - 0.731058).abs() < 1e-5);
+        // Derivative via finite differences.
+        let eps = 1e-3f32;
+        for &z in &[-2.0f32, -0.5, 0.0, 0.7, 3.0] {
+            let fd = (silu(z + eps) - silu(z - eps)) / (2.0 * eps);
+            assert!(
+                (fd - silu_prime(z)).abs() < 1e-3,
+                "silu'({z}): fd {fd} vs analytic {}",
+                silu_prime(z)
+            );
+        }
+    }
+
+    #[test]
+    fn squared_norm() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 2.0]);
+        assert!((a.squared_norm() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 4);
+        let _ = a.matmul_nt(&b);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        assert_eq!(
+            Matrix::random(4, 4, 0.5, &mut r1),
+            Matrix::random(4, 4, 0.5, &mut r2)
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the FSEP numeric engine: the sharding
+//! round-trip must be lossless and the FSDP-equivalence must hold for
+//! *arbitrary* expert shapes, device counts, layouts and batches.
+
+use laer_cluster::{DeviceId, ExpertId};
+use laer_fsep::reference::{run_fsep_step, DenseReference, TokenBatch};
+use laer_fsep::{AdamConfig, ExpertParams, FsepExperts, Matrix, ShardedAdam};
+use laer_planner::{expert_relocation, replica_allocation};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn experts_strategy() -> impl Strategy<Value = (Vec<ExpertParams>, usize)> {
+    // (E experts of shape h x hp, N devices)
+    (1usize..5, 1usize..5, 1usize..5, 1usize..7, 0u64..10_000).prop_map(
+        |(e, h_step, hp_step, n, seed)| {
+            let h = h_step * 2;
+            let hp = hp_step * 3;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let experts = (0..e).map(|_| ExpertParams::random(h, hp, &mut rng)).collect();
+            (experts, n)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// shard → materialize is the identity for any shape and any device
+    /// count (including ones that force zero-padding).
+    #[test]
+    fn shard_roundtrip_is_lossless((experts, n) in experts_strategy()) {
+        let sharded = FsepExperts::shard(&experts, n).expect("uniform shapes");
+        prop_assert_eq!(sharded.materialize_all(), experts);
+    }
+
+    /// Unshard restores bit-exact parameters for whichever experts the
+    /// layout assigns, under any feasible layout.
+    #[test]
+    fn unshard_restores_exact_params(
+        (experts, n) in experts_strategy(),
+        c_seed in 1usize..4,
+    ) {
+        let e = experts.len();
+        let c = 1 + c_seed % 2;
+        prop_assume!(n * c >= e);
+        let topo = laer_cluster::Topology::single_node(n).expect("non-empty");
+        let loads: Vec<u64> = (0..e as u64).map(|j| 100 + j * 37).collect();
+        let rep = replica_allocation(&loads, n, c);
+        let layout = expert_relocation(&rep, &loads, &topo, c);
+        let sharded = FsepExperts::shard(&experts, n).expect("uniform shapes");
+        let restored = sharded.unshard(&layout).expect("layout matches");
+        for d in 0..n {
+            for (id, params) in restored.device(d).experts() {
+                prop_assert_eq!(params, &experts[id.index()]);
+            }
+        }
+    }
+
+    /// The Sec. 3.1 precision claim as a property: a full FSEP training
+    /// step equals the dense reference bit-for-bit under arbitrary
+    /// shapes, layouts and token batches.
+    #[test]
+    fn fsep_step_equals_dense(
+        (experts, n) in experts_strategy(),
+        batch_seed in 0u64..10_000,
+        steps in 1usize..3,
+    ) {
+        let e = experts.len();
+        let c = if n * 2 >= e { 2.min(e) } else { e.div_ceil(n) };
+        prop_assume!(n * c >= e);
+        let topo = laer_cluster::Topology::single_node(n).expect("non-empty");
+        let loads: Vec<u64> = (0..e as u64).map(|j| 50 + j * 13).collect();
+        let rep = replica_allocation(&loads, n, c);
+        let layout = expert_relocation(&rep, &loads, &topo, c);
+
+        // Batches: one per (device, hosted expert), sizes 1..4.
+        let mut rng = StdRng::seed_from_u64(batch_seed);
+        let h = experts[0].meta().hidden;
+        let mut batches = Vec::new();
+        for d in 0..n {
+            for j in 0..e {
+                if layout.replica_count(DeviceId::new(d), ExpertId::new(j)) > 0 {
+                    let s = 1 + (d + j) % 3;
+                    batches.push(TokenBatch {
+                        device: DeviceId::new(d),
+                        expert: ExpertId::new(j),
+                        tokens: Matrix::random(s, h, 0.5, &mut rng),
+                    });
+                }
+            }
+        }
+        let mut dense = DenseReference::new(experts.clone(), AdamConfig::default());
+        let mut sharded = FsepExperts::shard(&experts, n).expect("uniform shapes");
+        let mut opt = ShardedAdam::new(AdamConfig::default(), &sharded);
+        for _ in 0..steps {
+            let ld = dense.step(&batches);
+            let lf = run_fsep_step(&mut sharded, &mut opt, &layout, &batches)
+                .expect("valid layout and batches");
+            prop_assert_eq!(ld, lf);
+        }
+        prop_assert_eq!(sharded.materialize_all(), dense.experts().to_vec());
+    }
+
+    /// Matrix algebra sanity under arbitrary shapes: hadamard commutes,
+    /// add_assign matches element sums, vstack preserves data.
+    #[test]
+    fn matrix_ops_properties(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random(rows, cols, 1.0, &mut rng);
+        let b = Matrix::random(rows, cols, 1.0, &mut rng);
+        prop_assert_eq!(a.hadamard(&b), b.hadamard(&a));
+        let mut c = a.clone();
+        c.add_assign(&b);
+        for i in 0..rows {
+            for j in 0..cols {
+                prop_assert_eq!(c.at(i, j), a.at(i, j) + b.at(i, j));
+            }
+        }
+        let stacked = Matrix::vstack(&[&a, &b]);
+        prop_assert_eq!(stacked.rows(), 2 * rows);
+        prop_assert_eq!(stacked.row(0), a.row(0));
+        prop_assert_eq!(stacked.row(rows), b.row(0));
+    }
+
+    /// The unshard communication volume matches the closed form
+    /// `C·(N−1)/N·Ψ_expert` per device (up to chunk padding).
+    #[test]
+    fn unshard_volume_matches_formula((experts, n) in experts_strategy()) {
+        let e = experts.len();
+        let c = e.min(2).max(1);
+        prop_assume!(n * c >= e);
+        let topo = laer_cluster::Topology::single_node(n).expect("non-empty");
+        let loads = vec![1u64; e];
+        let rep = replica_allocation(&loads, n, c);
+        let layout = expert_relocation(&rep, &loads, &topo, c);
+        let sharded = FsepExperts::shard(&experts, n).expect("uniform shapes");
+        let restored = sharded.unshard(&layout).expect("layout matches");
+        let chunk_bytes = (sharded.chunk_len() * 4) as u64;
+        for d in 0..n {
+            let hosted: u64 = (0..e)
+                .filter(|&j| layout.replica_count(DeviceId::new(d), ExpertId::new(j)) > 0)
+                .count() as u64;
+            let expect = hosted * (n as u64 - 1) * chunk_bytes;
+            prop_assert_eq!(restored.comm_log().recv_bytes(n)[d], expect);
+        }
+    }
+}

@@ -1,0 +1,574 @@
+//! MoE transformer architectures evaluated by the paper (Tab. 2).
+//!
+//! Parameter accounting follows the published architectures exactly:
+//!
+//! * attention uses grouped-query attention with `heads` query heads and
+//!   `kv_heads` key/value heads of dimension `head_dim`;
+//! * each expert is a SwiGLU MLP with three `hidden × intermediate`
+//!   matrices (`Ψ_expert = 3·H·H'`);
+//! * the router ("gate") is a `hidden × experts` matrix;
+//! * the `e16k4` variants split every expert in half (`H' → H'/2`) and
+//!   double the expert count, preserving per-layer parameter count and
+//!   compute exactly as described in Sec. 5.1.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Error produced when constructing an invalid [`ModelConfig`] or parsing
+/// an unknown preset name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A structural field was zero.
+    ZeroField(&'static str),
+    /// `top_k` exceeded the number of experts.
+    TopKTooLarge {
+        /// Requested top-k.
+        top_k: usize,
+        /// Available experts.
+        experts: usize,
+    },
+    /// An unknown preset name was given to [`ModelPreset::from_str`].
+    UnknownPreset(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ZeroField(name) => write!(f, "model field {name} must be non-zero"),
+            ModelError::TopKTooLarge { top_k, experts } => {
+                write!(f, "top_k {top_k} exceeds expert count {experts}")
+            }
+            ModelError::UnknownPreset(s) => write!(f, "unknown model preset `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A complete MoE transformer architecture description.
+///
+/// Construct via [`ModelPreset`] for the paper's six configurations or via
+/// [`ModelConfigBuilder`] for custom ones.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    name: String,
+    hidden: usize,
+    intermediate: usize,
+    layers: usize,
+    heads: usize,
+    kv_heads: usize,
+    head_dim: usize,
+    vocab: usize,
+    experts: usize,
+    top_k: usize,
+    qkv_bias: bool,
+}
+
+impl ModelConfig {
+    /// Human-readable configuration name, e.g. `"Mixtral-8x7B e8k2"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Hidden dimension `H`.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Expert intermediate dimension `H'`.
+    pub fn intermediate(&self) -> usize {
+        self.intermediate
+    }
+
+    /// Number of transformer layers.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Number of experts per MoE layer (`E`).
+    pub fn experts(&self) -> usize {
+        self.experts
+    }
+
+    /// Router top-k (`K`).
+    pub fn top_k(&self) -> usize {
+        self.top_k
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Query heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Key/value heads (grouped-query attention).
+    pub fn kv_heads(&self) -> usize {
+        self.kv_heads
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Whether QKV projections carry bias terms (Qwen-style attention).
+    pub fn qkv_bias(&self) -> bool {
+        self.qkv_bias
+    }
+
+    /// Parameters of one expert, `Ψ_expert = 3·H·H'` (SwiGLU).
+    pub fn expert_params(&self) -> u64 {
+        3 * self.hidden as u64 * self.intermediate as u64
+    }
+
+    /// Parameters of the attention block of one layer (Q, K, V, O and
+    /// optional biases).
+    pub fn attention_params(&self) -> u64 {
+        let h = self.hidden as u64;
+        let q_dim = (self.heads * self.head_dim) as u64;
+        let kv_dim = (self.kv_heads * self.head_dim) as u64;
+        let weights = h * q_dim // Q
+            + 2 * h * kv_dim // K, V
+            + q_dim * h; // O
+        let biases = if self.qkv_bias { q_dim + 2 * kv_dim } else { 0 };
+        weights + biases
+    }
+
+    /// Parameters of the router for one MoE layer (`H × E`).
+    pub fn gate_params(&self) -> u64 {
+        self.hidden as u64 * self.experts as u64
+    }
+
+    /// Parameters of the two RMSNorm weights in each layer.
+    pub fn norm_params(&self) -> u64 {
+        2 * self.hidden as u64
+    }
+
+    /// All expert parameters of one MoE layer (`E · Ψ_expert`).
+    pub fn moe_layer_expert_params(&self) -> u64 {
+        self.experts as u64 * self.expert_params()
+    }
+
+    /// Parameters of one full transformer layer.
+    pub fn layer_params(&self) -> u64 {
+        self.attention_params()
+            + self.gate_params()
+            + self.moe_layer_expert_params()
+            + self.norm_params()
+    }
+
+    /// Per-layer parameters excluding experts (`Ψ_other` in Sec. 3.1).
+    pub fn other_params_per_layer(&self) -> u64 {
+        self.attention_params() + self.gate_params() + self.norm_params()
+    }
+
+    /// Input embedding + untied LM head + final norm parameters.
+    pub fn embedding_params(&self) -> u64 {
+        2 * self.vocab as u64 * self.hidden as u64 + self.hidden as u64
+    }
+
+    /// Total parameter count (the "Params" column of Tab. 2).
+    pub fn total_params(&self) -> u64 {
+        self.layers as u64 * self.layer_params() + self.embedding_params()
+    }
+
+    /// Parameters activated per token (the "Activs" column of Tab. 2):
+    /// attention, router, norms, embeddings and `K` of the `E` experts.
+    pub fn activated_params(&self) -> u64 {
+        let per_layer = self.attention_params()
+            + self.gate_params()
+            + self.norm_params()
+            + self.top_k as u64 * self.expert_params();
+        self.layers as u64 * per_layer + self.embedding_params()
+    }
+
+    /// Forward FLOPs per token in one expert: `6·H·H'` (three `H×H'`
+    /// GEMMs at 2 FLOPs/MAC — the parenthesised term of Sec. 3.1).
+    pub fn expert_flops_per_token(&self) -> u64 {
+        6 * self.hidden as u64 * self.intermediate as u64
+    }
+
+    /// Forward FLOPs per token in one layer's attention block, for
+    /// sequence length `seq` (projections + score/value matmuls).
+    pub fn attention_flops_per_token(&self, seq: usize) -> u64 {
+        let proj = 2 * self.attention_params();
+        let qk_av = 4 * (self.heads * self.head_dim) as u64 * seq as u64;
+        proj + qk_av
+    }
+
+    /// Default expert capacity per device used in the paper (Sec. 5.1):
+    /// `C = 2` for 8-expert models and `C = 4` for 16-expert models.
+    pub fn default_capacity(&self) -> usize {
+        if self.experts >= 16 {
+            4
+        } else {
+            2
+        }
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if any structural field is zero or
+    /// `top_k > experts`.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        for (name, v) in [
+            ("hidden", self.hidden),
+            ("intermediate", self.intermediate),
+            ("layers", self.layers),
+            ("heads", self.heads),
+            ("kv_heads", self.kv_heads),
+            ("head_dim", self.head_dim),
+            ("vocab", self.vocab),
+            ("experts", self.experts),
+            ("top_k", self.top_k),
+        ] {
+            if v == 0 {
+                return Err(ModelError::ZeroField(name));
+            }
+        }
+        if self.top_k > self.experts {
+            return Err(ModelError::TopKTooLarge {
+                top_k: self.top_k,
+                experts: self.experts,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ModelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (H={}, H'={}, L={}, E={}, K={})",
+            self.name, self.hidden, self.intermediate, self.layers, self.experts, self.top_k
+        )
+    }
+}
+
+/// Builder for custom [`ModelConfig`] values.
+///
+/// ```
+/// use laer_model::ModelConfigBuilder;
+///
+/// # fn main() -> Result<(), laer_model::ModelError> {
+/// let tiny = ModelConfigBuilder::new("tiny")
+///     .hidden(64)
+///     .intermediate(128)
+///     .layers(2)
+///     .heads(4, 2, 16)
+///     .vocab(1000)
+///     .experts(4, 2)
+///     .build()?;
+/// assert_eq!(tiny.expert_params(), 3 * 64 * 128);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelConfigBuilder {
+    cfg: ModelConfig,
+}
+
+impl ModelConfigBuilder {
+    /// Starts a builder with small non-zero defaults.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            cfg: ModelConfig {
+                name: name.into(),
+                hidden: 64,
+                intermediate: 128,
+                layers: 1,
+                heads: 4,
+                kv_heads: 4,
+                head_dim: 16,
+                vocab: 256,
+                experts: 4,
+                top_k: 2,
+                qkv_bias: false,
+            },
+        }
+    }
+
+    /// Sets the hidden dimension `H`.
+    pub fn hidden(mut self, h: usize) -> Self {
+        self.cfg.hidden = h;
+        self
+    }
+
+    /// Sets the expert intermediate dimension `H'`.
+    pub fn intermediate(mut self, hp: usize) -> Self {
+        self.cfg.intermediate = hp;
+        self
+    }
+
+    /// Sets the number of layers.
+    pub fn layers(mut self, l: usize) -> Self {
+        self.cfg.layers = l;
+        self
+    }
+
+    /// Sets query heads, kv heads and head dimension.
+    pub fn heads(mut self, heads: usize, kv_heads: usize, head_dim: usize) -> Self {
+        self.cfg.heads = heads;
+        self.cfg.kv_heads = kv_heads;
+        self.cfg.head_dim = head_dim;
+        self
+    }
+
+    /// Sets the vocabulary size.
+    pub fn vocab(mut self, v: usize) -> Self {
+        self.cfg.vocab = v;
+        self
+    }
+
+    /// Sets expert count `E` and router top-k `K`.
+    pub fn experts(mut self, e: usize, k: usize) -> Self {
+        self.cfg.experts = e;
+        self.cfg.top_k = k;
+        self
+    }
+
+    /// Enables Qwen-style QKV biases.
+    pub fn qkv_bias(mut self, enabled: bool) -> Self {
+        self.cfg.qkv_bias = enabled;
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the configuration fails
+    /// [`ModelConfig::validate`].
+    pub fn build(self) -> Result<ModelConfig, ModelError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+/// The six model configurations of Tab. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelPreset {
+    /// Mixtral-8x7B, 8 experts, top-2, 32 layers.
+    Mixtral8x7bE8k2,
+    /// Mixtral-8x22B, 8 experts, top-2, 18 layers.
+    Mixtral8x22bE8k2,
+    /// Qwen-8x7B (Mixtral-8x7B transformed to the Qwen architecture).
+    Qwen8x7bE8k2,
+    /// Mixtral-8x7B expanded to 16 experts, top-4, 24 layers.
+    Mixtral8x7bE16k4,
+    /// Mixtral-8x22B expanded to 16 experts, top-4, 14 layers.
+    Mixtral8x22bE16k4,
+    /// Qwen-8x7B expanded to 16 experts, top-4, 24 layers.
+    Qwen8x7bE16k4,
+}
+
+impl ModelPreset {
+    /// All six presets in the order of Tab. 2.
+    pub const ALL: [ModelPreset; 6] = [
+        ModelPreset::Mixtral8x7bE8k2,
+        ModelPreset::Mixtral8x22bE8k2,
+        ModelPreset::Qwen8x7bE8k2,
+        ModelPreset::Mixtral8x7bE16k4,
+        ModelPreset::Mixtral8x22bE16k4,
+        ModelPreset::Qwen8x7bE16k4,
+    ];
+
+    /// Artifact-appendix style identifier, e.g. `mixtral-8x7b-e8k2`.
+    pub fn id(self) -> &'static str {
+        match self {
+            ModelPreset::Mixtral8x7bE8k2 => "mixtral-8x7b-e8k2",
+            ModelPreset::Mixtral8x22bE8k2 => "mixtral-8x22b-e8k2",
+            ModelPreset::Qwen8x7bE8k2 => "qwen-8x7b-e8k2",
+            ModelPreset::Mixtral8x7bE16k4 => "mixtral-8x7b-e16k4",
+            ModelPreset::Mixtral8x22bE16k4 => "mixtral-8x22b-e16k4",
+            ModelPreset::Qwen8x7bE16k4 => "qwen-8x7b-e16k4",
+        }
+    }
+
+    /// Builds the full architecture description.
+    pub fn config(self) -> ModelConfig {
+        let base = |name: &str, layers, experts, top_k, intermediate, qkv_bias| ModelConfig {
+            name: name.to_string(),
+            hidden: 4096,
+            intermediate,
+            layers,
+            heads: 32,
+            kv_heads: 8,
+            head_dim: 128,
+            vocab: 32000,
+            experts,
+            top_k,
+            qkv_bias,
+        };
+        let big = |name: &str, layers, experts, top_k, intermediate| ModelConfig {
+            name: name.to_string(),
+            hidden: 6144,
+            intermediate,
+            layers,
+            heads: 48,
+            kv_heads: 8,
+            head_dim: 128,
+            vocab: 32768,
+            experts,
+            top_k,
+            qkv_bias: false,
+        };
+        match self {
+            ModelPreset::Mixtral8x7bE8k2 => base("Mixtral-8x7B e8k2", 32, 8, 2, 14336, false),
+            ModelPreset::Qwen8x7bE8k2 => base("Qwen-8x7B e8k2", 32, 8, 2, 14336, true),
+            ModelPreset::Mixtral8x7bE16k4 => base("Mixtral-8x7B e16k4", 24, 16, 4, 7168, false),
+            ModelPreset::Qwen8x7bE16k4 => base("Qwen-8x7B e16k4", 24, 16, 4, 7168, true),
+            ModelPreset::Mixtral8x22bE8k2 => big("Mixtral-8x22B e8k2", 18, 8, 2, 16384),
+            ModelPreset::Mixtral8x22bE16k4 => big("Mixtral-8x22B e16k4", 14, 16, 4, 8192),
+        }
+    }
+
+    /// Expected (params, activated) in billions, as printed in Tab. 2.
+    pub fn table2_billions(self) -> (f64, f64) {
+        match self {
+            ModelPreset::Mixtral8x7bE8k2 => (46.70, 12.88),
+            ModelPreset::Mixtral8x22bE8k2 => (45.46, 12.86),
+            ModelPreset::Qwen8x7bE8k2 => (46.69, 12.88),
+            ModelPreset::Mixtral8x7bE16k4 => (35.09, 9.73),
+            ModelPreset::Mixtral8x22bE16k4 => (35.46, 10.09),
+            ModelPreset::Qwen8x7bE16k4 => (35.09, 9.73),
+        }
+    }
+}
+
+impl fmt::Display for ModelPreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+impl FromStr for ModelPreset {
+    type Err = ModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ModelPreset::ALL
+            .into_iter()
+            .find(|p| p.id() == s)
+            .ok_or_else(|| ModelError::UnknownPreset(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn billions(v: u64) -> f64 {
+        v as f64 / 1e9
+    }
+
+    /// Tab. 2 reproduction: every preset's total and activated parameter
+    /// counts match the paper to within 0.15 % (the residual comes from
+    /// details the paper does not publish, e.g. exact vocab of the reduced
+    /// Mixtral-8x22B and Qwen bias terms).
+    #[test]
+    fn table2_param_counts() {
+        for preset in ModelPreset::ALL {
+            let cfg = preset.config();
+            let (want_p, want_a) = preset.table2_billions();
+            let got_p = billions(cfg.total_params());
+            let got_a = billions(cfg.activated_params());
+            let rel_p = (got_p - want_p).abs() / want_p;
+            let rel_a = (got_a - want_a).abs() / want_a;
+            assert!(
+                rel_p < 0.0015,
+                "{preset}: total {got_p:.3}B vs paper {want_p}B (rel {rel_p:.4})"
+            );
+            assert!(
+                rel_a < 0.0035,
+                "{preset}: activated {got_a:.3}B vs paper {want_a}B (rel {rel_a:.4})"
+            );
+        }
+    }
+
+    /// The Mixtral-8x7B e8k2 count is exact to two decimals in billions.
+    #[test]
+    fn mixtral_8x7b_exact() {
+        let cfg = ModelPreset::Mixtral8x7bE8k2.config();
+        assert_eq!(cfg.total_params(), 46_702_792_704);
+        assert_eq!(cfg.activated_params(), 12_879_925_248);
+    }
+
+    /// Sec. 5.1: the e16k4 expansion preserves per-layer parameter count
+    /// and computational load exactly.
+    #[test]
+    fn e16k4_preserves_per_layer_params() {
+        let e8 = ModelPreset::Mixtral8x7bE8k2.config();
+        let e16 = ModelPreset::Mixtral8x7bE16k4.config();
+        assert_eq!(e8.moe_layer_expert_params(), e16.moe_layer_expert_params());
+        assert_eq!(
+            e8.top_k as u64 * e8.expert_flops_per_token(),
+            e16.top_k as u64 * e16.expert_flops_per_token()
+        );
+    }
+
+    #[test]
+    fn default_capacity_matches_paper() {
+        assert_eq!(ModelPreset::Mixtral8x7bE8k2.config().default_capacity(), 2);
+        assert_eq!(ModelPreset::Mixtral8x7bE16k4.config().default_capacity(), 4);
+    }
+
+    #[test]
+    fn preset_roundtrip_via_id() {
+        for preset in ModelPreset::ALL {
+            let parsed: ModelPreset = preset.id().parse().unwrap();
+            assert_eq!(parsed, preset);
+        }
+        assert!(matches!(
+            "mixtral-9x9b".parse::<ModelPreset>(),
+            Err(ModelError::UnknownPreset(_))
+        ));
+    }
+
+    #[test]
+    fn builder_validates() {
+        let err = ModelConfigBuilder::new("bad").experts(2, 3).build();
+        assert!(matches!(err, Err(ModelError::TopKTooLarge { .. })));
+        let err = ModelConfigBuilder::new("bad").hidden(0).build();
+        assert_eq!(err.unwrap_err(), ModelError::ZeroField("hidden"));
+    }
+
+    #[test]
+    fn expert_params_is_swiglu() {
+        let cfg = ModelPreset::Mixtral8x7bE8k2.config();
+        assert_eq!(cfg.expert_params(), 3 * 4096 * 14336);
+        assert_eq!(cfg.expert_flops_per_token(), 6 * 4096 * 14336);
+    }
+
+    #[test]
+    fn qwen_differs_from_mixtral_only_in_bias() {
+        let m = ModelPreset::Mixtral8x7bE8k2.config();
+        let q = ModelPreset::Qwen8x7bE8k2.config();
+        assert!(q.qkv_bias());
+        assert!(!m.qkv_bias());
+        let delta = q.total_params() - m.total_params();
+        // 32 layers x (q_dim + 2*kv_dim) bias terms.
+        assert_eq!(delta, 32 * (4096 + 2 * 1024));
+    }
+
+    #[test]
+    fn attention_flops_grow_with_sequence() {
+        let cfg = ModelPreset::Mixtral8x7bE8k2.config();
+        assert!(cfg.attention_flops_per_token(8192) > cfg.attention_flops_per_token(2048));
+    }
+
+    #[test]
+    fn display_formats() {
+        let cfg = ModelPreset::Mixtral8x7bE8k2.config();
+        let s = cfg.to_string();
+        assert!(s.contains("Mixtral-8x7B"));
+        assert!(s.contains("E=8"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Computation / communication cost parameters (Tab. 1) and the overlap
+//! condition of Eq. 1.
+//!
+//! The paper's planner and our simulator both consume three scalar
+//! quantities per model:
+//!
+//! * `V_comp` — forward FLOPs per (token, expert) pair, i.e. `6·H·H'` for a
+//!   SwiGLU expert;
+//! * `V_comm` — bytes moved per token per All-to-All hop, i.e. `H ·
+//!   sizeof(bf16)`;
+//! * `B_comp` — effective per-GPU compute throughput.
+//!
+//! Eq. 1 states that expert-parameter prefetching is hidden by expert
+//! computation when the per-device token count satisfies
+//! `S > (C · V_comp) / (K · V_comm)` scaled by the compute/network speed
+//! ratio; in the paper's A100 setup the threshold evaluates to ≈17 K tokens
+//! and 16 K suffices empirically.
+
+use crate::{ModelConfig, BF16_BYTES};
+use laer_cluster::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Throughput model of one accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Peak dense throughput, FLOP/s (A100 bf16: 312 TFLOP/s).
+    pub peak_flops: f64,
+    /// Model FLOPs utilisation achieved on large expert GEMMs.
+    pub mfu: f64,
+}
+
+impl GpuSpec {
+    /// The A100-80GB spec used throughout the paper.
+    pub fn a100() -> Self {
+        Self {
+            peak_flops: 312.0e12,
+            mfu: 0.85,
+        }
+    }
+
+    /// Effective sustained throughput `B_comp` in FLOP/s.
+    pub fn effective_flops(&self) -> f64 {
+        self.peak_flops * self.mfu
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        Self::a100()
+    }
+}
+
+/// Per-model cost scalars plus the GPU spec: everything the planner's time
+/// model (Sec. 3.2) and the simulator need.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    v_comp: f64,
+    v_comm: f64,
+    expert_param_bytes: f64,
+    gpu: GpuSpec,
+}
+
+impl CostModel {
+    /// Builds the cost model for a model configuration on a GPU spec.
+    pub fn new(cfg: &ModelConfig, gpu: GpuSpec) -> Self {
+        Self {
+            v_comp: cfg.expert_flops_per_token() as f64,
+            v_comm: (cfg.hidden() as u64 * BF16_BYTES) as f64,
+            expert_param_bytes: (cfg.expert_params() * BF16_BYTES) as f64,
+            gpu,
+        }
+    }
+
+    /// Forward FLOPs per (token, expert) pair — `V_comp`.
+    pub fn v_comp(&self) -> f64 {
+        self.v_comp
+    }
+
+    /// Bytes per token per All-to-All hop — `V_comm`.
+    pub fn v_comm(&self) -> f64 {
+        self.v_comm
+    }
+
+    /// Size of one expert's parameters in bytes (`Ψ_expert · 2`).
+    pub fn expert_param_bytes(&self) -> f64 {
+        self.expert_param_bytes
+    }
+
+    /// The GPU spec in use.
+    pub fn gpu(&self) -> GpuSpec {
+        self.gpu
+    }
+
+    /// Forward computation time for `assignments` (token, expert) pairs on
+    /// one device: `assignments · V_comp / B_comp` (seconds).
+    pub fn expert_forward_time(&self, assignments: u64) -> f64 {
+        assignments as f64 * self.v_comp / self.gpu.effective_flops()
+    }
+
+    /// Prefetch (unshard) volume per device for capacity `C`:
+    /// `3·C·H·H'·sizeof(bf16)` bytes — Sec. 3.1's overlap analysis.
+    pub fn prefetch_bytes(&self, capacity: usize) -> f64 {
+        capacity as f64 * self.expert_param_bytes
+    }
+
+    /// Effective per-device All-to-All bandwidth on `topo`, bytes/second.
+    ///
+    /// Inter-node links are shared by all devices of a node (the paper's
+    /// 800 Gbps figure is per node), and in a uniform All-to-All a fraction
+    /// `(N - d) / (N - 1)` of each device's traffic crosses nodes, where
+    /// `d` is devices-per-node. The effective bandwidth is the harmonic
+    /// combination of the two link classes under those weights.
+    pub fn effective_a2a_bandwidth(&self, topo: &Topology) -> f64 {
+        let n = topo.num_devices() as f64;
+        if n <= 1.0 {
+            return topo.intra_bandwidth();
+        }
+        let d = topo.devices_per_node() as f64;
+        let frac_inter = (n - d) / (n - 1.0);
+        let frac_intra = 1.0 - frac_inter;
+        let inter_per_device = topo.inter_bandwidth() / d;
+        1.0 / (frac_inter / inter_per_device + frac_intra / topo.intra_bandwidth())
+    }
+
+    /// Eq. 1: the per-device token count above which expert computation
+    /// hides parameter prefetching.
+    ///
+    /// Derivation: compute time `S·K·V_comp / B_comp` must exceed prefetch
+    /// time `3·C·H·H'·2 / B_net = C·Ψ_expert·2 / B_net`, giving
+    /// `S > (C / K) · (B_comp / B_net)` for SwiGLU experts (where
+    /// `V_comp = 6·H·H'` FLOPs and the prefetch volume is `6·C·H·H'`
+    /// bytes).
+    pub fn overlap_threshold_tokens(&self, topo: &Topology, capacity: usize, top_k: usize) -> f64 {
+        let b_net = self.effective_a2a_bandwidth(topo);
+        let prefetch_time = self.prefetch_bytes(capacity) / b_net;
+        let compute_time_per_token = top_k as f64 * self.v_comp / self.gpu.effective_flops();
+        prefetch_time / compute_time_per_token
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelPreset;
+
+    fn mixtral_cost() -> CostModel {
+        CostModel::new(&ModelPreset::Mixtral8x7bE8k2.config(), GpuSpec::a100())
+    }
+
+    #[test]
+    fn scalar_values_match_architecture() {
+        let c = mixtral_cost();
+        assert_eq!(c.v_comp(), 6.0 * 4096.0 * 14336.0);
+        assert_eq!(c.v_comm(), 4096.0 * 2.0);
+        assert_eq!(c.expert_param_bytes(), 3.0 * 4096.0 * 14336.0 * 2.0);
+    }
+
+    #[test]
+    fn forward_time_is_linear_in_assignments() {
+        let c = mixtral_cost();
+        let t1 = c.expert_forward_time(1000);
+        let t2 = c.expert_forward_time(2000);
+        assert!((t2 - 2.0 * t1).abs() < 1e-12);
+    }
+
+    /// Sec. 3.1: on the paper's cluster the Eq. 1 threshold is ≈17 K
+    /// tokens per device ("theoretically satisfied when S ≥ 17K").
+    #[test]
+    fn eq1_threshold_near_17k_on_paper_cluster() {
+        let c = mixtral_cost();
+        let topo = Topology::paper_cluster();
+        let s = c.overlap_threshold_tokens(&topo, 2, 2);
+        assert!(
+            (14_000.0..20_000.0).contains(&s),
+            "threshold {s} not near the paper's 17K"
+        );
+    }
+
+    /// On a single NVLink node the threshold drops by more than an order
+    /// of magnitude — prefetch is trivially hidden.
+    #[test]
+    fn eq1_threshold_much_lower_intra_node() {
+        let c = mixtral_cost();
+        let single = Topology::single_node(8).unwrap();
+        let multi = Topology::paper_cluster();
+        let s_single = c.overlap_threshold_tokens(&single, 2, 2);
+        let s_multi = c.overlap_threshold_tokens(&multi, 2, 2);
+        assert!(s_single * 5.0 < s_multi);
+    }
+
+    #[test]
+    fn effective_bandwidth_between_link_classes() {
+        let c = mixtral_cost();
+        let topo = Topology::paper_cluster();
+        let bw = c.effective_a2a_bandwidth(&topo);
+        assert!(bw < topo.intra_bandwidth());
+        assert!(bw > topo.inter_bandwidth() / topo.devices_per_node() as f64);
+    }
+
+    #[test]
+    fn gpu_spec_effective_flops() {
+        let g = GpuSpec::a100();
+        assert!((g.effective_flops() - 312.0e12 * 0.85).abs() < 1.0);
+        assert_eq!(GpuSpec::default(), GpuSpec::a100());
+    }
+
+    #[test]
+    fn prefetch_bytes_scale_with_capacity() {
+        let c = mixtral_cost();
+        assert_eq!(c.prefetch_bytes(4), 2.0 * c.prefetch_bytes(2));
+    }
+}

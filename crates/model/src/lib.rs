@@ -1,0 +1,40 @@
+//! Model and cost substrate for the LAER-MoE reproduction.
+//!
+//! Three pieces live here:
+//!
+//! * [`config`] — the six evaluated MoE architectures (Tab. 2 of the paper:
+//!   Mixtral-8x7B / Mixtral-8x22B / Qwen-8x7B, each in `e8k2` and `e16k4`
+//!   form) with *exact* parameter and activated-parameter accounting.
+//! * [`cost`] — the per-token computation and communication volumes
+//!   (`V_comp`, `V_comm` in Tab. 1), the GPU speed model `B_comp`, and the
+//!   computation/communication overlap threshold of Eq. 1.
+//! * [`memory`] — the model-state memory analysis of Sec. 3.1 (FSEP vs
+//!   FSDP) and the `V_fsep / V_fsdp` communication-volume ratio.
+//!
+//! # Example
+//!
+//! ```
+//! use laer_model::config::ModelPreset;
+//!
+//! let m = ModelPreset::Mixtral8x7bE8k2.config();
+//! // Tab. 2: 46.70 B total parameters, 12.88 B activated.
+//! assert_eq!(m.total_params() / 10_000_000, 4670);
+//! assert_eq!(m.activated_params() / 10_000_000, 1287);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cost;
+pub mod memory;
+
+pub use config::{ModelConfig, ModelConfigBuilder, ModelError, ModelPreset};
+pub use cost::{CostModel, GpuSpec};
+pub use memory::{memory_report, MemoryReport};
+
+/// Bytes per element for bfloat16 (the training precision in the paper).
+pub const BF16_BYTES: u64 = 2;
+
+/// Bytes per element for float32 (optimizer master weights / moments).
+pub const F32_BYTES: u64 = 4;

@@ -1,0 +1,306 @@
+//! Model-state memory analysis of Sec. 3.1 and the FSEP-vs-FSDP
+//! communication-volume comparison.
+//!
+//! The paper analyses the scenario where MoE layers use FSEP and all other
+//! modules use equally-sized FSDP. With Adam, the model state per parameter
+//! is: bf16 parameter (2 B) + bf16 gradient (2 B) + f32 master weight,
+//! momentum and variance (12 B). FSEP fully shards all of it and only adds
+//! `2 · C · Ψ_expert` transient parameter + gradient memory from the
+//! communication optimisations (prefetching the next layer while computing
+//! the current one, and delaying gradient reduction by one layer).
+
+use crate::{ModelConfig, BF16_BYTES, F32_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Per-parameter optimizer-state bytes for mixed-precision Adam
+/// (f32 master + f32 momentum + f32 variance).
+pub const ADAM_STATE_BYTES: u64 = 3 * F32_BYTES;
+
+/// Breakdown of per-device model-state memory, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryReport {
+    /// Sharded optimizer state: `Ψ_all · 12 / P`.
+    pub optimizer_state: u64,
+    /// Parameter state: sharded copy + one unsharded layer + prefetch
+    /// overhead (`Ψ_all/P + Ψ_other + 2·C·Ψ_expert`, in bf16 bytes).
+    pub parameter_state: u64,
+    /// Gradient state (same shape as the parameter state under delayed
+    /// gradient reduction).
+    pub gradient_state: u64,
+}
+
+impl MemoryReport {
+    /// Total model-state bytes per device.
+    pub fn total(&self) -> u64 {
+        self.optimizer_state + self.parameter_state + self.gradient_state
+    }
+}
+
+/// Computes the per-device model-state memory for FSEP with parallel
+/// degree `p_fsep = N` and expert capacity `capacity`, following the
+/// analysis in Sec. 3.1.
+///
+/// # Panics
+///
+/// Panics if `p_fsep` is zero.
+pub fn memory_report(cfg: &ModelConfig, p_fsep: usize, capacity: usize) -> MemoryReport {
+    assert!(p_fsep > 0, "parallel degree must be non-zero");
+    let psi_all = cfg.total_params();
+    let psi_other = cfg.other_params_per_layer();
+    let psi_expert = cfg.expert_params();
+    let transient = psi_other + 2 * capacity as u64 * psi_expert;
+    let sharded = psi_all / p_fsep as u64;
+    MemoryReport {
+        optimizer_state: psi_all * ADAM_STATE_BYTES / p_fsep as u64,
+        parameter_state: (sharded + transient) * BF16_BYTES,
+        gradient_state: (sharded + transient) * BF16_BYTES,
+    }
+}
+
+/// Per-device model-state memory for classic FSDP over the whole model
+/// (no FSEP): same analysis with only one unsharded layer materialised.
+pub fn fsdp_memory_report(cfg: &ModelConfig, p_fsdp: usize) -> MemoryReport {
+    assert!(p_fsdp > 0, "parallel degree must be non-zero");
+    let psi_all = cfg.total_params();
+    let transient = cfg.layer_params();
+    let sharded = psi_all / p_fsdp as u64;
+    MemoryReport {
+        optimizer_state: psi_all * ADAM_STATE_BYTES / p_fsdp as u64,
+        parameter_state: (sharded + transient) * BF16_BYTES,
+        gradient_state: (sharded + transient) * BF16_BYTES,
+    }
+}
+
+/// Communication-volume ratio `V_fsep / V_fsdp` from Sec. 3.1:
+/// `((P_fsep − 1) · P_fsdp) / (P_fsep · (P_fsdp − 1))`.
+///
+/// The ratio approaches 1 as the cluster grows; at the paper's example
+/// point (`P_fsep = 32`, `P_fsdp = 8`) it is ≈1.1.
+///
+/// # Panics
+///
+/// Panics if either degree is < 2 (the ratio is undefined when FSDP does
+/// not communicate at all).
+pub fn comm_volume_ratio(p_fsep: usize, p_fsdp: usize) -> f64 {
+    assert!(p_fsep >= 2 && p_fsdp >= 2, "parallel degrees must be >= 2");
+    ((p_fsep - 1) as f64 * p_fsdp as f64) / (p_fsep as f64 * (p_fsdp - 1) as f64)
+}
+
+/// Per-device unshard communication volume for FSEP (Sec. 3.1):
+/// `C · (P−1)/P · Ψ_expert` parameters.
+pub fn fsep_unshard_volume_bytes(cfg: &ModelConfig, p_fsep: usize, capacity: usize) -> f64 {
+    assert!(p_fsep > 0, "parallel degree must be non-zero");
+    let psi_expert_bytes = (cfg.expert_params() * BF16_BYTES) as f64;
+    capacity as f64 * (p_fsep as f64 - 1.0) / p_fsep as f64 * psi_expert_bytes
+}
+
+/// Per-device unshard (all-gather) volume for classic FSDP+EP:
+/// `(P_fsdp−1)/P_fsdp · C · Ψ_expert`.
+pub fn fsdp_unshard_volume_bytes(cfg: &ModelConfig, p_fsdp: usize, capacity: usize) -> f64 {
+    assert!(p_fsdp > 0, "parallel degree must be non-zero");
+    let psi_expert_bytes = (cfg.expert_params() * BF16_BYTES) as f64;
+    (p_fsdp as f64 - 1.0) / p_fsdp as f64 * capacity as f64 * psi_expert_bytes
+}
+
+/// Activation bytes per token per transformer layer under selective
+/// recomputation: roughly ten `H`-sized bf16 tensors survive per token
+/// per layer (attention inputs/outputs, router state, expert
+/// inputs/outputs kept for backward).
+pub const ACT_TENSORS_PER_LAYER: u64 = 10;
+
+/// Device HBM capacity of the paper's A100-80GB, with a 5 % reserve for
+/// fragmentation, NCCL buffers and workspace.
+pub const DEVICE_MEMORY_BUDGET: u64 = (80.0 * 0.95 * 1024.0 * 1024.0 * 1024.0) as u64;
+
+/// Per-device memory of Megatron-style heterogeneous parallelism:
+/// tensor-parallel degree `tp` for attention (with a ZeRO-1 distributed
+/// optimizer over the `N / tp` data-parallel group), resident
+/// expert-parallel experts (`C` per layer per device, optimizer sharded
+/// over the `N·C/E` replica group), plus activations.
+///
+/// # Panics
+///
+/// Panics if `tp` is zero or exceeds the device count.
+pub fn megatron_memory_bytes(
+    cfg: &ModelConfig,
+    n_devices: usize,
+    tp: usize,
+    capacity: usize,
+    tokens_per_device: u64,
+) -> u64 {
+    assert!(tp >= 1 && tp <= n_devices, "tp must be in 1..=N");
+    let layers = cfg.layers() as u64;
+    // Experts: EP-resident, bf16 params + grads, ZeRO-1 opt over replicas.
+    let expert_params = layers * capacity as u64 * cfg.expert_params();
+    let replicas = ((n_devices * capacity) / cfg.experts()).max(1) as u64;
+    let expert_bytes =
+        expert_params * 2 * BF16_BYTES + expert_params * ADAM_STATE_BYTES / replicas;
+    // Attention/other: TP-divided, bf16 params + grads, ZeRO-1 opt over
+    // the DP group.
+    let other_params = (layers * cfg.other_params_per_layer() + cfg.embedding_params())
+        / tp as u64;
+    let dp = (n_devices / tp).max(1) as u64;
+    let other_bytes = other_params * 2 * BF16_BYTES + other_params * ADAM_STATE_BYTES / dp;
+    // Activations: TP shards the per-token activation footprint.
+    let act_bytes = tokens_per_device
+        * layers
+        * ACT_TENSORS_PER_LAYER
+        * cfg.hidden() as u64
+        * BF16_BYTES
+        / tp as u64;
+    expert_bytes + other_bytes + act_bytes
+}
+
+/// Smallest power-of-two tensor-parallel degree at which Megatron's
+/// per-device memory fits [`DEVICE_MEMORY_BUDGET`]; `None` if even
+/// `tp = devices_per_node` does not fit.
+pub fn megatron_min_tp(
+    cfg: &ModelConfig,
+    n_devices: usize,
+    capacity: usize,
+    tokens_per_device: u64,
+    max_tp: usize,
+) -> Option<usize> {
+    let mut tp = 1;
+    while tp <= max_tp.min(n_devices) {
+        if megatron_memory_bytes(cfg, n_devices, tp, capacity, tokens_per_device)
+            <= DEVICE_MEMORY_BUDGET
+        {
+            return Some(tp);
+        }
+        tp *= 2;
+    }
+    None
+}
+
+/// Per-device memory of the fully-sharded (FSEP / FSDP+EP) executors:
+/// the Sec. 3.1 model state plus the same activation model (no TP).
+pub fn fully_sharded_memory_bytes(
+    cfg: &ModelConfig,
+    n_devices: usize,
+    capacity: usize,
+    tokens_per_device: u64,
+) -> u64 {
+    let state = memory_report(cfg, n_devices, capacity).total();
+    let act = tokens_per_device
+        * cfg.layers() as u64
+        * ACT_TENSORS_PER_LAYER
+        * cfg.hidden() as u64
+        * BF16_BYTES;
+    state + act
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelPreset;
+
+    #[test]
+    fn paper_example_ratio_is_1_1() {
+        let r = comm_volume_ratio(32, 8);
+        assert!((r - 31.0 * 8.0 / (32.0 * 7.0)).abs() < 1e-12);
+        assert!((r - 1.107).abs() < 0.01, "got {r}");
+    }
+
+    #[test]
+    fn ratio_approaches_one_with_scale() {
+        let small = comm_volume_ratio(8, 2);
+        let large = comm_volume_ratio(1024, 256);
+        assert!(small > large);
+        assert!((large - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel degrees")]
+    fn ratio_rejects_degenerate_degrees() {
+        let _ = comm_volume_ratio(1, 8);
+    }
+
+    #[test]
+    fn unshard_volumes_match_formulae() {
+        let cfg = ModelPreset::Mixtral8x7bE8k2.config();
+        let fsep = fsep_unshard_volume_bytes(&cfg, 32, 2);
+        let fsdp = fsdp_unshard_volume_bytes(&cfg, 8, 2);
+        let ratio = fsep / fsdp;
+        assert!((ratio - comm_volume_ratio(32, 8)).abs() < 1e-9);
+    }
+
+    /// Sec. 3.1: "Compared to traditional FSDP, our method incurs only an
+    /// additional `2·C·Ψ_expert` in memory overhead" — and that overhead is
+    /// small relative to the whole model state.
+    #[test]
+    fn fsep_memory_overhead_is_small() {
+        let cfg = ModelPreset::Mixtral8x7bE8k2.config();
+        let fsep = memory_report(&cfg, 32, 2);
+        let fsdp = fsdp_memory_report(&cfg, 32);
+        let overhead = fsep.total() as f64 - fsdp.total() as f64;
+        // Extra parameter+gradient memory: 2 copies x (C experts prefetch
+        // headroom) minus the expert share already inside one FSDP layer.
+        assert!(overhead.abs() / (fsdp.total() as f64) < 0.25);
+        // And the FSEP state fits comfortably in an 80 GB device.
+        assert!(fsep.total() < 80 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn memory_scales_down_with_devices() {
+        let cfg = ModelPreset::Mixtral8x7bE8k2.config();
+        let at8 = memory_report(&cfg, 8, 2);
+        let at32 = memory_report(&cfg, 32, 2);
+        assert!(at32.optimizer_state < at8.optimizer_state);
+        assert!(at32.total() < at8.total());
+    }
+
+    /// Sec. 5.2's memory mechanism, derived instead of asserted: the
+    /// >40 B e8k2 configurations need TP = 4 to fit 80 GB at the 16 K
+    /// token operating point, while the ~35 B e16k4 configurations fit
+    /// at TP = 2 — and the fully-sharded executors fit with no TP at
+    /// all (which is why FSDP+EP can afford the larger micro-batch).
+    #[test]
+    fn megatron_tp_selection_matches_paper() {
+        let tokens = 16 * 1024;
+        for (preset, want_tp) in [
+            (ModelPreset::Mixtral8x7bE8k2, 4),
+            (ModelPreset::Mixtral8x22bE8k2, 4),
+            (ModelPreset::Qwen8x7bE8k2, 4),
+            (ModelPreset::Mixtral8x7bE16k4, 2),
+            (ModelPreset::Mixtral8x22bE16k4, 2),
+            (ModelPreset::Qwen8x7bE16k4, 2),
+        ] {
+            let cfg = preset.config();
+            let tp = megatron_min_tp(&cfg, 32, cfg.default_capacity(), tokens, 8)
+                .expect("some TP fits");
+            assert_eq!(tp, want_tp, "{preset:?}");
+        }
+    }
+
+    #[test]
+    fn fully_sharded_fits_without_tp() {
+        for preset in ModelPreset::ALL {
+            let cfg = preset.config();
+            let bytes = fully_sharded_memory_bytes(&cfg, 32, cfg.default_capacity(), 16 * 1024);
+            assert!(
+                bytes <= DEVICE_MEMORY_BUDGET,
+                "{preset:?}: {} GB",
+                bytes / (1 << 30)
+            );
+        }
+    }
+
+    #[test]
+    fn megatron_memory_decreases_with_tp() {
+        let cfg = ModelPreset::Mixtral8x7bE8k2.config();
+        let m1 = megatron_memory_bytes(&cfg, 32, 1, 2, 16 * 1024);
+        let m4 = megatron_memory_bytes(&cfg, 32, 4, 2, 16 * 1024);
+        assert!(m4 < m1);
+    }
+
+    #[test]
+    fn report_total_sums_fields() {
+        let cfg = ModelPreset::Mixtral8x7bE8k2.config();
+        let r = memory_report(&cfg, 32, 2);
+        assert_eq!(
+            r.total(),
+            r.optimizer_state + r.parameter_state + r.gradient_state
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the model/cost substrate: parameter
+//! accounting identities and cost-model monotonicity for arbitrary
+//! architectures.
+
+use laer_cluster::Topology;
+use laer_model::{memory, CostModel, GpuSpec, ModelConfigBuilder};
+use proptest::prelude::*;
+
+fn arbitrary_model() -> impl Strategy<Value = laer_model::ModelConfig> {
+    (
+        1usize..8,  // layers
+        1usize..16, // hidden / 64
+        1usize..16, // intermediate / 64
+        1usize..5,  // kv heads
+        1usize..4,  // gqa ratio
+        1usize..9,  // experts
+        any::<bool>(),
+    )
+        .prop_filter_map("top_k <= experts", |(l, h, hp, kv, gqa, e, bias)| {
+            let k = 1 + (l % e.min(4));
+            if k > e {
+                return None;
+            }
+            ModelConfigBuilder::new("prop")
+                .layers(l)
+                .hidden(h * 64)
+                .intermediate(hp * 64)
+                .heads(kv * gqa, kv, 64)
+                .vocab(1024)
+                .experts(e, k)
+                .qkv_bias(bias)
+                .build()
+                .ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Accounting identities: totals decompose into layers + embeddings;
+    /// activated ≤ total; activated uses exactly K of E experts.
+    #[test]
+    fn parameter_accounting_identities(cfg in arbitrary_model()) {
+        let total = cfg.total_params();
+        prop_assert_eq!(
+            total,
+            cfg.layers() as u64 * cfg.layer_params() + cfg.embedding_params()
+        );
+        prop_assert!(cfg.activated_params() <= total);
+        let expected_active_layer = cfg.layer_params()
+            - (cfg.experts() - cfg.top_k()) as u64 * cfg.expert_params();
+        prop_assert_eq!(
+            cfg.activated_params(),
+            cfg.layers() as u64 * expected_active_layer + cfg.embedding_params()
+        );
+        prop_assert_eq!(
+            cfg.layer_params(),
+            cfg.other_params_per_layer() + cfg.moe_layer_expert_params()
+        );
+    }
+
+    /// The Eq. 1 threshold scales linearly with capacity and inversely
+    /// with top-k.
+    #[test]
+    fn eq1_threshold_scalings(cfg in arbitrary_model()) {
+        let topo = Topology::paper_cluster();
+        let cm = CostModel::new(&cfg, GpuSpec::a100());
+        let base = cm.overlap_threshold_tokens(&topo, 1, 1);
+        let c2 = cm.overlap_threshold_tokens(&topo, 2, 1);
+        let k2 = cm.overlap_threshold_tokens(&topo, 1, 2);
+        prop_assert!((c2 - 2.0 * base).abs() < 1e-6 * base);
+        prop_assert!((k2 - base / 2.0).abs() < 1e-6 * base);
+    }
+
+    /// Memory reports shrink with more devices and grow with capacity.
+    #[test]
+    fn memory_monotonicity(cfg in arbitrary_model(), n1 in 1usize..16, n2 in 1usize..16) {
+        let (small_n, big_n) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        prop_assume!(small_n != big_n);
+        let small = memory::memory_report(&cfg, big_n, 1);
+        let big = memory::memory_report(&cfg, small_n, 1);
+        prop_assert!(small.optimizer_state <= big.optimizer_state);
+        let c1 = memory::memory_report(&cfg, 4, 1);
+        let c2 = memory::memory_report(&cfg, 4, 2);
+        prop_assert!(c2.parameter_state >= c1.parameter_state);
+    }
+
+    /// The FSEP/FSDP communication-volume ratio is > 1 and decreasing in
+    /// P_fsep (approaches 1 from above) whenever P_fsdp < P_fsep.
+    #[test]
+    fn comm_ratio_properties(p_fsdp in 2usize..16, mult in 2usize..8) {
+        let p_fsep = p_fsdp * mult;
+        let r = memory::comm_volume_ratio(p_fsep, p_fsdp);
+        prop_assert!(r > 1.0);
+        let r_bigger = memory::comm_volume_ratio(p_fsep * 2, p_fsdp * 2);
+        prop_assert!(r_bigger < r + 1e-12);
+    }
+
+    /// Expert forward time is exactly linear in assignments.
+    #[test]
+    fn forward_time_linearity(cfg in arbitrary_model(), a in 1u64..1_000_000) {
+        let cm = CostModel::new(&cfg, GpuSpec::a100());
+        let t1 = cm.expert_forward_time(a);
+        let t2 = cm.expert_forward_time(2 * a);
+        prop_assert!((t2 - 2.0 * t1).abs() < 1e-9 * t2.max(1e-30));
+    }
+}

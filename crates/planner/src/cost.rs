@@ -1,0 +1,198 @@
+//! The planner's time model — Eqs. 2–4 of the paper.
+//!
+//! `T = T_comm + T_comp` with
+//!
+//! * `T_comm` built from the paper's pairwise terms
+//!   `S[i][j][k] · V_comm / bw(i, k)` (Eq. 2's communication sum), but
+//!   aggregated per device and taken over the straggler:
+//!   `T_comm = 4 · max_i max(send_i, recv_i)` where `send_i` sums the
+//!   pairwise terms leaving device `i` and `recv_i` those arriving.
+//!   The paper writes the aggregation as a flat sum; a flat sum is total
+//!   byte-seconds rather than wall time, and since the All-to-All is a
+//!   synchronising collective the executor's iteration time tracks the
+//!   slowest device — the max aggregation makes the planner optimise the
+//!   quantity the system actually experiences (and what
+//!   `laer_sim::all_to_all_time` charges);
+//! * `T_comp = (3 + F_ckpt) · max_i V_comp · Σ_{j,k} S[k][j][i] / B_comp`.
+
+use crate::token_routing::TokenRouting;
+use laer_cluster::{LinkKind, Topology};
+use laer_model::{CostModel, GpuSpec, ModelConfig, ModelPreset};
+use serde::{Deserialize, Serialize};
+
+/// Scalar parameters of the planner's time model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Bytes moved per token per All-to-All hop (`V_comm`).
+    pub v_comm: f64,
+    /// Forward FLOPs per (token, expert) assignment (`V_comp`).
+    pub v_comp: f64,
+    /// Effective per-GPU throughput (`B_comp`), FLOP/s.
+    pub b_comp: f64,
+    /// Whether activation checkpointing doubles the forward pass
+    /// (`F_ckpt` of Eq. 2's computation term).
+    pub checkpointing: bool,
+}
+
+impl CostParams {
+    /// Builds cost parameters from a model configuration and GPU spec.
+    pub fn from_model(cfg: &ModelConfig, gpu: GpuSpec, checkpointing: bool) -> Self {
+        let cm = CostModel::new(cfg, gpu);
+        Self {
+            v_comm: cm.v_comm(),
+            v_comp: cm.v_comp(),
+            b_comp: gpu.effective_flops(),
+            checkpointing,
+        }
+    }
+
+    /// The Mixtral-8x7B e8k2 / A100 operating point used in most of the
+    /// paper's experiments.
+    pub fn mixtral_8x7b() -> Self {
+        Self::from_model(
+            &ModelPreset::Mixtral8x7bE8k2.config(),
+            GpuSpec::a100(),
+            false,
+        )
+    }
+
+    /// The `(3 + F_ckpt)` forward/backward multiplier.
+    pub fn compute_multiplier(&self) -> f64 {
+        if self.checkpointing {
+            4.0
+        } else {
+            3.0
+        }
+    }
+}
+
+/// The two components of the objective, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// `T_comm` of Eq. 2.
+    pub comm: f64,
+    /// `T_comp` of Eq. 2.
+    pub comp: f64,
+}
+
+impl CostBreakdown {
+    /// `T = T_comm + T_comp`.
+    pub fn total(&self) -> f64 {
+        self.comm + self.comp
+    }
+}
+
+/// Effective point-to-point bandwidth used by both the planner and the
+/// simulator: NVLink per device, NIC shared per node.
+pub(crate) fn effective_bw(topo: &Topology, a: laer_cluster::DeviceId, b: laer_cluster::DeviceId) -> f64 {
+    match topo.link_kind(a, b) {
+        LinkKind::Local => f64::INFINITY,
+        LinkKind::IntraNode => topo.intra_bandwidth(),
+        LinkKind::InterNode => topo.inter_bandwidth() / topo.devices_per_node() as f64,
+        // The rack spine is shared by every device in the rack.
+        LinkKind::InterRack => {
+            topo.rack_bandwidth() / topo.devices_per_rack().unwrap_or(1) as f64
+        }
+    }
+}
+
+/// Evaluates the objective `T = T_comm + T_comp` for a routing strategy.
+pub fn time_cost(topo: &Topology, routing: &TokenRouting, params: &CostParams) -> CostBreakdown {
+    let n = topo.num_devices();
+    // T_comm: per-device send/receive times from the pairwise terms of
+    // Eq. 2, straggler max, over the four A2A passes of one layer.
+    let mut send = vec![0.0f64; n];
+    let mut recv = vec![0.0f64; n];
+    for &(src, _, dst, tokens) in routing.entries() {
+        if src == dst {
+            continue;
+        }
+        let t = tokens as f64 * params.v_comm / effective_bw(topo, src, dst);
+        send[src.index()] += t;
+        recv[dst.index()] += t;
+    }
+    let straggler = send
+        .iter()
+        .zip(&recv)
+        .map(|(&s, &r)| s.max(r))
+        .fold(0.0, f64::max);
+    let comm = 4.0 * straggler;
+    // T_comp: the straggler device's forward time, times (3 + F_ckpt).
+    let max_load = routing
+        .device_compute_loads()
+        .into_iter()
+        .max()
+        .unwrap_or(0) as f64;
+    let comp = params.compute_multiplier() * max_load * params.v_comp / params.b_comp;
+    CostBreakdown { comm, comp }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laer_cluster::{DeviceId, ExpertId};
+
+    fn params() -> CostParams {
+        CostParams::mixtral_8x7b()
+    }
+
+    #[test]
+    fn local_routing_has_zero_comm() {
+        let topo = Topology::single_node(2).unwrap();
+        let mut s = TokenRouting::new(2, 2);
+        s.push(DeviceId::new(0), ExpertId::new(0), DeviceId::new(0), 100);
+        let c = time_cost(&topo, &s, &params());
+        assert_eq!(c.comm, 0.0);
+        assert!(c.comp > 0.0);
+    }
+
+    #[test]
+    fn remote_routing_pays_comm() {
+        let topo = Topology::paper_cluster();
+        let mut s = TokenRouting::new(32, 8);
+        s.push(DeviceId::new(0), ExpertId::new(0), DeviceId::new(9), 1000);
+        let c = time_cost(&topo, &s, &params());
+        assert!(c.comm > 0.0);
+    }
+
+    #[test]
+    fn inter_node_comm_costs_more() {
+        let topo = Topology::paper_cluster();
+        let mut intra = TokenRouting::new(32, 8);
+        intra.push(DeviceId::new(0), ExpertId::new(0), DeviceId::new(1), 1000);
+        let mut inter = TokenRouting::new(32, 8);
+        inter.push(DeviceId::new(0), ExpertId::new(0), DeviceId::new(9), 1000);
+        let ci = time_cost(&topo, &intra, &params());
+        let cx = time_cost(&topo, &inter, &params());
+        assert!(cx.comm > ci.comm * 5.0);
+    }
+
+    #[test]
+    fn comp_uses_straggler() {
+        let topo = Topology::single_node(2).unwrap();
+        let mut even = TokenRouting::new(2, 2);
+        even.push(DeviceId::new(0), ExpertId::new(0), DeviceId::new(0), 500);
+        even.push(DeviceId::new(1), ExpertId::new(1), DeviceId::new(1), 500);
+        let mut skew = TokenRouting::new(2, 2);
+        skew.push(DeviceId::new(0), ExpertId::new(0), DeviceId::new(0), 900);
+        skew.push(DeviceId::new(1), ExpertId::new(1), DeviceId::new(1), 100);
+        let p = params();
+        let ce = time_cost(&topo, &even, &p);
+        let cs = time_cost(&topo, &skew, &p);
+        assert!((cs.comp / ce.comp - 900.0 / 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checkpointing_multiplier() {
+        let mut p = params();
+        assert_eq!(p.compute_multiplier(), 3.0);
+        p.checkpointing = true;
+        assert_eq!(p.compute_multiplier(), 4.0);
+    }
+
+    #[test]
+    fn breakdown_total() {
+        let b = CostBreakdown { comm: 1.5, comp: 2.5 };
+        assert_eq!(b.total(), 4.0);
+    }
+}

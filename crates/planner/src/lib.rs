@@ -1,0 +1,68 @@
+//! The LAER-MoE load-balancing planner (Sec. 3.2 of the paper).
+//!
+//! The planner answers two questions every iteration:
+//!
+//! 1. **expert re-layout** — which experts should each device restore
+//!    during FSEP unshard (`A[i][j]`, the re-layout strategy of Tab. 1)?
+//! 2. **token routing** — to which replica should each token go
+//!    (`S[i][j][k]`)?
+//!
+//! It solves them with the paper's decomposition:
+//!
+//! * [`lite_routing`] — Alg. 3: the synchronous, topology-aware token
+//!   dispatcher (intra-node replicas first, global replicas otherwise);
+//! * [`replica`] — Alg. 4: priority-queue replica allocation by average
+//!   load;
+//! * [`relocation`] — Alg. 1: greedy topology-aware placement of replicas
+//!   onto devices;
+//! * [`tuner`] — Alg. 2: the asynchronous expert-layout tuner evaluating a
+//!   candidate set ε of replica schemes (proportional, even, random
+//!   perturbations) under the cost model and picking the cheapest;
+//! * [`cost`] — the joint objective `T = T_comm + T_comp` of Eqs. 2–4;
+//! * [`exact`] — a brute-force layout enumerator for tiny instances, used
+//!   by tests to bound the greedy optimality gap;
+//! * [`parallel`] — multi-threaded candidate evaluation (the paper's
+//!   multi-process CPU solver, Sec. 4).
+//!
+//! # Example
+//!
+//! ```
+//! use laer_cluster::Topology;
+//! use laer_planner::{CostParams, Planner, PlannerConfig};
+//! use laer_routing::{RoutingGenerator, RoutingGeneratorConfig};
+//!
+//! # fn main() {
+//! let topo = Topology::single_node(4).unwrap();
+//! let mut gen = RoutingGenerator::new(RoutingGeneratorConfig::new(4, 8, 4096).with_seed(1));
+//! let planner = Planner::new(PlannerConfig::new(2), CostParams::mixtral_8x7b(), topo);
+//! let plan = planner.plan(&gen.next_iteration());
+//! assert_eq!(plan.layout.total_replicas(), 4 * 2);
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod exact;
+pub mod layout;
+pub mod lite_routing;
+pub mod parallel;
+pub mod predictor;
+pub mod refine;
+pub mod relocation;
+pub mod replica;
+pub mod tuner;
+
+mod token_routing;
+
+pub use cost::{CostBreakdown, CostParams};
+pub use exact::exhaustive_best_layout;
+pub use layout::{ExpertLayout, LayoutError};
+pub use lite_routing::lite_route;
+pub use predictor::LoadPredictor;
+pub use refine::{refine_layout, RefinedPlan};
+pub use relocation::expert_relocation;
+pub use replica::{even_replicas, replica_allocation};
+pub use token_routing::{RoutingViolation, TokenRouting};
+pub use tuner::{Plan, Planner, PlannerConfig, ReplicaScheme};

@@ -1,0 +1,142 @@
+//! Multi-threaded candidate evaluation.
+//!
+//! The paper offloads layout solving to CPU processes and notes (Sec. 5.4)
+//! that "since solving is layer-independent, we can parallelize solvers
+//! for different layers across multiple CPU processes". This module
+//! provides both levels: candidate schemes of one layer are evaluated
+//! across threads, and independent layers can be planned concurrently —
+//! with results identical to the serial [`crate::Planner::plan`].
+
+use crate::tuner::{Plan, Planner};
+use laer_routing::RoutingMatrix;
+use parking_lot::Mutex;
+
+/// Plans one layer by evaluating the candidate set across `threads`
+/// worker threads. Deterministic: the same plan as the serial tuner
+/// (ties broken toward the lower candidate index).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn plan_parallel(planner: &Planner, demand: &RoutingMatrix, threads: usize) -> Plan {
+    assert!(threads > 0, "at least one thread");
+    let schemes = planner.candidate_schemes(demand);
+    let loads = demand.expert_loads();
+    // (candidate index, plan) — the lowest total wins, ties to low index.
+    let best: Mutex<Option<(usize, Plan)>> = Mutex::new(None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(schemes.len()).max(1) {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= schemes.len() {
+                    break;
+                }
+                let plan = planner.evaluate_scheme(&schemes[idx], &loads, demand);
+                let mut guard = best.lock();
+                let replace = match &*guard {
+                    None => true,
+                    Some((best_idx, best_plan)) => {
+                        let t = plan.predicted.total();
+                        let bt = best_plan.predicted.total();
+                        t < bt || (t == bt && idx < *best_idx)
+                    }
+                };
+                if replace {
+                    *guard = Some((idx, plan));
+                }
+            });
+        }
+    })
+    .expect("planner worker threads do not panic");
+    best.into_inner().expect("candidate set is non-empty").1
+}
+
+/// Plans several independent layers concurrently, one thread per layer
+/// (bounded by `threads`), preserving input order in the output.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn plan_layers_parallel(
+    planner: &Planner,
+    demands: &[RoutingMatrix],
+    threads: usize,
+) -> Vec<Plan> {
+    assert!(threads > 0, "at least one thread");
+    let results: Vec<Mutex<Option<Plan>>> = demands.iter().map(|_| Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(demands.len()).max(1) {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= demands.len() {
+                    break;
+                }
+                let plan = planner.plan(&demands[idx]);
+                *results[idx].lock() = Some(plan);
+            });
+        }
+    })
+    .expect("planner worker threads do not panic");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every layer planned"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostParams, PlannerConfig};
+    use laer_cluster::Topology;
+    use laer_routing::{RoutingGenerator, RoutingGeneratorConfig};
+
+    fn setup() -> (Planner, Vec<RoutingMatrix>) {
+        let planner = Planner::new(
+            PlannerConfig::new(2).with_epsilon(6),
+            CostParams::mixtral_8x7b(),
+            Topology::paper_cluster(),
+        );
+        let mut gen =
+            RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 8192).with_seed(5));
+        let demands: Vec<_> = (0..4).map(|_| gen.next_iteration()).collect();
+        (planner, demands)
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (planner, demands) = setup();
+        for d in &demands {
+            let serial = planner.plan(d);
+            let parallel = plan_parallel(&planner, d, 4);
+            assert_eq!(serial.layout, parallel.layout);
+            assert_eq!(serial.predicted, parallel.predicted);
+        }
+    }
+
+    #[test]
+    fn layer_parallel_matches_serial() {
+        let (planner, demands) = setup();
+        let serial: Vec<_> = demands.iter().map(|d| planner.plan(d)).collect();
+        let parallel = plan_layers_parallel(&planner, &demands, 3);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.layout, p.layout);
+        }
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let (planner, demands) = setup();
+        let plan = plan_parallel(&planner, &demands[0], 1);
+        assert!(plan.layout.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let (planner, demands) = setup();
+        let _ = plan_parallel(&planner, &demands[0], 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Load prediction for the asynchronous layout tuner.
+//!
+//! Per the overall workflow (Fig. 7), the expert layout tuner runs on
+//! the CPU while the GPU computes: it receives the *current* layer's
+//! routing information plus "historical data from previous iterations"
+//! and produces the re-layout strategy for the **next** iteration of
+//! that layer. The layout a layer executes is therefore one iteration
+//! stale; [`LoadPredictor`] smooths that staleness with an exponential
+//! moving average over routing matrices.
+
+use laer_cluster::{DeviceId, ExpertId};
+use laer_routing::RoutingMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Exponential-moving-average predictor over routing matrices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadPredictor {
+    /// Smoothing factor in (0, 1]; 1.0 = use last iteration verbatim.
+    alpha: f64,
+    state: Option<Vec<f64>>,
+    devices: usize,
+    experts: usize,
+}
+
+impl LoadPredictor {
+    /// Creates a predictor with smoothing factor `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self {
+            alpha,
+            state: None,
+            devices: 0,
+            experts: 0,
+        }
+    }
+
+    /// The paper's operating point: recent iterations dominate (load
+    /// autocorrelation is high, Fig. 1a), with mild smoothing against
+    /// per-iteration jitter.
+    pub fn default_ema() -> Self {
+        Self::new(0.75)
+    }
+
+    /// Whether the predictor has observed at least one iteration.
+    pub fn is_warm(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Feeds one iteration's observed routing matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape differs from previous observations.
+    pub fn observe(&mut self, observed: &RoutingMatrix) {
+        let (d, e) = (observed.num_devices(), observed.num_experts());
+        match &mut self.state {
+            None => {
+                self.devices = d;
+                self.experts = e;
+                self.state = Some(
+                    (0..d)
+                        .flat_map(|i| observed.row(DeviceId::new(i)).to_vec())
+                        .map(|v| v as f64)
+                        .collect(),
+                );
+            }
+            Some(state) => {
+                assert_eq!((d, e), (self.devices, self.experts), "shape changed");
+                for (idx, slot) in state.iter_mut().enumerate() {
+                    let v = observed.row(DeviceId::new(idx / e))[idx % e] as f64;
+                    *slot = self.alpha * v + (1.0 - self.alpha) * *slot;
+                }
+            }
+        }
+    }
+
+    /// Predicted routing matrix for the next iteration (rounded EMA).
+    ///
+    /// Returns `None` before the first observation.
+    pub fn predict(&self) -> Option<RoutingMatrix> {
+        let state = self.state.as_ref()?;
+        let mut r = RoutingMatrix::zeros(self.devices, self.experts)
+            .expect("observed shapes are non-empty");
+        for (idx, &v) in state.iter().enumerate() {
+            r.set(
+                DeviceId::new(idx / self.experts),
+                ExpertId::new(idx % self.experts),
+                v.round().max(0.0) as u64,
+            );
+        }
+        Some(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(vals: &[u64]) -> RoutingMatrix {
+        RoutingMatrix::from_rows(2, 2, vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn first_observation_is_identity() {
+        let mut p = LoadPredictor::new(0.5);
+        assert!(!p.is_warm());
+        assert!(p.predict().is_none());
+        p.observe(&matrix(&[10, 20, 30, 40]));
+        assert!(p.is_warm());
+        assert_eq!(p.predict().unwrap(), matrix(&[10, 20, 30, 40]));
+    }
+
+    #[test]
+    fn ema_blends_history() {
+        let mut p = LoadPredictor::new(0.5);
+        p.observe(&matrix(&[10, 0, 0, 0]));
+        p.observe(&matrix(&[30, 0, 0, 0]));
+        // 0.5*30 + 0.5*10 = 20.
+        assert_eq!(
+            p.predict().unwrap().get(DeviceId::new(0), ExpertId::new(0)),
+            20
+        );
+    }
+
+    #[test]
+    fn alpha_one_tracks_last() {
+        let mut p = LoadPredictor::new(1.0);
+        p.observe(&matrix(&[10, 20, 30, 40]));
+        p.observe(&matrix(&[1, 2, 3, 4]));
+        assert_eq!(p.predict().unwrap(), matrix(&[1, 2, 3, 4]));
+    }
+
+    /// On the calibrated synthetic trace, EMA prediction tracks the next
+    /// iteration's expert loads far better than a uniform guess — the
+    /// property that makes one-iteration-stale layouts effective.
+    #[test]
+    fn prediction_beats_uniform_on_synthetic_trace() {
+        use laer_routing::{RoutingGenerator, RoutingGeneratorConfig};
+        let mut gen =
+            RoutingGenerator::new(RoutingGeneratorConfig::new(8, 8, 8192).with_seed(21));
+        let mut p = LoadPredictor::default_ema();
+        let mut err_pred = 0.0f64;
+        let mut err_uniform = 0.0f64;
+        p.observe(&gen.next_iteration());
+        for _ in 0..30 {
+            let next = gen.next_iteration();
+            let predicted = p.predict().expect("warm").expert_loads();
+            let actual = next.expert_loads();
+            let uniform = next.total() as f64 / actual.len() as f64;
+            for (pr, ac) in predicted.iter().zip(&actual) {
+                err_pred += (*pr as f64 - *ac as f64).abs();
+            }
+            for ac in &actual {
+                err_uniform += (uniform - *ac as f64).abs();
+            }
+            p.observe(&next);
+        }
+        assert!(
+            err_pred < err_uniform * 0.5,
+            "EMA error {err_pred:.0} should beat uniform {err_uniform:.0}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_panics() {
+        let _ = LoadPredictor::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape changed")]
+    fn shape_change_panics() {
+        let mut p = LoadPredictor::new(0.5);
+        p.observe(&matrix(&[1, 2, 3, 4]));
+        p.observe(&RoutingMatrix::zeros(3, 2).unwrap());
+    }
+}

@@ -1,0 +1,198 @@
+//! Greedy topology-aware expert relocation — Alg. 1 of the paper.
+//!
+//! Given the replica count of each expert and the expert loads, the
+//! algorithm places replicas one by one, heaviest first, keeping replicas
+//! of the same expert spread across nodes (so lite routing's intra-node
+//! preference stays balanced) and packing each replica onto the
+//! least-loaded eligible device.
+
+use crate::layout::ExpertLayout;
+use laer_cluster::{ExpertId, Topology};
+
+/// Alg. 1: builds an [`ExpertLayout`] from per-expert replica counts and
+/// loads.
+///
+/// # Panics
+///
+/// Panics if `expert_rep` and `expert_loads` have different lengths, if
+/// the total replica count differs from `N · C`, or if any expert has
+/// zero replicas.
+pub fn expert_relocation(
+    expert_rep: &[usize],
+    expert_loads: &[u64],
+    topo: &Topology,
+    capacity: usize,
+) -> ExpertLayout {
+    let e = expert_rep.len();
+    let n = topo.num_devices();
+    assert_eq!(e, expert_loads.len(), "replica/load length mismatch");
+    assert!(expert_rep.iter().all(|&r| r >= 1), "every expert needs a replica");
+    assert_eq!(
+        expert_rep.iter().sum::<usize>(),
+        n * capacity,
+        "replica total must equal N*C"
+    );
+
+    // Lines 3-5: one list entry per replica, carrying the average load,
+    // sorted descending (ties toward lower expert index for determinism).
+    let mut list: Vec<(usize, f64)> = Vec::with_capacity(n * capacity);
+    for j in 0..e {
+        let avg = expert_loads[j] as f64 / expert_rep[j] as f64;
+        for _ in 0..expert_rep[j] {
+            list.push((j, avg));
+        }
+    }
+    list.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let mut layout =
+        ExpertLayout::empty(n, e, capacity).expect("caller-provided shape is consistent");
+    let mut expert_count = vec![0usize; n]; // slots used per device
+    let mut device_loads = vec![0.0f64; n];
+
+    for (expert_idx, load) in list {
+        let expert = ExpertId::new(expert_idx);
+        // Lines 7-9: nodes with the fewest replicas of this expert that
+        // still have a device with free capacity.
+        let node_cnt = layout.node_replica_counts(topo, expert);
+        let mut candidate_nodes: Vec<usize> = (0..topo.num_nodes()).collect();
+        candidate_nodes.sort_by_key(|&nid| node_cnt[nid]);
+        let mut placed = false;
+        let mut group_start = 0;
+        while group_start < candidate_nodes.len() {
+            let level = node_cnt[candidate_nodes[group_start]];
+            let group: Vec<usize> = candidate_nodes[group_start..]
+                .iter()
+                .copied()
+                .take_while(|&nid| node_cnt[nid] == level)
+                .collect();
+            // Lines 10-13: least-loaded device with spare capacity inside
+            // the chosen node group.
+            let best = group
+                .iter()
+                .flat_map(|&nid| topo.devices_on(laer_cluster::NodeId::new(nid)))
+                .filter(|d| expert_count[d.index()] < capacity)
+                .min_by(|a, b| {
+                    device_loads[a.index()]
+                        .total_cmp(&device_loads[b.index()])
+                        .then(a.index().cmp(&b.index()))
+                });
+            if let Some(device) = best {
+                layout.add_replica(device, expert);
+                device_loads[device.index()] += load;
+                expert_count[device.index()] += 1;
+                placed = true;
+                break;
+            }
+            group_start += group.len();
+        }
+        assert!(placed, "replica total equals slot total, placement must succeed");
+    }
+    debug_assert!(layout.validate().is_ok());
+    layout
+}
+
+/// Convenience: maximum projected device load under a layout built by
+/// [`expert_relocation`], assuming each expert's load splits evenly over
+/// its replicas.
+pub fn projected_max_device_load(
+    layout: &ExpertLayout,
+    expert_loads: &[u64],
+) -> f64 {
+    let rep = layout.replica_vector();
+    let mut device_loads = vec![0.0f64; layout.num_devices()];
+    for j in 0..layout.num_experts() {
+        if rep[j] == 0 {
+            continue;
+        }
+        let per_replica = expert_loads[j] as f64 / rep[j] as f64;
+        for (dev, count) in layout.replica_devices(ExpertId::new(j)) {
+            device_loads[dev.index()] += per_replica * count as f64;
+        }
+    }
+    device_loads.into_iter().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::replica_allocation;
+
+    #[test]
+    fn produces_valid_layout() {
+        let topo = Topology::new(2, 2).unwrap();
+        let loads = [400u64, 100, 100, 100];
+        let rep = replica_allocation(&loads, 4, 2);
+        let layout = expert_relocation(&rep, &loads, &topo, 2);
+        assert!(layout.validate().is_ok());
+        assert_eq!(layout.total_replicas(), 8);
+    }
+
+    #[test]
+    fn replicas_spread_across_nodes() {
+        let topo = Topology::new(2, 2).unwrap();
+        // Expert 0 has exactly 2 replicas: they must land on different
+        // nodes.
+        let rep = vec![2usize, 2, 2, 2];
+        let loads = [100u64, 90, 80, 70];
+        let layout = expert_relocation(&rep, &loads, &topo, 2);
+        for j in 0..4 {
+            let counts = layout.node_replica_counts(&topo, ExpertId::new(j));
+            assert_eq!(counts, vec![1, 1], "expert {j} unbalanced: {counts:?}");
+        }
+    }
+
+    /// Fig. 6's scenario: skewed load toward experts 0 and 1 should make
+    /// the greedy layout give them more devices than the cold experts.
+    #[test]
+    fn hot_experts_get_more_devices() {
+        let topo = Topology::single_node(4).unwrap();
+        let loads = [500u64, 450, 50, 40];
+        let rep = replica_allocation(&loads, 4, 2);
+        let layout = expert_relocation(&rep, &loads, &topo, 2);
+        assert!(layout.expert_replicas(ExpertId::new(0)) >= 2);
+        assert!(
+            layout.expert_replicas(ExpertId::new(0)) > layout.expert_replicas(ExpertId::new(3))
+        );
+        // Projected max device load beats the classic fixed layout.
+        let classic = ExpertLayout::classic_ep(4, 4, 2).unwrap();
+        let greedy_max = projected_max_device_load(&layout, &loads);
+        let classic_max = projected_max_device_load(&classic, &loads);
+        assert!(
+            greedy_max < classic_max,
+            "greedy {greedy_max} should beat classic {classic_max}"
+        );
+    }
+
+    #[test]
+    fn least_loaded_device_chosen() {
+        let topo = Topology::single_node(2).unwrap();
+        // Single replica each of experts 0 (heavy) and 1..=3 (light);
+        // the heavy expert is placed first on device 0, then lights fill
+        // the lighter device first.
+        let rep = vec![1usize, 1, 1, 1];
+        let loads = [1000u64, 10, 10, 10];
+        let layout = expert_relocation(&rep, &loads, &topo, 2);
+        // Device hosting expert 0 should host exactly one more (light)
+        // expert; device 1 hosts two lights.
+        let hot_dev = layout.replica_devices(ExpertId::new(0))[0].0;
+        assert_eq!(layout.device_slots_used(hot_dev), 2);
+        assert!(layout.validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic() {
+        let topo = Topology::new(2, 4).unwrap();
+        let loads = [100u64, 300, 50, 200, 70, 10, 90, 40];
+        let rep = replica_allocation(&loads, 8, 2);
+        let a = expert_relocation(&rep, &loads, &topo, 2);
+        let b = expert_relocation(&rep, &loads, &topo, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal N*C")]
+    fn wrong_total_panics() {
+        let topo = Topology::single_node(2).unwrap();
+        let _ = expert_relocation(&[1, 1, 1], &[1, 1, 1], &topo, 2);
+    }
+}

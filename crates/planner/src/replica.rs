@@ -1,0 +1,181 @@
+//! Replica-count allocation — Alg. 4 (priority queue, Appendix C) and the
+//! even scheme of Alg. 2 line 3.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Heap entry ordered by average load, ties broken toward the lower
+/// expert index (deterministic).
+#[derive(Debug, PartialEq)]
+struct HeapItem {
+    avg_load: f64,
+    expert: Reverse<usize>,
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.avg_load
+            .total_cmp(&other.avg_load)
+            .then_with(|| self.expert.cmp(&other.expert))
+    }
+}
+
+/// Alg. 4: proportional replica allocation via a priority queue.
+///
+/// Starts every expert at one replica and repeatedly grants an extra
+/// replica to the expert with the highest *average* load (load divided by
+/// its current replica count) until `N · C` replicas are allocated.
+///
+/// # Panics
+///
+/// Panics if `expert_loads` is empty or `n * c < expert_loads.len()`
+/// (each expert needs at least one replica).
+pub fn replica_allocation(expert_loads: &[u64], n: usize, c: usize) -> Vec<usize> {
+    let e = expert_loads.len();
+    assert!(e > 0, "at least one expert");
+    assert!(
+        n * c >= e,
+        "total replicas {} cannot cover {e} experts",
+        n * c
+    );
+    let mut rep = vec![1usize; e];
+    let mut heap: BinaryHeap<HeapItem> = (0..e)
+        .map(|i| HeapItem {
+            avg_load: expert_loads[i] as f64,
+            expert: Reverse(i),
+        })
+        .collect();
+    let mut allocated = e;
+    while allocated < n * c {
+        let top = heap.pop().expect("heap tracks every expert");
+        let i = top.expert.0;
+        rep[i] += 1;
+        allocated += 1;
+        heap.push(HeapItem {
+            avg_load: expert_loads[i] as f64 / rep[i] as f64,
+            expert: Reverse(i),
+        });
+    }
+    rep
+}
+
+/// The even allocation of Alg. 2 line 3: `⌊N·C/E⌋` replicas per expert,
+/// with any remainder granted to the highest-load experts (deterministic
+/// tie-break toward lower index).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`replica_allocation`].
+pub fn even_replicas(expert_loads: &[u64], n: usize, c: usize) -> Vec<usize> {
+    let e = expert_loads.len();
+    assert!(e > 0, "at least one expert");
+    assert!(
+        n * c >= e,
+        "total replicas {} cannot cover {e} experts",
+        n * c
+    );
+    let base = (n * c) / e;
+    let mut rep = vec![base; e];
+    let remainder = n * c - base * e;
+    if remainder > 0 {
+        let mut order: Vec<usize> = (0..e).collect();
+        order.sort_by(|&a, &b| expert_loads[b].cmp(&expert_loads[a]).then(a.cmp(&b)));
+        for &i in order.iter().take(remainder) {
+            rep[i] += 1;
+        }
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_total_replicas() {
+        let rep = replica_allocation(&[100, 10, 10, 10], 4, 2);
+        assert_eq!(rep.iter().sum::<usize>(), 8);
+        assert!(rep.iter().all(|&r| r >= 1));
+    }
+
+    #[test]
+    fn hot_expert_gets_more_replicas() {
+        let rep = replica_allocation(&[800, 100, 50, 50], 8, 2);
+        assert!(rep[0] > rep[1]);
+        assert!(rep[1] >= rep[2]);
+        assert_eq!(rep.iter().sum::<usize>(), 16);
+    }
+
+    /// The priority-queue rule equalises average load: no expert's
+    /// average load should exceed another's by more than one granting
+    /// step.
+    #[test]
+    fn average_loads_are_equalised() {
+        let loads = [900u64, 300, 300, 100, 50, 50, 25, 25];
+        let rep = replica_allocation(&loads, 16, 2);
+        assert_eq!(rep.iter().sum::<usize>(), 32);
+        let avg: Vec<f64> = loads
+            .iter()
+            .zip(&rep)
+            .map(|(&l, &r)| l as f64 / r as f64)
+            .collect();
+        let max = avg.iter().fold(0.0f64, |a, &b| a.max(b));
+        // Any expert whose replica count could still be reduced by one
+        // without dropping below 1 must, at rep-1, exceed the max average
+        // (otherwise the queue would have granted elsewhere).
+        for (i, &r) in rep.iter().enumerate() {
+            if r > 1 {
+                let before_last_grant = loads[i] as f64 / (r - 1) as f64;
+                assert!(
+                    before_last_grant >= max - 1e-9,
+                    "expert {i} was over-granted: {before_last_grant} < {max}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_loads_give_uniform_replicas() {
+        let rep = replica_allocation(&[10, 10, 10, 10], 8, 2);
+        assert_eq!(rep, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn even_scheme_is_even() {
+        let rep = even_replicas(&[5, 5, 5, 5], 8, 2);
+        assert_eq!(rep, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn even_scheme_remainder_to_hot_experts() {
+        // N*C = 10 over 4 experts: base 2, remainder 2 -> hottest two.
+        let rep = even_replicas(&[10, 40, 20, 5], 5, 2);
+        assert_eq!(rep.iter().sum::<usize>(), 10);
+        assert_eq!(rep[1], 3);
+        assert_eq!(rep[2], 3);
+        assert_eq!(rep[0], 2);
+        assert_eq!(rep[3], 2);
+    }
+
+    #[test]
+    fn deterministic_tie_breaks() {
+        let a = replica_allocation(&[10, 10, 10], 3, 2);
+        let b = replica_allocation(&[10, 10, 10], 3, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cover")]
+    fn insufficient_replicas_panics() {
+        let _ = replica_allocation(&[1, 1, 1, 1], 1, 2);
+    }
+}

@@ -1,0 +1,318 @@
+//! The expert layout tuner — Alg. 2 of the paper.
+//!
+//! Builds a candidate set `ε` of replica schemes (priority-queue
+//! proportional allocation, even allocation, and random perturbations of
+//! members already in the set), solves each with the greedy relocation
+//! (Alg. 1), routes under lite routing (Alg. 3), scores with the time
+//! model (Eq. 2) and keeps the best.
+
+use crate::cost::{time_cost, CostBreakdown, CostParams};
+use crate::layout::ExpertLayout;
+use crate::lite_routing::lite_route;
+use crate::relocation::expert_relocation;
+use crate::replica::{even_replicas, replica_allocation};
+use crate::token_routing::TokenRouting;
+use laer_cluster::Topology;
+use laer_routing::RoutingMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which base replica schemes seed the candidate set — [`Self::Both`] is
+/// the full Alg. 2; the single-scheme variants are the `pq` / `even`
+/// ablations of Fig. 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplicaScheme {
+    /// Proportional (Alg. 4) + even + perturbations (full Alg. 2).
+    Both,
+    /// Priority-queue proportional allocation only.
+    PqOnly,
+    /// Even allocation only.
+    EvenOnly,
+}
+
+/// Planner configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// Expert capacity per device `C`.
+    pub capacity: usize,
+    /// Candidate-set size `ε` (the paper fixes `|ε| = 2` for Fig. 11 and
+    /// allows larger sets with random perturbations).
+    pub epsilon: usize,
+    /// Replica-scheme selection (ablations use the single-scheme modes).
+    pub scheme: ReplicaScheme,
+    /// Seed for the perturbation RNG.
+    pub seed: u64,
+}
+
+impl PlannerConfig {
+    /// Default configuration: full scheme set, `ε = 4`, seed 0.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            epsilon: 4,
+            scheme: ReplicaScheme::Both,
+            seed: 0,
+        }
+    }
+
+    /// Sets the candidate-set size.
+    pub fn with_epsilon(mut self, epsilon: usize) -> Self {
+        self.epsilon = epsilon.max(1);
+        self
+    }
+
+    /// Selects the replica scheme (for the Fig. 12 ablations).
+    pub fn with_scheme(mut self, scheme: ReplicaScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets the perturbation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The planner's output for one MoE layer and iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// Expert re-layout strategy `A`.
+    pub layout: ExpertLayout,
+    /// Token routing strategy `S` under lite routing.
+    pub routing: TokenRouting,
+    /// The objective value the tuner predicted for this plan.
+    pub predicted: CostBreakdown,
+}
+
+/// The asynchronous expert layout tuner plus synchronous token
+/// dispatcher, bundled (Sec. 3.2's "load balancing planner").
+#[derive(Debug, Clone)]
+pub struct Planner {
+    cfg: PlannerConfig,
+    cost: CostParams,
+    topo: Topology,
+}
+
+impl Planner {
+    /// Creates a planner for a fixed topology and cost model.
+    pub fn new(cfg: PlannerConfig, cost: CostParams, topo: Topology) -> Self {
+        Self { cfg, cost, topo }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.cfg
+    }
+
+    /// The cost parameters in use.
+    pub fn cost_params(&self) -> &CostParams {
+        &self.cost
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Builds the candidate replica schemes of Alg. 2 lines 1–7.
+    pub fn candidate_schemes(&self, demand: &RoutingMatrix) -> Vec<Vec<usize>> {
+        let n = self.topo.num_devices();
+        let c = self.cfg.capacity;
+        let loads = demand.expert_loads();
+        let mut set: Vec<Vec<usize>> = Vec::new();
+        match self.cfg.scheme {
+            ReplicaScheme::Both => {
+                set.push(replica_allocation(&loads, n, c));
+                set.push(even_replicas(&loads, n, c));
+            }
+            ReplicaScheme::PqOnly => set.push(replica_allocation(&loads, n, c)),
+            ReplicaScheme::EvenOnly => set.push(even_replicas(&loads, n, c)),
+        }
+        // Lines 5-7: random perturbations, deterministic in (seed, demand).
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ demand.total());
+        while set.len() < self.cfg.epsilon {
+            let base = set[rng.gen_range(0..set.len())].clone();
+            set.push(perturb(base, &mut rng));
+        }
+        set.truncate(self.cfg.epsilon);
+        set
+    }
+
+    /// Alg. 2 lines 9–16: evaluates every candidate and returns the best
+    /// plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand`'s shapes disagree with the topology or the
+    /// capacity cannot host every expert.
+    pub fn plan(&self, demand: &RoutingMatrix) -> Plan {
+        let loads = demand.expert_loads();
+        let mut best: Option<Plan> = None;
+        for replicas in self.candidate_schemes(demand) {
+            let candidate = self.evaluate_scheme(&replicas, &loads, demand);
+            let better = match &best {
+                None => true,
+                Some(b) => candidate.predicted.total() < b.predicted.total(),
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        best.expect("candidate set is non-empty")
+    }
+
+    /// Evaluates one replica scheme: relocation → lite routing → cost.
+    pub fn evaluate_scheme(
+        &self,
+        replicas: &[usize],
+        expert_loads: &[u64],
+        demand: &RoutingMatrix,
+    ) -> Plan {
+        let layout = expert_relocation(replicas, expert_loads, &self.topo, self.cfg.capacity);
+        let routing = lite_route(&self.topo, demand, &layout);
+        let predicted = time_cost(&self.topo, &routing, &self.cost);
+        Plan {
+            layout,
+            routing,
+            predicted,
+        }
+    }
+}
+
+/// Random perturbation of a replica scheme: move one replica from an
+/// expert with ≥ 2 to a different expert (keeps total and ≥1 invariants).
+fn perturb(mut replicas: Vec<usize>, rng: &mut StdRng) -> Vec<usize> {
+    let e = replicas.len();
+    if e < 2 {
+        return replicas;
+    }
+    let donors: Vec<usize> = (0..e).filter(|&i| replicas[i] >= 2).collect();
+    if donors.is_empty() {
+        return replicas;
+    }
+    let from = donors[rng.gen_range(0..donors.len())];
+    let mut to = rng.gen_range(0..e);
+    if to == from {
+        to = (to + 1) % e;
+    }
+    replicas[from] -= 1;
+    replicas[to] += 1;
+    replicas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laer_routing::{RoutingGenerator, RoutingGeneratorConfig};
+
+    fn planner(scheme: ReplicaScheme) -> Planner {
+        Planner::new(
+            PlannerConfig::new(2).with_scheme(scheme).with_epsilon(4),
+            CostParams::mixtral_8x7b(),
+            Topology::paper_cluster(),
+        )
+    }
+
+    fn demand(seed: u64) -> RoutingMatrix {
+        RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 8192).with_seed(seed))
+            .next_iteration()
+    }
+
+    #[test]
+    fn plan_is_valid() {
+        let p = planner(ReplicaScheme::Both);
+        let d = demand(1);
+        let plan = p.plan(&d);
+        assert!(plan.layout.validate().is_ok());
+        assert!(plan.routing.validate(&d, &plan.layout).is_ok());
+        assert!(plan.predicted.total() > 0.0);
+    }
+
+    /// The tuner's plan must beat the fixed classic-EP layout on skewed
+    /// demand — the core claim of Sec. 3.2's optimisation opportunity.
+    #[test]
+    fn beats_classic_ep_on_skewed_demand() {
+        let p = planner(ReplicaScheme::Both);
+        for seed in [1u64, 2, 3, 4, 5] {
+            let d = demand(seed);
+            let plan = p.plan(&d);
+            let classic = ExpertLayout::classic_ep(32, 8, 2).unwrap();
+            let classic_routing = lite_route(p.topology(), &d, &classic);
+            let classic_cost = time_cost(p.topology(), &classic_routing, p.cost_params());
+            assert!(
+                plan.predicted.total() <= classic_cost.total() * 1.0001,
+                "seed {seed}: planned {} vs classic {}",
+                plan.predicted.total(),
+                classic_cost.total()
+            );
+        }
+    }
+
+    /// Fig. 12 mechanism: with perturbations disabled, the multi-scheme
+    /// candidate set (which contains both base schemes) is never worse
+    /// than either single scheme alone.
+    #[test]
+    fn both_never_worse_than_single_schemes() {
+        let mk = |scheme, eps| {
+            Planner::new(
+                PlannerConfig::new(2).with_scheme(scheme).with_epsilon(eps),
+                CostParams::mixtral_8x7b(),
+                Topology::paper_cluster(),
+            )
+        };
+        let both = mk(ReplicaScheme::Both, 2);
+        let pq = mk(ReplicaScheme::PqOnly, 1);
+        let even = mk(ReplicaScheme::EvenOnly, 1);
+        for seed in 1u64..6 {
+            let d = demand(seed);
+            let tb = both.plan(&d).predicted.total();
+            let tp = pq.plan(&d).predicted.total();
+            let te = even.plan(&d).predicted.total();
+            assert!(tb <= tp + 1e-12, "seed {seed}: both {tb} vs pq {tp}");
+            assert!(tb <= te + 1e-12, "seed {seed}: both {tb} vs even {te}");
+        }
+    }
+
+    #[test]
+    fn candidate_set_size_and_determinism() {
+        let p = planner(ReplicaScheme::Both);
+        let d = demand(7);
+        let a = p.candidate_schemes(&d);
+        let b = p.candidate_schemes(&d);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        let n_c = 32 * 2;
+        for scheme in &a {
+            assert_eq!(scheme.iter().sum::<usize>(), n_c);
+            assert!(scheme.iter().all(|&r| r >= 1));
+        }
+    }
+
+    #[test]
+    fn epsilon_one_keeps_base_scheme() {
+        let p = Planner::new(
+            PlannerConfig::new(2)
+                .with_scheme(ReplicaScheme::PqOnly)
+                .with_epsilon(1),
+            CostParams::mixtral_8x7b(),
+            Topology::paper_cluster(),
+        );
+        let d = demand(9);
+        let schemes = p.candidate_schemes(&d);
+        assert_eq!(schemes.len(), 1);
+        assert_eq!(schemes[0], replica_allocation(&d.expert_loads(), 32, 2));
+    }
+
+    #[test]
+    fn perturbation_preserves_invariants() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let base = vec![8usize, 4, 2, 1, 1];
+        for _ in 0..100 {
+            let p = perturb(base.clone(), &mut rng);
+            assert_eq!(p.iter().sum::<usize>(), 16);
+            assert!(p.iter().all(|&r| r >= 1));
+        }
+    }
+}

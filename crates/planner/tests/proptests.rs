@@ -1,0 +1,181 @@
+//! Property-based tests for the planner's core invariants: the
+//! optimisation problem's constraints (Eqs. 3–4 of the paper) must hold
+//! for *every* routing distribution, replica scheme and topology, not
+//! just the unit-test examples.
+
+use laer_cluster::{DeviceId, ExpertId, Topology};
+use laer_planner::{
+    even_replicas, expert_relocation, lite_route, replica_allocation, CostParams, ExpertLayout,
+    LoadPredictor, Planner, PlannerConfig,
+};
+use laer_routing::RoutingMatrix;
+use proptest::prelude::*;
+
+/// Strategy: a routing matrix for `devices × experts` with entries in
+/// `0..max_tokens`.
+fn demand_strategy(
+    devices: usize,
+    experts: usize,
+    max_tokens: u64,
+) -> impl Strategy<Value = RoutingMatrix> {
+    proptest::collection::vec(0..max_tokens, devices * experts)
+        .prop_map(move |data| RoutingMatrix::from_rows(devices, experts, data).expect("shape"))
+}
+
+/// Strategy: a small two-level topology.
+fn topo_strategy() -> impl Strategy<Value = Topology> {
+    (1usize..=4, 1usize..=4)
+        .prop_map(|(nodes, dpn)| Topology::new(nodes, dpn).expect("non-empty"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Alg. 4 output: every expert keeps ≥1 replica and the total is
+    /// exactly N·C — for any load vector.
+    #[test]
+    fn replica_allocation_invariants(
+        loads in proptest::collection::vec(0u64..100_000, 1..16),
+        n in 1usize..64,
+        c in 1usize..4,
+    ) {
+        prop_assume!(n * c >= loads.len());
+        let rep = replica_allocation(&loads, n, c);
+        prop_assert_eq!(rep.len(), loads.len());
+        prop_assert_eq!(rep.iter().sum::<usize>(), n * c);
+        prop_assert!(rep.iter().all(|&r| r >= 1));
+        let even = even_replicas(&loads, n, c);
+        prop_assert_eq!(even.iter().sum::<usize>(), n * c);
+        prop_assert!(even.iter().all(|&r| r >= 1));
+    }
+
+    /// Alg. 4 grants replicas monotonically with load: a strictly
+    /// heavier expert never gets fewer replicas than a lighter one.
+    #[test]
+    fn replica_allocation_is_monotone(
+        loads in proptest::collection::vec(0u64..100_000, 2..10),
+        c in 1usize..4,
+    ) {
+        let n = 16usize;
+        prop_assume!(n * c >= loads.len());
+        let rep = replica_allocation(&loads, n, c);
+        for i in 0..loads.len() {
+            for j in 0..loads.len() {
+                if loads[i] > loads[j] {
+                    prop_assert!(
+                        rep[i] + 1 >= rep[j],
+                        "load {} got {} replicas, load {} got {}",
+                        loads[i], rep[i], loads[j], rep[j]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Alg. 1 output is always a structurally valid layout (corrected
+    /// constraint 3: every device filled to C, no orphan experts).
+    #[test]
+    fn relocation_produces_valid_layouts(
+        topo in topo_strategy(),
+        loads in proptest::collection::vec(0u64..50_000, 2..12),
+        c in 1usize..4,
+    ) {
+        let n = topo.num_devices();
+        prop_assume!(n * c >= loads.len());
+        let rep = replica_allocation(&loads, n, c);
+        let layout = expert_relocation(&rep, &loads, &topo, c);
+        prop_assert!(layout.validate().is_ok());
+        prop_assert_eq!(layout.replica_vector(), rep);
+    }
+
+    /// Alg. 3 satisfies constraint 4 for any demand and any valid
+    /// layout: every token reaches a device hosting its expert, and
+    /// token counts are conserved.
+    #[test]
+    fn lite_routing_satisfies_constraints(
+        topo in topo_strategy(),
+        seed_loads in proptest::collection::vec(1u64..1000, 2..8),
+        c in 1usize..3,
+        demand_scale in 1u64..2000,
+    ) {
+        let n = topo.num_devices();
+        let e = seed_loads.len();
+        prop_assume!(n * c >= e);
+        let rep = replica_allocation(&seed_loads, n, c);
+        let layout = expert_relocation(&rep, &seed_loads, &topo, c);
+        // Demand derived from the seed loads, scaled.
+        let mut demand = RoutingMatrix::zeros(n, e).expect("shape");
+        for i in 0..n {
+            for (j, &l) in seed_loads.iter().enumerate() {
+                demand.set(
+                    DeviceId::new(i),
+                    ExpertId::new(j),
+                    (l * demand_scale + i as u64) % 5000,
+                );
+            }
+        }
+        let routing = lite_route(&topo, &demand, &layout);
+        prop_assert!(routing.validate(&demand, &layout).is_ok());
+        // Compute loads conserve the total demand.
+        let total: u64 = routing.device_compute_loads().iter().sum();
+        prop_assert_eq!(total, demand.total());
+    }
+
+    /// The full planner produces valid plans with non-negative predicted
+    /// costs for arbitrary demands, and the plan never has *higher*
+    /// straggler load than the classic static layout.
+    #[test]
+    fn planner_plans_are_valid_and_no_worse(
+        demand in demand_strategy(8, 8, 5000),
+        // ε ≥ 2 keeps both base schemes in the candidate set (ε = 1
+        // truncates to the proportional scheme alone).
+        epsilon in 2usize..6,
+    ) {
+        let topo = Topology::new(2, 4).expect("2x4");
+        let planner = Planner::new(
+            PlannerConfig::new(2).with_epsilon(epsilon),
+            CostParams::mixtral_8x7b(),
+            topo.clone(),
+        );
+        let plan = planner.plan(&demand);
+        prop_assert!(plan.layout.validate().is_ok());
+        prop_assert!(plan.routing.validate(&demand, &plan.layout).is_ok());
+        prop_assert!(plan.predicted.comm >= 0.0);
+        prop_assert!(plan.predicted.comp >= 0.0);
+        // Guaranteed by construction: the tuner's pick is never worse
+        // (under the Eq. 2 objective) than the relocated even-allocation
+        // candidate, which is always in the Both candidate set.
+        let loads = demand.expert_loads();
+        let even = even_replicas(&loads, 8, 2);
+        let even_layout = expert_relocation(&even, &loads, &topo, 2);
+        let even_routing = lite_route(&topo, &demand, &even_layout);
+        let even_cost =
+            laer_planner::cost::time_cost(&topo, &even_routing, planner.cost_params());
+        prop_assert!(
+            plan.predicted.total() <= even_cost.total() + 1e-12,
+            "plan {} vs even candidate {}",
+            plan.predicted.total(),
+            even_cost.total()
+        );
+    }
+
+    /// The load predictor's output is always a valid matrix with totals
+    /// between the observed extremes.
+    #[test]
+    fn predictor_stays_in_observed_range(
+        a in demand_strategy(4, 4, 1000),
+        b in demand_strategy(4, 4, 1000),
+        alpha in 0.1f64..1.0,
+    ) {
+        let mut p = LoadPredictor::new(alpha);
+        p.observe(&a);
+        p.observe(&b);
+        let pred = p.predict().expect("warm");
+        prop_assert_eq!(pred.num_devices(), 4);
+        let lo = a.total().min(b.total());
+        let hi = a.total().max(b.total());
+        // Rounding may stray by at most one per cell.
+        let cells = 16u64;
+        prop_assert!(pred.total() + cells >= lo && pred.total() <= hi + cells);
+    }
+}

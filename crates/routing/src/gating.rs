@@ -1,0 +1,191 @@
+//! Token-level top-k gating and the Switch-Transformer auxiliary loss.
+//!
+//! The large-scale experiments consume aggregated [`RoutingMatrix`]
+//! values from the generator, but the FSEP numeric engine needs real
+//! per-token assignments; [`TokenGate`] produces them from logits with the
+//! softmax-of-top-k rule of Sec. 2 (`g(x) = Softmax(TopK(x · W_g))`).
+
+use serde::{Deserialize, Serialize};
+
+/// A single token's routing decision: `k` `(expert, weight)` pairs whose
+/// weights sum to 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopKAssignment {
+    /// Selected expert indices, in descending logit order.
+    pub experts: Vec<usize>,
+    /// Softmax weights over the selected experts (sum to 1).
+    pub weights: Vec<f32>,
+}
+
+/// Deterministic top-k softmax gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenGate {
+    experts: usize,
+    top_k: usize,
+}
+
+impl TokenGate {
+    /// Creates a gate over `experts` experts selecting `top_k` of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `top_k` is zero or exceeds `experts`.
+    pub fn new(experts: usize, top_k: usize) -> Self {
+        assert!(
+            top_k >= 1 && top_k <= experts,
+            "top_k must be in 1..=experts"
+        );
+        Self { experts, top_k }
+    }
+
+    /// Number of experts.
+    pub fn experts(&self) -> usize {
+        self.experts
+    }
+
+    /// Router top-k.
+    pub fn top_k(&self) -> usize {
+        self.top_k
+    }
+
+    /// Routes one token given its router logits.
+    ///
+    /// Ties break toward the lower expert index, making the gate fully
+    /// deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits.len() != experts`.
+    pub fn route(&self, logits: &[f32]) -> TopKAssignment {
+        assert_eq!(logits.len(), self.experts, "logit count");
+        let mut order: Vec<usize> = (0..self.experts).collect();
+        order.sort_by(|&a, &b| {
+            logits[b]
+                .partial_cmp(&logits[a])
+                .expect("logits must not be NaN")
+                .then(a.cmp(&b))
+        });
+        let selected = &order[..self.top_k];
+        // Softmax over the selected logits only (Sec. 2).
+        let max = selected
+            .iter()
+            .map(|&e| logits[e])
+            .fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = selected.iter().map(|&e| (logits[e] - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        TopKAssignment {
+            experts: selected.to_vec(),
+            weights: exps.iter().map(|&v| v / sum).collect(),
+        }
+    }
+
+    /// Routes a batch of tokens (rows of `logits`), returning per-token
+    /// assignments and the per-expert token counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row has the wrong width.
+    pub fn route_batch(&self, logits: &[Vec<f32>]) -> (Vec<TopKAssignment>, Vec<u64>) {
+        let mut counts = vec![0u64; self.experts];
+        let assignments: Vec<_> = logits
+            .iter()
+            .map(|row| {
+                let a = self.route(row);
+                for &e in &a.experts {
+                    counts[e] += 1;
+                }
+                a
+            })
+            .collect();
+        (assignments, counts)
+    }
+}
+
+/// Switch-Transformer auxiliary load-balancing loss (the paper's
+/// reference \[7\]): `E · Σ_j f_j · P_j`, where `f_j` is the fraction of tokens
+/// dispatched to expert `j` and `P_j` the mean router probability for it.
+///
+/// A perfectly balanced router yields 1.0; skew pushes the value above 1.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths or are empty.
+pub fn aux_loss_value(dispatch_fraction: &[f64], mean_probability: &[f64]) -> f64 {
+    assert_eq!(
+        dispatch_fraction.len(),
+        mean_probability.len(),
+        "fraction/probability length"
+    );
+    assert!(!dispatch_fraction.is_empty(), "at least one expert");
+    let e = dispatch_fraction.len() as f64;
+    e * dispatch_fraction
+        .iter()
+        .zip(mean_probability)
+        .map(|(f, p)| f * p)
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_to_highest_logits() {
+        let gate = TokenGate::new(4, 2);
+        let a = gate.route(&[0.1, 3.0, -1.0, 2.0]);
+        assert_eq!(a.experts, vec![1, 3]);
+        assert!(a.weights[0] > a.weights[1]);
+        let sum: f32 = a.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ties_break_to_lower_index() {
+        let gate = TokenGate::new(3, 1);
+        let a = gate.route(&[1.0, 1.0, 1.0]);
+        assert_eq!(a.experts, vec![0]);
+    }
+
+    #[test]
+    fn top1_weight_is_one() {
+        let gate = TokenGate::new(8, 1);
+        let a = gate.route(&[0.0, 0.5, 0.2, 0.1, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(a.experts, vec![1]);
+        assert_eq!(a.weights, vec![1.0]);
+    }
+
+    #[test]
+    fn batch_counts_are_consistent() {
+        let gate = TokenGate::new(4, 2);
+        let logits = vec![
+            vec![5.0, 1.0, 0.0, 0.0],
+            vec![5.0, 4.0, 0.0, 0.0],
+            vec![0.0, 0.0, 9.0, 8.0],
+        ];
+        let (assignments, counts) = gate.route_batch(&logits);
+        assert_eq!(assignments.len(), 3);
+        assert_eq!(counts.iter().sum::<u64>(), 6); // 3 tokens x k=2
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[2], 1);
+    }
+
+    #[test]
+    fn aux_loss_balanced_is_one() {
+        let f = vec![0.25; 4];
+        let p = vec![0.25; 4];
+        assert!((aux_loss_value(&f, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aux_loss_penalises_skew() {
+        let f = vec![0.7, 0.1, 0.1, 0.1];
+        let p = vec![0.7, 0.1, 0.1, 0.1];
+        assert!(aux_loss_value(&f, &p) > 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "top_k")]
+    fn invalid_top_k_panics() {
+        let _ = TokenGate::new(2, 3);
+    }
+}

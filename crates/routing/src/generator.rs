@@ -1,0 +1,479 @@
+//! Calibrated synthetic routing-distribution generator.
+//!
+//! Replaces the real Mixtral routing traces of Fig. 1(a) with a
+//! drifting-popularity process exhibiting the same three documented
+//! properties: persistent skew, per-iteration jitter and slow drift of
+//! which experts are hot (see the crate docs and DESIGN.md).
+//!
+//! Mechanics: each expert carries a latent popularity logit following an
+//! Ornstein–Uhlenbeck process (`z ← ρ·z + σ·√(1−ρ²)·ε`), with occasional
+//! "churn" events that swap the logits of a hot and a cold expert —
+//! reproducing the hotspot migration visible in Fig. 1(a). The
+//! auxiliary-loss weight damps the logits toward uniform, calibrated so
+//! that weight 1e-2 is near-balanced and 1e-4 a mild correction (Figs. 2
+//! and 9). Devices see the global distribution plus per-device noise
+//! (data heterogeneity), and integer token counts come from
+//! largest-remainder rounding so each device's row sums exactly to its
+//! assignment budget.
+
+use crate::matrix::RoutingMatrix;
+use laer_cluster::{DeviceId, ExpertId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Named skew/drift calibrations standing in for the paper's datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetProfile {
+    /// WikiText-103: stronger skew, faster drift.
+    Wikitext,
+    /// C4: slightly milder skew, slower drift, more device heterogeneity.
+    C4,
+}
+
+impl DatasetProfile {
+    /// Stationary standard deviation of the popularity logits.
+    fn sigma(self) -> f64 {
+        match self {
+            DatasetProfile::Wikitext => 1.15,
+            DatasetProfile::C4 => 0.95,
+        }
+    }
+
+    /// One-step autocorrelation of the logits.
+    fn rho(self) -> f64 {
+        match self {
+            DatasetProfile::Wikitext => 0.985,
+            DatasetProfile::C4 => 0.992,
+        }
+    }
+
+    /// Stationary std of the *persistent* per-(device, expert) logit
+    /// bias (data heterogeneity: each device's shards favour certain
+    /// experts for many consecutive iterations).
+    fn device_sigma(self) -> f64 {
+        match self {
+            DatasetProfile::Wikitext => 0.20,
+            DatasetProfile::C4 => 0.28,
+        }
+    }
+
+    /// One-step autocorrelation of the per-device bias.
+    fn device_rho(self) -> f64 {
+        0.92
+    }
+
+    /// Std of the residual iid per-iteration jitter.
+    fn jitter_sigma(self) -> f64 {
+        match self {
+            DatasetProfile::Wikitext => 0.08,
+            DatasetProfile::C4 => 0.10,
+        }
+    }
+
+    /// Iterations between hot/cold churn events.
+    fn churn_period(self) -> u64 {
+        match self {
+            DatasetProfile::Wikitext => 120,
+            DatasetProfile::C4 => 220,
+        }
+    }
+
+    /// Artifact-style identifier (`wikitext` / `c4`).
+    pub fn id(self) -> &'static str {
+        match self {
+            DatasetProfile::Wikitext => "wikitext",
+            DatasetProfile::C4 => "c4",
+        }
+    }
+}
+
+/// Configuration of a [`RoutingGenerator`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingGeneratorConfig {
+    /// Number of devices `N`.
+    pub devices: usize,
+    /// Number of experts `E`.
+    pub experts: usize,
+    /// Token assignments per device per iteration (`S · K`).
+    pub assignments_per_device: u64,
+    /// Auxiliary-loss weight (0 disables balancing pressure).
+    pub aux_loss_weight: f64,
+    /// Dataset calibration.
+    pub profile: DatasetProfile,
+    /// RNG seed; the whole trace is a deterministic function of it.
+    pub seed: u64,
+}
+
+impl RoutingGeneratorConfig {
+    /// Creates a config with the WikiText profile, no auxiliary loss and
+    /// seed 0.
+    pub fn new(devices: usize, experts: usize, assignments_per_device: u64) -> Self {
+        Self {
+            devices,
+            experts,
+            assignments_per_device,
+            aux_loss_weight: 0.0,
+            profile: DatasetProfile::Wikitext,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the auxiliary-loss weight.
+    pub fn with_aux_loss(mut self, weight: f64) -> Self {
+        self.aux_loss_weight = weight;
+        self
+    }
+
+    /// Sets the dataset profile.
+    pub fn with_profile(mut self, profile: DatasetProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+}
+
+/// Stateful generator producing one [`RoutingMatrix`] per call.
+#[derive(Debug, Clone)]
+pub struct RoutingGenerator {
+    cfg: RoutingGeneratorConfig,
+    logits: Vec<f64>,
+    /// Persistent per-(device, expert) bias, row-major `devices × experts`.
+    device_bias: Vec<f64>,
+    iteration: u64,
+    rng: StdRng,
+}
+
+/// Damping applied to popularity logits by the auxiliary loss: weight 0
+/// leaves the skew intact, 1e-4 mildly reduces it, 1e-2 flattens it.
+fn aux_damping(weight: f64) -> f64 {
+    1.0 / (1.0 + weight / 2.0e-4)
+}
+
+/// Standard normal sample via Box–Muller (keeps us on plain `rand`).
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+impl RoutingGenerator {
+    /// Creates a generator; the initial popularity logits are drawn from
+    /// the stationary distribution so the very first iteration already
+    /// shows the documented skew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has zero devices, experts or assignments.
+    pub fn new(cfg: RoutingGeneratorConfig) -> Self {
+        assert!(cfg.devices > 0, "devices must be non-zero");
+        assert!(cfg.experts > 0, "experts must be non-zero");
+        assert!(
+            cfg.assignments_per_device > 0,
+            "assignments_per_device must be non-zero"
+        );
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let sigma = cfg.profile.sigma();
+        let logits = (0..cfg.experts).map(|_| sigma * gauss(&mut rng)).collect();
+        let dev_sigma = cfg.profile.device_sigma();
+        let device_bias = (0..cfg.devices * cfg.experts)
+            .map(|_| dev_sigma * gauss(&mut rng))
+            .collect();
+        Self {
+            cfg,
+            logits,
+            device_bias,
+            iteration: 0,
+            rng,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RoutingGeneratorConfig {
+        &self.cfg
+    }
+
+    /// Iterations generated so far.
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Current *global* expert probabilities (after aux-loss damping).
+    pub fn expert_probabilities(&self) -> Vec<f64> {
+        softmax_scaled(&self.logits, aux_damping(self.cfg.aux_loss_weight))
+    }
+
+    /// Advances the popularity process one step and produces the routing
+    /// matrix for the next iteration.
+    pub fn next_iteration(&mut self) -> RoutingMatrix {
+        self.step_process();
+        let damp = aux_damping(self.cfg.aux_loss_weight);
+        let jitter = self.cfg.profile.jitter_sigma();
+        let mut r = RoutingMatrix::zeros(self.cfg.devices, self.cfg.experts)
+            .expect("config validated in new()");
+        for dev in 0..self.cfg.devices {
+            let bias = &self.device_bias[dev * self.cfg.experts..(dev + 1) * self.cfg.experts];
+            let noisy: Vec<f64> = self
+                .logits
+                .iter()
+                .zip(bias)
+                .map(|(&z, &b)| (z + b) * damp + jitter * gauss(&mut self.rng))
+                .collect();
+            let probs = softmax_scaled(&noisy, 1.0);
+            let counts = largest_remainder(&probs, self.cfg.assignments_per_device);
+            for (j, &c) in counts.iter().enumerate() {
+                r.set(DeviceId::new(dev), ExpertId::new(j), c);
+            }
+        }
+        self.iteration += 1;
+        r
+    }
+
+    fn step_process(&mut self) {
+        let p = self.cfg.profile;
+        let rho = p.rho();
+        let kick = p.sigma() * (1.0 - rho * rho).sqrt();
+        for z in &mut self.logits {
+            *z = rho * *z + kick * gauss(&mut self.rng);
+        }
+        let d_rho = p.device_rho();
+        let d_kick = p.device_sigma() * (1.0 - d_rho * d_rho).sqrt();
+        for b in &mut self.device_bias {
+            *b = d_rho * *b + d_kick * gauss(&mut self.rng);
+        }
+        // Hotspot churn: swap the hottest and a random cold expert.
+        if self.iteration > 0 && self.iteration % p.churn_period() == 0 && self.cfg.experts >= 2 {
+            let hot = argmax(&self.logits);
+            let mut cold = self.rng.gen_range(0..self.cfg.experts);
+            if cold == hot {
+                cold = (cold + 1) % self.cfg.experts;
+            }
+            self.logits.swap(hot, cold);
+        }
+    }
+}
+
+/// Fully balanced routing matrix: each device sends an equal share of its
+/// assignments to every expert (the "balanced" condition of Fig. 1b).
+pub(crate) fn balanced_matrix(
+    devices: usize,
+    experts: usize,
+    assignments_per_device: u64,
+) -> RoutingMatrix {
+    let probs = vec![1.0 / experts as f64; experts];
+    let mut r = RoutingMatrix::zeros(devices, experts).expect("non-empty");
+    for dev in 0..devices {
+        let counts = largest_remainder(&probs, assignments_per_device);
+        for (j, &c) in counts.iter().enumerate() {
+            r.set(DeviceId::new(dev), ExpertId::new(j), c);
+        }
+    }
+    r
+}
+
+impl RoutingMatrix {
+    /// Fully balanced routing: every device spreads `assignments_per_device`
+    /// evenly over all experts (used as the "balanced" control of Fig. 1b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` or `experts` is zero.
+    pub fn balanced(devices: usize, experts: usize, assignments_per_device: u64) -> Self {
+        assert!(devices > 0 && experts > 0, "non-empty shape");
+        balanced_matrix(devices, experts, assignments_per_device)
+    }
+}
+
+fn softmax_scaled(logits: &[f64], scale: f64) -> Vec<f64> {
+    let max = logits.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)) * scale;
+    let exps: Vec<f64> = logits.iter().map(|&z| (z * scale - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|v| v / sum).collect()
+}
+
+fn argmax(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN logits"))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+/// Largest-remainder rounding of `total · probs` to integers summing to
+/// `total` exactly.
+fn largest_remainder(probs: &[f64], total: u64) -> Vec<u64> {
+    let mut counts: Vec<u64> = Vec::with_capacity(probs.len());
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(probs.len());
+    let mut assigned = 0u64;
+    for (j, &p) in probs.iter().enumerate() {
+        let exact = p * total as f64;
+        let floor = exact.floor() as u64;
+        counts.push(floor);
+        assigned += floor;
+        remainders.push((j, exact - floor as f64));
+    }
+    // Distribute the remainder to the largest fractional parts
+    // (deterministic tie-break on index).
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    let mut left = total - assigned;
+    let mut idx = 0;
+    while left > 0 {
+        counts[remainders[idx % remainders.len()].0] += 1;
+        left -= 1;
+        idx += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(aux: f64, seed: u64) -> RoutingGenerator {
+        RoutingGenerator::new(
+            RoutingGeneratorConfig::new(8, 8, 4096)
+                .with_aux_loss(aux)
+                .with_seed(seed),
+        )
+    }
+
+    #[test]
+    fn rows_sum_exactly() {
+        let mut g = gen(0.0, 1);
+        for _ in 0..5 {
+            let r = g.next_iteration();
+            for d in 0..8 {
+                assert_eq!(r.device_total(DeviceId::new(d)), 4096);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = gen(0.0, 42);
+        let mut b = gen(0.0, 42);
+        for _ in 0..10 {
+            assert_eq!(a.next_iteration(), b.next_iteration());
+        }
+        let mut c = gen(0.0, 43);
+        assert_ne!(a.next_iteration(), c.next_iteration());
+    }
+
+    /// Fig. 1(a): without auxiliary loss, routing is persistently skewed —
+    /// the hottest expert receives well above its fair share.
+    #[test]
+    fn unbalanced_routing_is_skewed() {
+        let mut g = gen(0.0, 7);
+        let mut skews = Vec::new();
+        for _ in 0..50 {
+            let r = g.next_iteration();
+            let loads = r.expert_loads();
+            let max = *loads.iter().max().unwrap() as f64;
+            let mean = r.total() as f64 / loads.len() as f64;
+            skews.push(max / mean);
+        }
+        let avg_skew = skews.iter().sum::<f64>() / skews.len() as f64;
+        assert!(avg_skew > 1.7, "expected persistent skew, got {avg_skew:.2}");
+    }
+
+    /// Fig. 2 calibration: aux weight 1e-2 yields near-balanced routing.
+    #[test]
+    fn strong_aux_loss_balances() {
+        let mut g = gen(1e-2, 7);
+        let mut skews = Vec::new();
+        for _ in 0..50 {
+            let r = g.next_iteration();
+            let loads = r.expert_loads();
+            let max = *loads.iter().max().unwrap() as f64;
+            let mean = r.total() as f64 / loads.len() as f64;
+            skews.push(max / mean);
+        }
+        let avg_skew = skews.iter().sum::<f64>() / skews.len() as f64;
+        assert!(avg_skew < 1.35, "aux 1e-2 should balance, got {avg_skew:.2}");
+    }
+
+    /// Aux 1e-4 sits strictly between no-aux and 1e-2.
+    #[test]
+    fn aux_ordering_monotone() {
+        let skew_for = |aux: f64| {
+            let mut g = gen(aux, 11);
+            let mut acc = 0.0;
+            for _ in 0..50 {
+                let r = g.next_iteration();
+                let loads = r.expert_loads();
+                let max = *loads.iter().max().unwrap() as f64;
+                let mean = r.total() as f64 / loads.len() as f64;
+                acc += max / mean;
+            }
+            acc / 50.0
+        };
+        let s0 = skew_for(0.0);
+        let s4 = skew_for(1e-4);
+        let s2 = skew_for(1e-2);
+        assert!(s0 > s4 && s4 > s2, "skews: {s0:.2} > {s4:.2} > {s2:.2}");
+    }
+
+    /// Fig. 1(a): the identity of the hottest expert drifts over time.
+    #[test]
+    fn hot_expert_drifts() {
+        let mut g = gen(0.0, 3);
+        let mut hot = std::collections::BTreeSet::new();
+        for _ in 0..400 {
+            let r = g.next_iteration();
+            let loads = r.expert_loads();
+            hot.insert(argmax(
+                &loads.iter().map(|&l| l as f64).collect::<Vec<_>>(),
+            ));
+        }
+        assert!(hot.len() >= 3, "hot expert never moved: {hot:?}");
+    }
+
+    #[test]
+    fn balanced_matrix_is_uniform() {
+        let r = RoutingMatrix::balanced(4, 8, 4096);
+        for d in 0..4 {
+            assert_eq!(r.device_total(DeviceId::new(d)), 4096);
+        }
+        let loads = r.expert_loads();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        assert_eq!(max, min);
+    }
+
+    #[test]
+    fn largest_remainder_sums() {
+        let probs = vec![0.301, 0.299, 0.4];
+        let c = largest_remainder(&probs, 1000);
+        assert_eq!(c.iter().sum::<u64>(), 1000);
+        assert_eq!(c, vec![301, 299, 400]);
+    }
+
+    #[test]
+    fn profiles_differ() {
+        let a = RoutingGenerator::new(
+            RoutingGeneratorConfig::new(4, 8, 1024)
+                .with_profile(DatasetProfile::Wikitext)
+                .with_seed(5),
+        )
+        .next_iteration();
+        let b = RoutingGenerator::new(
+            RoutingGeneratorConfig::new(4, 8, 1024)
+                .with_profile(DatasetProfile::C4)
+                .with_seed(5),
+        )
+        .next_iteration();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn dataset_ids() {
+        assert_eq!(DatasetProfile::Wikitext.id(), "wikitext");
+        assert_eq!(DatasetProfile::C4.id(), "c4");
+    }
+}

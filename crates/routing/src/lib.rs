@@ -1,0 +1,48 @@
+//! Routing substrate: gating, synthetic routing traces and imbalance
+//! statistics.
+//!
+//! The paper's evaluation is driven entirely by *routing distributions* —
+//! the matrix `R[i][j]` of tokens on device `i` routed to expert `j`
+//! (Tab. 1). On real hardware that matrix comes out of the gating network
+//! during Mixtral training (Fig. 1a); here it comes from a calibrated
+//! synthetic process with the same three properties the paper documents:
+//!
+//! 1. **persistent skew** — a few experts are overloaded at almost every
+//!    iteration;
+//! 2. **per-iteration fluctuation** — loads jitter between iterations;
+//! 3. **slow drift** — *which* experts are hot changes over hundreds of
+//!    iterations.
+//!
+//! The auxiliary-loss weight (Sec. 2, Fig. 2) acts as a balancing force:
+//! weight `1e-2` produces near-uniform routing, `1e-4` a mild correction,
+//! and `0` the raw skew.
+//!
+//! # Example
+//!
+//! ```
+//! use laer_routing::{DatasetProfile, RoutingGenerator, RoutingGeneratorConfig};
+//!
+//! let cfg = RoutingGeneratorConfig::new(4, 8, 1024).with_seed(7);
+//! let mut gen = RoutingGenerator::new(cfg);
+//! let r = gen.next_iteration();
+//! assert_eq!(r.num_devices(), 4);
+//! assert_eq!(r.device_total(laer_cluster::DeviceId::new(0)), 1024);
+//! # let _ = DatasetProfile::Wikitext;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gating;
+mod generator;
+mod matrix;
+mod stats;
+mod token_level;
+mod trace;
+
+pub use gating::{aux_loss_value, TokenGate, TopKAssignment};
+pub use generator::{DatasetProfile, RoutingGenerator, RoutingGeneratorConfig};
+pub use matrix::{RoutingError, RoutingMatrix};
+pub use stats::{imbalance_ratio, load_cv, max_min_ratio, LoadStats};
+pub use token_level::{TokenLevelConfig, TokenLevelGenerator};
+pub use trace::{RoutingTrace, TraceError, TraceMeta};

@@ -1,0 +1,126 @@
+//! Imbalance statistics over routing matrices and device loads.
+//!
+//! These feed Fig. 1(a) (expert-load heatmap), Fig. 10(b) (maximum token
+//! count per device relative to perfect balance) and the generator's
+//! calibration tests.
+
+use crate::matrix::RoutingMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a load vector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadStats {
+    /// Maximum load.
+    pub max: u64,
+    /// Minimum load.
+    pub min: u64,
+    /// Mean load.
+    pub mean: f64,
+    /// max / mean — 1.0 is perfect balance; the paper plots this ratio in
+    /// Fig. 10(b).
+    pub max_over_mean: f64,
+    /// Coefficient of variation (std / mean).
+    pub cv: f64,
+}
+
+impl LoadStats {
+    /// Computes statistics of `loads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` is empty.
+    pub fn of(loads: &[u64]) -> Self {
+        assert!(!loads.is_empty(), "load vector must be non-empty");
+        let max = *loads.iter().max().expect("non-empty");
+        let min = *loads.iter().min().expect("non-empty");
+        let n = loads.len() as f64;
+        let mean = loads.iter().sum::<u64>() as f64 / n;
+        let var = loads
+            .iter()
+            .map(|&l| {
+                let d = l as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        let max_over_mean = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+        Self {
+            max,
+            min,
+            mean,
+            max_over_mean,
+            cv,
+        }
+    }
+}
+
+/// `max / mean` of the per-expert loads of `r` — the expert-level
+/// imbalance ratio of Fig. 1(a).
+pub fn imbalance_ratio(r: &RoutingMatrix) -> f64 {
+    LoadStats::of(&r.expert_loads()).max_over_mean
+}
+
+/// `max / min` of a load vector (∞ if the minimum is zero).
+pub fn max_min_ratio(loads: &[u64]) -> f64 {
+    let s = LoadStats::of(loads);
+    if s.min == 0 {
+        f64::INFINITY
+    } else {
+        s.max as f64 / s.min as f64
+    }
+}
+
+/// Coefficient of variation of a load vector.
+pub fn load_cv(loads: &[u64]) -> f64 {
+    LoadStats::of(loads).cv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_uniform() {
+        let s = LoadStats::of(&[10, 10, 10, 10]);
+        assert_eq!(s.max, 10);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.mean, 10.0);
+        assert_eq!(s.max_over_mean, 1.0);
+        assert_eq!(s.cv, 0.0);
+    }
+
+    #[test]
+    fn stats_of_skewed() {
+        let s = LoadStats::of(&[40, 10, 10, 20]);
+        assert_eq!(s.max, 40);
+        assert!((s.mean - 20.0).abs() < 1e-12);
+        assert!((s.max_over_mean - 2.0).abs() < 1e-12);
+        assert!(s.cv > 0.5);
+    }
+
+    #[test]
+    fn imbalance_of_matrix() {
+        let r = RoutingMatrix::from_rows(2, 2, vec![30, 10, 30, 10]).unwrap();
+        assert!((imbalance_ratio(&r) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_min_handles_zero() {
+        assert!(max_min_ratio(&[5, 0]).is_infinite());
+        assert_eq!(max_min_ratio(&[6, 3]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_loads_panic() {
+        let _ = LoadStats::of(&[]);
+    }
+
+    #[test]
+    fn zero_mean_is_balanced() {
+        let s = LoadStats::of(&[0, 0]);
+        assert_eq!(s.max_over_mean, 1.0);
+        assert_eq!(s.cv, 0.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Token-level routing generation: per-token router logits through the
+//! real top-k gate, aggregated into a [`RoutingMatrix`].
+//!
+//! The matrix-level [`crate::RoutingGenerator`] is what the large-scale
+//! experiments use (it is orders of magnitude cheaper); this module
+//! provides the ground-truth path — individual tokens with noisy logits
+//! routed by [`TokenGate`] — and the cross-validation that the two
+//! agree: aggregating token-level decisions reproduces the same skew
+//! regime as the matrix-level process with matching parameters.
+
+use crate::gating::TokenGate;
+use crate::matrix::RoutingMatrix;
+use laer_cluster::{DeviceId, ExpertId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`TokenLevelGenerator`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenLevelConfig {
+    /// Devices `N`.
+    pub devices: usize,
+    /// Experts `E`.
+    pub experts: usize,
+    /// Router top-k `K`.
+    pub top_k: usize,
+    /// Tokens per device per iteration `S`.
+    pub tokens_per_device: usize,
+    /// Std of the shared popularity logits.
+    pub popularity_sigma: f64,
+    /// Std of per-token logit noise.
+    pub token_sigma: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TokenLevelConfig {
+    /// Defaults mirroring the matrix-level WikiText profile.
+    pub fn new(devices: usize, experts: usize, top_k: usize, tokens_per_device: usize) -> Self {
+        Self {
+            devices,
+            experts,
+            top_k,
+            tokens_per_device,
+            popularity_sigma: 1.15,
+            token_sigma: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generates routing matrices by routing every token individually.
+#[derive(Debug, Clone)]
+pub struct TokenLevelGenerator {
+    cfg: TokenLevelConfig,
+    gate: TokenGate,
+    popularity: Vec<f64>,
+    rng: StdRng,
+}
+
+impl TokenLevelGenerator {
+    /// Creates the generator; popularity logits are drawn once (a frozen
+    /// snapshot of the drifting process).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `top_k > experts`.
+    pub fn new(cfg: TokenLevelConfig) -> Self {
+        assert!(cfg.devices > 0 && cfg.tokens_per_device > 0, "non-empty");
+        let gate = TokenGate::new(cfg.experts, cfg.top_k);
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let popularity = (0..cfg.experts)
+            .map(|_| cfg.popularity_sigma * gauss(&mut rng))
+            .collect();
+        Self {
+            cfg,
+            gate,
+            popularity,
+            rng,
+        }
+    }
+
+    /// The frozen expert-popularity logits.
+    pub fn popularity(&self) -> &[f64] {
+        &self.popularity
+    }
+
+    /// Routes one iteration's tokens and returns the aggregated matrix
+    /// (entries count token-expert assignments, `S·K` per device).
+    pub fn next_iteration(&mut self) -> RoutingMatrix {
+        let mut r = RoutingMatrix::zeros(self.cfg.devices, self.cfg.experts)
+            .expect("validated in new()");
+        for dev in 0..self.cfg.devices {
+            for _ in 0..self.cfg.tokens_per_device {
+                let logits: Vec<f32> = self
+                    .popularity
+                    .iter()
+                    .map(|&p| (p + self.cfg.token_sigma * gauss(&mut self.rng)) as f32)
+                    .collect();
+                let assignment = self.gate.route(&logits);
+                for &e in &assignment.experts {
+                    r.add(DeviceId::new(dev), ExpertId::new(e), 1);
+                }
+            }
+        }
+        r
+    }
+}
+
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::imbalance_ratio;
+
+    #[test]
+    fn conserves_assignments() {
+        let mut g = TokenLevelGenerator::new(TokenLevelConfig::new(4, 8, 2, 500).with_seed(1));
+        let r = g.next_iteration();
+        for d in 0..4 {
+            assert_eq!(r.device_total(DeviceId::new(d)), 1000); // S*K
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = TokenLevelConfig::new(2, 4, 2, 200).with_seed(9);
+        let mut a = TokenLevelGenerator::new(cfg.clone());
+        let mut b = TokenLevelGenerator::new(cfg);
+        assert_eq!(a.next_iteration(), b.next_iteration());
+    }
+
+    /// Token-level routing through the real gate reproduces the same
+    /// skew regime as the matrix-level generator: persistently
+    /// imbalanced, with the hottest expert matching the highest
+    /// popularity logit.
+    #[test]
+    fn skew_matches_popularity() {
+        let mut g =
+            TokenLevelGenerator::new(TokenLevelConfig::new(8, 8, 2, 2000).with_seed(5));
+        let pop_hot = g
+            .popularity()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        let r = g.next_iteration();
+        assert!(imbalance_ratio(&r) > 1.4, "skew {}", imbalance_ratio(&r));
+        let loads = r.expert_loads();
+        let load_hot = (0..8).max_by_key(|&j| loads[j]).unwrap();
+        assert_eq!(load_hot, pop_hot, "hottest expert follows popularity");
+    }
+
+    /// Cross-validation: with matched skew parameters, the token-level
+    /// and matrix-level generators land in the same imbalance band.
+    #[test]
+    fn agrees_with_matrix_level_generator() {
+        let mut token_gen =
+            TokenLevelGenerator::new(TokenLevelConfig::new(8, 8, 2, 4000).with_seed(11));
+        let mut matrix_gen = crate::RoutingGenerator::new(
+            crate::RoutingGeneratorConfig::new(8, 8, 8000).with_seed(11),
+        );
+        let avg = |f: &mut dyn FnMut() -> RoutingMatrix| {
+            let mut acc = 0.0;
+            for _ in 0..10 {
+                acc += imbalance_ratio(&f());
+            }
+            acc / 10.0
+        };
+        let t = avg(&mut || token_gen.next_iteration());
+        let m = avg(&mut || matrix_gen.next_iteration());
+        assert!(
+            (t / m - 1.0).abs() < 0.5,
+            "token-level skew {t:.2} vs matrix-level {m:.2} diverge"
+        );
+    }
+}

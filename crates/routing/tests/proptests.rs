@@ -1,0 +1,129 @@
+//! Property-based tests for the routing substrate: exact token
+//! conservation, statistics bounds and trace integrity under arbitrary
+//! parameters.
+
+use laer_cluster::DeviceId;
+use laer_routing::{
+    DatasetProfile, LoadStats, RoutingGenerator, RoutingGeneratorConfig, RoutingMatrix,
+    RoutingTrace, TokenGate,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated iteration's rows sum exactly to the configured
+    /// assignment budget — for any shape, seed, profile and aux weight.
+    #[test]
+    fn generator_conserves_assignments(
+        devices in 1usize..16,
+        experts in 1usize..16,
+        budget in 1u64..10_000,
+        seed in 0u64..1_000_000,
+        aux in prop_oneof![Just(0.0), Just(1e-4), Just(1e-3), Just(1e-2)],
+        wikitext in any::<bool>(),
+        iters in 1usize..6,
+    ) {
+        let profile = if wikitext { DatasetProfile::Wikitext } else { DatasetProfile::C4 };
+        let mut gen = RoutingGenerator::new(
+            RoutingGeneratorConfig::new(devices, experts, budget)
+                .with_seed(seed)
+                .with_aux_loss(aux)
+                .with_profile(profile),
+        );
+        for _ in 0..iters {
+            let r = gen.next_iteration();
+            for d in 0..devices {
+                prop_assert_eq!(r.device_total(DeviceId::new(d)), budget);
+            }
+            prop_assert_eq!(r.total(), budget * devices as u64);
+        }
+    }
+
+    /// Generators are pure functions of their configuration.
+    #[test]
+    fn generator_is_deterministic(
+        seed in 0u64..1_000_000,
+        budget in 1u64..5_000,
+    ) {
+        let cfg = RoutingGeneratorConfig::new(4, 8, budget).with_seed(seed);
+        let mut a = RoutingGenerator::new(cfg.clone());
+        let mut b = RoutingGenerator::new(cfg);
+        for _ in 0..3 {
+            prop_assert_eq!(a.next_iteration(), b.next_iteration());
+        }
+    }
+
+    /// LoadStats bounds: min ≤ mean ≤ max, cv ≥ 0, max/mean ≥ 1.
+    #[test]
+    fn load_stats_bounds(loads in proptest::collection::vec(0u64..1_000_000, 1..64)) {
+        let s = LoadStats::of(&loads);
+        prop_assert!(s.min as f64 <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max as f64 + 1e-9);
+        prop_assert!(s.cv >= 0.0);
+        prop_assert!(s.max_over_mean >= 1.0 - 1e-9);
+    }
+
+    /// The top-k gate selects exactly k distinct experts with weights
+    /// summing to 1, for any logits.
+    #[test]
+    fn gate_selects_k_distinct(
+        logits in proptest::collection::vec(-10.0f32..10.0, 2..16),
+        k_seed in 1usize..16,
+    ) {
+        let e = logits.len();
+        let k = 1 + k_seed % e;
+        let gate = TokenGate::new(e, k);
+        let a = gate.route(&logits);
+        prop_assert_eq!(a.experts.len(), k);
+        prop_assert_eq!(a.weights.len(), k);
+        let mut distinct = a.experts.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(distinct.len(), k);
+        let sum: f32 = a.weights.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-5);
+        // The selected experts hold the k highest logits.
+        let mut sorted: Vec<f32> = logits.clone();
+        sorted.sort_by(|x, y| y.partial_cmp(x).expect("no NaN"));
+        let kth = sorted[k - 1];
+        for &ex in &a.experts {
+            prop_assert!(logits[ex] >= kth - 1e-6);
+        }
+    }
+
+    /// Recorded traces validate and round-trip through JSON.
+    #[test]
+    fn trace_roundtrip(
+        devices in 1usize..6,
+        experts in 1usize..6,
+        budget in 1u64..1000,
+        seed in 0u64..10_000,
+    ) {
+        let trace = RoutingTrace::record(
+            RoutingGeneratorConfig::new(devices, experts, budget).with_seed(seed),
+            3,
+        );
+        prop_assert!(trace.validate().is_ok());
+        let json = serde_json::to_string(&trace).expect("encode");
+        let back: RoutingTrace = serde_json::from_str(&json).expect("decode");
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Balanced matrices differ from every expert's fair share by at
+    /// most one token per device.
+    #[test]
+    fn balanced_matrix_is_fair(
+        devices in 1usize..8,
+        experts in 1usize..8,
+        budget in 1u64..10_000,
+    ) {
+        let r = RoutingMatrix::balanced(devices, experts, budget);
+        let fair = budget / experts as u64;
+        for i in 0..devices {
+            for &v in r.row(DeviceId::new(i)) {
+                prop_assert!(v == fair || v == fair + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Cost models for the collective operations used in MoE training.
+//!
+//! Bandwidth accounting follows the paper's hardware description: NVLink
+//! bandwidth (300 GB/s) is per device, while the InfiniBand figure
+//! (800 Gbps ≈ 100 GB/s) is the *node* NIC, shared by the node's devices.
+//! An α–β model is used throughout: each message pays the link latency α
+//! once plus `bytes / bandwidth`.
+//!
+//! All-to-All is modelled per device: a device's local cost is the larger
+//! of its total send time and total receive time across peers; the
+//! synchronising max over devices is applied by
+//! [`crate::Engine::enqueue_collective`], so a single overloaded receiver
+//! (a device hosting a hot expert) inflates everyone's All-to-All span —
+//! the tail-latency mechanism of Fig. 1(b).
+
+use laer_cluster::{DeviceId, LinkKind, Topology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error produced by collective cost functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CollectiveError {
+    /// The traffic matrix does not match the topology's device count.
+    DimensionMismatch {
+        /// Devices in the matrix.
+        matrix: usize,
+        /// Devices in the topology.
+        topology: usize,
+    },
+    /// A collective group was empty.
+    EmptyGroup,
+}
+
+impl fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveError::DimensionMismatch { matrix, topology } => write!(
+                f,
+                "traffic matrix is {matrix} devices but topology has {topology}"
+            ),
+            CollectiveError::EmptyGroup => write!(f, "collective group is empty"),
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
+/// Dense `N × N` byte-count matrix for one All-to-All: entry `(i, k)` is
+/// the number of bytes device `i` sends to device `k`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct A2aMatrix {
+    n: usize,
+    bytes: Vec<f64>,
+}
+
+impl A2aMatrix {
+    /// Creates a zero matrix for `n` devices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            bytes: vec![0.0; n * n],
+        }
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.n
+    }
+
+    /// Bytes sent from `src` to `dst`.
+    pub fn get(&self, src: DeviceId, dst: DeviceId) -> f64 {
+        self.bytes[src.index() * self.n + dst.index()]
+    }
+
+    /// Adds bytes to the `(src, dst)` cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn add(&mut self, src: DeviceId, dst: DeviceId, bytes: f64) {
+        assert!(src.index() < self.n && dst.index() < self.n, "index range");
+        self.bytes[src.index() * self.n + dst.index()] += bytes;
+    }
+
+    /// Total bytes sent by `src` to other devices (self-sends are local
+    /// copies and excluded).
+    pub fn send_total(&self, src: DeviceId) -> f64 {
+        (0..self.n)
+            .filter(|&k| k != src.index())
+            .map(|k| self.bytes[src.index() * self.n + k])
+            .sum()
+    }
+
+    /// Total bytes received by `dst` from other devices.
+    pub fn recv_total(&self, dst: DeviceId) -> f64 {
+        (0..self.n)
+            .filter(|&i| i != dst.index())
+            .map(|i| self.bytes[i * self.n + dst.index()])
+            .sum()
+    }
+
+    /// Sum of all off-diagonal traffic.
+    pub fn total(&self) -> f64 {
+        (0..self.n)
+            .map(|i| self.send_total(DeviceId::new(i)))
+            .sum()
+    }
+}
+
+/// Effective point-to-point bandwidth between two devices: NVLink is
+/// dedicated per device, the inter-node NIC is shared by the node.
+fn effective_bw(topo: &Topology, a: DeviceId, b: DeviceId) -> f64 {
+    match topo.link_kind(a, b) {
+        LinkKind::Local => f64::INFINITY,
+        LinkKind::IntraNode => topo.intra_bandwidth(),
+        LinkKind::InterNode => topo.inter_bandwidth() / topo.devices_per_node() as f64,
+        // The rack spine is shared by every device in the rack.
+        LinkKind::InterRack => {
+            topo.rack_bandwidth() / topo.devices_per_rack().unwrap_or(1) as f64
+        }
+    }
+}
+
+/// Per-device local cost of an arbitrary (possibly imbalanced) All-to-All
+/// described by `traffic`.
+///
+/// For device `i` the cost is `max(send_i, recv_i)` where each direction
+/// sums `α + bytes/bw` over peers with non-zero traffic.
+///
+/// # Errors
+///
+/// Returns [`CollectiveError::DimensionMismatch`] if the matrix and the
+/// topology disagree on `N`.
+pub fn all_to_all_time(topo: &Topology, traffic: &A2aMatrix) -> Result<Vec<f64>, CollectiveError> {
+    let n = topo.num_devices();
+    if traffic.num_devices() != n {
+        return Err(CollectiveError::DimensionMismatch {
+            matrix: traffic.num_devices(),
+            topology: n,
+        });
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let dev = DeviceId::new(i);
+        let mut send = 0.0;
+        let mut recv = 0.0;
+        for k in 0..n {
+            if k == i {
+                continue;
+            }
+            let peer = DeviceId::new(k);
+            let tx = traffic.get(dev, peer);
+            if tx > 0.0 {
+                send += topo.latency(dev, peer) + tx / effective_bw(topo, dev, peer);
+            }
+            let rx = traffic.get(peer, dev);
+            if rx > 0.0 {
+                recv += topo.latency(dev, peer) + rx / effective_bw(topo, dev, peer);
+            }
+        }
+        out.push(send.max(recv));
+    }
+    Ok(out)
+}
+
+/// Per-device cost of a *balanced* All-to-All where every device sends
+/// `bytes_per_device` in total, split evenly across the other `N − 1`
+/// peers — the regular communication pattern of FSEP unshard (Sec. 3.1).
+pub fn all_to_all_balanced_time(topo: &Topology, bytes_per_device: f64) -> f64 {
+    let n = topo.num_devices();
+    if n <= 1 || bytes_per_device <= 0.0 {
+        return 0.0;
+    }
+    let per_peer = bytes_per_device / (n as f64 - 1.0);
+    let mut traffic = A2aMatrix::new(n);
+    for i in 0..n {
+        for k in 0..n {
+            if i != k {
+                traffic.add(DeviceId::new(i), DeviceId::new(k), per_peer);
+            }
+        }
+    }
+    let times = all_to_all_time(topo, &traffic).expect("matrix built from topology");
+    times.into_iter().fold(0.0, f64::max)
+}
+
+/// Slowest link bandwidth and latency within a device group (rings are
+/// bottlenecked by their slowest hop).
+fn group_bottleneck(topo: &Topology, group: &[DeviceId]) -> Result<(f64, f64), CollectiveError> {
+    if group.is_empty() {
+        return Err(CollectiveError::EmptyGroup);
+    }
+    let spans_nodes = group
+        .iter()
+        .any(|&d| topo.node_of(d) != topo.node_of(group[0]));
+    if spans_nodes {
+        let a = group[0];
+        let b = *group
+            .iter()
+            .find(|&&d| topo.node_of(d) != topo.node_of(a))
+            .expect("spans_nodes implies a cross-node pair");
+        Ok((effective_bw(topo, a, b), topo.latency(a, b)))
+    } else if group.len() >= 2 {
+        Ok((
+            effective_bw(topo, group[0], group[1]),
+            topo.latency(group[0], group[1]),
+        ))
+    } else {
+        Ok((f64::INFINITY, 0.0))
+    }
+}
+
+/// Ring all-gather over `group`: every device holds `shard_bytes` and ends
+/// with all `P` shards. Time = `(P−1) · (α + shard_bytes / bw)`.
+///
+/// # Errors
+///
+/// Returns [`CollectiveError::EmptyGroup`] for an empty group.
+pub fn all_gather_time(
+    topo: &Topology,
+    group: &[DeviceId],
+    shard_bytes: f64,
+) -> Result<f64, CollectiveError> {
+    let p = group.len();
+    if p <= 1 {
+        return if p == 0 {
+            Err(CollectiveError::EmptyGroup)
+        } else {
+            Ok(0.0)
+        };
+    }
+    let (bw, alpha) = group_bottleneck(topo, group)?;
+    Ok((p as f64 - 1.0) * (alpha + shard_bytes / bw))
+}
+
+/// Ring reduce-scatter over `group` of a full buffer of `full_bytes`
+/// (each device ends with `full_bytes / P` reduced). Symmetric to
+/// all-gather of the shard size.
+///
+/// # Errors
+///
+/// Returns [`CollectiveError::EmptyGroup`] for an empty group.
+pub fn reduce_scatter_time(
+    topo: &Topology,
+    group: &[DeviceId],
+    full_bytes: f64,
+) -> Result<f64, CollectiveError> {
+    let p = group.len();
+    if p <= 1 {
+        return if p == 0 {
+            Err(CollectiveError::EmptyGroup)
+        } else {
+            Ok(0.0)
+        };
+    }
+    all_gather_time(topo, group, full_bytes / p as f64)
+}
+
+/// Ring all-reduce over `group` of `full_bytes`: reduce-scatter followed
+/// by all-gather.
+///
+/// # Errors
+///
+/// Returns [`CollectiveError::EmptyGroup`] for an empty group.
+pub fn all_reduce_time(
+    topo: &Topology,
+    group: &[DeviceId],
+    full_bytes: f64,
+) -> Result<f64, CollectiveError> {
+    let p = group.len();
+    if p <= 1 {
+        return if p == 0 {
+            Err(CollectiveError::EmptyGroup)
+        } else {
+            Ok(0.0)
+        };
+    }
+    Ok(reduce_scatter_time(topo, group, full_bytes)?
+        + all_gather_time(topo, group, full_bytes / p as f64)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> Topology {
+        Topology::paper_cluster()
+    }
+
+    #[test]
+    fn matrix_totals() {
+        let mut m = A2aMatrix::new(4);
+        m.add(DeviceId::new(0), DeviceId::new(1), 10.0);
+        m.add(DeviceId::new(0), DeviceId::new(2), 5.0);
+        m.add(DeviceId::new(3), DeviceId::new(0), 7.0);
+        m.add(DeviceId::new(0), DeviceId::new(0), 100.0); // local, excluded
+        assert_eq!(m.send_total(DeviceId::new(0)), 15.0);
+        assert_eq!(m.recv_total(DeviceId::new(0)), 7.0);
+        assert_eq!(m.total(), 22.0);
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let m = A2aMatrix::new(8);
+        let err = all_to_all_time(&paper(), &m).unwrap_err();
+        assert!(matches!(err, CollectiveError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn imbalanced_receiver_dominates() {
+        let topo = Topology::single_node(4).unwrap();
+        let mut m = A2aMatrix::new(4);
+        // Everyone floods device 0.
+        for i in 1..4 {
+            m.add(DeviceId::new(i), DeviceId::new(0), 1e9);
+        }
+        let t = all_to_all_time(&topo, &m).unwrap();
+        assert!(t[0] > t[1] * 2.0, "receiver should be the bottleneck: {t:?}");
+    }
+
+    #[test]
+    fn inter_node_is_slower_than_intra() {
+        let topo = paper();
+        let mut intra = A2aMatrix::new(32);
+        intra.add(DeviceId::new(0), DeviceId::new(1), 1e9);
+        let mut inter = A2aMatrix::new(32);
+        inter.add(DeviceId::new(0), DeviceId::new(8), 1e9);
+        let ti = all_to_all_time(&topo, &intra).unwrap()[0];
+        let tx = all_to_all_time(&topo, &inter).unwrap()[0];
+        assert!(tx > ti * 5.0, "inter {tx} vs intra {ti}");
+    }
+
+    #[test]
+    fn balanced_a2a_scales_linearly() {
+        let topo = paper();
+        let t1 = all_to_all_balanced_time(&topo, 1e8);
+        let t2 = all_to_all_balanced_time(&topo, 2e8);
+        // Affine in volume (latency term constant).
+        assert!(t2 > t1 * 1.8 && t2 < t1 * 2.05);
+    }
+
+    #[test]
+    fn balanced_a2a_degenerate_cases() {
+        let topo = Topology::single_node(1).unwrap();
+        assert_eq!(all_to_all_balanced_time(&topo, 1e9), 0.0);
+        assert_eq!(all_to_all_balanced_time(&paper(), 0.0), 0.0);
+    }
+
+    #[test]
+    fn all_gather_matches_ring_formula() {
+        let topo = Topology::single_node(8).unwrap();
+        let group: Vec<_> = topo.devices().collect();
+        let t = all_gather_time(&topo, &group, 1e9).unwrap();
+        let expect = 7.0 * (laer_cluster::DEFAULT_INTRA_LATENCY + 1e9 / 300.0e9);
+        assert!((t - expect).abs() < 1e-9, "{t} vs {expect}");
+    }
+
+    #[test]
+    fn cross_node_group_bottlenecked_by_nic() {
+        let topo = paper();
+        let intra_group: Vec<_> = (0..8).map(DeviceId::new).collect();
+        let cross_group: Vec<_> = (0..32).step_by(4).map(DeviceId::new).collect();
+        let ti = all_gather_time(&topo, &intra_group, 1e8).unwrap() / 7.0;
+        let tx = all_gather_time(&topo, &cross_group, 1e8).unwrap() / 7.0;
+        assert!(tx > ti);
+    }
+
+    #[test]
+    fn all_reduce_is_roughly_double_reduce_scatter() {
+        let topo = Topology::single_node(8).unwrap();
+        let group: Vec<_> = topo.devices().collect();
+        let rs = reduce_scatter_time(&topo, &group, 8e8).unwrap();
+        let ar = all_reduce_time(&topo, &group, 8e8).unwrap();
+        assert!((ar - 2.0 * rs).abs() / ar < 1e-9);
+    }
+
+    #[test]
+    fn single_member_group_is_free() {
+        let topo = paper();
+        assert_eq!(
+            all_gather_time(&topo, &[DeviceId::new(0)], 1e9).unwrap(),
+            0.0
+        );
+        assert!(all_gather_time(&topo, &[], 1e9).is_err());
+    }
+}

@@ -1,0 +1,334 @@
+//! The multi-stream execution engine.
+//!
+//! The engine models CUDA-style streams with event dependencies: each
+//! device owns one queue per [`StreamKind`]; a span enqueued on a stream
+//! begins at `max(stream frontier, dependency ends)` and advances the
+//! stream frontier to its end. Collective operations synchronise a group
+//! of devices by giving every participant the same end time.
+
+use laer_cluster::{DeviceId, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::timeline::{Span, SpanLabel, Timeline};
+
+/// The four per-device streams of Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum StreamKind {
+    /// S1 — forward/backward computation.
+    Compute,
+    /// S2 — expert-parameter prefetch communication.
+    Prefetch,
+    /// S3 — token dispatch/combine All-to-All communication.
+    A2a,
+    /// S4 — gradient synchronisation communication.
+    GradSync,
+}
+
+impl StreamKind {
+    /// All stream kinds, in Fig. 5 order (S1..S4).
+    pub const ALL: [StreamKind; 4] = [
+        StreamKind::Compute,
+        StreamKind::Prefetch,
+        StreamKind::A2a,
+        StreamKind::GradSync,
+    ];
+}
+
+/// Opaque handle to a completed span; used to express dependencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanHandle(usize);
+
+/// Deterministic multi-stream engine over a fixed [`Topology`].
+#[derive(Debug, Clone)]
+pub struct Engine {
+    num_devices: usize,
+    /// Frontier (next-free time) per (device, stream).
+    frontiers: HashMap<(DeviceId, StreamKind), f64>,
+    timeline: Timeline,
+}
+
+impl Engine {
+    /// Creates an engine with all stream frontiers at time zero.
+    pub fn new(topo: &Topology) -> Self {
+        Self {
+            num_devices: topo.num_devices(),
+            frontiers: HashMap::new(),
+            timeline: Timeline::new(),
+        }
+    }
+
+    /// Number of devices being simulated.
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+
+    /// Current frontier of a stream (next time it is free).
+    pub fn frontier(&self, device: DeviceId, stream: StreamKind) -> f64 {
+        self.frontiers
+            .get(&(device, stream))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// End time of a previously enqueued span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this engine.
+    pub fn span(&self, handle: SpanHandle) -> &Span {
+        &self.timeline.spans()[handle.0]
+    }
+
+    /// Enqueues `duration` seconds of `label` work on `(device, stream)`,
+    /// starting no earlier than the end of every span in `deps`.
+    ///
+    /// Returns a handle usable as a dependency for later spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is negative or not finite, or if `device` is
+    /// out of range.
+    pub fn enqueue(
+        &mut self,
+        device: DeviceId,
+        stream: StreamKind,
+        label: SpanLabel,
+        duration: f64,
+        deps: &[SpanHandle],
+    ) -> SpanHandle {
+        assert!(
+            duration.is_finite() && duration >= 0.0,
+            "span duration must be finite and non-negative, got {duration}"
+        );
+        assert!(
+            device.index() < self.num_devices,
+            "device {device} out of range"
+        );
+        let ready = deps
+            .iter()
+            .map(|&h| self.span(h).end)
+            .fold(self.frontier(device, stream), f64::max);
+        let span = Span {
+            device,
+            stream,
+            label,
+            start: ready,
+            end: ready + duration,
+        };
+        self.frontiers.insert((device, stream), span.end);
+        self.timeline.push(span);
+        SpanHandle(self.timeline.len() - 1)
+    }
+
+    /// Enqueues a synchronising collective across `devices` on `stream`.
+    ///
+    /// Every participant posts its local `durations[i]` of work after the
+    /// corresponding `deps[i]` (plus its stream frontier); all spans end at
+    /// the *latest* completion among participants — the tail-latency
+    /// semantics of NCCL collectives. Returns one handle per device, all
+    /// with identical end times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ or any duration is invalid.
+    pub fn enqueue_collective(
+        &mut self,
+        devices: &[DeviceId],
+        stream: StreamKind,
+        label: SpanLabel,
+        durations: &[f64],
+        deps: &[Vec<SpanHandle>],
+    ) -> Vec<SpanHandle> {
+        assert_eq!(devices.len(), durations.len(), "durations per device");
+        assert_eq!(devices.len(), deps.len(), "deps per device");
+        // Phase 1: each device's earliest possible local finish.
+        let mut local_finish = Vec::with_capacity(devices.len());
+        for ((&dev, &dur), dep) in devices.iter().zip(durations).zip(deps) {
+            assert!(
+                dur.is_finite() && dur >= 0.0,
+                "collective duration must be finite and non-negative, got {dur}"
+            );
+            let ready = dep
+                .iter()
+                .map(|&h| self.span(h).end)
+                .fold(self.frontier(dev, stream), f64::max);
+            local_finish.push((dev, ready, ready + dur));
+        }
+        // Phase 2: all participants complete together at the global max.
+        let global_end = local_finish
+            .iter()
+            .map(|&(_, _, end)| end)
+            .fold(0.0, f64::max);
+        let mut handles = Vec::with_capacity(devices.len());
+        for (dev, ready, _) in local_finish {
+            let span = Span {
+                device: dev,
+                stream,
+                label,
+                start: ready,
+                end: global_end,
+            };
+            self.frontiers.insert((dev, stream), global_end);
+            self.timeline.push(span);
+            handles.push(SpanHandle(self.timeline.len() - 1));
+        }
+        handles
+    }
+
+    /// The recorded timeline.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Consumes the engine, returning its timeline.
+    pub fn into_timeline(self) -> Timeline {
+        self.timeline
+    }
+
+    /// Latest frontier across all devices and streams (current makespan).
+    pub fn now(&self) -> f64 {
+        self.timeline.makespan()
+    }
+
+    /// Advances every stream of every device to at least `time` —
+    /// a global barrier (end of iteration).
+    pub fn barrier_at(&mut self, time: f64) {
+        for dev in 0..self.num_devices {
+            for kind in StreamKind::ALL {
+                let key = (DeviceId::new(dev), kind);
+                let cur = self.frontiers.get(&key).copied().unwrap_or(0.0);
+                if cur < time {
+                    self.frontiers.insert(key, time);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_device_engine() -> Engine {
+        Engine::new(&Topology::single_node(2).unwrap())
+    }
+
+    #[test]
+    fn serial_on_same_stream() {
+        let mut e = two_device_engine();
+        let d = DeviceId::new(0);
+        let a = e.enqueue(d, StreamKind::Compute, SpanLabel::Attention, 1.0, &[]);
+        let b = e.enqueue(d, StreamKind::Compute, SpanLabel::ExpertCompute, 2.0, &[]);
+        assert_eq!(e.span(a).end, 1.0);
+        assert_eq!(e.span(b).start, 1.0);
+        assert_eq!(e.span(b).end, 3.0);
+    }
+
+    #[test]
+    fn parallel_on_different_streams() {
+        let mut e = two_device_engine();
+        let d = DeviceId::new(0);
+        let a = e.enqueue(d, StreamKind::Compute, SpanLabel::Attention, 1.0, &[]);
+        let b = e.enqueue(d, StreamKind::Prefetch, SpanLabel::Prefetch, 1.0, &[]);
+        assert_eq!(e.span(a).start, 0.0);
+        assert_eq!(e.span(b).start, 0.0); // overlapped
+    }
+
+    #[test]
+    fn dependency_delays_start() {
+        let mut e = two_device_engine();
+        let d = DeviceId::new(0);
+        let a = e.enqueue(d, StreamKind::Compute, SpanLabel::Attention, 1.5, &[]);
+        let b = e.enqueue(d, StreamKind::Prefetch, SpanLabel::Prefetch, 1.0, &[a]);
+        assert_eq!(e.span(b).start, 1.5);
+    }
+
+    #[test]
+    fn collective_synchronises_to_slowest() {
+        let mut e = two_device_engine();
+        let devs = [DeviceId::new(0), DeviceId::new(1)];
+        let handles = e.enqueue_collective(
+            &devs,
+            StreamKind::A2a,
+            SpanLabel::AllToAll,
+            &[1.0, 3.0],
+            &[vec![], vec![]],
+        );
+        assert_eq!(e.span(handles[0]).end, 3.0);
+        assert_eq!(e.span(handles[1]).end, 3.0);
+        // The fast device's span includes its wait (tail latency).
+        assert_eq!(e.span(handles[0]).duration(), 3.0);
+    }
+
+    #[test]
+    fn collective_respects_dependencies() {
+        let mut e = two_device_engine();
+        let d0 = DeviceId::new(0);
+        let pre = e.enqueue(d0, StreamKind::Compute, SpanLabel::Attention, 2.0, &[]);
+        let handles = e.enqueue_collective(
+            &[d0, DeviceId::new(1)],
+            StreamKind::A2a,
+            SpanLabel::AllToAll,
+            &[0.5, 0.5],
+            &[vec![pre], vec![]],
+        );
+        assert_eq!(e.span(handles[0]).start, 2.0);
+        assert_eq!(e.span(handles[1]).end, 2.5);
+    }
+
+    #[test]
+    fn barrier_advances_frontiers() {
+        let mut e = two_device_engine();
+        e.barrier_at(5.0);
+        assert_eq!(e.frontier(DeviceId::new(1), StreamKind::GradSync), 5.0);
+        let h = e.enqueue(
+            DeviceId::new(1),
+            StreamKind::GradSync,
+            SpanLabel::GradSync,
+            1.0,
+            &[],
+        );
+        assert_eq!(e.span(h).start, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_panics() {
+        let mut e = two_device_engine();
+        e.enqueue(
+            DeviceId::new(0),
+            StreamKind::Compute,
+            SpanLabel::Other,
+            -1.0,
+            &[],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_device_panics() {
+        let mut e = two_device_engine();
+        e.enqueue(
+            DeviceId::new(7),
+            StreamKind::Compute,
+            SpanLabel::Other,
+            1.0,
+            &[],
+        );
+    }
+
+    #[test]
+    fn now_tracks_makespan() {
+        let mut e = two_device_engine();
+        assert_eq!(e.now(), 0.0);
+        e.enqueue(
+            DeviceId::new(0),
+            StreamKind::Compute,
+            SpanLabel::Other,
+            2.5,
+            &[],
+        );
+        assert_eq!(e.now(), 2.5);
+    }
+}

@@ -1,0 +1,367 @@
+//! Span recording and time breakdowns (Figs. 1b and 10a of the paper).
+
+use laer_cluster::DeviceId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::engine::StreamKind;
+
+/// Category of a recorded span, matching the paper's breakdown buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SpanLabel {
+    /// Token-dispatch / combine All-to-All communication.
+    AllToAll,
+    /// Expert MLP forward or backward computation.
+    ExpertCompute,
+    /// Attention (and other non-expert) computation.
+    Attention,
+    /// Expert-parameter prefetch communication (FSEP unshard / FSDP
+    /// all-gather).
+    Prefetch,
+    /// Gradient reshard / synchronisation communication.
+    GradSync,
+    /// Tensor-parallel communication (Megatron attention).
+    TensorParallel,
+    /// Memory rearrangement and other host-side work around the A2A.
+    Other,
+}
+
+impl SpanLabel {
+    /// Whether this label counts into the paper's "All-to-All" breakdown
+    /// bucket (Fig. 10a highlights dispatch/combine A2A only).
+    pub fn is_a2a_bucket(self) -> bool {
+        matches!(self, SpanLabel::AllToAll)
+    }
+
+    /// The paper's "Others" bucket: attention, TP and memory ops.
+    pub fn is_others_bucket(self) -> bool {
+        matches!(
+            self,
+            SpanLabel::Attention | SpanLabel::TensorParallel | SpanLabel::Other
+        )
+    }
+}
+
+impl fmt::Display for SpanLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpanLabel::AllToAll => "all-to-all",
+            SpanLabel::ExpertCompute => "expert-compute",
+            SpanLabel::Attention => "attention",
+            SpanLabel::Prefetch => "prefetch",
+            SpanLabel::GradSync => "grad-sync",
+            SpanLabel::TensorParallel => "tensor-parallel",
+            SpanLabel::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One completed interval of work on a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Device the span ran on.
+    pub device: DeviceId,
+    /// Stream within the device.
+    pub stream: StreamKind,
+    /// Breakdown category.
+    pub label: SpanLabel,
+    /// Start time, seconds of virtual time.
+    pub start: f64,
+    /// End time, seconds of virtual time.
+    pub end: f64,
+}
+
+impl Span {
+    /// Span duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A recording of every span executed by an [`crate::Engine`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    spans: Vec<Span>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a span.
+    pub fn push(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+
+    /// All recorded spans, in enqueue order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Latest end time across all spans (the makespan), or 0 if empty.
+    pub fn makespan(&self) -> f64 {
+        self.spans.iter().map(|s| s.end).fold(0.0, f64::max)
+    }
+
+    /// Total busy seconds per label, summed over devices.
+    pub fn busy_by_label(&self) -> BTreeMap<SpanLabel, f64> {
+        let mut out = BTreeMap::new();
+        for s in &self.spans {
+            *out.entry(s.label).or_insert(0.0) += s.duration();
+        }
+        out
+    }
+
+    /// Busy seconds of one device's compute-critical path labels.
+    pub fn device_busy(&self, device: DeviceId, label: SpanLabel) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.device == device && s.label == label)
+            .map(Span::duration)
+            .sum()
+    }
+
+    /// Computes the paper-style breakdown averaged across `n` devices.
+    ///
+    /// The A2A bucket contains dispatch/combine communication; expert
+    /// compute is its own bucket; everything else (attention, TP, memory
+    /// ops) lands in "others", exactly as in Fig. 10a. Exposed-on-critical-
+    /// path time is approximated by per-label busy time averaged over
+    /// devices — for the synchronising collectives the engine already
+    /// charges wait time into the A2A spans, so averages reflect tail
+    /// latency.
+    pub fn breakdown(&self, n_devices: usize) -> Breakdown {
+        assert!(n_devices > 0, "device count must be non-zero");
+        let by = self.busy_by_label();
+        let get = |l: SpanLabel| by.get(&l).copied().unwrap_or(0.0) / n_devices as f64;
+        Breakdown {
+            a2a: get(SpanLabel::AllToAll),
+            expert_compute: get(SpanLabel::ExpertCompute),
+            others: get(SpanLabel::Attention)
+                + get(SpanLabel::TensorParallel)
+                + get(SpanLabel::Other),
+            exposed_prefetch: get(SpanLabel::Prefetch),
+            exposed_grad_sync: get(SpanLabel::GradSync),
+        }
+    }
+
+    /// Busy fraction of one device stream over the makespan — how much
+    /// of the iteration the stream spent executing (vs idle/waiting).
+    /// Returns 0 for an empty timeline.
+    ///
+    /// Note that collective spans include wait time (the engine charges
+    /// the global completion to every participant), so A2A-stream
+    /// utilisation reads as *occupancy*, which is exactly what makes
+    /// imbalance visible here.
+    pub fn stream_utilization(&self, device: DeviceId, stream: StreamKind) -> f64 {
+        let makespan = self.makespan();
+        if makespan == 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .spans
+            .iter()
+            .filter(|s| s.device == device && s.stream == stream)
+            .map(Span::duration)
+            .sum();
+        busy / makespan
+    }
+
+    /// Removes all spans, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.spans.clear();
+    }
+
+    /// Number of spans recorded.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the timeline holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+/// Average per-device time breakdown of one iteration (the bars of
+/// Figs. 1b / 10a).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Dispatch + combine All-to-All seconds (includes imbalance waits).
+    pub a2a: f64,
+    /// Expert MLP computation seconds.
+    pub expert_compute: f64,
+    /// Attention, tensor-parallel and memory-operation seconds.
+    pub others: f64,
+    /// Parameter prefetch seconds *not* hidden by compute.
+    pub exposed_prefetch: f64,
+    /// Gradient synchronisation seconds *not* hidden by compute.
+    pub exposed_grad_sync: f64,
+}
+
+impl Breakdown {
+    /// Total accounted seconds.
+    pub fn total(&self) -> f64 {
+        self.a2a + self.expert_compute + self.others + self.exposed_prefetch
+            + self.exposed_grad_sync
+    }
+
+    /// Fraction of the total spent in the All-to-All bucket (the headline
+    /// quantity of Fig. 1b: <10 % balanced, >40 % imbalanced).
+    pub fn a2a_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.a2a / t
+        }
+    }
+
+    /// Element-wise sum, for averaging over iterations.
+    pub fn accumulate(&mut self, other: &Breakdown) {
+        self.a2a += other.a2a;
+        self.expert_compute += other.expert_compute;
+        self.others += other.others;
+        self.exposed_prefetch += other.exposed_prefetch;
+        self.exposed_grad_sync += other.exposed_grad_sync;
+    }
+
+    /// Element-wise division by a count, for averaging over iterations.
+    pub fn scale(&self, inv: f64) -> Breakdown {
+        Breakdown {
+            a2a: self.a2a * inv,
+            expert_compute: self.expert_compute * inv,
+            others: self.others * inv,
+            exposed_prefetch: self.exposed_prefetch * inv,
+            exposed_grad_sync: self.exposed_grad_sync * inv,
+        }
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "a2a {:.3}ms ({:.1}%), expert {:.3}ms, others {:.3}ms",
+            self.a2a * 1e3,
+            self.a2a_fraction() * 100.0,
+            self.expert_compute * 1e3,
+            self.others * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(label: SpanLabel, start: f64, end: f64) -> Span {
+        Span {
+            device: DeviceId::new(0),
+            stream: StreamKind::Compute,
+            label,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn makespan_tracks_latest_end() {
+        let mut t = Timeline::new();
+        assert_eq!(t.makespan(), 0.0);
+        t.push(span(SpanLabel::Attention, 0.0, 1.0));
+        t.push(span(SpanLabel::AllToAll, 0.5, 3.0));
+        assert_eq!(t.makespan(), 3.0);
+    }
+
+    #[test]
+    fn breakdown_buckets() {
+        let mut t = Timeline::new();
+        t.push(span(SpanLabel::AllToAll, 0.0, 2.0));
+        t.push(span(SpanLabel::ExpertCompute, 2.0, 5.0));
+        t.push(span(SpanLabel::Attention, 5.0, 6.0));
+        t.push(span(SpanLabel::TensorParallel, 6.0, 7.0));
+        t.push(span(SpanLabel::Other, 7.0, 8.0));
+        let b = t.breakdown(1);
+        assert_eq!(b.a2a, 2.0);
+        assert_eq!(b.expert_compute, 3.0);
+        assert_eq!(b.others, 3.0);
+        assert!((b.a2a_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_averages_over_devices() {
+        let mut t = Timeline::new();
+        t.push(span(SpanLabel::AllToAll, 0.0, 2.0));
+        let b = t.breakdown(2);
+        assert_eq!(b.a2a, 1.0);
+    }
+
+    #[test]
+    fn accumulate_and_scale() {
+        let mut acc = Breakdown::default();
+        let one = Breakdown {
+            a2a: 1.0,
+            expert_compute: 2.0,
+            others: 3.0,
+            exposed_prefetch: 0.5,
+            exposed_grad_sync: 0.25,
+        };
+        acc.accumulate(&one);
+        acc.accumulate(&one);
+        let avg = acc.scale(0.5);
+        assert_eq!(avg, one);
+        assert!((one.total() - 6.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_bucket_predicates() {
+        assert!(SpanLabel::AllToAll.is_a2a_bucket());
+        assert!(!SpanLabel::Prefetch.is_a2a_bucket());
+        assert!(SpanLabel::Other.is_others_bucket());
+        assert!(!SpanLabel::ExpertCompute.is_others_bucket());
+    }
+
+    #[test]
+    fn empty_breakdown_fraction_is_zero() {
+        assert_eq!(Breakdown::default().a2a_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stream_utilization_fractions() {
+        let mut t = Timeline::new();
+        t.push(span(SpanLabel::ExpertCompute, 0.0, 2.0));
+        t.push(Span {
+            device: DeviceId::new(0),
+            stream: StreamKind::Prefetch,
+            label: SpanLabel::Prefetch,
+            start: 0.0,
+            end: 1.0,
+        });
+        t.push(span(SpanLabel::Attention, 2.0, 4.0));
+        // Compute stream busy 4.0 of 4.0; prefetch 1.0 of 4.0.
+        assert_eq!(t.stream_utilization(DeviceId::new(0), StreamKind::Compute), 1.0);
+        assert_eq!(t.stream_utilization(DeviceId::new(0), StreamKind::Prefetch), 0.25);
+        assert_eq!(t.stream_utilization(DeviceId::new(1), StreamKind::Compute), 0.0);
+        assert_eq!(Timeline::new().stream_utilization(DeviceId::new(0), StreamKind::A2a), 0.0);
+    }
+
+    #[test]
+    fn device_busy_filters() {
+        let mut t = Timeline::new();
+        t.push(span(SpanLabel::ExpertCompute, 0.0, 1.0));
+        t.push(Span {
+            device: DeviceId::new(1),
+            stream: StreamKind::Compute,
+            label: SpanLabel::ExpertCompute,
+            start: 0.0,
+            end: 4.0,
+        });
+        assert_eq!(t.device_busy(DeviceId::new(0), SpanLabel::ExpertCompute), 1.0);
+        assert_eq!(t.device_busy(DeviceId::new(1), SpanLabel::ExpertCompute), 4.0);
+    }
+}

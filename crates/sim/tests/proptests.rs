@@ -1,0 +1,124 @@
+//! Property-based tests for the discrete-event engine and collective
+//! cost models.
+
+use laer_cluster::{DeviceId, Topology};
+use laer_sim::{
+    all_gather_time, all_to_all_balanced_time, all_to_all_time, reduce_scatter_time, A2aMatrix,
+    Engine, SpanLabel, StreamKind,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Spans on one stream never overlap and respect enqueue order, for
+    /// any sequence of durations.
+    #[test]
+    fn stream_spans_are_serial(durations in proptest::collection::vec(0.0f64..10.0, 1..20)) {
+        let topo = Topology::single_node(1).expect("non-empty");
+        let mut engine = Engine::new(&topo);
+        let d = DeviceId::new(0);
+        let mut handles = Vec::new();
+        for &dur in &durations {
+            handles.push(engine.enqueue(d, StreamKind::Compute, SpanLabel::Other, dur, &[]));
+        }
+        for w in handles.windows(2) {
+            let a = engine.span(w[0]);
+            let b = engine.span(w[1]);
+            prop_assert!(b.start >= a.end - 1e-12);
+        }
+        let total: f64 = durations.iter().sum();
+        prop_assert!((engine.now() - total).abs() < 1e-9);
+    }
+
+    /// Dependencies always delay starts: a span never begins before any
+    /// of its dependencies end.
+    #[test]
+    fn dependencies_are_respected(
+        dur_a in 0.0f64..5.0,
+        dur_b in 0.0f64..5.0,
+        dur_c in 0.0f64..5.0,
+    ) {
+        let topo = Topology::single_node(2).expect("non-empty");
+        let mut engine = Engine::new(&topo);
+        let a = engine.enqueue(DeviceId::new(0), StreamKind::Compute, SpanLabel::Other, dur_a, &[]);
+        let b = engine.enqueue(DeviceId::new(1), StreamKind::Compute, SpanLabel::Other, dur_b, &[]);
+        let c = engine.enqueue(DeviceId::new(0), StreamKind::Prefetch, SpanLabel::Prefetch, dur_c, &[a, b]);
+        let end_a = engine.span(a).end;
+        let end_b = engine.span(b).end;
+        prop_assert!(engine.span(c).start >= end_a.max(end_b) - 1e-12);
+    }
+
+    /// Collectives synchronise: all participants end simultaneously at
+    /// or after each local finish time.
+    #[test]
+    fn collectives_synchronise(durations in proptest::collection::vec(0.0f64..10.0, 2..8)) {
+        let n = durations.len();
+        let topo = Topology::single_node(n).expect("non-empty");
+        let mut engine = Engine::new(&topo);
+        let devices: Vec<DeviceId> = topo.devices().collect();
+        let deps = vec![Vec::new(); n];
+        let handles = engine.enqueue_collective(
+            &devices,
+            StreamKind::A2a,
+            SpanLabel::AllToAll,
+            &durations,
+            &deps,
+        );
+        let end = engine.span(handles[0]).end;
+        let max_dur = durations.iter().copied().fold(0.0, f64::max);
+        prop_assert!((end - max_dur).abs() < 1e-9);
+        for &h in &handles {
+            prop_assert_eq!(engine.span(h).end, end);
+        }
+    }
+
+    /// All-to-All cost is monotone in traffic: adding bytes never makes
+    /// any device finish sooner.
+    #[test]
+    fn a2a_cost_is_monotone(
+        base in proptest::collection::vec(0.0f64..1e8, 16),
+        extra_src in 0usize..4,
+        extra_dst in 0usize..4,
+        extra in 0.0f64..1e9,
+    ) {
+        let topo = Topology::new(2, 2).expect("2x2");
+        let mut m = A2aMatrix::new(4);
+        for i in 0..4 {
+            for k in 0..4 {
+                if i != k {
+                    m.add(DeviceId::new(i), DeviceId::new(k), base[i * 4 + k]);
+                }
+            }
+        }
+        let before = all_to_all_time(&topo, &m).expect("sized");
+        prop_assume!(extra_src != extra_dst);
+        m.add(DeviceId::new(extra_src), DeviceId::new(extra_dst), extra);
+        let after = all_to_all_time(&topo, &m).expect("sized");
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert!(a + 1e-12 >= *b);
+        }
+    }
+
+    /// Balanced A2A time is monotone in volume and zero for zero bytes.
+    #[test]
+    fn balanced_a2a_monotone(v1 in 0.0f64..1e9, v2 in 0.0f64..1e9) {
+        let topo = Topology::paper_cluster();
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        prop_assert!(
+            all_to_all_balanced_time(&topo, lo) <= all_to_all_balanced_time(&topo, hi) + 1e-12
+        );
+        prop_assert_eq!(all_to_all_balanced_time(&topo, 0.0), 0.0);
+    }
+
+    /// Ring identities: all-gather of a shard equals reduce-scatter of
+    /// the P-times-larger buffer.
+    #[test]
+    fn ring_identities(shard in 1.0f64..1e9, p in 2usize..8) {
+        let topo = Topology::single_node(p).expect("non-empty");
+        let group: Vec<DeviceId> = topo.devices().collect();
+        let ag = all_gather_time(&topo, &group, shard).expect("group");
+        let rs = reduce_scatter_time(&topo, &group, shard * p as f64).expect("group");
+        prop_assert!((ag - rs).abs() < 1e-9 * ag.max(1e-9));
+    }
+}

@@ -1,0 +1,120 @@
+//! Trace-driven scalability study — Appendix D / Tab. 4.
+//!
+//! The paper replays Mixtral-8x7B-e8k2 routing traces against cluster
+//! sizes from 8 to 128 GPUs and reports the MLP-module (dispatch +
+//! expert compute + combine) speedup of the re-layout algorithm over the
+//! static layout, finding it stable at ≈1.48–1.49×.
+
+use laer_baselines::{FsdpEpSystem, LaerSystem, MoeSystem, PlanningMode, SystemContext};
+use laer_cluster::Topology;
+use laer_fsep::LayerTimings;
+use laer_model::{GpuSpec, ModelPreset};
+use laer_routing::{RoutingGenerator, RoutingGeneratorConfig};
+use serde::{Deserialize, Serialize};
+
+/// One row of Tab. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MlpSpeedupRow {
+    /// Cluster size (GPUs).
+    pub gpus: usize,
+    /// MLP-module speedup of LAER over the static FSDP+EP layout.
+    pub speedup: f64,
+}
+
+/// MLP-module forward latency implied by one layer's timings: straggler
+/// dispatch + straggler expert compute + straggler combine.
+fn mlp_time(t: &LayerTimings) -> f64 {
+    let max = |v: &[f64]| v.iter().copied().fold(0.0, f64::max);
+    max(&t.dispatch) + max(&t.expert_forward) + max(&t.combine)
+}
+
+/// Replays a synthetic Mixtral-8x7B-e8k2 routing trace on `gpus` devices
+/// (nodes of 8) and returns the average MLP-module speedup of LAER's
+/// re-layout over the static layout across `iterations` iterations.
+///
+/// # Panics
+///
+/// Panics if `gpus` is not a positive multiple of 8 or `iterations` is
+/// zero.
+pub fn mlp_speedup(gpus: usize, iterations: usize, seed: u64) -> MlpSpeedupRow {
+    assert!(gpus >= 8 && gpus % 8 == 0, "gpus must be a multiple of 8");
+    assert!(iterations > 0, "at least one iteration");
+    let preset = ModelPreset::Mixtral8x7bE8k2;
+    let cfg = preset.config();
+    let topo = Topology::new(gpus / 8, 8).expect("non-empty cluster");
+    let tokens = 16 * 1024u64;
+    let ctx = || {
+        SystemContext::new(
+            topo.clone(),
+            cfg.clone(),
+            GpuSpec::a100(),
+            tokens,
+            8192,
+        )
+    };
+    // Appendix D replays recorded traces offline, so the re-layout for
+    // each iteration is planned from that iteration's own routing —
+    // the oracle mode, isolating the algorithm from predictor staleness.
+    let mut laer = LaerSystem::new(ctx()).with_mode(PlanningMode::Oracle);
+    let mut fsdp = FsdpEpSystem::new(ctx());
+    let mut gen = RoutingGenerator::new(
+        RoutingGeneratorConfig::new(gpus, cfg.experts(), tokens * cfg.top_k() as u64)
+            .with_seed(seed),
+    );
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for it in 0..iterations {
+        let demand = gen.next_iteration();
+        let pl = laer.plan_layer(0, it as u64, &demand);
+        let pf = fsdp.plan_layer(0, it as u64, &demand);
+        num += mlp_time(&pf.timings);
+        den += mlp_time(&pl.timings);
+    }
+    MlpSpeedupRow {
+        gpus,
+        speedup: num / den,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tab. 4's shape: the re-layout speedup is material (>1.2×) at
+    /// every scale and stable across the multi-node sizes. (At 8–16
+    /// GPUs our topology model rebalances entirely over NVLink, so the
+    /// speedup is *higher* there; see EXPERIMENTS.md.)
+    #[test]
+    fn speedup_is_stable_across_cluster_sizes() {
+        let rows: Vec<_> = [8usize, 16, 32, 64, 128]
+            .iter()
+            .map(|&g| mlp_speedup(g, 8, 42))
+            .collect();
+        for r in &rows {
+            assert!(
+                r.speedup > 1.2,
+                "{} GPUs: speedup {:.3} too small",
+                r.gpus,
+                r.speedup
+            );
+        }
+        let multi_node: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.gpus >= 32)
+            .map(|r| r.speedup)
+            .collect();
+        let max = multi_node.iter().copied().fold(0.0, f64::max);
+        let min = multi_node.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(
+            max / min < 1.15,
+            "speedup unstable beyond 32 GPUs: min {min:.3}, max {max:.3}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn rejects_bad_cluster_size() {
+        let _ = mlp_speedup(12, 1, 0);
+    }
+}
+

@@ -1,0 +1,70 @@
+//! Property-based tests for the training driver and convergence model.
+
+use laer_baselines::SystemKind;
+use laer_model::ModelPreset;
+use laer_train::{run_experiment, ConvergenceModel, ExperimentConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Experiments always produce positive, finite results whose
+    /// throughput is consistent with the iteration times.
+    #[test]
+    fn experiments_are_well_formed(
+        seed in 0u64..1000,
+        layers in 1usize..4,
+        system_pick in 0usize..4,
+    ) {
+        let system = SystemKind::FIG8[system_pick];
+        let cfg = ExperimentConfig::new(ModelPreset::Mixtral8x7bE8k2, system)
+            .with_layers(layers)
+            .with_iterations(3, 1)
+            .with_seed(seed);
+        let r = run_experiment(&cfg);
+        prop_assert!(r.avg_iteration_time.is_finite() && r.avg_iteration_time > 0.0);
+        prop_assert!(r.tokens_per_second.is_finite() && r.tokens_per_second > 0.0);
+        prop_assert!(r.avg_max_token_ratio >= 1.0);
+        prop_assert_eq!(r.iteration_times.len(), 3);
+        let mean = r.iteration_times.iter().sum::<f64>() / 3.0;
+        prop_assert!((mean - r.avg_iteration_time).abs() < 1e-12);
+        let implied = 32.0 * cfg.tokens_per_device as f64 / r.avg_iteration_time;
+        prop_assert!((implied - r.tokens_per_second).abs() / implied < 1e-9);
+        prop_assert!(r.breakdown.total() > 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The convergence model is monotone: loss decreases in steps and
+    /// increases in auxiliary weight (at fixed steps); time-to-loss
+    /// scales linearly with iteration time.
+    #[test]
+    fn convergence_monotonicity(
+        w1 in 0.0f64..1e-2,
+        w2 in 0.0f64..1e-2,
+        steps in 10u64..5000,
+        iter_time in 0.1f64..20.0,
+    ) {
+        let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        let a = ConvergenceModel::new(lo, iter_time, 1);
+        let b = ConvergenceModel::new(hi, iter_time, 1);
+        prop_assert!(a.mean_loss(steps) <= b.mean_loss(steps) + 1e-12);
+        prop_assert!(a.mean_loss(steps + 100) < a.mean_loss(steps));
+        // Linear time scaling.
+        let fast = ConvergenceModel::new(lo, iter_time, 1);
+        let slow = ConvergenceModel::new(lo, 2.0 * iter_time, 1);
+        if let (Some(tf), Some(ts)) = (fast.time_to_loss(2.4), slow.time_to_loss(2.4)) {
+            prop_assert!((ts - 2.0 * tf).abs() < 1e-9 * ts.max(1e-12));
+        }
+    }
+
+    /// Jitter stays within its advertised amplitude.
+    #[test]
+    fn jitter_is_bounded(seed in 0u64..10_000, step in 0u64..10_000) {
+        let m = ConvergenceModel::new(1e-4, 1.0, seed);
+        let rel = (m.loss(step) - m.mean_loss(step)).abs() / m.mean_loss(step);
+        prop_assert!(rel <= 2.1e-4, "jitter {rel}");
+    }
+}

@@ -1,0 +1,75 @@
+//! FSEP numerics demo: train a small stack of SwiGLU experts for a few
+//! steps three ways — dense single-device, classic FSDP sharding, and
+//! FSEP with a replicated re-layout — and verify the parameters stay
+//! *bit-identical*, the Sec. 3.1 precision claim.
+//!
+//! ```text
+//! cargo run --release --example fsep_numerics
+//! ```
+
+use laer_moe::fsep::reference::{run_fsep_step, DenseReference, FsdpReference, TokenBatch};
+use laer_moe::fsep::{AdamConfig, ExpertParams, FsepExperts, Matrix, ShardedAdam};
+use laer_moe::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let (n, e, h, hp) = (4usize, 4usize, 16usize, 32usize);
+    let mut rng = StdRng::seed_from_u64(99);
+    let experts: Vec<ExpertParams> = (0..e).map(|_| ExpertParams::random(h, hp, &mut rng)).collect();
+    println!("{e} experts of {} params each, sharded over {n} devices\n", 3 * h * hp);
+
+    // A re-layout replicating hot expert 0 on two devices.
+    let mut layout = ExpertLayout::empty(n, e, 2).expect("layout shape");
+    layout.add_replica(DeviceId::new(0), ExpertId::new(0));
+    layout.add_replica(DeviceId::new(0), ExpertId::new(2));
+    layout.add_replica(DeviceId::new(1), ExpertId::new(0));
+    layout.add_replica(DeviceId::new(1), ExpertId::new(1));
+    layout.add_replica(DeviceId::new(2), ExpertId::new(1));
+    layout.add_replica(DeviceId::new(2), ExpertId::new(3));
+    layout.add_replica(DeviceId::new(3), ExpertId::new(2));
+    layout.add_replica(DeviceId::new(3), ExpertId::new(3));
+    layout.validate().expect("valid layout");
+
+    // Token batches per (replica device, expert): the hot expert's
+    // tokens are split across its two replicas.
+    let mut batches = Vec::new();
+    for (d, ex, s) in [
+        (0usize, 0usize, 6usize),
+        (1, 0, 6),
+        (1, 1, 4),
+        (2, 1, 4),
+        (2, 3, 3),
+        (3, 2, 5),
+        (0, 2, 2),
+        (3, 3, 3),
+    ] {
+        batches.push(TokenBatch {
+            device: DeviceId::new(d),
+            expert: ExpertId::new(ex),
+            tokens: Matrix::random(s, h, 0.5, &mut rng),
+        });
+    }
+
+    let adam = AdamConfig::default();
+    let mut dense = DenseReference::new(experts.clone(), adam);
+    let mut fsdp = FsdpReference::shard(&experts, n).with_adam(adam);
+    let mut fsep = FsepExperts::shard(&experts, n).expect("shard");
+    let mut opt = ShardedAdam::new(adam, &fsep);
+
+    println!("step   dense loss        fsdp loss         fsep loss       identical?");
+    for step in 1..=5 {
+        let ld = dense.step(&batches);
+        let lf = fsdp.step(&batches);
+        let le = run_fsep_step(&mut fsep, &mut opt, &layout, &batches).expect("fsep step");
+        let params_equal = fsep.materialize_all() == dense.experts()
+            && fsdp.unshard_all() == dense.experts();
+        println!("{step:>4}   {ld:<16.10} {lf:<16.10} {le:<16.10} {params_equal}");
+        assert!(params_equal, "parameters diverged!");
+        assert_eq!(ld, lf);
+        assert_eq!(ld, le);
+    }
+    println!("\nFSEP restored experts under an arbitrary layout, replicated the");
+    println!("hot expert, reduced replica gradients — and every parameter stayed");
+    println!("bit-identical to the never-sharded reference.");
+}

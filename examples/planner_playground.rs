@@ -1,0 +1,63 @@
+//! Planner playground: feed the load-balancing planner a hand-crafted
+//! skewed routing distribution (the Fig. 6 scenario) and inspect the
+//! re-layout and routing it produces, then compare the greedy tuner
+//! against the exhaustive optimum on the same tiny instance.
+//!
+//! ```text
+//! cargo run --release --example planner_playground
+//! ```
+
+use laer_moe::planner::{exhaustive_best_layout, CostParams};
+use laer_moe::prelude::*;
+
+fn main() {
+    // Fig. 6: N = 4 (2 nodes x 2 devices), E = 4, C = 2. Experts 0 and 1
+    // are hot; the classic layout pins them to devices 0 and 2.
+    let topo = Topology::new(2, 2).expect("2x2 cluster");
+    let mut demand = RoutingMatrix::zeros(4, 4).expect("4x4 demand");
+    for d in 0..4 {
+        let dev = DeviceId::new(d);
+        demand.set(dev, ExpertId::new(0), 3000);
+        demand.set(dev, ExpertId::new(1), 2600);
+        demand.set(dev, ExpertId::new(2), 300);
+        demand.set(dev, ExpertId::new(3), 100);
+    }
+    println!("demand (tokens per device, per expert):\n{demand}");
+
+    let params = CostParams::mixtral_8x7b();
+    let classic = ExpertLayout::classic_ep(4, 4, 2).expect("classic layout");
+    let classic_routing = lite_route(&topo, &demand, &classic);
+    println!("classic EP layout:\n{classic}");
+    print_loads("classic EP", &classic_routing);
+
+    let planner = Planner::new(PlannerConfig::new(2).with_epsilon(6), params, topo.clone());
+    let plan = planner.plan(&demand);
+    println!("\nLAER re-layout (hot experts replicated, cold co-located):\n{}", plan.layout);
+    print_loads("LAER plan", &plan.routing);
+    println!(
+        "predicted objective: comm {:.3} ms + comp {:.3} ms = {:.3} ms",
+        plan.predicted.comm * 1e3,
+        plan.predicted.comp * 1e3,
+        plan.predicted.total() * 1e3
+    );
+
+    let (best_layout, best_cost) = exhaustive_best_layout(&topo, &demand, 2, &params);
+    println!(
+        "\nexhaustive optimum over all {} layouts: {:.3} ms (greedy gap {:.1}%)",
+        "C(4,2)^4 = 1296",
+        best_cost.total() * 1e3,
+        100.0 * (plan.predicted.total() / best_cost.total() - 1.0)
+    );
+    println!("optimal layout:\n{best_layout}");
+}
+
+fn print_loads(label: &str, routing: &TokenRouting) {
+    let loads = routing.device_compute_loads();
+    let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    let max = *loads.iter().max().expect("non-empty") as f64;
+    println!(
+        "{label}: device loads {loads:?}  (max/ideal = {:.2}, remote tokens {})",
+        max / mean,
+        routing.remote_tokens()
+    );
+}

@@ -1,0 +1,46 @@
+//! Quickstart: run LAER-MoE and the FSDP+EP baseline on a slice of the
+//! Mixtral-8x7B e8k2 workload and compare throughput and balance.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use laer_moe::prelude::*;
+
+fn main() {
+    println!("LAER-MoE quickstart: Mixtral-8x7B e8k2 on a 4x8 A100 cluster\n");
+
+    let base = |system| {
+        ExperimentConfig::new(ModelPreset::Mixtral8x7bE8k2, system)
+            .with_layers(8) // a slice of the 32-layer model for speed
+            .with_iterations(20, 5)
+            .with_seed(7)
+    };
+
+    println!(
+        "{:<12} {:>14} {:>12} {:>12} {:>14}",
+        "system", "tokens/s", "iter (ms)", "A2A share", "max/ideal load"
+    );
+    let mut results = Vec::new();
+    for kind in [SystemKind::Megatron, SystemKind::FsdpEp, SystemKind::Flex, SystemKind::Laer] {
+        let r = run_experiment(&base(kind));
+        println!(
+            "{:<12} {:>14.0} {:>12.1} {:>11.1}% {:>14.2}",
+            kind.id(),
+            r.tokens_per_second,
+            r.avg_iteration_time * 1e3,
+            r.breakdown.a2a_fraction() * 100.0,
+            r.avg_max_token_ratio
+        );
+        results.push((kind, r));
+    }
+
+    let laer = &results.last().expect("laer ran").1;
+    for (kind, r) in &results[..results.len() - 1] {
+        println!(
+            "\nLAER speedup over {}: {:.2}x",
+            kind.id(),
+            laer.tokens_per_second / r.tokens_per_second
+        );
+    }
+}

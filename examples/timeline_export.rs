@@ -1,0 +1,40 @@
+//! Exports one simulated LAER-MoE iteration as a Chrome trace
+//! (`target/laer_iteration.json`), viewable in `chrome://tracing` or
+//! Perfetto — the streams S1–S4 render exactly like Fig. 5.
+//!
+//! ```text
+//! cargo run --release --example timeline_export
+//! ```
+
+use laer_moe::fsep::schedule_iteration;
+use laer_moe::prelude::*;
+use laer_moe::sim::write_chrome_trace;
+use std::fs::File;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topo = Topology::new(1, 4)?;
+    let ctx = SystemContext::new(
+        topo.clone(),
+        ModelPreset::Mixtral8x7bE8k2.config(),
+        GpuSpec::a100(),
+        16 * 1024,
+        8192,
+    );
+    let mut system = LaerSystem::new(ctx);
+    let mut gen = RoutingGenerator::new(RoutingGeneratorConfig::new(4, 8, 32 * 1024).with_seed(5));
+    let layers: Vec<_> = (0..4)
+        .map(|l| system.plan_layer(l, 0, &gen.next_iteration()).timings)
+        .collect();
+    let mut engine = Engine::new(&topo);
+    let t = schedule_iteration(&mut engine, &topo, &layers, system.schedule_options());
+    println!(
+        "simulated iteration: {:.1} ms total, forward ends at {:.1} ms, {} spans",
+        t.total * 1e3,
+        t.forward_end * 1e3,
+        engine.timeline().len()
+    );
+    let path = "target/laer_iteration.json";
+    write_chrome_trace(engine.timeline(), File::create(path)?)?;
+    println!("Chrome trace written to {path} — open it in chrome://tracing");
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Determinism guarantees across the whole stack: every experiment is a
+//! pure function of its configuration, enabling exact reproduction of
+//! all tables and figures from seeds.
+
+use laer_moe::planner::{parallel::plan_parallel, CostParams};
+use laer_moe::prelude::*;
+
+#[test]
+fn experiments_are_pure_functions_of_config() {
+    let cfg = ExperimentConfig::new(ModelPreset::Mixtral8x7bE8k2, SystemKind::Laer)
+        .with_layers(3)
+        .with_iterations(5, 2)
+        .with_seed(7);
+    let a = run_experiment(&cfg);
+    let b = run_experiment(&cfg);
+    assert_eq!(a.iteration_times, b.iteration_times);
+    assert_eq!(a.tokens_per_second, b.tokens_per_second);
+    assert_eq!(a.avg_max_token_ratio, b.avg_max_token_ratio);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mk = |seed| {
+        run_experiment(
+            &ExperimentConfig::new(ModelPreset::Mixtral8x7bE8k2, SystemKind::Laer)
+                .with_layers(3)
+                .with_iterations(5, 2)
+                .with_seed(seed),
+        )
+    };
+    assert_ne!(mk(7).iteration_times, mk(8).iteration_times);
+}
+
+#[test]
+fn parallel_planner_equals_serial_across_workloads() {
+    let planner = Planner::new(
+        PlannerConfig::new(2).with_epsilon(8),
+        CostParams::mixtral_8x7b(),
+        Topology::paper_cluster(),
+    );
+    let mut gen =
+        RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 16 * 1024).with_seed(5));
+    for _ in 0..5 {
+        let demand = gen.next_iteration();
+        let serial = planner.plan(&demand);
+        for threads in [1usize, 2, 4, 8] {
+            let par = plan_parallel(&planner, &demand, threads);
+            assert_eq!(serial.layout, par.layout, "threads {threads}");
+            assert_eq!(serial.predicted, par.predicted, "threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn convergence_model_is_deterministic() {
+    let a = ConvergenceModel::new(1e-4, 5.0, 9);
+    let b = ConvergenceModel::new(1e-4, 5.0, 9);
+    for step in (0..2000).step_by(97) {
+        assert_eq!(a.loss(step), b.loss(step));
+    }
+}
+
+#[test]
+fn routing_traces_replay_identically_after_json() {
+    let trace = RoutingTrace::record(
+        RoutingGeneratorConfig::new(8, 8, 4096).with_seed(3),
+        6,
+    );
+    let json = serde_json::to_string(&trace).expect("encode");
+    let back: RoutingTrace = serde_json::from_str(&json).expect("decode");
+    assert_eq!(trace, back);
+}

@@ -1,0 +1,158 @@
+//! Cross-system integration: every evaluated system produces valid,
+//! executable plans on shared workloads, and the relative orderings the
+//! paper reports hold across seeds and model variants.
+
+use laer_moe::prelude::*;
+use laer_moe::systems::{FasterMoeSystem, SmartMoeSystem};
+
+fn ctx(preset: ModelPreset) -> SystemContext {
+    SystemContext::new(
+        Topology::paper_cluster(),
+        preset.config(),
+        GpuSpec::a100(),
+        16 * 1024,
+        8192,
+    )
+}
+
+fn all_systems(preset: ModelPreset, layers: usize) -> Vec<Box<dyn MoeSystem>> {
+    vec![
+        Box::new(LaerSystem::new(ctx(preset))),
+        Box::new(FlexMoeSystem::new(ctx(preset), layers)),
+        Box::new(FsdpEpSystem::new(ctx(preset))),
+        Box::new(MegatronSystem::new(ctx(preset))),
+        Box::new(VanillaEpSystem::new(ctx(preset))),
+        Box::new(SmartMoeSystem::new(ctx(preset), layers, 10)),
+        Box::new(FasterMoeSystem::new(ctx(preset), 1)),
+    ]
+}
+
+/// Every system, every preset family, several iterations: plans always
+/// satisfy the routing constraints and carry complete timing vectors.
+#[test]
+fn every_system_produces_valid_plans() {
+    for preset in [ModelPreset::Mixtral8x7bE8k2, ModelPreset::Mixtral8x7bE16k4] {
+        let cfg = preset.config();
+        let mut systems = all_systems(preset, 2);
+        let mut gen = RoutingGenerator::new(
+            RoutingGeneratorConfig::new(32, cfg.experts(), 32 * 1024).with_seed(99),
+        );
+        for iter in 0..4 {
+            let demand = gen.next_iteration();
+            for sys in &mut systems {
+                let plan = sys.plan_layer(0, iter, &demand);
+                plan.routing
+                    .validate(&demand, &plan.layout)
+                    .unwrap_or_else(|e| panic!("{}: {e}", sys.name()));
+                assert_eq!(plan.timings.dispatch.len(), 32, "{}", sys.name());
+                assert_eq!(plan.timings.expert_forward.len(), 32, "{}", sys.name());
+                assert!(plan.timings.attention > 0.0, "{}", sys.name());
+                assert!(plan.max_token_ratio() >= 1.0, "{}", sys.name());
+            }
+        }
+    }
+}
+
+/// The balance ordering of Fig. 10(b) holds in aggregate across seeds:
+/// LAER ≤ FlexMoE ≤ static EP on max-token ratio.
+#[test]
+fn balance_ordering_across_seeds() {
+    for seed in [3u64, 17, 91] {
+        let preset = ModelPreset::Mixtral8x7bE8k2;
+        let mut laer = LaerSystem::new(ctx(preset));
+        let mut flex = FlexMoeSystem::new(ctx(preset), 1);
+        let mut fsdp = FsdpEpSystem::new(ctx(preset));
+        let mut gen = RoutingGenerator::new(
+            RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(seed),
+        );
+        let (mut s_laer, mut s_flex, mut s_fsdp) = (0.0, 0.0, 0.0);
+        for iter in 0..12 {
+            let demand = gen.next_iteration();
+            s_laer += laer.plan_layer(0, iter, &demand).max_token_ratio();
+            s_flex += flex.plan_layer(0, iter, &demand).max_token_ratio();
+            s_fsdp += fsdp.plan_layer(0, iter, &demand).max_token_ratio();
+        }
+        assert!(
+            s_laer < s_flex && s_flex < s_fsdp,
+            "seed {seed}: LAER {s_laer:.2} < FLEX {s_flex:.2} < FSDP {s_fsdp:.2} violated"
+        );
+    }
+}
+
+/// End-to-end throughput ordering across both dataset profiles: LAER
+/// beats every baseline on skewed routing.
+#[test]
+fn throughput_ordering_on_both_datasets() {
+    for dataset in [DatasetProfile::Wikitext, DatasetProfile::C4] {
+        let mk = |system| {
+            ExperimentConfig::new(ModelPreset::Mixtral8x7bE8k2, system)
+                .with_layers(4)
+                .with_iterations(8, 3)
+                .with_dataset(dataset)
+                .with_seed(41)
+        };
+        let laer = run_experiment(&mk(SystemKind::Laer));
+        for baseline in [SystemKind::Flex, SystemKind::FsdpEp, SystemKind::Megatron] {
+            let r = run_experiment(&mk(baseline));
+            assert!(
+                laer.tokens_per_second > r.tokens_per_second,
+                "{dataset:?}: LAER {} <= {} {}",
+                laer.tokens_per_second,
+                baseline.id(),
+                r.tokens_per_second
+            );
+        }
+    }
+}
+
+/// With a strongly balanced workload (high aux weight) LAER's advantage
+/// over FSDP+EP shrinks — Sec. 7's "Performance in Balanced Scenarios".
+#[test]
+fn balanced_workloads_shrink_the_gap() {
+    let mk = |system, aux: f64| {
+        ExperimentConfig::new(ModelPreset::Mixtral8x7bE8k2, system)
+            .with_layers(4)
+            .with_iterations(8, 3)
+            .with_aux_loss(aux)
+            .with_seed(43)
+    };
+    let speedup = |aux: f64| {
+        let laer = run_experiment(&mk(SystemKind::Laer, aux));
+        let fsdp = run_experiment(&mk(SystemKind::FsdpEp, aux));
+        laer.tokens_per_second / fsdp.tokens_per_second
+    };
+    let skewed = speedup(0.0);
+    let balanced = speedup(1.0);
+    assert!(
+        balanced < skewed,
+        "gap should shrink when balanced: {balanced:.3} vs {skewed:.3}"
+    );
+    assert!(
+        balanced < 1.25,
+        "near-balanced speedup should be modest, got {balanced:.3}"
+    );
+}
+
+/// SmartMoE (periodic relocation) and FasterMoE (shadowing) sit between
+/// the static baseline and LAER on balance.
+#[test]
+fn related_work_baselines_are_intermediate() {
+    let preset = ModelPreset::Mixtral8x7bE8k2;
+    let mut laer = LaerSystem::new(ctx(preset));
+    let mut smart = SmartMoeSystem::new(ctx(preset), 1, 10);
+    let mut faster = FasterMoeSystem::new(ctx(preset), 1);
+    let mut fsdp = FsdpEpSystem::new(ctx(preset));
+    let mut gen =
+        RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(53));
+    let (mut s_laer, mut s_smart, mut s_faster, mut s_fsdp) = (0.0, 0.0, 0.0, 0.0);
+    for iter in 0..20 {
+        let demand = gen.next_iteration();
+        s_laer += laer.plan_layer(0, iter, &demand).max_token_ratio();
+        s_smart += smart.plan_layer(0, iter, &demand).max_token_ratio();
+        s_faster += faster.plan_layer(0, iter, &demand).max_token_ratio();
+        s_fsdp += fsdp.plan_layer(0, iter, &demand).max_token_ratio();
+    }
+    assert!(s_laer < s_smart, "LAER {s_laer:.1} vs SmartMoE {s_smart:.1}");
+    assert!(s_smart < s_fsdp, "SmartMoE {s_smart:.1} vs FSDP {s_fsdp:.1}");
+    assert!(s_faster < s_fsdp, "FasterMoE {s_faster:.1} vs FSDP {s_fsdp:.1}");
+}
