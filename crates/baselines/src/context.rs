@@ -1,7 +1,7 @@
 //! Shared cost context used by every system to turn a token routing into
 //! per-layer operation timings.
 
-use laer_cluster::{DeviceId, Topology};
+use laer_cluster::{DegradedView, DeviceId, Topology};
 use laer_model::{memory, CostModel, GpuSpec, ModelConfig, BF16_BYTES};
 use laer_planner::TokenRouting;
 use laer_sim::{all_to_all_time, A2aMatrix};
@@ -17,6 +17,9 @@ pub struct SystemContext {
     capacity: usize,
     tokens_per_device: u64,
     seq_len: usize,
+    /// When set, token All-to-Alls are priced against this degraded
+    /// network instead of the nominal topology.
+    fault_view: Option<DegradedView>,
 }
 
 impl SystemContext {
@@ -39,7 +42,31 @@ impl SystemContext {
             capacity,
             tokens_per_device,
             seq_len,
+            fault_view: None,
         }
+    }
+
+    /// Installs (or clears) a degraded network view; subsequent
+    /// [`SystemContext::a2a_times`] calls price against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view's base topology has a different device count
+    /// than this context's topology.
+    pub fn set_fault_view(&mut self, view: Option<DegradedView>) {
+        if let Some(v) = &view {
+            assert_eq!(
+                v.base().num_devices(),
+                self.topo.num_devices(),
+                "fault view must match the context topology"
+            );
+        }
+        self.fault_view = view;
+    }
+
+    /// The installed degraded network view, if any.
+    pub fn fault_view(&self) -> Option<&DegradedView> {
+        self.fault_view.as_ref()
     }
 
     /// The cluster topology.
@@ -121,8 +148,18 @@ impl SystemContext {
                 }
             }
         }
-        let d = all_to_all_time(&self.topo, &dispatch).expect("matrix sized from topology");
-        let c = all_to_all_time(&self.topo, &combine).expect("matrix sized from topology");
+        let (d, c) = match &self.fault_view {
+            Some(view) => (
+                all_to_all_time(view, &dispatch),
+                all_to_all_time(view, &combine),
+            ),
+            None => (
+                all_to_all_time(&self.topo, &dispatch),
+                all_to_all_time(&self.topo, &combine),
+            ),
+        };
+        let d = d.expect("matrix sized from topology");
+        let c = c.expect("matrix sized from topology");
         (d, c)
     }
 
@@ -159,11 +196,9 @@ impl SystemContext {
         let n = self.topo.num_devices();
         let e = self.model.experts();
         let replicas = (n * self.capacity) / e;
-        let expert_bytes =
-            (self.capacity as u64 * self.model.expert_params() * BF16_BYTES) as f64;
+        let expert_bytes = (self.capacity as u64 * self.model.expert_params() * BF16_BYTES) as f64;
         let expert_ar = if replicas >= 2 {
-            2.0 * (replicas as f64 - 1.0) / replicas as f64 * expert_bytes
-                / self.effective_a2a_bw()
+            2.0 * (replicas as f64 - 1.0) / replicas as f64 * expert_bytes / self.effective_a2a_bw()
         } else {
             0.0
         };
@@ -287,6 +322,41 @@ mod tests {
     fn megatron_grad_sync_nonzero() {
         let c = ctx(ModelPreset::Mixtral8x7bE8k2);
         assert!(c.megatron_grad_sync_time(4) > 0.0);
+    }
+
+    /// With a degraded inter-node fabric installed, the same routing
+    /// prices strictly slower — and clearing the view restores nominal
+    /// costs.
+    #[test]
+    fn fault_view_raises_a2a_cost() {
+        use laer_planner::lite_route;
+        use laer_routing::{RoutingGenerator, RoutingGeneratorConfig};
+        let mut c = ctx(ModelPreset::Mixtral8x7bE8k2);
+        let demand =
+            RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(6))
+                .next_iteration();
+        let layout = laer_planner::ExpertLayout::classic_ep(32, 8, 2).unwrap();
+        let routing = lite_route(c.topology(), &demand, &layout);
+        let (nominal_d, _) = c.a2a_times(&routing);
+        // Lite routing on the classic layout keeps traffic NVLink-local,
+        // so degrade node 0's intra-node links.
+        let mut view = DegradedView::new(c.topology().clone());
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                view.degrade_link(DeviceId::new(i), DeviceId::new(j), 0.25);
+            }
+        }
+        c.set_fault_view(Some(view));
+        assert!(c.fault_view().is_some());
+        let (degraded_d, _) = c.a2a_times(&routing);
+        let nominal: f64 = nominal_d.iter().sum();
+        let degraded: f64 = degraded_d.iter().sum();
+        assert!(
+            degraded > nominal,
+            "degraded {degraded} should exceed nominal {nominal}"
+        );
+        c.set_fault_view(None);
+        assert_eq!(c.a2a_times(&routing).0, nominal_d);
     }
 
     #[test]

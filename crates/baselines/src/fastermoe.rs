@@ -100,6 +100,10 @@ impl MoeSystem for FasterMoeSystem {
     fn context(&self) -> &SystemContext {
         &self.ctx
     }
+
+    fn context_mut(&mut self) -> &mut SystemContext {
+        &mut self.ctx
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +164,9 @@ mod tests {
         let loads = vanilla.device_compute_loads();
         let max_v = *loads.iter().max().unwrap() as f64
             / (loads.iter().sum::<u64>() as f64 / loads.len() as f64);
-        assert!(max_fast < max_v, "shadowing {max_fast:.2} vs vanilla {max_v:.2}");
+        assert!(
+            max_fast < max_v,
+            "shadowing {max_fast:.2} vs vanilla {max_v:.2}"
+        );
     }
 }

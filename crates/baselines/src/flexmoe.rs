@@ -205,6 +205,10 @@ impl MoeSystem for FlexMoeSystem {
     fn context(&self) -> &SystemContext {
         &self.ctx
     }
+
+    fn context_mut(&mut self) -> &mut SystemContext {
+        &mut self.ctx
+    }
 }
 
 #[cfg(test)]
@@ -240,11 +244,7 @@ mod tests {
         // The replica vector evolves gradually: consecutive vectors
         // differ by at most 2*max_changes slots.
         for w in reps.windows(2) {
-            let moved: usize = w[0]
-                .iter()
-                .zip(&w[1])
-                .map(|(&a, &b)| a.abs_diff(b))
-                .sum();
+            let moved: usize = w[0].iter().zip(&w[1]).map(|(&a, &b)| a.abs_diff(b)).sum();
             assert!(moved <= 2 * flex.max_changes(), "moved {moved}");
         }
     }
@@ -258,9 +258,8 @@ mod tests {
             let e = preset.config().experts();
             let mut flex = FlexMoeSystem::new(ctx(preset), 1);
             let mut laer = LaerSystem::new(ctx(preset));
-            let mut gen = RoutingGenerator::new(
-                RoutingGeneratorConfig::new(32, e, 32 * 1024).with_seed(12),
-            );
+            let mut gen =
+                RoutingGenerator::new(RoutingGeneratorConfig::new(32, e, 32 * 1024).with_seed(12));
             let mut flex_sum = 0.0;
             let mut laer_sum = 0.0;
             for it in 0..20 {

@@ -59,6 +59,10 @@ impl MoeSystem for FsdpEpSystem {
     fn context(&self) -> &SystemContext {
         &self.ctx
     }
+
+    fn context_mut(&mut self) -> &mut SystemContext {
+        &mut self.ctx
+    }
 }
 
 #[cfg(test)]

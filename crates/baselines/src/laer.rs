@@ -13,10 +13,12 @@
 //!   demand; an upper bound useful for measuring the staleness cost.
 
 use crate::context::SystemContext;
-use crate::system::{LayerPlan, MoeSystem};
+use crate::system::{LayerPlan, MoeSystem, SystemError};
+use laer_cluster::DegradedView;
 use laer_fsep::ScheduleOptions;
 use laer_planner::{
-    lite_route, CostParams, ExpertLayout, LoadPredictor, Planner, PlannerConfig, ReplicaScheme,
+    lite_route, CostParams, ExpertLayout, LoadPredictor, PlanError, Planner, PlannerConfig,
+    ReplicaScheme,
 };
 use laer_routing::RoutingMatrix;
 use serde::{Deserialize, Serialize};
@@ -32,11 +34,31 @@ pub enum PlanningMode {
     Oracle,
 }
 
-/// Per-layer asynchronous-tuner state.
-#[derive(Debug, Clone)]
+/// Per-layer asynchronous-tuner state (serializable: this is exactly
+/// what a training checkpoint must capture to resume bit-identically).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct LayerState {
     predictor: LoadPredictor,
     next_layout: Option<ExpertLayout>,
+    /// The layout executed by the most recent iteration — the staleness
+    /// fallback while the planner process is unreachable.
+    last_layout: Option<ExpertLayout>,
+}
+
+impl LayerState {
+    fn fresh() -> Self {
+        Self {
+            predictor: LoadPredictor::default_ema(),
+            next_layout: None,
+            last_layout: None,
+        }
+    }
+}
+
+/// Serialized form of [`LaerSystem`]'s mutable state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LaerCheckpoint {
+    layers: Vec<LayerState>,
 }
 
 /// The full LAER-MoE system (FSEP + planner).
@@ -47,6 +69,8 @@ pub struct LaerSystem {
     schedule: ScheduleOptions,
     mode: PlanningMode,
     layers: Vec<LayerState>,
+    /// Whether the asynchronous CPU planner process is reachable.
+    planner_available: bool,
 }
 
 impl LaerSystem {
@@ -78,6 +102,7 @@ impl LaerSystem {
             schedule,
             mode: PlanningMode::Async,
             layers: Vec::new(),
+            planner_available: true,
         }
     }
 
@@ -99,22 +124,54 @@ impl LaerSystem {
 
     fn layer_state(&mut self, layer: usize) -> &mut LayerState {
         while self.layers.len() <= layer {
-            self.layers.push(LayerState {
-                predictor: LoadPredictor::default_ema(),
-                next_layout: None,
-            });
+            self.layers.push(LayerState::fresh());
         }
         &mut self.layers[layer]
     }
 
-    /// The layout to execute for this iteration under async planning:
-    /// the layout the CPU tuner prepared from history, or (cold start) a
-    /// plan from the current demand.
+    /// Plans a layout against the current network: nominal topology
+    /// normally, survivors-only with degraded pricing when a fault view
+    /// is installed. Returns `None` when the degraded instance is
+    /// unsatisfiable (callers fall back to a previous layout;
+    /// [`MoeSystem::handle_device_failures`] has already rejected
+    /// genuinely unrecoverable clusters).
+    fn plan_on_network(&self, demand: &RoutingMatrix) -> Option<ExpertLayout> {
+        match self.ctx.fault_view() {
+            Some(view) if !view.is_nominal() => self
+                .planner
+                .plan_degraded(demand, view)
+                .ok()
+                .map(|p| p.layout),
+            _ => Some(self.planner.plan(demand).layout),
+        }
+    }
+
+    /// The layout executed this iteration under async planning: the
+    /// layout the CPU tuner prepared from history; while the planner is
+    /// unreachable, the previous iteration's layout (one extra step of
+    /// staleness); on a cold start, a synchronous plan from the current
+    /// demand.
     fn async_layout(&mut self, layer: usize, demand: &RoutingMatrix) -> ExpertLayout {
         if let Some(layout) = self.layer_state(layer).next_layout.take() {
             return layout;
         }
-        self.planner.plan(demand).layout
+        if !self.planner_available {
+            if let Some(last) = self.layer_state(layer).last_layout.clone() {
+                return last;
+            }
+        }
+        self.plan_on_network(demand)
+            .or_else(|| self.layer_state(layer).last_layout.clone())
+            .unwrap_or_else(|| {
+                // Cold start with the planner down: the initial static
+                // layout every MoE job boots with.
+                let (n, e, c) = (
+                    self.ctx.topology().num_devices(),
+                    self.ctx.model().experts(),
+                    self.ctx.capacity(),
+                );
+                ExpertLayout::classic_ep(n, e, c).expect("model shapes validated at construction")
+            })
     }
 }
 
@@ -139,15 +196,22 @@ impl MoeSystem for LaerSystem {
                 let layout = self.async_layout(layer, demand);
                 let routing = lite_route(self.ctx.topology(), demand, &layout);
                 // CPU side: fold this iteration's routing info into the
-                // history and prepare the next iteration's layout.
+                // history and prepare the next iteration's layout — but
+                // only while the planner process is reachable; during an
+                // outage the system keeps re-executing `last_layout`.
                 let state = self.layer_state(layer);
                 state.predictor.observe(demand);
-                let predicted = state
-                    .predictor
-                    .predict()
-                    .expect("predictor observed this iteration");
-                let next = self.planner.plan(&predicted).layout;
-                self.layer_state(layer).next_layout = Some(next);
+                state.last_layout = Some(layout.clone());
+                if self.planner_available {
+                    let predicted = self.layers[layer]
+                        .predictor
+                        .predict()
+                        .unwrap_or_else(|| demand.clone());
+                    let next = self
+                        .plan_on_network(&predicted)
+                        .unwrap_or_else(|| layout.clone());
+                    self.layers[layer].next_layout = Some(next);
+                }
                 (layout, routing)
             }
         };
@@ -166,6 +230,52 @@ impl MoeSystem for LaerSystem {
 
     fn context(&self) -> &SystemContext {
         &self.ctx
+    }
+
+    fn context_mut(&mut self) -> &mut SystemContext {
+        &mut self.ctx
+    }
+
+    fn handle_device_failures(&mut self, view: &DegradedView) -> Result<bool, SystemError> {
+        let survivors = view.survivors();
+        if survivors.is_empty() {
+            return Err(PlanError::NoSurvivors.into());
+        }
+        let (capacity, experts) = (self.ctx.capacity(), self.ctx.model().experts());
+        if survivors.len() * capacity < experts {
+            return Err(PlanError::InsufficientCapacity {
+                survivors: survivors.len(),
+                capacity,
+                experts,
+            }
+            .into());
+        }
+        // Prepared layouts may place replicas on the failed devices;
+        // drop them so every layer re-plans onto the survivors.
+        for state in &mut self.layers {
+            state.next_layout = None;
+            state.last_layout = None;
+        }
+        self.ctx.set_fault_view(Some(view.clone()));
+        Ok(true)
+    }
+
+    fn set_planner_available(&mut self, available: bool) {
+        self.planner_available = available;
+    }
+
+    fn snapshot(&self) -> serde::Value {
+        LaerCheckpoint {
+            layers: self.layers.clone(),
+        }
+        .serialize_value()
+    }
+
+    fn restore(&mut self, snapshot: &serde::Value) -> Result<(), SystemError> {
+        let ckpt = LaerCheckpoint::deserialize_value(snapshot)
+            .map_err(|e| SystemError::Restore(e.to_string()))?;
+        self.layers = ckpt.layers;
+        Ok(())
     }
 }
 
@@ -232,6 +342,115 @@ mod tests {
             r_async <= r_oracle * 1.15,
             "staleness penalty too large: async {r_async:.2} vs oracle {r_oracle:.2}"
         );
+    }
+
+    /// Device failure: after `handle_device_failures` every planned
+    /// layout lives on the survivors and routes no token to the dead
+    /// device.
+    #[test]
+    fn replans_onto_survivors_after_failure() {
+        use laer_cluster::{DegradedView, DeviceId};
+        let mut laer = LaerSystem::new(ctx());
+        let mut gen =
+            RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(12));
+        for it in 0..3 {
+            let _ = laer.plan_layer(0, it, &gen.next_iteration());
+        }
+        let mut view = DegradedView::new(Topology::paper_cluster());
+        let dead = DeviceId::new(13);
+        view.fail_device(dead);
+        assert!(laer.handle_device_failures(&view).unwrap());
+        for it in 3..6 {
+            let mut demand = gen.next_iteration();
+            for j in 0..8 {
+                demand.set(dead, laer_cluster::ExpertId::new(j), 0);
+            }
+            let plan = laer.plan_layer(0, it, &demand);
+            assert_eq!(plan.layout.device_slots_used(dead), 0, "iter {it}");
+            for &(_, _, dst, _) in plan.routing.entries() {
+                assert_ne!(dst, dead, "token routed to dead device");
+            }
+        }
+    }
+
+    /// An unrecoverable cluster (too few survivors to host every
+    /// expert) aborts with a typed error instead of panicking.
+    #[test]
+    fn unrecoverable_failure_is_typed() {
+        use laer_cluster::{DegradedView, DeviceId};
+        use laer_planner::PlanError;
+        let topo = Topology::single_node(4).unwrap();
+        let small = SystemContext::new(
+            topo.clone(),
+            ModelPreset::Mixtral8x7bE8k2.config(),
+            GpuSpec::a100(),
+            1024,
+            1024,
+        );
+        let mut laer = LaerSystem::new(small);
+        let mut view = DegradedView::new(topo);
+        view.fail_device(DeviceId::new(0));
+        assert!(matches!(
+            laer.handle_device_failures(&view),
+            Err(crate::SystemError::Plan(
+                PlanError::InsufficientCapacity { .. }
+            ))
+        ));
+    }
+
+    /// Planner outage: the system keeps executing the previous layout
+    /// (graceful staleness) and resumes planning when the outage ends.
+    #[test]
+    fn planner_outage_reuses_previous_layout() {
+        let mut laer = LaerSystem::new(ctx());
+        let mut gen =
+            RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(14));
+        let warm = laer.plan_layer(0, 0, &gen.next_iteration());
+        laer.set_planner_available(false);
+        // First outage iteration may still consume the prepared layout;
+        // afterwards the executed layout must freeze.
+        let a = laer.plan_layer(0, 1, &gen.next_iteration());
+        let b = laer.plan_layer(0, 2, &gen.next_iteration());
+        let c = laer.plan_layer(0, 3, &gen.next_iteration());
+        assert_eq!(b.layout, a.layout, "layout must freeze during outage");
+        assert_eq!(c.layout, b.layout, "layout must freeze during outage");
+        let _ = warm;
+        laer.set_planner_available(true);
+        let mut changed = false;
+        for it in 4..10 {
+            if laer.plan_layer(0, it, &gen.next_iteration()).layout != c.layout {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "planning must resume after the outage");
+    }
+
+    /// Snapshot/restore captures the full mutable state: a restored
+    /// system continues bit-identically to the original.
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        let mut a = LaerSystem::new(ctx());
+        let mut gen =
+            RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(15));
+        let mut demands = Vec::new();
+        for it in 0..4 {
+            let d = gen.next_iteration();
+            let _ = a.plan_layer(0, it, &d);
+            demands.push(d);
+        }
+        let snap = a.snapshot();
+        let mut b = LaerSystem::new(ctx());
+        b.restore(&snap).unwrap();
+        for it in 4..8 {
+            let d = gen.next_iteration();
+            let pa = a.plan_layer(0, it, &d);
+            let pb = b.plan_layer(0, it, &d);
+            assert_eq!(pa.layout, pb.layout, "iter {it}");
+            assert_eq!(pa.routing.entries(), pb.routing.entries(), "iter {it}");
+        }
+        // A malformed snapshot is a typed error.
+        assert!(b.restore(&serde::Value::Bool(true)).is_err());
     }
 
     #[test]

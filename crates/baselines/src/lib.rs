@@ -36,5 +36,5 @@ pub use fsdp_ep::FsdpEpSystem;
 pub use laer::{LaerSystem, PlanningMode};
 pub use megatron::MegatronSystem;
 pub use smartmoe::SmartMoeSystem;
-pub use system::{LayerPlan, MoeSystem, SystemKind};
+pub use system::{LayerPlan, MoeSystem, SystemError, SystemKind};
 pub use vanilla::{vanilla_routing, VanillaEpSystem};

@@ -84,6 +84,10 @@ impl MoeSystem for MegatronSystem {
     fn context(&self) -> &SystemContext {
         &self.ctx
     }
+
+    fn context_mut(&mut self) -> &mut SystemContext {
+        &mut self.ctx
+    }
 }
 
 #[cfg(test)]
@@ -105,8 +109,14 @@ mod tests {
 
     #[test]
     fn tp_depends_on_model_size() {
-        assert_eq!(MegatronSystem::new(ctx(ModelPreset::Mixtral8x7bE8k2)).tp(), 4);
-        assert_eq!(MegatronSystem::new(ctx(ModelPreset::Mixtral8x7bE16k4)).tp(), 2);
+        assert_eq!(
+            MegatronSystem::new(ctx(ModelPreset::Mixtral8x7bE8k2)).tp(),
+            4
+        );
+        assert_eq!(
+            MegatronSystem::new(ctx(ModelPreset::Mixtral8x7bE16k4)).tp(),
+            2
+        );
     }
 
     /// Sec. 5.3: Megatron's attention ("Others") time exceeds LAER's

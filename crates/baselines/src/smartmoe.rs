@@ -54,7 +54,7 @@ impl MoeSystem for SmartMoeSystem {
     fn plan_layer(&mut self, layer: usize, iteration: u64, demand: &RoutingMatrix) -> LayerPlan {
         assert!(layer < self.state.len(), "layer index out of range");
         let loads = demand.expert_loads();
-        let refresh = iteration % self.period == 0 || self.state[layer].is_none();
+        let refresh = iteration.is_multiple_of(self.period) || self.state[layer].is_none();
         let layout = if refresh {
             // Refresh from the historical average (or current demand on
             // cold start).
@@ -89,6 +89,10 @@ impl MoeSystem for SmartMoeSystem {
 
     fn context(&self) -> &SystemContext {
         &self.ctx
+    }
+
+    fn context_mut(&mut self) -> &mut SystemContext {
+        &mut self.ctx
     }
 }
 

@@ -1,12 +1,42 @@
 //! The [`MoeSystem`] trait and common plan types.
 
 use crate::context::SystemContext;
+use laer_cluster::DegradedView;
 use laer_fsep::{LayerTimings, ScheduleOptions};
-use laer_planner::{ExpertLayout, TokenRouting};
+use laer_planner::{ExpertLayout, PlanError, TokenRouting};
 use laer_routing::RoutingMatrix;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
+
+/// A system's typed failure while reacting to a fault (device loss,
+/// state restore). Planning itself stays infallible — systems degrade to
+/// a previous layout instead — so this surfaces only unsatisfiable
+/// situations the training loop must abort on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemError {
+    /// The degraded cluster cannot host every expert at least once.
+    Plan(PlanError),
+    /// A checkpoint snapshot does not match this system's state shape.
+    Restore(String),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Plan(e) => write!(f, "degraded planning failed: {e}"),
+            SystemError::Restore(msg) => write!(f, "state restore failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<PlanError> for SystemError {
+    fn from(e: PlanError) -> Self {
+        SystemError::Plan(e)
+    }
+}
 
 /// A system's decision for one MoE layer of one iteration.
 #[derive(Debug, Clone)]
@@ -50,6 +80,60 @@ pub trait MoeSystem {
 
     /// The shared cost context.
     fn context(&self) -> &SystemContext;
+
+    /// Mutable access to the cost context, so a fault harness can price
+    /// the current iteration against a degraded network
+    /// ([`SystemContext::set_fault_view`]).
+    fn context_mut(&mut self) -> &mut SystemContext;
+
+    /// Reacts to device failures described by `view`.
+    ///
+    /// Returns `Ok(true)` if the system re-planned onto the survivors
+    /// and can continue elastically, `Ok(false)` if it has a static
+    /// layout and must restart from a checkpoint (the default — classic
+    /// EP groups cannot be re-formed on an irregular survivor set).
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::Plan`] when even an elastic system cannot place
+    /// every expert on the survivors.
+    fn handle_device_failures(&mut self, view: &DegradedView) -> Result<bool, SystemError> {
+        let _ = view;
+        Ok(false)
+    }
+
+    /// Signals whether the asynchronous planner process is reachable
+    /// (the `PlannerOutage` fault class). Systems without a planner
+    /// ignore this; LAER falls back to its previous layout while the
+    /// planner is down.
+    fn set_planner_available(&mut self, available: bool) {
+        let _ = available;
+    }
+
+    /// Serializes the system's mutable per-layer state for
+    /// checkpointing. Stateless systems (the static baselines) return
+    /// [`serde::Value::Null`]; stateful systems must override this
+    /// together with [`MoeSystem::restore`] so a restored run continues
+    /// bit-identically.
+    fn snapshot(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Restores state captured by [`MoeSystem::snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::Restore`] if the snapshot does not match this
+    /// system's expected shape.
+    fn restore(&mut self, snapshot: &serde::Value) -> Result<(), SystemError> {
+        match snapshot {
+            serde::Value::Null => Ok(()),
+            other => Err(SystemError::Restore(format!(
+                "stateless system given a `{}` snapshot",
+                other.kind()
+            ))),
+        }
+    }
 }
 
 /// Identifier for the systems compared in the paper's figures.

@@ -21,10 +21,7 @@ use laer_routing::RoutingMatrix;
 /// # Panics
 ///
 /// Panics if `experts % capacity != 0` or shapes disagree.
-pub fn vanilla_routing(
-    demand: &RoutingMatrix,
-    capacity: usize,
-) -> (ExpertLayout, TokenRouting) {
+pub fn vanilla_routing(demand: &RoutingMatrix, capacity: usize) -> (ExpertLayout, TokenRouting) {
     let n = demand.num_devices();
     let e = demand.num_experts();
     assert_eq!(e % capacity, 0, "capacity must divide expert count");
@@ -88,6 +85,10 @@ impl MoeSystem for VanillaEpSystem {
 
     fn context(&self) -> &SystemContext {
         &self.ctx
+    }
+
+    fn context_mut(&mut self) -> &mut SystemContext {
+        &mut self.ctx
     }
 }
 

@@ -14,11 +14,9 @@ fn bench_e2e_iteration(c: &mut Criterion) {
             .with_layers(4)
             .with_iterations(3, 1)
             .with_seed(3);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(system.id()),
-            &cfg,
-            |b, cfg| b.iter(|| run_experiment(cfg)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(system.id()), &cfg, |b, cfg| {
+            b.iter(|| run_experiment(cfg))
+        });
     }
     group.finish();
 }

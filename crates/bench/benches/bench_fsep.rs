@@ -12,7 +12,9 @@ use rand::SeedableRng;
 fn setup() -> (Vec<ExpertParams>, ExpertLayout, Vec<TokenBatch>) {
     let mut rng = StdRng::seed_from_u64(4);
     let (n, e, h, hp) = (8usize, 8usize, 32usize, 64usize);
-    let experts: Vec<_> = (0..e).map(|_| ExpertParams::random(h, hp, &mut rng)).collect();
+    let experts: Vec<_> = (0..e)
+        .map(|_| ExpertParams::random(h, hp, &mut rng))
+        .collect();
     let layout = ExpertLayout::classic_ep(n, e, 2).expect("layout");
     let batches: Vec<_> = (0..n)
         .map(|d| TokenBatch {

@@ -15,10 +15,9 @@ fn bench_lite_routing(c: &mut Criterion) {
             CostParams::mixtral_8x7b(),
             topo.clone(),
         );
-        let demand = RoutingGenerator::new(
-            RoutingGeneratorConfig::new(32, experts, 32 * 1024).with_seed(2),
-        )
-        .next_iteration();
+        let demand =
+            RoutingGenerator::new(RoutingGeneratorConfig::new(32, experts, 32 * 1024).with_seed(2))
+                .next_iteration();
         let layout = planner.plan(&demand).layout;
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("e{experts}c{capacity}")),

@@ -4,7 +4,7 @@
 //! repro <target> [--quick|--full]
 //!
 //! targets: fig1a fig1b fig2 tab2 eq1 fig8 fig9 fig10a fig10b fig11
-//!          fig12 tab3 tab4 all
+//!          fig12 tab3 tab4 ext-faults all
 //! ```
 
 use laer_bench::{eq1, fig1, fig10, fig11, fig12, fig2, fig8, fig9, tab2, tab3, tab4, Effort};
@@ -21,7 +21,8 @@ fn main() {
     if !ran {
         eprintln!(
             "usage: repro <target> [--quick|--full]\n\
-             targets: fig1a fig1b fig2 tab2 eq1 fig8 fig9 fig10a fig10b fig11 fig12 tab3 tab4 ext-refine ext-staleness ext-rack ext-overlap all"
+             targets: fig1a fig1b fig2 tab2 eq1 fig8 fig9 fig10a fig10b fig11 fig12 tab3 tab4 ext-refine ext-staleness ext-rack ext-overlap
+             ext-faults all"
         );
         std::process::exit(if target == "help" { 0 } else { 2 });
     }
@@ -102,10 +103,27 @@ fn dispatch(target: &str, effort: Effort) -> bool {
         "ext-overlap" => {
             laer_bench::ext_overlap::run();
         }
+        "ext-faults" => {
+            laer_bench::ext_faults::run();
+        }
         "all" => {
             for t in [
-                "tab2", "eq1", "fig1", "fig2", "fig8", "fig9", "fig10", "fig11", "fig12",
-                "tab3", "tab4", "ext-refine", "ext-staleness", "ext-rack", "ext-overlap",
+                "tab2",
+                "eq1",
+                "fig1",
+                "fig2",
+                "fig8",
+                "fig9",
+                "fig10",
+                "fig11",
+                "fig12",
+                "tab3",
+                "tab4",
+                "ext-refine",
+                "ext-staleness",
+                "ext-rack",
+                "ext-overlap",
+                "ext-faults",
             ] {
                 println!("\n================ {t} ================\n");
                 dispatch(t, effort);

@@ -40,7 +40,10 @@ pub fn heat_row(values: &[f64], max: f64) -> String {
 
 /// Renders labelled bars with aligned labels and values.
 pub fn bar_chart(rows: &[(String, f64)], width: usize) -> Vec<String> {
-    let max = rows.iter().map(|(_, v)| *v).fold(f64::MIN_POSITIVE, f64::max);
+    let max = rows
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::MIN_POSITIVE, f64::max);
     let label_width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     rows.iter()
         .map(|(label, value)| {

@@ -71,10 +71,7 @@ pub fn rows(layers: usize) -> Vec<OverlapRow> {
         t.grad_sync = 0.0;
     }
     let n = topo.num_devices();
-    let comm_per_iter: f64 = timings
-        .iter()
-        .map(|t| 2.0 * t.prefetch + t.grad_sync)
-        .sum();
+    let comm_per_iter: f64 = timings.iter().map(|t| 2.0 * t.prefetch + t.grad_sync).sum();
     schedule_variants()
         .into_iter()
         .map(|(label, opts)| {

@@ -59,7 +59,11 @@ fn measure(topo: &Topology, layers: usize, iters: usize, seed: u64) -> f64 {
         let timings: Vec<LayerTimings> = gens
             .iter_mut()
             .enumerate()
-            .map(|(l, g)| system.plan_layer(l, iter as u64, &g.next_iteration()).timings)
+            .map(|(l, g)| {
+                system
+                    .plan_layer(l, iter as u64, &g.next_iteration())
+                    .timings
+            })
             .collect();
         let mut engine = Engine::new(topo);
         let t = schedule_iteration(&mut engine, topo, &timings, opts);
@@ -80,8 +84,8 @@ pub fn rows(layers: usize, iters: usize) -> Vec<RackRow> {
     let t_racked = measure(&racked, layers, iters, 13);
     // Confined: each rack runs an independent 16-GPU EP group; the
     // iteration time is the slower of the two (they run concurrently).
-    let t_confined = measure(&per_rack, layers, iters, 13)
-        .max(measure(&per_rack, layers, iters, 1300));
+    let t_confined =
+        measure(&per_rack, layers, iters, 13).max(measure(&per_rack, layers, iters, 1300));
 
     [
         ("flat 4x8 (paper cluster)", t_flat),
@@ -100,7 +104,10 @@ pub fn rows(layers: usize, iters: usize) -> Vec<RackRow> {
 /// Runs and prints the study.
 pub fn run() -> Vec<RackRow> {
     println!("Extension: cross-rack deployments (Sec. 7 discussion)\n");
-    println!("{:<34} {:>12} {:>10}", "deployment", "iter (ms)", "slowdown");
+    println!(
+        "{:<34} {:>12} {:>10}",
+        "deployment", "iter (ms)", "slowdown"
+    );
     let rows = rows(6, 8);
     for r in &rows {
         println!(

@@ -35,9 +35,8 @@ pub struct Fig1bBar {
 
 /// Generates the Fig. 1(a) series: 200 iterations, sampled every 5.
 pub fn fig1a() -> Vec<Fig1aPoint> {
-    let mut gen = RoutingGenerator::new(
-        RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(2024),
-    );
+    let mut gen =
+        RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(2024));
     let mut out = Vec::new();
     for it in 0..200u64 {
         let r = gen.next_iteration();
@@ -47,11 +46,7 @@ pub fn fig1a() -> Vec<Fig1aPoint> {
         let total = r.total() as f64;
         out.push(Fig1aPoint {
             iteration: it,
-            expert_shares: r
-                .expert_loads()
-                .iter()
-                .map(|&l| l as f64 / total)
-                .collect(),
+            expert_shares: r.expert_loads().iter().map(|&l| l as f64 / total).collect(),
             imbalance: imbalance_ratio(&r),
         });
     }

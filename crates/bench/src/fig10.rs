@@ -102,7 +102,10 @@ pub fn run(effort: Effort) -> Vec<Fig10Row> {
     println!("\nFig. 10(b): max token count per device / perfect balance\n");
     println!("{:<20} {:<8} {:>12}", "model", "system", "max/ideal");
     for r in &rows {
-        println!("{:<20} {:<8} {:>12.2}", r.model, r.system, r.max_token_ratio);
+        println!(
+            "{:<20} {:<8} {:>12.2}",
+            r.model, r.system, r.max_token_ratio
+        );
     }
     crate::output::save_json("fig10", &rows);
     rows
@@ -131,11 +134,18 @@ mod tests {
             assert!(laer.a2a_fraction < 0.20, "{model}: {}", laer.a2a_fraction);
             // Expert compute is similar across systems (within 25%).
             let ratio = fsdp.expert_compute / laer.expert_compute;
-            assert!((0.75..1.35).contains(&ratio), "{model}: expert ratio {ratio}");
+            assert!(
+                (0.75..1.35).contains(&ratio),
+                "{model}: expert ratio {ratio}"
+            );
             // (b) balance ordering, LAER near ideal (the one-iteration
             // staleness of the async tuner keeps it slightly above 1).
             assert!(fsdp.max_token_ratio > laer.max_token_ratio, "{model}");
-            assert!(laer.max_token_ratio < 1.45, "{model}: {}", laer.max_token_ratio);
+            assert!(
+                laer.max_token_ratio < 1.45,
+                "{model}: {}",
+                laer.max_token_ratio
+            );
         }
         // e16k4's finer replica granularity gives near-perfect balance.
         let laer16_row = rows

@@ -45,9 +45,8 @@ pub fn measure(gpus: usize, capacity: usize, reps: usize) -> Fig11Point {
         CostParams::mixtral_8x7b(),
         topo,
     );
-    let mut gen = RoutingGenerator::new(
-        RoutingGeneratorConfig::new(gpus, experts, 16 * 1024).with_seed(11),
-    );
+    let mut gen =
+        RoutingGenerator::new(RoutingGeneratorConfig::new(gpus, experts, 16 * 1024).with_seed(11));
     let demands: Vec<_> = (0..reps).map(|_| gen.next_iteration()).collect();
     let start = Instant::now();
     for d in &demands {
@@ -64,9 +63,7 @@ pub fn measure(gpus: usize, capacity: usize, reps: usize) -> Fig11Point {
 pub fn run() -> Vec<Fig11Point> {
     let baseline = baseline_layer_ms();
     println!("Fig. 11: expert layout solver wall-clock time (|ε| = 2)\n");
-    println!(
-        "baseline (avg simulated time per transformer layer): {baseline:.1} ms\n"
-    );
+    println!("baseline (avg simulated time per transformer layer): {baseline:.1} ms\n");
     println!("{:>6} {:>4} {:>12}", "GPUs", "C", "solve (ms)");
     let mut out = Vec::new();
     for &c in &[2usize, 4] {

@@ -79,7 +79,11 @@ pub fn run_variant_seeded(variant: &str, effort: Effort, seed: u64) -> Fig12Bar 
         let timings: Vec<_> = gens
             .iter_mut()
             .enumerate()
-            .map(|(l, g)| system.plan_layer(l, iter as u64, &g.next_iteration()).timings)
+            .map(|(l, g)| {
+                system
+                    .plan_layer(l, iter as u64, &g.next_iteration())
+                    .timings
+            })
             .collect();
         let mut engine = Engine::new(&topo);
         let t = schedule_iteration(&mut engine, &topo, &timings, opts);

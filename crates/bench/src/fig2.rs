@@ -37,7 +37,10 @@ pub fn curves(steps: u64) -> Vec<Fig2Curve> {
 pub fn run() -> Vec<Fig2Curve> {
     let curves = curves(3000);
     println!("Fig. 2: loss curves with different auxiliary loss weights\n");
-    println!("{:<10} {:>12} {:>12} {:>16}", "weight", "loss@1000", "loss@3000", "steps to 2.30");
+    println!(
+        "{:<10} {:>12} {:>12} {:>16}",
+        "weight", "loss@1000", "loss@3000", "steps to 2.30"
+    );
     for c in &curves {
         let at = |s: u64| {
             c.points

@@ -38,10 +38,10 @@ pub fn grid(effort: Effort) -> Vec<(ModelPreset, DatasetProfile, f64)> {
             vec![ModelPreset::Mixtral8x7bE8k2, ModelPreset::Mixtral8x7bE16k4],
             vec![DatasetProfile::Wikitext],
         ),
-        Effort::Full => (ModelPreset::ALL.to_vec(), vec![
-            DatasetProfile::Wikitext,
-            DatasetProfile::C4,
-        ]),
+        Effort::Full => (
+            ModelPreset::ALL.to_vec(),
+            vec![DatasetProfile::Wikitext, DatasetProfile::C4],
+        ),
     };
     for m in &models {
         for d in &datasets {
@@ -97,10 +97,7 @@ pub fn run(effort: Effort) -> Vec<Fig8Panel> {
     let mut panels = Vec::new();
     for (m, d, aux) in grid(effort) {
         let p = run_panel(m, d, aux, effort);
-        println!(
-            "{} / {} / aux {:.0e}:",
-            p.model, p.dataset, p.aux_weight
-        );
+        println!("{} / {} / aux {:.0e}:", p.model, p.dataset, p.aux_weight);
         let bars: Vec<(String, f64)> = p
             .throughput
             .iter()
@@ -121,8 +118,7 @@ pub fn run(effort: Effort) -> Vec<Fig8Panel> {
         .fold(0.0, f64::max);
     let max_fsdp = panels.iter().map(|p| p.speedup_vs_fsdp).fold(0.0, f64::max);
     let max_flex = panels.iter().map(|p| p.speedup_vs_flex).fold(0.0, f64::max);
-    let avg_flex =
-        panels.iter().map(|p| p.speedup_vs_flex).sum::<f64>() / panels.len() as f64;
+    let avg_flex = panels.iter().map(|p| p.speedup_vs_flex).sum::<f64>() / panels.len() as f64;
     println!(
         "max speedups: {max_mega:.2}x vs Megatron (paper: up to 1.69x), {max_fsdp:.2}x vs \
          FSDP+EP (paper: up to 1.50x), {max_flex:.2}x vs FlexMoE (paper: up to 1.39x, avg \
@@ -142,7 +138,12 @@ mod tests {
     fn fig8_shapes_on_quick_grid() {
         for preset in [ModelPreset::Mixtral8x7bE8k2, ModelPreset::Mixtral8x7bE16k4] {
             let p = run_panel(preset, DatasetProfile::Wikitext, 0.0, Effort::Quick);
-            assert!(p.speedup_vs_megatron > 1.0, "{}: {:?}", p.model, p.throughput);
+            assert!(
+                p.speedup_vs_megatron > 1.0,
+                "{}: {:?}",
+                p.model,
+                p.throughput
+            );
             assert!(p.speedup_vs_fsdp > 1.0, "{}: {:?}", p.model, p.throughput);
             assert!(p.speedup_vs_flex >= 0.99, "{}: {:?}", p.model, p.throughput);
             let get = |id: &str| {

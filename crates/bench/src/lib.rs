@@ -18,6 +18,7 @@
 
 pub mod chart;
 pub mod eq1;
+pub mod ext_faults;
 pub mod ext_overlap;
 pub mod ext_rack;
 pub mod ext_refine;

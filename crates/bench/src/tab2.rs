@@ -54,7 +54,12 @@ pub fn run() -> Vec<Tab2Row> {
     for r in &rows {
         println!(
             "{:<22} {:>6} {:>9.2}B {:>9.2}B {:>7} | {:>9.2}B {:>9.2}B",
-            r.model, r.layers, r.params_b, r.activs_b, r.e_and_k, r.paper_params_b,
+            r.model,
+            r.layers,
+            r.params_b,
+            r.activs_b,
+            r.e_and_k,
+            r.paper_params_b,
             r.paper_activs_b
         );
     }

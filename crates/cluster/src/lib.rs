@@ -24,11 +24,15 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod degraded;
 mod ids;
+mod interconnect;
 mod topology;
 
 pub use builder::TopologyBuilder;
+pub use degraded::DegradedView;
 pub use ids::{DeviceId, ExpertId, NodeId};
+pub use interconnect::Interconnect;
 pub use topology::{LinkKind, Topology, TopologyError};
 
 /// Gigabytes per second, expressed in bytes/second.

@@ -97,12 +97,7 @@ impl Topology {
     /// Returns [`TopologyError::NoDevices`] if `nodes * devices_per_node`
     /// is zero.
     pub fn new(nodes: usize, devices_per_node: usize) -> Result<Self, TopologyError> {
-        Self::with_bandwidths(
-            nodes,
-            devices_per_node,
-            DEFAULT_INTRA_BW,
-            DEFAULT_INTER_BW,
-        )
+        Self::with_bandwidths(nodes, devices_per_node, DEFAULT_INTRA_BW, DEFAULT_INTER_BW)
     }
 
     /// Creates a topology with explicit intra/inter-node bandwidths
@@ -372,7 +367,10 @@ mod tests {
     #[test]
     fn link_kinds() {
         let t = Topology::paper_cluster();
-        assert_eq!(t.link_kind(DeviceId::new(1), DeviceId::new(1)), LinkKind::Local);
+        assert_eq!(
+            t.link_kind(DeviceId::new(1), DeviceId::new(1)),
+            LinkKind::Local
+        );
         assert_eq!(
             t.link_kind(DeviceId::new(1), DeviceId::new(2)),
             LinkKind::IntraNode
@@ -403,9 +401,21 @@ mod tests {
     #[test]
     fn invalid_bandwidth_rejected() {
         let err = Topology::with_bandwidths(1, 2, -1.0, 1.0).unwrap_err();
-        assert!(matches!(err, TopologyError::InvalidParameter { name: "intra_bw", .. }));
+        assert!(matches!(
+            err,
+            TopologyError::InvalidParameter {
+                name: "intra_bw",
+                ..
+            }
+        ));
         let err = Topology::with_bandwidths(1, 2, 1.0, f64::NAN).unwrap_err();
-        assert!(matches!(err, TopologyError::InvalidParameter { name: "inter_bw", .. }));
+        assert!(matches!(
+            err,
+            TopologyError::InvalidParameter {
+                name: "inter_bw",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -442,11 +452,20 @@ mod tests {
         assert_eq!(t.rack_of(DeviceId::new(0)), Some(0));
         assert_eq!(t.rack_of(DeviceId::new(8)), Some(1));
         // Same node.
-        assert_eq!(t.link_kind(DeviceId::new(0), DeviceId::new(3)), LinkKind::IntraNode);
+        assert_eq!(
+            t.link_kind(DeviceId::new(0), DeviceId::new(3)),
+            LinkKind::IntraNode
+        );
         // Same rack, different node.
-        assert_eq!(t.link_kind(DeviceId::new(0), DeviceId::new(4)), LinkKind::InterNode);
+        assert_eq!(
+            t.link_kind(DeviceId::new(0), DeviceId::new(4)),
+            LinkKind::InterNode
+        );
         // Different rack.
-        assert_eq!(t.link_kind(DeviceId::new(0), DeviceId::new(12)), LinkKind::InterRack);
+        assert_eq!(
+            t.link_kind(DeviceId::new(0), DeviceId::new(12)),
+            LinkKind::InterRack
+        );
         // Bandwidth hierarchy: NVLink > IB > rack spine.
         let intra = t.bandwidth(DeviceId::new(0), DeviceId::new(1));
         let inter = t.bandwidth(DeviceId::new(0), DeviceId::new(4));

@@ -6,6 +6,7 @@
 //! laer memory   [--model ID]
 //! laer trace    [--devices N] [--experts E] [--iters I] [--seed S] --out FILE
 //! laer replay   --model ID --system KIND --in FILE
+//! laer faults   [--model ID] [--fault CLASS] [--iters I] [--seed S]
 //! ```
 
 use laer_moe::planner::CostParams;
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         "memory" => cmd_memory(&flags),
         "trace" => cmd_trace(&flags),
         "replay" => cmd_replay(&flags),
+        "faults" => cmd_faults(&flags),
         "help" | "--help" | "-h" => return usage(0),
         other => Err(format!("unknown command `{other}`")),
     };
@@ -52,7 +54,9 @@ fn usage(code: u8) -> ExitCode {
          \x20 simulate  run an end-to-end throughput experiment\n\
          \x20 memory    per-device memory analysis for a model\n\
          \x20 trace     record a synthetic routing trace to JSON\n\
-         \x20 replay    run an experiment over a recorded trace\n\n\
+         \x20 replay    run an experiment over a recorded trace\n\
+         \x20 faults    compare systems under injected faults\n\
+         \x20           (--fault straggler|link|failure|outage|random)\n\n\
          common flags: --model <id> --system <LAER|FLEX|FSDP|megatron|vanillaEP>\n\
          \x20             --devices N --experts E --capacity C --layers L\n\
          \x20             --iters I --seed S --aux W --in FILE --out FILE\n\n\
@@ -91,7 +95,10 @@ where
 
 fn model(flags: &Flags) -> Result<ModelPreset, String> {
     get(flags, "model", ModelPreset::Mixtral8x7bE8k2).map_err(|e| {
-        format!("{e} (valid: {})", ModelPreset::ALL.map(|p| p.id()).join(" "))
+        format!(
+            "{e} (valid: {})",
+            ModelPreset::ALL.map(|p| p.id()).join(" ")
+        )
     })
 }
 
@@ -100,7 +107,7 @@ fn cmd_plan(flags: &Flags) -> Result<(), String> {
     let experts: usize = get(flags, "experts", 8)?;
     let capacity: usize = get(flags, "capacity", 2)?;
     let seed: u64 = get(flags, "seed", 0)?;
-    if devices % 8 != 0 && devices > 8 {
+    if !devices.is_multiple_of(8) && devices > 8 {
         return Err("--devices must be ≤8 or a multiple of 8".into());
     }
     let topo = if devices <= 8 {
@@ -218,6 +225,95 @@ fn cmd_trace(flags: &Flags) -> Result<(), String> {
     );
     trace.save_json(out).map_err(|e| e.to_string())?;
     println!("wrote {iters} iterations of {devices}x{experts} routing to {out}");
+    Ok(())
+}
+
+fn cmd_faults(flags: &Flags) -> Result<(), String> {
+    use laer_moe::sim::{FaultEvent, FaultKind, FaultPlan};
+    use laer_moe::train::{window_throughput, FaultRunner};
+
+    let preset = model(flags)?;
+    let fault = flags.get("fault").map(String::as_str).unwrap_or("failure");
+    let window: u64 = get(flags, "iters", 10)?;
+    let seed: u64 = get(flags, "seed", 3)?;
+    let onset: u64 = 4;
+    if window == 0 {
+        return Err("--iters must be at least 1".into());
+    }
+    let total = onset + window;
+
+    let mut plan = FaultPlan::new();
+    let mut push = |kind: FaultKind, end: u64| {
+        plan.push(FaultEvent {
+            kind,
+            start: onset,
+            end,
+        })
+        .map_err(|e| e.to_string())
+    };
+    match fault {
+        "straggler" => push(
+            FaultKind::Straggler {
+                device: DeviceId::new(5),
+                factor: 2.0,
+            },
+            total,
+        )?,
+        "link" => push(
+            FaultKind::LinkDegrade {
+                a: DeviceId::new(0),
+                b: DeviceId::new(1),
+                factor: 0.25,
+            },
+            total,
+        )?,
+        "failure" => push(
+            FaultKind::DeviceFailure {
+                device: DeviceId::new(13),
+            },
+            u64::MAX,
+        )?,
+        "outage" => push(FaultKind::PlannerOutage, total)?,
+        "random" => {
+            if total < 8 {
+                return Err("--fault random needs --iters >= 4".into());
+            }
+            plan = FaultPlan::random(seed, 32, total);
+        }
+        other => {
+            return Err(format!(
+                "unknown --fault `{other}` (straggler|link|failure|outage|random)"
+            ))
+        }
+    }
+
+    println!(
+        "fault `{fault}` from iteration {onset}, throughput over the {window} iterations after onset:\n"
+    );
+    println!(
+        "{:<10} {:>14} {:>14} {:>9}",
+        "system", "faulted tok/s", "clean tok/s", "ratio"
+    );
+    for system in [SystemKind::Laer, SystemKind::FsdpEp, SystemKind::VanillaEp] {
+        let cfg = ExperimentConfig::new(preset, system)
+            .with_layers(2)
+            .with_seed(seed);
+        let run = |p: FaultPlan| -> Result<f64, String> {
+            let reports = FaultRunner::new(cfg.clone(), p)
+                .run(total)
+                .map_err(|e| e.to_string())?;
+            Ok(window_throughput(&reports[onset as usize..]))
+        };
+        let faulted = run(plan.clone())?;
+        let clean = run(FaultPlan::new())?;
+        println!(
+            "{:<10} {:>14.0} {:>14.0} {:>8.1}%",
+            format!("{system:?}"),
+            faulted,
+            clean,
+            faulted / clean * 100.0
+        );
+    }
     Ok(())
 }
 

@@ -73,9 +73,7 @@ pub mod prelude {
         SystemKind, VanillaEpSystem,
     };
     pub use laer_cluster::{DeviceId, ExpertId, NodeId, Topology, TopologyBuilder};
-    pub use laer_fsep::{
-        ExpertParams, FsepExperts, LayerTimings, ScheduleOptions, ShardedAdam,
-    };
+    pub use laer_fsep::{ExpertParams, FsepExperts, LayerTimings, ScheduleOptions, ShardedAdam};
     pub use laer_model::{CostModel, GpuSpec, ModelConfig, ModelConfigBuilder, ModelPreset};
     pub use laer_planner::{
         lite_route, ExpertLayout, Plan, Planner, PlannerConfig, ReplicaScheme, TokenRouting,
@@ -83,9 +81,12 @@ pub mod prelude {
     pub use laer_routing::{
         DatasetProfile, RoutingGenerator, RoutingGeneratorConfig, RoutingMatrix, RoutingTrace,
     };
-    pub use laer_sim::{Breakdown, Engine, SpanLabel, StreamKind, Timeline};
+    pub use laer_sim::{
+        Breakdown, Engine, FaultEvent, FaultKind, FaultPlan, SpanLabel, StreamKind, Timeline,
+    };
     pub use laer_train::{
-        mlp_speedup, run_experiment, ConvergenceModel, ExperimentConfig, ExperimentResult,
+        mlp_speedup, run_experiment, window_throughput, ConvergenceModel, ExperimentConfig,
+        ExperimentResult, FaultRunner, TrainError,
     };
 }
 
@@ -99,10 +100,8 @@ mod tests {
         let cfg = ModelPreset::Mixtral8x7bE8k2.config();
         let ctx = SystemContext::new(topo, cfg, GpuSpec::a100(), 4096, 8192);
         let mut sys = LaerSystem::new(ctx);
-        let demand = RoutingGenerator::new(
-            RoutingGeneratorConfig::new(32, 8, 8192).with_seed(1),
-        )
-        .next_iteration();
+        let demand = RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 8192).with_seed(1))
+            .next_iteration();
         let plan = sys.plan_layer(0, 0, &demand);
         assert!(plan.routing.validate(&demand, &plan.layout).is_ok());
     }

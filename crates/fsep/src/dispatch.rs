@@ -116,10 +116,7 @@ pub fn dispatch_tokens(
 ) -> Result<Dispatched, DispatchError> {
     let n = routing.num_devices();
     let e = routing.num_experts();
-    let hidden = resident
-        .first()
-        .map(|d| d.tokens.cols())
-        .unwrap_or(0);
+    let hidden = resident.first().map(|d| d.tokens.cols()).unwrap_or(0);
     // Per-origin cursor into the resident buffer.
     let mut cursors = vec![0usize; n];
     // Destination accumulation: (dst, expert) -> rows + tags.
@@ -153,15 +150,11 @@ pub fn dispatch_tokens(
         }
         for row in start..end {
             rows[dst.index() * e + expert.index()].push(buf.tokens.row(row).to_vec());
-            tags[dst.index() * e + expert.index()].push(ReturnTag {
-                origin: src,
-                row,
-            });
+            tags[dst.index() * e + expert.index()].push(ReturnTag { origin: src, row });
         }
         cursors[src.index()] = end;
         if src != dst {
-            comm.transfers
-                .push((src, dst, count * hidden as u64 * 4));
+            comm.transfers.push((src, dst, count * hidden as u64 * 4));
         }
     }
     let mut batches: Vec<Vec<ReceivedBatch>> = Vec::with_capacity(n);
@@ -211,13 +204,14 @@ pub fn compute_and_combine(
     for (d, device_batches) in dispatched.batches.iter().enumerate() {
         let dev = DeviceId::new(d);
         for batch in device_batches {
-            let params: &ExpertParams = restored
-                .device(d)
-                .expert(batch.expert)
-                .ok_or(DispatchError::MissingReplica {
-                    device: dev,
-                    expert: batch.expert,
-                })?;
+            let params: &ExpertParams =
+                restored
+                    .device(d)
+                    .expert(batch.expert)
+                    .ok_or(DispatchError::MissingReplica {
+                        device: dev,
+                        expert: batch.expert,
+                    })?;
             let (y, _) = params.forward(&batch.tokens);
             for (row_idx, tag) in batch.tags.iter().enumerate() {
                 let out = &mut outputs[tag.origin.index()];
@@ -250,7 +244,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let (n, e, h, hp) = (4usize, 4usize, 8usize, 12usize);
         let topo = Topology::new(2, 2).unwrap();
-        let experts: Vec<_> = (0..e).map(|_| ExpertParams::random(h, hp, &mut rng)).collect();
+        let experts: Vec<_> = (0..e)
+            .map(|_| ExpertParams::random(h, hp, &mut rng))
+            .collect();
         let sharded = FsepExperts::shard(&experts, n).unwrap();
 
         // Each device holds 6 tokens; demand routes 3 tokens to expert

@@ -197,7 +197,9 @@ impl ExpertParams {
         // dUp = dH ⊙ SiLU(gate); dGate = dH ⊙ up ⊙ SiLU'(gate)
         let silu_gate = cache.gate.map(silu);
         let d_up = d_hidden.hadamard(&silu_gate);
-        let d_gate = d_hidden.hadamard(&cache.up).hadamard(&cache.gate.map(silu_prime));
+        let d_gate = d_hidden
+            .hadamard(&cache.up)
+            .hadamard(&cache.gate.map(silu_prime));
         // dW1 = dGateᵀ · X ; dW3 = dUpᵀ · X   (H' x H)
         let d_w1 = d_gate.matmul_tn(&cache.x);
         let d_w3 = d_up.matmul_tn(&cache.x);

@@ -50,6 +50,9 @@ pub use expert::{ExpertGrad, ExpertMeta, ExpertParams, ForwardCache};
 pub use moe_layer::{GateParams, MoeForward, MoeGrads, MoeLayer};
 pub use optimizer::{AdamConfig, ShardedAdam};
 pub use reference::{DenseReference, FsdpReference};
-pub use schedule::{schedule_iteration, IterationTimings, LayerTimings, Recompute, ScheduleOptions};
-pub use shard::{CommLog, FsepError, FsepExperts, RestoredDevice, RestoredExperts};
+pub use schedule::{
+    schedule_iteration, schedule_iteration_on, IterationTimings, LayerTimings, Recompute,
+    ScheduleOptions,
+};
+pub use shard::{CommLog, FsepError, FsepExperts, GradChunks, RestoredDevice, RestoredExperts};
 pub use tensor::Matrix;

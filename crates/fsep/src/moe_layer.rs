@@ -264,16 +264,17 @@ impl MoeLayer {
             let mut d_weights = Vec::with_capacity(route.experts.len());
             for (slot, &ex) in route.experts.iter().enumerate() {
                 let y_s = &fwd.expert_outputs[t][slot];
-                let dot: f32 = dy_t
-                    .data()
-                    .iter()
-                    .zip(y_s.data())
-                    .map(|(a, b)| a * b)
-                    .sum();
+                let dot: f32 = dy_t.data().iter().zip(y_s.data()).map(|(a, b)| a * b).sum();
                 d_weights.push(dot);
                 // Expert backward with dy scaled by the gate weight.
-                let scaled =
-                    Matrix::from_vec(1, h, dy_t.data().iter().map(|v| v * route.weights[slot]).collect());
+                let scaled = Matrix::from_vec(
+                    1,
+                    h,
+                    dy_t.data()
+                        .iter()
+                        .map(|v| v * route.weights[slot])
+                        .collect(),
+                );
                 let params = &experts[ex];
                 let (_, cache) = params.forward(&token);
                 let (_, g) = params.backward(&cache, &scaled);
@@ -311,7 +312,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let (e, h, hp, s) = (4usize, 6usize, 8usize, 5usize);
         let gate = GateParams::new(Matrix::random(e, h, 0.8, &mut rng), 2);
-        let experts: Vec<_> = (0..e).map(|_| ExpertParams::random(h, hp, &mut rng)).collect();
+        let experts: Vec<_> = (0..e)
+            .map(|_| ExpertParams::random(h, hp, &mut rng))
+            .collect();
         let x = Matrix::random(s, h, 0.5, &mut rng);
         (MoeLayer::new(gate), experts, x)
     }

@@ -99,18 +99,18 @@ impl ShardedAdam {
     pub fn step(&mut self, experts: &mut FsepExperts, grads: &[Vec<Vec<f32>>]) {
         assert_eq!(grads.len(), experts.num_devices(), "device count");
         self.step += 1;
-        for d in 0..experts.num_devices() {
-            assert_eq!(grads[d].len(), experts.num_experts(), "expert count");
-            for e in 0..experts.num_experts() {
+        for (d, device_grads) in grads.iter().enumerate() {
+            assert_eq!(device_grads.len(), experts.num_experts(), "expert count");
+            for (e, grad) in device_grads.iter().enumerate() {
                 let param = experts.chunk_mut(d, e);
-                assert_eq!(grads[d][e].len(), param.len(), "chunk length");
+                assert_eq!(grad.len(), param.len(), "chunk length");
                 adam_update(
                     &self.cfg,
                     self.step,
                     param,
                     &mut self.m[d][e],
                     &mut self.v[d][e],
-                    &grads[d][e],
+                    grad,
                 );
             }
         }
@@ -139,8 +139,7 @@ mod tests {
         let mut experts = store();
         let before = experts.materialize_all();
         let mut opt = ShardedAdam::new(AdamConfig::default(), &experts);
-        let zero =
-            vec![vec![vec![0.0f32; 3 * 4 * 4 / 2]; 2]; 2];
+        let zero = vec![vec![vec![0.0f32; 3 * 4 * 4 / 2]; 2]; 2];
         opt.step(&mut experts, &zero);
         assert_eq!(experts.materialize_all(), before);
         assert_eq!(opt.steps_taken(), 1);

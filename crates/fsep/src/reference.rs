@@ -60,13 +60,12 @@ pub fn run_fsep_step(
     let mut device_grads: Vec<Vec<(ExpertId, ExpertGrad)>> = vec![Vec::new(); n];
     for batch in batches {
         let dev = batch.device;
-        let params = restored
-            .device(dev.index())
-            .expert(batch.expert)
-            .ok_or(FsepError::UnexpectedGradient {
+        let params = restored.device(dev.index()).expert(batch.expert).ok_or(
+            FsepError::UnexpectedGradient {
                 device: dev,
                 expert: batch.expert,
-            })?;
+            },
+        )?;
         let (y, cache) = params.forward(&batch.tokens);
         loss += 0.5 * y.squared_norm();
         let (_, grad) = params.backward(&cache, &y);
@@ -138,7 +137,10 @@ impl DenseReference {
             loss += 0.5 * y.squared_norm();
             let (_, grad) = params.backward(&cache, &y);
             let bucket = &mut per_device[batch.device.index()];
-            match bucket.iter_mut().find(|(ei, _)| *ei == batch.expert.index()) {
+            match bucket
+                .iter_mut()
+                .find(|(ei, _)| *ei == batch.expert.index())
+            {
                 Some((_, g)) => g.accumulate(&grad),
                 None => bucket.push((batch.expert.index(), grad)),
             }
@@ -241,7 +243,10 @@ impl FsdpReference {
         let mut offset = 0;
         for meta in &self.metas {
             let len = meta.param_count();
-            out.push(ExpertParams::from_flat(*meta, all[offset..offset + len].to_vec()));
+            out.push(ExpertParams::from_flat(
+                *meta,
+                all[offset..offset + len].to_vec(),
+            ));
             offset += len;
         }
         out
@@ -267,7 +272,10 @@ impl FsdpReference {
             loss += 0.5 * y.squared_norm();
             let (_, grad) = params.backward(&cache, &y);
             let bucket = &mut per_device[batch.device.index()];
-            match bucket.iter_mut().find(|(ei, _)| *ei == batch.expert.index()) {
+            match bucket
+                .iter_mut()
+                .find(|(ei, _)| *ei == batch.expert.index())
+            {
                 Some((_, g)) => g.accumulate(&grad),
                 None => bucket.push((batch.expert.index(), grad)),
             }
@@ -284,7 +292,10 @@ impl FsdpReference {
         for bucket in per_device {
             for (ei, grad) in bucket {
                 let o = offsets[ei];
-                for (slot, &g) in grad_all[o..o + grad.data().len()].iter_mut().zip(grad.data()) {
+                for (slot, &g) in grad_all[o..o + grad.data().len()]
+                    .iter_mut()
+                    .zip(grad.data())
+                {
                     *slot += g;
                 }
             }

@@ -168,11 +168,64 @@ pub fn schedule_iteration(
     layers: &[LayerTimings],
     opts: ScheduleOptions,
 ) -> IterationTimings {
-    let n = topo.num_devices();
     let devices: Vec<DeviceId> = topo.devices().collect();
+    schedule_iteration_on(engine, topo, &devices, layers, opts)
+}
+
+/// [`schedule_iteration`] restricted to a device subset — degraded-mode
+/// execution after device failures: only `active` devices (the
+/// survivors) have work enqueued; per-device timing vectors keep the
+/// full `N` length and are indexed by device id, so callers hand in the
+/// same [`LayerTimings`] they would for a healthy cluster.
+///
+/// # Panics
+///
+/// Panics if `active` is empty, repeats a device, names a device outside
+/// the topology, or if any per-device timing vector disagrees with the
+/// topology.
+pub fn schedule_iteration_on(
+    engine: &mut Engine,
+    topo: &Topology,
+    active: &[DeviceId],
+    layers: &[LayerTimings],
+    opts: ScheduleOptions,
+) -> IterationTimings {
+    let n_full = topo.num_devices();
     for l in layers {
-        l.check(n);
+        l.check(n_full);
     }
+    assert!(!active.is_empty(), "need at least one active device");
+    let mut seen = vec![false; n_full];
+    for d in active {
+        assert!(d.index() < n_full, "active device outside topology");
+        assert!(!seen[d.index()], "active device listed twice");
+        seen[d.index()] = true;
+    }
+    // Gather per-device timings down to the active subset so the
+    // schedule body can index positionally.
+    let local: Vec<LayerTimings> = layers
+        .iter()
+        .map(|l| LayerTimings {
+            attention: l.attention,
+            dispatch: active.iter().map(|d| l.dispatch[d.index()]).collect(),
+            expert_forward: active.iter().map(|d| l.expert_forward[d.index()]).collect(),
+            combine: active.iter().map(|d| l.combine[d.index()]).collect(),
+            prefetch: l.prefetch,
+            grad_sync: l.grad_sync,
+        })
+        .collect();
+    schedule_on_devices(engine, active, &local, opts)
+}
+
+/// The schedule body: `layers` vectors are indexed positionally by
+/// `devices` (already gathered to the participating subset).
+fn schedule_on_devices(
+    engine: &mut Engine,
+    devices: &[DeviceId],
+    layers: &[LayerTimings],
+    opts: ScheduleOptions,
+) -> IterationTimings {
+    let n = devices.len();
     let start = engine.now();
     // ---------------- forward ----------------
     // prefetch_done[l] handles: expert compute of layer l waits on them.
@@ -183,7 +236,13 @@ pub fn schedule_iteration(
         let handles: Vec<SpanHandle> = devices
             .iter()
             .map(|&d| {
-                engine.enqueue(d, StreamKind::Prefetch, SpanLabel::Prefetch, first.prefetch, &[])
+                engine.enqueue(
+                    d,
+                    StreamKind::Prefetch,
+                    SpanLabel::Prefetch,
+                    first.prefetch,
+                    &[],
+                )
             })
             .collect();
         prefetch_done[0] = Some(handles);
@@ -199,7 +258,13 @@ pub fn schedule_iteration(
             .map(|(di, &d)| {
                 let mut deps = attn_deps[di].clone();
                 deps.extend(last_combine[di].iter().copied());
-                engine.enqueue(d, StreamKind::Compute, SpanLabel::Attention, layer.attention, &deps)
+                engine.enqueue(
+                    d,
+                    StreamKind::Compute,
+                    SpanLabel::Attention,
+                    layer.attention,
+                    &deps,
+                )
             })
             .collect();
         // Unoptimized prefetch (Fig. 5a): fetch this layer's experts
@@ -223,7 +288,7 @@ pub fn schedule_iteration(
         // Token-dispatch A2A (synchronising collective).
         let attn_dep: Vec<Vec<SpanHandle>> = attn.iter().map(|&h| vec![h]).collect();
         let dispatch = engine.enqueue_collective(
-            &devices,
+            devices,
             StreamKind::A2a,
             SpanLabel::AllToAll,
             &layer.dispatch,
@@ -247,7 +312,13 @@ pub fn schedule_iteration(
                     } else {
                         vec![attn[di]]
                     };
-                    engine.enqueue(d, StreamKind::Prefetch, SpanLabel::Prefetch, duration, &deps)
+                    engine.enqueue(
+                        d,
+                        StreamKind::Prefetch,
+                        SpanLabel::Prefetch,
+                        duration,
+                        &deps,
+                    )
                 })
                 .collect();
             prefetch_done[li + 1] = Some(handles);
@@ -273,7 +344,7 @@ pub fn schedule_iteration(
         // Combine A2A.
         let expert_dep: Vec<Vec<SpanHandle>> = expert.iter().map(|&h| vec![h]).collect();
         let combine = engine.enqueue_collective(
-            &devices,
+            devices,
             StreamKind::A2a,
             SpanLabel::AllToAll,
             &layer.combine,
@@ -290,7 +361,7 @@ pub fn schedule_iteration(
     for (li, layer) in layers.iter().enumerate().rev() {
         // Dispatch A2A for gradients w.r.t. expert outputs.
         let bwd_dispatch = engine.enqueue_collective(
-            &devices,
+            devices,
             StreamKind::A2a,
             SpanLabel::AllToAll,
             &layer.combine,
@@ -327,7 +398,7 @@ pub fn schedule_iteration(
         // Combine A2A for input gradients.
         let expert_dep: Vec<Vec<SpanHandle>> = expert_bwd.iter().map(|&h| vec![h]).collect();
         let bwd_combine = engine.enqueue_collective(
-            &devices,
+            devices,
             StreamKind::A2a,
             SpanLabel::AllToAll,
             &layer.dispatch,
@@ -353,7 +424,7 @@ pub fn schedule_iteration(
             // roughly half of it collide with (and block) subsequent
             // backward kernels — the "uncontrollable communication
             // timing and overlap effects" of Sec. 3.1.
-            for &d in &devices {
+            for &d in devices {
                 engine.enqueue(
                     d,
                     StreamKind::Compute,
@@ -410,7 +481,9 @@ mod tests {
         let n = 2;
         // attention 1ms, expert 10ms, a2a 0.5ms, prefetch 8ms: the
         // prefetch fits under the 10ms expert compute.
-        let layers: Vec<_> = (0..4).map(|_| layer(n, 1e-3, 10e-3, 0.5e-3, 8e-3)).collect();
+        let layers: Vec<_> = (0..4)
+            .map(|_| layer(n, 1e-3, 10e-3, 0.5e-3, 8e-3))
+            .collect();
         let (opt, _) = run(ScheduleOptions::optimized(), &layers);
         let (unopt, _) = run(ScheduleOptions::unoptimized(), &layers);
         assert!(
@@ -437,7 +510,9 @@ mod tests {
     #[test]
     fn unrelaxed_prefetch_exposes_wait() {
         let n = 2;
-        let layers: Vec<_> = (0..3).map(|_| layer(n, 1e-3, 10e-3, 0.5e-3, 8e-3)).collect();
+        let layers: Vec<_> = (0..3)
+            .map(|_| layer(n, 1e-3, 10e-3, 0.5e-3, 8e-3))
+            .collect();
         let (opt, _) = run(ScheduleOptions::optimized(), &layers);
         let mut only_relax_off = ScheduleOptions::optimized();
         only_relax_off.relaxed_prefetch = false;
@@ -472,7 +547,9 @@ mod tests {
     #[test]
     fn delayed_grad_sync_overlaps() {
         let n = 2;
-        let layers: Vec<_> = (0..4).map(|_| layer(n, 1e-3, 10e-3, 0.5e-3, 6e-3)).collect();
+        let layers: Vec<_> = (0..4)
+            .map(|_| layer(n, 1e-3, 10e-3, 0.5e-3, 6e-3))
+            .collect();
         let delayed = ScheduleOptions::optimized();
         let mut serialized = ScheduleOptions::optimized();
         serialized.delayed_grad_sync = false;
@@ -512,7 +589,63 @@ mod tests {
         // Experts-only adds exactly one expert forward per layer to the
         // critical path (no extra A2A).
         let expect = none.total + 3.0 * 8e-3;
-        assert!((experts.total - expect).abs() < 1e-6, "{} vs {expect}", experts.total);
+        assert!(
+            (experts.total - expect).abs() < 1e-6,
+            "{} vs {expect}",
+            experts.total
+        );
+    }
+
+    /// Degraded-mode scheduling: excluding a failed device removes its
+    /// spans entirely, and the subset schedule equals a full schedule of
+    /// the surviving devices alone.
+    #[test]
+    fn subset_schedule_skips_failed_devices() {
+        let n = 4;
+        let topo = Topology::single_node(n).unwrap();
+        let layers: Vec<_> = (0..3).map(|_| layer(n, 1e-3, 5e-3, 0.5e-3, 2e-3)).collect();
+        let active: Vec<DeviceId> = [0usize, 1, 3].iter().map(|&i| DeviceId::new(i)).collect();
+        let mut engine = Engine::new(&topo);
+        let t = schedule_iteration_on(
+            &mut engine,
+            &topo,
+            &active,
+            &layers,
+            ScheduleOptions::optimized(),
+        );
+        assert!(t.total > 0.0);
+        let failed = DeviceId::new(2);
+        assert!(
+            engine.timeline().spans().iter().all(|s| s.device != failed),
+            "failed device must receive no work"
+        );
+        // Equivalent full run on a 3-device cluster.
+        let small = Topology::single_node(3).unwrap();
+        let small_layers: Vec<_> = (0..3).map(|_| layer(3, 1e-3, 5e-3, 0.5e-3, 2e-3)).collect();
+        let mut small_engine = Engine::new(&small);
+        let t_small = schedule_iteration(
+            &mut small_engine,
+            &small,
+            &small_layers,
+            ScheduleOptions::optimized(),
+        );
+        assert!((t.total - t_small.total).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn duplicate_active_device_panics() {
+        let topo = Topology::single_node(2).unwrap();
+        let layers = vec![layer(2, 1e-3, 5e-3, 0.5e-3, 2e-3)];
+        let mut engine = Engine::new(&topo);
+        let d = DeviceId::new(0);
+        let _ = schedule_iteration_on(
+            &mut engine,
+            &topo,
+            &[d, d],
+            &layers,
+            ScheduleOptions::optimized(),
+        );
     }
 
     #[test]
@@ -535,7 +668,12 @@ mod tests {
         let t1 = schedule_iteration(&mut engine, &topo, &layers, ScheduleOptions::optimized());
         let t2 = schedule_iteration(&mut engine, &topo, &layers, ScheduleOptions::optimized());
         // Steady-state iterations have identical duration.
-        assert!((t1.total - t2.total).abs() < 1e-4, "{} vs {}", t1.total, t2.total);
+        assert!(
+            (t1.total - t2.total).abs() < 1e-4,
+            "{} vs {}",
+            t1.total,
+            t2.total
+        );
         assert!(engine.now() >= t1.total + t2.total - 1e-9);
     }
 }

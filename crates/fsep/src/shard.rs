@@ -119,10 +119,7 @@ impl RestoredDevice {
 
     /// Parameters of one restored expert, if hosted here.
     pub fn expert(&self, id: ExpertId) -> Option<&ExpertParams> {
-        self.experts
-            .iter()
-            .find(|(e, _)| *e == id)
-            .map(|(_, p)| p)
+        self.experts.iter().find(|(e, _)| *e == id).map(|(_, p)| p)
     }
 }
 
@@ -154,6 +151,11 @@ impl RestoredExperts {
         &self.comm
     }
 }
+
+/// Per-device, per-expert flattened gradient chunks, as produced by
+/// [`FsepExperts::reshard_gradients`]: `out[device][expert]` is the
+/// summed gradient for the chunk of `expert` that `device` owns.
+pub type GradChunks = Vec<Vec<Vec<f32>>>;
 
 /// The sharded expert state of one MoE layer across `N` devices.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -248,11 +250,8 @@ impl FsepExperts {
                 for s in 0..self.devices {
                     flat.extend_from_slice(&self.chunks[s][e]);
                     if s != d {
-                        comm.transfers.push((
-                            DeviceId::new(s),
-                            dst,
-                            (self.chunk_len * 4) as u64,
-                        ));
+                        comm.transfers
+                            .push((DeviceId::new(s), dst, (self.chunk_len * 4) as u64));
                     }
                 }
                 flat.truncate(self.meta.param_count());
@@ -280,7 +279,7 @@ impl FsepExperts {
         &self,
         layout: &ExpertLayout,
         device_grads: &[Vec<(ExpertId, ExpertGrad)>],
-    ) -> Result<(Vec<Vec<Vec<f32>>>, CommLog), FsepError> {
+    ) -> Result<(GradChunks, CommLog), FsepError> {
         self.check_layout(layout)?;
         if device_grads.len() != self.devices {
             return Err(FsepError::LayoutMismatch {
@@ -289,8 +288,7 @@ impl FsepExperts {
             });
         }
         let mut comm = CommLog::default();
-        let mut out =
-            vec![vec![vec![0.0f32; self.chunk_len]; self.num_experts()]; self.devices];
+        let mut out = vec![vec![vec![0.0f32; self.chunk_len]; self.num_experts()]; self.devices];
         for (src_idx, grads) in device_grads.iter().enumerate() {
             let src = DeviceId::new(src_idx);
             for (expert, grad) in grads {
@@ -360,7 +358,9 @@ mod tests {
 
     fn experts(n: usize, h: usize, hp: usize, seed: u64) -> Vec<ExpertParams> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| ExpertParams::random(h, hp, &mut rng)).collect()
+        (0..n)
+            .map(|_| ExpertParams::random(h, hp, &mut rng))
+            .collect()
     }
 
     #[test]
@@ -371,8 +371,14 @@ mod tests {
         let restored = sharded.unshard(&layout).unwrap();
         // Device 0 hosts experts 0 and 1 in the classic layout.
         assert_eq!(restored.device(0).experts().len(), 2);
-        assert_eq!(*restored.device(0).expert(ExpertId::new(0)).unwrap(), exps[0]);
-        assert_eq!(*restored.device(0).expert(ExpertId::new(1)).unwrap(), exps[1]);
+        assert_eq!(
+            *restored.device(0).expert(ExpertId::new(0)).unwrap(),
+            exps[0]
+        );
+        assert_eq!(
+            *restored.device(0).expert(ExpertId::new(1)).unwrap(),
+            exps[1]
+        );
         assert!(restored.device(0).expert(ExpertId::new(2)).is_none());
     }
 
@@ -392,8 +398,14 @@ mod tests {
         layout.add_replica(DeviceId::new(3), ExpertId::new(3));
         layout.validate().unwrap();
         let restored = sharded.unshard(&layout).unwrap();
-        assert_eq!(*restored.device(1).expert(ExpertId::new(0)).unwrap(), exps[0]);
-        assert_eq!(*restored.device(1).expert(ExpertId::new(1)).unwrap(), exps[1]);
+        assert_eq!(
+            *restored.device(1).expert(ExpertId::new(0)).unwrap(),
+            exps[0]
+        );
+        assert_eq!(
+            *restored.device(1).expert(ExpertId::new(1)).unwrap(),
+            exps[1]
+        );
     }
 
     /// Sec. 3.1: unshard communication is a *balanced* All-to-All —
@@ -441,7 +453,9 @@ mod tests {
         // the unpadded region).
         let unpadded = meta.param_count().div_ceil(n);
         assert!(out[0][0][..unpadded].iter().all(|&g| g == 3.0));
-        assert!(out[1][1][..meta.param_count() - unpadded].iter().all(|&g| g == 5.0));
+        assert!(out[1][1][..meta.param_count() - unpadded]
+            .iter()
+            .all(|&g| g == 5.0));
         assert!(comm.total_bytes() > 0);
     }
 

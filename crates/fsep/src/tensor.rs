@@ -122,8 +122,7 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows, b.cols);
         for i in 0..self.rows {
             let a_row = self.row(i);
-            for k in 0..self.cols {
-                let a = a_row[k];
+            for (k, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
@@ -149,8 +148,7 @@ impl Matrix {
         for k in 0..self.rows {
             let a_row = self.row(k);
             let b_row = b.row(k);
-            for i in 0..self.cols {
-                let a = a_row[i];
+            for (i, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
@@ -201,7 +199,11 @@ impl Matrix {
 
     /// Applies a function element-wise, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|&v| f(v)).collect())
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&v| f(v)).collect(),
+        )
     }
 
     /// Sum of squares of all elements (used by the quadratic test loss).

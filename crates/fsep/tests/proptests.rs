@@ -17,7 +17,9 @@ fn experts_strategy() -> impl Strategy<Value = (Vec<ExpertParams>, usize)> {
             let h = h_step * 2;
             let hp = hp_step * 3;
             let mut rng = StdRng::seed_from_u64(seed);
-            let experts = (0..e).map(|_| ExpertParams::random(h, hp, &mut rng)).collect();
+            let experts = (0..e)
+                .map(|_| ExpertParams::random(h, hp, &mut rng))
+                .collect();
             (experts, n)
         },
     )
@@ -132,7 +134,7 @@ proptest! {
     #[test]
     fn unshard_volume_matches_formula((experts, n) in experts_strategy()) {
         let e = experts.len();
-        let c = e.min(2).max(1);
+        let c = e.clamp(1, 2);
         prop_assume!(n * c >= e);
         let topo = laer_cluster::Topology::single_node(n).expect("non-empty");
         let loads = vec![1u64; e];

@@ -133,21 +133,16 @@ pub fn megatron_memory_bytes(
     // Experts: EP-resident, bf16 params + grads, ZeRO-1 opt over replicas.
     let expert_params = layers * capacity as u64 * cfg.expert_params();
     let replicas = ((n_devices * capacity) / cfg.experts()).max(1) as u64;
-    let expert_bytes =
-        expert_params * 2 * BF16_BYTES + expert_params * ADAM_STATE_BYTES / replicas;
+    let expert_bytes = expert_params * 2 * BF16_BYTES + expert_params * ADAM_STATE_BYTES / replicas;
     // Attention/other: TP-divided, bf16 params + grads, ZeRO-1 opt over
     // the DP group.
-    let other_params = (layers * cfg.other_params_per_layer() + cfg.embedding_params())
-        / tp as u64;
+    let other_params = (layers * cfg.other_params_per_layer() + cfg.embedding_params()) / tp as u64;
     let dp = (n_devices / tp).max(1) as u64;
     let other_bytes = other_params * 2 * BF16_BYTES + other_params * ADAM_STATE_BYTES / dp;
     // Activations: TP shards the per-token activation footprint.
-    let act_bytes = tokens_per_device
-        * layers
-        * ACT_TENSORS_PER_LAYER
-        * cfg.hidden() as u64
-        * BF16_BYTES
-        / tp as u64;
+    let act_bytes =
+        tokens_per_device * layers * ACT_TENSORS_PER_LAYER * cfg.hidden() as u64 * BF16_BYTES
+            / tp as u64;
     expert_bytes + other_bytes + act_bytes
 }
 
@@ -251,7 +246,7 @@ mod tests {
     }
 
     /// Sec. 5.2's memory mechanism, derived instead of asserted: the
-    /// >40 B e8k2 configurations need TP = 4 to fit 80 GB at the 16 K
+    /// 40+ B e8k2 configurations need TP = 4 to fit 80 GB at the 16 K
     /// token operating point, while the ~35 B e16k4 configurations fit
     /// at TP = 2 — and the fully-sharded executors fit with no TP at
     /// all (which is why FSDP+EP can afford the larger micro-batch).
@@ -267,8 +262,8 @@ mod tests {
             (ModelPreset::Qwen8x7bE16k4, 2),
         ] {
             let cfg = preset.config();
-            let tp = megatron_min_tp(&cfg, 32, cfg.default_capacity(), tokens, 8)
-                .expect("some TP fits");
+            let tp =
+                megatron_min_tp(&cfg, 32, cfg.default_capacity(), tokens, 8).expect("some TP fits");
             assert_eq!(tp, want_tp, "{preset:?}");
         }
     }

@@ -16,7 +16,7 @@
 //! * `T_comp = (3 + F_ckpt) · max_i V_comp · Σ_{j,k} S[k][j][i] / B_comp`.
 
 use crate::token_routing::TokenRouting;
-use laer_cluster::{LinkKind, Topology};
+use laer_cluster::{Interconnect, LinkKind};
 use laer_model::{CostModel, GpuSpec, ModelConfig, ModelPreset};
 use serde::{Deserialize, Serialize};
 
@@ -83,22 +83,29 @@ impl CostBreakdown {
 }
 
 /// Effective point-to-point bandwidth used by both the planner and the
-/// simulator: NVLink per device, NIC shared per node.
-pub(crate) fn effective_bw(topo: &Topology, a: laer_cluster::DeviceId, b: laer_cluster::DeviceId) -> f64 {
-    match topo.link_kind(a, b) {
+/// simulator: NVLink per device, NIC shared per node. Generic over
+/// [`Interconnect`] so degraded network views price faults directly.
+pub(crate) fn effective_bw<I: Interconnect + ?Sized>(
+    net: &I,
+    a: laer_cluster::DeviceId,
+    b: laer_cluster::DeviceId,
+) -> f64 {
+    match net.link_kind(a, b) {
         LinkKind::Local => f64::INFINITY,
-        LinkKind::IntraNode => topo.intra_bandwidth(),
-        LinkKind::InterNode => topo.inter_bandwidth() / topo.devices_per_node() as f64,
+        LinkKind::IntraNode => net.bandwidth(a, b),
+        LinkKind::InterNode => net.bandwidth(a, b) / net.devices_per_node() as f64,
         // The rack spine is shared by every device in the rack.
-        LinkKind::InterRack => {
-            topo.rack_bandwidth() / topo.devices_per_rack().unwrap_or(1) as f64
-        }
+        LinkKind::InterRack => net.bandwidth(a, b) / net.devices_per_rack().unwrap_or(1) as f64,
     }
 }
 
 /// Evaluates the objective `T = T_comm + T_comp` for a routing strategy.
-pub fn time_cost(topo: &Topology, routing: &TokenRouting, params: &CostParams) -> CostBreakdown {
-    let n = topo.num_devices();
+pub fn time_cost<I: Interconnect + ?Sized>(
+    net: &I,
+    routing: &TokenRouting,
+    params: &CostParams,
+) -> CostBreakdown {
+    let n = net.num_devices();
     // T_comm: per-device send/receive times from the pairwise terms of
     // Eq. 2, straggler max, over the four A2A passes of one layer.
     let mut send = vec![0.0f64; n];
@@ -107,7 +114,7 @@ pub fn time_cost(topo: &Topology, routing: &TokenRouting, params: &CostParams) -
         if src == dst {
             continue;
         }
-        let t = tokens as f64 * params.v_comm / effective_bw(topo, src, dst);
+        let t = tokens as f64 * params.v_comm / effective_bw(net, src, dst);
         send[src.index()] += t;
         recv[dst.index()] += t;
     }
@@ -130,7 +137,21 @@ pub fn time_cost(topo: &Topology, routing: &TokenRouting, params: &CostParams) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use laer_cluster::{DeviceId, ExpertId};
+    use laer_cluster::{DegradedView, DeviceId, ExpertId, Topology};
+
+    /// A degraded view raises `T_comm` for routings over the weak link.
+    #[test]
+    fn degraded_link_raises_comm_cost() {
+        let topo = Topology::paper_cluster();
+        let mut view = DegradedView::new(topo.clone());
+        view.degrade_link(DeviceId::new(0), DeviceId::new(9), 0.5);
+        let mut s = TokenRouting::new(32, 8);
+        s.push(DeviceId::new(0), ExpertId::new(0), DeviceId::new(9), 1000);
+        let nominal = time_cost(&topo, &s, &params());
+        let degraded = time_cost(&view, &s, &params());
+        assert!((degraded.comm / nominal.comm - 2.0).abs() < 1e-9);
+        assert_eq!(degraded.comp, nominal.comp);
+    }
 
     fn params() -> CostParams {
         CostParams::mixtral_8x7b()
@@ -192,7 +213,10 @@ mod tests {
 
     #[test]
     fn breakdown_total() {
-        let b = CostBreakdown { comm: 1.5, comp: 2.5 };
+        let b = CostBreakdown {
+            comm: 1.5,
+            comp: 2.5,
+        };
         assert_eq!(b.total(), 4.0);
     }
 }

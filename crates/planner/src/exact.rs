@@ -49,8 +49,8 @@ pub fn exhaustive_best_layout(
     loop {
         // Build and evaluate the layout for the current choice vector.
         if covers_all_experts(&choice, &per_device, e) {
-            let mut layout =
-                ExpertLayout::empty(n, e, capacity).expect("small shapes are valid");
+            let mut layout = ExpertLayout::empty(n, e, capacity)
+                .unwrap_or_else(|_| unreachable!("caller validated small shapes"));
             for (dev, &c) in choice.iter().enumerate() {
                 for &expert in &per_device[c] {
                     layout.add_replica(DeviceId::new(dev), ExpertId::new(expert));
@@ -70,7 +70,8 @@ pub fn exhaustive_best_layout(
         let mut i = 0;
         loop {
             if i == n {
-                return best.expect("at least one covering layout exists when N*C >= E");
+                return best
+                    .unwrap_or_else(|| unreachable!("a covering layout exists when N*C >= E"));
             }
             choice[i] += 1;
             if choice[i] < per_device.len() {

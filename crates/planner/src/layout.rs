@@ -46,7 +46,10 @@ impl fmt::Display for LayoutError {
                 device,
                 hosted,
                 capacity,
-            } => write!(f, "{device} hosts {hosted} replicas, capacity is {capacity}"),
+            } => write!(
+                f,
+                "{device} hosts {hosted} replicas, capacity is {capacity}"
+            ),
             LayoutError::OrphanExpert { expert } => {
                 write!(f, "{expert} has no replica on any device")
             }
@@ -107,9 +110,13 @@ impl ExpertLayout {
     ///
     /// Returns [`LayoutError`] if shapes are empty, `C` does not divide
     /// `E`, or there are insufficient slots.
-    pub fn classic_ep(devices: usize, experts: usize, capacity: usize) -> Result<Self, LayoutError> {
+    pub fn classic_ep(
+        devices: usize,
+        experts: usize,
+        capacity: usize,
+    ) -> Result<Self, LayoutError> {
         let mut layout = Self::empty(devices, experts, capacity)?;
-        if experts % capacity != 0 {
+        if !experts.is_multiple_of(capacity) {
             return Err(LayoutError::InsufficientSlots {
                 slots: devices * capacity,
                 experts,
@@ -243,6 +250,52 @@ impl ExpertLayout {
         Ok(())
     }
 
+    /// Validates the degraded-mode invariants for a cluster where only
+    /// `active` devices participate: every active device filled to
+    /// exactly `C`, every inactive device hosting nothing, and every
+    /// expert with ≥ 1 replica *on an active device* (otherwise its
+    /// tokens cannot route and the run must abort).
+    ///
+    /// [`Self::validate`] is the special case where `active` lists all
+    /// devices.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant; an expert whose only
+    /// replicas sit on inactive devices surfaces as
+    /// [`LayoutError::OrphanExpert`].
+    pub fn validate_on(&self, active: &[DeviceId]) -> Result<(), LayoutError> {
+        let mut is_active = vec![false; self.devices];
+        for d in active {
+            if d.index() < self.devices {
+                is_active[d.index()] = true;
+            }
+        }
+        for (i, &active_here) in is_active.iter().enumerate() {
+            let hosted = self.device_slots_used(DeviceId::new(i));
+            let required = if active_here { self.capacity } else { 0 };
+            if hosted != required {
+                return Err(LayoutError::CapacityViolated {
+                    device: DeviceId::new(i),
+                    hosted,
+                    capacity: required,
+                });
+            }
+        }
+        for j in 0..self.experts {
+            let live = (0..self.devices)
+                .filter(|&i| is_active[i])
+                .map(|i| self.replicas[i * self.experts + j] as usize)
+                .sum::<usize>();
+            if live == 0 {
+                return Err(LayoutError::OrphanExpert {
+                    expert: ExpertId::new(j),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Replica-count vector indexed by expert (`expert_rep` in Alg. 1/4).
     pub fn replica_vector(&self) -> Vec<usize> {
         (0..self.experts)
@@ -253,7 +306,11 @@ impl ExpertLayout {
 
 impl fmt::Display for ExpertLayout {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "A[{}x{}] (C={}):", self.devices, self.experts, self.capacity)?;
+        writeln!(
+            f,
+            "A[{}x{}] (C={}):",
+            self.devices, self.experts, self.capacity
+        )?;
         for i in 0..self.devices {
             let row: Vec<u32> = (0..self.experts)
                 .map(|j| self.replica_count(DeviceId::new(i), ExpertId::new(j)))
@@ -321,7 +378,10 @@ mod tests {
     fn insufficient_slots_rejected() {
         assert!(matches!(
             ExpertLayout::empty(2, 8, 2),
-            Err(LayoutError::InsufficientSlots { slots: 4, experts: 8 })
+            Err(LayoutError::InsufficientSlots {
+                slots: 4,
+                experts: 8
+            })
         ));
     }
 
@@ -338,6 +398,39 @@ mod tests {
             l.replicas_in_node(&topo, ExpertId::new(0), NodeId::new(1)),
             vec![(DeviceId::new(3), 1)]
         );
+    }
+
+    #[test]
+    fn validate_on_survivors() {
+        // 4 devices, device 3 failed: actives filled to C, failed empty.
+        let mut l = ExpertLayout::empty(4, 3, 1).unwrap();
+        l.add_replica(DeviceId::new(0), ExpertId::new(0));
+        l.add_replica(DeviceId::new(1), ExpertId::new(1));
+        l.add_replica(DeviceId::new(2), ExpertId::new(2));
+        let active: Vec<_> = (0..3).map(DeviceId::new).collect();
+        assert!(l.validate_on(&active).is_ok());
+        // Full validation still fails (device 3 empty).
+        assert!(l.validate().is_err());
+        // A replica on the failed device violates the inactive-empty rule.
+        let mut bad = l.clone();
+        bad.add_replica(DeviceId::new(3), ExpertId::new(0));
+        assert!(matches!(
+            bad.validate_on(&active),
+            Err(LayoutError::CapacityViolated {
+                hosted: 1,
+                capacity: 0,
+                ..
+            })
+        ));
+        // An expert with no replica on any active device is an orphan.
+        let mut orphan = ExpertLayout::empty(4, 2, 1).unwrap();
+        orphan.add_replica(DeviceId::new(0), ExpertId::new(0));
+        orphan.add_replica(DeviceId::new(1), ExpertId::new(0));
+        let survivors = vec![DeviceId::new(0), DeviceId::new(1)];
+        assert!(matches!(
+            orphan.validate_on(&survivors),
+            Err(LayoutError::OrphanExpert { expert }) if expert == ExpertId::new(1)
+        ));
     }
 
     #[test]

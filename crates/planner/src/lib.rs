@@ -41,6 +41,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 pub mod cost;
@@ -62,7 +63,7 @@ pub use layout::{ExpertLayout, LayoutError};
 pub use lite_routing::lite_route;
 pub use predictor::LoadPredictor;
 pub use refine::{refine_layout, RefinedPlan};
-pub use relocation::expert_relocation;
+pub use relocation::{expert_relocation, expert_relocation_on};
 pub use replica::{even_replicas, replica_allocation};
 pub use token_routing::{RoutingViolation, TokenRouting};
-pub use tuner::{Plan, Planner, PlannerConfig, ReplicaScheme};
+pub use tuner::{Plan, PlanError, Planner, PlannerConfig, ReplicaScheme};

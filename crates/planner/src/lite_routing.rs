@@ -23,11 +23,7 @@ use laer_routing::RoutingMatrix;
 /// Panics if the shapes of `demand`, `layout` and `topo` disagree, or if
 /// some expert in demand has zero replicas (an invalid layout — validate
 /// layouts first).
-pub fn lite_route(
-    topo: &Topology,
-    demand: &RoutingMatrix,
-    layout: &ExpertLayout,
-) -> TokenRouting {
+pub fn lite_route(topo: &Topology, demand: &RoutingMatrix, layout: &ExpertLayout) -> TokenRouting {
     assert_eq!(demand.num_devices(), topo.num_devices(), "device count");
     assert_eq!(layout.num_devices(), topo.num_devices(), "layout devices");
     assert_eq!(layout.num_experts(), demand.num_experts(), "expert count");
@@ -93,14 +89,12 @@ fn distribute_evenly(
     order.sort_by(|&a, &b| {
         let (ia, _, ra) = shares[a];
         let (ib, _, rb) = shares[b];
-        rb.partial_cmp(&ra)
-            .expect("finite remainders")
-            .then_with(|| {
-                // Prefer the sender itself, then lower device ids.
-                let la = targets[ia].0 == src;
-                let lb = targets[ib].0 == src;
-                lb.cmp(&la).then(targets[ia].0.cmp(&targets[ib].0))
-            })
+        rb.total_cmp(&ra).then_with(|| {
+            // Prefer the sender itself, then lower device ids.
+            let la = targets[ia].0 == src;
+            let lb = targets[ib].0 == src;
+            lb.cmp(&la).then(targets[ia].0.cmp(&targets[ib].0))
+        })
     });
     let mut left = tokens - assigned;
     let mut cursor = 0;

@@ -9,7 +9,13 @@
 
 use crate::tuner::{Plan, Planner};
 use laer_routing::RoutingMatrix;
-use parking_lot::Mutex;
+use std::sync::Mutex;
+
+/// Locks a mutex, recovering from poisoning (worker panics propagate via
+/// `std::thread::scope`, so a poisoned lock only occurs while unwinding).
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Plans one layer by evaluating the candidate set across `threads`
 /// worker threads. Deterministic: the same plan as the serial tuner
@@ -25,15 +31,15 @@ pub fn plan_parallel(planner: &Planner, demand: &RoutingMatrix, threads: usize) 
     // (candidate index, plan) — the lowest total wins, ties to low index.
     let best: Mutex<Option<(usize, Plan)>> = Mutex::new(None);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(schemes.len()).max(1) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if idx >= schemes.len() {
                     break;
                 }
                 let plan = planner.evaluate_scheme(&schemes[idx], &loads, demand);
-                let mut guard = best.lock();
+                let mut guard = lock_recover(&best);
                 let replace = match &*guard {
                     None => true,
                     Some((best_idx, best_plan)) => {
@@ -47,9 +53,15 @@ pub fn plan_parallel(planner: &Planner, demand: &RoutingMatrix, threads: usize) 
                 }
             });
         }
-    })
-    .expect("planner worker threads do not panic");
-    best.into_inner().expect("candidate set is non-empty").1
+    });
+    match best.into_inner() {
+        Ok(Some((_, plan))) => plan,
+        // `schemes` is non-empty (the tuner always emits at least the
+        // proportional scheme), so a missing result can only mean a
+        // worker panicked — which `std::thread::scope` already turned
+        // into a propagated panic before reaching this point.
+        _ => unreachable!("candidate set is non-empty"),
+    }
 }
 
 /// Plans several independent layers concurrently, one thread per layer
@@ -66,22 +78,26 @@ pub fn plan_layers_parallel(
     assert!(threads > 0, "at least one thread");
     let results: Vec<Mutex<Option<Plan>>> = demands.iter().map(|_| Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(demands.len()).max(1) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if idx >= demands.len() {
                     break;
                 }
                 let plan = planner.plan(&demands[idx]);
-                *results[idx].lock() = Some(plan);
+                *lock_recover(&results[idx]) = Some(plan);
             });
         }
-    })
-    .expect("planner worker threads do not panic");
+    });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("every layer planned"))
+        .map(|m| match m.into_inner() {
+            Ok(Some(plan)) => plan,
+            // Every index below `demands.len()` is claimed exactly once;
+            // worker panics propagate out of `std::thread::scope` first.
+            _ => unreachable!("every layer planned"),
+        })
         .collect()
 }
 
@@ -98,8 +114,7 @@ mod tests {
             CostParams::mixtral_8x7b(),
             Topology::paper_cluster(),
         );
-        let mut gen =
-            RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 8192).with_seed(5));
+        let mut gen = RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 8192).with_seed(5));
         let demands: Vec<_> = (0..4).map(|_| gen.next_iteration()).collect();
         (planner, demands)
     }

@@ -84,7 +84,7 @@ impl LoadPredictor {
     pub fn predict(&self) -> Option<RoutingMatrix> {
         let state = self.state.as_ref()?;
         let mut r = RoutingMatrix::zeros(self.devices, self.experts)
-            .expect("observed shapes are non-empty");
+            .unwrap_or_else(|_| unreachable!("observed shapes are non-empty"));
         for (idx, &v) in state.iter().enumerate() {
             r.set(
                 DeviceId::new(idx / self.experts),
@@ -140,8 +140,7 @@ mod tests {
     #[test]
     fn prediction_beats_uniform_on_synthetic_trace() {
         use laer_routing::{RoutingGenerator, RoutingGeneratorConfig};
-        let mut gen =
-            RoutingGenerator::new(RoutingGeneratorConfig::new(8, 8, 8192).with_seed(21));
+        let mut gen = RoutingGenerator::new(RoutingGeneratorConfig::new(8, 8, 8192).with_seed(21));
         let mut p = LoadPredictor::default_ema();
         let mut err_pred = 0.0f64;
         let mut err_uniform = 0.0f64;

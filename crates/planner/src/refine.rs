@@ -46,7 +46,9 @@ pub fn refine_layout(
     params: &CostParams,
     budget: usize,
 ) -> RefinedPlan {
-    layout.validate().expect("refine requires a valid layout");
+    if let Err(e) = layout.validate() {
+        panic!("refine requires a valid layout: {e}");
+    }
     let mut current = layout.clone();
     let mut routing = lite_route(topo, demand, &current);
     let mut cost = time_cost(topo, &routing, params);
@@ -182,16 +184,13 @@ fn swap(layout: &ExpertLayout, d1: usize, a: usize, d2: usize, b: usize) -> Expe
     })
 }
 
-fn rebuild(
-    layout: &ExpertLayout,
-    f: impl Fn(usize, usize, i64) -> i64,
-) -> ExpertLayout {
+fn rebuild(layout: &ExpertLayout, f: impl Fn(usize, usize, i64) -> i64) -> ExpertLayout {
     let mut out = ExpertLayout::empty(
         layout.num_devices(),
         layout.num_experts(),
         layout.capacity(),
     )
-    .expect("same shape");
+    .unwrap_or_else(|_| unreachable!("rebuilding with the source layout's own shape"));
     for d in 0..layout.num_devices() {
         for e in 0..layout.num_experts() {
             let count = layout.replica_count(DeviceId::new(d), ExpertId::new(e)) as i64;
@@ -213,9 +212,8 @@ mod tests {
 
     fn setup(seed: u64) -> (Topology, RoutingMatrix, CostParams) {
         let topo = Topology::new(2, 4).unwrap();
-        let demand =
-            RoutingGenerator::new(RoutingGeneratorConfig::new(8, 8, 8192).with_seed(seed))
-                .next_iteration();
+        let demand = RoutingGenerator::new(RoutingGeneratorConfig::new(8, 8, 8192).with_seed(seed))
+            .next_iteration();
         (topo, demand, CostParams::mixtral_8x7b())
     }
 

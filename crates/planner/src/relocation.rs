@@ -7,7 +7,7 @@
 //! least-loaded eligible device.
 
 use crate::layout::ExpertLayout;
-use laer_cluster::{ExpertId, Topology};
+use laer_cluster::{DeviceId, ExpertId, Topology};
 
 /// Alg. 1: builds an [`ExpertLayout`] from per-expert replica counts and
 /// loads.
@@ -23,14 +23,46 @@ pub fn expert_relocation(
     topo: &Topology,
     capacity: usize,
 ) -> ExpertLayout {
+    let all: Vec<DeviceId> = topo.devices().collect();
+    expert_relocation_on(expert_rep, expert_loads, topo, capacity, &all)
+}
+
+/// Alg. 1 restricted to a device subset — the degraded-mode variant run
+/// after device failures: replicas are placed only on `active` devices
+/// (the survivors), the layout keeps the full `N × E` shape so device
+/// ids stay stable, and the replica total must equal
+/// `active.len() · C`.
+///
+/// # Panics
+///
+/// Panics if `expert_rep` and `expert_loads` have different lengths, if
+/// the total replica count differs from `active.len() · C`, if any
+/// expert has zero replicas, or if `active` is empty or repeats a
+/// device.
+pub fn expert_relocation_on(
+    expert_rep: &[usize],
+    expert_loads: &[u64],
+    topo: &Topology,
+    capacity: usize,
+    active: &[DeviceId],
+) -> ExpertLayout {
     let e = expert_rep.len();
     let n = topo.num_devices();
     assert_eq!(e, expert_loads.len(), "replica/load length mismatch");
-    assert!(expert_rep.iter().all(|&r| r >= 1), "every expert needs a replica");
+    assert!(
+        expert_rep.iter().all(|&r| r >= 1),
+        "every expert needs a replica"
+    );
+    assert!(!active.is_empty(), "need at least one active device");
+    let mut is_active = vec![false; n];
+    for d in active {
+        assert!(!is_active[d.index()], "active device listed twice");
+        is_active[d.index()] = true;
+    }
     assert_eq!(
         expert_rep.iter().sum::<usize>(),
-        n * capacity,
-        "replica total must equal N*C"
+        active.len() * capacity,
+        "replica total must equal active device count * C"
     );
 
     // Lines 3-5: one list entry per replica, carrying the average load,
@@ -44,8 +76,8 @@ pub fn expert_relocation(
     }
     list.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 
-    let mut layout =
-        ExpertLayout::empty(n, e, capacity).expect("caller-provided shape is consistent");
+    let mut layout = ExpertLayout::empty(n, e, capacity)
+        .unwrap_or_else(|_| unreachable!("caller-provided shape is consistent"));
     let mut expert_count = vec![0usize; n]; // slots used per device
     let mut device_loads = vec![0.0f64; n];
 
@@ -70,7 +102,7 @@ pub fn expert_relocation(
             let best = group
                 .iter()
                 .flat_map(|&nid| topo.devices_on(laer_cluster::NodeId::new(nid)))
-                .filter(|d| expert_count[d.index()] < capacity)
+                .filter(|d| is_active[d.index()] && expert_count[d.index()] < capacity)
                 .min_by(|a, b| {
                     device_loads[a.index()]
                         .total_cmp(&device_loads[b.index()])
@@ -85,19 +117,19 @@ pub fn expert_relocation(
             }
             group_start += group.len();
         }
-        assert!(placed, "replica total equals slot total, placement must succeed");
+        assert!(
+            placed,
+            "replica total equals slot total, placement must succeed"
+        );
     }
-    debug_assert!(layout.validate().is_ok());
+    debug_assert!(layout.validate_on(active).is_ok());
     layout
 }
 
 /// Convenience: maximum projected device load under a layout built by
 /// [`expert_relocation`], assuming each expert's load splits evenly over
 /// its replicas.
-pub fn projected_max_device_load(
-    layout: &ExpertLayout,
-    expert_loads: &[u64],
-) -> f64 {
+pub fn projected_max_device_load(layout: &ExpertLayout, expert_loads: &[u64]) -> f64 {
     let rep = layout.replica_vector();
     let mut device_loads = vec![0.0f64; layout.num_devices()];
     for j in 0..layout.num_experts() {
@@ -190,9 +222,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must equal N*C")]
+    #[should_panic(expected = "must equal active device count")]
     fn wrong_total_panics() {
         let topo = Topology::single_node(2).unwrap();
         let _ = expert_relocation(&[1, 1, 1], &[1, 1, 1], &topo, 2);
+    }
+
+    /// Degraded mode: relocation onto survivors leaves failed devices
+    /// empty, fills survivors to capacity and keeps node spreading.
+    #[test]
+    fn relocation_on_survivors() {
+        use laer_cluster::DeviceId;
+        let topo = Topology::new(2, 4).unwrap();
+        // Device 5 failed: 7 survivors * C=2 = 14 replicas over 8 experts.
+        let survivors: Vec<DeviceId> = (0..8).filter(|&i| i != 5).map(DeviceId::new).collect();
+        let loads = [500u64, 300, 200, 100, 90, 80, 70, 60];
+        let rep = crate::replica::replica_allocation(&loads, 7, 2);
+        assert_eq!(rep.iter().sum::<usize>(), 14);
+        let layout = expert_relocation_on(&rep, &loads, &topo, 2, &survivors);
+        assert!(layout.validate_on(&survivors).is_ok());
+        assert_eq!(layout.device_slots_used(DeviceId::new(5)), 0);
+        assert_eq!(layout.total_replicas(), 14);
+        // Full-device variant is the all-devices special case.
+        let all: Vec<DeviceId> = topo.devices().collect();
+        let rep_all = crate::replica::replica_allocation(&loads, 8, 2);
+        let a = expert_relocation(&rep_all, &loads, &topo, 2);
+        let b = expert_relocation_on(&rep_all, &loads, &topo, 2, &all);
+        assert_eq!(a, b);
     }
 }

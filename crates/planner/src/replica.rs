@@ -55,7 +55,9 @@ pub fn replica_allocation(expert_loads: &[u64], n: usize, c: usize) -> Vec<usize
         .collect();
     let mut allocated = e;
     while allocated < n * c {
-        let top = heap.pop().expect("heap tracks every expert");
+        let Some(top) = heap.pop() else {
+            unreachable!("heap tracks every expert");
+        };
         let i = top.expert.0;
         rep[i] += 1;
         allocated += 1;

@@ -42,7 +42,10 @@ impl fmt::Display for RoutingViolation {
                 "routing for ({device}, {expert}) moves {routed} tokens, R requires {required}"
             ),
             RoutingViolation::MissingReplica { device, expert } => {
-                write!(f, "tokens sent to {device} which hosts no replica of {expert}")
+                write!(
+                    f,
+                    "tokens sent to {device} which hosts no replica of {expert}"
+                )
             }
         }
     }

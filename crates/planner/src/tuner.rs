@@ -9,14 +9,66 @@
 use crate::cost::{time_cost, CostBreakdown, CostParams};
 use crate::layout::ExpertLayout;
 use crate::lite_routing::lite_route;
-use crate::relocation::expert_relocation;
+use crate::relocation::{expert_relocation, expert_relocation_on};
 use crate::replica::{even_replicas, replica_allocation};
 use crate::token_routing::TokenRouting;
-use laer_cluster::Topology;
+use laer_cluster::{DegradedView, Topology};
 use laer_routing::RoutingMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Failure modes of the fault-aware planning entry points
+/// ([`Planner::plan_within`], [`Planner::plan_degraded`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The solve budget expired before any candidate was evaluated;
+    /// the caller should fall back to the previous iteration's layout
+    /// (the staleness path of Fig. 7).
+    DeadlineExceeded {
+        /// The budget that expired.
+        budget: Duration,
+    },
+    /// After device failures, the surviving slots cannot give every
+    /// expert a replica — the run must abort (constraint 4 of Tab. 1 is
+    /// unsatisfiable).
+    InsufficientCapacity {
+        /// Surviving device count.
+        survivors: usize,
+        /// Per-device capacity `C`.
+        capacity: usize,
+        /// Expert count `E`.
+        experts: usize,
+    },
+    /// Every device has failed.
+    NoSurvivors,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::DeadlineExceeded { budget } => {
+                write!(
+                    f,
+                    "planner deadline of {budget:?} expired before any candidate solved"
+                )
+            }
+            PlanError::InsufficientCapacity {
+                survivors,
+                capacity,
+                experts,
+            } => write!(
+                f,
+                "{survivors} survivors x capacity {capacity} cannot host {experts} experts"
+            ),
+            PlanError::NoSurvivors => write!(f, "no surviving devices"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// Which base replica schemes seed the candidate set — [`Self::Both`] is
 /// the full Alg. 2; the single-scheme variants are the `pq` / `even`
@@ -118,7 +170,12 @@ impl Planner {
 
     /// Builds the candidate replica schemes of Alg. 2 lines 1–7.
     pub fn candidate_schemes(&self, demand: &RoutingMatrix) -> Vec<Vec<usize>> {
-        let n = self.topo.num_devices();
+        self.candidate_schemes_for(self.topo.num_devices(), demand)
+    }
+
+    /// Candidate schemes sized for `n` participating devices (`n` is the
+    /// survivor count in degraded mode).
+    fn candidate_schemes_for(&self, n: usize, demand: &RoutingMatrix) -> Vec<Vec<usize>> {
         let c = self.cfg.capacity;
         let loads = demand.expert_loads();
         let mut set: Vec<Vec<usize>> = Vec::new();
@@ -160,7 +217,127 @@ impl Planner {
                 best = Some(candidate);
             }
         }
-        best.expect("candidate set is non-empty")
+        match best {
+            Some(plan) => plan,
+            // Degenerate `epsilon = 0` configuration: solve the base
+            // proportional scheme so `plan` stays total.
+            None => {
+                let rep = replica_allocation(&loads, self.topo.num_devices(), self.cfg.capacity);
+                self.evaluate_scheme(&rep, &loads, demand)
+            }
+        }
+    }
+
+    /// [`Self::plan`] under a wall-clock solve budget — the Alg. 2 loop
+    /// stops early once `budget` elapses, returning the best candidate
+    /// found so far.
+    ///
+    /// Used by the training runner to model the planner host running out
+    /// of its per-iteration slack: on [`PlanError::DeadlineExceeded`]
+    /// (budget spent before even one candidate solved) the caller falls
+    /// back to the previous iteration's layout via the staleness path.
+    ///
+    /// Note the *deadline check* is wall-clock, so which candidates get
+    /// evaluated may vary run to run; deterministic experiments keep the
+    /// deadline off and model planner loss as explicit
+    /// `PlannerOutage` fault events instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::DeadlineExceeded`] if the budget expired
+    /// before any candidate was evaluated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand`'s shapes disagree with the topology or the
+    /// capacity cannot host every expert.
+    pub fn plan_within(&self, demand: &RoutingMatrix, budget: Duration) -> Result<Plan, PlanError> {
+        let start = Instant::now();
+        let loads = demand.expert_loads();
+        let mut best: Option<Plan> = None;
+        for replicas in self.candidate_schemes(demand) {
+            if start.elapsed() >= budget {
+                break;
+            }
+            let candidate = self.evaluate_scheme(&replicas, &loads, demand);
+            let better = match &best {
+                None => true,
+                Some(b) => candidate.predicted.total() < b.predicted.total(),
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        best.ok_or(PlanError::DeadlineExceeded { budget })
+    }
+
+    /// Alg. 2 over the surviving devices of a degraded cluster: replica
+    /// schemes are sized to the survivor count, Alg. 1 places replicas
+    /// on survivors only, and candidates are priced against the degraded
+    /// network `view` so weakened links steer the layout.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlanError::NoSurvivors`] if every device failed;
+    /// * [`PlanError::InsufficientCapacity`] if the surviving slots
+    ///   cannot give every expert at least one replica — the typed
+    ///   "abort the run" condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand`'s shapes disagree with the planner topology or
+    /// `view` wraps a different topology.
+    pub fn plan_degraded(
+        &self,
+        demand: &RoutingMatrix,
+        view: &DegradedView,
+    ) -> Result<Plan, PlanError> {
+        assert_eq!(
+            view.base().num_devices(),
+            self.topo.num_devices(),
+            "degraded view topology mismatch"
+        );
+        let survivors = view.survivors();
+        if survivors.is_empty() {
+            return Err(PlanError::NoSurvivors);
+        }
+        let experts = demand.num_experts();
+        if survivors.len() * self.cfg.capacity < experts {
+            return Err(PlanError::InsufficientCapacity {
+                survivors: survivors.len(),
+                capacity: self.cfg.capacity,
+                experts,
+            });
+        }
+        let loads = demand.expert_loads();
+        let mut best: Option<Plan> = None;
+        let mut schemes = self.candidate_schemes_for(survivors.len(), demand);
+        if schemes.is_empty() {
+            schemes.push(replica_allocation(
+                &loads,
+                survivors.len(),
+                self.cfg.capacity,
+            ));
+        }
+        for replicas in schemes {
+            let layout =
+                expert_relocation_on(&replicas, &loads, &self.topo, self.cfg.capacity, &survivors);
+            let routing = lite_route(&self.topo, demand, &layout);
+            let predicted = time_cost(view, &routing, &self.cost);
+            let candidate = Plan {
+                layout,
+                routing,
+                predicted,
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => candidate.predicted.total() < b.predicted.total(),
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        best.ok_or(PlanError::NoSurvivors)
     }
 
     /// Evaluates one replica scheme: relocation → lite routing → cost.
@@ -303,6 +480,99 @@ mod tests {
         let schemes = p.candidate_schemes(&d);
         assert_eq!(schemes.len(), 1);
         assert_eq!(schemes[0], replica_allocation(&d.expert_loads(), 32, 2));
+    }
+
+    #[test]
+    fn plan_within_budget_and_zero_budget() {
+        let p = planner(ReplicaScheme::Both);
+        let d = demand(3);
+        // A generous budget returns the same plan as the unbounded solve.
+        let bounded = p
+            .plan_within(&d, std::time::Duration::from_secs(60))
+            .unwrap();
+        assert_eq!(bounded, p.plan(&d));
+        // A zero budget cannot evaluate anything.
+        assert!(matches!(
+            p.plan_within(&d, std::time::Duration::ZERO),
+            Err(PlanError::DeadlineExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn plan_degraded_places_on_survivors_only() {
+        use laer_cluster::{DegradedView, DeviceId};
+        let p = planner(ReplicaScheme::Both);
+        let d = demand(5);
+        let mut view = DegradedView::new(Topology::paper_cluster());
+        view.fail_device(DeviceId::new(7));
+        view.fail_device(DeviceId::new(20));
+        let plan = p.plan_degraded(&d, &view).unwrap();
+        let survivors = view.survivors();
+        assert!(plan.layout.validate_on(&survivors).is_ok());
+        assert_eq!(plan.layout.device_slots_used(DeviceId::new(7)), 0);
+        assert_eq!(plan.layout.device_slots_used(DeviceId::new(20)), 0);
+        assert_eq!(plan.layout.total_replicas(), 30 * 2);
+        // No token is routed to a failed device.
+        for &(_, _, dst, _) in plan.routing.entries() {
+            assert!(!view.is_failed(dst), "token routed to failed {dst}");
+        }
+        // Nominal view reproduces the standard plan's layout.
+        let nominal = p
+            .plan_degraded(&d, &DegradedView::new(Topology::paper_cluster()))
+            .unwrap();
+        assert_eq!(nominal.layout, p.plan(&d).layout);
+    }
+
+    #[test]
+    fn plan_degraded_prices_weak_links() {
+        use laer_cluster::{DegradedView, DeviceId};
+        let p = planner(ReplicaScheme::Both);
+        let d = demand(6);
+        let mut view = DegradedView::new(Topology::paper_cluster());
+        for i in 8..16 {
+            for j in 0..8 {
+                view.degrade_link(DeviceId::new(i), DeviceId::new(j), 0.2);
+            }
+        }
+        let nominal = p
+            .plan_degraded(&d, &DegradedView::new(Topology::paper_cluster()))
+            .unwrap();
+        let degraded = p.plan_degraded(&d, &view).unwrap();
+        // The degraded network can only raise the predicted cost.
+        assert!(degraded.predicted.total() >= nominal.predicted.total() - 1e-12);
+    }
+
+    #[test]
+    fn plan_degraded_typed_failures() {
+        use laer_cluster::{DegradedView, DeviceId};
+        let topo = Topology::single_node(4).unwrap();
+        let p = Planner::new(
+            PlannerConfig::new(2),
+            CostParams::mixtral_8x7b(),
+            topo.clone(),
+        );
+        let d = RoutingGenerator::new(RoutingGeneratorConfig::new(4, 8, 1024).with_seed(1))
+            .next_iteration();
+        // 4 devices x C=2 exactly hosts 8 experts; losing one device
+        // makes every-expert-alive unsatisfiable.
+        let mut view = DegradedView::new(topo.clone());
+        view.fail_device(DeviceId::new(0));
+        assert!(matches!(
+            p.plan_degraded(&d, &view),
+            Err(PlanError::InsufficientCapacity {
+                survivors: 3,
+                capacity: 2,
+                experts: 8
+            })
+        ));
+        let mut all = DegradedView::new(topo);
+        for i in 0..4 {
+            all.fail_device(DeviceId::new(i));
+        }
+        assert!(matches!(
+            p.plan_degraded(&d, &all),
+            Err(PlanError::NoSurvivors)
+        ));
     }
 
     #[test]

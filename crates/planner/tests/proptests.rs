@@ -3,10 +3,12 @@
 //! for *every* routing distribution, replica scheme and topology, not
 //! just the unit-test examples.
 
+// Test code may panic freely.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use laer_cluster::{DeviceId, ExpertId, Topology};
 use laer_planner::{
-    even_replicas, expert_relocation, lite_route, replica_allocation, CostParams, ExpertLayout,
-    LoadPredictor, Planner, PlannerConfig,
+    even_replicas, expert_relocation, lite_route, replica_allocation, CostParams, LoadPredictor,
+    Planner, PlannerConfig,
 };
 use laer_routing::RoutingMatrix;
 use proptest::prelude::*;
@@ -24,8 +26,7 @@ fn demand_strategy(
 
 /// Strategy: a small two-level topology.
 fn topo_strategy() -> impl Strategy<Value = Topology> {
-    (1usize..=4, 1usize..=4)
-        .prop_map(|(nodes, dpn)| Topology::new(nodes, dpn).expect("non-empty"))
+    (1usize..=4, 1usize..=4).prop_map(|(nodes, dpn)| Topology::new(nodes, dpn).expect("non-empty"))
 }
 
 proptest! {

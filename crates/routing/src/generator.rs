@@ -138,6 +138,52 @@ impl RoutingGeneratorConfig {
     }
 }
 
+/// Serializable snapshot of a [`RoutingGenerator`] mid-trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorCheckpoint {
+    /// Generator configuration.
+    pub cfg: RoutingGeneratorConfig,
+    /// Latent popularity logits.
+    pub logits: Vec<f64>,
+    /// Persistent per-(device, expert) bias, row-major.
+    pub device_bias: Vec<f64>,
+    /// Iterations generated so far.
+    pub iteration: u64,
+    /// Raw RNG state (see `rand::rngs::StdRng::state`).
+    pub rng_state: [u64; 4],
+}
+
+/// A checkpoint's contents disagree with its own configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// A state vector has the wrong length for the config's shape.
+    ShapeMismatch {
+        /// Which vector is malformed.
+        field: &'static str,
+        /// Length implied by the config.
+        expected: usize,
+        /// Length found in the checkpoint.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::ShapeMismatch {
+                field,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checkpoint field `{field}` has length {actual}, config implies {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
 /// Stateful generator producing one [`RoutingMatrix`] per call.
 #[derive(Debug, Clone)]
 pub struct RoutingGenerator {
@@ -198,6 +244,51 @@ impl RoutingGenerator {
         &self.cfg
     }
 
+    /// Snapshots the full generator state (config, popularity process,
+    /// RNG stream position) for checkpointing; [`RoutingGenerator::from_checkpoint`]
+    /// restores a generator that continues the exact same trace.
+    pub fn checkpoint(&self) -> GeneratorCheckpoint {
+        GeneratorCheckpoint {
+            cfg: self.cfg.clone(),
+            logits: self.logits.clone(),
+            device_bias: self.device_bias.clone(),
+            iteration: self.iteration,
+            rng_state: self.rng.state(),
+        }
+    }
+
+    /// Rebuilds a generator from a [`GeneratorCheckpoint`]; the restored
+    /// generator is bit-identical to the one that was snapshotted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] if the checkpoint's process vectors
+    /// disagree with its config's shape.
+    pub fn from_checkpoint(ckpt: GeneratorCheckpoint) -> Result<Self, CheckpointError> {
+        if ckpt.logits.len() != ckpt.cfg.experts {
+            return Err(CheckpointError::ShapeMismatch {
+                field: "logits",
+                expected: ckpt.cfg.experts,
+                actual: ckpt.logits.len(),
+            });
+        }
+        let flat = ckpt.cfg.devices * ckpt.cfg.experts;
+        if ckpt.device_bias.len() != flat {
+            return Err(CheckpointError::ShapeMismatch {
+                field: "device_bias",
+                expected: flat,
+                actual: ckpt.device_bias.len(),
+            });
+        }
+        Ok(Self {
+            cfg: ckpt.cfg,
+            logits: ckpt.logits,
+            device_bias: ckpt.device_bias,
+            iteration: ckpt.iteration,
+            rng: StdRng::from_state(ckpt.rng_state),
+        })
+    }
+
     /// Iterations generated so far.
     pub fn iteration(&self) -> u64 {
         self.iteration
@@ -247,7 +338,10 @@ impl RoutingGenerator {
             *b = d_rho * *b + d_kick * gauss(&mut self.rng);
         }
         // Hotspot churn: swap the hottest and a random cold expert.
-        if self.iteration > 0 && self.iteration % p.churn_period() == 0 && self.cfg.experts >= 2 {
+        if self.iteration > 0
+            && self.iteration.is_multiple_of(p.churn_period())
+            && self.cfg.experts >= 2
+        {
             let hot = argmax(&self.logits);
             let mut cold = self.rng.gen_range(0..self.cfg.experts);
             if cold == hot {
@@ -379,7 +473,10 @@ mod tests {
             skews.push(max / mean);
         }
         let avg_skew = skews.iter().sum::<f64>() / skews.len() as f64;
-        assert!(avg_skew > 1.7, "expected persistent skew, got {avg_skew:.2}");
+        assert!(
+            avg_skew > 1.7,
+            "expected persistent skew, got {avg_skew:.2}"
+        );
     }
 
     /// Fig. 2 calibration: aux weight 1e-2 yields near-balanced routing.
@@ -395,7 +492,10 @@ mod tests {
             skews.push(max / mean);
         }
         let avg_skew = skews.iter().sum::<f64>() / skews.len() as f64;
-        assert!(avg_skew < 1.35, "aux 1e-2 should balance, got {avg_skew:.2}");
+        assert!(
+            avg_skew < 1.35,
+            "aux 1e-2 should balance, got {avg_skew:.2}"
+        );
     }
 
     /// Aux 1e-4 sits strictly between no-aux and 1e-2.
@@ -427,9 +527,7 @@ mod tests {
         for _ in 0..400 {
             let r = g.next_iteration();
             let loads = r.expert_loads();
-            hot.insert(argmax(
-                &loads.iter().map(|&l| l as f64).collect::<Vec<_>>(),
-            ));
+            hot.insert(argmax(&loads.iter().map(|&l| l as f64).collect::<Vec<_>>()));
         }
         assert!(hot.len() >= 3, "hot expert never moved: {hot:?}");
     }
@@ -475,5 +573,38 @@ mod tests {
     fn dataset_ids() {
         assert_eq!(DatasetProfile::Wikitext.id(), "wikitext");
         assert_eq!(DatasetProfile::C4.id(), "c4");
+    }
+
+    /// Checkpoint/restore mid-trace continues the exact sequence, even
+    /// after a serde round trip of the checkpoint.
+    #[test]
+    fn checkpoint_resumes_bit_identically() {
+        let mut a = gen(0.0, 17);
+        for _ in 0..7 {
+            let _ = a.next_iteration();
+        }
+        let ckpt = a.checkpoint();
+        assert_eq!(ckpt.iteration, 7);
+        use serde::{Deserialize, Serialize};
+        let value = ckpt.serialize_value();
+        let restored = GeneratorCheckpoint::deserialize_value(&value).unwrap();
+        assert_eq!(restored, ckpt);
+        let mut b = RoutingGenerator::from_checkpoint(restored).unwrap();
+        for _ in 0..10 {
+            assert_eq!(a.next_iteration(), b.next_iteration());
+        }
+    }
+
+    #[test]
+    fn checkpoint_shape_mismatch_rejected() {
+        let mut ckpt = gen(0.0, 1).checkpoint();
+        ckpt.logits.pop();
+        assert!(matches!(
+            RoutingGenerator::from_checkpoint(ckpt),
+            Err(CheckpointError::ShapeMismatch {
+                field: "logits",
+                ..
+            })
+        ));
     }
 }

@@ -41,7 +41,9 @@ mod token_level;
 mod trace;
 
 pub use gating::{aux_loss_value, TokenGate, TopKAssignment};
-pub use generator::{DatasetProfile, RoutingGenerator, RoutingGeneratorConfig};
+pub use generator::{
+    CheckpointError, DatasetProfile, GeneratorCheckpoint, RoutingGenerator, RoutingGeneratorConfig,
+};
 pub use matrix::{RoutingError, RoutingMatrix};
 pub use stats::{imbalance_ratio, load_cv, max_min_ratio, LoadStats};
 pub use token_level::{TokenLevelConfig, TokenLevelGenerator};

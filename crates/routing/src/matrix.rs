@@ -65,11 +65,7 @@ impl RoutingMatrix {
     /// # Errors
     ///
     /// Returns [`RoutingError`] on empty shape or mismatched length.
-    pub fn from_rows(
-        devices: usize,
-        experts: usize,
-        data: Vec<u64>,
-    ) -> Result<Self, RoutingError> {
+    pub fn from_rows(devices: usize, experts: usize, data: Vec<u64>) -> Result<Self, RoutingError> {
         if devices == 0 || experts == 0 {
             return Err(RoutingError::EmptyShape);
         }
@@ -199,7 +195,10 @@ mod tests {
     fn from_rows_validates_length() {
         assert!(matches!(
             RoutingMatrix::from_rows(2, 2, vec![1, 2, 3]),
-            Err(RoutingError::DataLength { expected: 4, got: 3 })
+            Err(RoutingError::DataLength {
+                expected: 4,
+                got: 3
+            })
         ));
         assert!(matches!(
             RoutingMatrix::from_rows(0, 2, vec![]),

@@ -94,8 +94,8 @@ impl TokenLevelGenerator {
     /// Routes one iteration's tokens and returns the aggregated matrix
     /// (entries count token-expert assignments, `S·K` per device).
     pub fn next_iteration(&mut self) -> RoutingMatrix {
-        let mut r = RoutingMatrix::zeros(self.cfg.devices, self.cfg.experts)
-            .expect("validated in new()");
+        let mut r =
+            RoutingMatrix::zeros(self.cfg.devices, self.cfg.experts).expect("validated in new()");
         for dev in 0..self.cfg.devices {
             for _ in 0..self.cfg.tokens_per_device {
                 let logits: Vec<f32> = self
@@ -147,8 +147,7 @@ mod tests {
     /// popularity logit.
     #[test]
     fn skew_matches_popularity() {
-        let mut g =
-            TokenLevelGenerator::new(TokenLevelConfig::new(8, 8, 2, 2000).with_seed(5));
+        let mut g = TokenLevelGenerator::new(TokenLevelConfig::new(8, 8, 2, 2000).with_seed(5));
         let pop_hot = g
             .popularity()
             .iter()

@@ -147,8 +147,7 @@ impl RoutingTrace {
     pub fn validate(&self) -> Result<(), TraceError> {
         if let Some(first) = self.iterations.first() {
             for (idx, m) in self.iterations.iter().enumerate().skip(1) {
-                if m.num_devices() != first.num_devices()
-                    || m.num_experts() != first.num_experts()
+                if m.num_devices() != first.num_devices() || m.num_experts() != first.num_experts()
                 {
                     return Err(TraceError::InconsistentShape { iteration: idx });
                 }

@@ -13,7 +13,7 @@
 //! (a device hosting a hot expert) inflates everyone's All-to-All span —
 //! the tail-latency mechanism of Fig. 1(b).
 
-use laer_cluster::{DeviceId, LinkKind, Topology};
+use laer_cluster::{DeviceId, Interconnect, LinkKind};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -101,23 +101,22 @@ impl A2aMatrix {
 
     /// Sum of all off-diagonal traffic.
     pub fn total(&self) -> f64 {
-        (0..self.n)
-            .map(|i| self.send_total(DeviceId::new(i)))
-            .sum()
+        (0..self.n).map(|i| self.send_total(DeviceId::new(i))).sum()
     }
 }
 
 /// Effective point-to-point bandwidth between two devices: NVLink is
 /// dedicated per device, the inter-node NIC is shared by the node.
-fn effective_bw(topo: &Topology, a: DeviceId, b: DeviceId) -> f64 {
-    match topo.link_kind(a, b) {
+///
+/// Generic over [`Interconnect`] so a [`laer_cluster::DegradedView`]
+/// prices faulty links without a second code path.
+fn effective_bw<I: Interconnect + ?Sized>(net: &I, a: DeviceId, b: DeviceId) -> f64 {
+    match net.link_kind(a, b) {
         LinkKind::Local => f64::INFINITY,
-        LinkKind::IntraNode => topo.intra_bandwidth(),
-        LinkKind::InterNode => topo.inter_bandwidth() / topo.devices_per_node() as f64,
+        LinkKind::IntraNode => net.bandwidth(a, b),
+        LinkKind::InterNode => net.bandwidth(a, b) / net.devices_per_node() as f64,
         // The rack spine is shared by every device in the rack.
-        LinkKind::InterRack => {
-            topo.rack_bandwidth() / topo.devices_per_rack().unwrap_or(1) as f64
-        }
+        LinkKind::InterRack => net.bandwidth(a, b) / net.devices_per_rack().unwrap_or(1) as f64,
     }
 }
 
@@ -131,8 +130,11 @@ fn effective_bw(topo: &Topology, a: DeviceId, b: DeviceId) -> f64 {
 ///
 /// Returns [`CollectiveError::DimensionMismatch`] if the matrix and the
 /// topology disagree on `N`.
-pub fn all_to_all_time(topo: &Topology, traffic: &A2aMatrix) -> Result<Vec<f64>, CollectiveError> {
-    let n = topo.num_devices();
+pub fn all_to_all_time<I: Interconnect + ?Sized>(
+    net: &I,
+    traffic: &A2aMatrix,
+) -> Result<Vec<f64>, CollectiveError> {
+    let n = net.num_devices();
     if traffic.num_devices() != n {
         return Err(CollectiveError::DimensionMismatch {
             matrix: traffic.num_devices(),
@@ -151,11 +153,11 @@ pub fn all_to_all_time(topo: &Topology, traffic: &A2aMatrix) -> Result<Vec<f64>,
             let peer = DeviceId::new(k);
             let tx = traffic.get(dev, peer);
             if tx > 0.0 {
-                send += topo.latency(dev, peer) + tx / effective_bw(topo, dev, peer);
+                send += net.latency(dev, peer) + tx / effective_bw(net, dev, peer);
             }
             let rx = traffic.get(peer, dev);
             if rx > 0.0 {
-                recv += topo.latency(dev, peer) + rx / effective_bw(topo, dev, peer);
+                recv += net.latency(dev, peer) + rx / effective_bw(net, dev, peer);
             }
         }
         out.push(send.max(recv));
@@ -166,8 +168,8 @@ pub fn all_to_all_time(topo: &Topology, traffic: &A2aMatrix) -> Result<Vec<f64>,
 /// Per-device cost of a *balanced* All-to-All where every device sends
 /// `bytes_per_device` in total, split evenly across the other `N − 1`
 /// peers — the regular communication pattern of FSEP unshard (Sec. 3.1).
-pub fn all_to_all_balanced_time(topo: &Topology, bytes_per_device: f64) -> f64 {
-    let n = topo.num_devices();
+pub fn all_to_all_balanced_time<I: Interconnect + ?Sized>(net: &I, bytes_per_device: f64) -> f64 {
+    let n = net.num_devices();
     if n <= 1 || bytes_per_device <= 0.0 {
         return 0.0;
     }
@@ -180,30 +182,28 @@ pub fn all_to_all_balanced_time(topo: &Topology, bytes_per_device: f64) -> f64 {
             }
         }
     }
-    let times = all_to_all_time(topo, &traffic).expect("matrix built from topology");
-    times.into_iter().fold(0.0, f64::max)
+    // The matrix is sized from `net`, so the dimension check cannot fail.
+    match all_to_all_time(net, &traffic) {
+        Ok(times) => times.into_iter().fold(0.0, f64::max),
+        Err(_) => 0.0,
+    }
 }
 
 /// Slowest link bandwidth and latency within a device group (rings are
 /// bottlenecked by their slowest hop).
-fn group_bottleneck(topo: &Topology, group: &[DeviceId]) -> Result<(f64, f64), CollectiveError> {
-    if group.is_empty() {
+fn group_bottleneck<I: Interconnect + ?Sized>(
+    net: &I,
+    group: &[DeviceId],
+) -> Result<(f64, f64), CollectiveError> {
+    let Some(&a) = group.first() else {
         return Err(CollectiveError::EmptyGroup);
-    }
-    let spans_nodes = group
-        .iter()
-        .any(|&d| topo.node_of(d) != topo.node_of(group[0]));
-    if spans_nodes {
-        let a = group[0];
-        let b = *group
-            .iter()
-            .find(|&&d| topo.node_of(d) != topo.node_of(a))
-            .expect("spans_nodes implies a cross-node pair");
-        Ok((effective_bw(topo, a, b), topo.latency(a, b)))
+    };
+    if let Some(&b) = group.iter().find(|&&d| net.node_of(d) != net.node_of(a)) {
+        Ok((effective_bw(net, a, b), net.latency(a, b)))
     } else if group.len() >= 2 {
         Ok((
-            effective_bw(topo, group[0], group[1]),
-            topo.latency(group[0], group[1]),
+            effective_bw(net, group[0], group[1]),
+            net.latency(group[0], group[1]),
         ))
     } else {
         Ok((f64::INFINITY, 0.0))
@@ -216,8 +216,8 @@ fn group_bottleneck(topo: &Topology, group: &[DeviceId]) -> Result<(f64, f64), C
 /// # Errors
 ///
 /// Returns [`CollectiveError::EmptyGroup`] for an empty group.
-pub fn all_gather_time(
-    topo: &Topology,
+pub fn all_gather_time<I: Interconnect + ?Sized>(
+    net: &I,
     group: &[DeviceId],
     shard_bytes: f64,
 ) -> Result<f64, CollectiveError> {
@@ -229,7 +229,7 @@ pub fn all_gather_time(
             Ok(0.0)
         };
     }
-    let (bw, alpha) = group_bottleneck(topo, group)?;
+    let (bw, alpha) = group_bottleneck(net, group)?;
     Ok((p as f64 - 1.0) * (alpha + shard_bytes / bw))
 }
 
@@ -240,8 +240,8 @@ pub fn all_gather_time(
 /// # Errors
 ///
 /// Returns [`CollectiveError::EmptyGroup`] for an empty group.
-pub fn reduce_scatter_time(
-    topo: &Topology,
+pub fn reduce_scatter_time<I: Interconnect + ?Sized>(
+    net: &I,
     group: &[DeviceId],
     full_bytes: f64,
 ) -> Result<f64, CollectiveError> {
@@ -253,7 +253,7 @@ pub fn reduce_scatter_time(
             Ok(0.0)
         };
     }
-    all_gather_time(topo, group, full_bytes / p as f64)
+    all_gather_time(net, group, full_bytes / p as f64)
 }
 
 /// Ring all-reduce over `group` of `full_bytes`: reduce-scatter followed
@@ -262,8 +262,8 @@ pub fn reduce_scatter_time(
 /// # Errors
 ///
 /// Returns [`CollectiveError::EmptyGroup`] for an empty group.
-pub fn all_reduce_time(
-    topo: &Topology,
+pub fn all_reduce_time<I: Interconnect + ?Sized>(
+    net: &I,
     group: &[DeviceId],
     full_bytes: f64,
 ) -> Result<f64, CollectiveError> {
@@ -275,16 +275,45 @@ pub fn all_reduce_time(
             Ok(0.0)
         };
     }
-    Ok(reduce_scatter_time(topo, group, full_bytes)?
-        + all_gather_time(topo, group, full_bytes / p as f64)?)
+    Ok(reduce_scatter_time(net, group, full_bytes)?
+        + all_gather_time(net, group, full_bytes / p as f64)?)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use laer_cluster::{DegradedView, Topology};
 
     fn paper() -> Topology {
         Topology::paper_cluster()
+    }
+
+    /// Degraded views plug into the same cost functions and price the
+    /// weakened links higher, leaving untouched links alone.
+    #[test]
+    fn degraded_view_prices_weak_links() {
+        let topo = paper();
+        let mut view = DegradedView::new(topo.clone());
+        view.degrade_link(DeviceId::new(0), DeviceId::new(8), 0.25);
+        let mut m = A2aMatrix::new(32);
+        m.add(DeviceId::new(0), DeviceId::new(8), 1e9);
+        let nominal = all_to_all_time(&topo, &m).unwrap()[0];
+        let degraded = all_to_all_time(&view, &m).unwrap()[0];
+        assert!(
+            degraded > nominal * 3.0 && degraded < nominal * 4.5,
+            "nominal {nominal} degraded {degraded}"
+        );
+        let mut other = A2aMatrix::new(32);
+        other.add(DeviceId::new(1), DeviceId::new(9), 1e9);
+        assert_eq!(
+            all_to_all_time(&topo, &other).unwrap()[1],
+            all_to_all_time(&view, &other).unwrap()[1]
+        );
+        // Ring collectives accept the view too.
+        let group: Vec<_> = (0..16).map(DeviceId::new).collect();
+        let ag_nom = all_gather_time(&topo, &group, 1e8).unwrap();
+        let ag_deg = all_gather_time(&view, &group, 1e8).unwrap();
+        assert!(ag_deg >= ag_nom);
     }
 
     #[test]
@@ -315,7 +344,10 @@ mod tests {
             m.add(DeviceId::new(i), DeviceId::new(0), 1e9);
         }
         let t = all_to_all_time(&topo, &m).unwrap();
-        assert!(t[0] > t[1] * 2.0, "receiver should be the bottleneck: {t:?}");
+        assert!(
+            t[0] > t[1] * 2.0,
+            "receiver should be the bottleneck: {t:?}"
+        );
     }
 
     #[test]

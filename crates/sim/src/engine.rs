@@ -181,6 +181,13 @@ impl Engine {
         &self.timeline
     }
 
+    /// Mutable access to the timeline, for appending annotation spans
+    /// (e.g. [`crate::faults::record_fault_spans`]). Appending never
+    /// invalidates previously returned [`SpanHandle`]s.
+    pub fn timeline_mut(&mut self) -> &mut Timeline {
+        &mut self.timeline
+    }
+
     /// Consumes the engine, returning its timeline.
     pub fn into_timeline(self) -> Timeline {
         self.timeline

@@ -31,11 +31,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 mod chrome;
 mod collective;
 mod engine;
+pub mod faults;
 mod timeline;
 
 pub use chrome::write_chrome_trace;
@@ -44,4 +46,5 @@ pub use collective::{
     reduce_scatter_time, A2aMatrix, CollectiveError,
 };
 pub use engine::{Engine, SpanHandle, StreamKind};
+pub use faults::{record_fault_spans, ActiveFaults, FaultError, FaultEvent, FaultKind, FaultPlan};
 pub use timeline::{Breakdown, Span, SpanLabel, Timeline};

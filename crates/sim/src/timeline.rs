@@ -25,6 +25,10 @@ pub enum SpanLabel {
     TensorParallel,
     /// Memory rearrangement and other host-side work around the A2A.
     Other,
+    /// An injected fault window (straggler, link degradation, device
+    /// failure) — an annotation span, not accounted work, so it lives
+    /// outside every breakdown bucket.
+    Fault,
 }
 
 impl SpanLabel {
@@ -53,6 +57,7 @@ impl fmt::Display for SpanLabel {
             SpanLabel::GradSync => "grad-sync",
             SpanLabel::TensorParallel => "tensor-parallel",
             SpanLabel::Other => "other",
+            SpanLabel::Fault => "fault",
         };
         f.write_str(s)
     }
@@ -103,8 +108,15 @@ impl Timeline {
     }
 
     /// Latest end time across all spans (the makespan), or 0 if empty.
+    /// [`SpanLabel::Fault`] annotation spans are excluded — a fault
+    /// window outlasting the last real span must not inflate the
+    /// iteration time.
     pub fn makespan(&self) -> f64 {
-        self.spans.iter().map(|s| s.end).fold(0.0, f64::max)
+        self.spans
+            .iter()
+            .filter(|s| s.label != SpanLabel::Fault)
+            .map(|s| s.end)
+            .fold(0.0, f64::max)
     }
 
     /// Total busy seconds per label, summed over devices.
@@ -165,7 +177,7 @@ impl Timeline {
         let busy: f64 = self
             .spans
             .iter()
-            .filter(|s| s.device == device && s.stream == stream)
+            .filter(|s| s.device == device && s.stream == stream && s.label != SpanLabel::Fault)
             .map(Span::duration)
             .sum();
         busy / makespan
@@ -206,7 +218,10 @@ pub struct Breakdown {
 impl Breakdown {
     /// Total accounted seconds.
     pub fn total(&self) -> f64 {
-        self.a2a + self.expert_compute + self.others + self.exposed_prefetch
+        self.a2a
+            + self.expert_compute
+            + self.others
+            + self.exposed_prefetch
             + self.exposed_grad_sync
     }
 
@@ -344,10 +359,22 @@ mod tests {
         });
         t.push(span(SpanLabel::Attention, 2.0, 4.0));
         // Compute stream busy 4.0 of 4.0; prefetch 1.0 of 4.0.
-        assert_eq!(t.stream_utilization(DeviceId::new(0), StreamKind::Compute), 1.0);
-        assert_eq!(t.stream_utilization(DeviceId::new(0), StreamKind::Prefetch), 0.25);
-        assert_eq!(t.stream_utilization(DeviceId::new(1), StreamKind::Compute), 0.0);
-        assert_eq!(Timeline::new().stream_utilization(DeviceId::new(0), StreamKind::A2a), 0.0);
+        assert_eq!(
+            t.stream_utilization(DeviceId::new(0), StreamKind::Compute),
+            1.0
+        );
+        assert_eq!(
+            t.stream_utilization(DeviceId::new(0), StreamKind::Prefetch),
+            0.25
+        );
+        assert_eq!(
+            t.stream_utilization(DeviceId::new(1), StreamKind::Compute),
+            0.0
+        );
+        assert_eq!(
+            Timeline::new().stream_utilization(DeviceId::new(0), StreamKind::A2a),
+            0.0
+        );
     }
 
     #[test]
@@ -361,7 +388,13 @@ mod tests {
             start: 0.0,
             end: 4.0,
         });
-        assert_eq!(t.device_busy(DeviceId::new(0), SpanLabel::ExpertCompute), 1.0);
-        assert_eq!(t.device_busy(DeviceId::new(1), SpanLabel::ExpertCompute), 4.0);
+        assert_eq!(
+            t.device_busy(DeviceId::new(0), SpanLabel::ExpertCompute),
+            1.0
+        );
+        assert_eq!(
+            t.device_busy(DeviceId::new(1), SpanLabel::ExpertCompute),
+            4.0
+        );
     }
 }

@@ -1,6 +1,8 @@
 //! Property-based tests for the discrete-event engine and collective
 //! cost models.
 
+// Test code may panic freely.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use laer_cluster::{DeviceId, Topology};
 use laer_sim::{
     all_gather_time, all_to_all_balanced_time, all_to_all_time, reduce_scatter_time, A2aMatrix,

@@ -85,7 +85,8 @@ impl ConvergenceModel {
 
     /// Loss after `step` steps including the run's jitter term.
     pub fn loss(&self, step: u64) -> f64 {
-        let mut rng = StdRng::seed_from_u64(self.jitter_seed ^ step.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let mut rng =
+            StdRng::seed_from_u64(self.jitter_seed ^ step.wrapping_mul(0x2545_F491_4F6C_DD1D));
         let eps: f64 = rng.gen_range(-JITTER..=JITTER);
         self.mean_loss(step) * (1.0 + eps)
     }
@@ -157,10 +158,18 @@ mod tests {
     #[test]
     fn aux_weight_slows_step_convergence() {
         let target = 2.4;
-        let s0 = ConvergenceModel::new(0.0, 1.0, 1).steps_to_loss(target).unwrap();
-        let s4 = ConvergenceModel::new(1e-4, 1.0, 1).steps_to_loss(target).unwrap();
-        let s3 = ConvergenceModel::new(1e-3, 1.0, 1).steps_to_loss(target).unwrap();
-        let s2 = ConvergenceModel::new(1e-2, 1.0, 1).steps_to_loss(target).unwrap();
+        let s0 = ConvergenceModel::new(0.0, 1.0, 1)
+            .steps_to_loss(target)
+            .unwrap();
+        let s4 = ConvergenceModel::new(1e-4, 1.0, 1)
+            .steps_to_loss(target)
+            .unwrap();
+        let s3 = ConvergenceModel::new(1e-3, 1.0, 1)
+            .steps_to_loss(target)
+            .unwrap();
+        let s2 = ConvergenceModel::new(1e-2, 1.0, 1)
+            .steps_to_loss(target)
+            .unwrap();
         assert!(s0 <= s4 && s4 < s3 && s3 < s2, "{s0} {s4} {s3} {s2}");
     }
 
@@ -179,12 +188,13 @@ mod tests {
         let t_laer = laer.time_to_loss(target).unwrap();
         let t_low = mega_low.time_to_loss(target).unwrap();
         let t_high = mega_high.time_to_loss(target).unwrap();
-        assert!(t_high < t_low, "1e-2 {t_high} should beat 1e-4 {t_low} in time");
+        assert!(
+            t_high < t_low,
+            "1e-2 {t_high} should beat 1e-4 {t_low} in time"
+        );
         assert!(t_laer < t_high, "LAER {t_laer} should beat both");
         // ...while in *steps* the low-weight run wins.
-        assert!(
-            mega_low.steps_to_loss(target).unwrap() < mega_high.steps_to_loss(target).unwrap()
-        );
+        assert!(mega_low.steps_to_loss(target).unwrap() < mega_high.steps_to_loss(target).unwrap());
     }
 
     /// Fig. 9(b): same-weight runs agree to within a relative error of

@@ -10,6 +10,8 @@
 //!   balance → faster iterations).
 //! * [`scaling`] — the trace-driven MLP-speedup study of Appendix D /
 //!   Tab. 4.
+//! * [`faults`] — deterministic fault injection and the detect → re-plan
+//!   → resume recovery state machine behind the robustness experiments.
 //!
 //! # Example
 //!
@@ -26,12 +28,18 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 pub mod convergence;
+pub mod faults;
 pub mod runner;
 pub mod scaling;
 
 pub use convergence::{ConvergenceModel, LossPoint};
+pub use faults::{
+    window_throughput, FaultRunner, IterationReport, RunnerCheckpoint, TrainError,
+    CHECKPOINT_RELOAD, COLLECTIVE_TIMEOUT, DETECTION_DELAY, REPLAN_PENALTY,
+};
 pub use runner::{run_experiment, run_experiment_on_trace, ExperimentConfig, ExperimentResult};
 pub use scaling::{mlp_speedup, MlpSpeedupRow};

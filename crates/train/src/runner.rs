@@ -104,8 +104,13 @@ impl ExperimentConfig {
     }
 
     /// The cluster topology of this experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured cluster shape is empty.
     pub fn topology(&self) -> Topology {
-        Topology::new(self.nodes, self.devices_per_node).expect("non-empty cluster")
+        Topology::new(self.nodes, self.devices_per_node)
+            .unwrap_or_else(|e| panic!("invalid cluster shape: {e}"))
     }
 
     /// The system context of this experiment.
@@ -119,7 +124,7 @@ impl ExperimentConfig {
         )
     }
 
-    fn build_system(&self) -> Box<dyn MoeSystem> {
+    pub(crate) fn build_system(&self) -> Box<dyn MoeSystem> {
         let ctx = self.context();
         match self.system {
             SystemKind::Laer => Box::new(LaerSystem::new(ctx)),
@@ -132,7 +137,7 @@ impl ExperimentConfig {
         }
     }
 
-    fn layer_generators(&self) -> Vec<RoutingGenerator> {
+    pub(crate) fn layer_generators(&self) -> Vec<RoutingGenerator> {
         let n = self.nodes * self.devices_per_node;
         let cfg = self.preset.config();
         let assignments = self.tokens_per_device * cfg.top_k() as u64;
@@ -192,8 +197,9 @@ pub fn run_experiment_on_trace(
     cfg: &ExperimentConfig,
     trace: &laer_routing::RoutingTrace,
 ) -> ExperimentResult {
-    assert!(!trace.is_empty(), "trace must contain iterations");
-    let first = trace.get(0).expect("non-empty");
+    let Some(first) = trace.get(0) else {
+        panic!("trace must contain iterations");
+    };
     assert_eq!(
         first.num_devices(),
         cfg.nodes * cfg.devices_per_node,
@@ -207,7 +213,7 @@ pub fn run_experiment_on_trace(
     run_with_demands(cfg, |_, iter| {
         trace
             .get(iter as usize % trace.len())
-            .expect("wrapped index in range")
+            .unwrap_or_else(|| unreachable!("wrapped index in range"))
             .clone()
     })
 }
@@ -248,8 +254,7 @@ fn run_with_demands(
         }
     }
 
-    let avg_iteration_time =
-        iteration_times.iter().sum::<f64>() / iteration_times.len() as f64;
+    let avg_iteration_time = iteration_times.iter().sum::<f64>() / iteration_times.len() as f64;
     let global_tokens = n as u64 * cfg.tokens_per_device;
     ExperimentResult {
         system: system.name().to_string(),
@@ -304,8 +309,7 @@ mod tests {
     #[test]
     fn a2a_share_tracks_imbalance() {
         let skew = run_experiment(&quick(SystemKind::VanillaEp));
-        let balanced =
-            run_experiment(&quick(SystemKind::VanillaEp).with_aux_loss(1.0));
+        let balanced = run_experiment(&quick(SystemKind::VanillaEp).with_aux_loss(1.0));
         assert!(
             skew.breakdown.a2a_fraction() > balanced.breakdown.a2a_fraction() * 1.5,
             "skewed {:.3} vs balanced {:.3}",

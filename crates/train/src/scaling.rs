@@ -37,21 +37,17 @@ fn mlp_time(t: &LayerTimings) -> f64 {
 /// Panics if `gpus` is not a positive multiple of 8 or `iterations` is
 /// zero.
 pub fn mlp_speedup(gpus: usize, iterations: usize, seed: u64) -> MlpSpeedupRow {
-    assert!(gpus >= 8 && gpus % 8 == 0, "gpus must be a multiple of 8");
+    assert!(
+        gpus >= 8 && gpus.is_multiple_of(8),
+        "gpus must be a multiple of 8"
+    );
     assert!(iterations > 0, "at least one iteration");
     let preset = ModelPreset::Mixtral8x7bE8k2;
     let cfg = preset.config();
-    let topo = Topology::new(gpus / 8, 8).expect("non-empty cluster");
+    let topo = Topology::new(gpus / 8, 8)
+        .unwrap_or_else(|_| unreachable!("gpus asserted to be a positive multiple of 8"));
     let tokens = 16 * 1024u64;
-    let ctx = || {
-        SystemContext::new(
-            topo.clone(),
-            cfg.clone(),
-            GpuSpec::a100(),
-            tokens,
-            8192,
-        )
-    };
+    let ctx = || SystemContext::new(topo.clone(), cfg.clone(), GpuSpec::a100(), tokens, 8192);
     // Appendix D replays recorded traces offline, so the re-layout for
     // each iteration is planned from that iteration's own routing —
     // the oracle mode, isolating the algorithm from predictor staleness.
@@ -117,4 +113,3 @@ mod tests {
         let _ = mlp_speedup(12, 1, 0);
     }
 }
-

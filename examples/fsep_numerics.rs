@@ -16,8 +16,13 @@ use rand::SeedableRng;
 fn main() {
     let (n, e, h, hp) = (4usize, 4usize, 16usize, 32usize);
     let mut rng = StdRng::seed_from_u64(99);
-    let experts: Vec<ExpertParams> = (0..e).map(|_| ExpertParams::random(h, hp, &mut rng)).collect();
-    println!("{e} experts of {} params each, sharded over {n} devices\n", 3 * h * hp);
+    let experts: Vec<ExpertParams> = (0..e)
+        .map(|_| ExpertParams::random(h, hp, &mut rng))
+        .collect();
+    println!(
+        "{e} experts of {} params each, sharded over {n} devices\n",
+        3 * h * hp
+    );
 
     // A re-layout replicating hot expert 0 on two devices.
     let mut layout = ExpertLayout::empty(n, e, 2).expect("layout shape");
@@ -62,8 +67,8 @@ fn main() {
         let ld = dense.step(&batches);
         let lf = fsdp.step(&batches);
         let le = run_fsep_step(&mut fsep, &mut opt, &layout, &batches).expect("fsep step");
-        let params_equal = fsep.materialize_all() == dense.experts()
-            && fsdp.unshard_all() == dense.experts();
+        let params_equal =
+            fsep.materialize_all() == dense.experts() && fsdp.unshard_all() == dense.experts();
         println!("{step:>4}   {ld:<16.10} {lf:<16.10} {le:<16.10} {params_equal}");
         assert!(params_equal, "parameters diverged!");
         assert_eq!(ld, lf);

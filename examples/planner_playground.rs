@@ -32,7 +32,10 @@ fn main() {
 
     let planner = Planner::new(PlannerConfig::new(2).with_epsilon(6), params, topo.clone());
     let plan = planner.plan(&demand);
-    println!("\nLAER re-layout (hot experts replicated, cold co-located):\n{}", plan.layout);
+    println!(
+        "\nLAER re-layout (hot experts replicated, cold co-located):\n{}",
+        plan.layout
+    );
     print_loads("LAER plan", &plan.routing);
     println!(
         "predicted objective: comm {:.3} ms + comp {:.3} ms = {:.3} ms",
@@ -43,8 +46,7 @@ fn main() {
 
     let (best_layout, best_cost) = exhaustive_best_layout(&topo, &demand, 2, &params);
     println!(
-        "\nexhaustive optimum over all {} layouts: {:.3} ms (greedy gap {:.1}%)",
-        "C(4,2)^4 = 1296",
+        "\nexhaustive optimum over all C(4,2)^4 = 1296 layouts: {:.3} ms (greedy gap {:.1}%)",
         best_cost.total() * 1e3,
         100.0 * (plan.predicted.total() / best_cost.total() - 1.0)
     );

@@ -22,7 +22,12 @@ fn main() {
         "system", "tokens/s", "iter (ms)", "A2A share", "max/ideal load"
     );
     let mut results = Vec::new();
-    for kind in [SystemKind::Megatron, SystemKind::FsdpEp, SystemKind::Flex, SystemKind::Laer] {
+    for kind in [
+        SystemKind::Megatron,
+        SystemKind::FsdpEp,
+        SystemKind::Flex,
+        SystemKind::Laer,
+    ] {
         let r = run_experiment(&base(kind));
         println!(
             "{:<12} {:>14.0} {:>12.1} {:>11.1}% {:>14.2}",

@@ -38,8 +38,7 @@ fn parallel_planner_equals_serial_across_workloads() {
         CostParams::mixtral_8x7b(),
         Topology::paper_cluster(),
     );
-    let mut gen =
-        RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 16 * 1024).with_seed(5));
+    let mut gen = RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 16 * 1024).with_seed(5));
     for _ in 0..5 {
         let demand = gen.next_iteration();
         let serial = planner.plan(&demand);
@@ -62,11 +61,72 @@ fn convergence_model_is_deterministic() {
 
 #[test]
 fn routing_traces_replay_identically_after_json() {
-    let trace = RoutingTrace::record(
-        RoutingGeneratorConfig::new(8, 8, 4096).with_seed(3),
-        6,
-    );
+    let trace = RoutingTrace::record(RoutingGeneratorConfig::new(8, 8, 4096).with_seed(3), 6);
     let json = serde_json::to_string(&trace).expect("encode");
     let back: RoutingTrace = serde_json::from_str(&json).expect("decode");
     assert_eq!(trace, back);
+}
+
+mod fault_determinism {
+    use laer_moe::prelude::*;
+    use laer_moe::train::RunnerCheckpoint;
+    use proptest::prelude::*;
+    use serde::{Deserialize, Serialize};
+
+    /// A small, fast configuration: one 8-GPU node, one MoE layer.
+    fn small(seed: u64) -> ExperimentConfig {
+        ExperimentConfig::new(ModelPreset::Mixtral8x7bE8k2, SystemKind::Laer)
+            .with_cluster(1, 8)
+            .with_layers(1)
+            .with_seed(seed)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The tentpole guarantee: a fault-injected run is a pure
+        /// function of `(seed, FaultPlan)` — two runs over the same
+        /// pair produce bit-identical per-iteration reports.
+        #[test]
+        fn fault_runs_are_pure_functions_of_seed_and_plan(
+            seed in 0u64..1000,
+            plan_seed in 0u64..1000,
+        ) {
+            let plan = FaultPlan::random(plan_seed, 8, 10);
+            let run = || FaultRunner::new(small(seed), plan.clone()).run(10);
+            match (run(), run()) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                // An unsatisfiable survivor set must fail identically.
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => prop_assert!(false, "diverged: {:?} vs {:?}", a, b),
+            }
+        }
+
+        /// Checkpoint/restore mid-run resumes bit-identically to the
+        /// uninterrupted run, wherever the cut lands relative to the
+        /// injected faults.
+        #[test]
+        fn checkpoint_restore_matches_uninterrupted(
+            seed in 0u64..1000,
+            plan_seed in 0u64..1000,
+            cut in 1u64..10,
+        ) {
+            let plan = FaultPlan::random(plan_seed, 8, 10);
+            let full = match FaultRunner::new(small(seed), plan.clone()).run(10) {
+                Ok(r) => r,
+                Err(_) => return Ok(()), // unsatisfiable plan: nothing to resume
+            };
+            let mut first = FaultRunner::new(small(seed), plan.clone());
+            let head = first.run(cut).expect("prefix of a successful run");
+            // Round-trip the checkpoint through serde, as a real
+            // save/load would.
+            let value = first.checkpoint().serialize_value();
+            let ckpt = RunnerCheckpoint::deserialize_value(&value).expect("decode");
+            let mut second = FaultRunner::new(small(seed), plan);
+            second.restore(ckpt).expect("restore");
+            let tail = second.run(10 - cut).expect("suffix of a successful run");
+            let resumed: Vec<_> = head.into_iter().chain(tail).collect();
+            prop_assert_eq!(resumed, full);
+        }
+    }
 }

@@ -12,8 +12,14 @@ fn tab2_parameter_counts() {
         let (paper_p, paper_a) = preset.table2_billions();
         let p = cfg.total_params() as f64 / 1e9;
         let a = cfg.activated_params() as f64 / 1e9;
-        assert!((p - paper_p).abs() / paper_p < 0.0015, "{preset:?}: {p} vs {paper_p}");
-        assert!((a - paper_a).abs() / paper_a < 0.0035, "{preset:?}: {a} vs {paper_a}");
+        assert!(
+            (p - paper_p).abs() / paper_p < 0.0015,
+            "{preset:?}: {p} vs {paper_p}"
+        );
+        assert!(
+            (a - paper_a).abs() / paper_a < 0.0035,
+            "{preset:?}: {a} vs {paper_a}"
+        );
     }
 }
 
@@ -43,7 +49,7 @@ fn fig1b_a2a_shares() {
             .with_layers(6)
             .with_iterations(10, 4)
             .with_aux_loss(aux)
-            .with_seed(2024)
+            .with_seed(42)
     };
     let skew = run_experiment(&mk(0.0)).breakdown.a2a_fraction();
     let balanced = run_experiment(&mk(1.0)).breakdown.a2a_fraction();
@@ -106,7 +112,10 @@ fn fig9_convergence_relations() {
 /// across multi-node cluster sizes.
 #[test]
 fn tab4_mlp_speedup_stability() {
-    let rows: Vec<_> = [32usize, 64].iter().map(|&g| mlp_speedup(g, 8, 42)).collect();
+    let rows: Vec<_> = [32usize, 64]
+        .iter()
+        .map(|&g| mlp_speedup(g, 8, 42))
+        .collect();
     for r in &rows {
         assert!(r.speedup > 1.25, "{} GPUs: {:.3}", r.gpus, r.speedup);
     }
@@ -122,7 +131,9 @@ fn fsep_numerical_equivalence() {
     use laer_moe::fsep::{AdamConfig, ExpertParams, Matrix};
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
-    let experts: Vec<_> = (0..4).map(|_| ExpertParams::random(8, 12, &mut rng)).collect();
+    let experts: Vec<_> = (0..4)
+        .map(|_| ExpertParams::random(8, 12, &mut rng))
+        .collect();
     let layout = ExpertLayout::classic_ep(4, 4, 2).expect("layout");
     // Classic EP with C = 2 puts experts {0,1} on devices 0/2 and
     // {2,3} on devices 1/3; pick a hosted expert per device.
@@ -156,10 +167,8 @@ fn fig11_solver_under_budget() {
         CostParams::mixtral_8x7b(),
         topo,
     );
-    let demand = RoutingGenerator::new(
-        RoutingGeneratorConfig::new(256, 8, 16 * 1024).with_seed(1),
-    )
-    .next_iteration();
+    let demand = RoutingGenerator::new(RoutingGeneratorConfig::new(256, 8, 16 * 1024).with_seed(1))
+        .next_iteration();
     let start = Instant::now();
     for _ in 0..3 {
         std::hint::black_box(planner.plan(&demand));

@@ -24,7 +24,10 @@ fn batches_from_routing(
 ) -> Vec<TokenBatch> {
     let mut merged: Vec<(DeviceId, ExpertId, u64)> = Vec::new();
     for &(_, expert, dst, tokens) in routing.entries() {
-        match merged.iter_mut().find(|(d, e, _)| *d == dst && *e == expert) {
+        match merged
+            .iter_mut()
+            .find(|(d, e, _)| *d == dst && *e == expert)
+        {
             Some((_, _, t)) => *t += tokens,
             None => merged.push((dst, expert, tokens)),
         }
@@ -82,10 +85,8 @@ fn planned_layout_drives_numeric_executor_and_simulator() {
 
     // 4. The same plan drives the simulated timeline.
     let mut engine = Engine::new(&topo);
-    let cm = laer_moe::model::CostModel::new(
-        &ModelPreset::Mixtral8x7bE8k2.config(),
-        GpuSpec::a100(),
-    );
+    let cm =
+        laer_moe::model::CostModel::new(&ModelPreset::Mixtral8x7bE8k2.config(), GpuSpec::a100());
     let loads = plan.routing.device_compute_loads();
     let layer = LayerTimings {
         attention: 1e-3,

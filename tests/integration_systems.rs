@@ -62,9 +62,8 @@ fn balance_ordering_across_seeds() {
         let mut laer = LaerSystem::new(ctx(preset));
         let mut flex = FlexMoeSystem::new(ctx(preset), 1);
         let mut fsdp = FsdpEpSystem::new(ctx(preset));
-        let mut gen = RoutingGenerator::new(
-            RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(seed),
-        );
+        let mut gen =
+            RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(seed));
         let (mut s_laer, mut s_flex, mut s_fsdp) = (0.0, 0.0, 0.0);
         for iter in 0..12 {
             let demand = gen.next_iteration();
@@ -152,7 +151,16 @@ fn related_work_baselines_are_intermediate() {
         s_faster += faster.plan_layer(0, iter, &demand).max_token_ratio();
         s_fsdp += fsdp.plan_layer(0, iter, &demand).max_token_ratio();
     }
-    assert!(s_laer < s_smart, "LAER {s_laer:.1} vs SmartMoE {s_smart:.1}");
-    assert!(s_smart < s_fsdp, "SmartMoE {s_smart:.1} vs FSDP {s_fsdp:.1}");
-    assert!(s_faster < s_fsdp, "FasterMoE {s_faster:.1} vs FSDP {s_fsdp:.1}");
+    assert!(
+        s_laer < s_smart,
+        "LAER {s_laer:.1} vs SmartMoE {s_smart:.1}"
+    );
+    assert!(
+        s_smart < s_fsdp,
+        "SmartMoE {s_smart:.1} vs FSDP {s_fsdp:.1}"
+    );
+    assert!(
+        s_faster < s_fsdp,
+        "FasterMoE {s_faster:.1} vs FSDP {s_fsdp:.1}"
+    );
 }

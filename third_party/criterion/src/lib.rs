@@ -1,0 +1,210 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion 0.5 API the workspace's benches
+//! use — `criterion_group!` / `criterion_main!`, `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box` — with a simple median-of-samples
+//! wall-clock measurement instead of upstream's statistical analysis.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque identifier for one benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` identifier.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An identifier carrying just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `sample_size` samples.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        // One warmup call, then timed samples.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        routine: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id), bencher.median());
+        self
+    }
+
+    /// Benchmarks a no-input routine within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        routine: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher);
+        report(&format!("{}/{}", self.name, id), bencher.median());
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; this stub prints
+    /// eagerly, so it is a no-op).
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+    }
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self { sample_size: 10 }
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size.max(1),
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function(
+        &mut self,
+        name: impl fmt::Display,
+        routine: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size.max(1),
+        };
+        routine(&mut bencher);
+        report(&name.to_string(), bencher.median());
+        self
+    }
+}
+
+fn report(label: &str, median: Duration) {
+    println!("bench {label:<48} median {median:?}");
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::new();
+        let mut ran = 0;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("f", 1), &5u64, |b, x| {
+            b.iter(|| *x * 2);
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,536 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored value-tree `serde` stub without `syn`/`quote`: the item is
+//! scanned with a small hand-rolled token walker and the impls are
+//! emitted as source text.
+//!
+//! Supported shapes (everything this workspace derives):
+//!
+//! * structs with named fields (`#[serde(default)]` honoured);
+//! * tuple structs — single-field ones serialize transparently
+//!   (`#[serde(transparent)]` is accepted and implied), multi-field ones
+//!   as arrays;
+//! * enums with unit variants (serialized as the variant-name string)
+//!   and data-carrying variants (externally tagged, like upstream).
+//!
+//! Unsupported shapes (generics, unions) produce a `compile_error!` so
+//! failures are loud and local.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stub `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the stub `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => match mode {
+            Mode::Serialize => gen_serialize(&item),
+            Mode::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde_derive stub emitted invalid code: {e}\");")
+            .parse()
+            .expect("literal compile_error parses")
+    })
+}
+
+// ---------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+enum Payload {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Self {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Skips `#[...]` attribute groups, returning whether any of them was
+    /// `#[serde(default)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut has_default = false;
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next(); // '#'
+            if let Some(TokenTree::Group(g)) = self.next() {
+                let text = g.stream().to_string();
+                if text.starts_with("serde") && text.contains("default") {
+                    has_default = true;
+                }
+            }
+        }
+        has_default
+    }
+
+    /// Skips `pub` / `pub(...)` visibility.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Skips a type expression up to a top-level `,` (consumed) or the
+    /// end of the stream, tracking `<`/`>` nesting.
+    fn skip_type(&mut self) {
+        let mut depth = 0i32;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kw = c.expect_ident()?;
+    let name = match kw.as_str() {
+        "struct" | "enum" => c.expect_ident()?,
+        other => return Err(format!("serde stub cannot derive for `{other}` items")),
+    };
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stub cannot derive for generic type `{name}`"
+            ));
+        }
+    }
+    if kw == "enum" {
+        let body = match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            _ => return Err(format!("expected enum body for `{name}`")),
+        };
+        let variants = parse_variants(body)?;
+        return Ok(Item::Enum { name, variants });
+    }
+    match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::NamedStruct {
+            fields: parse_named_fields(g.stream())?,
+            name,
+        }),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Item::TupleStruct {
+                arity: count_tuple_fields(g.stream()),
+                name,
+            })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+        other => Err(format!("unexpected struct body for `{name}`: {other:?}")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        let has_default = c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        let name = c.expect_ident()?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        c.skip_type();
+        fields.push(Field { name, has_default });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    let mut count = 0;
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        c.skip_type();
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident()?;
+        let payload = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.next();
+                Payload::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                c.next();
+                Payload::Tuple(arity)
+            }
+            _ => Payload::Unit,
+        };
+        // Skip to the variant separator (covers `= discriminant`).
+        while let Some(tok) = c.peek() {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                c.next();
+                break;
+            }
+            c.next();
+        }
+        variants.push(Variant { name, payload });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::serialize_value(&self.{0})),",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::serialize_value(&self.0)".to_string()
+            } else {
+                let items: String = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::serialize_value(&self.{i}),"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{items}])")
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.payload {
+                        Payload::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Payload::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("f{i}")).collect();
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::serialize_value(f0)".to_string()
+                            } else {
+                                let items: String = binds
+                                    .iter()
+                                    .map(|b| {
+                                        format!("::serde::Serialize::serialize_value({b}),")
+                                    })
+                                    .collect();
+                                format!("::serde::Value::Array(::std::vec![{items}])")
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), {inner})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        Payload::Struct(fields) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let items: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::serialize_value({0})),",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(::std::vec![{items}]))]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn field_expr(owner: &str, source: &str, f: &Field) -> String {
+    let missing = if f.has_default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::DeError::new(\"missing field `{}` in {}\"))",
+            f.name, owner
+        )
+    };
+    format!(
+        "{0}: match {source}.field(\"{0}\") {{\n\
+             ::std::option::Option::Some(x) => ::serde::Deserialize::deserialize_value(x)?,\n\
+             ::std::option::Option::None => {missing},\n\
+         }},",
+        f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields.iter().map(|f| field_expr(name, "v", f)).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if v.as_object().is_none() {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::mismatch(\"{name} object\", v));\n\
+                         }}\n\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::std::result::Result::Ok(Self(::serde::Deserialize::deserialize_value(v)?))"
+                    .to_string()
+            } else {
+                let items: String = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::deserialize_value(&items[{i}])?,"))
+                    .collect();
+                format!(
+                    "let items = v.as_array().ok_or_else(|| ::serde::DeError::mismatch(\"{name} array\", v))?;\n\
+                     if items.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError::new(\"wrong arity for {name}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok(Self({items}))"
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok(Self)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.payload, Payload::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.payload {
+                        Payload::Unit => None,
+                        Payload::Tuple(arity) => {
+                            let expr = if *arity == 1 {
+                                format!(
+                                    "::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize_value(payload)?))"
+                                )
+                            } else {
+                                let items: String = (0..*arity)
+                                    .map(|i| {
+                                        format!(
+                                            "::serde::Deserialize::deserialize_value(&items[{i}])?,"
+                                        )
+                                    })
+                                    .collect();
+                                format!(
+                                    "{{ let items = payload.as_array().ok_or_else(|| ::serde::DeError::mismatch(\"{vn} payload array\", payload))?;\n\
+                                        if items.len() != {arity} {{ return ::std::result::Result::Err(::serde::DeError::new(\"wrong arity for {name}::{vn}\")); }}\n\
+                                        ::std::result::Result::Ok({name}::{vn}({items})) }}"
+                                )
+                            };
+                            Some(format!("\"{vn}\" => {expr},"))
+                        }
+                        Payload::Struct(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| field_expr(&format!("{name}::{vn}"), "payload", f))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                             return match s {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                                     ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }};\n\
+                         }}\n\
+                         if let ::std::option::Option::Some(entries) = v.as_object() {{\n\
+                             if entries.len() == 1 {{\n\
+                                 let (tag, payload) = (&entries[0].0, &entries[0].1);\n\
+                                 let _ = payload;\n\
+                                 return match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                                         ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                                 }};\n\
+                             }}\n\
+                         }}\n\
+                         ::std::result::Result::Err(::serde::DeError::mismatch(\"{name}\", v))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
