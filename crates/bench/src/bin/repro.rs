@@ -1,11 +1,15 @@
 //! `repro` — regenerate any table or figure of the paper.
 //!
 //! ```text
-//! repro <target> [--quick|--full]
+//! repro <target> [--quick|--full] [--iters N]
 //!
 //! targets: fig1a fig1b fig2 tab2 eq1 fig8 fig9 fig10a fig10b fig11
-//!          fig12 tab3 tab4 ext-faults all
+//!          fig12 tab3 tab4 ext-faults ext-serve all
 //! ```
+//!
+//! `--iters N` only affects `ext-serve`, where it overrides the number
+//! of requests served per operating point (smoke runs in CI use a tiny
+//! value).
 
 use laer_bench::{eq1, fig1, fig10, fig11, fig12, fig2, fig8, fig9, tab2, tab3, tab4, Effort};
 
@@ -17,18 +21,23 @@ fn main() {
     } else {
         Effort::Quick
     };
-    let ran = dispatch(target, effort);
+    let iters = args
+        .iter()
+        .position(|a| a == "--iters")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
+    let ran = dispatch(target, effort, iters);
     if !ran {
         eprintln!(
-            "usage: repro <target> [--quick|--full]\n\
+            "usage: repro <target> [--quick|--full] [--iters N]\n\
              targets: fig1a fig1b fig2 tab2 eq1 fig8 fig9 fig10a fig10b fig11 fig12 tab3 tab4 ext-refine ext-staleness ext-rack ext-overlap
-             ext-faults all"
+             ext-faults ext-serve all"
         );
         std::process::exit(if target == "help" { 0 } else { 2 });
     }
 }
 
-fn dispatch(target: &str, effort: Effort) -> bool {
+fn dispatch(target: &str, effort: Effort, iters: Option<usize>) -> bool {
     match target {
         "fig1a" => {
             let a = fig1::fig1a();
@@ -106,6 +115,9 @@ fn dispatch(target: &str, effort: Effort) -> bool {
         "ext-faults" => {
             laer_bench::ext_faults::run();
         }
+        "ext-serve" => {
+            laer_bench::ext_serve::run(effort, iters);
+        }
         "all" => {
             for t in [
                 "tab2",
@@ -124,9 +136,10 @@ fn dispatch(target: &str, effort: Effort) -> bool {
                 "ext-rack",
                 "ext-overlap",
                 "ext-faults",
+                "ext-serve",
             ] {
                 println!("\n================ {t} ================\n");
-                dispatch(t, effort);
+                dispatch(t, effort, iters);
             }
         }
         _ => return false,

@@ -22,6 +22,7 @@ pub mod ext_faults;
 pub mod ext_overlap;
 pub mod ext_rack;
 pub mod ext_refine;
+pub mod ext_serve;
 pub mod ext_staleness;
 pub mod fig1;
 pub mod fig10;

@@ -7,6 +7,8 @@
 //! laer trace    [--devices N] [--experts E] [--iters I] [--seed S] --out FILE
 //! laer replay   --model ID --system KIND --in FILE
 //! laer faults   [--model ID] [--fault CLASS] [--iters I] [--seed S]
+//! laer serve    [--system KIND|all] [--nodes N] [--devices D] [--rate R]
+//!               [--requests N] [--burst B] [--flip P] [--seed S] [--out FILE]
 //! ```
 
 use laer_moe::planner::CostParams;
@@ -34,6 +36,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&flags),
         "replay" => cmd_replay(&flags),
         "faults" => cmd_faults(&flags),
+        "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => return usage(0),
         other => Err(format!("unknown command `{other}`")),
     };
@@ -56,7 +59,10 @@ fn usage(code: u8) -> ExitCode {
          \x20 trace     record a synthetic routing trace to JSON\n\
          \x20 replay    run an experiment over a recorded trace\n\
          \x20 faults    compare systems under injected faults\n\
-         \x20           (--fault straggler|link|failure|outage|random)\n\n\
+         \x20           (--fault straggler|link|failure|outage|random)\n\
+         \x20 serve     online inference serving with live re-layout\n\
+         \x20           (--system static-ep|replicate-hot|laer|all,\n\
+         \x20            --rate RPS --flip STEPS --out trace.json)\n\n\
          common flags: --model <id> --system <LAER|FLEX|FSDP|megatron|vanillaEP>\n\
          \x20             --devices N --experts E --capacity C --layers L\n\
          \x20             --iters I --seed S --aux W --in FILE --out FILE\n\n\
@@ -313,6 +319,91 @@ fn cmd_faults(flags: &Flags) -> Result<(), String> {
             clean,
             faulted / clean * 100.0
         );
+    }
+    Ok(())
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    use laer_moe::serve::{run_serving, ServeConfig, ServingSystemKind, WorkloadConfig};
+    use laer_moe::sim::write_chrome_trace;
+
+    let preset = model(flags)?;
+    let nodes: usize = get(flags, "nodes", 1)?;
+    let devices: usize = get(flags, "devices", 4)?;
+    let rate: f64 = get(flags, "rate", 1200.0)?;
+    let requests: usize = get(flags, "requests", 300)?;
+    let burst: f64 = get(flags, "burst", 1.0)?;
+    let flip: u64 = get(flags, "flip", 30)?;
+    let seed: u64 = get(flags, "seed", 17)?;
+    if rate <= 0.0 {
+        return Err("--rate must be positive".into());
+    }
+    if burst < 1.0 {
+        return Err("--burst must be at least 1".into());
+    }
+    let systems: Vec<ServingSystemKind> = match flags.get("system").map(String::as_str) {
+        None | Some("all") => ServingSystemKind::ALL.to_vec(),
+        Some(s) => vec![s.parse()?],
+    };
+
+    println!(
+        "serving {requests} requests at {rate:.0} rps (burstiness {burst}) on {nodes}x{devices}, \
+         hot-expert flips {}:\n",
+        if flip == 0 {
+            "off".to_string()
+        } else {
+            format!("every {flip} steps")
+        }
+    );
+    println!(
+        "{:<13} {:>5} {:>5} {:>9} {:>9} {:>9} {:>9} {:>8} {:>6} {:>9}",
+        "system",
+        "done",
+        "rej",
+        "p50 ttft",
+        "p99 ttft",
+        "p99 tpot",
+        "goodput",
+        "tok/s",
+        "relay",
+        "reloc s"
+    );
+    for kind in systems {
+        let mut cfg = ServeConfig::new(kind);
+        cfg.preset = preset;
+        cfg.nodes = nodes;
+        cfg.devices_per_node = devices;
+        cfg.queue_capacity = 512;
+        cfg.step_overhead = 2.0e-4;
+        cfg.workload = WorkloadConfig::default()
+            .with_seed(seed)
+            .with_requests(requests)
+            .with_arrival_rate(rate)
+            .with_burstiness(burst)
+            .with_flip_period((flip > 0).then_some(flip));
+        cfg.workload.mean_decode_tokens = 16.0;
+        let out = run_serving(&cfg);
+        let r = &out.report;
+        println!(
+            "{:<13} {:>5} {:>5} {:>7.1}ms {:>7.1}ms {:>7.2}ms {:>9.1} {:>8.0} {:>6} {:>9.4}",
+            r.system,
+            r.completed,
+            r.rejected,
+            r.ttft.p50 * 1e3,
+            r.ttft.p99 * 1e3,
+            r.tpot.p99 * 1e3,
+            r.goodput_rps,
+            r.throughput_tps,
+            r.relayouts,
+            r.relocation_time
+        );
+        if kind == ServingSystemKind::Laer {
+            if let Some(path) = flags.get("out") {
+                let f = std::fs::File::create(path).map_err(|e| format!("--out {path}: {e}"))?;
+                write_chrome_trace(&out.timeline, f).map_err(|e| e.to_string())?;
+                println!("  [laer timeline written to {path}]");
+            }
+        }
     }
     Ok(())
 }

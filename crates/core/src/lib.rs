@@ -53,6 +53,7 @@
 //! | [`fsep`] | numeric shard/unshard/reshard engine, Fig. 5 scheduling |
 //! | [`systems`] | LAER + all baselines behind one trait |
 //! | [`train`] | experiment runner, convergence model, Tab. 4 scaling |
+//! | [`serve`] | online inference serving: request workloads, continuous batching, live re-layout |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,6 +64,7 @@ pub use laer_fsep as fsep;
 pub use laer_model as model;
 pub use laer_planner as planner;
 pub use laer_routing as routing;
+pub use laer_serve as serve;
 pub use laer_sim as sim;
 pub use laer_train as train;
 
@@ -80,6 +82,9 @@ pub mod prelude {
     };
     pub use laer_routing::{
         DatasetProfile, RoutingGenerator, RoutingGeneratorConfig, RoutingMatrix, RoutingTrace,
+    };
+    pub use laer_serve::{
+        run_serving, ServeConfig, ServeReport, ServingSystemKind, SlaConfig, WorkloadConfig,
     };
     pub use laer_sim::{
         Breakdown, Engine, FaultEvent, FaultKind, FaultPlan, SpanLabel, StreamKind, Timeline,

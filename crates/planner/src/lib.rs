@@ -57,13 +57,13 @@ pub mod tuner;
 
 mod token_routing;
 
-pub use cost::{CostBreakdown, CostParams};
+pub use cost::{time_cost, CostBreakdown, CostParams};
 pub use exact::exhaustive_best_layout;
 pub use layout::{ExpertLayout, LayoutError};
 pub use lite_routing::lite_route;
 pub use predictor::LoadPredictor;
 pub use refine::{refine_layout, RefinedPlan};
-pub use relocation::{expert_relocation, expert_relocation_on};
+pub use relocation::{expert_relocation, expert_relocation_on, relocation_moves, RelocationMove};
 pub use replica::{even_replicas, replica_allocation};
 pub use token_routing::{RoutingViolation, TokenRouting};
 pub use tuner::{Plan, PlanError, Planner, PlannerConfig, ReplicaScheme};

@@ -126,6 +126,65 @@ pub fn expert_relocation_on(
     layout
 }
 
+/// One expert-weight transfer implied by switching layouts: `dst` must
+/// fetch `expert`'s parameters from `src` before it can serve them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelocationMove {
+    /// Expert whose weights move.
+    pub expert: ExpertId,
+    /// Device already holding the weights under the old layout.
+    pub src: DeviceId,
+    /// Device gaining the expert under the new layout.
+    pub dst: DeviceId,
+}
+
+/// The parameter movements needed to turn layout `from` into layout
+/// `to`: one entry per device that *gains* an expert it did not host
+/// before (replica-count increases on a device that already hosts the
+/// expert are free — the weights are already resident). Sources are
+/// chosen topology-aware and deterministically: a same-node holder if
+/// one exists, otherwise the lowest-indexed holder; holders are
+/// evaluated under `from`, so every transfer reads weights that are
+/// actually resident when the re-layout starts. Experts with no holder
+/// in `from` are skipped (a valid layout places every expert at least
+/// once, so this only arises on malformed inputs).
+///
+/// # Panics
+///
+/// Panics if the two layouts disagree in device or expert count.
+pub fn relocation_moves(
+    topo: &Topology,
+    from: &ExpertLayout,
+    to: &ExpertLayout,
+) -> Vec<RelocationMove> {
+    assert_eq!(from.num_devices(), to.num_devices(), "device count");
+    assert_eq!(from.num_experts(), to.num_experts(), "expert count");
+    let mut moves = Vec::new();
+    for j in 0..to.num_experts() {
+        let expert = ExpertId::new(j);
+        let holders: Vec<DeviceId> = from
+            .replica_devices(expert)
+            .into_iter()
+            .map(|(d, _)| d)
+            .collect();
+        if holders.is_empty() {
+            continue;
+        }
+        for (dst, _) in to.replica_devices(expert) {
+            if from.replica_count(dst, expert) > 0 {
+                continue;
+            }
+            let src = holders
+                .iter()
+                .copied()
+                .find(|&h| topo.same_node(h, dst))
+                .unwrap_or(holders[0]);
+            moves.push(RelocationMove { expert, src, dst });
+        }
+    }
+    moves
+}
+
 /// Convenience: maximum projected device load under a layout built by
 /// [`expert_relocation`], assuming each expert's load splits evenly over
 /// its replicas.
@@ -219,6 +278,62 @@ mod tests {
         let a = expert_relocation(&rep, &loads, &topo, 2);
         let b = expert_relocation(&rep, &loads, &topo, 2);
         assert_eq!(a, b);
+    }
+
+    /// Relocation moves: identical layouts need no traffic; gaining a
+    /// previously-unhosted expert needs exactly one fetch per gaining
+    /// device, sourced same-node when possible.
+    #[test]
+    fn relocation_moves_diff_layouts() {
+        let topo = Topology::new(2, 2).unwrap();
+        let from = ExpertLayout::classic_ep(4, 4, 2).unwrap();
+        assert!(relocation_moves(&topo, &from, &from).is_empty());
+
+        // Rebuild with expert 0 hot: it gains devices it never lived on.
+        let loads = [900u64, 40, 30, 30];
+        let rep = replica_allocation(&loads, 4, 2);
+        let to = expert_relocation(&rep, &loads, &topo, 2);
+        let moves = relocation_moves(&topo, &from, &to);
+        for m in &moves {
+            // Every source actually held the expert under `from`, and no
+            // destination already did.
+            assert!(from.replica_count(m.src, m.expert) > 0);
+            assert_eq!(from.replica_count(m.dst, m.expert), 0);
+            assert!(to.replica_count(m.dst, m.expert) > 0);
+            // classic_ep(4, 4, 2) hosts every expert once per node, so
+            // every gaining device has a same-node source.
+            assert!(topo.same_node(m.src, m.dst), "cross-node move {m:?}");
+        }
+    }
+
+    /// Growing the replica count of an expert on a device that already
+    /// hosts it is free — the weights are resident, so no move.
+    #[test]
+    fn relocation_moves_skip_resident_experts() {
+        use laer_cluster::DeviceId;
+        let topo = Topology::single_node(2).unwrap();
+        let copy_into = |cap: usize, extra: Option<(usize, usize)>| {
+            let mut l = ExpertLayout::empty(2, 2, cap).unwrap();
+            l.add_replica(DeviceId::new(0), ExpertId::new(0));
+            l.add_replica(DeviceId::new(1), ExpertId::new(1));
+            if let Some((d, e)) = extra {
+                l.add_replica(DeviceId::new(d), ExpertId::new(e));
+            }
+            l
+        };
+        let base = copy_into(2, None);
+        // Second replica of expert 0 on device 0: resident, free.
+        assert!(relocation_moves(&topo, &base, &copy_into(2, Some((0, 0)))).is_empty());
+        // Replica of expert 1 on device 0: one fetch from device 1.
+        let moves = relocation_moves(&topo, &base, &copy_into(2, Some((0, 1))));
+        assert_eq!(
+            moves,
+            vec![RelocationMove {
+                expert: ExpertId::new(1),
+                src: DeviceId::new(1),
+                dst: DeviceId::new(0),
+            }]
+        );
     }
 
     #[test]

@@ -294,6 +294,37 @@ impl RoutingGenerator {
         self.iteration
     }
 
+    /// Fast-forwards the popularity process `iterations` steps without
+    /// materialising routing matrices, consuming exactly the RNG draws a
+    /// materialised iteration would — so an advanced generator continues
+    /// the *same* trace bit-identically. This makes mid-stream windows
+    /// ergonomic: consumers (e.g. an inference-serving workload resuming
+    /// where a training run stopped) can jump to iteration `k` cheaply
+    /// instead of generating and discarding `k` full matrices.
+    pub fn advance(&mut self, iterations: u64) {
+        for _ in 0..iterations {
+            self.step_process();
+            // Burn the per-(device, expert) jitter draws of a
+            // materialised iteration to keep the RNG stream aligned.
+            for _ in 0..self.cfg.devices * self.cfg.experts {
+                let _ = gauss(&mut self.rng);
+            }
+            self.iteration += 1;
+        }
+    }
+
+    /// Creates a generator resumed mid-stream: identical to constructing
+    /// with `cfg` and calling [`RoutingGenerator::advance`]`(iteration)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has zero devices, experts or assignments.
+    pub fn starting_at(cfg: RoutingGeneratorConfig, iteration: u64) -> Self {
+        let mut g = Self::new(cfg);
+        g.advance(iteration);
+        g
+    }
+
     /// Current *global* expert probabilities (after aux-loss damping).
     pub fn expert_probabilities(&self) -> Vec<f64> {
         softmax_scaled(&self.logits, aux_damping(self.cfg.aux_loss_weight))
@@ -302,6 +333,33 @@ impl RoutingGenerator {
     /// Advances the popularity process one step and produces the routing
     /// matrix for the next iteration.
     pub fn next_iteration(&mut self) -> RoutingMatrix {
+        let budget = self.cfg.assignments_per_device;
+        self.generate(|_| budget)
+    }
+
+    /// Like [`RoutingGenerator::next_iteration`] but with an explicit
+    /// per-device assignment budget — device `d`'s row sums to
+    /// `budgets[d]` instead of the config's fixed
+    /// `assignments_per_device`. Serving batches vary in size from step
+    /// to step, so the popularity process must be separable from the
+    /// per-iteration token count. Consumes exactly the same RNG draws as
+    /// [`RoutingGenerator::next_iteration`], so mixed usage stays on one
+    /// deterministic trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budgets.len()` differs from the configured device
+    /// count.
+    pub fn next_iteration_with_budgets(&mut self, budgets: &[u64]) -> RoutingMatrix {
+        assert_eq!(
+            budgets.len(),
+            self.cfg.devices,
+            "one budget per device required"
+        );
+        self.generate(|dev| budgets[dev])
+    }
+
+    fn generate(&mut self, budget_of: impl Fn(usize) -> u64) -> RoutingMatrix {
         self.step_process();
         let damp = aux_damping(self.cfg.aux_loss_weight);
         let jitter = self.cfg.profile.jitter_sigma();
@@ -316,7 +374,7 @@ impl RoutingGenerator {
                 .map(|(&z, &b)| (z + b) * damp + jitter * gauss(&mut self.rng))
                 .collect();
             let probs = softmax_scaled(&noisy, 1.0);
-            let counts = largest_remainder(&probs, self.cfg.assignments_per_device);
+            let counts = largest_remainder(&probs, budget_of(dev));
             for (j, &c) in counts.iter().enumerate() {
                 r.set(DeviceId::new(dev), ExpertId::new(j), c);
             }
@@ -593,6 +651,66 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(a.next_iteration(), b.next_iteration());
         }
+    }
+
+    /// `advance` is trace-faithful: fast-forwarding to iteration `k` and
+    /// generating continues the exact sequence a generator reaches by
+    /// materialising `k` matrices.
+    #[test]
+    fn advance_matches_generated_trace() {
+        let cfg = RoutingGeneratorConfig::new(8, 8, 4096).with_seed(23);
+        let mut slow = RoutingGenerator::new(cfg.clone());
+        for _ in 0..9 {
+            let _ = slow.next_iteration();
+        }
+        let mut fast = RoutingGenerator::starting_at(cfg, 9);
+        assert_eq!(fast.iteration(), 9);
+        assert_eq!(fast.expert_probabilities(), slow.expert_probabilities());
+        for _ in 0..5 {
+            assert_eq!(fast.next_iteration(), slow.next_iteration());
+        }
+    }
+
+    /// Mixing `advance` with generation stays on the same trace.
+    #[test]
+    fn advance_interleaves_with_generation() {
+        let cfg = RoutingGeneratorConfig::new(4, 8, 1024).with_seed(5);
+        let mut a = RoutingGenerator::new(cfg.clone());
+        let mut b = RoutingGenerator::new(cfg);
+        for _ in 0..3 {
+            let _ = a.next_iteration();
+        }
+        b.advance(3);
+        assert_eq!(a.next_iteration(), b.next_iteration());
+    }
+
+    /// Per-device budgets: rows sum to the requested budgets, and the
+    /// uniform-budget case reproduces `next_iteration` bit-identically.
+    #[test]
+    fn budgeted_generation_matches_uniform() {
+        let cfg = RoutingGeneratorConfig::new(4, 8, 1000).with_seed(9);
+        let mut a = RoutingGenerator::new(cfg.clone());
+        let mut b = RoutingGenerator::new(cfg);
+        assert_eq!(
+            a.next_iteration(),
+            b.next_iteration_with_budgets(&[1000; 4])
+        );
+        let budgets = [0u64, 7, 513, 4096];
+        let r = b.next_iteration_with_budgets(&budgets);
+        for (d, &want) in budgets.iter().enumerate() {
+            assert_eq!(r.device_total(DeviceId::new(d)), want);
+        }
+        // Both generators consumed the same RNG draws regardless of the
+        // budgets, so they remain on the same trace.
+        let _ = a.next_iteration();
+        assert_eq!(a.next_iteration(), b.next_iteration());
+    }
+
+    #[test]
+    #[should_panic(expected = "one budget per device")]
+    fn budget_length_mismatch_panics() {
+        let mut g = gen(0.0, 1);
+        let _ = g.next_iteration_with_budgets(&[100; 3]);
     }
 
     #[test]

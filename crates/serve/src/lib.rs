@@ -1,0 +1,51 @@
+//! Online MoE inference serving with live-traffic-driven expert
+//! re-layout.
+//!
+//! The training side of this repository replays recorded routing traces
+//! through fixed-size iterations; serving is a different regime: requests
+//! arrive stochastically, batches vary in size from step to step, and the
+//! request mix drifts (and occasionally *flips*) which experts are hot.
+//! This crate builds that regime on top of the deterministic simulator:
+//!
+//! * [`workload`] — a seeded request generator (Poisson or bursty
+//!   arrivals, prompt/decode length distributions) plus a [`TopicMix`]
+//!   that resumes the routing crate's drifting popularity process
+//!   mid-stream and overlays sudden hot-expert flips;
+//! * [`serving`] — a continuous-batching scheduler with separate prefill
+//!   and decode phases on the sim's per-device streams, a bounded
+//!   admission queue, and per-request latency accounting (TTFT, TPOT,
+//!   percentiles, goodput under an SLO);
+//! * [`systems`] — the [`ServingSystem`] trait with `static-ep`,
+//!   `replicate-hot` (FasterMoE-style reactive replication) and `laer`
+//!   (EMA predictor + the full planner of Alg. 1–4) implementations;
+//! * [`sla`] — SLO configuration and latency summaries.
+//!
+//! Re-layout is *charged, not assumed*: when a system adopts a new
+//! layout, the weight movement is priced through `sim::collective` and
+//! enqueued as [`laer_sim::SpanLabel::Relayout`] spans on the prefetch
+//! stream, where it delays expert compute it fails to overlap.
+//!
+//! # Example
+//!
+//! ```
+//! use laer_serve::{run_serving, ServeConfig, ServingSystemKind};
+//!
+//! let mut cfg = ServeConfig::new(ServingSystemKind::Laer);
+//! cfg.workload.requests = 20;
+//! let outcome = run_serving(&cfg);
+//! assert_eq!(outcome.report.completed + outcome.report.rejected, 20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+#![warn(missing_docs)]
+
+pub mod serving;
+pub mod sla;
+pub mod systems;
+pub mod workload;
+
+pub use serving::{run_serving, ServeConfig, ServeReport, ServingOutcome};
+pub use sla::{LatencySummary, SlaConfig};
+pub use systems::{ServingSystem, ServingSystemKind};
+pub use workload::{generate_requests, Request, TopicMix, WorkloadConfig};

@@ -1,0 +1,108 @@
+//! Service-level objectives and latency summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// The per-request SLO a served request must meet to count as goodput.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlaConfig {
+    /// Time-to-first-token budget in seconds (queueing + prefill).
+    pub ttft: f64,
+    /// Time-per-output-token budget in seconds (mean decode cadence).
+    pub tpot: f64,
+}
+
+impl Default for SlaConfig {
+    fn default() -> Self {
+        Self {
+            ttft: 0.050,
+            tpot: 0.010,
+        }
+    }
+}
+
+impl SlaConfig {
+    /// Creates an SLO from explicit TTFT and TPOT budgets (seconds).
+    pub fn new(ttft: f64, tpot: f64) -> Self {
+        Self { ttft, tpot }
+    }
+}
+
+/// Order statistics of a latency sample set (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean; 0 when empty.
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+}
+
+impl LatencySummary {
+    /// Summarises `samples`; all fields are 0 for an empty slice.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                count: 0,
+                mean: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Self {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+            p99: percentile(&sorted, 0.99),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (`q` in `(0, 1]`);
+/// 0 for an empty slice.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50.0);
+        assert_eq!(percentile(&sorted, 0.95), 95.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn summary_of_unsorted_samples() {
+        let s = LatencySummary::from_samples(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.p99, 3.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = LatencySummary::from_samples(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0.0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Serving-side expert-placement policies: the [`ServingSystem`] trait
+//! and its `static-ep`, `replicate-hot` and `laer` implementations.
+//!
+//! The scheduler ([`crate::serving::run_serving`]) owns the loop; a
+//! system only decides *where experts live*. After every step it is fed
+//! the served routing statistics via [`ServingSystem::observe`]; when it
+//! returns a new layout the scheduler charges the relocation traffic
+//! before using it (see [`laer_planner::relocation_moves`]).
+
+use std::collections::VecDeque;
+use std::str::FromStr;
+
+use laer_cluster::Topology;
+use laer_model::{GpuSpec, ModelConfig};
+use laer_planner::{
+    even_replicas, expert_relocation, lite_route, replica_allocation, time_cost, CostParams,
+    ExpertLayout, LoadPredictor, Planner, PlannerConfig,
+};
+use laer_routing::RoutingMatrix;
+
+/// An online expert-placement policy.
+pub trait ServingSystem {
+    /// Artifact-style identifier (`static-ep`, `replicate-hot`, `laer`).
+    fn name(&self) -> &'static str;
+
+    /// The layout the system currently wants deployed.
+    fn layout(&self) -> &ExpertLayout;
+
+    /// Feeds the routing statistics served at `step`; returns `true` if
+    /// the desired layout changed (the scheduler will then charge the
+    /// relocation and apply it before the next step's expert compute).
+    fn observe(&mut self, step: u64, served: &RoutingMatrix) -> bool;
+}
+
+/// The serving systems compared by the benchmark, mirroring the training
+/// side's system matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingSystemKind {
+    /// Classic expert parallelism: an even static layout, never changed.
+    StaticEp,
+    /// FasterMoE-style reactive replication: re-replicates by the raw
+    /// windowed load, no prediction and no cost-model tuning.
+    ReplicateHot,
+    /// LAER: EMA load prediction feeding the full planner (Alg. 1–4).
+    Laer,
+}
+
+impl ServingSystemKind {
+    /// All kinds, in presentation order.
+    pub const ALL: [ServingSystemKind; 3] = [
+        ServingSystemKind::StaticEp,
+        ServingSystemKind::ReplicateHot,
+        ServingSystemKind::Laer,
+    ];
+
+    /// Artifact-style identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            ServingSystemKind::StaticEp => "static-ep",
+            ServingSystemKind::ReplicateHot => "replicate-hot",
+            ServingSystemKind::Laer => "laer",
+        }
+    }
+
+    /// Instantiates the system for a cluster and model.
+    ///
+    /// `capacity` is the per-device expert-slot budget `C` (identical
+    /// across systems: same HBM); `relayout_period` is the number of
+    /// steps between re-layout decisions and `window` the number of
+    /// recent steps whose served statistics feed each decision.
+    pub fn build(
+        self,
+        topo: &Topology,
+        model: &ModelConfig,
+        gpu: GpuSpec,
+        capacity: usize,
+        relayout_period: u64,
+        window: usize,
+    ) -> Box<dyn ServingSystem> {
+        match self {
+            ServingSystemKind::StaticEp => Box::new(StaticEp::new(topo, model.experts(), capacity)),
+            ServingSystemKind::ReplicateHot => Box::new(ReplicateHot::new(
+                topo,
+                model.experts(),
+                capacity,
+                relayout_period,
+                window,
+            )),
+            ServingSystemKind::Laer => Box::new(LaerServing::new(
+                topo,
+                model,
+                gpu,
+                capacity,
+                relayout_period,
+                window,
+            )),
+        }
+    }
+}
+
+impl FromStr for ServingSystemKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ServingSystemKind::ALL
+            .into_iter()
+            .find(|k| k.id() == s)
+            .ok_or_else(|| format!("unknown serving system `{s}` (static-ep, replicate-hot, laer)"))
+    }
+}
+
+/// The even baseline layout every system starts from: `⌊N·C/E⌋` replicas
+/// per expert placed topology-aware by Alg. 1 under uniform loads.
+fn even_layout(topo: &Topology, experts: usize, capacity: usize) -> ExpertLayout {
+    let uniform = vec![1u64; experts];
+    let rep = even_replicas(&uniform, topo.num_devices(), capacity);
+    expert_relocation(&rep, &uniform, topo, capacity)
+}
+
+/// Classic static expert parallelism: the layout never moves.
+struct StaticEp {
+    layout: ExpertLayout,
+}
+
+impl StaticEp {
+    fn new(topo: &Topology, experts: usize, capacity: usize) -> Self {
+        Self {
+            layout: even_layout(topo, experts, capacity),
+        }
+    }
+}
+
+impl ServingSystem for StaticEp {
+    fn name(&self) -> &'static str {
+        ServingSystemKind::StaticEp.id()
+    }
+
+    fn layout(&self) -> &ExpertLayout {
+        &self.layout
+    }
+
+    fn observe(&mut self, _step: u64, _served: &RoutingMatrix) -> bool {
+        false
+    }
+}
+
+/// FasterMoE-style reactive replication: every `period` steps,
+/// re-allocate replicas proportionally to the *raw* windowed expert
+/// loads (Alg. 4) and place them greedily (Alg. 1). No prediction, no
+/// candidate tuning against the cost model — the contrast that isolates
+/// what LAER's planner adds.
+struct ReplicateHot {
+    topo: Topology,
+    capacity: usize,
+    period: u64,
+    window: VecDeque<Vec<u64>>,
+    window_cap: usize,
+    layout: ExpertLayout,
+}
+
+impl ReplicateHot {
+    fn new(
+        topo: &Topology,
+        experts: usize,
+        capacity: usize,
+        period: u64,
+        window_cap: usize,
+    ) -> Self {
+        Self {
+            topo: topo.clone(),
+            capacity,
+            period: period.max(1),
+            window: VecDeque::new(),
+            window_cap: window_cap.max(1),
+            layout: even_layout(topo, experts, capacity),
+        }
+    }
+}
+
+impl ServingSystem for ReplicateHot {
+    fn name(&self) -> &'static str {
+        ServingSystemKind::ReplicateHot.id()
+    }
+
+    fn layout(&self) -> &ExpertLayout {
+        &self.layout
+    }
+
+    fn observe(&mut self, step: u64, served: &RoutingMatrix) -> bool {
+        if self.window.len() == self.window_cap {
+            self.window.pop_front();
+        }
+        self.window.push_back(served.expert_loads());
+        if !(step + 1).is_multiple_of(self.period) {
+            return false;
+        }
+        let experts = served.num_experts();
+        let mut loads = vec![0u64; experts];
+        for sample in &self.window {
+            for (acc, &l) in loads.iter_mut().zip(sample) {
+                *acc += l;
+            }
+        }
+        if loads.iter().all(|&l| l == 0) {
+            return false;
+        }
+        let rep = replica_allocation(&loads, self.topo.num_devices(), self.capacity);
+        let next = expert_relocation(&rep, &loads, &self.topo, self.capacity);
+        if next == self.layout {
+            return false;
+        }
+        self.layout = next;
+        true
+    }
+}
+
+/// Relative predicted-cost improvement a candidate layout must clear
+/// before LAER moves weights. Re-layout is never free — the copy
+/// occupies the prefetch stream and the stale layout serves until it
+/// lands — so marginal wins from planner jitter must not thrash the
+/// placement.
+const HYSTERESIS_MARGIN: f64 = 0.05;
+
+/// LAER's serving controller: a sliding window of served routing
+/// statistics feeds the EMA [`LoadPredictor`]; every `period` steps the
+/// predicted demand goes through the full planner (candidate tuner +
+/// Alg. 1/3/4 under the cost model) and the cheapest layout wins —
+/// but only if it beats *keeping the current layout* by
+/// [`HYSTERESIS_MARGIN`] under the same predicted demand.
+struct LaerServing {
+    planner: Planner,
+    predictor: LoadPredictor,
+    period: u64,
+    window: VecDeque<RoutingMatrix>,
+    window_cap: usize,
+    layout: ExpertLayout,
+}
+
+impl LaerServing {
+    fn new(
+        topo: &Topology,
+        model: &ModelConfig,
+        gpu: GpuSpec,
+        capacity: usize,
+        period: u64,
+        window_cap: usize,
+    ) -> Self {
+        let planner = Planner::new(
+            PlannerConfig::new(capacity).with_epsilon(4),
+            CostParams::from_model(model, gpu, false),
+            topo.clone(),
+        );
+        Self {
+            planner,
+            predictor: LoadPredictor::default_ema(),
+            period: period.max(1),
+            window: VecDeque::new(),
+            window_cap: window_cap.max(1),
+            layout: even_layout(topo, model.experts(), capacity),
+        }
+    }
+
+    /// Element-wise sum of the window (the EMA smooths across windows;
+    /// summing inside one keeps integer token counts exact).
+    fn window_total(&self) -> Option<RoutingMatrix> {
+        let first = self.window.front()?;
+        let (n, e) = (first.num_devices(), first.num_experts());
+        let mut total = match RoutingMatrix::zeros(n, e) {
+            Ok(m) => m,
+            Err(err) => panic!("window shape fixed at construction: {err}"),
+        };
+        for sample in &self.window {
+            for (dev, exp, tokens) in sample.iter_nonzero() {
+                total.add(dev, exp, tokens);
+            }
+        }
+        Some(total)
+    }
+}
+
+impl ServingSystem for LaerServing {
+    fn name(&self) -> &'static str {
+        ServingSystemKind::Laer.id()
+    }
+
+    fn layout(&self) -> &ExpertLayout {
+        &self.layout
+    }
+
+    fn observe(&mut self, step: u64, served: &RoutingMatrix) -> bool {
+        if self.window.len() == self.window_cap {
+            self.window.pop_front();
+        }
+        self.window.push_back(served.clone());
+        if !(step + 1).is_multiple_of(self.period) {
+            return false;
+        }
+        let Some(total) = self.window_total() else {
+            return false;
+        };
+        if total.total() == 0 {
+            return false;
+        }
+        self.predictor.observe(&total);
+        let Some(predicted) = self.predictor.predict() else {
+            return false;
+        };
+        let plan = self.planner.plan(&predicted);
+        if plan.layout == self.layout {
+            return false;
+        }
+        // Cost-aware hysteresis: price *keeping* the current layout
+        // under the same predicted demand; only move when the planner's
+        // candidate clears the margin.
+        let topo = self.planner.topology();
+        let keep = lite_route(topo, &predicted, &self.layout);
+        let keep_cost = time_cost(topo, &keep, self.planner.cost_params()).total();
+        if plan.predicted.total() >= keep_cost * (1.0 - HYSTERESIS_MARGIN) {
+            return false;
+        }
+        self.layout = plan.layout;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laer_cluster::{DeviceId, ExpertId};
+    use laer_model::ModelPreset;
+
+    fn skewed(n: usize, e: usize, hot: usize, tokens: u64) -> RoutingMatrix {
+        let mut m = RoutingMatrix::zeros(n, e).unwrap();
+        for d in 0..n {
+            m.set(DeviceId::new(d), ExpertId::new(hot), tokens);
+            for j in 0..e {
+                if j != hot {
+                    m.add(DeviceId::new(d), ExpertId::new(j), tokens / 16);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        for kind in ServingSystemKind::ALL {
+            assert_eq!(kind.id().parse::<ServingSystemKind>().unwrap(), kind);
+        }
+        assert!("nope".parse::<ServingSystemKind>().is_err());
+    }
+
+    #[test]
+    fn static_ep_never_moves() {
+        let topo = Topology::new(2, 4).unwrap();
+        let cfg = ModelPreset::Mixtral8x7bE8k2.config();
+        let mut sys = ServingSystemKind::StaticEp.build(&topo, &cfg, GpuSpec::a100(), 2, 4, 4);
+        let before = sys.layout().clone();
+        for step in 0..16 {
+            assert!(!sys.observe(step, &skewed(8, 8, 3, 512)));
+        }
+        assert_eq!(sys.layout(), &before);
+        assert!(before.validate().is_ok());
+    }
+
+    #[test]
+    fn replicate_hot_replicates_the_hot_expert() {
+        let topo = Topology::new(2, 4).unwrap();
+        let cfg = ModelPreset::Mixtral8x7bE8k2.config();
+        let mut sys = ServingSystemKind::ReplicateHot.build(&topo, &cfg, GpuSpec::a100(), 2, 4, 4);
+        let even = sys.layout().expert_replicas(ExpertId::new(3));
+        let mut changed = false;
+        for step in 0..8 {
+            changed |= sys.observe(step, &skewed(8, 8, 3, 512));
+        }
+        assert!(changed, "skewed traffic must trigger a re-layout");
+        assert!(sys.layout().validate().is_ok());
+        assert!(
+            sys.layout().expert_replicas(ExpertId::new(3)) > even,
+            "hot expert must gain replicas"
+        );
+    }
+
+    #[test]
+    fn laer_adapts_and_keeps_layout_valid() {
+        let topo = Topology::new(2, 4).unwrap();
+        let cfg = ModelPreset::Mixtral8x7bE8k2.config();
+        let mut sys = ServingSystemKind::Laer.build(&topo, &cfg, GpuSpec::a100(), 2, 4, 4);
+        let even = sys.layout().expert_replicas(ExpertId::new(3));
+        let mut changed = false;
+        for step in 0..16 {
+            changed |= sys.observe(step, &skewed(8, 8, 3, 512));
+        }
+        assert!(changed, "skewed traffic must trigger a re-layout");
+        assert!(sys.layout().validate().is_ok());
+        assert!(sys.layout().expert_replicas(ExpertId::new(3)) > even);
+    }
+
+    #[test]
+    fn quiet_windows_do_not_relayout() {
+        let topo = Topology::new(2, 4).unwrap();
+        let cfg = ModelPreset::Mixtral8x7bE8k2.config();
+        let empty = RoutingMatrix::zeros(8, 8).unwrap();
+        for kind in [ServingSystemKind::ReplicateHot, ServingSystemKind::Laer] {
+            let mut sys = kind.build(&topo, &cfg, GpuSpec::a100(), 2, 2, 4);
+            for step in 0..8 {
+                assert!(
+                    !sys.observe(step, &empty),
+                    "{}: empty traffic moved experts",
+                    kind.id()
+                );
+            }
+        }
+    }
+}

@@ -23,6 +23,10 @@ pub enum SpanLabel {
     GradSync,
     /// Tensor-parallel communication (Megatron attention).
     TensorParallel,
+    /// Online expert re-layout traffic: moving expert weights between
+    /// devices when a new layout is applied mid-serving (the charged —
+    /// not assumed-free — relocation cost of the serving extension).
+    Relayout,
     /// Memory rearrangement and other host-side work around the A2A.
     Other,
     /// An injected fault window (straggler, link degradation, device
@@ -56,6 +60,7 @@ impl fmt::Display for SpanLabel {
             SpanLabel::Prefetch => "prefetch",
             SpanLabel::GradSync => "grad-sync",
             SpanLabel::TensorParallel => "tensor-parallel",
+            SpanLabel::Relayout => "relayout",
             SpanLabel::Other => "other",
             SpanLabel::Fault => "fault",
         };
@@ -156,7 +161,9 @@ impl Timeline {
             others: get(SpanLabel::Attention)
                 + get(SpanLabel::TensorParallel)
                 + get(SpanLabel::Other),
-            exposed_prefetch: get(SpanLabel::Prefetch),
+            // Relocation is parameter movement, so it is accounted with
+            // the prefetch bucket (training never emits it).
+            exposed_prefetch: get(SpanLabel::Prefetch) + get(SpanLabel::Relayout),
             exposed_grad_sync: get(SpanLabel::GradSync),
         }
     }
@@ -339,6 +346,18 @@ mod tests {
         assert!(!SpanLabel::Prefetch.is_a2a_bucket());
         assert!(SpanLabel::Other.is_others_bucket());
         assert!(!SpanLabel::ExpertCompute.is_others_bucket());
+        assert!(!SpanLabel::Relayout.is_a2a_bucket());
+        assert!(!SpanLabel::Relayout.is_others_bucket());
+    }
+
+    #[test]
+    fn relayout_counts_as_exposed_prefetch() {
+        let mut t = Timeline::new();
+        t.push(span(SpanLabel::Prefetch, 0.0, 1.0));
+        t.push(span(SpanLabel::Relayout, 1.0, 3.0));
+        let b = t.breakdown(1);
+        assert_eq!(b.exposed_prefetch, 3.0);
+        assert_eq!(SpanLabel::Relayout.to_string(), "relayout");
     }
 
     #[test]

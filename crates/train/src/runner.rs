@@ -137,22 +137,27 @@ impl ExperimentConfig {
         }
     }
 
-    pub(crate) fn layer_generators(&self) -> Vec<RoutingGenerator> {
+    /// The routing-generator configuration behind layer `layer`'s
+    /// synthetic trace. Public so other drivers can continue the same
+    /// popularity process: the serving extension resumes this exact
+    /// config mid-stream (via `RoutingGenerator::starting_at`) to model
+    /// inference traffic whose expert-popularity drift picks up where a
+    /// training run stopped.
+    pub fn routing_config(&self, layer: usize) -> RoutingGeneratorConfig {
         let n = self.nodes * self.devices_per_node;
         let cfg = self.preset.config();
         let assignments = self.tokens_per_device * cfg.top_k() as u64;
+        RoutingGeneratorConfig::new(n, cfg.experts(), assignments)
+            .with_profile(self.dataset)
+            .with_aux_loss(self.aux_loss_weight)
+            // Distinct hot experts per layer (Sec. 7: "heavy experts
+            // often differ from one layer to the next").
+            .with_seed(self.seed.wrapping_add(1 + layer as u64))
+    }
+
+    pub(crate) fn layer_generators(&self) -> Vec<RoutingGenerator> {
         (0..self.layers)
-            .map(|l| {
-                RoutingGenerator::new(
-                    RoutingGeneratorConfig::new(n, cfg.experts(), assignments)
-                        .with_profile(self.dataset)
-                        .with_aux_loss(self.aux_loss_weight)
-                        // Distinct hot experts per layer (Sec. 7: "heavy
-                        // experts often differ from one layer to the
-                        // next").
-                        .with_seed(self.seed.wrapping_add(1 + l as u64)),
-                )
-            })
+            .map(|l| RoutingGenerator::new(self.routing_config(l)))
             .collect()
     }
 }
