@@ -3,7 +3,7 @@
 
 use laer_cluster::{DegradedView, DeviceId, Topology};
 use laer_model::{memory, CostModel, GpuSpec, ModelConfig, BF16_BYTES};
-use laer_planner::TokenRouting;
+use laer_planner::{time_cost, CostBreakdown, CostParams, TokenRouting};
 use laer_sim::{all_to_all_time, A2aMatrix};
 
 /// Everything a system needs to cost its decisions: topology, model,
@@ -14,6 +14,7 @@ pub struct SystemContext {
     model: ModelConfig,
     cost: CostModel,
     gpu: GpuSpec,
+    params: CostParams,
     capacity: usize,
     tokens_per_device: u64,
     seq_len: usize,
@@ -34,11 +35,13 @@ impl SystemContext {
     ) -> Self {
         let capacity = model.default_capacity();
         let cost = CostModel::new(&model, gpu);
+        let params = CostParams::from_model(&model, gpu, false);
         Self {
             topo,
             model,
             cost,
             gpu,
+            params,
             capacity,
             tokens_per_device,
             seq_len,
@@ -82,6 +85,25 @@ impl SystemContext {
     /// The derived cost model.
     pub fn cost(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// The Eq. 2 scalar parameters (`F_ckpt` off, matching the
+    /// experiments' default schedules).
+    pub fn cost_params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Prices a routing with the planner's Eq. 1 model (`T = T_comm +
+    /// T_comp`) against the current network — the degraded view when a
+    /// fault is installed, the nominal topology otherwise. Systems
+    /// without their own planner belief use this to state what the cost
+    /// model predicts for the layout they executed, so the decision
+    /// audit can compare every system against simulated actuals.
+    pub fn eq1_cost(&self, routing: &TokenRouting) -> CostBreakdown {
+        match &self.fault_view {
+            Some(view) => time_cost(view, routing, &self.params),
+            None => time_cost(&self.topo, routing, &self.params),
+        }
     }
 
     /// Expert capacity per device `C`.
@@ -158,8 +180,8 @@ impl SystemContext {
                 all_to_all_time(&self.topo, &combine),
             ),
         };
-        let d = d.expect("matrix sized from topology");
-        let c = c.expect("matrix sized from topology");
+        let d = d.unwrap_or_else(|e| unreachable!("matrix sized from topology: {e}"));
+        let c = c.unwrap_or_else(|e| unreachable!("matrix sized from topology: {e}"));
         (d, c)
     }
 
@@ -248,7 +270,7 @@ impl SystemContext {
             self.tokens_per_device,
             self.topo.devices_per_node(),
         )
-        .expect("workload must fit device memory at some TP degree")
+        .unwrap_or_else(|| panic!("workload must fit device memory at some TP degree"))
     }
 
     /// Assembles the per-layer operation durations for a routing,

@@ -66,8 +66,10 @@ impl MoeSystem for FasterMoeSystem {
         // Static classic-EP layout + shadows on every device. The
         // shadows are *extra* memory beyond C, which is exactly
         // FasterMoE's cost; model it with capacity C + shadows.
-        let base = ExpertLayout::classic_ep(n, e, c).expect("classic EP layout");
-        let mut layout = ExpertLayout::empty(n, e, c + self.shadows).expect("shadow layout");
+        let base = ExpertLayout::classic_ep(n, e, c)
+            .unwrap_or_else(|e| unreachable!("classic EP layout: {e}"));
+        let mut layout = ExpertLayout::empty(n, e, c + self.shadows)
+            .unwrap_or_else(|e| unreachable!("shadow layout: {e}"));
         for d in 0..n {
             let dev = DeviceId::new(d);
             for j in 0..e {
@@ -90,10 +92,12 @@ impl MoeSystem for FasterMoeSystem {
         // The broadcast happens before expert compute and is not
         // overlapped in FasterMoE's design: charge it to the prefetch.
         timings.prefetch += self.shadow_comm_time();
+        let audit = crate::system::audit_belief(&self.ctx, "static-layout", &routing);
         LayerPlan {
             layout,
             routing,
             timings,
+            audit,
         }
     }
 

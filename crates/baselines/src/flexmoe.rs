@@ -109,7 +109,7 @@ impl FlexMoeSystem {
                         .then(a.index().cmp(&b.index()))
                 })
                 .map(|(dev, _)| dev)
-                .expect("donor has replicas");
+                .unwrap_or_else(|| unreachable!("donor has replicas"));
             remove_replica(layout, host, ExpertId::new(d));
             layout.add_replica(host, ExpertId::new(r));
             rep[d] -= 1;
@@ -142,7 +142,8 @@ fn remove_replica(layout: &mut ExpertLayout, device: DeviceId, expert: ExpertId)
     let n = layout.num_devices();
     let e = layout.num_experts();
     let c = layout.capacity();
-    let mut rebuilt = ExpertLayout::empty(n, e, c).expect("same shape");
+    let mut rebuilt =
+        ExpertLayout::empty(n, e, c).unwrap_or_else(|e| unreachable!("same shape: {e}"));
     let mut removed = false;
     for d in 0..n {
         let dev = DeviceId::new(d);
@@ -176,17 +177,25 @@ impl MoeSystem for FlexMoeSystem {
         let loads = demand.expert_loads();
         let n = self.ctx.topology().num_devices();
         let c = self.ctx.capacity();
-        let (mut rep, mut layout) = match self.current[layer].take() {
-            Some(state) => state,
+        let (cold, (mut rep, mut layout)) = match self.current[layer].take() {
+            Some(state) => (false, state),
             // Cold start: even allocation placed once (FlexMoE starts
             // unreplicated and grows replicas on demand).
             None => {
                 let rep = vec![n * c / loads.len(); loads.len()];
                 let layout = expert_relocation(&rep, &loads, self.ctx.topology(), c);
-                (rep, layout)
+                (true, (rep, layout))
             }
         };
+        let before = layout.clone();
         self.adjust(&mut rep, &mut layout, &loads);
+        let trigger = if cold {
+            "cold-start"
+        } else if layout != before {
+            "adjust"
+        } else {
+            "hold"
+        };
         let routing = lite_route(self.ctx.topology(), demand, &layout);
         self.current[layer] = Some((rep, layout.clone()));
         let timings = self.ctx.layer_timings(
@@ -195,10 +204,12 @@ impl MoeSystem for FlexMoeSystem {
             self.ctx.fsep_prefetch_time(),
             self.ctx.fsep_grad_sync_time(),
         );
+        let audit = crate::system::audit_belief(&self.ctx, trigger, &routing);
         LayerPlan {
             layout,
             routing,
             timings,
+            audit,
         }
     }
 

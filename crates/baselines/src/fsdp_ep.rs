@@ -49,10 +49,12 @@ impl MoeSystem for FsdpEpSystem {
             self.ctx.fsdp_grad_sync_time(),
         );
         timings.attention += HOST_BOUND_OVERHEAD;
+        let audit = crate::system::audit_belief(&self.ctx, "static-layout", &routing);
         LayerPlan {
             layout,
             routing,
             timings,
+            audit,
         }
     }
 

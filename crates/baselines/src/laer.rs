@@ -13,11 +13,12 @@
 //!   demand; an upper bound useful for measuring the staleness cost.
 
 use crate::context::SystemContext;
-use crate::system::{LayerPlan, MoeSystem, SystemError};
+use crate::system::{audit_belief, LayerPlan, MoeSystem, SystemError};
 use laer_cluster::DegradedView;
 use laer_fsep::ScheduleOptions;
+use laer_obs::PlanAudit;
 use laer_planner::{
-    lite_route, CostParams, ExpertLayout, LoadPredictor, PlanError, Planner, PlannerConfig,
+    lite_route, CostParams, ExpertLayout, LoadPredictor, Plan, PlanError, Planner, PlannerConfig,
     ReplicaScheme,
 };
 use laer_routing::RoutingMatrix;
@@ -34,15 +35,44 @@ pub enum PlanningMode {
     Oracle,
 }
 
+/// What the tuner believed when it produced a layout: the predicted
+/// Eq. 1 cost and the per-device loads of the (possibly stale) demand it
+/// planned on. Checkpointed with the layout so an audit survives
+/// restore.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Belief {
+    comm: f64,
+    comp: f64,
+    loads: Vec<u64>,
+}
+
+impl Belief {
+    fn of(plan: &Plan) -> Self {
+        Self {
+            comm: plan.predicted.comm,
+            comp: plan.predicted.comp,
+            loads: plan.routing.device_compute_loads(),
+        }
+    }
+
+    fn audit(&self, trigger: &str) -> PlanAudit {
+        PlanAudit::new(trigger, self.comm, self.comp, self.loads.clone())
+    }
+}
+
 /// Per-layer asynchronous-tuner state (serializable: this is exactly
 /// what a training checkpoint must capture to resume bit-identically).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct LayerState {
     predictor: LoadPredictor,
     next_layout: Option<ExpertLayout>,
+    /// Belief attached to `next_layout`, consumed with it.
+    next_belief: Option<Belief>,
     /// The layout executed by the most recent iteration — the staleness
     /// fallback while the planner process is unreachable.
     last_layout: Option<ExpertLayout>,
+    /// Belief attached to `last_layout`.
+    last_belief: Option<Belief>,
 }
 
 impl LayerState {
@@ -50,7 +80,9 @@ impl LayerState {
         Self {
             predictor: LoadPredictor::default_ema(),
             next_layout: None,
+            next_belief: None,
             last_layout: None,
+            last_belief: None,
         }
     }
 }
@@ -135,43 +167,55 @@ impl LaerSystem {
     /// unsatisfiable (callers fall back to a previous layout;
     /// [`MoeSystem::handle_device_failures`] has already rejected
     /// genuinely unrecoverable clusters).
-    fn plan_on_network(&self, demand: &RoutingMatrix) -> Option<ExpertLayout> {
+    fn plan_on_network(&self, demand: &RoutingMatrix) -> Option<Plan> {
         match self.ctx.fault_view() {
-            Some(view) if !view.is_nominal() => self
-                .planner
-                .plan_degraded(demand, view)
-                .ok()
-                .map(|p| p.layout),
-            _ => Some(self.planner.plan(demand).layout),
+            Some(view) if !view.is_nominal() => self.planner.plan_degraded(demand, view).ok(),
+            _ => Some(self.planner.plan(demand)),
         }
     }
 
-    /// The layout executed this iteration under async planning: the
+    /// The layout executed this iteration under async planning, plus the
+    /// audit trigger and the belief the layout was planned with: the
     /// layout the CPU tuner prepared from history; while the planner is
     /// unreachable, the previous iteration's layout (one extra step of
     /// staleness); on a cold start, a synchronous plan from the current
     /// demand.
-    fn async_layout(&mut self, layer: usize, demand: &RoutingMatrix) -> ExpertLayout {
-        if let Some(layout) = self.layer_state(layer).next_layout.take() {
-            return layout;
+    fn async_layout(
+        &mut self,
+        layer: usize,
+        demand: &RoutingMatrix,
+    ) -> (ExpertLayout, &'static str, Option<Belief>) {
+        let planner_available = self.planner_available;
+        let state = self.layer_state(layer);
+        if let Some(layout) = state.next_layout.take() {
+            let belief = state.next_belief.take();
+            return (layout, "periodic", belief);
         }
-        if !self.planner_available {
-            if let Some(last) = self.layer_state(layer).last_layout.clone() {
-                return last;
+        if !planner_available {
+            if let Some(last) = state.last_layout.clone() {
+                let belief = state.last_belief.clone();
+                return (last, "outage-fallback", belief);
             }
         }
-        self.plan_on_network(demand)
-            .or_else(|| self.layer_state(layer).last_layout.clone())
-            .unwrap_or_else(|| {
-                // Cold start with the planner down: the initial static
-                // layout every MoE job boots with.
-                let (n, e, c) = (
-                    self.ctx.topology().num_devices(),
-                    self.ctx.model().experts(),
-                    self.ctx.capacity(),
-                );
-                ExpertLayout::classic_ep(n, e, c).expect("model shapes validated at construction")
-            })
+        if let Some(plan) = self.plan_on_network(demand) {
+            let belief = Belief::of(&plan);
+            return (plan.layout, "cold-start", Some(belief));
+        }
+        let state = self.layer_state(layer);
+        if let Some(last) = state.last_layout.clone() {
+            let belief = state.last_belief.clone();
+            return (last, "outage-fallback", belief);
+        }
+        // Cold start with the planner down: the initial static layout
+        // every MoE job boots with (no belief to record).
+        let (n, e, c) = (
+            self.ctx.topology().num_devices(),
+            self.ctx.model().experts(),
+            self.ctx.capacity(),
+        );
+        let layout = ExpertLayout::classic_ep(n, e, c)
+            .unwrap_or_else(|e| unreachable!("model shapes validated at construction: {e}"));
+        (layout, "cold-start", None)
     }
 }
 
@@ -185,16 +229,24 @@ impl MoeSystem for LaerSystem {
     }
 
     fn plan_layer(&mut self, layer: usize, _iteration: u64, demand: &RoutingMatrix) -> LayerPlan {
-        let (layout, routing) = match self.mode {
+        let (layout, routing, audit) = match self.mode {
             PlanningMode::Oracle => {
                 let plan = self.planner.plan(demand);
-                (plan.layout, plan.routing)
+                let audit = Belief::of(&plan).audit("oracle");
+                (plan.layout, plan.routing, audit)
             }
             PlanningMode::Async => {
                 // Execute the layout prepared from history; the GPU-side
                 // dispatcher routes the actual demand on it (Alg. 3).
-                let layout = self.async_layout(layer, demand);
+                let (layout, trigger, belief) = self.async_layout(layer, demand);
                 let routing = lite_route(self.ctx.topology(), demand, &layout);
+                // The belief travels from the planning call site; when
+                // none was recorded (boot fallback), price the executed
+                // routing so the audit trail stays complete.
+                let audit = match &belief {
+                    Some(b) => b.audit(trigger),
+                    None => audit_belief(&self.ctx, trigger, &routing),
+                };
                 // CPU side: fold this iteration's routing info into the
                 // history and prepare the next iteration's layout — but
                 // only while the planner process is reachable; during an
@@ -202,17 +254,24 @@ impl MoeSystem for LaerSystem {
                 let state = self.layer_state(layer);
                 state.predictor.observe(demand);
                 state.last_layout = Some(layout.clone());
+                state.last_belief = belief;
                 if self.planner_available {
                     let predicted = self.layers[layer]
                         .predictor
                         .predict()
                         .unwrap_or_else(|| demand.clone());
-                    let next = self
-                        .plan_on_network(&predicted)
-                        .unwrap_or_else(|| layout.clone());
-                    self.layers[layer].next_layout = Some(next);
+                    match self.plan_on_network(&predicted) {
+                        Some(next) => {
+                            self.layers[layer].next_belief = Some(Belief::of(&next));
+                            self.layers[layer].next_layout = Some(next.layout);
+                        }
+                        None => {
+                            self.layers[layer].next_layout = Some(layout.clone());
+                            self.layers[layer].next_belief = None;
+                        }
+                    }
                 }
-                (layout, routing)
+                (layout, routing, audit)
             }
         };
         let timings = self.ctx.layer_timings(
@@ -225,6 +284,7 @@ impl MoeSystem for LaerSystem {
             layout,
             routing,
             timings,
+            audit,
         }
     }
 
@@ -254,7 +314,9 @@ impl MoeSystem for LaerSystem {
         // drop them so every layer re-plans onto the survivors.
         for state in &mut self.layers {
             state.next_layout = None;
+            state.next_belief = None;
             state.last_layout = None;
+            state.last_belief = None;
         }
         self.ctx.set_fault_view(Some(view.clone()));
         Ok(true)

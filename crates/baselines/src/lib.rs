@@ -17,6 +17,7 @@
 //! | [`VanillaEpSystem`] | fixed classic EP | within the EP group | no comm optimisations (the Fig. 1b "default") |
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 mod context;
@@ -36,5 +37,5 @@ pub use fsdp_ep::FsdpEpSystem;
 pub use laer::{LaerSystem, PlanningMode};
 pub use megatron::MegatronSystem;
 pub use smartmoe::SmartMoeSystem;
-pub use system::{LayerPlan, MoeSystem, SystemError, SystemKind};
+pub use system::{audit_belief, LayerPlan, MoeSystem, SystemError, SystemKind};
 pub use vanilla::{vanilla_routing, VanillaEpSystem};

@@ -74,10 +74,12 @@ impl MoeSystem for MegatronSystem {
         for t in &mut timings.expert_forward {
             *t *= penalty;
         }
+        let audit = crate::system::audit_belief(&self.ctx, "static-layout", &routing);
         LayerPlan {
             layout,
             routing,
             timings,
+            audit,
         }
     }
 

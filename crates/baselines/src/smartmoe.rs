@@ -67,7 +67,9 @@ impl MoeSystem for SmartMoeSystem {
             self.state[layer] = Some((layout.clone(), loads.clone()));
             layout
         } else {
-            let (layout, acc) = self.state[layer].as_mut().expect("checked by refresh");
+            let (layout, acc) = self.state[layer]
+                .as_mut()
+                .unwrap_or_else(|| unreachable!("checked by refresh"));
             for (a, l) in acc.iter_mut().zip(&loads) {
                 *a += l;
             }
@@ -80,10 +82,13 @@ impl MoeSystem for SmartMoeSystem {
             self.ctx.fsep_prefetch_time(),
             self.ctx.fsep_grad_sync_time(),
         );
+        let trigger = if refresh { "refresh" } else { "hold" };
+        let audit = crate::system::audit_belief(&self.ctx, trigger, &routing);
         LayerPlan {
             layout,
             routing,
             timings,
+            audit,
         }
     }
 

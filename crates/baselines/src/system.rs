@@ -3,6 +3,7 @@
 use crate::context::SystemContext;
 use laer_cluster::DegradedView;
 use laer_fsep::{LayerTimings, ScheduleOptions};
+use laer_obs::PlanAudit;
 use laer_planner::{ExpertLayout, PlanError, TokenRouting};
 use laer_routing::RoutingMatrix;
 use serde::{Deserialize, Serialize};
@@ -47,6 +48,26 @@ pub struct LayerPlan {
     pub routing: TokenRouting,
     /// Operation durations handed to the simulator.
     pub timings: LayerTimings,
+    /// The decision's belief for the audit trail: why the system
+    /// (re-)planned and what Eq. 1 cost it expected. Systems with their
+    /// own planner report the belief formed at planning time (possibly
+    /// on stale demand); systems without one report the cost model's
+    /// prediction for the layout they executed
+    /// ([`audit_belief`]).
+    pub audit: PlanAudit,
+}
+
+/// Prices `routing` with the context's Eq. 1 model into a [`PlanAudit`]
+/// belief — the default audit for systems that carry no planner-side
+/// prediction of their own.
+pub fn audit_belief(ctx: &SystemContext, trigger: &str, routing: &TokenRouting) -> PlanAudit {
+    let cost = ctx.eq1_cost(routing);
+    PlanAudit::new(
+        trigger,
+        cost.comm,
+        cost.comp,
+        routing.device_compute_loads(),
+    )
 }
 
 impl LayerPlan {

@@ -26,7 +26,8 @@ pub fn vanilla_routing(demand: &RoutingMatrix, capacity: usize) -> (ExpertLayout
     let e = demand.num_experts();
     assert_eq!(e % capacity, 0, "capacity must divide expert count");
     let p_ep = e / capacity;
-    let layout = ExpertLayout::classic_ep(n, e, capacity).expect("classic EP layout");
+    let layout = ExpertLayout::classic_ep(n, e, capacity)
+        .unwrap_or_else(|e| unreachable!("classic EP layout: {e}"));
     let mut routing = TokenRouting::new(n, e);
     for i in 0..n {
         let src = DeviceId::new(i);
@@ -76,10 +77,12 @@ impl MoeSystem for VanillaEpSystem {
             self.ctx.fsdp_grad_sync_time(),
         );
         timings.attention += crate::fsdp_ep::HOST_BOUND_OVERHEAD;
+        let audit = crate::system::audit_belief(&self.ctx, "static-layout", &routing);
         LayerPlan {
             layout,
             routing,
             timings,
+            audit,
         }
     }
 

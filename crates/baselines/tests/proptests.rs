@@ -1,6 +1,8 @@
 //! Property-based tests over the evaluated systems: routing validity
 //! and timing sanity must hold for every system on arbitrary demands.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use laer_baselines::{
     vanilla_routing, FlexMoeSystem, FsdpEpSystem, LaerSystem, MegatronSystem, MoeSystem,
     SystemContext, VanillaEpSystem,

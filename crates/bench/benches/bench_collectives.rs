@@ -1,6 +1,8 @@
 //! Criterion bench of the collective cost models (the simulator's inner
 //! loop).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use laer_cluster::{DeviceId, Topology};
 use laer_sim::{all_to_all_balanced_time, all_to_all_time, A2aMatrix};

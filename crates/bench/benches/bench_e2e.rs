@@ -1,6 +1,8 @@
 //! Criterion bench of the end-to-end experiment driver (Fig. 8's
 //! machinery): one simulated training iteration per system.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use laer_baselines::SystemKind;
 use laer_model::ModelPreset;

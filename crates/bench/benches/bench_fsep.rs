@@ -1,6 +1,8 @@
 //! Criterion bench of the FSEP numeric engine: shard, unshard, and a
 //! full training step against the dense reference.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use laer_cluster::{DeviceId, ExpertId};
 use laer_fsep::reference::{run_fsep_step, TokenBatch};

@@ -1,6 +1,8 @@
 //! Criterion bench for the lite-routing token dispatcher (Tab. 3's
 //! quantity): one layer's routing decision on the paper cluster.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use laer_cluster::Topology;
 use laer_planner::{lite_route, CostParams, Planner, PlannerConfig};

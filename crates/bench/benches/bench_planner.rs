@@ -1,6 +1,8 @@
 //! Criterion bench for the expert layout solver (Fig. 11's quantity):
 //! full Alg. 2 plans across cluster sizes and capacities.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use laer_cluster::Topology;
 use laer_planner::{CostParams, Planner, PlannerConfig};

@@ -1,6 +1,8 @@
 //! Criterion bench of the routing-trace generator (every experiment's
 //! input pipeline).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use laer_routing::{RoutingGenerator, RoutingGeneratorConfig};
 

@@ -2,16 +2,20 @@
 //!
 //! ```text
 //! repro <target> [--quick|--full] [--iters N]
+//!              [--update-baseline] [--baseline PATH] [--tolerance F]
 //!
 //! targets: fig1a fig1b fig2 tab2 eq1 fig8 fig9 fig10a fig10b fig11
-//!          fig12 tab3 tab4 ext-faults ext-serve all
+//!          fig12 tab3 tab4 ext-faults ext-serve ext-obs all
 //! ```
 //!
 //! `--iters N` only affects `ext-serve`, where it overrides the number
 //! of requests served per operating point (smoke runs in CI use a tiny
-//! value).
+//! value). The baseline/tolerance flags only affect `ext-obs`, whose
+//! perf-regression gate exits non-zero on failure.
 
-use laer_bench::{eq1, fig1, fig10, fig11, fig12, fig2, fig8, fig9, tab2, tab3, tab4, Effort};
+use laer_bench::{
+    eq1, ext_obs, fig1, fig10, fig11, fig12, fig2, fig8, fig9, tab2, tab3, tab4, Effort,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,18 +30,31 @@ fn main() {
         .position(|a| a == "--iters")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok());
-    let ran = dispatch(target, effort, iters);
+    let obs = ext_obs::ObsOptions {
+        update_baseline: args.iter().any(|a| a == "--update-baseline"),
+        baseline: args
+            .iter()
+            .position(|a| a == "--baseline")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from),
+        tolerance: args
+            .iter()
+            .position(|a| a == "--tolerance")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<f64>().ok()),
+    };
+    let ran = dispatch(target, effort, iters, &obs);
     if !ran {
         eprintln!(
-            "usage: repro <target> [--quick|--full] [--iters N]\n\
+            "usage: repro <target> [--quick|--full] [--iters N] [--update-baseline] [--baseline PATH] [--tolerance F]\n\
              targets: fig1a fig1b fig2 tab2 eq1 fig8 fig9 fig10a fig10b fig11 fig12 tab3 tab4 ext-refine ext-staleness ext-rack ext-overlap
-             ext-faults ext-serve all"
+             ext-faults ext-serve ext-obs all"
         );
         std::process::exit(if target == "help" { 0 } else { 2 });
     }
 }
 
-fn dispatch(target: &str, effort: Effort, iters: Option<usize>) -> bool {
+fn dispatch(target: &str, effort: Effort, iters: Option<usize>, obs: &ext_obs::ObsOptions) -> bool {
     match target {
         "fig1a" => {
             let a = fig1::fig1a();
@@ -118,6 +135,11 @@ fn dispatch(target: &str, effort: Effort, iters: Option<usize>) -> bool {
         "ext-serve" => {
             laer_bench::ext_serve::run(effort, iters);
         }
+        "ext-obs" => {
+            if !ext_obs::run(obs) {
+                std::process::exit(1);
+            }
+        }
         "all" => {
             for t in [
                 "tab2",
@@ -137,9 +159,10 @@ fn dispatch(target: &str, effort: Effort, iters: Option<usize>) -> bool {
                 "ext-overlap",
                 "ext-faults",
                 "ext-serve",
+                "ext-obs",
             ] {
                 println!("\n================ {t} ================\n");
-                dispatch(t, effort, iters);
+                dispatch(t, effort, iters, obs);
             }
         }
         _ => return false,

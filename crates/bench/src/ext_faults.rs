@@ -50,7 +50,7 @@ fn fault_classes() -> Vec<(&'static str, FaultPlan)> {
             start: ONSET,
             end: until,
         })
-        .expect("static fault event is valid");
+        .unwrap_or_else(|e| unreachable!("static fault event is valid: {e}"));
         rows.push((name, plan));
     };
     push(
@@ -94,10 +94,10 @@ fn measure(system: SystemKind, plan: FaultPlan) -> (f64, f64) {
     let post = ONSET as usize..;
     let faulted = FaultRunner::new(config(system), plan)
         .run(total)
-        .expect("paper-scale cluster recovers from a single fault");
+        .unwrap_or_else(|e| panic!("paper-scale cluster recovers from a single fault: {e}"));
     let clean = FaultRunner::new(config(system), FaultPlan::new())
         .run(total)
-        .expect("fault-free run cannot fail");
+        .unwrap_or_else(|e| unreachable!("fault-free run cannot fail: {e}"));
     (
         window_throughput(&faulted[post.clone()]),
         window_throughput(&clean[post]),

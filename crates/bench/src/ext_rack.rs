@@ -76,9 +76,10 @@ fn measure(topo: &Topology, layers: usize, iters: usize, seed: u64) -> f64 {
 
 /// Runs the three deployments.
 pub fn rows(layers: usize, iters: usize) -> Vec<RackRow> {
-    let flat = Topology::new(4, 8).expect("flat cluster");
-    let racked = Topology::with_racks(2, 2, 8, RACK_BW).expect("racked cluster");
-    let per_rack = Topology::new(2, 8).expect("one rack");
+    let flat = Topology::new(4, 8).unwrap_or_else(|e| unreachable!("flat cluster: {e}"));
+    let racked = Topology::with_racks(2, 2, 8, RACK_BW)
+        .unwrap_or_else(|e| unreachable!("racked cluster: {e}"));
+    let per_rack = Topology::new(2, 8).unwrap_or_else(|e| unreachable!("one rack: {e}"));
 
     let t_flat = measure(&flat, layers, iters, 13);
     let t_racked = measure(&racked, layers, iters, 13);

@@ -90,7 +90,7 @@ pub fn run(effort: Effort) -> Vec<Fig10Row> {
         let get = |sys: &str| {
             rows.iter()
                 .find(|r| r.model == model && r.system == sys)
-                .expect("row present")
+                .unwrap_or_else(|| unreachable!("row present"))
         };
         println!(
             "\n{model}: LAER A2A speedup over FSDP+EP = {:.2}x (paper: up to 2.68x); \

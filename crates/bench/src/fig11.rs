@@ -38,7 +38,8 @@ pub fn baseline_layer_ms() -> f64 {
 /// Measures the solver at one `(N, C)` point, averaging `reps` solves.
 pub fn measure(gpus: usize, capacity: usize, reps: usize) -> Fig11Point {
     let experts = 8.max(capacity * 4);
-    let topo = Topology::new((gpus / 8).max(1), 8.min(gpus)).expect("cluster");
+    let topo = Topology::new((gpus / 8).max(1), 8.min(gpus))
+        .unwrap_or_else(|e| unreachable!("cluster: {e}"));
     let planner = Planner::new(
         // |ε| = 2: proportional + even, as fixed in the paper's Fig. 11.
         PlannerConfig::new(capacity).with_epsilon(2),

@@ -77,7 +77,7 @@ pub fn run_panel(
             .iter()
             .find(|(k, _)| k == id)
             .map(|(_, v)| *v)
-            .expect("system ran")
+            .unwrap_or_else(|| unreachable!("system ran"))
     };
     let laer = get("LAER");
     Fig8Panel {

@@ -14,11 +14,13 @@
 //! JSON copies of every result land under `target/repro/`.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 pub mod chart;
 pub mod eq1;
 pub mod ext_faults;
+pub mod ext_obs;
 pub mod ext_overlap;
 pub mod ext_rack;
 pub mod ext_refine;

@@ -5,8 +5,15 @@ use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
 
-/// Directory JSON results are written to.
+/// Directory JSON results are written to: `$LAER_REPRO_DIR` when set at
+/// *runtime* (CI jobs and packaged binaries can redirect artifacts
+/// without rebuilding), else `target/repro/` under the repo root.
 pub fn repro_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("LAER_REPRO_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
     let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     dir.pop(); // crates/
     dir.pop(); // repo root
@@ -40,15 +47,34 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Serialises tests that read or mutate `LAER_REPRO_DIR` (env vars
+    /// are process-global; cargo runs tests on parallel threads).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn repro_dir_is_under_target() {
+        let _guard = ENV_LOCK.lock().unwrap();
         let d = repro_dir();
         assert!(d.ends_with("target/repro"));
     }
 
     #[test]
+    fn repro_dir_honors_runtime_env_override() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("LAER_REPRO_DIR", "/tmp/laer-override");
+        let overridden = repro_dir();
+        std::env::set_var("LAER_REPRO_DIR", "");
+        let empty_is_default = repro_dir();
+        std::env::remove_var("LAER_REPRO_DIR");
+        assert_eq!(overridden, PathBuf::from("/tmp/laer-override"));
+        assert!(empty_is_default.ends_with("target/repro"));
+    }
+
+    #[test]
     fn save_json_roundtrip() {
+        let _guard = ENV_LOCK.lock().unwrap();
         #[derive(serde::Serialize)]
         struct T {
             x: u32,

@@ -174,7 +174,7 @@ impl Topology {
 
     /// The exact hardware environment of the paper: 4 nodes × 8 A100s.
     pub fn paper_cluster() -> Self {
-        Self::new(4, 8).expect("paper cluster parameters are valid")
+        Self::new(4, 8).unwrap_or_else(|e| unreachable!("paper cluster parameters are valid: {e}"))
     }
 
     /// A single node of 8 devices (the paper's 8-GPU scalability point).

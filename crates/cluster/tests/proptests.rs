@@ -1,5 +1,7 @@
 //! Property-based tests for the topology substrate.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use laer_cluster::{DeviceId, LinkKind, Topology};
 use proptest::prelude::*;
 

@@ -9,6 +9,8 @@
 //! laer faults   [--model ID] [--fault CLASS] [--iters I] [--seed S]
 //! laer serve    [--system KIND|all] [--nodes N] [--devices D] [--rate R]
 //!               [--requests N] [--burst B] [--flip P] [--seed S] [--out FILE]
+//! laer obs      [--model ID] [--system KIND|all] [--layers L] [--iters I]
+//!               [--seed S] [--out DIR]
 //! ```
 
 use laer_moe::planner::CostParams;
@@ -37,6 +39,7 @@ fn main() -> ExitCode {
         "replay" => cmd_replay(&flags),
         "faults" => cmd_faults(&flags),
         "serve" => cmd_serve(&flags),
+        "obs" => cmd_obs(&flags),
         "help" | "--help" | "-h" => return usage(0),
         other => Err(format!("unknown command `{other}`")),
     };
@@ -62,7 +65,10 @@ fn usage(code: u8) -> ExitCode {
          \x20           (--fault straggler|link|failure|outage|random)\n\
          \x20 serve     online inference serving with live re-layout\n\
          \x20           (--system static-ep|replicate-hot|laer|all,\n\
-         \x20            --rate RPS --flip STEPS --out trace.json)\n\n\
+         \x20            --rate RPS --flip STEPS --out trace.json)\n\
+         \x20 obs       observed training run: metrics registry, event journal,\n\
+         \x20           planner decision audit (--out DIR writes metrics.txt,\n\
+         \x20           journal.jsonl and Perfetto traces with counter tracks)\n\n\
          common flags: --model <id> --system <LAER|FLEX|FSDP|megatron|vanillaEP>\n\
          \x20             --devices N --experts E --capacity C --layers L\n\
          \x20             --iters I --seed S --aux W --in FILE --out FILE\n\n\
@@ -404,6 +410,82 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
                 println!("  [laer timeline written to {path}]");
             }
         }
+    }
+    Ok(())
+}
+
+fn cmd_obs(flags: &Flags) -> Result<(), String> {
+    use laer_moe::obs::{stream_utilization_tracks, Observer};
+    use laer_moe::sim::write_chrome_trace_with_counters;
+    use laer_moe::train::run_experiment_observed;
+
+    let preset = model(flags)?;
+    let layers: usize = get(flags, "layers", 4)?;
+    let iters: usize = get(flags, "iters", 10)?;
+    let seed: u64 = get(flags, "seed", 0)?;
+    let nodes: usize = get(flags, "nodes", 2)?;
+    let devices: usize = get(flags, "devices", 8)?;
+    let systems: Vec<SystemKind> = match flags.get("system").map(String::as_str) {
+        None | Some("all") => vec![SystemKind::Laer, SystemKind::FsdpEp, SystemKind::SmartMoe],
+        Some(s) => vec![s.parse()?],
+    };
+
+    let mut observer = Observer::new();
+    let mut timelines = Vec::new();
+    for &system in &systems {
+        let cfg = ExperimentConfig::new(preset, system)
+            .with_cluster(nodes, devices)
+            .with_layers(layers)
+            .with_iterations(iters, (iters / 3).max(1))
+            .with_seed(seed);
+        let (r, timeline) = run_experiment_observed(&cfg, &mut observer);
+        print_result(&r);
+        timelines.push((r.system.clone(), timeline));
+    }
+
+    println!("\nplanner decision audit (predicted Eq. 1 vs simulated actual):");
+    for a in observer.audit.summaries() {
+        println!(
+            "  {:<10} {:>4} decisions  mean |err| {:>6.2}%  bias {:>+6.2}%  worst {:>6.2}%",
+            a.system,
+            a.decisions,
+            a.mean_abs_rel_error * 100.0,
+            a.mean_rel_error * 100.0,
+            a.worst_abs_rel_error * 100.0
+        );
+    }
+    println!(
+        "\njournal: {} events; registry: {} metric families",
+        observer.journal.len(),
+        observer.registry.len()
+    );
+
+    if let Some(dir) = flags.get("out") {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|e| format!("--out {}: {e}", dir.display()))?;
+        let write = |name: &str, body: &str| -> Result<(), String> {
+            let path = dir.join(name);
+            std::fs::write(&path, body).map_err(|e| format!("{}: {e}", path.display()))?;
+            println!("  [wrote {}]", path.display());
+            Ok(())
+        };
+        write("metrics.txt", &observer.registry.to_openmetrics())?;
+        write("journal.jsonl", &observer.journal.to_jsonl())?;
+        let n = nodes * devices;
+        for (name, timeline) in &timelines {
+            let makespan = timeline.makespan();
+            let tracks = if makespan > 0.0 {
+                stream_utilization_tracks(timeline, n, makespan / 48.0)
+            } else {
+                Vec::new()
+            };
+            let path = dir.join(format!("trace_{name}.json"));
+            let f = std::fs::File::create(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            write_chrome_trace_with_counters(timeline, &tracks, f).map_err(|e| e.to_string())?;
+            println!("  [wrote {} — open in Perfetto]", path.display());
+        }
+    } else {
+        print!("\n{}", observer.registry.to_openmetrics());
     }
     Ok(())
 }

@@ -54,14 +54,17 @@
 //! | [`systems`] | LAER + all baselines behind one trait |
 //! | [`train`] | experiment runner, convergence model, Tab. 4 scaling |
 //! | [`serve`] | online inference serving: request workloads, continuous batching, live re-layout |
+//! | [`obs`] | deterministic telemetry: metrics registry, event journal, planner decision audit, perf gate |
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 pub use laer_baselines as systems;
 pub use laer_cluster as cluster;
 pub use laer_fsep as fsep;
 pub use laer_model as model;
+pub use laer_obs as obs;
 pub use laer_planner as planner;
 pub use laer_routing as routing;
 pub use laer_serve as serve;
@@ -77,6 +80,7 @@ pub mod prelude {
     pub use laer_cluster::{DeviceId, ExpertId, NodeId, Topology, TopologyBuilder};
     pub use laer_fsep::{ExpertParams, FsepExperts, LayerTimings, ScheduleOptions, ShardedAdam};
     pub use laer_model::{CostModel, GpuSpec, ModelConfig, ModelConfigBuilder, ModelPreset};
+    pub use laer_obs::{AuditLog, Journal, MetricsRegistry, Observer};
     pub use laer_planner::{
         lite_route, ExpertLayout, Plan, Planner, PlannerConfig, ReplicaScheme, TokenRouting,
     };

@@ -111,7 +111,7 @@ impl ExpertAccess for FsepAccess<'_> {
         self.restored
             .device(dev.index())
             .expert(expert)
-            .expect("placement only selects hosting devices")
+            .unwrap_or_else(|| unreachable!("placement only selects hosting devices"))
     }
 }
 

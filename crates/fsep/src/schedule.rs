@@ -86,6 +86,14 @@ impl ScheduleOptions {
         self
     }
 
+    /// Total expert compute charged per layer, as a multiple of one
+    /// forward pass: forward plus [`Self::expert_backward_factor`]. The
+    /// decision audit uses this to reconstruct the Eq. 1 `T_comp`
+    /// actually executed from per-device forward times.
+    pub fn expert_roundtrip_factor(&self) -> f64 {
+        1.0 + self.expert_backward_factor()
+    }
+
     /// Backward multiplier for expert compute: 2x baseline plus one
     /// extra forward when experts are recomputed.
     fn expert_backward_factor(&self) -> f64 {

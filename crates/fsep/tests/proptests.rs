@@ -2,6 +2,8 @@
 //! round-trip must be lossless and the FSDP-equivalence must hold for
 //! *arbitrary* expert shapes, device counts, layouts and batches.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use laer_cluster::{DeviceId, ExpertId};
 use laer_fsep::reference::{run_fsep_step, DenseReference, TokenBatch};
 use laer_fsep::{AdamConfig, ExpertParams, FsepExperts, Matrix, ShardedAdam};

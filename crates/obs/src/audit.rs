@@ -1,0 +1,235 @@
+//! The planner decision audit: what the planner *believed* when it
+//! chose a layout, joined with what the simulator *actually* charged.
+//!
+//! Every (re-)layout decision produces a [`PlanAudit`]: the trigger
+//! that caused it, the predicted Eq. 1 cost (`T = T_comm + T_comp`) and
+//! the predicted per-device token loads. After the iteration executes,
+//! the driver joins the belief with the simulated actuals of the same
+//! quantities into an [`AuditRecord`]; [`AuditLog::summary`] then
+//! reduces the records to a per-system prediction-error metric — the
+//! number adaptive systems like SmartMoE/FlexMoE/LAER live or die on.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A layout decision's belief, captured at planning time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanAudit {
+    /// Why the system (re-)planned: `"static-layout"`, `"cold-start"`,
+    /// `"periodic"`, `"refresh"`, `"hold"`, `"adjust"`,
+    /// `"outage-fallback"`, `"oracle"`, ... — free-form but stable per
+    /// call site so journals can be grouped.
+    pub trigger: String,
+    /// Predicted `T_comm` of Eq. 2, seconds.
+    pub predicted_comm: f64,
+    /// Predicted `T_comp` of Eq. 2, seconds.
+    pub predicted_comp: f64,
+    /// Predicted per-device token loads the belief was formed on.
+    pub predicted_loads: Vec<u64>,
+}
+
+impl PlanAudit {
+    /// Creates a belief record.
+    pub fn new(
+        trigger: impl Into<String>,
+        predicted_comm: f64,
+        predicted_comp: f64,
+        predicted_loads: Vec<u64>,
+    ) -> Self {
+        Self {
+            trigger: trigger.into(),
+            predicted_comm,
+            predicted_comp,
+            predicted_loads,
+        }
+    }
+
+    /// Predicted `T = T_comm + T_comp`.
+    pub fn predicted_total(&self) -> f64 {
+        self.predicted_comm + self.predicted_comp
+    }
+}
+
+/// One audited decision: the belief plus the simulated actuals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditRecord {
+    /// System under test.
+    pub system: String,
+    /// Global iteration index.
+    pub iteration: u64,
+    /// MoE layer index.
+    pub layer: usize,
+    /// Trigger reason copied from the belief.
+    pub trigger: String,
+    /// Predicted `T_comm`, seconds.
+    pub predicted_comm: f64,
+    /// Predicted `T_comp`, seconds.
+    pub predicted_comp: f64,
+    /// Simulated `T_comm` actually charged for the layer's four
+    /// All-to-All passes, seconds.
+    pub actual_comm: f64,
+    /// Simulated `T_comp` actually charged for the layer's expert
+    /// compute (forward + backward), seconds.
+    pub actual_comp: f64,
+    /// Maximum actual per-device load over the ideal balanced load.
+    pub actual_imbalance: f64,
+}
+
+impl AuditRecord {
+    /// Predicted total seconds.
+    pub fn predicted_total(&self) -> f64 {
+        self.predicted_comm + self.predicted_comp
+    }
+
+    /// Simulated actual total seconds.
+    pub fn actual_total(&self) -> f64 {
+        self.actual_comm + self.actual_comp
+    }
+
+    /// Signed relative prediction error `(predicted − actual) / actual`
+    /// (0 when both are 0).
+    pub fn rel_error(&self) -> f64 {
+        let actual = self.actual_total();
+        if actual == 0.0 {
+            return 0.0;
+        }
+        (self.predicted_total() - actual) / actual
+    }
+}
+
+/// Prediction-error statistics of one system's audited decisions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditSummary {
+    /// System the summary covers.
+    pub system: String,
+    /// Number of audited decisions.
+    pub decisions: u64,
+    /// Mean of `|rel_error|`.
+    pub mean_abs_rel_error: f64,
+    /// Mean of signed `rel_error` (the prediction bias: positive means
+    /// the planner over-estimates cost).
+    pub mean_rel_error: f64,
+    /// Largest `|rel_error|` observed.
+    pub worst_abs_rel_error: f64,
+    /// Mean predicted total seconds.
+    pub mean_predicted: f64,
+    /// Mean simulated actual total seconds.
+    pub mean_actual: f64,
+}
+
+/// An append-only log of audit records.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AuditLog {
+    /// All records, in execution order.
+    pub records: Vec<AuditRecord>,
+}
+
+impl AuditLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: AuditRecord) {
+        self.records.push(record);
+    }
+
+    /// The distinct system names present, sorted.
+    pub fn systems(&self) -> Vec<String> {
+        let set: BTreeSet<&str> = self.records.iter().map(|r| r.system.as_str()).collect();
+        set.into_iter().map(str::to_string).collect()
+    }
+
+    /// Reduces one system's records to its prediction-error statistics,
+    /// or `None` if the system has no records.
+    pub fn summary(&self, system: &str) -> Option<AuditSummary> {
+        let records: Vec<&AuditRecord> =
+            self.records.iter().filter(|r| r.system == system).collect();
+        if records.is_empty() {
+            return None;
+        }
+        let n = records.len() as f64;
+        let mut abs = 0.0;
+        let mut signed = 0.0;
+        let mut worst = 0.0f64;
+        let mut predicted = 0.0;
+        let mut actual = 0.0;
+        for r in &records {
+            let e = r.rel_error();
+            abs += e.abs();
+            signed += e;
+            worst = worst.max(e.abs());
+            predicted += r.predicted_total();
+            actual += r.actual_total();
+        }
+        Some(AuditSummary {
+            system: system.to_string(),
+            decisions: records.len() as u64,
+            mean_abs_rel_error: abs / n,
+            mean_rel_error: signed / n,
+            worst_abs_rel_error: worst,
+            mean_predicted: predicted / n,
+            mean_actual: actual / n,
+        })
+    }
+
+    /// Summaries for every system in the log, sorted by system name.
+    pub fn summaries(&self) -> Vec<AuditSummary> {
+        self.systems()
+            .iter()
+            .filter_map(|s| self.summary(s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(system: &str, predicted: f64, actual: f64) -> AuditRecord {
+        AuditRecord {
+            system: system.into(),
+            iteration: 0,
+            layer: 0,
+            trigger: "test".into(),
+            predicted_comm: predicted / 2.0,
+            predicted_comp: predicted / 2.0,
+            actual_comm: actual / 2.0,
+            actual_comp: actual / 2.0,
+            actual_imbalance: 1.0,
+        }
+    }
+
+    #[test]
+    fn rel_error_is_signed() {
+        assert!((record("s", 1.2, 1.0).rel_error() - 0.2).abs() < 1e-12);
+        assert!((record("s", 0.8, 1.0).rel_error() + 0.2).abs() < 1e-12);
+        assert_eq!(record("s", 0.0, 0.0).rel_error(), 0.0);
+    }
+
+    #[test]
+    fn summary_aggregates_per_system() {
+        let mut log = AuditLog::new();
+        log.push(record("a", 1.1, 1.0));
+        log.push(record("a", 0.9, 1.0));
+        log.push(record("b", 2.0, 1.0));
+        let a = log.summary("a").unwrap();
+        assert_eq!(a.decisions, 2);
+        assert!((a.mean_abs_rel_error - 0.1).abs() < 1e-9);
+        assert!(a.mean_rel_error.abs() < 1e-9, "errors cancel");
+        assert!((a.worst_abs_rel_error - 0.1).abs() < 1e-9);
+        let b = log.summary("b").unwrap();
+        assert!((b.mean_rel_error - 1.0).abs() < 1e-9);
+        assert!(log.summary("c").is_none());
+        assert_eq!(log.systems(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(log.summaries().len(), 2);
+    }
+
+    #[test]
+    fn plan_audit_total() {
+        let p = PlanAudit::new("periodic", 0.25, 0.75, vec![1, 2]);
+        assert_eq!(p.predicted_total(), 1.0);
+        assert_eq!(p.trigger, "periodic");
+    }
+}

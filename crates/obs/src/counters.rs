@@ -1,0 +1,178 @@
+//! Builders for Chrome-trace counter tracks (`ph:"C"` events).
+//!
+//! [`laer_sim::write_chrome_trace_with_counters`] renders these
+//! alongside the span timeline, giving Perfetto stepped charts for
+//! quantities with no span shape: admission-queue depth and per-stream
+//! busy fraction.
+
+use laer_cluster::DeviceId;
+use laer_sim::{CounterTrack, SpanLabel, StreamKind, Timeline};
+
+/// Synthetic pid for cluster-wide counter tracks, clear of real device
+/// indices.
+pub const CLUSTER_PID: u32 = 1000;
+
+fn stream_short(kind: StreamKind) -> &'static str {
+    match kind {
+        StreamKind::Compute => "S1 compute",
+        StreamKind::Prefetch => "S2 prefetch",
+        StreamKind::A2a => "S3 a2a",
+        StreamKind::GradSync => "S4 grad-sync",
+    }
+}
+
+/// Builds one utilisation counter track per stream kind: at each
+/// `window`-second boundary, the mean busy fraction of that stream over
+/// the preceding window, averaged across devices. Sampling windows make
+/// the track piecewise-constant (what a `ph:"C"` track renders best)
+/// while staying a pure function of the timeline.
+///
+/// # Panics
+///
+/// Panics if `window` is not a positive finite number or `n_devices`
+/// is 0.
+pub fn stream_utilization_tracks(
+    timeline: &Timeline,
+    n_devices: usize,
+    window: f64,
+) -> Vec<CounterTrack> {
+    assert!(
+        window > 0.0 && window.is_finite(),
+        "window must be positive"
+    );
+    assert!(n_devices > 0, "need at least one device");
+    let makespan = timeline.makespan();
+    let windows = if makespan == 0.0 {
+        0
+    } else {
+        (makespan / window).ceil() as usize
+    };
+    StreamKind::ALL
+        .into_iter()
+        .map(|kind| {
+            // busy[w] accumulates busy seconds of `kind` across devices
+            // clipped to window w.
+            let mut busy = vec![0.0f64; windows];
+            for span in timeline.spans() {
+                if span.stream != kind
+                    || span.label == SpanLabel::Fault
+                    || span.device.index() >= n_devices
+                {
+                    continue;
+                }
+                let first = (span.start / window).floor() as usize;
+                let last = ((span.end / window).ceil() as usize).min(windows);
+                for (w, slot) in busy.iter_mut().enumerate().take(last).skip(first) {
+                    let ws = w as f64 * window;
+                    let we = ws + window;
+                    let overlap = span.end.min(we) - span.start.max(ws);
+                    if overlap > 0.0 {
+                        *slot += overlap;
+                    }
+                }
+            }
+            let denom = window * n_devices as f64;
+            let mut samples = vec![(0.0, 0.0)];
+            for (w, b) in busy.iter().enumerate() {
+                samples.push((w as f64 * window, b / denom));
+            }
+            // Close the track at the makespan so the last window shows.
+            samples.push((makespan, 0.0));
+            CounterTrack::new(format!("{} util", stream_short(kind)), CLUSTER_PID, samples)
+        })
+        .collect()
+}
+
+/// Builds the admission-queue depth counter track from per-step
+/// `(virtual time, depth)` samples.
+pub fn queue_depth_track(samples: &[(f64, usize)]) -> CounterTrack {
+    CounterTrack::new(
+        "queue depth",
+        CLUSTER_PID,
+        samples.iter().map(|&(t, d)| (t, d as f64)).collect(),
+    )
+}
+
+/// Busy seconds of one device's stream (fault spans excluded) — small
+/// helper for tests and journals that want absolute seconds rather than
+/// the fraction [`Timeline::stream_utilization`] returns.
+pub fn stream_busy_seconds(timeline: &Timeline, device: DeviceId, stream: StreamKind) -> f64 {
+    timeline
+        .spans()
+        .iter()
+        .filter(|s| s.device == device && s.stream == stream && s.label != SpanLabel::Fault)
+        .map(|s| s.duration())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laer_sim::Span;
+
+    fn span(device: usize, stream: StreamKind, start: f64, end: f64) -> Span {
+        Span {
+            device: DeviceId::new(device),
+            stream,
+            label: match stream {
+                StreamKind::Compute => SpanLabel::ExpertCompute,
+                StreamKind::Prefetch => SpanLabel::Prefetch,
+                StreamKind::A2a => SpanLabel::AllToAll,
+                StreamKind::GradSync => SpanLabel::GradSync,
+            },
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn utilization_windows_average_over_devices() {
+        let mut t = Timeline::new();
+        // Device 0 computes the full [0, 2]; device 1 computes [0, 1].
+        t.push(span(0, StreamKind::Compute, 0.0, 2.0));
+        t.push(span(1, StreamKind::Compute, 0.0, 1.0));
+        let tracks = stream_utilization_tracks(&t, 2, 1.0);
+        assert_eq!(tracks.len(), 4);
+        let s1 = &tracks[0];
+        assert_eq!(s1.name, "S1 compute util");
+        assert_eq!(s1.pid, CLUSTER_PID);
+        // Samples: lead-in, window 0 (both busy → 1.0), window 1 (one
+        // busy → 0.5), close-out at makespan.
+        let vals: Vec<f64> = s1.samples.iter().map(|s| s.value).collect();
+        assert_eq!(vals, vec![0.0, 1.0, 0.5, 0.0]);
+        // Empty streams produce all-zero tracks of the same shape.
+        let s4 = &tracks[3];
+        assert!(s4.samples.iter().all(|s| s.value == 0.0));
+    }
+
+    #[test]
+    fn utilization_of_empty_timeline() {
+        let tracks = stream_utilization_tracks(&Timeline::new(), 4, 1e-3);
+        for track in tracks {
+            assert_eq!(track.samples.len(), 2, "lead-in and close-out only");
+        }
+    }
+
+    #[test]
+    fn queue_depth_samples_map_directly() {
+        let track = queue_depth_track(&[(0.0, 0), (0.5, 3), (1.0, 1)]);
+        assert_eq!(track.name, "queue depth");
+        assert_eq!(track.samples.len(), 3);
+        assert_eq!(track.samples[1].value, 3.0);
+    }
+
+    #[test]
+    fn busy_seconds_filters_device_and_stream() {
+        let mut t = Timeline::new();
+        t.push(span(0, StreamKind::A2a, 0.0, 2.0));
+        t.push(span(1, StreamKind::A2a, 0.0, 5.0));
+        assert_eq!(
+            stream_busy_seconds(&t, DeviceId::new(0), StreamKind::A2a),
+            2.0
+        );
+        assert_eq!(
+            stream_busy_seconds(&t, DeviceId::new(0), StreamKind::Compute),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! The perf-regression gate: compare a run's headline numbers against a
+//! committed snapshot (`BENCH_obs.json`) with a relative tolerance.
+//!
+//! The simulator is deterministic, so re-running the calibrated config
+//! at the same seed reproduces the snapshot *exactly*; any drift beyond
+//! the tolerance is a code change showing up in simulated performance.
+//! The gate is therefore two-sided: a slower step time is a
+//! **regression** (fail), a faster one is a **stale baseline** (also
+//! fail, with a message telling the committer to refresh the snapshot)
+//! — both mean the committed trajectory no longer describes the tree.
+
+use serde::{Deserialize, Serialize};
+
+/// One gated measurement of the snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotRow {
+    /// Stable row key, e.g. `train/laer-moe` or `serve/laer/p99_ttft`.
+    pub key: String,
+    /// Average simulated step seconds (the gated quantity).
+    pub step_time: f64,
+    /// Tokens per second at that step time (context, not gated).
+    pub tokens_per_second: f64,
+}
+
+/// The committed benchmark snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSnapshot {
+    /// Snapshot schema version (bump on layout changes).
+    pub version: u32,
+    /// Human description of the calibrated config that produced it.
+    pub config: String,
+    /// Gated rows.
+    pub rows: Vec<SnapshotRow>,
+}
+
+impl BenchSnapshot {
+    /// Current schema version.
+    pub const VERSION: u32 = 1;
+
+    /// Creates a snapshot.
+    pub fn new(config: impl Into<String>, rows: Vec<SnapshotRow>) -> Self {
+        Self {
+            version: Self::VERSION,
+            config: config.into(),
+            rows,
+        }
+    }
+
+    /// Looks up a row by key.
+    pub fn row(&self, key: &str) -> Option<&SnapshotRow> {
+        self.rows.iter().find(|r| r.key == key)
+    }
+}
+
+/// Outcome of one row's comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GateStatus {
+    /// Within tolerance.
+    Ok,
+    /// Step time grew beyond tolerance — a perf regression.
+    Regression,
+    /// Step time shrank beyond tolerance — the committed baseline is
+    /// stale and must be refreshed.
+    StaleBaseline,
+    /// Row exists in the baseline but not in the current run.
+    MissingInCurrent,
+    /// Row exists in the current run but not in the baseline.
+    MissingInBaseline,
+}
+
+impl GateStatus {
+    /// Whether this status fails the gate.
+    pub fn is_failure(self) -> bool {
+        !matches!(self, GateStatus::Ok | GateStatus::MissingInBaseline)
+    }
+}
+
+/// One row's comparison result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateCheck {
+    /// Row key.
+    pub key: String,
+    /// Baseline step seconds (0 when missing).
+    pub baseline: f64,
+    /// Current step seconds (0 when missing).
+    pub current: f64,
+    /// Signed relative delta `(current − baseline) / baseline`.
+    pub delta: f64,
+    /// Verdict.
+    pub status: GateStatus,
+}
+
+/// The gate's full report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateReport {
+    /// Relative tolerance the comparison used.
+    pub tolerance: f64,
+    /// Per-row results, baseline order then new rows.
+    pub checks: Vec<GateCheck>,
+    /// Whether every check passed.
+    pub pass: bool,
+}
+
+impl GateReport {
+    /// Human-readable one-line-per-row rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.checks {
+            let verdict = match c.status {
+                GateStatus::Ok => "ok",
+                GateStatus::Regression => "REGRESSION",
+                GateStatus::StaleBaseline => "STALE BASELINE (faster — refresh snapshot)",
+                GateStatus::MissingInCurrent => "MISSING IN CURRENT",
+                GateStatus::MissingInBaseline => "new row (not gated)",
+            };
+            out.push_str(&format!(
+                "{:<28} base {:>10.4} ms  now {:>10.4} ms  {:>+7.2}%  {}\n",
+                c.key,
+                c.baseline * 1e3,
+                c.current * 1e3,
+                c.delta * 100.0,
+                verdict
+            ));
+        }
+        out.push_str(&format!(
+            "gate: {} (tolerance ±{:.1}%)\n",
+            if self.pass { "PASS" } else { "FAIL" },
+            self.tolerance * 100.0
+        ));
+        out
+    }
+}
+
+/// Compares `current` against `baseline` with relative `tolerance`.
+///
+/// Each baseline row is matched to a current row by key; the step-time
+/// drift beyond tolerance fails the gate in either direction (see the
+/// module docs for why faster also fails). Rows new in `current` are
+/// reported but not gated.
+///
+/// # Panics
+///
+/// Panics if `tolerance` is not in `(0, 1)`.
+pub fn gate_snapshots(
+    baseline: &BenchSnapshot,
+    current: &BenchSnapshot,
+    tolerance: f64,
+) -> GateReport {
+    assert!(
+        tolerance > 0.0 && tolerance < 1.0,
+        "tolerance must be a fraction in (0, 1)"
+    );
+    let mut checks = Vec::new();
+    for b in &baseline.rows {
+        let check = match current.row(&b.key) {
+            None => GateCheck {
+                key: b.key.clone(),
+                baseline: b.step_time,
+                current: 0.0,
+                delta: -1.0,
+                status: GateStatus::MissingInCurrent,
+            },
+            Some(c) => {
+                let delta = if b.step_time == 0.0 {
+                    0.0
+                } else {
+                    (c.step_time - b.step_time) / b.step_time
+                };
+                let status = if delta > tolerance {
+                    GateStatus::Regression
+                } else if delta < -tolerance {
+                    GateStatus::StaleBaseline
+                } else {
+                    GateStatus::Ok
+                };
+                GateCheck {
+                    key: b.key.clone(),
+                    baseline: b.step_time,
+                    current: c.step_time,
+                    delta,
+                    status,
+                }
+            }
+        };
+        checks.push(check);
+    }
+    for c in &current.rows {
+        if baseline.row(&c.key).is_none() {
+            checks.push(GateCheck {
+                key: c.key.clone(),
+                baseline: 0.0,
+                current: c.step_time,
+                delta: 0.0,
+                status: GateStatus::MissingInBaseline,
+            });
+        }
+    }
+    let pass = !checks.iter().any(|c| c.status.is_failure());
+    GateReport {
+        tolerance,
+        checks,
+        pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(rows: &[(&str, f64)]) -> BenchSnapshot {
+        BenchSnapshot::new(
+            "test",
+            rows.iter()
+                .map(|&(k, t)| SnapshotRow {
+                    key: k.into(),
+                    step_time: t,
+                    tokens_per_second: 1.0 / t,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let s = snap(&[("train/laer-moe", 0.010), ("train/fsdp+ep", 0.015)]);
+        let r = gate_snapshots(&s, &s, 0.05);
+        assert!(r.pass);
+        assert!(r.checks.iter().all(|c| c.status == GateStatus::Ok));
+    }
+
+    #[test]
+    fn regression_fails() {
+        let base = snap(&[("train/laer-moe", 0.010)]);
+        let cur = snap(&[("train/laer-moe", 0.011)]);
+        let r = gate_snapshots(&base, &cur, 0.05);
+        assert!(!r.pass);
+        assert_eq!(r.checks[0].status, GateStatus::Regression);
+        assert!((r.checks[0].delta - 0.1).abs() < 1e-9);
+        assert!(r.render().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn doctored_inflated_baseline_fails_as_stale() {
+        // A baseline doctored with an inflated step time makes the
+        // (unchanged) current run look faster — still a gate failure.
+        let base = snap(&[("train/laer-moe", 0.020)]);
+        let cur = snap(&[("train/laer-moe", 0.010)]);
+        let r = gate_snapshots(&base, &cur, 0.05);
+        assert!(!r.pass);
+        assert_eq!(r.checks[0].status, GateStatus::StaleBaseline);
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = snap(&[("k", 0.010)]);
+        let cur = snap(&[("k", 0.0103)]);
+        assert!(gate_snapshots(&base, &cur, 0.05).pass);
+    }
+
+    #[test]
+    fn missing_rows_are_classified() {
+        let base = snap(&[("old", 0.01)]);
+        let cur = snap(&[("new", 0.01)]);
+        let r = gate_snapshots(&base, &cur, 0.05);
+        assert!(!r.pass, "baseline row vanished");
+        assert_eq!(r.checks[0].status, GateStatus::MissingInCurrent);
+        assert_eq!(r.checks[1].status, GateStatus::MissingInBaseline);
+        assert!(!r.checks[1].status.is_failure(), "new rows don't gate");
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let s = snap(&[("train/laer-moe", 0.010)]);
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: BenchSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(back.version, BenchSnapshot::VERSION);
+    }
+}

@@ -1,0 +1,367 @@
+//! The structured JSONL event journal.
+//!
+//! A [`Journal`] is an ordered list of typed events; each event
+//! serialises as one compact JSON object per line with a `type` field,
+//! so the file is greppable and trivially parsed back. All timestamps
+//! are virtual (simulator) seconds — never wall-clock — so the journal
+//! of a seeded run is byte-identical across re-runs.
+
+use laer_cluster::DeviceId;
+use laer_sim::{SpanLabel, StreamKind, Timeline};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+use crate::registry::Histogram;
+
+/// Busy fraction of every stream of one device over the iteration
+/// makespan (S1–S4 in Fig. 5's labelling).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamUtilization {
+    /// Device index.
+    pub device: usize,
+    /// S1 compute busy fraction.
+    pub s1_compute: f64,
+    /// S2 prefetch busy fraction.
+    pub s2_prefetch: f64,
+    /// S3 All-to-All busy fraction.
+    pub s3_a2a: f64,
+    /// S4 gradient-sync busy fraction.
+    pub s4_grad_sync: f64,
+}
+
+/// Exposed-vs-overlapped seconds of one span-label bucket, summed over
+/// devices: `overlapped` is the part of the bucket's busy time during
+/// which the same device's compute stream (S1) was also busy —
+/// communication the schedule successfully hid; `exposed` is the rest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommOverlap {
+    /// Span label (the Fig. 10a breakdown bucket), display form.
+    pub label: String,
+    /// Seconds hidden under compute.
+    pub overlapped: f64,
+    /// Seconds not hidden under compute.
+    pub exposed: f64,
+}
+
+/// One training iteration's telemetry record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// System under test.
+    pub system: String,
+    /// Global iteration index.
+    pub iteration: u64,
+    /// Simulated end-to-end step seconds.
+    pub step_time: f64,
+    /// Routing imbalance index: mean over layers of max-device-load /
+    /// ideal-load (Fig. 10b's metric).
+    pub imbalance: f64,
+    /// Per-device stream busy fractions.
+    pub streams: Vec<StreamUtilization>,
+    /// Exposed-vs-overlapped seconds per span label.
+    pub comm: Vec<CommOverlap>,
+}
+
+/// A compact, serialisable snapshot of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Finite bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (last is `+Inf`).
+    pub counts: Vec<u64>,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Observation count.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Snapshots a histogram.
+    pub fn of(h: &Histogram) -> Self {
+        Self {
+            bounds: h.bounds().to_vec(),
+            counts: h.counts().to_vec(),
+            sum: h.sum(),
+            count: h.count(),
+        }
+    }
+}
+
+/// One serving run's telemetry record: queue depth and latency
+/// distributions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingRecord {
+    /// Serving system identifier.
+    pub system: String,
+    /// Scheduler steps executed.
+    pub steps: u64,
+    /// Admission-queue depth distribution, sampled once per step.
+    pub queue_depth: HistogramSnapshot,
+    /// Time-to-first-token distribution (seconds).
+    pub ttft: HistogramSnapshot,
+    /// Time-per-output-token distribution (seconds).
+    pub tpot: HistogramSnapshot,
+}
+
+/// The journal: an ordered list of serialised events.
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    events: Vec<serde::Value>,
+}
+
+impl Journal {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `record` as an event of type `kind` (the `type` field is
+    /// prepended to the record's own fields).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `record` does not serialise to a JSON object.
+    pub fn push<T: Serialize>(&mut self, kind: &str, record: &T) {
+        let serde::Value::Object(mut fields) = record.serialize_value() else {
+            panic!("journal events must serialise to objects");
+        };
+        fields.insert(0, ("type".to_string(), serde::Value::Str(kind.to_string())));
+        self.events.push(serde::Value::Object(fields));
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the journal is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The raw events.
+    pub fn events(&self) -> &[serde::Value] {
+        &self.events
+    }
+
+    /// Writes the journal as JSONL: one compact JSON object per line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`.
+    pub fn write_jsonl<W: Write>(&self, mut out: W) -> io::Result<()> {
+        for event in &self.events {
+            let line = serde_json::to_string(event)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            out.write_all(line.as_bytes())?;
+            out.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    /// Renders the journal to a JSONL string.
+    pub fn to_jsonl(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_jsonl(&mut buf)
+            .unwrap_or_else(|_| unreachable!("Vec<u8> writes cannot fail"));
+        String::from_utf8(buf).unwrap_or_else(|_| unreachable!("serde_json emits UTF-8"))
+    }
+}
+
+/// Merges a span list into disjoint busy intervals (input intervals may
+/// overlap arbitrarily; output is sorted and non-overlapping).
+fn merge_intervals(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    iv.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        if e <= s {
+            continue;
+        }
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Length of the intersection of `(s, e)` with the merged interval set.
+fn overlap_with(busy: &[(f64, f64)], s: f64, e: f64) -> f64 {
+    let mut acc = 0.0;
+    for &(bs, be) in busy {
+        if be <= s {
+            continue;
+        }
+        if bs >= e {
+            break;
+        }
+        acc += be.min(e) - bs.max(s);
+    }
+    acc
+}
+
+/// Computes an [`IterationRecord`] from one iteration's span timeline.
+///
+/// * `streams` — per-device busy fraction of each stream over the
+///   makespan (fault annotation spans excluded, matching
+///   [`Timeline::stream_utilization`]);
+/// * `comm` — for every non-compute-stream span label, the split of its
+///   busy seconds into overlapped-with-S1 and exposed, summed across
+///   devices and sorted by label for determinism.
+pub fn iteration_record(
+    system: &str,
+    iteration: u64,
+    step_time: f64,
+    imbalance: f64,
+    timeline: &Timeline,
+    n_devices: usize,
+) -> IterationRecord {
+    let streams = (0..n_devices)
+        .map(|d| {
+            let dev = DeviceId::new(d);
+            StreamUtilization {
+                device: d,
+                s1_compute: timeline.stream_utilization(dev, StreamKind::Compute),
+                s2_prefetch: timeline.stream_utilization(dev, StreamKind::Prefetch),
+                s3_a2a: timeline.stream_utilization(dev, StreamKind::A2a),
+                s4_grad_sync: timeline.stream_utilization(dev, StreamKind::GradSync),
+            }
+        })
+        .collect();
+
+    // Per-device compute busy intervals, then exposed/overlapped split
+    // of every non-compute span against its own device's compute.
+    let mut compute: BTreeMap<usize, Vec<(f64, f64)>> = BTreeMap::new();
+    for s in timeline.spans() {
+        if s.stream == StreamKind::Compute && s.label != SpanLabel::Fault {
+            compute
+                .entry(s.device.index())
+                .or_default()
+                .push((s.start, s.end));
+        }
+    }
+    let compute: BTreeMap<usize, Vec<(f64, f64)>> = compute
+        .into_iter()
+        .map(|(d, iv)| (d, merge_intervals(iv)))
+        .collect();
+    let empty: Vec<(f64, f64)> = Vec::new();
+    let mut comm: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+    for s in timeline.spans() {
+        if s.stream == StreamKind::Compute || s.label == SpanLabel::Fault {
+            continue;
+        }
+        let busy = compute.get(&s.device.index()).unwrap_or(&empty);
+        let overlapped = overlap_with(busy, s.start, s.end);
+        let entry = comm.entry(s.label.to_string()).or_insert((0.0, 0.0));
+        entry.0 += overlapped;
+        entry.1 += s.duration() - overlapped;
+    }
+    IterationRecord {
+        system: system.to_string(),
+        iteration,
+        step_time,
+        imbalance,
+        streams,
+        comm: comm
+            .into_iter()
+            .map(|(label, (overlapped, exposed))| CommOverlap {
+                label,
+                overlapped,
+                exposed,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laer_sim::Span;
+
+    fn span(device: usize, stream: StreamKind, label: SpanLabel, start: f64, end: f64) -> Span {
+        Span {
+            device: DeviceId::new(device),
+            stream,
+            label,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn interval_merge_handles_overlap_and_order() {
+        let merged = merge_intervals(vec![(3.0, 4.0), (0.0, 1.0), (0.5, 2.0), (2.0, 3.0)]);
+        assert_eq!(merged, vec![(0.0, 4.0)]);
+        assert_eq!(overlap_with(&merged, 1.0, 5.0), 3.0);
+        assert_eq!(overlap_with(&merged, 4.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn exposed_vs_overlapped_split() {
+        let mut t = Timeline::new();
+        // Compute busy [0, 2]; a 4-second prefetch [1, 5] overlaps 1s.
+        t.push(span(
+            0,
+            StreamKind::Compute,
+            SpanLabel::ExpertCompute,
+            0.0,
+            2.0,
+        ));
+        t.push(span(0, StreamKind::Prefetch, SpanLabel::Prefetch, 1.0, 5.0));
+        let rec = iteration_record("laer-moe", 3, 5.0, 1.2, &t, 1);
+        assert_eq!(rec.comm.len(), 1);
+        let c = &rec.comm[0];
+        assert_eq!(c.label, "prefetch");
+        assert!((c.overlapped - 1.0).abs() < 1e-12);
+        assert!((c.exposed - 3.0).abs() < 1e-12);
+        assert_eq!(rec.streams.len(), 1);
+        assert!((rec.streams[0].s1_compute - 0.4).abs() < 1e-12);
+        assert!((rec.streams[0].s2_prefetch - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a2a_against_other_device_compute_is_exposed() {
+        let mut t = Timeline::new();
+        t.push(span(0, StreamKind::Compute, SpanLabel::Attention, 0.0, 4.0));
+        // Device 1's A2A has no local compute to hide under.
+        t.push(span(1, StreamKind::A2a, SpanLabel::AllToAll, 0.0, 2.0));
+        let rec = iteration_record("x", 0, 4.0, 1.0, &t, 2);
+        let c = &rec.comm[0];
+        assert_eq!(c.label, "all-to-all");
+        assert_eq!(c.overlapped, 0.0);
+        assert_eq!(c.exposed, 2.0);
+    }
+
+    #[test]
+    fn journal_jsonl_is_typed_and_deterministic() {
+        let build = || {
+            let mut j = Journal::new();
+            j.push(
+                "serving",
+                &ServingRecord {
+                    system: "laer".into(),
+                    steps: 10,
+                    queue_depth: HistogramSnapshot::of(&Histogram::linear(0.0, 4.0, 3)),
+                    ttft: HistogramSnapshot::of(&Histogram::exponential(1e-3, 4.0, 4)),
+                    tpot: HistogramSnapshot::of(&Histogram::exponential(1e-4, 4.0, 4)),
+                },
+            );
+            let mut t = Timeline::new();
+            t.push(span(0, StreamKind::Compute, SpanLabel::Attention, 0.0, 1.0));
+            j.push(
+                "iteration",
+                &iteration_record("laer-moe", 0, 1.0, 1.0, &t, 1),
+            );
+            j.to_jsonl()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        assert_eq!(a.lines().count(), 2);
+        let first = a.lines().next().unwrap();
+        assert!(first.starts_with("{\"type\":\"serving\""));
+        // Every line parses back as JSON.
+        for line in a.lines() {
+            serde_json::parse_value(line).unwrap();
+        }
+    }
+}

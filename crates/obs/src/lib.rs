@@ -1,0 +1,74 @@
+//! Deterministic telemetry for the LAER-MoE reproduction.
+//!
+//! The paper's whole argument is quantitative — the Eq. 1/2 cost model
+//! the planner optimises, Fig. 5's stream overlap, the exposed-
+//! communication breakdowns of Figs. 8–12 — so the reproduction carries
+//! a first-class telemetry layer instead of ad-hoc printouts:
+//!
+//! * [`MetricsRegistry`] — typed counters, gauges and fixed-bucket
+//!   histograms, exportable as Prometheus/OpenMetrics text and JSON;
+//! * [`Journal`] — a structured JSONL event journal with per-iteration
+//!   records (stream busy/idle utilisation per device, exposed-vs-
+//!   overlapped communication per span label, routing imbalance,
+//!   serving queue depth and latency histograms);
+//! * [`audit`] — the planner decision audit: every (re-)layout decision
+//!   records its trigger reason, the predicted Eq. 1 cost and predicted
+//!   per-device load, and is joined with the simulated actuals after
+//!   the iteration executes, yielding a prediction-error metric per
+//!   system;
+//! * [`counters`] — Chrome-trace counter tracks (`ph:"C"`) so queue
+//!   depth and per-stream utilisation render alongside the span
+//!   timeline in Perfetto;
+//! * [`gate`] — a perf-regression gate comparing a run's step times
+//!   against a committed `BENCH_obs.json` snapshot with a tolerance.
+//!
+//! # Determinism rules
+//!
+//! Everything in this crate is a pure function of its inputs:
+//!
+//! * no wall-clock reads — every timestamp is virtual (simulator)
+//!   time supplied by the caller;
+//! * no global state — registries, journals and audit logs are plain
+//!   values threaded explicitly;
+//! * ordered containers only (`BTreeMap`, sorted label sets), so text
+//!   and JSON exports are byte-identical across runs of the same
+//!   seeded experiment — the property the regression gate and the
+//!   golden trace tests rely on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod audit;
+pub mod counters;
+pub mod gate;
+pub mod journal;
+pub mod registry;
+
+pub use audit::{AuditLog, AuditRecord, AuditSummary, PlanAudit};
+pub use counters::{queue_depth_track, stream_utilization_tracks};
+pub use gate::{gate_snapshots, BenchSnapshot, GateCheck, GateReport, GateStatus, SnapshotRow};
+pub use journal::{
+    CommOverlap, HistogramSnapshot, IterationRecord, Journal, ServingRecord, StreamUtilization,
+};
+pub use registry::{Histogram, MetricKind, MetricsRegistry};
+
+/// The bundled telemetry of one run: a metrics registry, an event
+/// journal and a planner decision audit log, threaded together through
+/// the training/serving drivers.
+#[derive(Debug, Clone, Default)]
+pub struct Observer {
+    /// Aggregated metrics (OpenMetrics/JSON export).
+    pub registry: MetricsRegistry,
+    /// Structured per-iteration / per-decision event journal (JSONL).
+    pub journal: Journal,
+    /// Planner decision audit records.
+    pub audit: AuditLog,
+}
+
+impl Observer {
+    /// Creates an empty observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

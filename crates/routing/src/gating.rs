@@ -59,12 +59,7 @@ impl TokenGate {
     pub fn route(&self, logits: &[f32]) -> TopKAssignment {
         assert_eq!(logits.len(), self.experts, "logit count");
         let mut order: Vec<usize> = (0..self.experts).collect();
-        order.sort_by(|&a, &b| {
-            logits[b]
-                .partial_cmp(&logits[a])
-                .expect("logits must not be NaN")
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| logits[b].total_cmp(&logits[a]).then(a.cmp(&b)));
         let selected = &order[..self.top_k];
         // Softmax over the selected logits only (Sec. 2).
         let max = selected

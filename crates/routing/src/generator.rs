@@ -364,7 +364,7 @@ impl RoutingGenerator {
         let damp = aux_damping(self.cfg.aux_loss_weight);
         let jitter = self.cfg.profile.jitter_sigma();
         let mut r = RoutingMatrix::zeros(self.cfg.devices, self.cfg.experts)
-            .expect("config validated in new()");
+            .unwrap_or_else(|e| unreachable!("config validated in new(): {e}"));
         for dev in 0..self.cfg.devices {
             let bias = &self.device_bias[dev * self.cfg.experts..(dev + 1) * self.cfg.experts];
             let noisy: Vec<f64> = self
@@ -418,7 +418,8 @@ pub(crate) fn balanced_matrix(
     assignments_per_device: u64,
 ) -> RoutingMatrix {
     let probs = vec![1.0 / experts as f64; experts];
-    let mut r = RoutingMatrix::zeros(devices, experts).expect("non-empty");
+    let mut r = RoutingMatrix::zeros(devices, experts)
+        .unwrap_or_else(|e| unreachable!("non-empty shape: {e}"));
     for dev in 0..devices {
         let counts = largest_remainder(&probs, assignments_per_device);
         for (j, &c) in counts.iter().enumerate() {
@@ -452,9 +453,9 @@ fn argmax(values: &[f64]) -> usize {
     values
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN logits"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
-        .expect("non-empty")
+        .unwrap_or_else(|| unreachable!("non-empty"))
 }
 
 /// Largest-remainder rounding of `total · probs` to integers summing to
@@ -472,7 +473,7 @@ fn largest_remainder(probs: &[f64], total: u64) -> Vec<u64> {
     }
     // Distribute the remainder to the largest fractional parts
     // (deterministic tie-break on index).
-    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let mut left = total - assigned;
     let mut idx = 0;
     while left > 0 {

@@ -31,8 +31,8 @@ impl LoadStats {
     /// Panics if `loads` is empty.
     pub fn of(loads: &[u64]) -> Self {
         assert!(!loads.is_empty(), "load vector must be non-empty");
-        let max = *loads.iter().max().expect("non-empty");
-        let min = *loads.iter().min().expect("non-empty");
+        let max = *loads.iter().max().unwrap_or(&0);
+        let min = *loads.iter().min().unwrap_or(&0);
         let n = loads.len() as f64;
         let mean = loads.iter().sum::<u64>() as f64 / n;
         let var = loads

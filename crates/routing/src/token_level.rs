@@ -94,8 +94,8 @@ impl TokenLevelGenerator {
     /// Routes one iteration's tokens and returns the aggregated matrix
     /// (entries count token-expert assignments, `S·K` per device).
     pub fn next_iteration(&mut self) -> RoutingMatrix {
-        let mut r =
-            RoutingMatrix::zeros(self.cfg.devices, self.cfg.experts).expect("validated in new()");
+        let mut r = RoutingMatrix::zeros(self.cfg.devices, self.cfg.experts)
+            .unwrap_or_else(|e| unreachable!("validated in new(): {e}"));
         for dev in 0..self.cfg.devices {
             for _ in 0..self.cfg.tokens_per_device {
                 let logits: Vec<f32> = self

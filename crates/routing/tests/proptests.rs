@@ -2,6 +2,8 @@
 //! conservation, statistics bounds and trace integrity under arbitrary
 //! parameters.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use laer_cluster::DeviceId;
 use laer_routing::{
     DatasetProfile, LoadStats, RoutingGenerator, RoutingGeneratorConfig, RoutingMatrix,

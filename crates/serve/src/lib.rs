@@ -45,7 +45,7 @@ pub mod sla;
 pub mod systems;
 pub mod workload;
 
-pub use serving::{run_serving, ServeConfig, ServeReport, ServingOutcome};
+pub use serving::{record_observability, run_serving, ServeConfig, ServeReport, ServingOutcome};
 pub use sla::{LatencySummary, SlaConfig};
 pub use systems::{ServingSystem, ServingSystemKind};
 pub use workload::{generate_requests, Request, TopicMix, WorkloadConfig};

@@ -19,6 +19,7 @@ use std::collections::VecDeque;
 
 use laer_cluster::{DeviceId, Topology};
 use laer_model::{CostModel, GpuSpec, ModelPreset, BF16_BYTES};
+use laer_obs::{Histogram, HistogramSnapshot, Observer, ServingRecord};
 use laer_planner::{lite_route, relocation_moves, ExpertLayout};
 use laer_sim::{all_to_all_time, A2aMatrix, Engine, SpanHandle, SpanLabel, StreamKind, Timeline};
 use laer_train::ExperimentConfig;
@@ -174,6 +175,10 @@ pub struct ServingOutcome {
     pub tpot: Vec<f64>,
     /// Replica-count vectors of every applied layout (initial first).
     pub layouts: Vec<Vec<usize>>,
+    /// Admission-queue depth sampled once per scheduler step, as
+    /// `(virtual time, depth)` — the raw series behind the journal's
+    /// queue-depth histogram and the Chrome-trace counter track.
+    pub queue_depth: Vec<(f64, usize)>,
     /// Every span the run enqueued.
     pub timeline: Timeline,
 }
@@ -238,6 +243,7 @@ pub fn run_serving(cfg: &ServeConfig) -> ServingOutcome {
     let mut queue: VecDeque<Request> = VecDeque::new();
     let mut running: Vec<Active> = Vec::new();
     let mut next_arrival = 0usize;
+    let mut queue_depth: Vec<(f64, usize)> = Vec::new();
 
     let mut ttft_samples = Vec::new();
     let mut tpot_samples = Vec::new();
@@ -279,6 +285,10 @@ pub fn run_serving(cfg: &ServeConfig) -> ServingOutcome {
             engine.barrier_at(clock);
             continue;
         }
+
+        // Sample the admission-queue depth once per executed step, at
+        // step start (post-admission, pre-batching).
+        queue_depth.push((clock, queue.len()));
 
         // Form the batch: token-budgeted prefills + one decode token per
         // running request (the continuous-batching mix).
@@ -509,8 +519,112 @@ pub fn run_serving(cfg: &ServeConfig) -> ServingOutcome {
         ttft: ttft_samples,
         tpot: tpot_samples,
         layouts,
+        queue_depth,
         timeline: engine.into_timeline(),
     }
+}
+
+/// Records a finished serving run into an [`Observer`]: TTFT / TPOT /
+/// queue-depth histograms and throughput gauges in the registry (all
+/// labelled by `system`), plus one `serving` journal event carrying the
+/// distributions ([`ServingRecord`]).
+///
+/// Bucket layouts are fixed here — not derived from the data — so two
+/// runs of the same seeded configuration export byte-identical metrics.
+pub fn record_observability(out: &ServingOutcome, obs: &mut Observer) {
+    let report = &out.report;
+    let system: &str = &report.system;
+    let labels: [(&str, &str); 1] = [("system", system)];
+
+    // Local histograms back the journal snapshot; the registry gets the
+    // same observations under fixed, pre-declared bucket layouts.
+    let mut ttft_hist = Histogram::exponential(1e-3, 2.0, 14);
+    for &v in &out.ttft {
+        ttft_hist.observe(v);
+    }
+    let mut tpot_hist = Histogram::exponential(1e-4, 2.0, 14);
+    for &v in &out.tpot {
+        tpot_hist.observe(v);
+    }
+    let mut queue_hist = Histogram::linear(0.0, 4.0, 16);
+    for &(_, depth) in &out.queue_depth {
+        queue_hist.observe(depth as f64);
+    }
+
+    let r = &mut obs.registry;
+    r.declare_counter(
+        "laer_serve_requests_total",
+        "Serving requests by final disposition.",
+    );
+    r.inc(
+        "laer_serve_requests_total",
+        &[("system", system), ("outcome", "completed")],
+        report.completed as u64,
+    );
+    r.inc(
+        "laer_serve_requests_total",
+        &[("system", system), ("outcome", "rejected")],
+        report.rejected as u64,
+    );
+    r.declare_counter("laer_serve_steps_total", "Scheduler steps executed.");
+    r.inc("laer_serve_steps_total", &labels, report.steps);
+    r.declare_counter("laer_serve_relayouts_total", "Expert re-layouts applied.");
+    r.inc("laer_serve_relayouts_total", &labels, report.relayouts);
+    r.declare_gauge(
+        "laer_serve_goodput_rps",
+        "SLO-meeting completions per virtual second.",
+    );
+    r.set("laer_serve_goodput_rps", &labels, report.goodput_rps);
+    r.declare_gauge(
+        "laer_serve_throughput_tps",
+        "Output tokens generated per virtual second.",
+    );
+    r.set("laer_serve_throughput_tps", &labels, report.throughput_tps);
+    r.declare_gauge(
+        "laer_serve_relocation_seconds",
+        "Virtual seconds of charged re-layout weight traffic.",
+    );
+    r.set(
+        "laer_serve_relocation_seconds",
+        &labels,
+        report.relocation_time,
+    );
+
+    r.declare_histogram(
+        "laer_serve_ttft_seconds",
+        "Time to first token over admitted requests.",
+        Histogram::exponential(1e-3, 2.0, 14),
+    );
+    for &v in &out.ttft {
+        r.observe("laer_serve_ttft_seconds", &labels, v);
+    }
+    r.declare_histogram(
+        "laer_serve_tpot_seconds",
+        "Time per output token over multi-token completions.",
+        Histogram::exponential(1e-4, 2.0, 14),
+    );
+    for &v in &out.tpot {
+        r.observe("laer_serve_tpot_seconds", &labels, v);
+    }
+    r.declare_histogram(
+        "laer_serve_queue_depth",
+        "Admission-queue depth sampled once per scheduler step.",
+        Histogram::linear(0.0, 4.0, 16),
+    );
+    for &(_, depth) in &out.queue_depth {
+        r.observe("laer_serve_queue_depth", &labels, depth as f64);
+    }
+
+    obs.journal.push(
+        "serving",
+        &ServingRecord {
+            system: system.to_string(),
+            steps: report.steps,
+            queue_depth: HistogramSnapshot::of(&queue_hist),
+            ttft: HistogramSnapshot::of(&ttft_hist),
+            tpot: HistogramSnapshot::of(&tpot_hist),
+        },
+    );
 }
 
 #[cfg(test)]
@@ -657,6 +771,55 @@ mod tests {
             "laer goodput {} must be at least static-ep {}",
             laer.report.goodput_rps,
             staticep.report.goodput_rps
+        );
+    }
+
+    /// Tentpole: queue-depth samples are one-per-step with
+    /// non-decreasing timestamps, and `record_observability` populates
+    /// the registry and journal deterministically.
+    #[test]
+    fn observability_records_the_run() {
+        let mut cfg = ServeConfig::new(ServingSystemKind::Laer);
+        cfg.workload = quick_workload(5).with_flip_period(Some(20));
+        cfg.workload.requests = 80;
+        let out = run_serving(&cfg);
+        assert_eq!(
+            out.queue_depth.len() as u64,
+            out.report.steps,
+            "one queue sample per executed step"
+        );
+        assert!(
+            out.queue_depth.windows(2).all(|w| w[0].0 <= w[1].0),
+            "sample times must be non-decreasing"
+        );
+
+        let observe = || {
+            let mut obs = laer_obs::Observer::new();
+            record_observability(&out, &mut obs);
+            obs
+        };
+        let obs = observe();
+        let text = obs.registry.to_openmetrics();
+        assert!(text.contains("laer_serve_ttft_seconds_bucket{system=\"laer\""));
+        assert!(text.contains("laer_serve_queue_depth_count{system=\"laer\"}"));
+        assert_eq!(
+            obs.registry
+                .counter_value("laer_serve_steps_total", &[("system", "laer")]),
+            out.report.steps
+        );
+        assert_eq!(
+            obs.registry.counter_value(
+                "laer_serve_requests_total",
+                &[("system", "laer"), ("outcome", "completed")]
+            ),
+            out.report.completed as u64
+        );
+        assert_eq!(obs.journal.len(), 1);
+        assert!(obs.journal.to_jsonl().starts_with("{\"type\":\"serving\""));
+        assert_eq!(
+            text,
+            observe().registry.to_openmetrics(),
+            "metric export must be deterministic"
         );
     }
 

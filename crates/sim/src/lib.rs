@@ -40,7 +40,9 @@ mod engine;
 pub mod faults;
 mod timeline;
 
-pub use chrome::write_chrome_trace;
+pub use chrome::{
+    write_chrome_trace, write_chrome_trace_with_counters, CounterSample, CounterTrack,
+};
 pub use collective::{
     all_gather_time, all_reduce_time, all_to_all_balanced_time, all_to_all_time,
     reduce_scatter_time, A2aMatrix, CollectiveError,

@@ -41,5 +41,8 @@ pub use faults::{
     window_throughput, FaultRunner, IterationReport, RunnerCheckpoint, TrainError,
     CHECKPOINT_RELOAD, COLLECTIVE_TIMEOUT, DETECTION_DELAY, REPLAN_PENALTY,
 };
-pub use runner::{run_experiment, run_experiment_on_trace, ExperimentConfig, ExperimentResult};
+pub use runner::{
+    run_experiment, run_experiment_observed, run_experiment_on_trace, ExperimentConfig,
+    ExperimentResult,
+};
 pub use scaling::{mlp_speedup, MlpSpeedupRow};

@@ -7,8 +7,9 @@ use laer_baselines::{
 use laer_cluster::Topology;
 use laer_fsep::{schedule_iteration, LayerTimings};
 use laer_model::{GpuSpec, ModelPreset};
+use laer_obs::{journal, AuditRecord, Histogram, Observer};
 use laer_routing::{DatasetProfile, RoutingGenerator, RoutingGeneratorConfig, RoutingMatrix};
-use laer_sim::{Breakdown, Engine};
+use laer_sim::{Breakdown, Engine, Timeline};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one end-to-end experiment (one bar of Fig. 8, one
@@ -190,6 +191,31 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     run_with_demands(cfg, |l, _| gens[l].next_iteration())
 }
 
+/// [`run_experiment`] plus a telemetry sink: every measured iteration
+/// appends an `iteration` journal event (step time, per-stream
+/// utilization, exposed-vs-overlapped communication, routing imbalance),
+/// every layer decision joins the system's planning-time belief with the
+/// simulated actuals into the decision audit, and headline numbers land
+/// in the metrics registry. Returns the result together with the last
+/// measured iteration's [`Timeline`] so callers can render a Chrome
+/// trace with counter tracks.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero layers/iterations).
+pub fn run_experiment_observed(
+    cfg: &ExperimentConfig,
+    obs: &mut Observer,
+) -> (ExperimentResult, Timeline) {
+    let mut gens = cfg.layer_generators();
+    let (result, timeline) =
+        run_with_demands_observed(cfg, |l, _| gens[l].next_iteration(), Some(obs));
+    (
+        result,
+        timeline.unwrap_or_else(|| unreachable!("observed runs capture a timeline")),
+    )
+}
+
 /// Runs one experiment by *replaying* a recorded routing trace: every
 /// layer of iteration `i` consumes the trace's matrix `i` (Appendix D's
 /// trace-driven methodology). Iterations beyond the trace wrap around.
@@ -225,29 +251,99 @@ pub fn run_experiment_on_trace(
 
 fn run_with_demands(
     cfg: &ExperimentConfig,
-    mut demand_for: impl FnMut(usize, u64) -> RoutingMatrix,
+    demand_for: impl FnMut(usize, u64) -> RoutingMatrix,
 ) -> ExperimentResult {
+    run_with_demands_observed(cfg, demand_for, None).0
+}
+
+/// Registry families the observed runner populates (documented on
+/// [`run_experiment_observed`]'s export side in `DESIGN.md` §8).
+fn declare_train_metrics(obs: &mut Observer) {
+    obs.registry.declare_counter(
+        "laer_train_iterations_total",
+        "measured iterations executed",
+    );
+    obs.registry.declare_counter(
+        "laer_plan_decisions_total",
+        "layer (re-)layout decisions by trigger",
+    );
+    obs.registry.declare_histogram(
+        "laer_train_step_seconds",
+        "simulated iteration time",
+        Histogram::exponential(5e-3, 2.0, 12),
+    );
+    obs.registry.declare_gauge(
+        "laer_train_avg_step_seconds",
+        "average measured iteration time",
+    );
+    obs.registry
+        .declare_gauge("laer_train_tokens_per_second", "global training throughput");
+    obs.registry.declare_gauge(
+        "laer_plan_mean_abs_rel_error",
+        "mean |predicted-actual|/actual of the Eq. 1 decision audit",
+    );
+}
+
+fn run_with_demands_observed(
+    cfg: &ExperimentConfig,
+    mut demand_for: impl FnMut(usize, u64) -> RoutingMatrix,
+    mut obs: Option<&mut Observer>,
+) -> (ExperimentResult, Option<Timeline>) {
     assert!(cfg.layers > 0, "at least one layer");
     assert!(cfg.iterations > 0, "at least one measured iteration");
     let topo = cfg.topology();
     let n = topo.num_devices();
     let mut system = cfg.build_system();
+    let name = system.name();
     let opts = system.schedule_options();
+    if let Some(o) = obs.as_deref_mut() {
+        declare_train_metrics(o);
+    }
 
     let mut iteration_times = Vec::with_capacity(cfg.iterations);
     let mut breakdown_acc = Breakdown::default();
     let mut ratio_acc = 0.0f64;
     let mut ratio_count = 0usize;
+    let mut last_timeline = None;
 
-    for iter in 0..(cfg.warmup + cfg.iterations) {
+    let total_iters = cfg.warmup + cfg.iterations;
+    for iter in 0..total_iters {
         let measured = iter >= cfg.warmup;
+        let mut iter_ratio = 0.0f64;
         let mut layer_timings: Vec<LayerTimings> = Vec::with_capacity(cfg.layers);
         for l in 0..cfg.layers {
             let demand = demand_for(l, iter as u64);
             let plan = system.plan_layer(l, iter as u64, &demand);
+            let ratio = plan.max_token_ratio();
+            iter_ratio += ratio;
             if measured {
-                ratio_acc += plan.max_token_ratio();
+                ratio_acc += ratio;
                 ratio_count += 1;
+            }
+            if let Some(o) = obs.as_deref_mut() {
+                // Join the decision's belief with what the executor was
+                // actually charged: the layer's four A2A passes are the
+                // dispatch + combine stragglers twice (forward and
+                // backward), expert compute is the forward straggler
+                // times the schedule's roundtrip factor.
+                let max = |v: &[f64]| v.iter().copied().fold(0.0, f64::max);
+                o.audit.push(AuditRecord {
+                    system: name.to_string(),
+                    iteration: iter as u64,
+                    layer: l,
+                    trigger: plan.audit.trigger.clone(),
+                    predicted_comm: plan.audit.predicted_comm,
+                    predicted_comp: plan.audit.predicted_comp,
+                    actual_comm: 2.0 * max(&plan.timings.dispatch)
+                        + 2.0 * max(&plan.timings.combine),
+                    actual_comp: opts.expert_roundtrip_factor() * max(&plan.timings.expert_forward),
+                    actual_imbalance: ratio,
+                });
+                o.registry.inc(
+                    "laer_plan_decisions_total",
+                    &[("system", name), ("trigger", &plan.audit.trigger)],
+                    1,
+                );
             }
             layer_timings.push(plan.timings);
         }
@@ -256,19 +352,57 @@ fn run_with_demands(
         if measured {
             iteration_times.push(t.total);
             breakdown_acc.accumulate(&engine.timeline().breakdown(n));
+            if let Some(o) = obs.as_deref_mut() {
+                let record = journal::iteration_record(
+                    name,
+                    iter as u64,
+                    t.total,
+                    iter_ratio / cfg.layers as f64,
+                    engine.timeline(),
+                    n,
+                );
+                o.journal.push("iteration", &record);
+                o.registry
+                    .inc("laer_train_iterations_total", &[("system", name)], 1);
+                o.registry
+                    .observe("laer_train_step_seconds", &[("system", name)], t.total);
+                if iter + 1 == total_iters {
+                    last_timeline = Some(engine.timeline().clone());
+                }
+            }
         }
     }
 
     let avg_iteration_time = iteration_times.iter().sum::<f64>() / iteration_times.len() as f64;
     let global_tokens = n as u64 * cfg.tokens_per_device;
-    ExperimentResult {
-        system: system.name().to_string(),
+    if let Some(o) = obs {
+        o.registry.set(
+            "laer_train_avg_step_seconds",
+            &[("system", name)],
+            avg_iteration_time,
+        );
+        o.registry.set(
+            "laer_train_tokens_per_second",
+            &[("system", name)],
+            global_tokens as f64 / avg_iteration_time,
+        );
+        if let Some(summary) = o.audit.summary(name) {
+            o.registry.set(
+                "laer_plan_mean_abs_rel_error",
+                &[("system", name)],
+                summary.mean_abs_rel_error,
+            );
+        }
+    }
+    let result = ExperimentResult {
+        system: name.to_string(),
         avg_iteration_time,
         tokens_per_second: global_tokens as f64 / avg_iteration_time,
         breakdown: breakdown_acc.scale(1.0 / cfg.iterations as f64),
         avg_max_token_ratio: ratio_acc / ratio_count as f64,
         iteration_times,
-    }
+    };
+    (result, last_timeline)
 }
 
 #[cfg(test)]

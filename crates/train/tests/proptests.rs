@@ -2,7 +2,8 @@
 
 use laer_baselines::SystemKind;
 use laer_model::ModelPreset;
-use laer_train::{run_experiment, ConvergenceModel, ExperimentConfig};
+use laer_obs::Observer;
+use laer_train::{run_experiment, run_experiment_observed, ConvergenceModel, ExperimentConfig};
 use proptest::prelude::*;
 
 proptest! {
@@ -66,5 +67,47 @@ proptest! {
         let m = ConvergenceModel::new(1e-4, 1.0, seed);
         let rel = (m.loss(step) - m.mean_loss(step)).abs() / m.mean_loss(step);
         prop_assert!(rel <= 2.1e-4, "jitter {rel}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Fault-free systems that plan on the *actual* routing demand
+    /// predict the Eq. 1 iteration cost to within a fixed tolerance of
+    /// the simulated actual, across seeds and cluster shapes. (LAER's
+    /// asynchronous planner intentionally works on stale demand, so it
+    /// is excluded — its honest gap is what the decision audit is for.)
+    #[test]
+    fn predicted_cost_tracks_simulated_actual(
+        seed in 0u64..1000,
+        nodes in 1usize..=4,
+        dpn_pick in 0usize..2,
+        system_pick in 0usize..2,
+    ) {
+        let devices = [4usize, 8][dpn_pick];
+        let system = [SystemKind::FsdpEp, SystemKind::VanillaEp][system_pick];
+        let cfg = ExperimentConfig::new(ModelPreset::Mixtral8x7bE8k2, system)
+            .with_cluster(nodes, devices)
+            .with_layers(2)
+            .with_iterations(4, 1)
+            .with_seed(seed);
+        let mut obs = Observer::new();
+        let _ = run_experiment_observed(&cfg, &mut obs);
+        let summaries = obs.audit.summaries();
+        prop_assert_eq!(summaries.len(), 1);
+        for s in summaries {
+            prop_assert!(s.decisions > 0);
+            prop_assert!(
+                s.mean_abs_rel_error <= 0.05,
+                "{}: mean |rel err| {:.4} over {} decisions",
+                s.system, s.mean_abs_rel_error, s.decisions
+            );
+            prop_assert!(
+                s.worst_abs_rel_error <= 0.10,
+                "{}: worst |rel err| {:.4}",
+                s.system, s.worst_abs_rel_error
+            );
+        }
     }
 }

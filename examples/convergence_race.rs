@@ -6,6 +6,8 @@
 //! cargo run --release --example convergence_race
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use laer_moe::prelude::*;
 
 fn main() {

@@ -7,6 +7,8 @@
 //! cargo run --release --example fsep_numerics
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use laer_moe::fsep::reference::{run_fsep_step, DenseReference, FsdpReference, TokenBatch};
 use laer_moe::fsep::{AdamConfig, ExpertParams, FsepExperts, Matrix, ShardedAdam};
 use laer_moe::prelude::*;

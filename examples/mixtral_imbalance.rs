@@ -7,6 +7,8 @@
 //! cargo run --release --example mixtral_imbalance
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use laer_moe::prelude::*;
 use laer_moe::routing::imbalance_ratio;
 

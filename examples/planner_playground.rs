@@ -7,6 +7,8 @@
 //! cargo run --release --example planner_playground
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use laer_moe::planner::{exhaustive_best_layout, CostParams};
 use laer_moe::prelude::*;
 

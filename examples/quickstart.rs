@@ -5,6 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use laer_moe::prelude::*;
 
 fn main() {

@@ -6,6 +6,8 @@
 //! cargo run --release --example timeline_export
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use laer_moe::fsep::schedule_iteration;
 use laer_moe::prelude::*;
 use laer_moe::sim::write_chrome_trace;

@@ -2,6 +2,8 @@
 //! pure function of its configuration, enabling exact reproduction of
 //! all tables and figures from seeds.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use laer_moe::planner::{parallel::plan_parallel, CostParams};
 use laer_moe::prelude::*;
 

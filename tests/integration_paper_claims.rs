@@ -1,6 +1,8 @@
 //! The paper's headline quantitative claims, checked through the public
 //! API at reduced scale. Each test names the claim it covers.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use laer_moe::model::CostModel;
 use laer_moe::prelude::*;
 

@@ -6,6 +6,8 @@
 //! batches flow through a *planned* layout, gradients reshard, and the
 //! same plan drives the simulated timeline.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use laer_moe::fsep::reference::{run_fsep_step, DenseReference, TokenBatch};
 use laer_moe::fsep::{schedule_iteration, AdamConfig, LayerTimings, Matrix};
 use laer_moe::planner::CostParams;

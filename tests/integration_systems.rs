@@ -2,6 +2,8 @@
 //! executable plans on shared workloads, and the relative orderings the
 //! paper reports hold across seeds and model variants.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use laer_moe::prelude::*;
 use laer_moe::systems::{FasterMoeSystem, SmartMoeSystem};
 
