@@ -1,0 +1,74 @@
+//! Criterion bench for the discrete-event engine's enqueue hot path —
+//! the loop the FSEP scheduler drives tens of thousands of times per
+//! simulated iteration. Exercises both per-device `enqueue` and the
+//! N-device `enqueue_collective`, whose stream frontiers are now a flat
+//! indexed array rather than a hash map.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use laer_cluster::{DeviceId, Topology};
+use laer_sim::{Engine, SpanLabel, StreamKind};
+
+/// Chains `spans` compute/comm spans per device across all devices.
+fn enqueue_chain(topo: &Topology, spans: usize) -> f64 {
+    let n = topo.num_devices();
+    let mut engine = Engine::new(topo);
+    engine.reserve_spans(n * spans);
+    for d in 0..n {
+        let device = DeviceId::new(d);
+        let mut prev = Vec::new();
+        for i in 0..spans {
+            let (stream, label) = match i % 3 {
+                0 => (StreamKind::Compute, SpanLabel::ExpertCompute),
+                1 => (StreamKind::Prefetch, SpanLabel::Prefetch),
+                _ => (StreamKind::A2a, SpanLabel::AllToAll),
+            };
+            let h = engine.enqueue(device, stream, label, 1e-4, &prev);
+            prev = vec![h];
+        }
+    }
+    engine.timeline().makespan()
+}
+
+/// Rounds of N-device collectives with per-round dependency chains.
+fn enqueue_collectives(topo: &Topology, rounds: usize) -> f64 {
+    let n = topo.num_devices();
+    let devices: Vec<DeviceId> = (0..n).map(DeviceId::new).collect();
+    let durations = vec![1e-4; n];
+    let mut engine = Engine::new(topo);
+    engine.reserve_spans(n * rounds);
+    let mut deps: Vec<Vec<_>> = vec![Vec::new(); n];
+    for _ in 0..rounds {
+        let handles = engine.enqueue_collective(
+            &devices,
+            StreamKind::A2a,
+            SpanLabel::AllToAll,
+            &durations,
+            &deps,
+        );
+        deps = handles.into_iter().map(|h| vec![h]).collect();
+    }
+    engine.timeline().makespan()
+}
+
+fn bench_enqueue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_enqueue");
+    for &gpus in &[8usize, 32, 128] {
+        let topo = Topology::new(gpus / 8, 8).expect("cluster");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("chain_N{gpus}")),
+            &topo,
+            |b, topo| b.iter(|| black_box(enqueue_chain(topo, 512))),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("collective_N{gpus}")),
+            &topo,
+            |b, topo| b.iter(|| black_box(enqueue_collectives(topo, 256))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enqueue);
+criterion_main!(benches);

@@ -1,21 +1,56 @@
 //! `repro` — regenerate any table or figure of the paper.
 //!
 //! ```text
-//! repro <target> [--quick|--full] [--iters N]
-//!              [--update-baseline] [--baseline PATH] [--tolerance F]
+//! repro <target> [--quick|--full] [--jobs N] [--iters N]
+//!               [--update-baseline] [--baseline PATH] [--tolerance F]
 //!
-//! targets: fig1a fig1b fig2 tab2 eq1 fig8 fig9 fig10a fig10b fig11
-//!          fig12 tab3 tab4 ext-faults ext-serve ext-obs all
+//! targets: fig1a fig1b fig1 fig2 tab2 eq1 fig8 fig9 fig10a fig10b
+//!          fig11 fig12 tab3 tab4 ext-refine ext-staleness ext-rack
+//!          ext-overlap ext-faults ext-serve ext-obs all harness-bench
 //! ```
+//!
+//! `--jobs N` fans the target's independent experiment cells across `N`
+//! worker threads (default: the machine's available parallelism).
+//! Results are rendered in submission order after all cells finish, so
+//! stdout and every JSON artifact are byte-identical to a `--jobs 1`
+//! run. `repro all` schedules every target's cells on one shared pool.
 //!
 //! `--iters N` only affects `ext-serve`, where it overrides the number
 //! of requests served per operating point (smoke runs in CI use a tiny
 //! value). The baseline/tolerance flags only affect `ext-obs`, whose
 //! perf-regression gate exits non-zero on failure.
+//!
+//! `harness-bench` times `repro all --quick` at `--jobs 1` vs the
+//! default job count and writes the informational `BENCH_harness.json`.
 
+use laer_bench::pool::Batch;
 use laer_bench::{
-    eq1, ext_obs, fig1, fig10, fig11, fig12, fig2, fig8, fig9, tab2, tab3, tab4, Effort,
+    eq1, ext_faults, ext_obs, ext_overlap, ext_rack, ext_refine, ext_serve, ext_staleness, fig1,
+    fig10, fig11, fig12, fig2, fig8, fig9, pool, tab2, tab3, tab4, Effort,
 };
+use std::time::Instant;
+
+/// Target order of `repro all`.
+const ALL_TARGETS: [&str; 18] = [
+    "tab2",
+    "eq1",
+    "fig1",
+    "fig2",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "tab3",
+    "tab4",
+    "ext-refine",
+    "ext-staleness",
+    "ext-rack",
+    "ext-overlap",
+    "ext-faults",
+    "ext-serve",
+    "ext-obs",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,6 +60,13 @@ fn main() {
     } else {
         Effort::Quick
     };
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(pool::default_jobs);
     let iters = args
         .iter()
         .position(|a| a == "--iters")
@@ -40,21 +82,29 @@ fn main() {
         tolerance: args
             .iter()
             .position(|a| a == "--tolerance")
-            .and_then(|i| args.get(i + 1))
+            .and_then(|v| args.get(v + 1))
             .and_then(|v| v.parse::<f64>().ok()),
     };
-    let ran = dispatch(target, effort, iters, &obs);
+    let start = Instant::now();
+    let ran = dispatch(target, effort, jobs, iters, &obs);
     if !ran {
         eprintln!(
-            "usage: repro <target> [--quick|--full] [--iters N] [--update-baseline] [--baseline PATH] [--tolerance F]\n\
-             targets: fig1a fig1b fig2 tab2 eq1 fig8 fig9 fig10a fig10b fig11 fig12 tab3 tab4 ext-refine ext-staleness ext-rack ext-overlap
-             ext-faults ext-serve ext-obs all"
+            "usage: repro <target> [--quick|--full] [--jobs N] [--iters N] [--update-baseline] [--baseline PATH] [--tolerance F]\n\
+             targets: fig1a fig1b fig1 fig2 tab2 eq1 fig8 fig9 fig10a fig10b fig11 fig12 tab3 tab4 \
+             ext-refine ext-staleness ext-rack ext-overlap ext-faults ext-serve ext-obs all harness-bench"
         );
         std::process::exit(if target == "help" { 0 } else { 2 });
     }
+    eprintln!("[{target}: {:.2}s elapsed]", start.elapsed().as_secs_f64());
 }
 
-fn dispatch(target: &str, effort: Effort, iters: Option<usize>, obs: &ext_obs::ObsOptions) -> bool {
+fn dispatch(
+    target: &str,
+    effort: Effort,
+    jobs: usize,
+    iters: Option<usize>,
+    obs: &ext_obs::ObsOptions,
+) -> bool {
     match target {
         "fig1a" => {
             let a = fig1::fig1a();
@@ -85,87 +135,314 @@ fn dispatch(target: &str, effort: Effort, iters: Option<usize>, obs: &ext_obs::O
             laer_bench::output::save_json("fig1b", &b);
         }
         "fig1" => {
-            fig1::run(effort);
+            fig1::run_jobs(effort, jobs);
         }
         "fig2" => {
-            fig2::run();
+            fig2::run_jobs(jobs);
         }
         "tab2" => {
-            tab2::run();
+            tab2::run_jobs(jobs);
         }
         "eq1" => {
-            eq1::run();
+            eq1::run_jobs(jobs);
         }
         "fig8" => {
-            fig8::run(effort);
+            fig8::run_jobs(effort, jobs);
         }
         "fig9" => {
-            fig9::run(effort);
+            fig9::run_jobs(effort, jobs);
         }
         "fig10" | "fig10a" | "fig10b" => {
-            fig10::run(effort);
+            fig10::run_jobs(effort, jobs);
         }
         "fig11" => {
-            fig11::run();
+            fig11::run_jobs(jobs);
         }
         "fig12" => {
-            fig12::run(effort);
+            fig12::run_jobs(effort, jobs);
         }
         "tab3" => {
-            tab3::run(effort);
+            tab3::run_jobs(effort, jobs);
         }
         "tab4" => {
-            tab4::run();
+            tab4::run_jobs(jobs);
         }
         "ext-refine" => {
-            laer_bench::ext_refine::run();
+            ext_refine::run_jobs(jobs);
         }
         "ext-staleness" => {
-            laer_bench::ext_staleness::run();
+            ext_staleness::run_jobs(jobs);
         }
         "ext-rack" => {
-            laer_bench::ext_rack::run();
+            ext_rack::run_jobs(jobs);
         }
         "ext-overlap" => {
-            laer_bench::ext_overlap::run();
+            ext_overlap::run_jobs(jobs);
         }
         "ext-faults" => {
-            laer_bench::ext_faults::run();
+            ext_faults::run_jobs(jobs);
         }
         "ext-serve" => {
-            laer_bench::ext_serve::run(effort, iters);
+            ext_serve::run_jobs(effort, iters, jobs);
         }
         "ext-obs" => {
-            if !ext_obs::run(obs) {
+            if !ext_obs::run_jobs(obs, jobs) {
                 std::process::exit(1);
             }
         }
-        "all" => {
-            for t in [
-                "tab2",
-                "eq1",
-                "fig1",
-                "fig2",
-                "fig8",
-                "fig9",
-                "fig10",
-                "fig11",
-                "fig12",
-                "tab3",
-                "tab4",
-                "ext-refine",
-                "ext-staleness",
-                "ext-rack",
-                "ext-overlap",
-                "ext-faults",
-                "ext-serve",
-                "ext-obs",
-            ] {
-                println!("\n================ {t} ================\n");
-                dispatch(t, effort, iters, obs);
-            }
-        }
+        "all" => run_all(effort, jobs, iters, obs),
+        "harness-bench" => harness_bench(),
         _ => return false,
     }
     true
+}
+
+/// Deferred renderer of one target's pooled cells; returns the
+/// target's pass/fail verdict (always `true` except the `ext-obs`
+/// gate).
+type Finisher = Box<dyn FnOnce() -> bool>;
+
+/// Runs every target on one shared pool: all cells are submitted up
+/// front, executed across `jobs` workers, then rendered target by
+/// target in the fixed [`ALL_TARGETS`] order — so stdout and every
+/// artifact are byte-identical to a serial run.
+fn run_all(effort: Effort, jobs: usize, iters: Option<usize>, obs: &ext_obs::ObsOptions) {
+    let mut batch = Batch::new();
+    let mut finishers: Vec<(&'static str, Finisher)> = Vec::new();
+    for t in ALL_TARGETS {
+        let f: Finisher = match t {
+            "tab2" => {
+                let p = tab2::submit(&mut batch);
+                Box::new(move || {
+                    tab2::finish(p);
+                    true
+                })
+            }
+            "eq1" => {
+                let p = eq1::submit(&mut batch);
+                Box::new(move || {
+                    eq1::finish(p);
+                    true
+                })
+            }
+            "fig1" => {
+                let p = fig1::submit(&mut batch, effort);
+                Box::new(move || {
+                    fig1::finish(p);
+                    true
+                })
+            }
+            "fig2" => {
+                let p = fig2::submit(&mut batch);
+                Box::new(move || {
+                    fig2::finish(p);
+                    true
+                })
+            }
+            "fig8" => {
+                let p = fig8::submit(&mut batch, effort);
+                Box::new(move || {
+                    fig8::finish(p);
+                    true
+                })
+            }
+            "fig9" => {
+                let p = fig9::submit(&mut batch, effort);
+                Box::new(move || {
+                    fig9::finish(p);
+                    true
+                })
+            }
+            "fig10" => {
+                let p = fig10::submit(&mut batch, effort);
+                Box::new(move || {
+                    fig10::finish(p);
+                    true
+                })
+            }
+            "fig11" => {
+                let p = fig11::submit(&mut batch);
+                Box::new(move || {
+                    fig11::finish(p);
+                    true
+                })
+            }
+            "fig12" => {
+                let p = fig12::submit(&mut batch, effort);
+                Box::new(move || {
+                    fig12::finish(p);
+                    true
+                })
+            }
+            "tab3" => {
+                let p = tab3::submit(&mut batch, effort);
+                Box::new(move || {
+                    tab3::finish(p);
+                    true
+                })
+            }
+            "tab4" => {
+                let p = tab4::submit(&mut batch);
+                Box::new(move || {
+                    tab4::finish(p);
+                    true
+                })
+            }
+            "ext-refine" => {
+                let p = ext_refine::submit(&mut batch);
+                Box::new(move || {
+                    ext_refine::finish(p);
+                    true
+                })
+            }
+            "ext-staleness" => {
+                let p = ext_staleness::submit(&mut batch);
+                Box::new(move || {
+                    ext_staleness::finish(p);
+                    true
+                })
+            }
+            "ext-rack" => {
+                let p = ext_rack::submit(&mut batch);
+                Box::new(move || {
+                    ext_rack::finish(p);
+                    true
+                })
+            }
+            "ext-overlap" => {
+                let p = ext_overlap::submit(&mut batch);
+                Box::new(move || {
+                    ext_overlap::finish(p);
+                    true
+                })
+            }
+            "ext-faults" => {
+                let p = ext_faults::submit(&mut batch);
+                Box::new(move || {
+                    ext_faults::finish(p);
+                    true
+                })
+            }
+            "ext-serve" => {
+                let p = ext_serve::submit(&mut batch, effort, iters);
+                Box::new(move || {
+                    ext_serve::finish(p);
+                    true
+                })
+            }
+            "ext-obs" => {
+                let p = ext_obs::submit(&mut batch);
+                let opts = obs.clone();
+                Box::new(move || ext_obs::finish(&opts, p))
+            }
+            other => unreachable!("unlisted target {other}"),
+        };
+        finishers.push((t, f));
+    }
+    let stats = batch.run(jobs);
+    let mut ok = true;
+    for (t, finish) in finishers {
+        println!("\n================ {t} ================\n");
+        ok &= finish();
+        let compute: f64 = stats
+            .iter()
+            .filter(|s| s.label.split('/').next() == Some(target_prefix(t)))
+            .map(|s| s.seconds)
+            .sum();
+        eprintln!("[{t}: {compute:.2}s compute across cells]");
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+/// Maps a target name to its cell-label prefix (the part before the
+/// first `/` in a job-stat label). They coincide for every target.
+fn target_prefix(target: &'static str) -> &'static str {
+    target
+}
+
+/// Path of the informational harness benchmark report at the repo root.
+fn harness_report_path() -> std::path::PathBuf {
+    let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop(); // crates/
+    p.pop(); // repo root
+    p.push("BENCH_harness.json");
+    p
+}
+
+#[derive(serde::Serialize)]
+struct HarnessRun {
+    jobs: usize,
+    wall_seconds: f64,
+}
+
+#[derive(serde::Serialize)]
+struct HarnessReport {
+    description: String,
+    available_parallelism: usize,
+    runs: Vec<HarnessRun>,
+    speedup: f64,
+}
+
+/// Times `repro all --quick` at `--jobs 1` vs the default job count and
+/// writes `BENCH_harness.json`. Informational only — never gated, since
+/// wall-clock depends on the runner.
+fn harness_bench() {
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: cannot locate own executable: {e}");
+            std::process::exit(1);
+        }
+    };
+    let default = pool::default_jobs();
+    let mut runs = Vec::new();
+    for jobs in [1usize, default] {
+        let dir = std::env::temp_dir().join(format!("laer-harness-jobs{jobs}"));
+        eprintln!("[harness-bench: timing `repro all --quick --jobs {jobs}`]");
+        let start = Instant::now();
+        let status = std::process::Command::new(&exe)
+            .args(["all", "--quick", "--jobs", &jobs.to_string()])
+            .env("LAER_REPRO_DIR", &dir)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status();
+        let wall_seconds = start.elapsed().as_secs_f64();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("error: `repro all --jobs {jobs}` exited with {s}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("error: cannot spawn `repro all --jobs {jobs}`: {e}");
+                std::process::exit(1);
+            }
+        }
+        eprintln!("[harness-bench: --jobs {jobs} took {wall_seconds:.2}s]");
+        runs.push(HarnessRun { jobs, wall_seconds });
+    }
+    let speedup = runs[0].wall_seconds / runs[1].wall_seconds.max(1e-9);
+    let report = HarnessReport {
+        description: format!(
+            "wall-clock of `repro all --quick` at --jobs 1 vs --jobs {default} \
+             (informational, runner-dependent; not CI-gated)"
+        ),
+        available_parallelism: default,
+        runs,
+        speedup,
+    };
+    println!("harness speedup: {speedup:.2}x at --jobs {default} on {default} available cores");
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            let path = harness_report_path();
+            match std::fs::write(&path, json + "\n") {
+                Ok(()) => eprintln!("[saved {}]", path.display()),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+            }
+            laer_bench::output::save_json("harness_bench", &report);
+        }
+        Err(e) => eprintln!("warning: cannot serialize harness report: {e}"),
+    }
 }

@@ -2,6 +2,7 @@
 //! token count above which expert computation hides expert-parameter
 //! prefetching.
 
+use crate::pool::{Batch, Slot};
 use laer_cluster::Topology;
 use laer_model::{CostModel, GpuSpec, ModelPreset};
 use serde::{Deserialize, Serialize};
@@ -36,9 +37,21 @@ pub fn rows() -> Vec<Eq1Row> {
         .collect()
 }
 
-/// Prints the Eq. 1 analysis.
-pub fn run() -> Vec<Eq1Row> {
-    let rows = rows();
+/// The analysis' single cell, pending pool execution.
+pub struct Pending {
+    rows: Slot<Vec<Eq1Row>>,
+}
+
+/// Submits the threshold computation to the pool.
+pub fn submit(batch: &mut Batch) -> Pending {
+    Pending {
+        rows: batch.submit("eq1/rows", rows),
+    }
+}
+
+/// Renders the executed cell — identical output to the serial run.
+pub fn finish(pending: Pending) -> Vec<Eq1Row> {
+    let rows = pending.rows.take();
     println!("Eq. 1: overlap threshold S* (tokens/device) on the 4x8 A100 cluster\n");
     println!("{:<22} {:>8} {:>12}", "Model", "(C, K)", "S*");
     for r in &rows {
@@ -51,6 +64,19 @@ pub fn run() -> Vec<Eq1Row> {
     println!("empirically because imbalance stretches the practical compute window.");
     crate::output::save_json("eq1", &rows);
     rows
+}
+
+/// Runs the analysis across `workers` pool threads.
+pub fn run_jobs(workers: usize) -> Vec<Eq1Row> {
+    let mut batch = Batch::new();
+    let pending = submit(&mut batch);
+    batch.run(workers);
+    finish(pending)
+}
+
+/// Prints the Eq. 1 analysis.
+pub fn run() -> Vec<Eq1Row> {
+    run_jobs(1)
 }
 
 #[cfg(test)]

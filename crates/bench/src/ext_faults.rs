@@ -13,6 +13,7 @@
 //! (≥ 90 % of fault-free throughput), while the static-layout baselines
 //! pay a collective timeout, a checkpoint reload and redone iterations.
 
+use crate::pool::{Batch, Slot};
 use laer_baselines::SystemKind;
 use laer_cluster::DeviceId;
 use laer_model::ModelPreset;
@@ -104,27 +105,55 @@ fn measure(system: SystemKind, plan: FaultPlan) -> (f64, f64) {
     )
 }
 
+/// The systems compared per fault class.
+const SYSTEMS: [SystemKind; 3] = [SystemKind::Laer, SystemKind::FsdpEp, SystemKind::VanillaEp];
+
+/// Measures one (fault class, system) cell into a table row.
+fn row_for(fault: &'static str, system: SystemKind, plan: FaultPlan) -> FaultRow {
+    let (faulted_tps, clean_tps) = measure(system, plan);
+    FaultRow {
+        fault: fault.to_string(),
+        system: format!("{system:?}"),
+        faulted_tps,
+        clean_tps,
+        ratio: faulted_tps / clean_tps,
+    }
+}
+
 /// Measures every (fault class, system) pair.
 pub fn rows() -> Vec<FaultRow> {
-    let systems = [SystemKind::Laer, SystemKind::FsdpEp, SystemKind::VanillaEp];
     let mut out = Vec::new();
     for (fault, plan) in fault_classes() {
-        for system in systems {
-            let (faulted_tps, clean_tps) = measure(system, plan.clone());
-            out.push(FaultRow {
-                fault: fault.to_string(),
-                system: format!("{system:?}"),
-                faulted_tps,
-                clean_tps,
-                ratio: faulted_tps / clean_tps,
-            });
+        for system in SYSTEMS {
+            out.push(row_for(fault, system, plan.clone()));
         }
     }
     out
 }
 
-/// Runs and prints the study.
-pub fn run() -> Vec<FaultRow> {
+/// The study's cells, pending pool execution.
+pub struct Pending {
+    cells: Vec<Slot<FaultRow>>,
+}
+
+/// Submits every (fault class, system) cell to the pool.
+pub fn submit(batch: &mut Batch) -> Pending {
+    let mut cells = Vec::new();
+    for (fault, plan) in fault_classes() {
+        for system in SYSTEMS {
+            let plan = plan.clone();
+            cells.push(
+                batch.submit(format!("ext-faults/{fault}/{system:?}"), move || {
+                    row_for(fault, system, plan)
+                }),
+            );
+        }
+    }
+    Pending { cells }
+}
+
+/// Renders the executed cells — identical output to the serial run.
+pub fn finish(pending: Pending) -> Vec<FaultRow> {
     println!(
         "Extension: throughput under injected faults (onset iter {ONSET}, {WINDOW}-iter window)\n"
     );
@@ -132,7 +161,7 @@ pub fn run() -> Vec<FaultRow> {
         "{:<16} {:<10} {:>14} {:>14} {:>9}",
         "fault", "system", "faulted tok/s", "clean tok/s", "ratio"
     );
-    let rows = rows();
+    let rows: Vec<FaultRow> = pending.cells.into_iter().map(Slot::take).collect();
     for r in &rows {
         println!(
             "{:<16} {:<10} {:>14.0} {:>14.0} {:>8.1}%",
@@ -151,6 +180,19 @@ pub fn run() -> Vec<FaultRow> {
     );
     crate::output::save_json("ext_faults", &rows);
     rows
+}
+
+/// Runs the study across `workers` pool threads.
+pub fn run_jobs(workers: usize) -> Vec<FaultRow> {
+    let mut batch = Batch::new();
+    let pending = submit(&mut batch);
+    batch.run(workers);
+    finish(pending)
+}
+
+/// Runs and prints the study.
+pub fn run() -> Vec<FaultRow> {
+    run_jobs(1)
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@
 //! every artifact byte for byte; the gate failing therefore always
 //! means the tree changed (or the baseline was doctored).
 
+use crate::pool::{Batch, Slot};
 use laer_baselines::SystemKind;
 use laer_model::ModelPreset;
 use laer_obs::{
@@ -232,16 +233,29 @@ pub fn gate_against(path: &Path, current: &BenchSnapshot, tolerance: f64) -> Opt
     Some(gate_snapshots(&baseline, current, tolerance))
 }
 
-/// Runs the calibrated telemetry configuration, writes every artifact
-/// and gates against the committed baseline. Returns `true` when the
-/// gate passes (or the baseline was just rewritten).
-pub fn run(opts: &ObsOptions) -> bool {
+/// The study's single cell — the full calibrated run, which fills one
+/// shared observer — pending pool execution.
+pub struct Pending {
+    run: Slot<ObsRun>,
+}
+
+/// Submits the calibrated run to the pool.
+pub fn submit(batch: &mut Batch) -> Pending {
+    Pending {
+        run: batch.submit("ext-obs/collect".to_string(), collect),
+    }
+}
+
+/// Renders the executed cell, writes every artifact and gates against
+/// the committed baseline — identical output to the serial run. Returns
+/// `true` when the gate passes (or the baseline was just rewritten).
+pub fn finish(opts: &ObsOptions, pending: Pending) -> bool {
     let tolerance = opts.tolerance.unwrap_or(DEFAULT_TOLERANCE);
     println!(
         "Extension: deterministic telemetry + perf-regression gate\n({})",
         config_description()
     );
-    let run = collect();
+    let run = pending.run.take();
 
     println!("\nTraining (observed):");
     for r in &run.summary.train {
@@ -332,6 +346,21 @@ pub fn run(opts: &ObsOptions) -> bool {
             false
         }
     }
+}
+
+/// Runs the study across `workers` pool threads.
+pub fn run_jobs(opts: &ObsOptions, workers: usize) -> bool {
+    let mut batch = Batch::new();
+    let pending = submit(&mut batch);
+    batch.run(workers);
+    finish(opts, pending)
+}
+
+/// Runs the calibrated telemetry configuration, writes every artifact
+/// and gates against the committed baseline. Returns `true` when the
+/// gate passes (or the baseline was just rewritten).
+pub fn run(opts: &ObsOptions) -> bool {
+    run_jobs(opts, 1)
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 //! parameter communication hidden under computation — the quantity the
 //! Fig. 5 optimisations exist to maximise.
 
+use crate::pool::{Batch, Slot};
 use laer_baselines::{LaerSystem, MoeSystem, SystemContext};
 use laer_cluster::{DeviceId, Topology};
 use laer_fsep::{schedule_iteration, LayerTimings, ScheduleOptions};
@@ -98,14 +99,27 @@ pub fn rows(layers: usize) -> Vec<OverlapRow> {
         .collect()
 }
 
-/// Runs and prints the study.
-pub fn run() -> Vec<OverlapRow> {
+/// The study's single cell — the four variants share one planned
+/// workload, so they compute together — pending pool execution.
+pub struct Pending {
+    rows: Slot<Vec<OverlapRow>>,
+}
+
+/// Submits the study's computation to the pool.
+pub fn submit(batch: &mut Batch) -> Pending {
+    Pending {
+        rows: batch.submit("ext-overlap/rows".to_string(), || rows(6)),
+    }
+}
+
+/// Renders the executed cell — identical output to the serial run.
+pub fn finish(pending: Pending) -> Vec<OverlapRow> {
     println!("Extension: stream occupancy under the Fig. 5 schedule variants\n");
     println!(
         "{:<36} {:>10} {:>9} {:>9} {:>9}",
         "variant", "iter (ms)", "S1 util", "S2 util", "hidden"
     );
-    let rows = rows(6);
+    let rows = pending.rows.take();
     for r in &rows {
         println!(
             "{:<36} {:>10.1} {:>8.1}% {:>8.1}% {:>8.1}%",
@@ -123,6 +137,19 @@ pub fn run() -> Vec<OverlapRow> {
     );
     crate::output::save_json("ext_overlap", &rows);
     rows
+}
+
+/// Runs the study across `workers` pool threads.
+pub fn run_jobs(workers: usize) -> Vec<OverlapRow> {
+    let mut batch = Batch::new();
+    let pending = submit(&mut batch);
+    batch.run(workers);
+    finish(pending)
+}
+
+/// Runs and prints the study.
+pub fn run() -> Vec<OverlapRow> {
+    run_jobs(1)
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 //!    independent 16-GPU expert-parallel groups, as pipeline parallelism
 //!    across racks would arrange.
 
+use crate::pool::{Batch, Slot};
 use laer_baselines::{LaerSystem, MoeSystem, SystemContext};
 use laer_cluster::Topology;
 use laer_fsep::{schedule_iteration, LayerTimings};
@@ -74,20 +75,23 @@ fn measure(topo: &Topology, layers: usize, iters: usize, seed: u64) -> f64 {
     total / iters as f64
 }
 
-/// Runs the three deployments.
-pub fn rows(layers: usize, iters: usize) -> Vec<RackRow> {
-    let flat = Topology::new(4, 8).unwrap_or_else(|e| unreachable!("flat cluster: {e}"));
-    let racked = Topology::with_racks(2, 2, 8, RACK_BW)
-        .unwrap_or_else(|e| unreachable!("racked cluster: {e}"));
-    let per_rack = Topology::new(2, 8).unwrap_or_else(|e| unreachable!("one rack: {e}"));
+fn flat_topology() -> Topology {
+    Topology::new(4, 8).unwrap_or_else(|e| unreachable!("flat cluster: {e}"))
+}
 
-    let t_flat = measure(&flat, layers, iters, 13);
-    let t_racked = measure(&racked, layers, iters, 13);
-    // Confined: each rack runs an independent 16-GPU EP group; the
-    // iteration time is the slower of the two (they run concurrently).
-    let t_confined =
-        measure(&per_rack, layers, iters, 13).max(measure(&per_rack, layers, iters, 1300));
+fn racked_topology() -> Topology {
+    Topology::with_racks(2, 2, 8, RACK_BW).unwrap_or_else(|e| unreachable!("racked cluster: {e}"))
+}
 
+fn per_rack_topology() -> Topology {
+    Topology::new(2, 8).unwrap_or_else(|e| unreachable!("one rack: {e}"))
+}
+
+/// Assembles the measured times into table rows. Confined takes the
+/// slower of the two independent per-rack groups (they run
+/// concurrently).
+fn assemble(t_flat: f64, t_racked: f64, t_rack_a: f64, t_rack_b: f64) -> Vec<RackRow> {
+    let t_confined = t_rack_a.max(t_rack_b);
     [
         ("flat 4x8 (paper cluster)", t_flat),
         ("2 racks, global A2A", t_racked),
@@ -102,14 +106,65 @@ pub fn rows(layers: usize, iters: usize) -> Vec<RackRow> {
     .collect()
 }
 
-/// Runs and prints the study.
-pub fn run() -> Vec<RackRow> {
+/// Runs the three deployments.
+pub fn rows(layers: usize, iters: usize) -> Vec<RackRow> {
+    let t_flat = measure(&flat_topology(), layers, iters, 13);
+    let t_racked = measure(&racked_topology(), layers, iters, 13);
+    // Confined: each rack runs an independent 16-GPU EP group.
+    let per_rack = per_rack_topology();
+    assemble(
+        t_flat,
+        t_racked,
+        measure(&per_rack, layers, iters, 13),
+        measure(&per_rack, layers, iters, 1300),
+    )
+}
+
+/// The study's cells — one simulated deployment each — pending
+/// execution.
+pub struct Pending {
+    flat: Slot<f64>,
+    racked: Slot<f64>,
+    rack_a: Slot<f64>,
+    rack_b: Slot<f64>,
+}
+
+/// Submits the four deployment simulations to the pool.
+pub fn submit(batch: &mut Batch) -> Pending {
+    let (layers, iters) = (6, 8);
+    let flat = flat_topology();
+    let racked = racked_topology();
+    let rack_a = per_rack_topology();
+    let rack_b = per_rack_topology();
+    Pending {
+        flat: batch.submit("ext-rack/flat".to_string(), move || {
+            measure(&flat, layers, iters, 13)
+        }),
+        racked: batch.submit("ext-rack/racked".to_string(), move || {
+            measure(&racked, layers, iters, 13)
+        }),
+        rack_a: batch.submit("ext-rack/rack-a".to_string(), move || {
+            measure(&rack_a, layers, iters, 13)
+        }),
+        rack_b: batch.submit("ext-rack/rack-b".to_string(), move || {
+            measure(&rack_b, layers, iters, 1300)
+        }),
+    }
+}
+
+/// Renders the executed cells — identical output to the serial run.
+pub fn finish(pending: Pending) -> Vec<RackRow> {
     println!("Extension: cross-rack deployments (Sec. 7 discussion)\n");
     println!(
         "{:<34} {:>12} {:>10}",
         "deployment", "iter (ms)", "slowdown"
     );
-    let rows = rows(6, 8);
+    let rows = assemble(
+        pending.flat.take(),
+        pending.racked.take(),
+        pending.rack_a.take(),
+        pending.rack_b.take(),
+    );
     for r in &rows {
         println!(
             "{:<34} {:>12.1} {:>9.2}x",
@@ -125,6 +180,19 @@ pub fn run() -> Vec<RackRow> {
     );
     crate::output::save_json("ext_rack", &rows);
     rows
+}
+
+/// Runs the study across `workers` pool threads.
+pub fn run_jobs(workers: usize) -> Vec<RackRow> {
+    let mut batch = Batch::new();
+    let pending = submit(&mut batch);
+    batch.run(workers);
+    finish(pending)
+}
+
+/// Runs and prints the study.
+pub fn run() -> Vec<RackRow> {
+    run_jobs(1)
 }
 
 #[cfg(test)]

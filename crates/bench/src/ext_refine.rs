@@ -3,6 +3,7 @@
 //! paper lists as future work. Measures the residual objective gap the
 //! greedy tuner leaves on the table and what it costs to close it.
 
+use crate::pool::{Batch, Slot};
 use laer_cluster::Topology;
 use laer_planner::{refine_layout, CostParams, Planner, PlannerConfig};
 use laer_routing::{RoutingGenerator, RoutingGeneratorConfig};
@@ -26,45 +27,69 @@ pub struct RefineRow {
     pub refine_ms: f64,
 }
 
-/// Measures refinement on several iterations of the paper-cluster
+/// The seeds and hill-climb budget the full study runs.
+const SEEDS: [u64; 5] = [1, 2, 3, 4, 5];
+const BUDGET: usize = 20_000;
+
+/// Measures refinement of one seeded iteration of the paper-cluster
 /// workload.
-pub fn rows(seeds: &[u64], budget: usize) -> Vec<RefineRow> {
+pub fn row_for(seed: u64, budget: usize) -> RefineRow {
     let topo = Topology::paper_cluster();
     let params = CostParams::mixtral_8x7b();
     let planner = Planner::new(PlannerConfig::new(2), params, topo.clone());
-    seeds
-        .iter()
-        .map(|&seed| {
-            let demand = RoutingGenerator::new(
-                RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(seed),
-            )
+    let demand =
+        RoutingGenerator::new(RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(seed))
             .next_iteration();
-            let plan = planner.plan(&demand);
-            let start = Instant::now();
-            let refined = refine_layout(&topo, &demand, &plan.layout, &params, budget);
-            let refine_ms = start.elapsed().as_secs_f64() * 1e3;
-            let greedy_cost = plan.predicted.total();
-            let refined_cost = refined.cost.total();
-            RefineRow {
-                seed,
-                greedy_cost,
-                refined_cost,
-                improvement: 1.0 - refined_cost / greedy_cost,
-                moves: refined.moves_accepted,
-                refine_ms,
-            }
-        })
-        .collect()
+    let plan = planner.plan(&demand);
+    let start = Instant::now();
+    let refined = refine_layout(&topo, &demand, &plan.layout, &params, budget);
+    let refine_ms = start.elapsed().as_secs_f64() * 1e3;
+    let greedy_cost = plan.predicted.total();
+    let refined_cost = refined.cost.total();
+    RefineRow {
+        seed,
+        greedy_cost,
+        refined_cost,
+        improvement: 1.0 - refined_cost / greedy_cost,
+        moves: refined.moves_accepted,
+        refine_ms,
+    }
 }
 
-/// Runs and prints the extension study.
-pub fn run() -> Vec<RefineRow> {
+/// Measures refinement on several iterations of the paper-cluster
+/// workload.
+pub fn rows(seeds: &[u64], budget: usize) -> Vec<RefineRow> {
+    seeds.iter().map(|&seed| row_for(seed, budget)).collect()
+}
+
+/// The study's cells — one per seed — pending pool execution. The
+/// refinement times are wall-clock, so the *values* vary run to run.
+pub struct Pending {
+    cells: Vec<Slot<RefineRow>>,
+}
+
+/// Submits each seed's refinement to the pool.
+pub fn submit(batch: &mut Batch) -> Pending {
+    Pending {
+        cells: SEEDS
+            .into_iter()
+            .map(|seed| {
+                batch.submit(format!("ext-refine/seed{seed}"), move || {
+                    row_for(seed, BUDGET)
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Renders the executed cells — identical output to the serial run.
+pub fn finish(pending: Pending) -> Vec<RefineRow> {
     println!("Extension: local-search refinement of greedy layouts (future work)\n");
     println!(
         "{:>6} {:>12} {:>12} {:>9} {:>7} {:>10}",
         "seed", "greedy (ms)", "refined(ms)", "gain", "moves", "time (ms)"
     );
-    let rows = rows(&[1, 2, 3, 4, 5], 20_000);
+    let rows: Vec<RefineRow> = pending.cells.into_iter().map(Slot::take).collect();
     for r in &rows {
         println!(
             "{:>6} {:>12.3} {:>12.3} {:>8.2}% {:>7} {:>10.1}",
@@ -88,6 +113,19 @@ pub fn run() -> Vec<RefineRow> {
     );
     crate::output::save_json("ext_refine", &rows);
     rows
+}
+
+/// Runs the study across `workers` pool threads.
+pub fn run_jobs(workers: usize) -> Vec<RefineRow> {
+    let mut batch = Batch::new();
+    let pending = submit(&mut batch);
+    batch.run(workers);
+    finish(pending)
+}
+
+/// Runs and prints the extension study.
+pub fn run() -> Vec<RefineRow> {
+    run_jobs(1)
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ use laer_serve::{run_serving, ServeConfig, ServingOutcome, ServingSystemKind, Wo
 use laer_sim::write_chrome_trace;
 use serde::{Deserialize, Serialize};
 
+use crate::pool::{Batch, Slot};
 use crate::Effort;
 
 /// Workload seed shared by every point (the sweeps vary load and drift,
@@ -124,25 +125,50 @@ pub fn default_requests(effort: Effort) -> usize {
     }
 }
 
+/// Both sweeps' operating points in row order:
+/// (sweep, rate, flip, system).
+fn points_list() -> Vec<(&'static str, f64, Option<u64>, ServingSystemKind)> {
+    let mut out = Vec::new();
+    for rate in LOAD_SWEEP {
+        for kind in ServingSystemKind::ALL {
+            out.push(("load", rate, LOAD_FLIP, kind));
+        }
+    }
+    for flip in SHIFT_SWEEP {
+        for kind in ServingSystemKind::ALL {
+            out.push(("shift", SHIFT_RATE, flip, kind));
+        }
+    }
+    out
+}
+
+/// Runs one operating point; the outcome rides along only for the
+/// headline cell (the `laer` run at near saturation with 30-step flips),
+/// whose timeline carries the charged `relayout` spans.
+fn run_point(
+    sweep: &'static str,
+    rate: f64,
+    flip: Option<u64>,
+    kind: ServingSystemKind,
+    requests: usize,
+) -> (ServeRow, Option<ServingOutcome>) {
+    let o = run_serving(&point(kind, rate, flip, requests));
+    let r = row(sweep, rate, flip, &o);
+    let is_headline = sweep == "load" && kind == ServingSystemKind::Laer && rate == SHIFT_RATE;
+    (r, is_headline.then_some(o))
+}
+
 /// Measures every (sweep, operating point, system) triple. The returned
 /// outcome is the `laer` run at the headline point (near saturation,
 /// 30-step flips) — its timeline carries the charged `relayout` spans.
 pub fn rows(requests: usize) -> (Vec<ServeRow>, ServingOutcome) {
     let mut out = Vec::new();
     let mut headline = None;
-    for rate in LOAD_SWEEP {
-        for kind in ServingSystemKind::ALL {
-            let o = run_serving(&point(kind, rate, LOAD_FLIP, requests));
-            out.push(row("load", rate, LOAD_FLIP, &o));
-            if kind == ServingSystemKind::Laer && rate == SHIFT_RATE {
-                headline = Some(o);
-            }
-        }
-    }
-    for flip in SHIFT_SWEEP {
-        for kind in ServingSystemKind::ALL {
-            let o = run_serving(&point(kind, SHIFT_RATE, flip, requests));
-            out.push(row("shift", SHIFT_RATE, flip, &o));
+    for (sweep, rate, flip, kind) in points_list() {
+        let (r, h) = run_point(sweep, rate, flip, kind, requests);
+        out.push(r);
+        if h.is_some() {
+            headline = h;
         }
     }
     let headline = headline.unwrap_or_else(|| {
@@ -156,6 +182,29 @@ pub fn rows(requests: usize) -> (Vec<ServeRow>, ServingOutcome) {
         ))
     });
     (out, headline)
+}
+
+/// The study's cells, pending pool execution.
+pub struct Pending {
+    requests: usize,
+    cells: Vec<Slot<(ServeRow, Option<ServingOutcome>)>>,
+}
+
+/// Submits every operating point of both sweeps to the pool.
+pub fn submit(batch: &mut Batch, effort: Effort, requests_override: Option<usize>) -> Pending {
+    let requests = requests_override.unwrap_or_else(|| default_requests(effort));
+    let cells = points_list()
+        .into_iter()
+        .map(|(sweep, rate, flip, kind)| {
+            let label = format!(
+                "ext-serve/{sweep}/{rate:.0}/{}/{}",
+                flip.map_or("drift".to_string(), |p| p.to_string()),
+                kind.id()
+            );
+            batch.submit(label, move || run_point(sweep, rate, flip, kind, requests))
+        })
+        .collect();
+    Pending { requests, cells }
 }
 
 fn print_rows(title: &str, rows: &[ServeRow]) {
@@ -196,17 +245,31 @@ fn print_rows(title: &str, rows: &[ServeRow]) {
     }
 }
 
-/// Runs and prints both sweeps; saves the rows as JSON and the headline
-/// `laer` run's timeline (with its charged `relayout` spans) as a Chrome
-/// trace, both under `target/repro/`.
-pub fn run(effort: Effort, requests_override: Option<usize>) -> Vec<ServeRow> {
-    let requests = requests_override.unwrap_or_else(|| default_requests(effort));
+/// Renders the executed cells — identical output to the serial run.
+pub fn finish(pending: Pending) -> Vec<ServeRow> {
+    let requests = pending.requests;
     println!(
         "Extension: online serving with live-traffic-driven re-layout\n\
          (1×4 cluster, seed {SEED}, {requests} requests per point; re-layout\n\
          traffic charged on the prefetch stream)"
     );
-    let (all, headline) = rows(requests);
+    let mut all = Vec::new();
+    let mut headline = None;
+    for slot in pending.cells {
+        let (r, h) = slot.take();
+        all.push(r);
+        if h.is_some() {
+            headline = h;
+        }
+    }
+    let headline = headline.unwrap_or_else(|| {
+        run_serving(&point(
+            ServingSystemKind::Laer,
+            SHIFT_RATE,
+            LOAD_FLIP,
+            requests,
+        ))
+    });
     let (load, shift): (Vec<_>, Vec<_>) = all.iter().cloned().partition(|r| r.sweep == "load");
     print_rows(
         "Throughput/latency/goodput vs offered load (flips every 30 steps):",
@@ -232,6 +295,21 @@ pub fn run(effort: Effort, requests_override: Option<usize>) -> Vec<ServeRow> {
         Err(e) => eprintln!("warning: cannot create {}: {e}", trace_path.display()),
     }
     all
+}
+
+/// Runs both sweeps across `workers` pool threads.
+pub fn run_jobs(effort: Effort, requests_override: Option<usize>, workers: usize) -> Vec<ServeRow> {
+    let mut batch = Batch::new();
+    let pending = submit(&mut batch, effort, requests_override);
+    batch.run(workers);
+    finish(pending)
+}
+
+/// Runs and prints both sweeps; saves the rows as JSON and the headline
+/// `laer` run's timeline (with its charged `relayout` spans) as a Chrome
+/// trace, both under `target/repro/`.
+pub fn run(effort: Effort, requests_override: Option<usize>) -> Vec<ServeRow> {
+    run_jobs(effort, requests_override, 1)
 }
 
 #[cfg(test)]

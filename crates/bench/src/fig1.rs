@@ -2,6 +2,7 @@
 //! during Mixtral-8x7B training; (b) time breakdown with the A2A share
 //! rising from <10 % (balanced) to >40 % (default).
 
+use crate::pool::{Batch, Slot};
 use crate::Effort;
 use laer_baselines::SystemKind;
 use laer_model::ModelPreset;
@@ -53,36 +54,60 @@ pub fn fig1a() -> Vec<Fig1aPoint> {
     out
 }
 
+/// The two Fig. 1(b) conditions: (label, aux weight).
+const FIG1B_CONDITIONS: [(&str, f64); 2] = [("default", 0.0), ("balanced", 1.0)];
+
+/// Measures one Fig. 1(b) bar.
+pub fn fig1b_bar(label: &str, aux: f64, effort: Effort) -> Fig1bBar {
+    let (iters, warmup) = effort.iterations();
+    let cfg = ExperimentConfig::new(ModelPreset::Mixtral8x7bE8k2, SystemKind::VanillaEp)
+        .with_layers(effort.layers(32))
+        .with_iterations(iters, warmup)
+        .with_aux_loss(aux)
+        .with_seed(2024);
+    let r = run_experiment(&cfg);
+    let b = r.breakdown;
+    Fig1bBar {
+        condition: label.to_string(),
+        a2a: b.a2a,
+        rest: b.total() - b.a2a,
+        a2a_fraction: b.a2a_fraction(),
+    }
+}
+
 /// Generates the Fig. 1(b) bars: vanilla EP (no comm opts, Megatron-like
 /// default profile) with raw routing vs enforced balanced routing.
 pub fn fig1b(effort: Effort) -> Vec<Fig1bBar> {
-    let (iters, warmup) = effort.iterations();
-    let base = |aux: f64| {
-        ExperimentConfig::new(ModelPreset::Mixtral8x7bE8k2, SystemKind::VanillaEp)
-            .with_layers(effort.layers(32))
-            .with_iterations(iters, warmup)
-            .with_aux_loss(aux)
-            .with_seed(2024)
-    };
-    [("default", 0.0), ("balanced", 1.0)]
+    FIG1B_CONDITIONS
         .into_iter()
-        .map(|(label, aux)| {
-            let r = run_experiment(&base(aux));
-            let b = r.breakdown;
-            Fig1bBar {
-                condition: label.to_string(),
-                a2a: b.a2a,
-                rest: b.total() - b.a2a,
-                a2a_fraction: b.a2a_fraction(),
-            }
-        })
+        .map(|(label, aux)| fig1b_bar(label, aux, effort))
         .collect()
 }
 
-/// Prints both panels.
-pub fn run(effort: Effort) -> (Vec<Fig1aPoint>, Vec<Fig1bBar>) {
+/// The figure's cells, pending pool execution.
+pub struct Pending {
+    a: Slot<Vec<Fig1aPoint>>,
+    bars: Vec<Slot<Fig1bBar>>,
+}
+
+/// Submits the Fig. 1(a) series and each Fig. 1(b) bar to the pool.
+pub fn submit(batch: &mut Batch, effort: Effort) -> Pending {
+    let a = batch.submit("fig1/a", fig1a);
+    let bars = FIG1B_CONDITIONS
+        .into_iter()
+        .map(|(label, aux)| {
+            batch.submit(format!("fig1/b/{label}"), move || {
+                fig1b_bar(label, aux, effort)
+            })
+        })
+        .collect();
+    Pending { a, bars }
+}
+
+/// Renders the executed cells — identical output to the serial run.
+pub fn finish(pending: Pending) -> (Vec<Fig1aPoint>, Vec<Fig1bBar>) {
     println!("Fig. 1(a): token distribution over iterations (shares per expert)\n");
-    let a = fig1a();
+    let a = pending.a.take();
     for p in a.iter().step_by(4) {
         let shares: Vec<String> = p
             .expert_shares
@@ -98,7 +123,7 @@ pub fn run(effort: Effort) -> (Vec<Fig1aPoint>, Vec<Fig1bBar>) {
         );
     }
     println!("\nFig. 1(b): time breakdown, default vs balanced routing\n");
-    let b = fig1b(effort);
+    let b: Vec<Fig1bBar> = pending.bars.into_iter().map(Slot::take).collect();
     for bar in &b {
         println!(
             "{:<9} a2a {:>7.1} ms  rest {:>7.1} ms   A2A share {:>5.1}%",
@@ -112,6 +137,19 @@ pub fn run(effort: Effort) -> (Vec<Fig1aPoint>, Vec<Fig1bBar>) {
     crate::output::save_json("fig1a", &a);
     crate::output::save_json("fig1b", &b);
     (a, b)
+}
+
+/// Runs both panels across `workers` pool threads.
+pub fn run_jobs(effort: Effort, workers: usize) -> (Vec<Fig1aPoint>, Vec<Fig1bBar>) {
+    let mut batch = Batch::new();
+    let pending = submit(&mut batch, effort);
+    batch.run(workers);
+    finish(pending)
+}
+
+/// Runs and prints both panels serially.
+pub fn run(effort: Effort) -> (Vec<Fig1aPoint>, Vec<Fig1bBar>) {
+    run_jobs(effort, 1)
 }
 
 #[cfg(test)]

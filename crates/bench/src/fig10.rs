@@ -2,6 +2,7 @@
 //! per system with the All-to-All component highlighted; (b) maximum
 //! token count per device relative to perfect balance.
 
+use crate::pool::{Batch, Slot};
 use crate::Effort;
 use laer_baselines::SystemKind;
 use laer_model::ModelPreset;
@@ -43,31 +44,58 @@ fn measure(preset: ModelPreset, system: SystemKind, effort: Effort) -> Experimen
     run_experiment(&cfg)
 }
 
+/// The model variants of the case study.
+const PRESETS: [ModelPreset; 2] = [ModelPreset::Mixtral8x7bE8k2, ModelPreset::Mixtral8x7bE16k4];
+
+/// Measures one (model, system) cell into a table row.
+pub fn row_for(preset: ModelPreset, system: SystemKind, effort: Effort) -> Fig10Row {
+    let r = measure(preset, system, effort);
+    let b = &r.breakdown;
+    Fig10Row {
+        model: preset.id().to_string(),
+        system: system.id().to_string(),
+        a2a: b.a2a,
+        expert_compute: b.expert_compute,
+        others: b.others + b.exposed_prefetch + b.exposed_grad_sync,
+        a2a_fraction: b.a2a_fraction(),
+        max_token_ratio: r.avg_max_token_ratio,
+        iteration_time: r.avg_iteration_time,
+    }
+}
+
 /// Computes all rows for both model variants.
 pub fn rows(effort: Effort) -> Vec<Fig10Row> {
     let mut out = Vec::new();
-    for preset in [ModelPreset::Mixtral8x7bE8k2, ModelPreset::Mixtral8x7bE16k4] {
+    for preset in PRESETS {
         for system in SYSTEMS {
-            let r = measure(preset, system, effort);
-            let b = &r.breakdown;
-            out.push(Fig10Row {
-                model: preset.id().to_string(),
-                system: system.id().to_string(),
-                a2a: b.a2a,
-                expert_compute: b.expert_compute,
-                others: b.others + b.exposed_prefetch + b.exposed_grad_sync,
-                a2a_fraction: b.a2a_fraction(),
-                max_token_ratio: r.avg_max_token_ratio,
-                iteration_time: r.avg_iteration_time,
-            });
+            out.push(row_for(preset, system, effort));
         }
     }
     out
 }
 
-/// Runs and prints Fig. 10.
-pub fn run(effort: Effort) -> Vec<Fig10Row> {
-    let rows = rows(effort);
+/// The figure's cells, pending pool execution.
+pub struct Pending {
+    cells: Vec<Slot<Fig10Row>>,
+}
+
+/// Submits every (model, system) cell to the pool.
+pub fn submit(batch: &mut Batch, effort: Effort) -> Pending {
+    let mut cells = Vec::new();
+    for preset in PRESETS {
+        for system in SYSTEMS {
+            cells.push(batch.submit(
+                format!("fig10/{}/{}", preset.id(), system.id()),
+                move || row_for(preset, system, effort),
+            ));
+        }
+    }
+    Pending { cells }
+}
+
+/// Renders the executed cells — identical output to the serial run.
+pub fn finish(pending: Pending) -> Vec<Fig10Row> {
+    let rows: Vec<Fig10Row> = pending.cells.into_iter().map(Slot::take).collect();
     println!("Fig. 10(a): time breakdown per iteration (avg across ranks)\n");
     println!(
         "{:<20} {:<8} {:>9} {:>9} {:>9} {:>9} {:>10}",
@@ -109,6 +137,19 @@ pub fn run(effort: Effort) -> Vec<Fig10Row> {
     }
     crate::output::save_json("fig10", &rows);
     rows
+}
+
+/// Runs the figure across `workers` pool threads.
+pub fn run_jobs(effort: Effort, workers: usize) -> Vec<Fig10Row> {
+    let mut batch = Batch::new();
+    let pending = submit(&mut batch, effort);
+    batch.run(workers);
+    finish(pending)
+}
+
+/// Runs and prints Fig. 10.
+pub fn run(effort: Effort) -> Vec<Fig10Row> {
+    run_jobs(effort, 1)
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 //! time as the cluster scales to 1024 GPUs, against the per-layer
 //! iteration-time budget.
 
+use crate::pool::{Batch, Slot};
 use laer_cluster::Topology;
 use laer_model::ModelPreset;
 use laer_planner::{CostParams, Planner, PlannerConfig};
@@ -60,20 +61,47 @@ pub fn measure(gpus: usize, capacity: usize, reps: usize) -> Fig11Point {
     }
 }
 
-/// Runs and prints Fig. 11.
-pub fn run() -> Vec<Fig11Point> {
-    let baseline = baseline_layer_ms();
-    println!("Fig. 11: expert layout solver wall-clock time (|ε| = 2)\n");
-    println!("baseline (avg simulated time per transformer layer): {baseline:.1} ms\n");
-    println!("{:>6} {:>4} {:>12}", "GPUs", "C", "solve (ms)");
+/// The figure's sweep: (capacity, GPUs, reps) per point.
+fn sweep() -> Vec<(usize, usize, usize)> {
     let mut out = Vec::new();
     for &c in &[2usize, 4] {
         for &n in &[8usize, 16, 32, 64, 128, 256, 512, 1024] {
             let reps = if n >= 256 { 3 } else { 10 };
-            let p = measure(n, c, reps);
-            println!("{:>6} {:>4} {:>12.3}", p.gpus, p.capacity, p.solve_ms);
-            out.push(p);
+            out.push((c, n, reps));
         }
+    }
+    out
+}
+
+/// The figure's cells — the baseline and every sweep point — pending
+/// execution. The solve times are wall-clock, so the *values* vary run
+/// to run; only the printed structure is deterministic.
+pub struct Pending {
+    baseline: Slot<f64>,
+    points: Vec<Slot<Fig11Point>>,
+}
+
+/// Submits the baseline and every `(N, C)` point to the pool.
+pub fn submit(batch: &mut Batch) -> Pending {
+    let baseline = batch.submit("fig11/baseline", baseline_layer_ms);
+    let points = sweep()
+        .into_iter()
+        .map(|(c, n, reps)| batch.submit(format!("fig11/n{n}/c{c}"), move || measure(n, c, reps)))
+        .collect();
+    Pending { baseline, points }
+}
+
+/// Renders the executed cells — identical output to the serial run.
+pub fn finish(pending: Pending) -> Vec<Fig11Point> {
+    let baseline = pending.baseline.take();
+    println!("Fig. 11: expert layout solver wall-clock time (|ε| = 2)\n");
+    println!("baseline (avg simulated time per transformer layer): {baseline:.1} ms\n");
+    println!("{:>6} {:>4} {:>12}", "GPUs", "C", "solve (ms)");
+    let mut out = Vec::new();
+    for slot in pending.points {
+        let p = slot.take();
+        println!("{:>6} {:>4} {:>12.3}", p.gpus, p.capacity, p.solve_ms);
+        out.push(p);
     }
     println!(
         "\nPaper: solve time grows as O(|ε|·N²·C) but stays below the per-layer\n\
@@ -81,6 +109,19 @@ pub fn run() -> Vec<Fig11Point> {
     );
     crate::output::save_json("fig11", &out);
     out
+}
+
+/// Runs the figure across `workers` pool threads.
+pub fn run_jobs(workers: usize) -> Vec<Fig11Point> {
+    let mut batch = Batch::new();
+    let pending = submit(&mut batch);
+    batch.run(workers);
+    finish(pending)
+}
+
+/// Runs and prints Fig. 11.
+pub fn run() -> Vec<Fig11Point> {
+    run_jobs(1)
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 //! schemes (`pq` / `even`), disabled communication optimisations, and
 //! the FSDP+EP reference.
 
+use crate::pool::{Batch, Slot};
 use crate::Effort;
 use laer_baselines::{FsdpEpSystem, LaerSystem, MoeSystem, SystemContext};
 use laer_cluster::Topology;
@@ -99,12 +100,8 @@ pub fn run_variant_seeded(variant: &str, effort: Effort, seed: u64) -> Fig12Bar 
     }
 }
 
-/// Runs one ablation variant averaged over [`SEEDS`].
-pub fn run_variant(variant: &str, effort: Effort) -> Fig12Bar {
-    let runs: Vec<Fig12Bar> = SEEDS
-        .iter()
-        .map(|&s| run_variant_seeded(variant, effort, s))
-        .collect();
+/// Averages one variant's seeded runs into its Fig. 12 bar.
+fn average(variant: &str, runs: &[Fig12Bar]) -> Fig12Bar {
     let n = runs.len() as f64;
     Fig12Bar {
         variant: variant.to_string(),
@@ -113,14 +110,51 @@ pub fn run_variant(variant: &str, effort: Effort) -> Fig12Bar {
     }
 }
 
-/// Runs and prints the ablation.
-pub fn run(effort: Effort) -> Vec<Fig12Bar> {
+/// Runs one ablation variant averaged over [`SEEDS`].
+pub fn run_variant(variant: &str, effort: Effort) -> Fig12Bar {
+    let runs: Vec<Fig12Bar> = SEEDS
+        .iter()
+        .map(|&s| run_variant_seeded(variant, effort, s))
+        .collect();
+    average(variant, &runs)
+}
+
+/// The ablation's cells — one run per (variant, seed) — pending
+/// execution.
+pub struct Pending {
+    variants: Vec<(&'static str, Vec<Slot<Fig12Bar>>)>,
+}
+
+/// Submits every (variant, seed) run to the pool.
+pub fn submit(batch: &mut Batch, effort: Effort) -> Pending {
+    Pending {
+        variants: VARIANTS
+            .into_iter()
+            .map(|variant| {
+                let seeds = SEEDS
+                    .into_iter()
+                    .map(|seed| {
+                        batch.submit(format!("fig12/{variant}/seed{seed}"), move || {
+                            run_variant_seeded(variant, effort, seed)
+                        })
+                    })
+                    .collect();
+                (variant, seeds)
+            })
+            .collect(),
+    }
+}
+
+/// Renders the executed cells — identical output to the serial run.
+pub fn finish(pending: Pending) -> Vec<Fig12Bar> {
     println!("Fig. 12: ablation on Mixtral-8x7B e8k2\n");
     println!("{:<14} {:>14} {:>12}", "variant", "tokens/s", "iter (ms)");
-    let bars: Vec<_> = VARIANTS
-        .iter()
-        .map(|v| {
-            let b = run_variant(v, effort);
+    let bars: Vec<_> = pending
+        .variants
+        .into_iter()
+        .map(|(variant, seeds)| {
+            let runs: Vec<Fig12Bar> = seeds.into_iter().map(Slot::take).collect();
+            let b = average(variant, &runs);
             println!(
                 "{:<14} {:>14.0} {:>12.1}",
                 b.variant,
@@ -136,6 +170,19 @@ pub fn run(effort: Effort) -> Vec<Fig12Bar> {
     );
     crate::output::save_json("fig12", &bars);
     bars
+}
+
+/// Runs the ablation across `workers` pool threads.
+pub fn run_jobs(effort: Effort, workers: usize) -> Vec<Fig12Bar> {
+    let mut batch = Batch::new();
+    let pending = submit(&mut batch, effort);
+    batch.run(workers);
+    finish(pending)
+}
+
+/// Runs and prints the ablation.
+pub fn run(effort: Effort) -> Vec<Fig12Bar> {
+    run_jobs(effort, 1)
 }
 
 #[cfg(test)]

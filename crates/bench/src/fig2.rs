@@ -1,6 +1,7 @@
 //! Fig. 2 — loss curves under different auxiliary-loss weights: larger
 //! weights need more steps to reach the same loss.
 
+use crate::pool::{Batch, Slot};
 use laer_train::{ConvergenceModel, LossPoint};
 use serde::{Deserialize, Serialize};
 
@@ -33,9 +34,21 @@ pub fn curves(steps: u64) -> Vec<Fig2Curve> {
         .collect()
 }
 
-/// Prints the Fig. 2 comparison.
-pub fn run() -> Vec<Fig2Curve> {
-    let curves = curves(3000);
+/// The figure's single cell, pending pool execution.
+pub struct Pending {
+    curves: Slot<Vec<Fig2Curve>>,
+}
+
+/// Submits the curve computation to the pool.
+pub fn submit(batch: &mut Batch) -> Pending {
+    Pending {
+        curves: batch.submit("fig2/curves", || curves(3000)),
+    }
+}
+
+/// Renders the executed cell — identical output to the serial run.
+pub fn finish(pending: Pending) -> Vec<Fig2Curve> {
+    let curves = pending.curves.take();
     println!("Fig. 2: loss curves with different auxiliary loss weights\n");
     println!(
         "{:<10} {:>12} {:>12} {:>16}",
@@ -61,6 +74,19 @@ pub fn run() -> Vec<Fig2Curve> {
     println!("\nPaper: increasing the weight increases the steps needed for equal loss.");
     crate::output::save_json("fig2", &curves);
     curves
+}
+
+/// Runs the figure across `workers` pool threads.
+pub fn run_jobs(workers: usize) -> Vec<Fig2Curve> {
+    let mut batch = Batch::new();
+    let pending = submit(&mut batch);
+    batch.run(workers);
+    finish(pending)
+}
+
+/// Prints the Fig. 2 comparison.
+pub fn run() -> Vec<Fig2Curve> {
+    run_jobs(1)
 }
 
 #[cfg(test)]

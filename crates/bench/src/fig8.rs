@@ -2,6 +2,7 @@
 //! FlexMoE across six model configurations, two datasets and two
 //! auxiliary-loss weights.
 
+use crate::pool::{Batch, Slot};
 use crate::Effort;
 use laer_baselines::SystemKind;
 use laer_model::ModelPreset;
@@ -53,25 +54,31 @@ pub fn grid(effort: Effort) -> Vec<(ModelPreset, DatasetProfile, f64)> {
     out
 }
 
-/// Runs one panel.
-pub fn run_panel(
+/// Measures one (panel, system) cell: tokens/s of one simulated run.
+pub fn measure_system(
     preset: ModelPreset,
     dataset: DatasetProfile,
     aux: f64,
+    system: SystemKind,
     effort: Effort,
-) -> Fig8Panel {
+) -> f64 {
     let (iters, warmup) = effort.iterations();
-    let mut throughput = Vec::new();
-    for system in SystemKind::FIG8 {
-        let cfg = ExperimentConfig::new(preset, system)
-            .with_layers(effort.layers(preset.config().layers()))
-            .with_iterations(iters, warmup)
-            .with_dataset(dataset)
-            .with_aux_loss(aux)
-            .with_seed(8);
-        let r = run_experiment(&cfg);
-        throughput.push((system.id().to_string(), r.tokens_per_second));
-    }
+    let cfg = ExperimentConfig::new(preset, system)
+        .with_layers(effort.layers(preset.config().layers()))
+        .with_iterations(iters, warmup)
+        .with_dataset(dataset)
+        .with_aux_loss(aux)
+        .with_seed(8);
+    run_experiment(&cfg).tokens_per_second
+}
+
+/// Assembles one panel from per-system throughput measurements.
+fn assemble(
+    preset: ModelPreset,
+    dataset: DatasetProfile,
+    aux: f64,
+    throughput: Vec<(String, f64)>,
+) -> Fig8Panel {
     let get = |id: &str| {
         throughput
             .iter()
@@ -91,12 +98,80 @@ pub fn run_panel(
     }
 }
 
-/// Runs the whole figure and prints the panels.
-pub fn run(effort: Effort) -> Vec<Fig8Panel> {
+/// Runs one panel serially.
+pub fn run_panel(
+    preset: ModelPreset,
+    dataset: DatasetProfile,
+    aux: f64,
+    effort: Effort,
+) -> Fig8Panel {
+    let throughput = SystemKind::FIG8
+        .into_iter()
+        .map(|system| {
+            (
+                system.id().to_string(),
+                measure_system(preset, dataset, aux, system, effort),
+            )
+        })
+        .collect();
+    assemble(preset, dataset, aux, throughput)
+}
+
+/// One panel's pending cells: the four systems' throughput slots.
+struct PendingPanel {
+    preset: ModelPreset,
+    dataset: DatasetProfile,
+    aux: f64,
+    systems: Vec<(SystemKind, Slot<f64>)>,
+}
+
+/// The figure's cells, pending pool execution.
+pub struct Pending {
+    panels: Vec<PendingPanel>,
+}
+
+/// Submits every (panel, system) cell of the figure to the pool.
+pub fn submit(batch: &mut Batch, effort: Effort) -> Pending {
+    let panels = grid(effort)
+        .into_iter()
+        .map(|(preset, dataset, aux)| PendingPanel {
+            preset,
+            dataset,
+            aux,
+            systems: SystemKind::FIG8
+                .into_iter()
+                .map(|system| {
+                    let label = format!(
+                        "fig8/{}/{}/aux{:.0e}/{}",
+                        preset.id(),
+                        dataset.id(),
+                        aux,
+                        system.id()
+                    );
+                    (
+                        system,
+                        batch.submit(label, move || {
+                            measure_system(preset, dataset, aux, system, effort)
+                        }),
+                    )
+                })
+                .collect(),
+        })
+        .collect();
+    Pending { panels }
+}
+
+/// Renders the executed cells — identical output to the serial run.
+pub fn finish(pending: Pending) -> Vec<Fig8Panel> {
     println!("Fig. 8: end-to-end throughput (tokens/s), 8K context\n");
     let mut panels = Vec::new();
-    for (m, d, aux) in grid(effort) {
-        let p = run_panel(m, d, aux, effort);
+    for cell in pending.panels {
+        let throughput = cell
+            .systems
+            .into_iter()
+            .map(|(system, slot)| (system.id().to_string(), slot.take()))
+            .collect();
+        let p = assemble(cell.preset, cell.dataset, cell.aux, throughput);
         println!("{} / {} / aux {:.0e}:", p.model, p.dataset, p.aux_weight);
         let bars: Vec<(String, f64)> = p
             .throughput
@@ -126,6 +201,19 @@ pub fn run(effort: Effort) -> Vec<Fig8Panel> {
     );
     crate::output::save_json("fig8", &panels);
     panels
+}
+
+/// Runs the whole figure across `workers` pool threads.
+pub fn run_jobs(effort: Effort, workers: usize) -> Vec<Fig8Panel> {
+    let mut batch = Batch::new();
+    let pending = submit(&mut batch, effort);
+    batch.run(workers);
+    finish(pending)
+}
+
+/// Runs the whole figure serially and prints the panels.
+pub fn run(effort: Effort) -> Vec<Fig8Panel> {
+    run_jobs(effort, 1)
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 //! Megatron@1e-2 and Megatron@1e-4; (b) relative error between LAER and
 //! Megatron at equal weight.
 
+use crate::pool::{Batch, Slot};
 use crate::Effort;
 use laer_baselines::SystemKind;
 use laer_model::ModelPreset;
@@ -48,18 +49,19 @@ fn iteration_time(system: SystemKind, aux: f64, effort: Effort) -> f64 {
     run_experiment(&cfg).avg_iteration_time
 }
 
-/// Runs the convergence study.
-pub fn compute(effort: Effort, steps: u64) -> Fig9 {
+/// The three runs of the study: (label, system, aux weight, curve seed).
+const SPECS: [(&str, SystemKind, f64, u64); 3] = [
+    ("LAER aux=1e-4", SystemKind::Laer, 1e-4, 1),
+    ("Megatron aux=1e-2", SystemKind::Megatron, 1e-2, 2),
+    ("Megatron aux=1e-4", SystemKind::Megatron, 1e-4, 3),
+];
+
+/// Assembles the figure from the three measured iteration times.
+fn assemble(times: &[f64], steps: u64) -> Fig9 {
     let target = 2.30;
-    let specs = [
-        ("LAER aux=1e-4", SystemKind::Laer, 1e-4, 1u64),
-        ("Megatron aux=1e-2", SystemKind::Megatron, 1e-2, 2),
-        ("Megatron aux=1e-4", SystemKind::Megatron, 1e-4, 3),
-    ];
     let mut runs = Vec::new();
     let mut models = Vec::new();
-    for (label, system, aux, seed) in specs {
-        let t = iteration_time(system, aux, effort);
+    for ((label, _, aux, seed), &t) in SPECS.into_iter().zip(times) {
         let m = ConvergenceModel::new(aux, t, seed);
         runs.push(Fig9Run {
             label: label.to_string(),
@@ -76,9 +78,38 @@ pub fn compute(effort: Effort, steps: u64) -> Fig9 {
     }
 }
 
-/// Runs and prints Fig. 9.
-pub fn run(effort: Effort) -> Fig9 {
-    let fig = compute(effort, 3000);
+/// Runs the convergence study serially.
+pub fn compute(effort: Effort, steps: u64) -> Fig9 {
+    let times: Vec<f64> = SPECS
+        .into_iter()
+        .map(|(_, system, aux, _)| iteration_time(system, aux, effort))
+        .collect();
+    assemble(&times, steps)
+}
+
+/// The study's cells — one simulated run per spec — pending execution.
+pub struct Pending {
+    times: Vec<Slot<f64>>,
+}
+
+/// Submits each spec's iteration-time measurement to the pool.
+pub fn submit(batch: &mut Batch, effort: Effort) -> Pending {
+    Pending {
+        times: SPECS
+            .into_iter()
+            .map(|(label, system, aux, _)| {
+                batch.submit(format!("fig9/{label}"), move || {
+                    iteration_time(system, aux, effort)
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Renders the executed cells — identical output to the serial run.
+pub fn finish(pending: Pending) -> Fig9 {
+    let times: Vec<f64> = pending.times.into_iter().map(Slot::take).collect();
+    let fig = assemble(&times, 3000);
     println!("Fig. 9(a): convergence on Mixtral-8x7B e8k2 (target loss 2.30)\n");
     println!(
         "{:<20} {:>10} {:>12} {:>14}",
@@ -99,6 +130,19 @@ pub fn run(effort: Effort) -> Fig9 {
     );
     crate::output::save_json("fig9", &fig);
     fig
+}
+
+/// Runs the study across `workers` pool threads.
+pub fn run_jobs(effort: Effort, workers: usize) -> Fig9 {
+    let mut batch = Batch::new();
+    let pending = submit(&mut batch, effort);
+    batch.run(workers);
+    finish(pending)
+}
+
+/// Runs and prints Fig. 9.
+pub fn run(effort: Effort) -> Fig9 {
+    run_jobs(effort, 1)
 }
 
 #[cfg(test)]

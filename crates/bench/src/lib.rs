@@ -34,6 +34,7 @@ pub mod fig2;
 pub mod fig8;
 pub mod fig9;
 pub mod output;
+pub mod pool;
 pub mod tab2;
 pub mod tab3;
 pub mod tab4;

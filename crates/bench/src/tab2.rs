@@ -1,6 +1,7 @@
 //! Tab. 2 — configurations of the evaluated models: exact parameter and
 //! activated-parameter accounting.
 
+use crate::pool::{Batch, Slot};
 use laer_model::ModelPreset;
 use serde::{Deserialize, Serialize};
 
@@ -43,9 +44,21 @@ pub fn rows() -> Vec<Tab2Row> {
         .collect()
 }
 
-/// Prints the table in the paper's format, with ours-vs-paper columns.
-pub fn run() -> Vec<Tab2Row> {
-    let rows = rows();
+/// The table's single cell, pending pool execution.
+pub struct Pending {
+    rows: Slot<Vec<Tab2Row>>,
+}
+
+/// Submits the row computation to the pool.
+pub fn submit(batch: &mut Batch) -> Pending {
+    Pending {
+        rows: batch.submit("tab2/rows", rows),
+    }
+}
+
+/// Renders the executed cell — identical output to the serial run.
+pub fn finish(pending: Pending) -> Vec<Tab2Row> {
+    let rows = pending.rows.take();
     println!("Tab. 2: configurations of the evaluated models\n");
     println!(
         "{:<22} {:>6} {:>10} {:>10} {:>7} | {:>10} {:>10}",
@@ -65,6 +78,19 @@ pub fn run() -> Vec<Tab2Row> {
     }
     crate::output::save_json("tab2", &rows);
     rows
+}
+
+/// Runs the table across `workers` pool threads.
+pub fn run_jobs(workers: usize) -> Vec<Tab2Row> {
+    let mut batch = Batch::new();
+    let pending = submit(&mut batch);
+    batch.run(workers);
+    finish(pending)
+}
+
+/// Prints the table in the paper's format, with ours-vs-paper columns.
+pub fn run() -> Vec<Tab2Row> {
+    run_jobs(1)
 }
 
 #[cfg(test)]

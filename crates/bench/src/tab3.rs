@@ -6,6 +6,7 @@
 //! implementation's wall-clock cost per iteration (all layers) and
 //! relate it to the simulated iteration time of the same configuration.
 
+use crate::pool::{Batch, Slot};
 use crate::Effort;
 use laer_baselines::SystemKind;
 use laer_cluster::Topology;
@@ -74,17 +75,38 @@ pub fn measure(preset: ModelPreset, effort: Effort) -> Tab3Row {
     }
 }
 
-/// Runs and prints Tab. 3.
-pub fn run(effort: Effort) -> Vec<Tab3Row> {
+/// The models measured in Tab. 3.
+const PRESETS: [ModelPreset; 2] = [ModelPreset::Mixtral8x7bE8k2, ModelPreset::Mixtral8x7bE16k4];
+
+/// The table's cells — one measurement per model — pending execution.
+/// The lite-routing times are wall-clock, so the *values* vary run to
+/// run; only the printed structure is deterministic.
+pub struct Pending {
+    cells: Vec<Slot<Tab3Row>>,
+}
+
+/// Submits each model's measurement to the pool.
+pub fn submit(batch: &mut Batch, effort: Effort) -> Pending {
+    Pending {
+        cells: PRESETS
+            .into_iter()
+            .map(|p| batch.submit(format!("tab3/{}", p.id()), move || measure(p, effort)))
+            .collect(),
+    }
+}
+
+/// Renders the executed cells — identical output to the serial run.
+pub fn finish(pending: Pending) -> Vec<Tab3Row> {
     println!("Tab. 3: performance of lite routing\n");
     println!(
         "{:<22} {:>18} {:>14} {:>12}",
         "Model", "Lite routing (ms)", "iter (ms)", "share"
     );
-    let rows: Vec<_> = [ModelPreset::Mixtral8x7bE8k2, ModelPreset::Mixtral8x7bE16k4]
+    let rows: Vec<_> = pending
+        .cells
         .into_iter()
-        .map(|p| {
-            let r = measure(p, effort);
+        .map(|slot| {
+            let r = slot.take();
             println!(
                 "{:<22} {:>18.3} {:>14.1} {:>11.4}%",
                 r.model, r.lite_routing_ms, r.iteration_ms, r.percentage
@@ -95,6 +117,19 @@ pub fn run(effort: Effort) -> Vec<Tab3Row> {
     println!("\nPaper: 24.965 ms (0.084%) and 30.994 ms (0.094%) — below 0.1% either way.");
     crate::output::save_json("tab3", &rows);
     rows
+}
+
+/// Runs the table across `workers` pool threads.
+pub fn run_jobs(effort: Effort, workers: usize) -> Vec<Tab3Row> {
+    let mut batch = Batch::new();
+    let pending = submit(&mut batch, effort);
+    batch.run(workers);
+    finish(pending)
+}
+
+/// Runs and prints Tab. 3.
+pub fn run(effort: Effort) -> Vec<Tab3Row> {
+    run_jobs(effort, 1)
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Tab. 4 — simulated MLP speedup of LAER-MoE on cluster sizes from 8
 //! to 128 GPUs, using Mixtral-8x7B-e8k2 routing traces (Appendix D).
 
+use crate::pool::{Batch, Slot};
 use laer_train::{mlp_speedup, MlpSpeedupRow};
 use serde::{Deserialize, Serialize};
 
@@ -26,27 +27,66 @@ pub const PAPER: [(usize, f64); 5] = [
 /// small cluster sizes).
 pub const SEEDS: [u64; 3] = [42, 142, 242];
 
+/// Averages seeded speedups into one row.
+fn average(gpus: usize, paper: f64, speedups: &[f64]) -> Tab4Row {
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    Tab4Row {
+        measured: laer_train::MlpSpeedupRow { gpus, speedup: avg },
+        paper,
+    }
+}
+
 /// Computes all rows, averaging the speedup over [`SEEDS`].
 pub fn rows(iterations: usize) -> Vec<Tab4Row> {
     PAPER
         .iter()
         .map(|&(gpus, paper)| {
-            let avg = SEEDS
+            let speedups: Vec<f64> = SEEDS
                 .iter()
                 .map(|&s| mlp_speedup(gpus, iterations, s).speedup)
-                .sum::<f64>()
-                / SEEDS.len() as f64;
-            Tab4Row {
-                measured: laer_train::MlpSpeedupRow { gpus, speedup: avg },
-                paper,
-            }
+                .collect();
+            average(gpus, paper, &speedups)
         })
         .collect()
 }
 
-/// Runs and prints Tab. 4.
-pub fn run() -> Vec<Tab4Row> {
-    let rows = rows(20);
+/// The table's cells — one trace run per (scale, seed) — pending
+/// execution.
+pub struct Pending {
+    scales: Vec<(usize, f64, Vec<Slot<f64>>)>,
+}
+
+/// Submits every (scale, seed) trace run to the pool.
+pub fn submit(batch: &mut Batch) -> Pending {
+    let iterations = 20;
+    Pending {
+        scales: PAPER
+            .into_iter()
+            .map(|(gpus, paper)| {
+                let seeds = SEEDS
+                    .into_iter()
+                    .map(|seed| {
+                        batch.submit(format!("tab4/gpus{gpus}/seed{seed}"), move || {
+                            mlp_speedup(gpus, iterations, seed).speedup
+                        })
+                    })
+                    .collect();
+                (gpus, paper, seeds)
+            })
+            .collect(),
+    }
+}
+
+/// Renders the executed cells — identical output to the serial run.
+pub fn finish(pending: Pending) -> Vec<Tab4Row> {
+    let rows: Vec<Tab4Row> = pending
+        .scales
+        .into_iter()
+        .map(|(gpus, paper, seeds)| {
+            let speedups: Vec<f64> = seeds.into_iter().map(Slot::take).collect();
+            average(gpus, paper, &speedups)
+        })
+        .collect();
     println!("Tab. 4: simulated MLP speedup on varying cluster sizes\n");
     println!(
         "{:>14} {:>12} {:>10}",
@@ -65,6 +105,19 @@ pub fn run() -> Vec<Tab4Row> {
     );
     crate::output::save_json("tab4", &rows);
     rows
+}
+
+/// Runs the table across `workers` pool threads.
+pub fn run_jobs(workers: usize) -> Vec<Tab4Row> {
+    let mut batch = Batch::new();
+    let pending = submit(&mut batch);
+    batch.run(workers);
+    finish(pending)
+}
+
+/// Runs and prints Tab. 4.
+pub fn run() -> Vec<Tab4Row> {
+    run_jobs(1)
 }
 
 #[cfg(test)]

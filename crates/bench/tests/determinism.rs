@@ -1,0 +1,88 @@
+//! The parallel harness's core guarantee: a pooled run is byte-
+//! identical to a serial run — same stdout, same JSON artifacts — for
+//! any `--jobs` count. Exercised end to end through the `repro` binary
+//! on the fully deterministic targets (`fig8` and `ext-obs`; targets
+//! that report wall-clock values, like `fig11`, are inherently
+//! non-reproducible even serially and are excluded by design).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Runs `repro` with the given args, directing artifacts to a fresh
+/// directory, and returns (output, artifact dir).
+fn repro(test: &str, jobs: usize, args: &[&str]) -> (Output, PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "laer-determinism-{}-{test}-jobs{jobs}",
+        std::process::id()
+    ));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clean artifact dir");
+    }
+    std::fs::create_dir_all(&dir).expect("create artifact dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .args(["--jobs", &jobs.to_string()])
+        .env("LAER_REPRO_DIR", &dir)
+        .output()
+        .expect("spawn repro");
+    (out, dir)
+}
+
+fn read(dir: &Path, name: &str) -> Vec<u8> {
+    std::fs::read(dir.join(name))
+        .unwrap_or_else(|e| panic!("read {name} from {}: {e}", dir.display()))
+}
+
+/// `fig8 --quick` renders and saves identically at `--jobs 1` and
+/// `--jobs 8`.
+#[test]
+fn fig8_is_byte_identical_across_job_counts() {
+    let (serial, serial_dir) = repro("fig8", 1, &["fig8", "--quick"]);
+    let (pooled, pooled_dir) = repro("fig8", 8, &["fig8", "--quick"]);
+    assert!(serial.status.success(), "serial run failed");
+    assert!(pooled.status.success(), "pooled run failed");
+    assert_eq!(
+        serial.stdout, pooled.stdout,
+        "fig8 stdout must be byte-identical across job counts"
+    );
+    assert_eq!(
+        read(&serial_dir, "fig8.json"),
+        read(&pooled_dir, "fig8.json"),
+        "fig8.json must be byte-identical across job counts"
+    );
+}
+
+/// The pooled `ext-obs` run reproduces every artifact byte for byte
+/// and reaches the same gate verdict as the serial run.
+#[test]
+fn ext_obs_is_byte_identical_across_job_counts() {
+    let mut baseline = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    baseline.pop(); // crates/
+    baseline.pop(); // repo root
+    baseline.push("BENCH_obs.json");
+    let baseline = baseline.to_str().expect("utf-8 path");
+    let (serial, serial_dir) = repro("obs", 1, &["ext-obs", "--baseline", baseline]);
+    let (pooled, pooled_dir) = repro("obs", 8, &["ext-obs", "--baseline", baseline]);
+    assert_eq!(
+        serial.status.code(),
+        pooled.status.code(),
+        "gate verdict must match across job counts"
+    );
+    assert_eq!(
+        serial.stdout, pooled.stdout,
+        "ext-obs stdout must be byte-identical across job counts"
+    );
+    for artifact in [
+        "ext_obs.json",
+        "ext_obs_metrics.txt",
+        "ext_obs_journal.jsonl",
+    ] {
+        assert_eq!(
+            read(&serial_dir, artifact),
+            read(&pooled_dir, artifact),
+            "{artifact} must be byte-identical across job counts"
+        );
+    }
+}

@@ -234,6 +234,12 @@ fn schedule_on_devices(
     opts: ScheduleOptions,
 ) -> IterationTimings {
     let n = devices.len();
+    // Every layer enqueues at most 11 spans per device (5 forward:
+    // attention, prefetch, dispatch, expert, combine; 6 backward:
+    // dispatch, expert, up to 2 grad-sync, combine, attention), plus the
+    // up-front layer-0 prefetch — reserve once instead of regrowing the
+    // timeline mid-iteration.
+    engine.reserve_spans(layers.len() * n * 11 + n);
     let start = engine.now();
     // ---------------- forward ----------------
     // prefetch_done[l] handles: expert compute of layer l waits on them.

@@ -26,7 +26,10 @@ fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// Panics if `threads` is zero.
 pub fn plan_parallel(planner: &Planner, demand: &RoutingMatrix, threads: usize) -> Plan {
     assert!(threads > 0, "at least one thread");
-    let schemes = planner.candidate_schemes(demand);
+    // Same dedup as the serial tuner: duplicates cost the same, and ties
+    // already break toward the lower index, so dropping repeats keeps the
+    // result identical while saving whole evaluations.
+    let schemes = planner.unique_schemes(planner.candidate_schemes(demand));
     let loads = demand.expert_loads();
     // (candidate index, plan) — the lowest total wins, ties to low index.
     let best: Mutex<Option<(usize, Plan)>> = Mutex::new(None);

@@ -17,8 +17,42 @@ use laer_routing::RoutingMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use std::fmt;
 use std::time::{Duration, Instant};
+
+// Test-only counter of `Planner::evaluate_scheme` calls, used to prove
+// that candidate deduplication actually skips redundant evaluations.
+#[cfg(test)]
+thread_local! {
+    static EVAL_COUNT: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Resets the test-only evaluation counter (current thread).
+#[cfg(test)]
+pub(crate) fn reset_eval_count() {
+    EVAL_COUNT.with(|c| c.set(0));
+}
+
+/// Reads the test-only evaluation counter (current thread).
+#[cfg(test)]
+pub(crate) fn eval_count() -> usize {
+    EVAL_COUNT.with(|c| c.get())
+}
+
+/// Drops duplicate replica schemes, keeping the first occurrence of each.
+///
+/// Safe to apply before the Alg. 2 evaluation loop: duplicates produce
+/// bit-identical [`Plan`]s and the best-candidate comparison is a strict
+/// `<` (first occurrence wins ties), so skipping repeats can never change
+/// which plan is returned.
+pub(crate) fn dedup_schemes(schemes: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+    let mut seen: HashSet<Vec<usize>> = HashSet::with_capacity(schemes.len());
+    schemes
+        .into_iter()
+        .filter(|s| seen.insert(s.clone()))
+        .collect()
+}
 
 /// Failure modes of the fault-aware planning entry points
 /// ([`Planner::plan_within`], [`Planner::plan_degraded`]).
@@ -95,17 +129,35 @@ pub struct PlannerConfig {
     pub scheme: ReplicaScheme,
     /// Seed for the perturbation RNG.
     pub seed: u64,
+    /// Disables candidate-scheme deduplication before evaluation.
+    /// Alg. 2's random perturbations frequently collide (a perturbation
+    /// of an all-ones scheme is a no-op, and independent draws can land
+    /// on the same scheme), so by default identical candidates are
+    /// evaluated once — skipping a duplicate can never change the best
+    /// plan because ties break toward the first occurrence. The flag
+    /// exists for A/B measurement (`bench_planner`).
+    #[serde(default)]
+    pub dedup_disabled: bool,
 }
 
 impl PlannerConfig {
-    /// Default configuration: full scheme set, `ε = 4`, seed 0.
+    /// Default configuration: full scheme set, `ε = 4`, seed 0,
+    /// duplicate candidates evaluated once.
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
             epsilon: 4,
             scheme: ReplicaScheme::Both,
             seed: 0,
+            dedup_disabled: false,
         }
+    }
+
+    /// Enables or disables candidate deduplication (on by default; the
+    /// off switch exists for benchmarking the dedup win).
+    pub fn with_dedup(mut self, dedup: bool) -> Self {
+        self.dedup_disabled = !dedup;
+        self
     }
 
     /// Sets the candidate-set size.
@@ -197,6 +249,16 @@ impl Planner {
         set
     }
 
+    /// Applies candidate deduplication unless the configuration turned it
+    /// off (`dedup_disabled`).
+    pub(crate) fn unique_schemes(&self, schemes: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+        if self.cfg.dedup_disabled {
+            schemes
+        } else {
+            dedup_schemes(schemes)
+        }
+    }
+
     /// Alg. 2 lines 9–16: evaluates every candidate and returns the best
     /// plan.
     ///
@@ -207,7 +269,7 @@ impl Planner {
     pub fn plan(&self, demand: &RoutingMatrix) -> Plan {
         let loads = demand.expert_loads();
         let mut best: Option<Plan> = None;
-        for replicas in self.candidate_schemes(demand) {
+        for replicas in self.unique_schemes(self.candidate_schemes(demand)) {
             let candidate = self.evaluate_scheme(&replicas, &loads, demand);
             let better = match &best {
                 None => true,
@@ -255,7 +317,7 @@ impl Planner {
         let start = Instant::now();
         let loads = demand.expert_loads();
         let mut best: Option<Plan> = None;
-        for replicas in self.candidate_schemes(demand) {
+        for replicas in self.unique_schemes(self.candidate_schemes(demand)) {
             if start.elapsed() >= budget {
                 break;
             }
@@ -319,7 +381,7 @@ impl Planner {
                 self.cfg.capacity,
             ));
         }
-        for replicas in schemes {
+        for replicas in self.unique_schemes(schemes) {
             let layout =
                 expert_relocation_on(&replicas, &loads, &self.topo, self.cfg.capacity, &survivors);
             let routing = lite_route(&self.topo, demand, &layout);
@@ -347,6 +409,8 @@ impl Planner {
         expert_loads: &[u64],
         demand: &RoutingMatrix,
     ) -> Plan {
+        #[cfg(test)]
+        EVAL_COUNT.with(|c| c.set(c.get() + 1));
         let layout = expert_relocation(replicas, expert_loads, &self.topo, self.cfg.capacity);
         let routing = lite_route(&self.topo, demand, &layout);
         let predicted = time_cost(&self.topo, &routing, &self.cost);
@@ -465,6 +529,78 @@ mod tests {
             assert_eq!(scheme.iter().sum::<usize>(), n_c);
             assert!(scheme.iter().all(|&r| r >= 1));
         }
+    }
+
+    /// 8 experts on 4 devices with `C = 2` leave exactly one slot per
+    /// expert, so `even_replicas` is all-ones and `perturb` has no donor
+    /// — every perturbed candidate collides with the base scheme. With
+    /// dedup the planner must evaluate exactly once; without it, once per
+    /// candidate. Both must return the same plan.
+    #[test]
+    fn duplicate_candidates_evaluate_once() {
+        let topo = Topology::single_node(4).unwrap();
+        let cfg = PlannerConfig::new(2)
+            .with_scheme(ReplicaScheme::EvenOnly)
+            .with_epsilon(4);
+        let p = Planner::new(cfg.clone(), CostParams::mixtral_8x7b(), topo.clone());
+        let d = RoutingGenerator::new(RoutingGeneratorConfig::new(4, 8, 1024).with_seed(11))
+            .next_iteration();
+        let schemes = p.candidate_schemes(&d);
+        assert_eq!(schemes.len(), 4);
+        assert!(
+            schemes.iter().all(|s| *s == schemes[0]),
+            "scenario must produce identical candidates"
+        );
+
+        reset_eval_count();
+        let deduped = p.plan(&d);
+        assert_eq!(eval_count(), 1, "dedup must evaluate each scheme once");
+
+        let p_off = Planner::new(
+            cfg.with_dedup(false),
+            CostParams::mixtral_8x7b(),
+            topo.clone(),
+        );
+        reset_eval_count();
+        let raw = p_off.plan(&d);
+        assert_eq!(eval_count(), 4, "dedup off must evaluate every candidate");
+        assert_eq!(deduped, raw, "dedup must not change the chosen plan");
+
+        // The budgeted and degraded paths share the same seen-set.
+        reset_eval_count();
+        let within = p
+            .plan_within(&d, std::time::Duration::from_secs(60))
+            .unwrap();
+        assert_eq!(eval_count(), 1);
+        assert_eq!(within, deduped);
+        let nominal = p.plan_degraded(&d, &DegradedView::new(topo)).unwrap();
+        assert_eq!(nominal.layout, deduped.layout);
+    }
+
+    #[test]
+    fn dedup_schemes_keeps_first_occurrence_order() {
+        let schemes = vec![
+            vec![2, 1, 1],
+            vec![1, 2, 1],
+            vec![2, 1, 1],
+            vec![1, 1, 2],
+            vec![1, 2, 1],
+        ];
+        assert_eq!(
+            dedup_schemes(schemes),
+            vec![vec![2, 1, 1], vec![1, 2, 1], vec![1, 1, 2]]
+        );
+    }
+
+    #[test]
+    fn planner_config_dedup_default_round_trips() {
+        let cfg = PlannerConfig::new(2);
+        assert!(!cfg.dedup_disabled);
+        // Pre-dedup serialized configs lack the field; `#[serde(default)]`
+        // must fill it as "dedup on".
+        let legacy = "{\"capacity\":2,\"epsilon\":4,\"scheme\":\"Both\",\"seed\":0}";
+        let parsed: PlannerConfig = serde_json::from_str(legacy).unwrap();
+        assert_eq!(parsed, cfg);
     }
 
     #[test]

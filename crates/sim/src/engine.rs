@@ -8,7 +8,6 @@
 
 use laer_cluster::{DeviceId, Topology};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 use crate::timeline::{Span, SpanLabel, Timeline};
 
@@ -33,6 +32,21 @@ impl StreamKind {
         StreamKind::A2a,
         StreamKind::GradSync,
     ];
+
+    /// Number of streams per device.
+    pub const COUNT: usize = 4;
+
+    /// Dense zero-based index of the stream (S1..S4 order), used to
+    /// flat-index per-(device, stream) state without hashing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            StreamKind::Compute => 0,
+            StreamKind::Prefetch => 1,
+            StreamKind::A2a => 2,
+            StreamKind::GradSync => 3,
+        }
+    }
 }
 
 /// Opaque handle to a completed span; used to express dependencies.
@@ -43,8 +57,10 @@ pub struct SpanHandle(usize);
 #[derive(Debug, Clone)]
 pub struct Engine {
     num_devices: usize,
-    /// Frontier (next-free time) per (device, stream).
-    frontiers: HashMap<(DeviceId, StreamKind), f64>,
+    /// Frontier (next-free time) per (device, stream), flat-indexed as
+    /// `device * StreamKind::COUNT + stream.index()` — the per-span
+    /// enqueue hot path does no hashing.
+    frontiers: Vec<f64>,
     timeline: Timeline,
 }
 
@@ -53,7 +69,7 @@ impl Engine {
     pub fn new(topo: &Topology) -> Self {
         Self {
             num_devices: topo.num_devices(),
-            frontiers: HashMap::new(),
+            frontiers: vec![0.0; topo.num_devices() * StreamKind::COUNT],
             timeline: Timeline::new(),
         }
     }
@@ -63,10 +79,23 @@ impl Engine {
         self.num_devices
     }
 
+    /// Flat index of a `(device, stream)` frontier slot.
+    #[inline]
+    fn slot(device: DeviceId, stream: StreamKind) -> usize {
+        device.index() * StreamKind::COUNT + stream.index()
+    }
+
+    /// Reserves capacity for at least `additional` more spans, so a
+    /// caller that knows its iteration's span count up front (e.g. the
+    /// FSEP scheduler) avoids repeated timeline regrowth.
+    pub fn reserve_spans(&mut self, additional: usize) {
+        self.timeline.reserve(additional);
+    }
+
     /// Current frontier of a stream (next time it is free).
     pub fn frontier(&self, device: DeviceId, stream: StreamKind) -> f64 {
         self.frontiers
-            .get(&(device, stream))
+            .get(Self::slot(device, stream))
             .copied()
             .unwrap_or(0.0)
     }
@@ -105,10 +134,11 @@ impl Engine {
             device.index() < self.num_devices,
             "device {device} out of range"
         );
+        let slot = Self::slot(device, stream);
         let ready = deps
             .iter()
             .map(|&h| self.span(h).end)
-            .fold(self.frontier(device, stream), f64::max);
+            .fold(self.frontiers[slot], f64::max);
         let span = Span {
             device,
             stream,
@@ -116,7 +146,7 @@ impl Engine {
             start: ready,
             end: ready + duration,
         };
-        self.frontiers.insert((device, stream), span.end);
+        self.frontiers[slot] = span.end;
         self.timeline.push(span);
         SpanHandle(self.timeline.len() - 1)
     }
@@ -149,10 +179,11 @@ impl Engine {
                 dur.is_finite() && dur >= 0.0,
                 "collective duration must be finite and non-negative, got {dur}"
             );
+            assert!(dev.index() < self.num_devices, "device {dev} out of range");
             let ready = dep
                 .iter()
                 .map(|&h| self.span(h).end)
-                .fold(self.frontier(dev, stream), f64::max);
+                .fold(self.frontiers[Self::slot(dev, stream)], f64::max);
             local_finish.push((dev, ready, ready + dur));
         }
         // Phase 2: all participants complete together at the global max.
@@ -169,7 +200,7 @@ impl Engine {
                 start: ready,
                 end: global_end,
             };
-            self.frontiers.insert((dev, stream), global_end);
+            self.frontiers[Self::slot(dev, stream)] = global_end;
             self.timeline.push(span);
             handles.push(SpanHandle(self.timeline.len() - 1));
         }
@@ -201,13 +232,9 @@ impl Engine {
     /// Advances every stream of every device to at least `time` —
     /// a global barrier (end of iteration).
     pub fn barrier_at(&mut self, time: f64) {
-        for dev in 0..self.num_devices {
-            for kind in StreamKind::ALL {
-                let key = (DeviceId::new(dev), kind);
-                let cur = self.frontiers.get(&key).copied().unwrap_or(0.0);
-                if cur < time {
-                    self.frontiers.insert(key, time);
-                }
+        for frontier in &mut self.frontiers {
+            if *frontier < time {
+                *frontier = time;
             }
         }
     }
@@ -323,6 +350,59 @@ mod tests {
             1.0,
             &[],
         );
+    }
+
+    #[test]
+    fn stream_indices_are_dense_and_in_fig5_order() {
+        assert_eq!(StreamKind::COUNT, StreamKind::ALL.len());
+        for (i, kind) in StreamKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+
+    #[test]
+    fn frontiers_are_independent_per_device_and_stream() {
+        let mut e = two_device_engine();
+        e.enqueue(
+            DeviceId::new(0),
+            StreamKind::Compute,
+            SpanLabel::Attention,
+            2.0,
+            &[],
+        );
+        assert_eq!(e.frontier(DeviceId::new(0), StreamKind::Compute), 2.0);
+        assert_eq!(e.frontier(DeviceId::new(0), StreamKind::Prefetch), 0.0);
+        assert_eq!(e.frontier(DeviceId::new(1), StreamKind::Compute), 0.0);
+        // Out-of-range queries read as "never busy" rather than panicking.
+        assert_eq!(e.frontier(DeviceId::new(9), StreamKind::Compute), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn collective_bad_device_panics() {
+        let mut e = two_device_engine();
+        e.enqueue_collective(
+            &[DeviceId::new(0), DeviceId::new(7)],
+            StreamKind::A2a,
+            SpanLabel::AllToAll,
+            &[1.0, 1.0],
+            &[vec![], vec![]],
+        );
+    }
+
+    #[test]
+    fn reserve_spans_does_not_change_semantics() {
+        let mut e = two_device_engine();
+        e.reserve_spans(128);
+        let h = e.enqueue(
+            DeviceId::new(0),
+            StreamKind::Compute,
+            SpanLabel::Attention,
+            1.0,
+            &[],
+        );
+        assert_eq!(e.span(h).end, 1.0);
+        assert_eq!(e.timeline().len(), 1);
     }
 
     #[test]

@@ -102,6 +102,18 @@ impl Timeline {
         Self::default()
     }
 
+    /// Creates an empty timeline with storage for `capacity` spans.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            spans: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Reserves capacity for at least `additional` more spans.
+    pub fn reserve(&mut self, additional: usize) {
+        self.spans.reserve(additional);
+    }
+
     /// Appends a span.
     pub fn push(&mut self, span: Span) {
         self.spans.push(span);
