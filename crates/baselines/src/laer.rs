@@ -144,6 +144,17 @@ impl LaerSystem {
         self
     }
 
+    /// Enables the executor's chunked dispatch/combine pipeline (clamped
+    /// to at least 1 chunk): the schedule splits every layer into
+    /// `num_chunks` per-chunk A2A/expert spans AND the layout tuner
+    /// prices candidates with the pipelined Eq. 1 model, so planning and
+    /// execution agree on what "exposed communication" means.
+    pub fn with_num_chunks(mut self, num_chunks: usize) -> Self {
+        self.schedule = self.schedule.with_num_chunks(num_chunks);
+        self.planner = self.planner.clone().with_num_chunks(num_chunks);
+        self
+    }
+
     /// The planning mode in use.
     pub fn mode(&self) -> PlanningMode {
         self.mode

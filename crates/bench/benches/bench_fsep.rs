@@ -1,13 +1,18 @@
-//! Criterion bench of the FSEP numeric engine: shard, unshard, and a
-//! full training step against the dense reference.
+//! Criterion bench of the FSEP numeric engine — shard, unshard, and a
+//! full training step against the dense reference — plus the iteration
+//! scheduler: whole-iteration vs chunked emission at 8/32/128 devices.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use laer_cluster::{DeviceId, ExpertId};
+use laer_cluster::{DeviceId, ExpertId, Topology};
 use laer_fsep::reference::{run_fsep_step, TokenBatch};
-use laer_fsep::{AdamConfig, ExpertParams, FsepExperts, Matrix, ShardedAdam};
+use laer_fsep::{
+    schedule_iteration, schedule_iteration_reference, AdamConfig, ExpertParams, FsepExperts,
+    LayerTimings, Matrix, ScheduleOptions, ShardedAdam,
+};
 use laer_planner::ExpertLayout;
+use laer_sim::Engine;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -28,6 +33,58 @@ fn setup() -> (Vec<ExpertParams>, ExpertLayout, Vec<TokenBatch>) {
     (experts, layout, batches)
 }
 
+/// A mildly imbalanced 6-layer workload for `n` devices.
+fn schedule_workload(n: usize) -> Vec<LayerTimings> {
+    (0..6)
+        .map(|l| LayerTimings {
+            attention: 1.0e-3,
+            dispatch: (0..n)
+                .map(|d| 3.0e-3 + 1.0e-4 * ((d + l) % 5) as f64)
+                .collect(),
+            expert_forward: (0..n)
+                .map(|d| 5.0e-3 + 2.0e-4 * ((d + l) % 7) as f64)
+                .collect(),
+            combine: (0..n)
+                .map(|d| 3.0e-3 + 1.0e-4 * ((d + 2 * l) % 5) as f64)
+                .collect(),
+            prefetch: 5.0e-4,
+            grad_sync: 8.0e-4,
+        })
+        .collect()
+}
+
+/// Scheduling cost: whole-iteration reference vs the chunk-generic
+/// emitter at one and eight chunks, at 8/32/128 devices.
+fn bench_schedule(c: &mut Criterion) {
+    for (name, topo) in [
+        ("n8", Topology::new(1, 8).expect("topo")),
+        ("n32", Topology::new(4, 8).expect("topo")),
+        ("n128", Topology::new(16, 8).expect("topo")),
+    ] {
+        let layers = schedule_workload(topo.num_devices());
+        c.bench_function(format!("schedule_whole_reference_{name}"), |b| {
+            b.iter(|| {
+                let mut engine = Engine::new(&topo);
+                schedule_iteration_reference(
+                    &mut engine,
+                    &topo,
+                    &layers,
+                    ScheduleOptions::optimized(),
+                )
+            })
+        });
+        for chunks in [1usize, 8] {
+            let opts = ScheduleOptions::optimized().with_num_chunks(chunks);
+            c.bench_function(format!("schedule_chunked_c{chunks}_{name}"), |b| {
+                b.iter(|| {
+                    let mut engine = Engine::new(&topo);
+                    schedule_iteration(&mut engine, &topo, &layers, opts)
+                })
+            });
+        }
+    }
+}
+
 fn bench_fsep(c: &mut Criterion) {
     let (experts, layout, batches) = setup();
     c.bench_function("fsep_shard", |b| {
@@ -46,5 +103,5 @@ fn bench_fsep(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fsep);
+criterion_group!(benches, bench_fsep, bench_schedule);
 criterion_main!(benches);

@@ -6,7 +6,8 @@
 //!
 //! targets: fig1a fig1b fig1 fig2 tab2 eq1 fig8 fig9 fig10a fig10b
 //!          fig11 fig12 tab3 tab4 ext-refine ext-staleness ext-rack
-//!          ext-overlap ext-faults ext-serve ext-obs all harness-bench
+//!          ext-overlap ext-pipeline ext-faults ext-serve ext-obs all
+//!          harness-bench
 //! ```
 //!
 //! `--jobs N` fans the target's independent experiment cells across `N`
@@ -25,13 +26,13 @@
 
 use laer_bench::pool::Batch;
 use laer_bench::{
-    eq1, ext_faults, ext_obs, ext_overlap, ext_rack, ext_refine, ext_serve, ext_staleness, fig1,
-    fig10, fig11, fig12, fig2, fig8, fig9, pool, tab2, tab3, tab4, Effort,
+    eq1, ext_faults, ext_obs, ext_overlap, ext_pipeline, ext_rack, ext_refine, ext_serve,
+    ext_staleness, fig1, fig10, fig11, fig12, fig2, fig8, fig9, pool, tab2, tab3, tab4, Effort,
 };
 use std::time::Instant;
 
 /// Target order of `repro all`.
-const ALL_TARGETS: [&str; 18] = [
+const ALL_TARGETS: [&str; 19] = [
     "tab2",
     "eq1",
     "fig1",
@@ -47,6 +48,7 @@ const ALL_TARGETS: [&str; 18] = [
     "ext-staleness",
     "ext-rack",
     "ext-overlap",
+    "ext-pipeline",
     "ext-faults",
     "ext-serve",
     "ext-obs",
@@ -91,7 +93,8 @@ fn main() {
         eprintln!(
             "usage: repro <target> [--quick|--full] [--jobs N] [--iters N] [--update-baseline] [--baseline PATH] [--tolerance F]\n\
              targets: fig1a fig1b fig1 fig2 tab2 eq1 fig8 fig9 fig10a fig10b fig11 fig12 tab3 tab4 \
-             ext-refine ext-staleness ext-rack ext-overlap ext-faults ext-serve ext-obs all harness-bench"
+             ext-refine ext-staleness ext-rack ext-overlap ext-pipeline ext-faults ext-serve ext-obs \
+             all harness-bench"
         );
         std::process::exit(if target == "help" { 0 } else { 2 });
     }
@@ -178,6 +181,9 @@ fn dispatch(
         }
         "ext-overlap" => {
             ext_overlap::run_jobs(jobs);
+        }
+        "ext-pipeline" => {
+            ext_pipeline::run_jobs(jobs);
         }
         "ext-faults" => {
             ext_faults::run_jobs(jobs);
@@ -313,6 +319,13 @@ fn run_all(effort: Effort, jobs: usize, iters: Option<usize>, obs: &ext_obs::Obs
                 let p = ext_overlap::submit(&mut batch);
                 Box::new(move || {
                     ext_overlap::finish(p);
+                    true
+                })
+            }
+            "ext-pipeline" => {
+                let p = ext_pipeline::submit(&mut batch);
+                Box::new(move || {
+                    ext_pipeline::finish(p);
                     true
                 })
             }

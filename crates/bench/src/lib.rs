@@ -22,6 +22,7 @@ pub mod eq1;
 pub mod ext_faults;
 pub mod ext_obs;
 pub mod ext_overlap;
+pub mod ext_pipeline;
 pub mod ext_rack;
 pub mod ext_refine;
 pub mod ext_serve;

@@ -54,6 +54,32 @@ fn fig8_is_byte_identical_across_job_counts() {
     );
 }
 
+/// The pooled `ext-pipeline` sweep reproduces its stdout and all three
+/// artifacts — the sweep JSON, the per-chunk journal and the headline
+/// Chrome trace — byte for byte at any job count.
+#[test]
+fn ext_pipeline_is_byte_identical_across_job_counts() {
+    let (serial, serial_dir) = repro("pipeline", 1, &["ext-pipeline"]);
+    let (pooled, pooled_dir) = repro("pipeline", 2, &["ext-pipeline"]);
+    assert!(serial.status.success(), "serial run failed");
+    assert!(pooled.status.success(), "pooled run failed");
+    assert_eq!(
+        serial.stdout, pooled.stdout,
+        "ext-pipeline stdout must be byte-identical across job counts"
+    );
+    for artifact in [
+        "ext_pipeline.json",
+        "ext_pipeline_journal.jsonl",
+        "ext_pipeline_trace.json",
+    ] {
+        assert_eq!(
+            read(&serial_dir, artifact),
+            read(&pooled_dir, artifact),
+            "{artifact} must be byte-identical across job counts"
+        );
+    }
+}
+
 /// The pooled `ext-obs` run reproduces every artifact byte for byte
 /// and reaches the same gate verdict as the serial run.
 #[test]

@@ -52,8 +52,8 @@ pub use moe_layer::{GateParams, MoeForward, MoeGrads, MoeLayer};
 pub use optimizer::{AdamConfig, ShardedAdam};
 pub use reference::{DenseReference, FsdpReference};
 pub use schedule::{
-    schedule_iteration, schedule_iteration_on, IterationTimings, LayerTimings, Recompute,
-    ScheduleOptions,
+    schedule_iteration, schedule_iteration_on, schedule_iteration_reference, IterationTimings,
+    LayerTimings, Recompute, ScheduleOptions,
 };
 pub use shard::{CommLog, FsepError, FsepExperts, GradChunks, RestoredDevice, RestoredExperts};
 pub use tensor::Matrix;

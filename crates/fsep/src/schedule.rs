@@ -57,6 +57,15 @@ pub struct ScheduleOptions {
     pub delayed_grad_sync: bool,
     /// Activation recomputation granularity (Sec. 4).
     pub recompute: Recompute,
+    /// Micro-batch chunks the dispatch/combine pipeline splits each
+    /// layer's token batch into: chunk `c`'s dispatch A2A runs on S3
+    /// while S1 computes later attention chunks and earlier expert
+    /// chunks (the fastmoe-style pipelined MoE block). `0` and `1` both
+    /// mean the whole-iteration schedule; `0` is the serde default so
+    /// options serialized before this knob existed deserialize to the
+    /// unchunked behaviour.
+    #[serde(default)]
+    pub num_chunks: usize,
 }
 
 impl ScheduleOptions {
@@ -67,6 +76,7 @@ impl ScheduleOptions {
             order_prefetch_after_a2a: true,
             delayed_grad_sync: true,
             recompute: Recompute::None,
+            num_chunks: 0,
         }
     }
 
@@ -77,6 +87,7 @@ impl ScheduleOptions {
             order_prefetch_after_a2a: false,
             delayed_grad_sync: false,
             recompute: Recompute::None,
+            num_chunks: 0,
         }
     }
 
@@ -84,6 +95,18 @@ impl ScheduleOptions {
     pub fn with_recompute(mut self, recompute: Recompute) -> Self {
         self.recompute = recompute;
         self
+    }
+
+    /// Selects the pipeline chunk count (clamped to at least 1).
+    pub fn with_num_chunks(mut self, num_chunks: usize) -> Self {
+        self.num_chunks = num_chunks.max(1);
+        self
+    }
+
+    /// The chunk count actually scheduled: the `0` serde/back-compat
+    /// default means unchunked, i.e. one chunk.
+    pub fn effective_chunks(&self) -> usize {
+        self.num_chunks.max(1)
     }
 
     /// Total expert compute charged per layer, as a multiple of one
@@ -227,7 +250,341 @@ pub fn schedule_iteration_on(
 
 /// The schedule body: `layers` vectors are indexed positionally by
 /// `devices` (already gathered to the participating subset).
+///
+/// With `opts.num_chunks > 1` each layer's token batch is split into
+/// equal chunks and every chunk gets its own attention → dispatch →
+/// expert → combine slice, so the S3 A2A stream runs chunk `c`'s
+/// dispatch while S1 computes attention of chunks `> c` and experts of
+/// chunks `< c`. All chunks of one phase are enqueued as a block
+/// (attention chunks, then dispatch chunks, then expert chunks, then
+/// combine chunks): streams execute in enqueue order, so interleaving
+/// phases per chunk would serialize chunk `c`'s combine *before* chunk
+/// `c+1`'s dispatch on S3 and destroy the overlap. At one chunk the
+/// emitted span stream is bit-identical to
+/// [`schedule_iteration_reference`] (durations are multiplied by
+/// `1.0/1.0`, which is exact for IEEE-754 doubles).
 fn schedule_on_devices(
+    engine: &mut Engine,
+    devices: &[DeviceId],
+    layers: &[LayerTimings],
+    opts: ScheduleOptions,
+) -> IterationTimings {
+    let n = devices.len();
+    let chunks = opts.effective_chunks();
+    let inv = 1.0 / chunks as f64;
+    // Every layer enqueues at most `8·chunks + 3` spans per device
+    // (forward: `chunks` each of attention/dispatch/expert/combine plus
+    // one prefetch; backward: `chunks` each of dispatch/expert/combine/
+    // attention plus up to two grad-sync spans), plus the up-front
+    // layer-0 prefetch — reserve once instead of regrowing the timeline
+    // mid-iteration. At one chunk this is the pre-pipelining 11 spans
+    // per (layer, device).
+    engine.reserve_spans(layers.len() * n * (8 * chunks + 3) + n);
+    let start = engine.now();
+    // ---------------- forward ----------------
+    // prefetch_done[l] handles: expert compute of layer l waits on them.
+    // The prefetch is per *layer* (parameters serve every chunk), so all
+    // expert chunks of layer l depend on the same prefetch handle.
+    let mut prefetch_done: Vec<Option<Vec<SpanHandle>>> = vec![None; layers.len()];
+    // Layer 0's experts must be fetched up front (not overlappable).
+    if let Some(first) = layers.first() {
+        let handles: Vec<SpanHandle> = devices
+            .iter()
+            .map(|&d| {
+                engine.enqueue(
+                    d,
+                    StreamKind::Prefetch,
+                    SpanLabel::Prefetch,
+                    first.prefetch,
+                    &[],
+                )
+            })
+            .collect();
+        prefetch_done[0] = Some(handles);
+    }
+    // last_combine[c][di]: the previous layer's combine A2A of chunk c.
+    // Chunk c's tokens flow attention → dispatch → expert → combine →
+    // next layer's attention of the *same* chunk, so cross-layer
+    // dependencies stay per chunk and chunk c+1 can start its attention
+    // while chunk c is still in flight.
+    let mut last_combine: Vec<Vec<SpanHandle>> = vec![Vec::new(); chunks];
+    for (li, layer) in layers.iter().enumerate() {
+        // Attention on the compute stream, chunk by chunk.
+        let attn: Vec<Vec<SpanHandle>> = (0..chunks)
+            .map(|c| {
+                devices
+                    .iter()
+                    .enumerate()
+                    .map(|(di, &d)| {
+                        let deps: Vec<SpanHandle> =
+                            last_combine[c].get(di).copied().into_iter().collect();
+                        engine.enqueue(
+                            d,
+                            StreamKind::Compute,
+                            SpanLabel::Attention,
+                            layer.attention * inv,
+                            &deps,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        // Unoptimized prefetch (Fig. 5a): fetch this layer's experts
+        // during this layer's attention (its first chunk).
+        if !opts.relaxed_prefetch && li > 0 {
+            let handles: Vec<SpanHandle> = devices
+                .iter()
+                .enumerate()
+                .map(|(di, &d)| {
+                    engine.enqueue(
+                        d,
+                        StreamKind::Prefetch,
+                        SpanLabel::Prefetch,
+                        layer.prefetch,
+                        &[attn[0][di]],
+                    )
+                })
+                .collect();
+            prefetch_done[li] = Some(handles);
+        }
+        // Token-dispatch A2As (synchronising collectives, one per
+        // chunk). Dispatch of chunk c only needs chunk c's attention, so
+        // on S3 it runs while S1 is still on later attention chunks or
+        // earlier expert chunks — the overlap this pipeline exists for.
+        let chunk_dispatch: Vec<f64> = layer.dispatch.iter().map(|&t| t * inv).collect();
+        let dispatch: Vec<Vec<SpanHandle>> = (0..chunks)
+            .map(|c| {
+                let attn_dep: Vec<Vec<SpanHandle>> = attn[c].iter().map(|&h| vec![h]).collect();
+                engine.enqueue_collective(
+                    devices,
+                    StreamKind::A2a,
+                    SpanLabel::AllToAll,
+                    &chunk_dispatch,
+                    &attn_dep,
+                )
+            })
+            .collect();
+        // Relaxed prefetch (Fig. 5b/c): fetch the *next* layer's experts
+        // now, ordered after the first dispatch chunk if requested.
+        if opts.relaxed_prefetch && li + 1 < layers.len() {
+            let next = &layers[li + 1];
+            let duration = if opts.order_prefetch_after_a2a {
+                next.prefetch
+            } else {
+                next.prefetch * CONTENTION_PENALTY
+            };
+            let handles: Vec<SpanHandle> = devices
+                .iter()
+                .enumerate()
+                .map(|(di, &d)| {
+                    let deps: Vec<SpanHandle> = if opts.order_prefetch_after_a2a {
+                        vec![dispatch[0][di]]
+                    } else {
+                        vec![attn[0][di]]
+                    };
+                    engine.enqueue(
+                        d,
+                        StreamKind::Prefetch,
+                        SpanLabel::Prefetch,
+                        duration,
+                        &deps,
+                    )
+                })
+                .collect();
+            prefetch_done[li + 1] = Some(handles);
+        }
+        // Expert forward per chunk: chunk c needs its own dispatched
+        // tokens AND the layer's restored params.
+        let expert: Vec<Vec<SpanHandle>> = (0..chunks)
+            .map(|c| {
+                devices
+                    .iter()
+                    .enumerate()
+                    .map(|(di, &d)| {
+                        let mut deps = vec![dispatch[c][di]];
+                        if let Some(pf) = &prefetch_done[li] {
+                            deps.push(pf[di]);
+                        }
+                        engine.enqueue(
+                            d,
+                            StreamKind::Compute,
+                            SpanLabel::ExpertCompute,
+                            layer.expert_forward[di] * inv,
+                            &deps,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        // Combine A2As, one per chunk.
+        let chunk_combine: Vec<f64> = layer.combine.iter().map(|&t| t * inv).collect();
+        last_combine = (0..chunks)
+            .map(|c| {
+                let expert_dep: Vec<Vec<SpanHandle>> = expert[c].iter().map(|&h| vec![h]).collect();
+                engine.enqueue_collective(
+                    devices,
+                    StreamKind::A2a,
+                    SpanLabel::AllToAll,
+                    &chunk_combine,
+                    &expert_dep,
+                )
+            })
+            .collect();
+    }
+    let forward_end = engine.now();
+    // ---------------- backward (layers in reverse) ----------------
+    // prev_bwd[c][di]: dependency lists feeding chunk c of the next
+    // backward layer — the forward's last combine per chunk, then each
+    // layer's attention-backward chunks.
+    let mut prev_bwd: Vec<Vec<Vec<SpanHandle>>> = last_combine
+        .iter()
+        .map(|per_chunk| per_chunk.iter().map(|&h| vec![h]).collect())
+        .collect();
+    for layer in layers.iter().rev() {
+        // Dispatch A2A for gradients w.r.t. expert outputs, per chunk.
+        let chunk_bwd_dispatch: Vec<f64> = layer.combine.iter().map(|&t| t * inv).collect();
+        let bwd_dispatch: Vec<Vec<SpanHandle>> = (0..chunks)
+            .map(|c| {
+                engine.enqueue_collective(
+                    devices,
+                    StreamKind::A2a,
+                    SpanLabel::AllToAll,
+                    &chunk_bwd_dispatch,
+                    &prev_bwd[c],
+                )
+            })
+            .collect();
+        // Expert backward per chunk: 2x forward cost.
+        let expert_bwd: Vec<Vec<SpanHandle>> = (0..chunks)
+            .map(|c| {
+                devices
+                    .iter()
+                    .enumerate()
+                    .map(|(di, &d)| {
+                        engine.enqueue(
+                            d,
+                            StreamKind::Compute,
+                            SpanLabel::ExpertCompute,
+                            opts.expert_backward_factor() * layer.expert_forward[di] * inv,
+                            &[bwd_dispatch[c][di]],
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        // Gradient reshard/synchronisation. Parameter gradients cover
+        // every chunk, so the layer's single reshard waits on all of its
+        // expert-backward chunks.
+        if opts.delayed_grad_sync {
+            // Fig. 5e: on S4, overlapped with the next (earlier) layer's
+            // backward computation.
+            for (di, &d) in devices.iter().enumerate() {
+                let deps: Vec<SpanHandle> = expert_bwd.iter().map(|chunk| chunk[di]).collect();
+                engine.enqueue(
+                    d,
+                    StreamKind::GradSync,
+                    SpanLabel::GradSync,
+                    layer.grad_sync,
+                    &deps,
+                );
+            }
+        }
+        // Combine A2A for input gradients, per chunk.
+        let chunk_bwd_combine: Vec<f64> = layer.dispatch.iter().map(|&t| t * inv).collect();
+        let bwd_combine: Vec<Vec<SpanHandle>> = (0..chunks)
+            .map(|c| {
+                let expert_dep: Vec<Vec<SpanHandle>> =
+                    expert_bwd[c].iter().map(|&h| vec![h]).collect();
+                engine.enqueue_collective(
+                    devices,
+                    StreamKind::A2a,
+                    SpanLabel::AllToAll,
+                    &chunk_bwd_combine,
+                    &expert_dep,
+                )
+            })
+            .collect();
+        // Attention backward per chunk: 2x forward cost, on the compute
+        // stream.
+        let attn_bwd: Vec<Vec<SpanHandle>> = (0..chunks)
+            .map(|c| {
+                devices
+                    .iter()
+                    .enumerate()
+                    .map(|(di, &d)| {
+                        engine.enqueue(
+                            d,
+                            StreamKind::Compute,
+                            SpanLabel::Attention,
+                            opts.attention_backward_factor() * layer.attention * inv,
+                            &[bwd_combine[c][di]],
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        if !opts.delayed_grad_sync {
+            // Autograd-driven timing: NCCL still runs the reduction on
+            // its own stream, but the engine's eager launch point makes
+            // roughly half of it collide with (and block) subsequent
+            // backward kernels — the "uncontrollable communication
+            // timing and overlap effects" of Sec. 3.1.
+            for &d in devices {
+                engine.enqueue(
+                    d,
+                    StreamKind::Compute,
+                    SpanLabel::GradSync,
+                    AUTOGRAD_EXPOSED_FRACTION * layer.grad_sync,
+                    &[],
+                );
+                engine.enqueue(
+                    d,
+                    StreamKind::GradSync,
+                    SpanLabel::GradSync,
+                    (1.0 - AUTOGRAD_EXPOSED_FRACTION) * layer.grad_sync,
+                    &[],
+                );
+            }
+        }
+        prev_bwd = attn_bwd
+            .iter()
+            .map(|per_chunk| per_chunk.iter().map(|&h| vec![h]).collect())
+            .collect();
+    }
+    let total_end = engine.now();
+    engine.barrier_at(total_end);
+    IterationTimings {
+        total: total_end - start,
+        forward_end: forward_end - start,
+    }
+}
+
+/// The pre-pipelining whole-iteration scheduler, kept verbatim as the
+/// executable reference for the chunking invariant: scheduling with
+/// `num_chunks <= 1` must reproduce this span stream bit-identically
+/// (pinned by the proptests in `tests/proptests.rs` and raced against
+/// the chunked path in `bench_fsep`). Ignores `opts.num_chunks`.
+///
+/// # Panics
+///
+/// Panics if any per-device timing vector disagrees with the topology.
+pub fn schedule_iteration_reference(
+    engine: &mut Engine,
+    topo: &Topology,
+    layers: &[LayerTimings],
+    opts: ScheduleOptions,
+) -> IterationTimings {
+    let n = topo.num_devices();
+    for l in layers {
+        l.check(n);
+    }
+    let devices: Vec<DeviceId> = topo.devices().collect();
+    schedule_whole_on_devices(engine, &devices, layers, opts)
+}
+
+/// Whole-iteration schedule body as it stood before chunked pipelining
+/// (one span per phase per layer per device).
+fn schedule_whole_on_devices(
     engine: &mut Engine,
     devices: &[DeviceId],
     layers: &[LayerTimings],
@@ -245,7 +602,6 @@ fn schedule_on_devices(
     // prefetch_done[l] handles: expert compute of layer l waits on them.
     let mut prefetch_done: Vec<Option<Vec<SpanHandle>>> = vec![None; layers.len()];
     // Layer 0's experts must be fetched up front (not overlappable).
-    let mut attn_deps: Vec<Vec<SpanHandle>> = vec![Vec::new(); n];
     if let Some(first) = layers.first() {
         let handles: Vec<SpanHandle> = devices
             .iter()
@@ -262,16 +618,13 @@ fn schedule_on_devices(
         prefetch_done[0] = Some(handles);
     }
     let mut last_combine: Vec<Vec<SpanHandle>> = vec![Vec::new(); n];
-    let mut fwd_expert_handles: Vec<Vec<SpanHandle>> = Vec::with_capacity(layers.len());
-    let mut fwd_dispatch_handles: Vec<Vec<SpanHandle>> = Vec::with_capacity(layers.len());
     for (li, layer) in layers.iter().enumerate() {
         // Attention on the compute stream.
         let attn: Vec<SpanHandle> = devices
             .iter()
             .enumerate()
             .map(|(di, &d)| {
-                let mut deps = attn_deps[di].clone();
-                deps.extend(last_combine[di].iter().copied());
+                let deps = last_combine[di].clone();
                 engine.enqueue(
                     d,
                     StreamKind::Compute,
@@ -365,14 +718,11 @@ fn schedule_on_devices(
             &expert_dep,
         );
         last_combine = combine.iter().map(|&h| vec![h]).collect();
-        attn_deps = vec![Vec::new(); n];
-        fwd_expert_handles.push(expert);
-        fwd_dispatch_handles.push(dispatch);
     }
     let forward_end = engine.now();
     // ---------------- backward (layers in reverse) ----------------
     let mut prev_bwd: Vec<Vec<SpanHandle>> = last_combine;
-    for (li, layer) in layers.iter().enumerate().rev() {
+    for layer in layers.iter().rev() {
         // Dispatch A2A for gradients w.r.t. expert outputs.
         let bwd_dispatch = engine.enqueue_collective(
             devices,
@@ -456,7 +806,6 @@ fn schedule_on_devices(
             }
         }
         prev_bwd = attn_bwd.iter().map(|&h| vec![h]).collect();
-        let _ = li;
     }
     let total_end = engine.now();
     engine.barrier_at(total_end);
@@ -671,6 +1020,143 @@ mod tests {
         assert!(breakdown.a2a > 0.0);
         assert!(breakdown.expert_compute > 0.0);
         assert!(breakdown.others > 0.0);
+    }
+
+    /// Exposed A2A: total time minus the same schedule with dispatch and
+    /// combine zeroed out.
+    fn exposed_a2a(layers: &[LayerTimings], opts: ScheduleOptions) -> f64 {
+        let n = layers.first().map_or(0, |l| l.dispatch.len());
+        let topo = Topology::single_node(n).unwrap();
+        let mut engine = Engine::new(&topo);
+        let t = schedule_iteration(&mut engine, &topo, layers, opts);
+        let zeroed: Vec<LayerTimings> = layers
+            .iter()
+            .map(|l| LayerTimings {
+                dispatch: vec![0.0; n],
+                combine: vec![0.0; n],
+                ..l.clone()
+            })
+            .collect();
+        let mut engine0 = Engine::new(&topo);
+        let t0 = schedule_iteration(&mut engine0, &topo, &zeroed, opts);
+        (t.total - t0.total).max(0.0)
+    }
+
+    /// `num_chunks = 1` (and the `0` back-compat default) must reproduce
+    /// the whole-iteration reference scheduler bit-identically: same
+    /// span stream, same timings. The proptest in `tests/proptests.rs`
+    /// widens this over random shapes and options.
+    #[test]
+    fn single_chunk_matches_reference_bit_identically() {
+        let n = 3;
+        let topo = Topology::single_node(n).unwrap();
+        let layers: Vec<_> = (0..4)
+            .map(|i| layer(n, 1e-3 + i as f64 * 1e-4, 7e-3, 0.9e-3, 3e-3))
+            .collect();
+        for base in [ScheduleOptions::optimized(), ScheduleOptions::unoptimized()] {
+            for opts in [base, base.with_num_chunks(1)] {
+                let mut chunked = Engine::new(&topo);
+                let t = schedule_iteration(&mut chunked, &topo, &layers, opts);
+                let mut whole = Engine::new(&topo);
+                let t_ref = schedule_iteration_reference(&mut whole, &topo, &layers, opts);
+                assert_eq!(t, t_ref);
+                assert_eq!(chunked.timeline().spans(), whole.timeline().spans());
+            }
+        }
+    }
+
+    /// Under a uniform layout, exposed A2A is monotonically
+    /// non-increasing in the chunk count, and strictly shrinks on an
+    /// A2A-heavy profile before the schedule goes comm-bound.
+    #[test]
+    fn exposed_a2a_monotone_in_chunk_count() {
+        let n = 2;
+        // A2A 6 ms per direction vs 4 ms expert compute: plenty of
+        // exposed communication for the pipeline to hide.
+        let layers: Vec<_> = (0..4).map(|_| layer(n, 1e-3, 4e-3, 6e-3, 1e-3)).collect();
+        let exposed: Vec<f64> = [1usize, 2, 4, 8, 16]
+            .iter()
+            .map(|&c| exposed_a2a(&layers, ScheduleOptions::optimized().with_num_chunks(c)))
+            .collect();
+        for pair in exposed.windows(2) {
+            assert!(
+                pair[1] <= pair[0] + 1e-12,
+                "exposed A2A must not grow with chunk count: {exposed:?}"
+            );
+        }
+        assert!(
+            exposed[2] < exposed[0] - 1e-4,
+            "4 chunks should strictly shrink exposed A2A: {exposed:?}"
+        );
+    }
+
+    /// Chunking shortens the iteration when A2A is material: dispatch of
+    /// chunk c overlaps expert compute of chunk c-1.
+    #[test]
+    fn chunked_schedule_overlaps_a2a_with_compute() {
+        let n = 2;
+        let layers: Vec<_> = (0..4).map(|_| layer(n, 1e-3, 4e-3, 6e-3, 1e-3)).collect();
+        let run_total = |c: usize| {
+            let topo = Topology::single_node(n).unwrap();
+            let mut engine = Engine::new(&topo);
+            schedule_iteration(
+                &mut engine,
+                &topo,
+                &layers,
+                ScheduleOptions::optimized().with_num_chunks(c),
+            )
+            .total
+        };
+        let whole = run_total(1);
+        let chunked = run_total(4);
+        assert!(
+            chunked < whole - 1e-3,
+            "4-chunk schedule {chunked} should beat whole-iteration {whole}"
+        );
+    }
+
+    /// The chunk-aware span reservation is an exact upper bound: a
+    /// chunked iteration never enqueues more spans than reserved, and
+    /// reaches the bound when every optional span is emitted.
+    #[test]
+    fn chunked_span_count_within_reservation() {
+        let n = 2;
+        let topo = Topology::single_node(n).unwrap();
+        let layer_count = 3;
+        let layers: Vec<_> = (0..layer_count)
+            .map(|_| layer(n, 1e-3, 4e-3, 1e-3, 1e-3))
+            .collect();
+        for chunks in [1usize, 2, 4, 8] {
+            let mut engine = Engine::new(&topo);
+            let opts = ScheduleOptions::optimized().with_num_chunks(chunks);
+            schedule_iteration(&mut engine, &topo, &layers, opts);
+            let reserved = layer_count * n * (8 * chunks + 3) + n;
+            let emitted = engine.timeline().len();
+            assert!(
+                emitted <= reserved,
+                "chunks {chunks}: emitted {emitted} > reserved {reserved}"
+            );
+            // Forward: 4·chunks per (layer, device) + relaxed prefetch on
+            // all but the last layer + the layer-0 up-front prefetch.
+            // Backward: 4·chunks + 1 delayed grad-sync per (layer, device).
+            let expected = layer_count * n * (8 * chunks + 1) + (layer_count - 1) * n + n;
+            assert_eq!(emitted, expected, "chunks {chunks}");
+        }
+    }
+
+    #[test]
+    fn effective_chunks_clamps_zero_to_one() {
+        assert_eq!(ScheduleOptions::optimized().effective_chunks(), 1);
+        assert_eq!(
+            ScheduleOptions::optimized().with_num_chunks(0).num_chunks,
+            1
+        );
+        assert_eq!(
+            ScheduleOptions::optimized()
+                .with_num_chunks(6)
+                .effective_chunks(),
+            6
+        );
     }
 
     #[test]

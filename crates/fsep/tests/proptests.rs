@@ -1,16 +1,22 @@
-//! Property-based tests for the FSEP numeric engine: the sharding
+//! Property-based tests for the FSEP numeric engine — the sharding
 //! round-trip must be lossless and the FSDP-equivalence must hold for
-//! *arbitrary* expert shapes, device counts, layouts and batches.
+//! *arbitrary* expert shapes, device counts, layouts and batches — and
+//! for the iteration scheduler, whose single-chunk pipeline must be
+//! bit-identical to the whole-iteration reference everywhere.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use laer_cluster::{DeviceId, ExpertId};
+use laer_cluster::{DeviceId, ExpertId, Topology};
 use laer_fsep::reference::{run_fsep_step, DenseReference, TokenBatch};
-use laer_fsep::{AdamConfig, ExpertParams, FsepExperts, Matrix, ShardedAdam};
+use laer_fsep::{
+    schedule_iteration, schedule_iteration_reference, AdamConfig, ExpertParams, FsepExperts,
+    LayerTimings, Matrix, Recompute, ScheduleOptions, ShardedAdam,
+};
 use laer_planner::{expert_relocation, replica_allocation};
+use laer_sim::Engine;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn experts_strategy() -> impl Strategy<Value = (Vec<ExpertParams>, usize)> {
     // (E experts of shape h x hp, N devices)
@@ -129,6 +135,56 @@ proptest! {
         prop_assert_eq!(stacked.rows(), 2 * rows);
         prop_assert_eq!(stacked.row(0), a.row(0));
         prop_assert_eq!(stacked.row(rows), b.row(0));
+    }
+
+    /// `num_chunks = 1` (and the `0` serde default) reproduces the
+    /// pre-pipelining whole-iteration schedule bit for bit — identical
+    /// timings AND identical span streams — for arbitrary cluster
+    /// shapes, layer counts, timings and option toggles.
+    #[test]
+    fn single_chunk_schedule_matches_reference(
+        nodes in 1usize..4,
+        devices_per_node in 1usize..6,
+        layer_count in 1usize..5,
+        seed in 0u64..10_000,
+        relaxed in any::<bool>(),
+        ordered in any::<bool>(),
+        delayed in any::<bool>(),
+        recompute_idx in 0usize..3,
+        explicit_one in any::<bool>(),
+    ) {
+        let topo = Topology::new(nodes, devices_per_node).expect("non-empty");
+        let n = topo.num_devices();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dur = |scale: f64| scale * (0.1 + rng.gen_range(0.0..1.0));
+        let layers: Vec<LayerTimings> = (0..layer_count)
+            .map(|_| LayerTimings {
+                attention: dur(1e-3),
+                dispatch: (0..n).map(|_| dur(3e-3)).collect(),
+                expert_forward: (0..n).map(|_| dur(5e-3)).collect(),
+                combine: (0..n).map(|_| dur(3e-3)).collect(),
+                prefetch: dur(5e-4),
+                grad_sync: dur(8e-4),
+            })
+            .collect();
+        let mut opts = ScheduleOptions::optimized();
+        opts.relaxed_prefetch = relaxed;
+        opts.order_prefetch_after_a2a = ordered;
+        opts.delayed_grad_sync = delayed;
+        opts.recompute = match recompute_idx {
+            0 => Recompute::None,
+            1 => Recompute::ExpertsOnly,
+            _ => Recompute::Full,
+        };
+        if explicit_one {
+            opts = opts.with_num_chunks(1);
+        }
+        let mut ref_engine = Engine::new(&topo);
+        let t_ref = schedule_iteration_reference(&mut ref_engine, &topo, &layers, opts);
+        let mut engine = Engine::new(&topo);
+        let t = schedule_iteration(&mut engine, &topo, &layers, opts);
+        prop_assert_eq!(t, t_ref);
+        prop_assert_eq!(engine.timeline().spans(), ref_engine.timeline().spans());
     }
 
     /// The unshard communication volume matches the closed form

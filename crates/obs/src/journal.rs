@@ -44,6 +44,20 @@ pub struct CommOverlap {
     pub exposed: f64,
 }
 
+/// Exposed-vs-overlapped seconds of the token A2A stream for one
+/// pipeline chunk, summed over devices — the per-chunk columns proving
+/// (or disproving) that the chunked dispatch/combine pipeline actually
+/// hid communication under compute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChunkOverlap {
+    /// Chunk index within the pipeline (`0 .. num_chunks`).
+    pub chunk: usize,
+    /// A2A seconds hidden under the same device's compute stream.
+    pub overlapped: f64,
+    /// A2A seconds not hidden under compute.
+    pub exposed: f64,
+}
+
 /// One training iteration's telemetry record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IterationRecord {
@@ -56,10 +70,18 @@ pub struct IterationRecord {
     /// Routing imbalance index: mean over layers of max-device-load /
     /// ideal-load (Fig. 10b's metric).
     pub imbalance: f64,
+    /// Pipeline chunk count the executor scheduled with (1 =
+    /// whole-iteration schedule).
+    pub num_chunks: usize,
     /// Per-device stream busy fractions.
     pub streams: Vec<StreamUtilization>,
     /// Exposed-vs-overlapped seconds per span label.
     pub comm: Vec<CommOverlap>,
+    /// Exposed-vs-overlapped A2A seconds per pipeline chunk. The
+    /// executor emits each layer's A2A spans as consecutive blocks of
+    /// `num_chunks` per device stream, so position modulo `num_chunks`
+    /// identifies the chunk.
+    pub a2a_chunks: Vec<ChunkOverlap>,
 }
 
 /// A compact, serialisable snapshot of a [`Histogram`].
@@ -207,7 +229,12 @@ fn overlap_with(busy: &[(f64, f64)], s: f64, e: f64) -> f64 {
 ///   [`Timeline::stream_utilization`]);
 /// * `comm` — for every non-compute-stream span label, the split of its
 ///   busy seconds into overlapped-with-S1 and exposed, summed across
-///   devices and sorted by label for determinism.
+///   devices and sorted by label for determinism;
+/// * `a2a_chunks` — the same split for the S3 token A2A stream broken
+///   out per pipeline chunk: the scheduler emits each layer's A2A spans
+///   as consecutive blocks of `num_chunks` per device stream (dispatch
+///   chunks, then combine chunks), so the `i`-th A2A span of a device
+///   belongs to chunk `i % num_chunks`.
 pub fn iteration_record(
     system: &str,
     iteration: u64,
@@ -215,7 +242,9 @@ pub fn iteration_record(
     imbalance: f64,
     timeline: &Timeline,
     n_devices: usize,
+    num_chunks: usize,
 ) -> IterationRecord {
+    let num_chunks = num_chunks.max(1);
     let streams = (0..n_devices)
         .map(|d| {
             let dev = DeviceId::new(d);
@@ -256,12 +285,41 @@ pub fn iteration_record(
         entry.0 += overlapped;
         entry.1 += s.duration() - overlapped;
     }
+    // Per-chunk attribution of the S3 A2A stream: walk each device's
+    // A2A spans in stream (enqueue) order and fold position mod
+    // `num_chunks` — valid because the scheduler emits whole blocks of
+    // `num_chunks` A2A spans per device per phase.
+    let mut chunk_acc: Vec<(f64, f64)> = vec![(0.0, 0.0); num_chunks];
+    for d in 0..n_devices {
+        let dev = DeviceId::new(d);
+        let busy = compute.get(&d).unwrap_or(&empty);
+        for (i, s) in timeline
+            .device_stream_spans(dev, StreamKind::A2a)
+            .filter(|s| s.label != SpanLabel::Fault)
+            .enumerate()
+        {
+            let overlapped = overlap_with(busy, s.start, s.end);
+            let slot = &mut chunk_acc[i % num_chunks];
+            slot.0 += overlapped;
+            slot.1 += s.duration() - overlapped;
+        }
+    }
     IterationRecord {
         system: system.to_string(),
         iteration,
         step_time,
         imbalance,
+        num_chunks,
         streams,
+        a2a_chunks: chunk_acc
+            .into_iter()
+            .enumerate()
+            .map(|(chunk, (overlapped, exposed))| ChunkOverlap {
+                chunk,
+                overlapped,
+                exposed,
+            })
+            .collect(),
         comm: comm
             .into_iter()
             .map(|(label, (overlapped, exposed))| CommOverlap {
@@ -308,7 +366,7 @@ mod tests {
             2.0,
         ));
         t.push(span(0, StreamKind::Prefetch, SpanLabel::Prefetch, 1.0, 5.0));
-        let rec = iteration_record("laer-moe", 3, 5.0, 1.2, &t, 1);
+        let rec = iteration_record("laer-moe", 3, 5.0, 1.2, &t, 1, 1);
         assert_eq!(rec.comm.len(), 1);
         let c = &rec.comm[0];
         assert_eq!(c.label, "prefetch");
@@ -325,11 +383,53 @@ mod tests {
         t.push(span(0, StreamKind::Compute, SpanLabel::Attention, 0.0, 4.0));
         // Device 1's A2A has no local compute to hide under.
         t.push(span(1, StreamKind::A2a, SpanLabel::AllToAll, 0.0, 2.0));
-        let rec = iteration_record("x", 0, 4.0, 1.0, &t, 2);
+        let rec = iteration_record("x", 0, 4.0, 1.0, &t, 2, 1);
         let c = &rec.comm[0];
         assert_eq!(c.label, "all-to-all");
         assert_eq!(c.overlapped, 0.0);
         assert_eq!(c.exposed, 2.0);
+    }
+
+    /// Per-chunk attribution: two A2A spans per device fold into chunks
+    /// by stream position, each split against local compute.
+    #[test]
+    fn per_chunk_a2a_attribution() {
+        let mut t = Timeline::new();
+        // Device 0 compute busy [0, 3].
+        t.push(span(
+            0,
+            StreamKind::Compute,
+            SpanLabel::ExpertCompute,
+            0.0,
+            3.0,
+        ));
+        // Chunk 0 dispatch [0, 2]: fully overlapped.
+        t.push(span(0, StreamKind::A2a, SpanLabel::AllToAll, 0.0, 2.0));
+        // Chunk 1 dispatch [2, 5]: 1s overlapped, 2s exposed.
+        t.push(span(0, StreamKind::A2a, SpanLabel::AllToAll, 2.0, 5.0));
+        // A fault annotation on S3 must not shift chunk positions.
+        t.push(span(0, StreamKind::A2a, SpanLabel::Fault, 0.0, 9.0));
+        let rec = iteration_record("laer-moe", 0, 5.0, 1.0, &t, 1, 2);
+        assert_eq!(rec.num_chunks, 2);
+        assert_eq!(rec.a2a_chunks.len(), 2);
+        assert!((rec.a2a_chunks[0].overlapped - 2.0).abs() < 1e-12);
+        assert!((rec.a2a_chunks[0].exposed - 0.0).abs() < 1e-12);
+        assert!((rec.a2a_chunks[1].overlapped - 1.0).abs() < 1e-12);
+        assert!((rec.a2a_chunks[1].exposed - 2.0).abs() < 1e-12);
+        // The per-chunk split sums to the label-level A2A split.
+        let a2a = rec.comm.iter().find(|c| c.label == "all-to-all").unwrap();
+        let (ov, ex) = rec
+            .a2a_chunks
+            .iter()
+            .fold((0.0, 0.0), |(o, e), c| (o + c.overlapped, e + c.exposed));
+        assert!((ov - a2a.overlapped).abs() < 1e-12);
+        assert!((ex - a2a.exposed).abs() < 1e-12);
+        // Unchunked records collapse to a single chunk column, and a
+        // `0` chunk count clamps to 1.
+        let whole = iteration_record("laer-moe", 0, 5.0, 1.0, &t, 1, 0);
+        assert_eq!(whole.num_chunks, 1);
+        assert_eq!(whole.a2a_chunks.len(), 1);
+        assert!((whole.a2a_chunks[0].overlapped - ov).abs() < 1e-12);
     }
 
     #[test]
@@ -350,7 +450,7 @@ mod tests {
             t.push(span(0, StreamKind::Compute, SpanLabel::Attention, 0.0, 1.0));
             j.push(
                 "iteration",
-                &iteration_record("laer-moe", 0, 1.0, 1.0, &t, 1),
+                &iteration_record("laer-moe", 0, 1.0, 1.0, &t, 1, 1),
             );
             j.to_jsonl()
         };

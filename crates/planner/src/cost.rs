@@ -80,6 +80,37 @@ impl CostBreakdown {
     pub fn total(&self) -> f64 {
         self.comm + self.comp
     }
+
+    /// Re-prices this breakdown for the executor's chunked
+    /// dispatch/combine pipeline: the layer's A2A is split into
+    /// `num_chunks` equal chunks and every chunk but the first can hide
+    /// behind the previous chunk's expert compute, so the exposed
+    /// communication becomes
+    ///
+    /// ```text
+    /// T_comm' = T_comm/C + (C - 1) · max(0, T_comm/C - T_comp/C)
+    /// ```
+    ///
+    /// — the first chunk's A2A plus the per-chunk residue that compute
+    /// cannot cover (equivalently `max(T_comm - T_comp·(C-1)/C,
+    /// T_comm/C)`, the pipeline makespan minus the compute it overlaps).
+    /// `T_comp` is unchanged: chunking moves communication off the
+    /// critical path but performs the same FLOPs. With `num_chunks <= 1`
+    /// the breakdown is returned bit-identically, matching the
+    /// executor's invariant that one chunk reproduces the whole-iteration
+    /// schedule.
+    pub fn pipelined(self, num_chunks: usize) -> CostBreakdown {
+        if num_chunks <= 1 {
+            return self;
+        }
+        let c = num_chunks as f64;
+        let per_chunk_comm = self.comm / c;
+        let per_chunk_comp = self.comp / c;
+        CostBreakdown {
+            comm: per_chunk_comm + (c - 1.0) * (per_chunk_comm - per_chunk_comp).max(0.0),
+            comp: self.comp,
+        }
+    }
 }
 
 /// Effective point-to-point bandwidth used by both the planner and the
@@ -218,5 +249,59 @@ mod tests {
             comp: 2.5,
         };
         assert_eq!(b.total(), 4.0);
+    }
+
+    /// One chunk is the identity — bit-identical, mirroring the
+    /// executor's `num_chunks = 1` invariant.
+    #[test]
+    fn pipelined_single_chunk_is_identity() {
+        let b = CostBreakdown {
+            comm: 0.37,
+            comp: 0.21,
+        };
+        for c in [0usize, 1] {
+            let p = b.pipelined(c);
+            assert_eq!(p.comm.to_bits(), b.comm.to_bits());
+            assert_eq!(p.comp.to_bits(), b.comp.to_bits());
+        }
+    }
+
+    /// Exposed communication is monotonically non-increasing in the
+    /// chunk count and bounded below by the first chunk's A2A.
+    #[test]
+    fn pipelined_comm_monotone_and_floored() {
+        let b = CostBreakdown {
+            comm: 0.4,
+            comp: 0.3,
+        };
+        let mut prev = b.pipelined(1).comm;
+        for c in [2usize, 3, 4, 8, 16, 64] {
+            let p = b.pipelined(c);
+            assert!(p.comm <= prev + 1e-15, "chunks {c}: {} > {prev}", p.comm);
+            assert!(p.comm >= b.comm / c as f64 - 1e-15);
+            assert_eq!(p.comp, b.comp, "chunking must not change T_comp");
+            prev = p.comm;
+        }
+    }
+
+    /// Compute-bound layers hide everything but the first chunk; comm-
+    /// bound layers keep the residue exposed.
+    #[test]
+    fn pipelined_limits() {
+        // Compute-rich: comp >> comm, so exposed comm collapses to
+        // comm / C exactly.
+        let rich = CostBreakdown {
+            comm: 0.1,
+            comp: 1.0,
+        };
+        let p = rich.pipelined(4);
+        assert!((p.comm - 0.1 / 4.0).abs() < 1e-15);
+        // Comm-bound: comp = 0, chunking cannot hide anything.
+        let bound = CostBreakdown {
+            comm: 0.8,
+            comp: 0.0,
+        };
+        let q = bound.pipelined(8);
+        assert!((q.comm - 0.8).abs() < 1e-15);
     }
 }

@@ -138,11 +138,18 @@ pub struct PlannerConfig {
     /// exists for A/B measurement (`bench_planner`).
     #[serde(default)]
     pub dedup_disabled: bool,
+    /// Chunk count of the executor's chunked dispatch/combine pipeline
+    /// that candidate plans are priced for
+    /// ([`CostBreakdown::pipelined`]). `0` and `1` both mean the
+    /// whole-iteration schedule; `0` is the serde default so configs
+    /// serialized before the knob existed keep their meaning.
+    #[serde(default)]
+    pub num_chunks: usize,
 }
 
 impl PlannerConfig {
     /// Default configuration: full scheme set, `ε = 4`, seed 0,
-    /// duplicate candidates evaluated once.
+    /// duplicate candidates evaluated once, whole-iteration pricing.
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
@@ -150,7 +157,15 @@ impl PlannerConfig {
             scheme: ReplicaScheme::Both,
             seed: 0,
             dedup_disabled: false,
+            num_chunks: 0,
         }
+    }
+
+    /// Sets the pipeline chunk count candidate plans are priced for
+    /// (clamped to at least 1).
+    pub fn with_num_chunks(mut self, num_chunks: usize) -> Self {
+        self.num_chunks = num_chunks.max(1);
+        self
     }
 
     /// Enables or disables candidate deduplication (on by default; the
@@ -385,7 +400,7 @@ impl Planner {
             let layout =
                 expert_relocation_on(&replicas, &loads, &self.topo, self.cfg.capacity, &survivors);
             let routing = lite_route(&self.topo, demand, &layout);
-            let predicted = time_cost(view, &routing, &self.cost);
+            let predicted = time_cost(view, &routing, &self.cost).pipelined(self.cfg.num_chunks);
             let candidate = Plan {
                 layout,
                 routing,
@@ -413,11 +428,48 @@ impl Planner {
         EVAL_COUNT.with(|c| c.set(c.get() + 1));
         let layout = expert_relocation(replicas, expert_loads, &self.topo, self.cfg.capacity);
         let routing = lite_route(&self.topo, demand, &layout);
-        let predicted = time_cost(&self.topo, &routing, &self.cost);
+        let predicted = time_cost(&self.topo, &routing, &self.cost).pipelined(self.cfg.num_chunks);
         Plan {
             layout,
             routing,
             predicted,
+        }
+    }
+
+    /// Returns this planner re-priced for a different executor chunk
+    /// count (clamped to at least 1).
+    pub fn with_num_chunks(mut self, num_chunks: usize) -> Self {
+        self.cfg.num_chunks = num_chunks.max(1);
+        self
+    }
+
+    /// Sweeps the executor's pipeline chunk count: plans `demand` once
+    /// per candidate chunk count and returns the winner by predicted
+    /// pipelined cost (strict `<`, first candidate wins ties — so the
+    /// sweep is deterministic and, with `1` listed first, never picks a
+    /// higher chunk count that the model prices identically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty, or if `demand`'s shapes disagree
+    /// with the topology / capacity (as [`Self::plan`]).
+    pub fn sweep_num_chunks(&self, demand: &RoutingMatrix, candidates: &[usize]) -> (usize, Plan) {
+        assert!(!candidates.is_empty(), "need at least one chunk count");
+        let mut best: Option<(usize, Plan)> = None;
+        for &raw in candidates {
+            let chunks = raw.max(1);
+            let plan = self.clone().with_num_chunks(chunks).plan(demand);
+            let better = match &best {
+                None => true,
+                Some((_, b)) => plan.predicted.total() < b.predicted.total(),
+            };
+            if better {
+                best = Some((chunks, plan));
+            }
+        }
+        match best {
+            Some(found) => found,
+            None => unreachable!("candidates checked non-empty"),
         }
     }
 }
@@ -601,6 +653,72 @@ mod tests {
         let legacy = "{\"capacity\":2,\"epsilon\":4,\"scheme\":\"Both\",\"seed\":0}";
         let parsed: PlannerConfig = serde_json::from_str(legacy).unwrap();
         assert_eq!(parsed, cfg);
+    }
+
+    /// `num_chunks` defaults to the unchunked pricing and older
+    /// serialized configs (no field) keep meaning unchunked.
+    #[test]
+    fn planner_config_num_chunks_defaults_to_unchunked() {
+        let cfg = PlannerConfig::new(2);
+        assert_eq!(cfg.num_chunks, 0);
+        let legacy = "{\"capacity\":2,\"epsilon\":4,\"scheme\":\"Both\",\"seed\":0}";
+        let parsed: PlannerConfig = serde_json::from_str(legacy).unwrap();
+        assert_eq!(parsed.num_chunks, 0);
+        assert_eq!(PlannerConfig::new(2).with_num_chunks(0).num_chunks, 1);
+    }
+
+    /// Chunked pricing never worsens a plan's predicted cost, keeps the
+    /// same layout search space, and at one chunk is bit-identical to
+    /// the unchunked planner.
+    #[test]
+    fn chunked_pricing_identity_and_improvement() {
+        let base = planner(ReplicaScheme::Both);
+        let d = demand(4);
+        let whole = base.plan(&d);
+        let one = base.clone().with_num_chunks(1).plan(&d);
+        assert_eq!(whole, one, "one chunk must not change the plan");
+        let four = base.clone().with_num_chunks(4).plan(&d);
+        assert!(
+            four.predicted.total() <= whole.predicted.total() + 1e-15,
+            "pipelined pricing must not increase predicted cost"
+        );
+        assert_eq!(four.predicted.comp, whole.predicted.comp);
+        // The degraded path prices with the same chunk count.
+        let degraded = base
+            .clone()
+            .with_num_chunks(4)
+            .plan_degraded(&d, &DegradedView::new(Topology::paper_cluster()))
+            .unwrap();
+        assert!((degraded.predicted.total() - four.predicted.total()).abs() < 1e-12);
+    }
+
+    /// The chunk sweep picks a chunk count > 1 when communication
+    /// dominates, and its winner is never worse than any swept
+    /// candidate.
+    #[test]
+    fn sweep_num_chunks_prefers_pipelining_when_comm_heavy() {
+        let p = planner(ReplicaScheme::Both);
+        let d = demand(2);
+        let candidates = [1usize, 2, 4, 8];
+        let (chosen, plan) = p.sweep_num_chunks(&d, &candidates);
+        assert!(candidates.contains(&chosen));
+        for &c in &candidates {
+            let alt = p.clone().with_num_chunks(c).plan(&d);
+            assert!(
+                plan.predicted.total() <= alt.predicted.total() + 1e-15,
+                "sweep winner (chunks {chosen}) beaten by chunks {c}"
+            );
+        }
+        // paper_cluster demand is comm-heavy enough that pipelining wins.
+        let whole = p.plan(&d);
+        if whole.predicted.comm > 1e-6 {
+            assert!(chosen > 1, "comm-heavy demand should pick > 1 chunk");
+            assert!(plan.predicted.total() < whole.predicted.total());
+        }
+        // Determinism: the sweep returns the same winner on a re-run.
+        let again = p.sweep_num_chunks(&d, &candidates);
+        assert_eq!(again.0, chosen);
+        assert_eq!(again.1, plan);
     }
 
     #[test]

@@ -180,6 +180,21 @@ impl Timeline {
         }
     }
 
+    /// Spans of one `(device, stream)` queue, in enqueue order — which
+    /// is execution order, since each stream runs its spans FIFO. Used
+    /// by per-chunk overlap attribution: the chunked scheduler emits
+    /// every layer's A2A spans as consecutive blocks of `num_chunks`, so
+    /// position within this sequence identifies the chunk.
+    pub fn device_stream_spans(
+        &self,
+        device: DeviceId,
+        stream: StreamKind,
+    ) -> impl Iterator<Item = &Span> {
+        self.spans
+            .iter()
+            .filter(move |s| s.device == device && s.stream == stream)
+    }
+
     /// Busy fraction of one device stream over the makespan — how much
     /// of the iteration the stream spent executing (vs idle/waiting).
     /// Returns 0 for an empty timeline.
@@ -405,6 +420,43 @@ mod tests {
         assert_eq!(
             Timeline::new().stream_utilization(DeviceId::new(0), StreamKind::A2a),
             0.0
+        );
+    }
+
+    #[test]
+    fn device_stream_spans_preserves_enqueue_order() {
+        let mut t = Timeline::new();
+        t.push(span(SpanLabel::ExpertCompute, 0.0, 1.0));
+        t.push(Span {
+            device: DeviceId::new(0),
+            stream: StreamKind::A2a,
+            label: SpanLabel::AllToAll,
+            start: 1.0,
+            end: 2.0,
+        });
+        t.push(Span {
+            device: DeviceId::new(1),
+            stream: StreamKind::A2a,
+            label: SpanLabel::AllToAll,
+            start: 0.0,
+            end: 0.5,
+        });
+        t.push(Span {
+            device: DeviceId::new(0),
+            stream: StreamKind::A2a,
+            label: SpanLabel::AllToAll,
+            start: 2.0,
+            end: 2.5,
+        });
+        let a2a: Vec<f64> = t
+            .device_stream_spans(DeviceId::new(0), StreamKind::A2a)
+            .map(|s| s.start)
+            .collect();
+        assert_eq!(a2a, vec![1.0, 2.0]);
+        assert_eq!(
+            t.device_stream_spans(DeviceId::new(1), StreamKind::Compute)
+                .count(),
+            0
         );
     }
 

@@ -42,6 +42,12 @@ pub struct ExperimentConfig {
     pub seq_len: usize,
     /// Trace seed.
     pub seed: u64,
+    /// Chunk count of the executor's chunked dispatch/combine pipeline
+    /// (`0` and `1` both mean the whole-iteration schedule; `0` is the
+    /// serde default so configs serialized before the knob existed keep
+    /// their meaning).
+    #[serde(default)]
+    pub num_chunks: usize,
 }
 
 impl ExperimentConfig {
@@ -63,6 +69,7 @@ impl ExperimentConfig {
             tokens_per_device: 16 * 1024,
             seq_len: 8192,
             seed: 0,
+            num_chunks: 0,
         }
     }
 
@@ -104,6 +111,15 @@ impl ExperimentConfig {
         self
     }
 
+    /// Overrides the executor's pipeline chunk count (clamped to at
+    /// least 1). The knob reaches both the schedule (per-chunk A2A and
+    /// compute spans) and, for the LAER system, the planner's pipelined
+    /// Eq. 1 pricing.
+    pub fn with_num_chunks(mut self, num_chunks: usize) -> Self {
+        self.num_chunks = num_chunks.max(1);
+        self
+    }
+
     /// The cluster topology of this experiment.
     ///
     /// # Panics
@@ -128,7 +144,17 @@ impl ExperimentConfig {
     pub(crate) fn build_system(&self) -> Box<dyn MoeSystem> {
         let ctx = self.context();
         match self.system {
-            SystemKind::Laer => Box::new(LaerSystem::new(ctx)),
+            SystemKind::Laer => {
+                let sys = LaerSystem::new(ctx);
+                // Chunked pipelining reaches the LAER planner's pricing
+                // too; the other systems only chunk their schedules (via
+                // the runner's ScheduleOptions override below).
+                Box::new(if self.num_chunks > 0 {
+                    sys.with_num_chunks(self.num_chunks)
+                } else {
+                    sys
+                })
+            }
             SystemKind::Flex => Box::new(FlexMoeSystem::new(ctx, self.layers)),
             SystemKind::FsdpEp => Box::new(FsdpEpSystem::new(ctx)),
             SystemKind::Megatron => Box::new(MegatronSystem::new(ctx)),
@@ -295,7 +321,10 @@ fn run_with_demands_observed(
     let n = topo.num_devices();
     let mut system = cfg.build_system();
     let name = system.name();
-    let opts = system.schedule_options();
+    let mut opts = system.schedule_options();
+    if cfg.num_chunks > 0 {
+        opts = opts.with_num_chunks(cfg.num_chunks);
+    }
     if let Some(o) = obs.as_deref_mut() {
         declare_train_metrics(o);
     }
@@ -360,6 +389,7 @@ fn run_with_demands_observed(
                     iter_ratio / cfg.layers as f64,
                     engine.timeline(),
                     n,
+                    opts.effective_chunks(),
                 );
                 o.journal.push("iteration", &record);
                 o.registry
@@ -462,6 +492,37 @@ mod tests {
         let a = run_experiment(&quick(SystemKind::Laer));
         let b = run_experiment(&quick(SystemKind::Laer));
         assert_eq!(a.iteration_times, b.iteration_times);
+    }
+
+    /// The pipeline knob: one chunk is bit-identical to the default
+    /// (whole-iteration) run, and chunking never slows an iteration.
+    #[test]
+    fn chunked_run_matches_then_beats_whole_iteration() {
+        for system in [SystemKind::VanillaEp, SystemKind::Laer] {
+            let whole = run_experiment(&quick(system));
+            let one = run_experiment(&quick(system).with_num_chunks(1));
+            assert_eq!(
+                whole.iteration_times, one.iteration_times,
+                "{system:?}: one chunk must reproduce the whole-iteration schedule"
+            );
+            let chunked = run_experiment(&quick(system).with_num_chunks(4));
+            assert!(
+                chunked.avg_iteration_time <= whole.avg_iteration_time + 1e-12,
+                "{system:?}: chunking must not slow the step: {} vs {}",
+                chunked.avg_iteration_time,
+                whole.avg_iteration_time
+            );
+        }
+        // On the skewed static-EP baseline the A2A is material, so
+        // 4-way chunking must strictly help.
+        let whole = run_experiment(&quick(SystemKind::VanillaEp));
+        let chunked = run_experiment(&quick(SystemKind::VanillaEp).with_num_chunks(4));
+        assert!(
+            chunked.avg_iteration_time < whole.avg_iteration_time,
+            "chunking should shorten the skewed EP step: {} vs {}",
+            chunked.avg_iteration_time,
+            whole.avg_iteration_time
+        );
     }
 
     /// Trace replay: running on a recorded trace is valid and, with a
