@@ -6,8 +6,8 @@
 //!
 //! targets: fig1a fig1b fig1 fig2 tab2 eq1 fig8 fig9 fig10a fig10b
 //!          fig11 fig12 tab3 tab4 ext-refine ext-staleness ext-rack
-//!          ext-overlap ext-pipeline ext-faults ext-serve ext-obs all
-//!          harness-bench
+//!          ext-overlap ext-pipeline ext-faults ext-serve ext-chaos
+//!          ext-obs all harness-bench
 //! ```
 //!
 //! `--jobs N` fans the target's independent experiment cells across `N`
@@ -16,23 +16,25 @@
 //! stdout and every JSON artifact are byte-identical to a `--jobs 1`
 //! run. `repro all` schedules every target's cells on one shared pool.
 //!
-//! `--iters N` only affects `ext-serve`, where it overrides the number
-//! of requests served per operating point (smoke runs in CI use a tiny
-//! value). The baseline/tolerance flags only affect `ext-obs`, whose
-//! perf-regression gate exits non-zero on failure.
+//! `--iters N` only affects `ext-serve` and `ext-chaos`, where it
+//! overrides the number of requests served per operating point (smoke
+//! runs in CI use a small value). The baseline/tolerance flags only
+//! affect `ext-obs`, whose perf-regression gate exits non-zero on
+//! failure.
 //!
 //! `harness-bench` times `repro all --quick` at `--jobs 1` vs the
 //! default job count and writes the informational `BENCH_harness.json`.
 
 use laer_bench::pool::Batch;
 use laer_bench::{
-    eq1, ext_faults, ext_obs, ext_overlap, ext_pipeline, ext_rack, ext_refine, ext_serve,
-    ext_staleness, fig1, fig10, fig11, fig12, fig2, fig8, fig9, pool, tab2, tab3, tab4, Effort,
+    eq1, ext_chaos, ext_faults, ext_obs, ext_overlap, ext_pipeline, ext_rack, ext_refine,
+    ext_serve, ext_staleness, fig1, fig10, fig11, fig12, fig2, fig8, fig9, pool, tab2, tab3, tab4,
+    Effort,
 };
 use std::time::Instant;
 
 /// Target order of `repro all`.
-const ALL_TARGETS: [&str; 19] = [
+const ALL_TARGETS: [&str; 20] = [
     "tab2",
     "eq1",
     "fig1",
@@ -51,6 +53,7 @@ const ALL_TARGETS: [&str; 19] = [
     "ext-pipeline",
     "ext-faults",
     "ext-serve",
+    "ext-chaos",
     "ext-obs",
 ];
 
@@ -93,8 +96,8 @@ fn main() {
         eprintln!(
             "usage: repro <target> [--quick|--full] [--jobs N] [--iters N] [--update-baseline] [--baseline PATH] [--tolerance F]\n\
              targets: fig1a fig1b fig1 fig2 tab2 eq1 fig8 fig9 fig10a fig10b fig11 fig12 tab3 tab4 \
-             ext-refine ext-staleness ext-rack ext-overlap ext-pipeline ext-faults ext-serve ext-obs \
-             all harness-bench"
+             ext-refine ext-staleness ext-rack ext-overlap ext-pipeline ext-faults ext-serve \
+             ext-chaos ext-obs all harness-bench"
         );
         std::process::exit(if target == "help" { 0 } else { 2 });
     }
@@ -190,6 +193,9 @@ fn dispatch(
         }
         "ext-serve" => {
             ext_serve::run_jobs(effort, iters, jobs);
+        }
+        "ext-chaos" => {
+            ext_chaos::run_jobs(effort, iters, jobs);
         }
         "ext-obs" => {
             if !ext_obs::run_jobs(obs, jobs) {
@@ -340,6 +346,13 @@ fn run_all(effort: Effort, jobs: usize, iters: Option<usize>, obs: &ext_obs::Obs
                 let p = ext_serve::submit(&mut batch, effort, iters);
                 Box::new(move || {
                     ext_serve::finish(p);
+                    true
+                })
+            }
+            "ext-chaos" => {
+                let p = ext_chaos::submit(&mut batch, effort, iters);
+                Box::new(move || {
+                    ext_chaos::finish(p);
                     true
                 })
             }

@@ -80,6 +80,35 @@ fn ext_pipeline_is_byte_identical_across_job_counts() {
     }
 }
 
+/// The chaos sweep — fault injection, retries, brownout, elastic
+/// recovery — reproduces its stdout and all five artifacts (the sweep
+/// JSON, the replayable fault plans, the headline Chrome trace and the
+/// resilience journal/metrics exports) byte for byte at any job count.
+#[test]
+fn ext_chaos_is_byte_identical_across_job_counts() {
+    let (serial, serial_dir) = repro("chaos", 1, &["ext-chaos", "--iters", "40"]);
+    let (pooled, pooled_dir) = repro("chaos", 2, &["ext-chaos", "--iters", "40"]);
+    assert!(serial.status.success(), "serial run failed");
+    assert!(pooled.status.success(), "pooled run failed");
+    assert_eq!(
+        serial.stdout, pooled.stdout,
+        "ext-chaos stdout must be byte-identical across job counts"
+    );
+    for artifact in [
+        "ext_chaos.json",
+        "ext_chaos_plans.json",
+        "ext_chaos_trace.json",
+        "ext_chaos_metrics.txt",
+        "ext_chaos_journal.jsonl",
+    ] {
+        assert_eq!(
+            read(&serial_dir, artifact),
+            read(&pooled_dir, artifact),
+            "{artifact} must be byte-identical across job counts"
+        );
+    }
+}
+
 /// The pooled `ext-obs` run reproduces every artifact byte for byte
 /// and reaches the same gate verdict as the serial run.
 #[test]

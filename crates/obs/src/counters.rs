@@ -6,7 +6,7 @@
 //! busy fraction.
 
 use laer_cluster::DeviceId;
-use laer_sim::{CounterTrack, SpanLabel, StreamKind, Timeline};
+use laer_sim::{CounterTrack, StreamKind, Timeline};
 
 /// Synthetic pid for cluster-wide counter tracks, clear of real device
 /// indices.
@@ -55,7 +55,7 @@ pub fn stream_utilization_tracks(
             let mut busy = vec![0.0f64; windows];
             for span in timeline.spans() {
                 if span.stream != kind
-                    || span.label == SpanLabel::Fault
+                    || span.label.is_annotation()
                     || span.device.index() >= n_devices
                 {
                     continue;
@@ -100,7 +100,7 @@ pub fn stream_busy_seconds(timeline: &Timeline, device: DeviceId, stream: Stream
     timeline
         .spans()
         .iter()
-        .filter(|s| s.device == device && s.stream == stream && s.label != SpanLabel::Fault)
+        .filter(|s| s.device == device && s.stream == stream && !s.label.is_annotation())
         .map(|s| s.duration())
         .sum()
 }
@@ -108,7 +108,7 @@ pub fn stream_busy_seconds(timeline: &Timeline, device: DeviceId, stream: Stream
 #[cfg(test)]
 mod tests {
     use super::*;
-    use laer_sim::Span;
+    use laer_sim::{Span, SpanLabel};
 
     fn span(device: usize, stream: StreamKind, start: f64, end: f64) -> Span {
         Span {

@@ -7,7 +7,7 @@
 //! of a seeded run is byte-identical across re-runs.
 
 use laer_cluster::DeviceId;
-use laer_sim::{SpanLabel, StreamKind, Timeline};
+use laer_sim::{StreamKind, Timeline};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io::{self, Write};
@@ -123,6 +123,48 @@ pub struct ServingRecord {
     pub ttft: HistogramSnapshot,
     /// Time-per-output-token distribution (seconds).
     pub tpot: HistogramSnapshot,
+}
+
+/// One faulted serving run's resilience telemetry: failure, retry and
+/// shed accounting plus every recovery episode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceRecord {
+    /// Serving system identifier.
+    pub system: String,
+    /// Device failures detected.
+    pub failures: u64,
+    /// Failed devices that rejoined after their fault window closed.
+    pub rejoins: u64,
+    /// In-flight requests interrupted by failures.
+    pub interrupted: u64,
+    /// Retry re-enqueues after interruptions.
+    pub retries: u64,
+    /// Arrivals shed because the admission queue was full.
+    pub shed_queue_full: u64,
+    /// Arrivals shed by the SLO-aware brownout.
+    pub shed_brownout: u64,
+    /// Requests shed after exhausting their retry cap.
+    pub shed_retry_exhausted: u64,
+    /// Requests left unserved at the step cap.
+    pub shed_unserved: u64,
+    /// Recovery episodes as `(kind, detected, resumed)` triples.
+    pub recoveries: Vec<(String, f64, f64)>,
+}
+
+/// One scheduler step of a faulted serving run: the queue depth and
+/// live-device count at step start.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeStepRecord {
+    /// Serving system identifier.
+    pub system: String,
+    /// Step index.
+    pub step: u64,
+    /// Virtual time at step start.
+    pub time: f64,
+    /// Admission-queue depth at step start.
+    pub queue_depth: u64,
+    /// Devices serving this step.
+    pub live_devices: u64,
 }
 
 /// The journal: an ordered list of serialised events.
@@ -262,7 +304,7 @@ pub fn iteration_record(
     // of every non-compute span against its own device's compute.
     let mut compute: BTreeMap<usize, Vec<(f64, f64)>> = BTreeMap::new();
     for s in timeline.spans() {
-        if s.stream == StreamKind::Compute && s.label != SpanLabel::Fault {
+        if s.stream == StreamKind::Compute && !s.label.is_annotation() {
             compute
                 .entry(s.device.index())
                 .or_default()
@@ -276,7 +318,7 @@ pub fn iteration_record(
     let empty: Vec<(f64, f64)> = Vec::new();
     let mut comm: BTreeMap<String, (f64, f64)> = BTreeMap::new();
     for s in timeline.spans() {
-        if s.stream == StreamKind::Compute || s.label == SpanLabel::Fault {
+        if s.stream == StreamKind::Compute || s.label.is_annotation() {
             continue;
         }
         let busy = compute.get(&s.device.index()).unwrap_or(&empty);
@@ -295,7 +337,7 @@ pub fn iteration_record(
         let busy = compute.get(&d).unwrap_or(&empty);
         for (i, s) in timeline
             .device_stream_spans(dev, StreamKind::A2a)
-            .filter(|s| s.label != SpanLabel::Fault)
+            .filter(|s| !s.label.is_annotation())
             .enumerate()
         {
             let overlapped = overlap_with(busy, s.start, s.end);
@@ -334,7 +376,7 @@ pub fn iteration_record(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use laer_sim::Span;
+    use laer_sim::{Span, SpanLabel};
 
     fn span(device: usize, stream: StreamKind, label: SpanLabel, start: f64, end: f64) -> Span {
         Span {

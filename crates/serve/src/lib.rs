@@ -18,7 +18,13 @@
 //! * [`systems`] — the [`ServingSystem`] trait with `static-ep`,
 //!   `replicate-hot` (FasterMoE-style reactive replication) and `laer`
 //!   (EMA predictor + the full planner of Alg. 1–4) implementations;
-//! * [`sla`] — SLO configuration and latency summaries.
+//! * [`sla`] — SLO configuration and latency summaries;
+//! * [`resilience`] — the fault-tolerance building blocks: retry
+//!   buffering with exponential backoff, shed-cause accounting, the
+//!   SLO-aware brownout estimator and recovery-episode records. An
+//!   optional [`laer_sim::FaultPlan`] threaded through [`ServeConfig`]
+//!   drives the detect → drain → re-plan → brownout → recover state
+//!   machine inside [`run_serving`].
 //!
 //! Re-layout is *charged, not assumed*: when a system adopts a new
 //! layout, the weight movement is priced through `sim::collective` and
@@ -40,12 +46,14 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
+pub mod resilience;
 pub mod serving;
 pub mod sla;
 pub mod systems;
 pub mod workload;
 
+pub use resilience::{RecoveryEvent, RetryBuffer, RetryEntry, ServiceRate, ShedBreakdown};
 pub use serving::{record_observability, run_serving, ServeConfig, ServeReport, ServingOutcome};
 pub use sla::{LatencySummary, SlaConfig};
-pub use systems::{ServingSystem, ServingSystemKind};
+pub use systems::{FailureResponse, ServingSystem, ServingSystemKind};
 pub use workload::{generate_requests, Request, TopicMix, WorkloadConfig};

@@ -15,18 +15,27 @@
 //! moves serialise on it, and the old (worse) placement stays live for
 //! the whole copy.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
-use laer_cluster::{DeviceId, Topology};
+use laer_cluster::{DegradedView, DeviceId, Interconnect, Topology};
 use laer_model::{CostModel, GpuSpec, ModelPreset, BF16_BYTES};
-use laer_obs::{Histogram, HistogramSnapshot, Observer, ServingRecord};
+use laer_obs::{
+    Histogram, HistogramSnapshot, Observer, ResilienceRecord, ServeStepRecord, ServingRecord,
+};
 use laer_planner::{lite_route, relocation_moves, ExpertLayout};
-use laer_sim::{all_to_all_time, A2aMatrix, Engine, SpanHandle, SpanLabel, StreamKind, Timeline};
+use laer_sim::{
+    all_to_all_time, record_timed_fault_spans, A2aMatrix, ActiveFaults, Engine, FaultPlan, Span,
+    SpanHandle, SpanLabel, StreamKind, Timeline,
+};
 use laer_train::ExperimentConfig;
 use serde::{Deserialize, Serialize};
 
+use crate::resilience::{
+    RecoveryEvent, RetryBuffer, RetryEntry, ServiceRate, ShedBreakdown, DEFAULT_MAX_RETRIES,
+    DEFAULT_RETRY_BACKOFF, SERVE_DETECTION_DELAY, SERVE_FAILOVER_TIMEOUT, SERVE_RELOAD_TIME,
+};
 use crate::sla::{LatencySummary, SlaConfig};
-use crate::systems::ServingSystemKind;
+use crate::systems::{FailureResponse, ServingSystemKind};
 use crate::workload::{generate_requests, Request, TopicMix, WorkloadConfig};
 
 /// Configuration of one serving run.
@@ -59,6 +68,19 @@ pub struct ServeConfig {
     /// Hard cap on scheduler steps (safety valve; requests still pending
     /// when it trips are counted as rejected).
     pub max_steps: u64,
+    /// Optional chaos schedule: time-stamped faults injected into the
+    /// run. `None` (the default) serves fault-free and byte-identically
+    /// to a plan-less build.
+    pub faults: Option<FaultPlan>,
+    /// Cap on per-request retries after failure interruptions; beyond it
+    /// the request is shed as `retry_exhausted`.
+    pub max_retries: u32,
+    /// Base of the exponential retry backoff in virtual seconds.
+    pub retry_backoff: f64,
+    /// SLO-aware brownout: while capacity is degraded, shed arrivals
+    /// whose estimated queueing wait exceeds this fraction of the TTFT
+    /// budget. `None` disables brownout.
+    pub brownout_ttft_margin: Option<f64>,
 }
 
 impl ServeConfig {
@@ -78,6 +100,10 @@ impl ServeConfig {
             step_overhead: 1.0e-3,
             attention_context: 512,
             max_steps: 200_000,
+            faults: None,
+            max_retries: DEFAULT_MAX_RETRIES,
+            retry_backoff: DEFAULT_RETRY_BACKOFF,
+            brownout_ttft_margin: Some(0.8),
         }
     }
 
@@ -160,6 +186,28 @@ pub struct ServeReport {
     /// Virtual seconds of charged relocation traffic (sum over events of
     /// the slowest participant).
     pub relocation_time: f64,
+    /// Shed requests broken out by cause; `rejected` is its total.
+    #[serde(default)]
+    pub shed: ShedBreakdown,
+    /// Retry re-enqueues after failure interruptions.
+    #[serde(default)]
+    pub retries: u64,
+    /// In-flight requests interrupted by device failures.
+    #[serde(default)]
+    pub interrupted: u64,
+    /// Device failures detected.
+    #[serde(default)]
+    pub failures: u64,
+    /// Failed devices that rejoined after their fault window closed.
+    #[serde(default)]
+    pub rejoins: u64,
+    /// Completed recovery episodes (drain-replan or restart).
+    #[serde(default)]
+    pub recoveries: u64,
+    /// Total virtual seconds from failure detection to serving resuming,
+    /// summed over recovery episodes (time-to-recover).
+    #[serde(default)]
+    pub recovery_time: f64,
 }
 
 /// Full result of a serving run: the report plus the raw material the
@@ -179,8 +227,26 @@ pub struct ServingOutcome {
     /// `(virtual time, depth)` — the raw series behind the journal's
     /// queue-depth histogram and the Chrome-trace counter track.
     pub queue_depth: Vec<(f64, usize)>,
-    /// Every span the run enqueued.
+    /// Every span the run enqueued (faulted runs also carry `Fault` and
+    /// `Recovery` annotation spans).
     pub timeline: Timeline,
+    /// Completed recovery episodes, in detection order.
+    pub recovery_events: Vec<RecoveryEvent>,
+    /// Live-device count sampled once per scheduler step, aligned with
+    /// `queue_depth`.
+    pub live_devices: Vec<(f64, usize)>,
+    /// Whether the run carried a (non-empty) fault plan.
+    pub faulted: bool,
+}
+
+/// A queued request: fresh from admission or re-enqueued after a
+/// failure interruption.
+struct QueueEntry {
+    req: Request,
+    retries: u32,
+    /// TTFT of the first successful prefill, carried across retries so
+    /// the client-visible sample is emitted exactly once.
+    first_ttft: Option<f64>,
 }
 
 /// A request past prefill, decoding one token per step.
@@ -189,6 +255,9 @@ struct Active {
     ttft: f64,
     first_token: f64,
     decode_left: u64,
+    /// Device whose failure interrupts this request (its decode home).
+    home: usize,
+    retries: u32,
 }
 
 /// Splits `total` across `n` devices as evenly as possible (first
@@ -201,10 +270,104 @@ fn split_even(total: u64, n: usize) -> Vec<u64> {
 
 /// `all_to_all_time` with the dimension invariant discharged (matrices
 /// here are always sized from the run's own topology).
-fn a2a_times(topo: &Topology, traffic: &A2aMatrix) -> Vec<f64> {
-    match all_to_all_time(topo, traffic) {
+fn a2a_times<I: Interconnect + ?Sized>(net: &I, traffic: &A2aMatrix) -> Vec<f64> {
+    match all_to_all_time(net, traffic) {
         Ok(t) => t,
         Err(e) => panic!("a2a matrix sized from topology: {e}"),
+    }
+}
+
+/// The network view serving prices a step on: active link degradations
+/// plus the devices the scheduler has actually removed. Failures enter
+/// through `live_mask`, not `active`, because a restarted (non-elastic)
+/// system runs on replacement hardware — its device set never shrinks
+/// even while the fault window is open.
+fn capacity_view(topo: &Topology, active: &ActiveFaults, live_mask: &[bool]) -> DegradedView {
+    let mut view = DegradedView::new(topo.clone());
+    for (a, b, factor) in active.degraded_links() {
+        view.degrade_link(a, b, factor);
+    }
+    for (i, &live) in live_mask.iter().enumerate() {
+        if !live {
+            view.fail_device(DeviceId::new(i));
+        }
+    }
+    view
+}
+
+/// Prices the weight moves from `applied` towards a target layout as an
+/// all-to-all, re-sourcing moves whose planned source is dead from a
+/// surviving replica. Returns the traffic matrix and whether any expert
+/// had no live replica left at all (host fetch required).
+fn relocation_traffic(
+    applied: &ExpertLayout,
+    moves: &[laer_planner::RelocationMove],
+    live_mask: &[bool],
+    expert_bytes: f64,
+    n: usize,
+) -> (A2aMatrix, bool) {
+    let mut traffic = A2aMatrix::new(n);
+    let mut host_fetch = false;
+    for mv in moves {
+        if live_mask[mv.src.index()] {
+            traffic.add(mv.src, mv.dst, expert_bytes);
+            continue;
+        }
+        let alt = applied
+            .replica_devices(mv.expert)
+            .into_iter()
+            .find(|(d, _)| live_mask[d.index()]);
+        match alt {
+            Some((d, _)) => traffic.add(d, mv.dst, expert_bytes),
+            None => host_fetch = true,
+        }
+    }
+    (traffic, host_fetch)
+}
+
+/// Mutable retry/shed state of one run, grouped so the interrupt path
+/// can be shared between the drain-replan and restart transitions.
+#[derive(Default)]
+struct Resilience {
+    retry_buf: RetryBuffer,
+    shed: ShedBreakdown,
+    retries: u64,
+    interrupted: u64,
+}
+
+impl Resilience {
+    /// Interrupts every running request matched by `dead`: requests
+    /// under the retry cap re-enqueue with exponential backoff, the
+    /// rest are shed as `retry_exhausted`.
+    fn interrupt(
+        &mut self,
+        running: &mut Vec<Active>,
+        dead: impl Fn(&Active) -> bool,
+        clock: f64,
+        max_retries: u32,
+        retry_backoff: f64,
+    ) {
+        let mut kept = Vec::with_capacity(running.len());
+        for a in running.drain(..) {
+            if !dead(&a) {
+                kept.push(a);
+                continue;
+            }
+            self.interrupted += 1;
+            if a.retries >= max_retries {
+                self.shed.retry_exhausted += 1;
+            } else {
+                self.retries += 1;
+                let backoff = retry_backoff * (1u64 << a.retries.min(32)) as f64;
+                self.retry_buf.push(RetryEntry {
+                    req: a.req,
+                    retries: a.retries + 1,
+                    eligible: clock + backoff,
+                    first_ttft: Some(a.ttft),
+                });
+            }
+        }
+        *running = kept;
     }
 }
 
@@ -216,7 +379,6 @@ pub fn run_serving(cfg: &ServeConfig) -> ServingOutcome {
     let requests = generate_requests(&cfg.workload);
     let topo = cfg.topology();
     let n = topo.num_devices();
-    let devices: Vec<DeviceId> = topo.devices().collect();
     let model = cfg.preset.config();
     let gpu = GpuSpec::a100();
     let cost = CostModel::new(&model, gpu);
@@ -240,15 +402,15 @@ pub fn run_serving(cfg: &ServeConfig) -> ServingOutcome {
     let mut applied: ExpertLayout = system.layout().clone();
     let mut layouts = vec![applied.replica_vector()];
 
-    let mut queue: VecDeque<Request> = VecDeque::new();
+    let mut queue: VecDeque<QueueEntry> = VecDeque::new();
     let mut running: Vec<Active> = Vec::new();
     let mut next_arrival = 0usize;
     let mut queue_depth: Vec<(f64, usize)> = Vec::new();
+    let mut live_trace: Vec<(f64, usize)> = Vec::new();
 
     let mut ttft_samples = Vec::new();
     let mut tpot_samples = Vec::new();
     let mut completed = 0usize;
-    let mut rejected = 0usize;
     let mut good = 0usize;
     let mut generated_tokens = 0u64;
     let mut relayouts = 0u64;
@@ -265,51 +427,267 @@ pub fn run_serving(cfg: &ServeConfig) -> ServingOutcome {
     // the virtual time its weight transfer completes.
     let mut pending: Option<(ExpertLayout, f64)> = None;
 
+    // --- resilience state (inert when no fault plan is set) ---
+    let fault_plan = cfg.faults.as_ref().filter(|p| !p.is_empty());
+    let mut live_mask = vec![true; n];
+    let mut handled_failed: BTreeSet<usize> = BTreeSet::new();
+    let mut prev_links: Vec<(DeviceId, DeviceId, f64)> = Vec::new();
+    let mut res = Resilience::default();
+    let mut rate = ServiceRate::new(cfg.stats_window.max(1));
+    let mut failures = 0u64;
+    let mut rejoins = 0u64;
+    let mut recovery_events: Vec<RecoveryEvent> = Vec::new();
+    let mut recovery_spans: Vec<(usize, f64, f64)> = Vec::new();
+
     while steps < cfg.max_steps {
-        // Admit arrivals up to the current virtual time.
-        while next_arrival < requests.len() && requests[next_arrival].arrival <= clock {
-            if queue.len() < cfg.queue_capacity {
-                queue.push_back(requests[next_arrival]);
-            } else {
-                rejected += 1;
+        // ---- Fault edges: sample the plan at the current virtual time
+        // and run the detect → respond transitions before admission.
+        let mut active = ActiveFaults::default();
+        if let Some(plan) = fault_plan {
+            active = plan.active_in(clock, clock);
+            system.set_planner_available(!active.planner_outage());
+
+            let failed_now: BTreeSet<usize> = active.failed_devices().map(|d| d.index()).collect();
+
+            // Recovery edge: devices whose failure window closed rejoin;
+            // an elastic system re-plans for the regained capacity as a
+            // hitless background re-layout picked up below.
+            let rejoined: Vec<usize> = handled_failed
+                .iter()
+                .copied()
+                .filter(|d| !failed_now.contains(d))
+                .collect();
+            let mut grew = false;
+            for d in rejoined {
+                handled_failed.remove(&d);
+                if !live_mask[d] {
+                    live_mask[d] = true;
+                    rejoins += 1;
+                    grew = true;
+                }
             }
+            if grew {
+                let view = capacity_view(&topo, &active, &live_mask);
+                let _ = system.handle_capacity_change(&view);
+            }
+
+            // Link-profile edge: re-plan (in the background) when the
+            // set of degraded links changes.
+            let links_now: Vec<(DeviceId, DeviceId, f64)> = active.degraded_links().collect();
+            if links_now != prev_links {
+                prev_links = links_now;
+                let view = capacity_view(&topo, &active, &live_mask);
+                let _ = system.handle_capacity_change(&view);
+            }
+
+            // Failure edge: detect, then let the system choose between
+            // an elastic survivor re-plan and a full restart.
+            let newly: Vec<usize> = failed_now
+                .iter()
+                .copied()
+                .filter(|d| !handled_failed.contains(d))
+                .collect();
+            if !newly.is_empty() {
+                failures += newly.len() as u64;
+                handled_failed.extend(newly.iter().copied());
+                let detected = clock;
+                clock += SERVE_DETECTION_DELAY;
+                let mut trial = live_mask.clone();
+                for &d in &newly {
+                    trial[d] = false;
+                }
+                let view = capacity_view(&topo, &active, &trial);
+                match system.handle_capacity_change(&view) {
+                    FailureResponse::Replan => {
+                        live_mask = trial;
+                        // In-flight requests homed on a dead device are
+                        // interrupted: re-enqueued with backoff, or shed
+                        // at the retry cap.
+                        res.interrupt(
+                            &mut running,
+                            |a| !live_mask[a.home],
+                            clock,
+                            cfg.max_retries,
+                            cfg.retry_backoff,
+                        );
+                        // Blocking drain: the applied layout holds
+                        // replicas on the dead device, so serving stops
+                        // until the survivor layout lands. The movement
+                        // is charged on the prefetch stream; moves whose
+                        // planned source died are re-fetched from a
+                        // surviving replica, or from host storage when
+                        // the sole replica died with the device.
+                        pending = None;
+                        let target = system.layout().clone();
+                        let live_devs: Vec<DeviceId> = (0..n)
+                            .filter(|&i| live_mask[i])
+                            .map(DeviceId::new)
+                            .collect();
+                        let moves = relocation_moves(&topo, &applied, &target);
+                        let (traffic, host_fetch) =
+                            relocation_traffic(&applied, &moves, &live_mask, expert_bytes, n);
+                        let durations = a2a_times(&view, &traffic);
+                        relocation_bytes += traffic.total();
+                        relocation_time += durations.iter().fold(0.0f64, |a, &b| a.max(b));
+                        let durs: Vec<f64> =
+                            live_devs.iter().map(|d| durations[d.index()]).collect();
+                        let deps = vec![Vec::new(); live_devs.len()];
+                        let handles = engine.enqueue_collective(
+                            &live_devs,
+                            StreamKind::Prefetch,
+                            SpanLabel::Relayout,
+                            &durs,
+                            &deps,
+                        );
+                        let mut finish = handles
+                            .iter()
+                            .map(|&h| engine.span(h).end)
+                            .fold(clock, f64::max);
+                        if host_fetch {
+                            finish += SERVE_RELOAD_TIME;
+                        }
+                        clock = finish;
+                        applied = target;
+                        relayouts += 1;
+                        layouts.push(applied.replica_vector());
+                        recovery_events.push(RecoveryEvent {
+                            kind: "drain-replan".to_string(),
+                            detected,
+                            resumed: clock,
+                        });
+                        for d in &live_devs {
+                            recovery_spans.push((d.index(), detected, clock));
+                        }
+                    }
+                    FailureResponse::Restart => {
+                        // Non-elastic: every in-flight request dies with
+                        // the job; the cluster waits out the collective
+                        // timeout and reloads onto replacement hardware
+                        // (the device set does not shrink).
+                        res.interrupt(
+                            &mut running,
+                            |_| true,
+                            clock,
+                            cfg.max_retries,
+                            cfg.retry_backoff,
+                        );
+                        clock = detected + SERVE_FAILOVER_TIMEOUT + SERVE_RELOAD_TIME;
+                        recovery_events.push(RecoveryEvent {
+                            kind: "restart".to_string(),
+                            detected,
+                            resumed: clock,
+                        });
+                        for d in 0..n {
+                            recovery_spans.push((d, detected, clock));
+                        }
+                        // Replacement hardware: tell the system its
+                        // post-restart capacity (links may still be
+                        // degraded, but no devices are missing).
+                        let _ = system
+                            .handle_capacity_change(&capacity_view(&topo, &active, &live_mask));
+                    }
+                    FailureResponse::Unchanged => {}
+                }
+                engine.barrier_at(clock);
+            }
+        }
+
+        // Re-admit retries whose backoff expired: they were admitted
+        // once already, so they take queue priority over new arrivals.
+        for entry in res.retry_buf.drain_eligible(clock).into_iter().rev() {
+            queue.push_front(QueueEntry {
+                req: entry.req,
+                retries: entry.retries,
+                first_ttft: entry.first_ttft,
+            });
+        }
+
+        // Admit arrivals up to the current virtual time. While capacity
+        // is degraded, the SLO-aware brownout sheds arrivals whose
+        // estimated queueing wait cannot fit inside the TTFT budget.
+        let degraded = fault_plan.is_some()
+            && (live_mask.iter().any(|&l| !l)
+                || active.straggler_devices().next().is_some()
+                || active.degraded_links().next().is_some());
+        let brownout = if degraded {
+            cfg.brownout_ttft_margin
+        } else {
+            None
+        };
+        while next_arrival < requests.len() && requests[next_arrival].arrival <= clock {
+            let req = requests[next_arrival];
             next_arrival += 1;
+            if queue.len() >= cfg.queue_capacity {
+                res.shed.queue_full += 1;
+                continue;
+            }
+            if let Some(margin) = brownout {
+                if let Some(wait) = rate.estimated_wait(queue.len()) {
+                    if wait > margin * cfg.sla.ttft {
+                        res.shed.brownout += 1;
+                        continue;
+                    }
+                }
+            }
+            queue.push_back(QueueEntry {
+                req,
+                retries: 0,
+                first_ttft: None,
+            });
         }
 
         if queue.is_empty() && running.is_empty() {
-            if next_arrival >= requests.len() {
-                break;
-            }
-            // Idle: fast-forward to the next arrival.
-            clock = clock.max(requests[next_arrival].arrival);
+            let next_arr = (next_arrival < requests.len()).then(|| requests[next_arrival].arrival);
+            let wake = match (next_arr, res.retry_buf.next_eligible()) {
+                (Some(a), Some(r)) => a.min(r),
+                (Some(a), None) => a,
+                (None, Some(r)) => r,
+                (None, None) => break,
+            };
+            // Idle: fast-forward to the next arrival or retry wakeup.
+            clock = clock.max(wake);
             engine.barrier_at(clock);
             continue;
         }
 
-        // Sample the admission-queue depth once per executed step, at
-        // step start (post-admission, pre-batching).
+        // Sample the admission-queue depth and live-device count once
+        // per executed step, at step start (post-admission,
+        // pre-batching).
         queue_depth.push((clock, queue.len()));
+        live_trace.push((clock, live_mask.iter().filter(|&&l| l).count()));
 
         // Form the batch: token-budgeted prefills + one decode token per
         // running request (the continuous-batching mix).
-        let mut prefills: Vec<Request> = Vec::new();
+        let mut prefills: Vec<QueueEntry> = Vec::new();
         let mut budget = cfg.max_prefill_tokens;
         loop {
             let fits = match queue.front() {
-                Some(r) => prefills.is_empty() || r.prompt_tokens <= budget,
+                Some(e) => prefills.is_empty() || e.req.prompt_tokens <= budget,
                 None => false,
             };
             if !fits {
                 break;
             }
-            if let Some(r) = queue.pop_front() {
-                budget = budget.saturating_sub(r.prompt_tokens);
-                prefills.push(r);
+            if let Some(e) = queue.pop_front() {
+                budget = budget.saturating_sub(e.req.prompt_tokens);
+                prefills.push(e);
             }
         }
         let decode_count = running.len() as u64;
-        let prefill_tokens: u64 = prefills.iter().map(|r| r.prompt_tokens).sum();
+        let prefill_tokens: u64 = prefills.iter().map(|e| e.req.prompt_tokens).sum();
         let step_tokens = prefill_tokens + decode_count;
+
+        // The device subset and network view this step executes on.
+        let live_devs: Vec<DeviceId> = (0..n)
+            .filter(|&i| live_mask[i])
+            .map(DeviceId::new)
+            .collect();
+        let m = live_devs.len();
+        let step_view = fault_plan.map(|_| capacity_view(&topo, &active, &live_mask));
+        let net: &dyn Interconnect = match &step_view {
+            Some(v) => v,
+            None => &topo,
+        };
 
         // Adopt a weight transfer that has finished by now: the new
         // layout only serves traffic once its copy has been paid for.
@@ -334,31 +712,38 @@ pub fn run_serving(cfg: &ServeConfig) -> ServingOutcome {
                 relayouts += 1;
                 layouts.push(applied.replica_vector());
             } else {
-                let mut traffic = A2aMatrix::new(n);
-                for mv in &moves {
-                    traffic.add(mv.src, mv.dst, expert_bytes);
-                }
-                let durations = a2a_times(&topo, &traffic);
+                let (traffic, host_fetch) =
+                    relocation_traffic(&applied, &moves, &live_mask, expert_bytes, n);
+                let durations = a2a_times(net, &traffic);
                 relocation_bytes += traffic.total();
                 relocation_time += durations.iter().fold(0.0f64, |a, &b| a.max(b));
-                let deps = vec![Vec::new(); n];
+                let durs: Vec<f64> = live_devs.iter().map(|d| durations[d.index()]).collect();
+                let deps = vec![Vec::new(); m];
                 let handles = engine.enqueue_collective(
-                    &devices,
+                    &live_devs,
                     StreamKind::Prefetch,
                     SpanLabel::Relayout,
-                    &durations,
+                    &durs,
                     &deps,
                 );
-                let finish = handles
+                let mut finish = handles
                     .iter()
                     .map(|&h| engine.span(h).end)
                     .fold(0.0f64, f64::max);
+                if host_fetch {
+                    finish += SERVE_RELOAD_TIME;
+                }
                 pending = Some((target, finish));
             }
         }
 
-        // Routing demand for the step, routed against the applied layout.
-        let token_budgets = split_even(step_tokens, n);
+        // Routing demand for the step, routed against the applied
+        // layout. Token budgets land on live devices only.
+        let shares = split_even(step_tokens, m);
+        let mut token_budgets = vec![0u64; n];
+        for (k, d) in live_devs.iter().enumerate() {
+            token_budgets[d.index()] = shares[k];
+        }
         let assignment_budgets: Vec<u64> = token_budgets.iter().map(|&t| t * top_k).collect();
         let demand = mix.step(&assignment_budgets);
         let routing = lite_route(&topo, &demand, &applied);
@@ -379,64 +764,78 @@ pub fn run_serving(cfg: &ServeConfig) -> ServingOutcome {
                 }
             }
         }
-        let dispatch_times = a2a_times(&topo, &dispatch);
-        let combine_times = a2a_times(&topo, &combine);
+        let dispatch_times = a2a_times(net, &dispatch);
+        let combine_times = a2a_times(net, &combine);
 
-        // Walk the step through the streams.
-        let attention: Vec<SpanHandle> = (0..n)
-            .map(|i| {
+        // Walk the step through the streams (live devices only;
+        // stragglers stretch compute by their multiplier).
+        let attention: Vec<SpanHandle> = live_devs
+            .iter()
+            .map(|&dev| {
                 engine.enqueue(
-                    devices[i],
+                    dev,
                     StreamKind::Compute,
                     SpanLabel::Attention,
-                    token_budgets[i] as f64 * att_per_token,
+                    token_budgets[dev.index()] as f64
+                        * att_per_token
+                        * active.compute_multiplier(dev),
                     &[],
                 )
             })
             .collect();
         let dispatch_deps: Vec<Vec<SpanHandle>> = attention.iter().map(|&h| vec![h]).collect();
+        let dispatch_durs: Vec<f64> = live_devs
+            .iter()
+            .map(|d| dispatch_times[d.index()])
+            .collect();
         let dispatched = engine.enqueue_collective(
-            &devices,
+            &live_devs,
             StreamKind::A2a,
             SpanLabel::AllToAll,
-            &dispatch_times,
+            &dispatch_durs,
             &dispatch_deps,
         );
-        let expert: Vec<SpanHandle> = (0..n)
-            .map(|i| {
+        let expert: Vec<SpanHandle> = live_devs
+            .iter()
+            .enumerate()
+            .map(|(k, &dev)| {
                 engine.enqueue(
-                    devices[i],
+                    dev,
                     StreamKind::Compute,
                     SpanLabel::ExpertCompute,
-                    cost.expert_forward_time(compute_loads[i]),
-                    &[dispatched[i]],
+                    cost.expert_forward_time(compute_loads[dev.index()])
+                        * active.compute_multiplier(dev),
+                    &[dispatched[k]],
                 )
             })
             .collect();
         let combine_deps: Vec<Vec<SpanHandle>> = expert.iter().map(|&h| vec![h]).collect();
+        let combine_durs: Vec<f64> = live_devs.iter().map(|d| combine_times[d.index()]).collect();
         let combined = engine.enqueue_collective(
-            &devices,
+            &live_devs,
             StreamKind::A2a,
             SpanLabel::AllToAll,
-            &combine_times,
+            &combine_durs,
             &combine_deps,
         );
         // The step ends when every device's closing span does — NOT at
         // the engine makespan, which may include a background relocation
         // still in flight past this step.
         let mut step_end = clock;
-        for (i, &dev) in devices.iter().enumerate() {
+        for (k, &dev) in live_devs.iter().enumerate() {
             let h = engine.enqueue(
                 dev,
                 StreamKind::Compute,
                 SpanLabel::Other,
                 cfg.step_overhead,
-                &[combined[i]],
+                &[combined[k]],
             );
             step_end = step_end.max(engine.span(h).end);
         }
         engine.barrier_at(step_end);
+        let step_seconds = step_end - clock;
         clock = step_end;
+        rate.record(step_seconds, prefills.len());
 
         // Account decodes (snapshot taken before this step's prefills).
         generated_tokens += decode_count + prefills.len() as u64;
@@ -458,10 +857,20 @@ pub fn run_serving(cfg: &ServeConfig) -> ServingOutcome {
         }
         running = kept;
 
-        // Account prefills: their first token lands at step end.
-        for r in prefills {
-            let ttft = step_end - r.arrival;
-            ttft_samples.push(ttft);
+        // Account prefills: their first token lands at step end. A
+        // retried request already delivered its first token before the
+        // interruption, so its original TTFT stands and no second
+        // sample is emitted.
+        for entry in prefills {
+            let r = entry.req;
+            let ttft = match entry.first_ttft {
+                Some(first) => first,
+                None => {
+                    let t = step_end - r.arrival;
+                    ttft_samples.push(t);
+                    t
+                }
+            };
             if r.decode_tokens <= 1 {
                 completed += 1;
                 if ttft <= cfg.sla.ttft {
@@ -473,6 +882,8 @@ pub fn run_serving(cfg: &ServeConfig) -> ServingOutcome {
                     ttft,
                     first_token: step_end,
                     decode_left: r.decode_tokens - 1,
+                    home: live_devs[(r.id as usize) % m].index(),
+                    retries: entry.retries,
                 });
             }
         }
@@ -481,10 +892,20 @@ pub fn run_serving(cfg: &ServeConfig) -> ServingOutcome {
         steps += 1;
     }
 
-    // Anything still pending when the step cap trips counts as rejected.
-    rejected += queue.len() + running.len() + (requests.len() - next_arrival);
+    // Anything still pending when the step cap trips is accounted as
+    // unserved shed — nothing is silently lost.
+    res.shed.unserved =
+        queue.len() + running.len() + res.retry_buf.len() + (requests.len() - next_arrival);
+    let rejected = res.shed.total();
 
     let duration = engine.now();
+    // `Sum<f64>` folds from -0.0 (the IEEE additive identity); pin the
+    // empty case to +0.0 so fault-free reports serialize as plain zero.
+    let recovery_time: f64 = if recovery_events.is_empty() {
+        0.0
+    } else {
+        recovery_events.iter().map(RecoveryEvent::duration).sum()
+    };
     let report = ServeReport {
         system: cfg.system.id().to_string(),
         offered_rps: cfg.workload.arrival_rate,
@@ -513,14 +934,42 @@ pub fn run_serving(cfg: &ServeConfig) -> ServingOutcome {
         relayouts,
         relocation_bytes,
         relocation_time,
+        shed: res.shed,
+        retries: res.retries,
+        interrupted: res.interrupted,
+        failures,
+        rejoins,
+        recoveries: recovery_events.len() as u64,
+        recovery_time,
     };
+    // Faulted runs annotate the timeline with the injected fault
+    // windows and the recovery episodes (excluded from makespan and
+    // occupancy; rendered as their own tracks in the Chrome trace).
+    let mut timeline = engine.into_timeline();
+    if let Some(plan) = fault_plan {
+        record_timed_fault_spans(&mut timeline, plan, duration.max(clock));
+        for &(device, start, end) in &recovery_spans {
+            if end > start {
+                timeline.push(Span {
+                    device: DeviceId::new(device),
+                    stream: StreamKind::Compute,
+                    label: SpanLabel::Recovery,
+                    start,
+                    end,
+                });
+            }
+        }
+    }
     ServingOutcome {
         report,
         ttft: ttft_samples,
         tpot: tpot_samples,
         layouts,
         queue_depth,
-        timeline: engine.into_timeline(),
+        timeline,
+        recovery_events,
+        live_devices: live_trace,
+        faulted: fault_plan.is_some(),
     }
 }
 
@@ -590,6 +1039,37 @@ pub fn record_observability(out: &ServingOutcome, obs: &mut Observer) {
         report.relocation_time,
     );
 
+    r.declare_counter("laer_serve_shed_total", "Shed requests by cause.");
+    for (cause, count) in [
+        ("queue-full", report.shed.queue_full),
+        ("brownout", report.shed.brownout),
+        ("retry-exhausted", report.shed.retry_exhausted),
+        ("unserved", report.shed.unserved),
+    ] {
+        r.inc(
+            "laer_serve_shed_total",
+            &[("system", system), ("cause", cause)],
+            count as u64,
+        );
+    }
+    r.declare_counter(
+        "laer_serve_retries_total",
+        "Retry re-enqueues after failure interruptions.",
+    );
+    r.inc("laer_serve_retries_total", &labels, report.retries);
+    r.declare_counter("laer_serve_failures_total", "Device failures detected.");
+    r.inc("laer_serve_failures_total", &labels, report.failures);
+    r.declare_counter(
+        "laer_serve_recoveries_total",
+        "Completed recovery episodes (drain-replan or restart).",
+    );
+    r.inc("laer_serve_recoveries_total", &labels, report.recoveries);
+    r.declare_gauge(
+        "laer_serve_recovery_seconds",
+        "Virtual seconds from failure detection to serving resuming.",
+    );
+    r.set("laer_serve_recovery_seconds", &labels, report.recovery_time);
+
     r.declare_histogram(
         "laer_serve_ttft_seconds",
         "Time to first token over admitted requests.",
@@ -625,6 +1105,45 @@ pub fn record_observability(out: &ServingOutcome, obs: &mut Observer) {
             tpot: HistogramSnapshot::of(&tpot_hist),
         },
     );
+
+    // Faulted runs additionally journal the resilience summary and a
+    // per-step record stream; fault-free runs keep the legacy journal
+    // shape byte-for-byte.
+    if out.faulted {
+        obs.journal.push(
+            "serving-resilience",
+            &ResilienceRecord {
+                system: system.to_string(),
+                failures: report.failures,
+                rejoins: report.rejoins,
+                interrupted: report.interrupted,
+                retries: report.retries,
+                shed_queue_full: report.shed.queue_full as u64,
+                shed_brownout: report.shed.brownout as u64,
+                shed_retry_exhausted: report.shed.retry_exhausted as u64,
+                shed_unserved: report.shed.unserved as u64,
+                recoveries: out
+                    .recovery_events
+                    .iter()
+                    .map(|e| (e.kind.clone(), e.detected, e.resumed))
+                    .collect(),
+            },
+        );
+        for (step, (&(time, depth), &(_, live))) in
+            out.queue_depth.iter().zip(&out.live_devices).enumerate()
+        {
+            obs.journal.push(
+                "serving-step",
+                &ServeStepRecord {
+                    system: system.to_string(),
+                    step: step as u64,
+                    time,
+                    queue_depth: depth as u64,
+                    live_devices: live as u64,
+                },
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -821,6 +1340,260 @@ mod tests {
             observe().registry.to_openmetrics(),
             "metric export must be deterministic"
         );
+    }
+
+    mod resilience {
+        use super::*;
+        use laer_sim::{FaultKind, TimedFaultEvent};
+
+        fn timed(kind: FaultKind, start: f64, end: f64) -> TimedFaultEvent {
+            TimedFaultEvent { kind, start, end }
+        }
+
+        fn device_failure_plan(device: usize, start: f64, end: f64) -> FaultPlan {
+            let mut plan = FaultPlan::new();
+            plan.push_timed(timed(
+                FaultKind::DeviceFailure {
+                    device: DeviceId::new(device),
+                },
+                start,
+                end,
+            ))
+            .unwrap();
+            plan
+        }
+
+        fn chaos_cfg(kind: ServingSystemKind, plan: FaultPlan) -> ServeConfig {
+            let mut cfg = ServeConfig::new(kind);
+            cfg.workload = quick_workload(11)
+                .with_requests(80)
+                .with_arrival_rate(600.0);
+            cfg.workload.mean_decode_tokens = 16.0;
+            cfg.queue_capacity = 512;
+            cfg.step_overhead = 2.0e-4;
+            cfg.faults = Some(plan);
+            cfg
+        }
+
+        /// Tentpole: a transient device failure makes LAER drain,
+        /// re-plan on the survivors, and re-layout back when the device
+        /// rejoins — with every request accounted for and the fault and
+        /// recovery windows annotated in the timeline.
+        #[test]
+        fn laer_drains_replans_and_recovers_from_device_failure() {
+            let cfg = chaos_cfg(ServingSystemKind::Laer, device_failure_plan(3, 0.03, 0.09));
+            let out = run_serving(&cfg);
+            let r = &out.report;
+            assert_eq!(r.failures, 1);
+            assert_eq!(r.rejoins, 1);
+            assert_eq!(r.recoveries, 1);
+            assert_eq!(out.recovery_events[0].kind, "drain-replan");
+            assert!(r.recovery_time > 0.0);
+            assert!(r.completed > 0);
+            assert_eq!(
+                r.completed + r.shed.total(),
+                r.requests,
+                "zero lost requests"
+            );
+            assert_eq!(r.rejected, r.shed.total());
+            // The cluster shrinks to 15 live devices during the outage
+            // and grows back to 16 after the rejoin.
+            assert!(out.live_devices.iter().any(|&(_, l)| l == 15));
+            assert_eq!(out.live_devices.last().unwrap().1, 16);
+            // The drain plus the rejoin re-layout both moved weights.
+            assert!(r.relayouts >= 2);
+            assert!(out.faulted);
+            let spans = out.timeline.spans();
+            assert!(spans.iter().any(|s| s.label == SpanLabel::Fault));
+            assert!(spans.iter().any(|s| s.label == SpanLabel::Recovery));
+        }
+
+        /// Tentpole: the same failure forces static EP through the full
+        /// timeout + reload + redo restart, while LAER's elastic drain
+        /// keeps serving — the goodput gap is the headline comparison.
+        #[test]
+        fn static_restarts_while_laer_survives_failure() {
+            let laer = run_serving(&chaos_cfg(
+                ServingSystemKind::Laer,
+                device_failure_plan(3, 0.03, 0.09),
+            ));
+            let st = run_serving(&chaos_cfg(
+                ServingSystemKind::StaticEp,
+                device_failure_plan(3, 0.03, 0.09),
+            ));
+            assert_eq!(st.recovery_events[0].kind, "restart");
+            assert!(
+                st.report.interrupted > 0,
+                "a restart kills every in-flight request"
+            );
+            assert!(st.report.retries > 0, "interrupted requests retry");
+            assert!(
+                st.report.recovery_time > laer.report.recovery_time,
+                "static stall {} must dwarf the elastic drain {}",
+                st.report.recovery_time,
+                laer.report.recovery_time
+            );
+            assert!(
+                laer.report.goodput_rps > st.report.goodput_rps,
+                "laer goodput {} must beat static-ep {} under failure",
+                laer.report.goodput_rps,
+                st.report.goodput_rps
+            );
+            for r in [&laer.report, &st.report] {
+                assert_eq!(r.completed + r.shed.total(), r.requests);
+            }
+        }
+
+        /// Zero-loss accounting and bit-identical determinism for every
+        /// system under a composite chaos schedule (straggler + link
+        /// degrade + device failure + planner outage).
+        #[test]
+        fn chaos_accounting_loses_nothing_and_is_deterministic() {
+            let mut plan = FaultPlan::new();
+            plan.push_timed(timed(
+                FaultKind::Straggler {
+                    device: DeviceId::new(1),
+                    factor: 2.5,
+                },
+                0.02,
+                0.06,
+            ))
+            .unwrap();
+            plan.push_timed(timed(
+                FaultKind::LinkDegrade {
+                    a: DeviceId::new(0),
+                    b: DeviceId::new(8),
+                    factor: 0.2,
+                },
+                0.04,
+                0.10,
+            ))
+            .unwrap();
+            plan.push_timed(timed(
+                FaultKind::DeviceFailure {
+                    device: DeviceId::new(5),
+                },
+                0.05,
+                0.09,
+            ))
+            .unwrap();
+            plan.push_timed(timed(FaultKind::PlannerOutage, 0.03, 0.07))
+                .unwrap();
+
+            for kind in ServingSystemKind::ALL {
+                let cfg = chaos_cfg(kind, plan.clone());
+                let a = run_serving(&cfg);
+                let b = run_serving(&cfg);
+                assert_eq!(
+                    a.report,
+                    b.report,
+                    "{}: chaos must be deterministic",
+                    kind.id()
+                );
+                assert_eq!(&a.ttft, &b.ttft);
+                assert_eq!(&a.layouts, &b.layouts);
+                let r = &a.report;
+                assert_eq!(
+                    r.completed + r.shed.total(),
+                    r.requests,
+                    "{}: every request must finish, retry or be accounted as shed",
+                    kind.id()
+                );
+                assert!(r.completed > 0, "{}: nothing served", kind.id());
+                assert!(
+                    r.failures > 0,
+                    "{}: the failure must be detected",
+                    kind.id()
+                );
+                // Exactly one TTFT sample per first successful prefill:
+                // completions emitted one each, and only requests shed
+                // *after* a prefill can add more.
+                assert!(a.ttft.len() >= r.completed);
+                assert!(a.ttft.len() <= r.completed + r.shed.retry_exhausted + r.shed.unserved);
+            }
+        }
+
+        /// Satellite: the SLO-aware brownout sheds arrivals while
+        /// capacity is degraded instead of letting every admitted
+        /// request blow through the TTFT budget.
+        #[test]
+        fn brownout_sheds_to_protect_admitted_traffic() {
+            let mut plan = FaultPlan::new();
+            plan.push_timed(timed(
+                FaultKind::Straggler {
+                    device: DeviceId::new(0),
+                    factor: 8.0,
+                },
+                0.01,
+                0.30,
+            ))
+            .unwrap();
+            let run = |margin: Option<f64>| {
+                let mut cfg = chaos_cfg(ServingSystemKind::StaticEp, plan.clone());
+                cfg.workload = quick_workload(13)
+                    .with_requests(200)
+                    .with_arrival_rate(1500.0);
+                cfg.workload.mean_decode_tokens = 16.0;
+                // A tight prefill chunk makes the straggler window a
+                // genuine overload: admission control has to act.
+                cfg.max_prefill_tokens = 512;
+                cfg.brownout_ttft_margin = margin;
+                run_serving(&cfg)
+            };
+            let with = run(Some(0.5));
+            let without = run(None);
+            assert!(
+                with.report.shed.brownout > 0,
+                "degraded capacity must trigger brownout"
+            );
+            assert_eq!(without.report.shed.brownout, 0);
+            assert!(
+                with.report.ttft.p99 <= without.report.ttft.p99,
+                "brownout p99 {} must not exceed open-admission p99 {}",
+                with.report.ttft.p99,
+                without.report.ttft.p99
+            );
+            for r in [&with.report, &without.report] {
+                assert_eq!(r.completed + r.shed.total(), r.requests);
+            }
+        }
+
+        /// An empty fault plan is indistinguishable from `faults: None`
+        /// — the resilience layer is inert unless faults are scheduled.
+        #[test]
+        fn empty_fault_plan_is_identical_to_none() {
+            let mut cfg = ServeConfig::new(ServingSystemKind::Laer);
+            cfg.workload = quick_workload(5).with_flip_period(Some(20));
+            cfg.workload.requests = 80;
+            let base = run_serving(&cfg);
+            cfg.faults = Some(FaultPlan::new());
+            let empty = run_serving(&cfg);
+            assert!(!empty.faulted);
+            assert_eq!(base.report, empty.report);
+            assert_eq!(&base.ttft, &empty.ttft);
+            assert_eq!(&base.layouts, &empty.layouts);
+            assert_eq!(base.report.shed, ShedBreakdown::default());
+        }
+
+        /// Faulted runs export the resilience counters and journal the
+        /// summary plus one record per scheduler step.
+        #[test]
+        fn faulted_run_journals_resilience_records() {
+            let out = run_serving(&chaos_cfg(
+                ServingSystemKind::Laer,
+                device_failure_plan(3, 0.03, 0.09),
+            ));
+            let mut obs = laer_obs::Observer::new();
+            record_observability(&out, &mut obs);
+            let text = obs.registry.to_openmetrics();
+            assert!(text.contains("laer_serve_shed_total"));
+            assert!(text.contains("laer_serve_failures_total{system=\"laer\"}"));
+            assert!(text.contains("laer_serve_recoveries_total{system=\"laer\"}"));
+            let jsonl = obs.journal.to_jsonl();
+            assert!(jsonl.contains("\"type\":\"serving-resilience\""));
+            assert!(jsonl.contains("\"type\":\"serving-step\""));
+            assert_eq!(obs.journal.len() as u64, 2 + out.report.steps);
+        }
     }
 
     proptest! {

@@ -10,13 +10,30 @@
 use std::collections::VecDeque;
 use std::str::FromStr;
 
-use laer_cluster::Topology;
+use laer_cluster::{DegradedView, Topology};
 use laer_model::{GpuSpec, ModelConfig};
 use laer_planner::{
-    even_replicas, expert_relocation, lite_route, replica_allocation, time_cost, CostParams,
-    ExpertLayout, LoadPredictor, Planner, PlannerConfig,
+    even_replicas, expert_relocation, expert_relocation_on, lite_route, replica_allocation,
+    time_cost, CostParams, ExpertLayout, LoadPredictor, Planner, PlannerConfig,
 };
 use laer_routing::RoutingMatrix;
+
+/// How a [`ServingSystem`] responds to a change in serving capacity —
+/// a device failing, rejoining, or the link profile shifting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureResponse {
+    /// The system re-planned its desired layout for the new capacity;
+    /// the scheduler should charge the relocation and continue serving
+    /// (elastically on the survivors when devices failed).
+    Replan,
+    /// The system cannot adapt its layout (static placement, planner
+    /// down, or too few surviving slots): the scheduler must pay the
+    /// full failover path — collective timeout, weight reload onto
+    /// replacement hardware, and redo of every in-flight request.
+    Restart,
+    /// The current desired layout already fits the new capacity.
+    Unchanged,
+}
 
 /// An online expert-placement policy.
 pub trait ServingSystem {
@@ -30,6 +47,20 @@ pub trait ServingSystem {
     /// the desired layout changed (the scheduler will then charge the
     /// relocation and apply it before the next step's expert compute).
     fn observe(&mut self, step: u64, served: &RoutingMatrix) -> bool;
+
+    /// Tells the system whether the asynchronous CPU planner host is
+    /// reachable. While it is not, planner-backed systems must fall back
+    /// to their stale layout (and cannot re-plan around failures).
+    fn set_planner_available(&mut self, _available: bool) {}
+
+    /// Notifies the system that the cluster's serving capacity changed:
+    /// `view` carries the currently-failed devices and degraded links
+    /// (it is nominal when everything recovered). The system updates its
+    /// desired layout for the new capacity and reports how the
+    /// scheduler should proceed.
+    fn handle_capacity_change(&mut self, _view: &DegradedView) -> FailureResponse {
+        FailureResponse::Unchanged
+    }
 }
 
 /// The serving systems compared by the benchmark, mirroring the training
@@ -142,6 +173,17 @@ impl ServingSystem for StaticEp {
     fn observe(&mut self, _step: u64, _served: &RoutingMatrix) -> bool {
         false
     }
+
+    /// Static EP cannot re-form its placement on survivors: a failure
+    /// always costs the full restart path. Recoveries are no-ops (the
+    /// restart already moved serving onto replacement hardware).
+    fn handle_capacity_change(&mut self, view: &DegradedView) -> FailureResponse {
+        if view.failed_devices().is_empty() {
+            FailureResponse::Unchanged
+        } else {
+            FailureResponse::Restart
+        }
+    }
 }
 
 /// FasterMoE-style reactive replication: every `period` steps,
@@ -156,6 +198,9 @@ struct ReplicateHot {
     window: VecDeque<Vec<u64>>,
     window_cap: usize,
     layout: ExpertLayout,
+    /// Survivor subset to place on while devices are failed; `None`
+    /// when the cluster is whole.
+    survivors: Option<Vec<laer_cluster::DeviceId>>,
 }
 
 impl ReplicateHot {
@@ -173,7 +218,30 @@ impl ReplicateHot {
             window: VecDeque::new(),
             window_cap: window_cap.max(1),
             layout: even_layout(topo, experts, capacity),
+            survivors: None,
         }
+    }
+
+    /// Windowed expert loads, falling back to uniform when the window
+    /// is empty or quiet (a re-layout forced by a failure cannot wait
+    /// for traffic).
+    fn windowed_loads(&self, experts: usize) -> Vec<u64> {
+        let mut loads = vec![0u64; experts];
+        for sample in &self.window {
+            for (acc, &l) in loads.iter_mut().zip(sample) {
+                *acc += l;
+            }
+        }
+        if loads.iter().all(|&l| l == 0) {
+            loads.fill(1);
+        }
+        loads
+    }
+
+    /// Replicate-by-load placement on `active` devices.
+    fn place_on(&self, loads: &[u64], active: &[laer_cluster::DeviceId]) -> ExpertLayout {
+        let rep = replica_allocation(loads, active.len(), self.capacity);
+        expert_relocation_on(&rep, loads, &self.topo, self.capacity, active)
     }
 }
 
@@ -204,13 +272,47 @@ impl ServingSystem for ReplicateHot {
         if loads.iter().all(|&l| l == 0) {
             return false;
         }
-        let rep = replica_allocation(&loads, self.topo.num_devices(), self.capacity);
-        let next = expert_relocation(&rep, &loads, &self.topo, self.capacity);
+        let next = match &self.survivors {
+            Some(active) => self.place_on(&loads, active),
+            None => {
+                let rep = replica_allocation(&loads, self.topo.num_devices(), self.capacity);
+                expert_relocation(&rep, &loads, &self.topo, self.capacity)
+            }
+        };
         if next == self.layout {
             return false;
         }
         self.layout = next;
         true
+    }
+
+    /// Reactive replication adapts to capacity the same way it adapts
+    /// to load: re-allocate replicas over whatever devices remain. Only
+    /// when the surviving slots cannot host every expert does it fall
+    /// back to the restart path.
+    fn handle_capacity_change(&mut self, view: &DegradedView) -> FailureResponse {
+        let experts = self.layout.num_experts();
+        let survivors = view.survivors();
+        if survivors.len() * self.capacity < experts {
+            self.survivors = None;
+            return FailureResponse::Restart;
+        }
+        let whole = view.failed_devices().is_empty();
+        let loads = self.windowed_loads(experts);
+        let next = if whole {
+            self.survivors = None;
+            let rep = replica_allocation(&loads, self.topo.num_devices(), self.capacity);
+            expert_relocation(&rep, &loads, &self.topo, self.capacity)
+        } else {
+            let next = self.place_on(&loads, &survivors);
+            self.survivors = Some(survivors);
+            next
+        };
+        if next == self.layout {
+            return FailureResponse::Unchanged;
+        }
+        self.layout = next;
+        FailureResponse::Replan
     }
 }
 
@@ -234,6 +336,11 @@ struct LaerServing {
     window: VecDeque<RoutingMatrix>,
     window_cap: usize,
     layout: ExpertLayout,
+    experts: usize,
+    /// Degraded network view to plan against while faults are active;
+    /// `None` when the cluster is nominal.
+    view: Option<DegradedView>,
+    planner_available: bool,
 }
 
 impl LaerServing {
@@ -257,7 +364,32 @@ impl LaerServing {
             window: VecDeque::new(),
             window_cap: window_cap.max(1),
             layout: even_layout(topo, model.experts(), capacity),
+            experts: model.experts(),
+            view: None,
+            planner_available: true,
         }
+    }
+
+    /// Demand to re-plan against when a capacity change forces an
+    /// immediate decision: the predictor's view of traffic, or uniform
+    /// loads before any traffic has been observed.
+    fn planning_demand(&self) -> RoutingMatrix {
+        if let Some(predicted) = self.predictor.predict() {
+            return predicted;
+        }
+        let n = self.planner.topology().num_devices();
+        let mut uniform = match RoutingMatrix::zeros(n, self.experts) {
+            Ok(m) => m,
+            Err(err) => panic!("planner shapes fixed at construction: {err}"),
+        };
+        for j in 0..self.experts {
+            uniform.set(
+                laer_cluster::DeviceId::new(0),
+                laer_cluster::ExpertId::new(j),
+                1,
+            );
+        }
+        uniform
     }
 
     /// Element-wise sum of the window (the EMA smooths across windows;
@@ -302,10 +434,22 @@ impl ServingSystem for LaerServing {
             return false;
         }
         self.predictor.observe(&total);
+        // Planner host down: keep serving on the stale layout.
+        if !self.planner_available {
+            return false;
+        }
         let Some(predicted) = self.predictor.predict() else {
             return false;
         };
-        let plan = self.planner.plan(&predicted);
+        // While faults are active, plan on the survivors and price
+        // against the degraded network; otherwise the nominal path.
+        let plan = match &self.view {
+            Some(view) => match self.planner.plan_degraded(&predicted, view) {
+                Ok(plan) => plan,
+                Err(_) => return false,
+            },
+            None => self.planner.plan(&predicted),
+        };
         if plan.layout == self.layout {
             return false;
         }
@@ -314,12 +458,60 @@ impl ServingSystem for LaerServing {
         // candidate clears the margin.
         let topo = self.planner.topology();
         let keep = lite_route(topo, &predicted, &self.layout);
-        let keep_cost = time_cost(topo, &keep, self.planner.cost_params()).total();
+        let keep_cost = match &self.view {
+            Some(view) => time_cost(view, &keep, self.planner.cost_params()).total(),
+            None => time_cost(topo, &keep, self.planner.cost_params()).total(),
+        };
         if plan.predicted.total() >= keep_cost * (1.0 - HYSTERESIS_MARGIN) {
             return false;
         }
         self.layout = plan.layout;
         true
+    }
+
+    fn set_planner_available(&mut self, available: bool) {
+        self.planner_available = available;
+    }
+
+    /// LAER's failure path *is* its load path: re-run the planner on
+    /// the survivor subset (Alg. 1–4 priced on the degraded view). Only
+    /// an unreachable planner host or an unsatisfiable survivor set
+    /// falls back to the restart path.
+    fn handle_capacity_change(&mut self, view: &DegradedView) -> FailureResponse {
+        let failed = !view.failed_devices().is_empty();
+        if !self.planner_available {
+            // Without the planner no survivor layout can be computed;
+            // a failure forces the restart path, a recovery waits.
+            self.view = if view.is_nominal() {
+                None
+            } else {
+                Some(view.clone())
+            };
+            return if failed {
+                FailureResponse::Restart
+            } else {
+                FailureResponse::Unchanged
+            };
+        }
+        let demand = self.planning_demand();
+        let plan = if view.is_nominal() {
+            self.view = None;
+            Ok(self.planner.plan(&demand))
+        } else {
+            self.view = Some(view.clone());
+            self.planner.plan_degraded(&demand, view)
+        };
+        match plan {
+            Ok(plan) => {
+                if plan.layout == self.layout {
+                    FailureResponse::Unchanged
+                } else {
+                    self.layout = plan.layout;
+                    FailureResponse::Replan
+                }
+            }
+            Err(_) => FailureResponse::Restart,
+        }
     }
 }
 
@@ -394,6 +586,96 @@ mod tests {
         assert!(changed, "skewed traffic must trigger a re-layout");
         assert!(sys.layout().validate().is_ok());
         assert!(sys.layout().expert_replicas(ExpertId::new(3)) > even);
+    }
+
+    #[test]
+    fn static_ep_restarts_on_failure_and_ignores_links() {
+        let topo = Topology::new(2, 4).unwrap();
+        let cfg = ModelPreset::Mixtral8x7bE8k2.config();
+        let mut sys = ServingSystemKind::StaticEp.build(&topo, &cfg, GpuSpec::a100(), 2, 4, 4);
+        let mut failed = DegradedView::new(topo.clone());
+        failed.fail_device(DeviceId::new(1));
+        assert_eq!(
+            sys.handle_capacity_change(&failed),
+            FailureResponse::Restart
+        );
+        let mut slow_link = DegradedView::new(topo.clone());
+        slow_link.degrade_link(DeviceId::new(0), DeviceId::new(4), 0.2);
+        assert_eq!(
+            sys.handle_capacity_change(&slow_link),
+            FailureResponse::Unchanged
+        );
+        assert_eq!(
+            sys.handle_capacity_change(&DegradedView::new(topo)),
+            FailureResponse::Unchanged
+        );
+    }
+
+    #[test]
+    fn replicate_hot_replans_on_survivors_and_back() {
+        let topo = Topology::new(2, 4).unwrap();
+        let cfg = ModelPreset::Mixtral8x7bE8k2.config();
+        let mut sys = ServingSystemKind::ReplicateHot.build(&topo, &cfg, GpuSpec::a100(), 2, 4, 4);
+        for step in 0..4 {
+            sys.observe(step, &skewed(8, 8, 3, 512));
+        }
+        let mut view = DegradedView::new(topo.clone());
+        view.fail_device(DeviceId::new(2));
+        assert_eq!(sys.handle_capacity_change(&view), FailureResponse::Replan);
+        sys.layout()
+            .validate_on(&view.survivors())
+            .expect("survivor layout must host every expert off the dead device");
+        // Subsequent periodic re-layouts stay on the survivor subset.
+        let mut changed = false;
+        for step in 4..12 {
+            changed |= sys.observe(step, &skewed(8, 8, 5, 512));
+        }
+        if changed {
+            sys.layout().validate_on(&view.survivors()).unwrap();
+        }
+        // Rejoin: the whole cluster comes back.
+        let whole = DegradedView::new(topo.clone());
+        let resp = sys.handle_capacity_change(&whole);
+        assert_ne!(resp, FailureResponse::Restart);
+        sys.layout()
+            .validate()
+            .expect("post-recovery layout must be valid on the full cluster");
+    }
+
+    #[test]
+    fn replicate_hot_restarts_when_survivors_cannot_host_experts() {
+        let topo = Topology::new(1, 4).unwrap();
+        let cfg = ModelPreset::Mixtral8x7bE8k2.config();
+        // capacity 2 × 3 survivors = 6 slots < 8 experts.
+        let mut sys = ServingSystemKind::ReplicateHot.build(&topo, &cfg, GpuSpec::a100(), 2, 4, 4);
+        let mut view = DegradedView::new(topo);
+        view.fail_device(DeviceId::new(0));
+        assert_eq!(sys.handle_capacity_change(&view), FailureResponse::Restart);
+    }
+
+    #[test]
+    fn laer_replans_on_survivors_and_restarts_without_planner() {
+        let topo = Topology::new(2, 4).unwrap();
+        let cfg = ModelPreset::Mixtral8x7bE8k2.config();
+        let mut sys = ServingSystemKind::Laer.build(&topo, &cfg, GpuSpec::a100(), 2, 4, 4);
+        let mut view = DegradedView::new(topo.clone());
+        view.fail_device(DeviceId::new(2));
+        assert_eq!(sys.handle_capacity_change(&view), FailureResponse::Replan);
+        sys.layout()
+            .validate_on(&view.survivors())
+            .expect("degraded plan must live on the survivors");
+        // Recovery re-plans for the whole cluster.
+        let resp = sys.handle_capacity_change(&DegradedView::new(topo.clone()));
+        assert_ne!(resp, FailureResponse::Restart);
+        sys.layout().validate().unwrap();
+        // With the planner host down a failure cannot be planned around.
+        sys.set_planner_available(false);
+        let mut second = DegradedView::new(topo);
+        second.fail_device(DeviceId::new(5));
+        assert_eq!(
+            sys.handle_capacity_change(&second),
+            FailureResponse::Restart
+        );
     }
 
     #[test]

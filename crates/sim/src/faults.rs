@@ -49,6 +49,16 @@ pub enum FaultError {
         /// Window end iteration.
         end: u64,
     },
+    /// A time-stamped window was empty, negative or non-finite.
+    /// Continuous-time windows must satisfy `0 <= start < end` with
+    /// both endpoints finite — "permanent" faults use a finite end
+    /// beyond the run horizon so plans stay JSON-serializable.
+    BadTimeWindow {
+        /// Window start, seconds of virtual time.
+        start: f64,
+        /// Window end, seconds of virtual time.
+        end: f64,
+    },
 }
 
 impl fmt::Display for FaultError {
@@ -68,6 +78,12 @@ impl fmt::Display for FaultError {
             }
             FaultError::EmptyWindow { start, end } => {
                 write!(f, "fault window [{start}, {end}) is empty")
+            }
+            FaultError::BadTimeWindow { start, end } => {
+                write!(
+                    f,
+                    "timed fault window [{start}, {end}) must be finite with 0 <= start < end"
+                )
             }
         }
     }
@@ -119,10 +135,29 @@ pub struct FaultEvent {
     pub end: u64,
 }
 
+/// A fault active over the half-open wall-clock window `[start, end)`,
+/// in seconds of virtual time. This is the continuous-time counterpart
+/// of the iteration-indexed [`FaultEvent`]: online serving has no
+/// iteration grid, so its scheduler consults faults by timestamp via
+/// [`FaultPlan::active_in`]. Endpoints must be finite ("permanent"
+/// faults use an end beyond the run horizon) so plans round-trip
+/// through JSON as replayable artifacts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedFaultEvent {
+    /// The fault class and parameters.
+    pub kind: FaultKind,
+    /// Window start (inclusive), seconds of virtual time.
+    pub start: f64,
+    /// Window end (exclusive), seconds of virtual time.
+    pub end: f64,
+}
+
 /// A validated, ordered schedule of fault events.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
+    #[serde(default)]
+    timed: Vec<TimedFaultEvent>,
 }
 
 impl FaultPlan {
@@ -136,9 +171,14 @@ impl FaultPlan {
         &self.events
     }
 
+    /// The scheduled continuous-time events, in insertion order.
+    pub fn timed_events(&self) -> &[TimedFaultEvent] {
+        &self.timed
+    }
+
     /// Whether the plan schedules nothing.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events.is_empty() && self.timed.is_empty()
     }
 
     /// Adds an event after validating its parameters and window.
@@ -154,23 +194,32 @@ impl FaultPlan {
                 end: event.end,
             });
         }
-        match event.kind {
-            FaultKind::Straggler { factor, .. } => {
-                if !(factor.is_finite() && factor >= 1.0) {
-                    return Err(FaultError::BadStragglerFactor { factor });
-                }
-            }
-            FaultKind::LinkDegrade { a, b, factor } => {
-                if !(factor.is_finite() && factor > 0.0 && factor <= 1.0) {
-                    return Err(FaultError::BadLinkFactor { factor });
-                }
-                if a == b {
-                    return Err(FaultError::SelfLink { device: a });
-                }
-            }
-            FaultKind::DeviceFailure { .. } | FaultKind::PlannerOutage => {}
-        }
+        validate_kind(&event.kind)?;
         self.events.push(event);
+        Ok(())
+    }
+
+    /// Adds a continuous-time event after validating its parameters
+    /// and window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::BadTimeWindow`] unless
+    /// `0 <= start < end` with both endpoints finite, or the same
+    /// per-kind parameter errors as [`FaultPlan::push`].
+    pub fn push_timed(&mut self, event: TimedFaultEvent) -> Result<(), FaultError> {
+        let ok = event.start.is_finite()
+            && event.end.is_finite()
+            && event.start >= 0.0
+            && event.start < event.end;
+        if !ok {
+            return Err(FaultError::BadTimeWindow {
+                start: event.start,
+                end: event.end,
+            });
+        }
+        validate_kind(&event.kind)?;
+        self.timed.push(event);
         Ok(())
     }
 
@@ -244,35 +293,68 @@ impl FaultPlan {
 
     /// Resolves which faults are active at `iteration`, folding
     /// overlapping events together (straggler factors and link factors
-    /// compose multiplicatively).
+    /// compose multiplicatively). Consults the iteration-indexed
+    /// events only; use [`FaultPlan::active_in`] for timed events.
     pub fn active_at(&self, iteration: u64) -> ActiveFaults {
         let mut active = ActiveFaults::default();
         for event in &self.events {
             if iteration < event.start || iteration >= event.end {
                 continue;
             }
-            match event.kind {
-                FaultKind::Straggler { device, factor } => {
-                    *active.compute.entry(device.index()).or_insert(1.0) *= factor;
-                }
-                FaultKind::LinkDegrade { a, b, factor } => {
-                    let key = if a.index() <= b.index() {
-                        (a.index(), b.index())
-                    } else {
-                        (b.index(), a.index())
-                    };
-                    *active.links.entry(key).or_insert(1.0) *= factor;
-                }
-                FaultKind::DeviceFailure { device } => {
-                    active.failed.insert(device.index());
-                }
-                FaultKind::PlannerOutage => {
-                    active.planner_outage = true;
-                }
+            active.fold(&event.kind);
+        }
+        active
+    }
+
+    /// Resolves which continuous-time faults are active anywhere in
+    /// the closed query interval `[t0, t1]` (seconds of virtual time),
+    /// folding overlapping events like [`FaultPlan::active_at`]. An
+    /// event window `[start, end)` overlaps the query iff
+    /// `start <= t1 && t0 < end`; with `t0 == t1` this is an instant
+    /// membership test, which is how the serving scheduler samples the
+    /// plan at each step boundary. Consults timed events only.
+    pub fn active_in(&self, t0: f64, t1: f64) -> ActiveFaults {
+        let mut active = ActiveFaults::default();
+        for event in &self.timed {
+            if event.start <= t1 && t0 < event.end {
+                active.fold(&event.kind);
             }
         }
         active
     }
+
+    /// The earliest timed-event window end strictly after `t`, if any.
+    /// This is the next moment the active fault set can shrink — the
+    /// serving loop uses it to fast-forward an idle (or fully failed)
+    /// cluster to the next recovery edge instead of spinning.
+    pub fn next_timed_clear_after(&self, t: f64) -> Option<f64> {
+        self.timed
+            .iter()
+            .map(|e| e.end)
+            .filter(|&end| end > t)
+            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    }
+}
+
+/// Shared per-kind parameter validation for both event flavours.
+fn validate_kind(kind: &FaultKind) -> Result<(), FaultError> {
+    match *kind {
+        FaultKind::Straggler { factor, .. } => {
+            if !(factor.is_finite() && factor >= 1.0) {
+                return Err(FaultError::BadStragglerFactor { factor });
+            }
+        }
+        FaultKind::LinkDegrade { a, b, factor } => {
+            if !(factor.is_finite() && factor > 0.0 && factor <= 1.0) {
+                return Err(FaultError::BadLinkFactor { factor });
+            }
+            if a == b {
+                return Err(FaultError::SelfLink { device: a });
+            }
+        }
+        FaultKind::DeviceFailure { .. } | FaultKind::PlannerOutage => {}
+    }
+    Ok(())
 }
 
 /// The faults in effect during one iteration, resolved from a
@@ -286,6 +368,30 @@ pub struct ActiveFaults {
 }
 
 impl ActiveFaults {
+    /// Folds one event's effect into the set (straggler and link
+    /// factors compose multiplicatively, failures union).
+    fn fold(&mut self, kind: &FaultKind) {
+        match *kind {
+            FaultKind::Straggler { device, factor } => {
+                *self.compute.entry(device.index()).or_insert(1.0) *= factor;
+            }
+            FaultKind::LinkDegrade { a, b, factor } => {
+                let key = if a.index() <= b.index() {
+                    (a.index(), b.index())
+                } else {
+                    (b.index(), a.index())
+                };
+                *self.links.entry(key).or_insert(1.0) *= factor;
+            }
+            FaultKind::DeviceFailure { device } => {
+                self.failed.insert(device.index());
+            }
+            FaultKind::PlannerOutage => {
+                self.planner_outage = true;
+            }
+        }
+    }
+
     /// Whether nothing is degraded this iteration.
     pub fn is_empty(&self) -> bool {
         self.compute.is_empty()
@@ -376,6 +482,44 @@ pub fn record_fault_spans(timeline: &mut Timeline, active: &ActiveFaults, start:
     for (a, b, _) in active.degraded_links() {
         push(a, StreamKind::A2a);
         push(b, StreamKind::A2a);
+    }
+}
+
+/// Annotates `timeline` with one [`SpanLabel::Fault`] span per timed
+/// event in `plan`, clipped to the run window `[0, horizon)`. Unlike
+/// [`record_fault_spans`] — which stamps the *resolved* fault set over
+/// one iteration — this renders each scheduled window at its own
+/// extent, so a Chrome trace of a serving run shows exactly when each
+/// injected fault was in force. Planner outages annotate the compute
+/// stream of device 0 (the planner has no device of its own).
+pub fn record_timed_fault_spans(timeline: &mut Timeline, plan: &FaultPlan, horizon: f64) {
+    for event in plan.timed_events() {
+        let start = event.start.max(0.0);
+        let end = event.end.min(horizon);
+        if end <= start {
+            continue;
+        }
+        let mut push = |device: DeviceId, stream: StreamKind| {
+            timeline.push(Span {
+                device,
+                stream,
+                label: SpanLabel::Fault,
+                start,
+                end,
+            });
+        };
+        match event.kind {
+            FaultKind::Straggler { device, .. } | FaultKind::DeviceFailure { device } => {
+                push(device, StreamKind::Compute);
+            }
+            FaultKind::LinkDegrade { a, b, .. } => {
+                push(a, StreamKind::A2a);
+                push(b, StreamKind::A2a);
+            }
+            FaultKind::PlannerOutage => {
+                push(DeviceId::new(0), StreamKind::Compute);
+            }
+        }
     }
 }
 
@@ -607,6 +751,189 @@ mod tests {
         let v = plan.serialize_value();
         let back = FaultPlan::deserialize_value(&v).unwrap();
         assert_eq!(plan, back);
+    }
+
+    fn timed(kind: FaultKind, start: f64, end: f64) -> TimedFaultEvent {
+        TimedFaultEvent { kind, start, end }
+    }
+
+    #[test]
+    fn timed_window_validation() {
+        let mut plan = FaultPlan::new();
+        for (s, e) in [
+            (1.0, 1.0),
+            (2.0, 1.0),
+            (-0.5, 1.0),
+            (0.0, f64::INFINITY),
+            (f64::NAN, 1.0),
+        ] {
+            assert!(matches!(
+                plan.push_timed(timed(FaultKind::PlannerOutage, s, e)),
+                Err(FaultError::BadTimeWindow { .. })
+            ));
+        }
+        // Kind parameters are validated for timed events too.
+        assert!(matches!(
+            plan.push_timed(timed(
+                FaultKind::Straggler {
+                    device: d(0),
+                    factor: 0.5
+                },
+                0.0,
+                1.0
+            )),
+            Err(FaultError::BadStragglerFactor { .. })
+        ));
+        assert!(plan.is_empty());
+        plan.push_timed(timed(FaultKind::PlannerOutage, 0.25, 0.75))
+            .unwrap();
+        assert!(!plan.is_empty());
+        assert_eq!(plan.timed_events().len(), 1);
+    }
+
+    #[test]
+    fn active_in_overlap_semantics() {
+        let mut plan = FaultPlan::new();
+        plan.push_timed(timed(
+            FaultKind::Straggler {
+                device: d(1),
+                factor: 2.0,
+            },
+            0.5,
+            1.5,
+        ))
+        .unwrap();
+        // Instant queries: half-open membership.
+        assert!(plan.active_in(0.4, 0.4).is_empty());
+        assert_eq!(plan.active_in(0.5, 0.5).compute_multiplier(d(1)), 2.0);
+        assert_eq!(plan.active_in(1.4, 1.4).compute_multiplier(d(1)), 2.0);
+        assert!(plan.active_in(1.5, 1.5).is_empty());
+        // Interval queries: any overlap counts.
+        assert_eq!(plan.active_in(0.0, 0.5).compute_multiplier(d(1)), 2.0);
+        assert_eq!(plan.active_in(1.4, 9.0).compute_multiplier(d(1)), 2.0);
+        assert!(plan.active_in(0.0, 0.4).is_empty());
+        assert!(plan.active_in(1.5, 9.0).is_empty());
+        // Iteration-indexed events are invisible to active_in and
+        // timed events invisible to active_at.
+        plan.push(straggler(2, 3.0, 0, 100)).unwrap();
+        assert_eq!(plan.active_in(1.0, 1.0).compute_multiplier(d(2)), 1.0);
+        assert_eq!(plan.active_at(1).compute_multiplier(d(1)), 1.0);
+    }
+
+    #[test]
+    fn timed_overlaps_compose_and_clear_edges_are_found() {
+        let mut plan = FaultPlan::new();
+        plan.push_timed(timed(
+            FaultKind::Straggler {
+                device: d(0),
+                factor: 2.0,
+            },
+            0.0,
+            2.0,
+        ))
+        .unwrap();
+        plan.push_timed(timed(
+            FaultKind::Straggler {
+                device: d(0),
+                factor: 1.5,
+            },
+            1.0,
+            3.0,
+        ))
+        .unwrap();
+        plan.push_timed(timed(FaultKind::DeviceFailure { device: d(3) }, 1.0, 4.0))
+            .unwrap();
+        assert_eq!(plan.active_in(1.5, 1.5).compute_multiplier(d(0)), 3.0);
+        assert!(plan.active_in(1.5, 1.5).is_failed(d(3)));
+        assert_eq!(plan.next_timed_clear_after(0.0), Some(2.0));
+        assert_eq!(plan.next_timed_clear_after(2.0), Some(3.0));
+        assert_eq!(plan.next_timed_clear_after(3.5), Some(4.0));
+        assert_eq!(plan.next_timed_clear_after(4.0), None);
+    }
+
+    #[test]
+    fn timed_plan_json_roundtrip_is_replayable() {
+        let mut plan = FaultPlan::random(11, 8, 16);
+        plan.push_timed(timed(
+            FaultKind::Straggler {
+                device: d(2),
+                factor: 2.5,
+            },
+            0.125,
+            0.75,
+        ))
+        .unwrap();
+        plan.push_timed(timed(
+            FaultKind::LinkDegrade {
+                a: d(0),
+                b: d(4),
+                factor: 0.25,
+            },
+            0.25,
+            0.5,
+        ))
+        .unwrap();
+        plan.push_timed(timed(FaultKind::DeviceFailure { device: d(1) }, 0.5, 1.0e9))
+            .unwrap();
+        plan.push_timed(timed(FaultKind::PlannerOutage, 0.0, 0.25))
+            .unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+        // Replaying the artifact resolves identical fault sets.
+        assert_eq!(plan.active_in(0.3, 0.3), back.active_in(0.3, 0.3));
+        // And re-encoding is byte-stable.
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
+    }
+
+    #[test]
+    fn plans_without_timed_events_still_deserialize() {
+        // Artifacts written before the continuous-time API carry no
+        // `timed` field; `#[serde(default)]` must accept them.
+        let legacy = "{\"events\":[{\"kind\":\"PlannerOutage\",\"start\":1,\"end\":3}]}";
+        let plan: FaultPlan = serde_json::from_str(legacy).unwrap();
+        assert_eq!(plan.events().len(), 1);
+        assert!(plan.timed_events().is_empty());
+    }
+
+    #[test]
+    fn timed_fault_spans_render_clipped_windows() {
+        let mut plan = FaultPlan::new();
+        plan.push_timed(timed(
+            FaultKind::Straggler {
+                device: d(1),
+                factor: 2.0,
+            },
+            0.2,
+            0.6,
+        ))
+        .unwrap();
+        plan.push_timed(timed(
+            FaultKind::LinkDegrade {
+                a: d(0),
+                b: d(2),
+                factor: 0.5,
+            },
+            0.1,
+            5.0,
+        ))
+        .unwrap();
+        plan.push_timed(timed(FaultKind::PlannerOutage, 2.0, 3.0))
+            .unwrap();
+        let mut timeline = Timeline::new();
+        record_timed_fault_spans(&mut timeline, &plan, 1.0);
+        let spans = timeline.spans();
+        // Straggler (1 span) + link (2 spans); the outage starts past
+        // the horizon and is dropped.
+        assert_eq!(spans.len(), 3);
+        assert!(spans.iter().all(|s| s.label == SpanLabel::Fault));
+        assert!(spans
+            .iter()
+            .any(|s| s.device == d(1) && s.stream == StreamKind::Compute && s.end == 0.6));
+        assert!(spans
+            .iter()
+            .filter(|s| s.stream == StreamKind::A2a)
+            .all(|s| s.start == 0.1 && s.end == 1.0));
     }
 
     #[test]

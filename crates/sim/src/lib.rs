@@ -48,5 +48,8 @@ pub use collective::{
     reduce_scatter_time, A2aMatrix, CollectiveError,
 };
 pub use engine::{Engine, SpanHandle, StreamKind};
-pub use faults::{record_fault_spans, ActiveFaults, FaultError, FaultEvent, FaultKind, FaultPlan};
+pub use faults::{
+    record_fault_spans, record_timed_fault_spans, ActiveFaults, FaultError, FaultEvent, FaultKind,
+    FaultPlan, TimedFaultEvent,
+};
 pub use timeline::{Breakdown, Span, SpanLabel, Timeline};

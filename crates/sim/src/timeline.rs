@@ -33,6 +33,11 @@ pub enum SpanLabel {
     /// failure) — an annotation span, not accounted work, so it lives
     /// outside every breakdown bucket.
     Fault,
+    /// A resilience episode: the window from failure detection until
+    /// serving resumed on the re-laid-out survivors (or rejoined
+    /// devices). Like [`SpanLabel::Fault`], an annotation span outside
+    /// every breakdown bucket.
+    Recovery,
 }
 
 impl SpanLabel {
@@ -49,6 +54,13 @@ impl SpanLabel {
             SpanLabel::Attention | SpanLabel::TensorParallel | SpanLabel::Other
         )
     }
+
+    /// Whether this label is an overlay annotation (fault or recovery
+    /// window) rather than accounted work. Annotation spans are
+    /// excluded from makespans, occupancy and breakdown buckets.
+    pub fn is_annotation(self) -> bool {
+        matches!(self, SpanLabel::Fault | SpanLabel::Recovery)
+    }
 }
 
 impl fmt::Display for SpanLabel {
@@ -63,6 +75,7 @@ impl fmt::Display for SpanLabel {
             SpanLabel::Relayout => "relayout",
             SpanLabel::Other => "other",
             SpanLabel::Fault => "fault",
+            SpanLabel::Recovery => "recovery",
         };
         f.write_str(s)
     }
@@ -125,13 +138,13 @@ impl Timeline {
     }
 
     /// Latest end time across all spans (the makespan), or 0 if empty.
-    /// [`SpanLabel::Fault`] annotation spans are excluded — a fault
-    /// window outlasting the last real span must not inflate the
+    /// Annotation spans (fault and recovery windows) are excluded — a
+    /// fault window outlasting the last real span must not inflate the
     /// iteration time.
     pub fn makespan(&self) -> f64 {
         self.spans
             .iter()
-            .filter(|s| s.label != SpanLabel::Fault)
+            .filter(|s| !s.label.is_annotation())
             .map(|s| s.end)
             .fold(0.0, f64::max)
     }
@@ -211,7 +224,7 @@ impl Timeline {
         let busy: f64 = self
             .spans
             .iter()
-            .filter(|s| s.device == device && s.stream == stream && s.label != SpanLabel::Fault)
+            .filter(|s| s.device == device && s.stream == stream && !s.label.is_annotation())
             .map(Span::duration)
             .sum();
         busy / makespan

@@ -525,6 +525,72 @@ mod tests {
         assert_eq!(resumed, full);
     }
 
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+        /// Satellite: a checkpoint taken *inside* an active straggler /
+        /// link-degrade window restores bit-identically. The snapshot
+        /// carries no fault state at all — the restored runner must
+        /// re-derive the mid-fault view (compute multipliers, degraded
+        /// links, planner availability) from the plan alone.
+        #[test]
+        fn checkpoint_mid_fault_restores_bit_identically(
+            seed in 0u64..10_000,
+            device in 0usize..32,
+            factor in 1.5f64..4.0,
+            link_factor in 0.1f64..0.9,
+            start in 2u64..6,
+            len in 3u64..6,
+            sys in proptest::prelude::prop_oneof![
+                proptest::prelude::Just(SystemKind::Laer),
+                proptest::prelude::Just(SystemKind::FsdpEp),
+            ],
+        ) {
+            use proptest::prelude::{prop_assert, prop_assert_eq};
+
+            let end = start + len;
+            let mut plan = FaultPlan::new();
+            plan.push(FaultEvent {
+                kind: FaultKind::Straggler {
+                    device: DeviceId::new(device),
+                    factor,
+                },
+                start,
+                end,
+            })
+            .unwrap();
+            plan.push(FaultEvent {
+                kind: FaultKind::LinkDegrade {
+                    a: DeviceId::new(device),
+                    b: DeviceId::new((device + 7) % 32),
+                    factor: link_factor,
+                },
+                start,
+                end,
+            })
+            .unwrap();
+            let cfg = quick(sys).with_seed(seed);
+            let total = end + 3;
+            // Cut strictly inside the fault window.
+            let cut = start + len / 2;
+            prop_assert!(cut > start && cut < end);
+
+            let mut uninterrupted = FaultRunner::new(cfg.clone(), plan.clone());
+            let full = uninterrupted.run(total).unwrap();
+            prop_assert!(full[cut as usize].degraded, "cut must land mid-fault");
+
+            let mut first = FaultRunner::new(cfg.clone(), plan.clone());
+            let head = first.run(cut).unwrap();
+            let ckpt = first.checkpoint();
+            let mut second = FaultRunner::new(cfg, plan);
+            second.restore(ckpt).unwrap();
+            let tail = second.run(total - cut).unwrap();
+
+            let resumed: Vec<IterationReport> = head.into_iter().chain(tail).collect();
+            prop_assert_eq!(resumed, full);
+        }
+    }
+
     /// Straggler iterations render fault spans into the Chrome trace.
     #[test]
     fn trace_renders_fault_spans() {
