@@ -5,12 +5,17 @@
 //!
 //! * [`PlanningMode::Async`] (default) — faithful to the Fig. 7
 //!   workflow: the layout tuner runs asynchronously on the CPU using the
-//!   routing information of *previous* iterations (smoothed by
-//!   [`LoadPredictor`]), so the layout a layer executes is one iteration
+//!   routing information of *previous* iterations (bridged by a
+//!   [`Predictor`]), so the layout a layer executes is one iteration
 //!   stale; the synchronous lite-routing dispatcher then routes the
 //!   actual demand on that layout.
 //! * [`PlanningMode::Oracle`] — plans with the current iteration's
 //!   demand; an upper bound useful for measuring the staleness cost.
+//!
+//! Under async planning the demand predictor is pluggable
+//! ([`PredictorKind`]): the paper's EMA by default, or recorded-trace
+//! replay foresight ([`LaerSystem::install_replay`]) for RL
+//! post-training workloads whose train phases re-visit rollout prompts.
 
 use crate::context::SystemContext;
 use crate::system::{audit_belief, LayerPlan, MoeSystem, SystemError};
@@ -18,10 +23,10 @@ use laer_cluster::DegradedView;
 use laer_fsep::ScheduleOptions;
 use laer_obs::PlanAudit;
 use laer_planner::{
-    lite_route, CostParams, ExpertLayout, LoadPredictor, Plan, PlanError, Planner, PlannerConfig,
-    ReplicaScheme,
+    lite_route, AnyPredictor, CostParams, ExpertLayout, Plan, PlanError, Planner, PlannerConfig,
+    Predictor, PredictorKind, ReplayPredictor, ReplicaScheme,
 };
-use laer_routing::RoutingMatrix;
+use laer_routing::{RoutingMatrix, RoutingTrace};
 use serde::{Deserialize, Serialize};
 
 /// How the layout tuner sees the routing demand.
@@ -64,10 +69,14 @@ impl Belief {
 /// what a training checkpoint must capture to resume bit-identically).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct LayerState {
-    predictor: LoadPredictor,
+    predictor: AnyPredictor,
     next_layout: Option<ExpertLayout>,
     /// Belief attached to `next_layout`, consumed with it.
     next_belief: Option<Belief>,
+    /// Whether `next_layout` was planned from recorded-trace foresight
+    /// (audited with trigger "replay" instead of "periodic").
+    #[serde(default)]
+    next_from_replay: bool,
     /// The layout executed by the most recent iteration — the staleness
     /// fallback while the planner process is unreachable.
     last_layout: Option<ExpertLayout>,
@@ -76,15 +85,25 @@ struct LayerState {
 }
 
 impl LayerState {
-    fn fresh() -> Self {
+    fn fresh(predictor: AnyPredictor) -> Self {
         Self {
-            predictor: LoadPredictor::default_ema(),
+            predictor,
             next_layout: None,
             next_belief: None,
+            next_from_replay: false,
             last_layout: None,
             last_belief: None,
         }
     }
+}
+
+/// Recorded-trace replay setup shared by all layers: one trace per
+/// layer, a mismatch-noise knob and the seed of the noise stream.
+#[derive(Debug, Clone)]
+struct ReplaySetup {
+    traces: Vec<RoutingTrace>,
+    noise: f64,
+    seed: u64,
 }
 
 /// Serialized form of [`LaerSystem`]'s mutable state.
@@ -101,6 +120,9 @@ pub struct LaerSystem {
     schedule: ScheduleOptions,
     mode: PlanningMode,
     layers: Vec<LayerState>,
+    /// Installed replay traces (RL train phases); `None` means the
+    /// configured predictor kind falls back to EMA.
+    replay: Option<ReplaySetup>,
     /// Whether the asynchronous CPU planner process is reachable.
     planner_available: bool,
 }
@@ -134,6 +156,7 @@ impl LaerSystem {
             schedule,
             mode: PlanningMode::Async,
             layers: Vec::new(),
+            replay: None,
             planner_available: true,
         }
     }
@@ -155,6 +178,73 @@ impl LaerSystem {
         self
     }
 
+    /// Switches the tuner to recorded-trace replay foresight
+    /// ([`PredictorKind::Replay`]): builder form of
+    /// [`Self::install_replay`].
+    pub fn with_replay(mut self, traces: Vec<RoutingTrace>, noise: f64, seed: u64) -> Self {
+        self.install_replay(traces, noise, seed);
+        self
+    }
+
+    /// Installs (or replaces) per-layer replay traces: `traces[l]`
+    /// serves layer `l`'s demand foresight, perturbed by `noise` (0 =
+    /// verbatim) with a deterministic stream keyed on `seed`.
+    ///
+    /// Every covered layer's predictor restarts at its new trace's
+    /// first iteration — this is what an RL train phase calls at each
+    /// epoch boundary with that epoch's rollout recording. Because the
+    /// new trace supersedes whatever history the tuner planned from, any
+    /// already-prepared layout is re-planned from the trace's first
+    /// iteration (while the planner process is reachable), so foresight
+    /// applies from the very first replayed step. Layers without a
+    /// trace keep EMA behaviour, as does any layer once its trace is
+    /// exhausted (the replay predictor's built-in fallback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a trace's matrix shapes disagree with the cluster
+    /// topology (the planner's documented preconditions).
+    pub fn install_replay(&mut self, traces: Vec<RoutingTrace>, noise: f64, seed: u64) {
+        self.planner = self.planner.clone().with_predictor(PredictorKind::Replay);
+        self.replay = Some(ReplaySetup {
+            traces,
+            noise,
+            seed,
+        });
+        for layer in 0..self.layers.len() {
+            self.layers[layer].predictor = self.fresh_predictor(layer);
+            if !self.planner_available {
+                continue;
+            }
+            let Some(predicted) = self.layers[layer].predictor.predict() else {
+                continue;
+            };
+            let from_replay = self.layers[layer].predictor.serving_trace();
+            if let Some(next) = self.plan_on_network(&predicted) {
+                self.layers[layer].next_belief = Some(Belief::of(&next));
+                self.layers[layer].next_layout = Some(next.layout);
+                self.layers[layer].next_from_replay = from_replay;
+            }
+        }
+    }
+
+    /// The predictor a freshly materialized layer starts with, per the
+    /// planner configuration's [`PredictorKind`].
+    fn fresh_predictor(&self, layer: usize) -> AnyPredictor {
+        if self.planner.config().predictor == PredictorKind::Replay {
+            if let Some(setup) = &self.replay {
+                if let Some(trace) = setup.traces.get(layer) {
+                    return AnyPredictor::Replay(ReplayPredictor::new(
+                        trace.clone(),
+                        setup.noise,
+                        setup.seed.wrapping_add(layer as u64),
+                    ));
+                }
+            }
+        }
+        AnyPredictor::default_ema()
+    }
+
     /// The planning mode in use.
     pub fn mode(&self) -> PlanningMode {
         self.mode
@@ -167,7 +257,8 @@ impl LaerSystem {
 
     fn layer_state(&mut self, layer: usize) -> &mut LayerState {
         while self.layers.len() <= layer {
-            self.layers.push(LayerState::fresh());
+            let predictor = self.fresh_predictor(self.layers.len());
+            self.layers.push(LayerState::fresh(predictor));
         }
         &mut self.layers[layer]
     }
@@ -200,7 +291,12 @@ impl LaerSystem {
         let state = self.layer_state(layer);
         if let Some(layout) = state.next_layout.take() {
             let belief = state.next_belief.take();
-            return (layout, "periodic", belief);
+            let trigger = if state.next_from_replay {
+                "replay"
+            } else {
+                "periodic"
+            };
+            return (layout, trigger, belief);
         }
         if !planner_available {
             if let Some(last) = state.last_layout.clone() {
@@ -263,10 +359,19 @@ impl MoeSystem for LaerSystem {
                 // only while the planner process is reachable; during an
                 // outage the system keeps re-executing `last_layout`.
                 let state = self.layer_state(layer);
-                state.predictor.observe(demand);
+                if state.predictor.observe(demand).is_err() {
+                    // Demand re-shaped mid-run: the accumulated history
+                    // (and any installed trace) no longer describes
+                    // this cluster. Restart from a fresh EMA — the
+                    // first observation of which cannot fail — rather
+                    // than poisoning the old state.
+                    state.predictor = AnyPredictor::default_ema();
+                    let _ = state.predictor.observe(demand);
+                }
                 state.last_layout = Some(layout.clone());
                 state.last_belief = belief;
                 if self.planner_available {
+                    let from_replay = self.layers[layer].predictor.serving_trace();
                     let predicted = self.layers[layer]
                         .predictor
                         .predict()
@@ -275,10 +380,12 @@ impl MoeSystem for LaerSystem {
                         Some(next) => {
                             self.layers[layer].next_belief = Some(Belief::of(&next));
                             self.layers[layer].next_layout = Some(next.layout);
+                            self.layers[layer].next_from_replay = from_replay;
                         }
                         None => {
                             self.layers[layer].next_layout = Some(layout.clone());
                             self.layers[layer].next_belief = None;
+                            self.layers[layer].next_from_replay = false;
                         }
                     }
                 }
@@ -326,6 +433,7 @@ impl MoeSystem for LaerSystem {
         for state in &mut self.layers {
             state.next_layout = None;
             state.next_belief = None;
+            state.next_from_replay = false;
             state.last_layout = None;
             state.last_belief = None;
         }
@@ -524,6 +632,60 @@ mod tests {
         }
         // A malformed snapshot is a typed error.
         assert!(b.restore(&serde::Value::Bool(true)).is_err());
+    }
+
+    /// With the exact upcoming demands installed as a replay trace
+    /// (noise 0), async planning becomes oracle planning: the cold
+    /// start plans on the current demand (as oracle does) and every
+    /// prepared layout is planned on the *actual* next demand.
+    #[test]
+    fn replay_foresight_matches_oracle() {
+        let cfg = RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(77);
+        let trace = laer_routing::RoutingTrace::record(cfg, 10);
+        let mut replay = LaerSystem::new(ctx()).with_replay(vec![trace.clone()], 0.0, 0);
+        let mut oracle = LaerSystem::new(ctx()).with_mode(PlanningMode::Oracle);
+        for (it, demand) in trace.iter().enumerate() {
+            let pr = replay.plan_layer(0, it as u64, demand);
+            let po = oracle.plan_layer(0, it as u64, demand);
+            assert_eq!(pr.layout, po.layout, "iter {it}");
+            assert_eq!(pr.routing.entries(), po.routing.entries(), "iter {it}");
+            if it > 0 {
+                assert_eq!(pr.audit.trigger, "replay", "iter {it}");
+            }
+        }
+    }
+
+    /// Past the end of its trace the replay system keeps running on the
+    /// EMA fallback instead of going cold, and re-installing a fresh
+    /// trace restores foresight ("replay" audit trigger).
+    #[test]
+    fn replay_trace_end_falls_back_then_reinstall_restores() {
+        let cfg = RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(78);
+        let trace = laer_routing::RoutingTrace::record(cfg.clone(), 3);
+        let mut laer = LaerSystem::new(ctx()).with_replay(vec![trace.clone()], 0.0, 0);
+        let mut gen = RoutingGenerator::new(cfg);
+        for it in 0..6u64 {
+            let demand = gen.next_iteration();
+            let plan = laer.plan_layer(0, it, &demand);
+            assert!(plan.routing.validate(&demand, &plan.layout).is_ok());
+            // Layouts planned past the trace end audit as "periodic"
+            // (EMA fallback), not "replay".
+            if it >= 4 {
+                assert_eq!(plan.audit.trigger, "periodic", "iter {it}");
+            }
+        }
+        let next_epoch = laer_routing::RoutingTrace::record(
+            RoutingGeneratorConfig::new(32, 8, 32 * 1024).with_seed(79),
+            3,
+        );
+        laer.install_replay(vec![next_epoch.clone()], 0.0, 1);
+        let mut triggers = Vec::new();
+        for (it, demand) in next_epoch.iter().enumerate() {
+            let plan = laer.plan_layer(0, 6 + it as u64, demand);
+            triggers.push(plan.audit.trigger.clone());
+        }
+        assert_eq!(triggers[1], "replay");
+        assert_eq!(triggers[2], "replay");
     }
 
     #[test]

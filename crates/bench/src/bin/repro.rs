@@ -6,8 +6,8 @@
 //!
 //! targets: fig1a fig1b fig1 fig2 tab2 eq1 fig8 fig9 fig10a fig10b
 //!          fig11 fig12 tab3 tab4 ext-refine ext-staleness ext-rack
-//!          ext-overlap ext-pipeline ext-faults ext-serve ext-chaos
-//!          ext-obs all harness-bench
+//!          ext-overlap ext-pipeline ext-replay ext-faults ext-serve
+//!          ext-chaos ext-obs all harness-bench
 //! ```
 //!
 //! `--jobs N` fans the target's independent experiment cells across `N`
@@ -28,13 +28,13 @@
 use laer_bench::pool::Batch;
 use laer_bench::{
     eq1, ext_chaos, ext_faults, ext_obs, ext_overlap, ext_pipeline, ext_rack, ext_refine,
-    ext_serve, ext_staleness, fig1, fig10, fig11, fig12, fig2, fig8, fig9, pool, tab2, tab3, tab4,
-    Effort,
+    ext_replay, ext_serve, ext_staleness, fig1, fig10, fig11, fig12, fig2, fig8, fig9, pool, tab2,
+    tab3, tab4, Effort,
 };
 use std::time::Instant;
 
 /// Target order of `repro all`.
-const ALL_TARGETS: [&str; 20] = [
+const ALL_TARGETS: [&str; 21] = [
     "tab2",
     "eq1",
     "fig1",
@@ -51,6 +51,7 @@ const ALL_TARGETS: [&str; 20] = [
     "ext-rack",
     "ext-overlap",
     "ext-pipeline",
+    "ext-replay",
     "ext-faults",
     "ext-serve",
     "ext-chaos",
@@ -96,8 +97,8 @@ fn main() {
         eprintln!(
             "usage: repro <target> [--quick|--full] [--jobs N] [--iters N] [--update-baseline] [--baseline PATH] [--tolerance F]\n\
              targets: fig1a fig1b fig1 fig2 tab2 eq1 fig8 fig9 fig10a fig10b fig11 fig12 tab3 tab4 \
-             ext-refine ext-staleness ext-rack ext-overlap ext-pipeline ext-faults ext-serve \
-             ext-chaos ext-obs all harness-bench"
+             ext-refine ext-staleness ext-rack ext-overlap ext-pipeline ext-replay ext-faults \
+             ext-serve ext-chaos ext-obs all harness-bench"
         );
         std::process::exit(if target == "help" { 0 } else { 2 });
     }
@@ -187,6 +188,9 @@ fn dispatch(
         }
         "ext-pipeline" => {
             ext_pipeline::run_jobs(jobs);
+        }
+        "ext-replay" => {
+            ext_replay::run_jobs(effort, jobs);
         }
         "ext-faults" => {
             ext_faults::run_jobs(jobs);
@@ -332,6 +336,13 @@ fn run_all(effort: Effort, jobs: usize, iters: Option<usize>, obs: &ext_obs::Obs
                 let p = ext_pipeline::submit(&mut batch);
                 Box::new(move || {
                     ext_pipeline::finish(p);
+                    true
+                })
+            }
+            "ext-replay" => {
+                let p = ext_replay::submit(&mut batch, effort);
+                Box::new(move || {
+                    ext_replay::finish(p);
                     true
                 })
             }

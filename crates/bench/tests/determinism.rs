@@ -80,6 +80,35 @@ fn ext_pipeline_is_byte_identical_across_job_counts() {
     }
 }
 
+/// The pooled `ext-replay` sweep — RL rollout→train epochs under both
+/// predictor modes — reproduces its stdout and all four artifacts (the
+/// sweep JSON, the per-iteration/per-epoch journal, the per-cell
+/// metrics export and the headline Chrome trace) byte for byte at any
+/// job count.
+#[test]
+fn ext_replay_is_byte_identical_across_job_counts() {
+    let (serial, serial_dir) = repro("replay", 1, &["ext-replay", "--quick"]);
+    let (pooled, pooled_dir) = repro("replay", 2, &["ext-replay", "--quick"]);
+    assert!(serial.status.success(), "serial run failed");
+    assert!(pooled.status.success(), "pooled run failed");
+    assert_eq!(
+        serial.stdout, pooled.stdout,
+        "ext-replay stdout must be byte-identical across job counts"
+    );
+    for artifact in [
+        "ext_replay.json",
+        "ext_replay_journal.jsonl",
+        "ext_replay_metrics.txt",
+        "ext_replay_trace.json",
+    ] {
+        assert_eq!(
+            read(&serial_dir, artifact),
+            read(&pooled_dir, artifact),
+            "{artifact} must be byte-identical across job counts"
+        );
+    }
+}
+
 /// The chaos sweep — fault injection, retries, brownout, elastic
 /// recovery — reproduces its stdout and all five artifacts (the sweep
 /// JSON, the replayable fault plans, the headline Chrome trace and the

@@ -167,6 +167,30 @@ pub struct ServeStepRecord {
     pub live_devices: u64,
 }
 
+/// One epoch of an RL post-training run: the rollout phase records
+/// routing traces, the train phase replays them with the configured
+/// predictor, and this record joins the epoch's headline outcomes so
+/// foresight-vs-EMA error is visible per predictor mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RlEpochRecord {
+    /// System identifier (mode-qualified, e.g. `laer-moe[replay]`).
+    pub system: String,
+    /// Predictor mode of the train phase (`ema` or `replay`).
+    pub mode: String,
+    /// Epoch index.
+    pub epoch: u64,
+    /// Rollouts recorded (= train iterations replayed) this epoch.
+    pub rollouts: u64,
+    /// Rollout→train demand-drift fraction applied this epoch.
+    pub drift: f64,
+    /// Average train-phase step time, seconds.
+    pub avg_step_time: f64,
+    /// Mean |predicted-actual|/actual over the epoch's plan decisions.
+    pub audit_mean_abs_rel_error: f64,
+    /// Expert-weight relocations executed across the epoch's layouts.
+    pub relocation_moves: u64,
+}
+
 /// The journal: an ordered list of serialised events.
 #[derive(Debug, Clone, Default)]
 pub struct Journal {

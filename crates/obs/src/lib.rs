@@ -50,7 +50,7 @@ pub use counters::{queue_depth_track, stream_utilization_tracks};
 pub use gate::{gate_snapshots, BenchSnapshot, GateCheck, GateReport, GateStatus, SnapshotRow};
 pub use journal::{
     ChunkOverlap, CommOverlap, HistogramSnapshot, IterationRecord, Journal, ResilienceRecord,
-    ServeStepRecord, ServingRecord, StreamUtilization,
+    RlEpochRecord, ServeStepRecord, ServingRecord, StreamUtilization,
 };
 pub use registry::{Histogram, MetricKind, MetricsRegistry};
 

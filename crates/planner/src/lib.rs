@@ -61,7 +61,9 @@ pub use cost::{time_cost, CostBreakdown, CostParams};
 pub use exact::exhaustive_best_layout;
 pub use layout::{ExpertLayout, LayoutError};
 pub use lite_routing::lite_route;
-pub use predictor::LoadPredictor;
+pub use predictor::{
+    AnyPredictor, LoadPredictor, PredictError, Predictor, PredictorKind, ReplayPredictor,
+};
 pub use refine::{refine_layout, RefinedPlan};
 pub use relocation::{expert_relocation, expert_relocation_on, relocation_moves, RelocationMove};
 pub use replica::{even_replicas, replica_allocation};

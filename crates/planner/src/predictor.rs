@@ -5,12 +5,68 @@
 //! routing information plus "historical data from previous iterations"
 //! and produces the re-layout strategy for the **next** iteration of
 //! that layer. The layout a layer executes is therefore one iteration
-//! stale; [`LoadPredictor`] smooths that staleness with an exponential
-//! moving average over routing matrices.
+//! stale. The [`Predictor`] trait is the seam for anything that bridges
+//! that staleness:
+//!
+//! * [`LoadPredictor`] smooths it with an exponential moving average
+//!   over routing matrices (the paper's operating point);
+//! * [`ReplayPredictor`] eliminates it when demand is *replayable* — RL
+//!   post-training re-visits the same prompts across rollout→train
+//!   epochs, so a recorded [`RoutingTrace`] is near-perfect foresight
+//!   (ReLibra / "Harnessing Routing Foresight");
+//! * [`AnyPredictor`] is the serializable closed sum the LAER system
+//!   checkpoints, selected by [`PredictorKind`] in `PlannerConfig`.
 
 use laer_cluster::{DeviceId, ExpertId};
-use laer_routing::RoutingMatrix;
+use laer_routing::{RoutingMatrix, RoutingTrace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Typed failure from [`Predictor::observe`]: the planner paths are
+/// panic-free (workspace `unwrap_used` lint), so a routing matrix whose
+/// shape disagrees with history is reported, not asserted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictError {
+    /// The observed matrix shape differs from previous observations.
+    ShapeChanged {
+        /// (devices, experts) established by earlier observations.
+        expected: (usize, usize),
+        /// (devices, experts) of the offending observation.
+        got: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::ShapeChanged { expected, got } => write!(
+                f,
+                "shape changed: expected {}x{} routing matrix, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+/// Demand predictor interface for the asynchronous tuner (Fig. 7).
+///
+/// The tuner calls [`observe`](Predictor::observe) with each executed
+/// iteration's routing matrix and [`predict`](Predictor::predict) for
+/// the demand it should plan the *next* iteration against.
+pub trait Predictor {
+    /// Feeds one iteration's observed routing matrix.
+    fn observe(&mut self, observed: &RoutingMatrix) -> Result<(), PredictError>;
+
+    /// Predicted routing matrix for the next iteration, or `None` when
+    /// no prediction is available yet.
+    fn predict(&self) -> Option<RoutingMatrix>;
+
+    /// Whether [`predict`](Predictor::predict) would return a matrix.
+    fn is_warm(&self) -> bool;
+}
 
 /// Exponential-moving-average predictor over routing matrices.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -52,10 +108,9 @@ impl LoadPredictor {
 
     /// Feeds one iteration's observed routing matrix.
     ///
-    /// # Panics
-    ///
-    /// Panics if the shape differs from previous observations.
-    pub fn observe(&mut self, observed: &RoutingMatrix) {
+    /// Returns [`PredictError::ShapeChanged`] if the shape differs from
+    /// previous observations; the EMA state is left untouched.
+    pub fn observe(&mut self, observed: &RoutingMatrix) -> Result<(), PredictError> {
         let (d, e) = (observed.num_devices(), observed.num_experts());
         match &mut self.state {
             None => {
@@ -69,13 +124,19 @@ impl LoadPredictor {
                 );
             }
             Some(state) => {
-                assert_eq!((d, e), (self.devices, self.experts), "shape changed");
+                if (d, e) != (self.devices, self.experts) {
+                    return Err(PredictError::ShapeChanged {
+                        expected: (self.devices, self.experts),
+                        got: (d, e),
+                    });
+                }
                 for (idx, slot) in state.iter_mut().enumerate() {
                     let v = observed.row(DeviceId::new(idx / e))[idx % e] as f64;
                     *slot = self.alpha * v + (1.0 - self.alpha) * *slot;
                 }
             }
         }
+        Ok(())
     }
 
     /// Predicted routing matrix for the next iteration (rounded EMA).
@@ -96,9 +157,204 @@ impl LoadPredictor {
     }
 }
 
+impl Predictor for LoadPredictor {
+    fn observe(&mut self, observed: &RoutingMatrix) -> Result<(), PredictError> {
+        LoadPredictor::observe(self, observed)
+    }
+
+    fn predict(&self) -> Option<RoutingMatrix> {
+        LoadPredictor::predict(self)
+    }
+
+    fn is_warm(&self) -> bool {
+        LoadPredictor::is_warm(self)
+    }
+}
+
+/// Foresight predictor replaying a recorded [`RoutingTrace`].
+///
+/// Each [`observe`](Predictor::observe) advances a cursor through the
+/// trace; [`predict`](Predictor::predict) serves the *next* recorded
+/// iteration — exact demand foresight when the workload re-executes the
+/// recorded prompts in order (RL train phases over rollout traces). A
+/// `noise` knob models rollout→train mismatch by perturbing each served
+/// cell deterministically, and past the end of the trace the predictor
+/// degrades gracefully to the EMA it has been feeding all along.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayPredictor {
+    trace: RoutingTrace,
+    /// Iterations observed so far; `predict` serves `trace[cursor]`.
+    cursor: usize,
+    /// Relative per-cell perturbation amplitude in [0, 1]; 0 replays
+    /// recorded matrices verbatim.
+    noise: f64,
+    noise_seed: u64,
+    fallback: LoadPredictor,
+}
+
+impl ReplayPredictor {
+    /// Creates a replay predictor over `trace`.
+    ///
+    /// `noise` is the relative mismatch amplitude (0 = verbatim replay)
+    /// and `noise_seed` makes the perturbation stream deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise` is not in `[0, 1]`.
+    pub fn new(trace: RoutingTrace, noise: f64, noise_seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&noise), "noise must be in [0, 1]");
+        Self {
+            trace,
+            cursor: 0,
+            noise,
+            noise_seed,
+            fallback: LoadPredictor::default_ema(),
+        }
+    }
+
+    /// Iterations of the recorded trace still ahead of the cursor.
+    pub fn remaining(&self) -> usize {
+        self.trace.len().saturating_sub(self.cursor)
+    }
+
+    /// Whether the next prediction comes from the recorded trace (vs
+    /// the EMA fallback past the trace end).
+    pub fn serving_trace(&self) -> bool {
+        self.cursor < self.trace.len()
+    }
+
+    /// Serves `trace[cursor]`, perturbed when `noise > 0`.
+    fn serve(&self, index: usize) -> Option<RoutingMatrix> {
+        let recorded = self.trace.get(index)?;
+        if self.noise == 0.0 {
+            return Some(recorded.clone());
+        }
+        let mut rng = StdRng::seed_from_u64(
+            self.noise_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let (d, e) = (recorded.num_devices(), recorded.num_experts());
+        let mut out = RoutingMatrix::zeros(d, e)
+            .unwrap_or_else(|_| unreachable!("recorded shapes are non-empty"));
+        for dev in 0..d {
+            for exp in 0..e {
+                let v = recorded.get(DeviceId::new(dev), ExpertId::new(exp)) as f64;
+                let factor = 1.0 + self.noise * rng.gen_range(-1.0f64..1.0);
+                out.set(
+                    DeviceId::new(dev),
+                    ExpertId::new(exp),
+                    (v * factor).round().max(0.0) as u64,
+                );
+            }
+        }
+        Some(out)
+    }
+}
+
+impl Predictor for ReplayPredictor {
+    /// Advances the replay cursor and feeds the EMA fallback.
+    ///
+    /// The cursor advances unconditionally — replay position is keyed
+    /// by iteration count, not matrix contents — so a shape error from
+    /// the fallback still leaves the trace in sync with execution.
+    fn observe(&mut self, observed: &RoutingMatrix) -> Result<(), PredictError> {
+        self.cursor += 1;
+        self.fallback.observe(observed)
+    }
+
+    fn predict(&self) -> Option<RoutingMatrix> {
+        self.serve(self.cursor).or_else(|| self.fallback.predict())
+    }
+
+    fn is_warm(&self) -> bool {
+        self.serving_trace() || self.fallback.is_warm()
+    }
+}
+
+/// Closed, serializable sum of the predictor implementations, so the
+/// LAER system's per-layer state (and its checkpoints) can hold either
+/// without generics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum AnyPredictor {
+    /// EMA smoothing of observed demand ([`LoadPredictor`]).
+    Ema(LoadPredictor),
+    /// Recorded-trace foresight ([`ReplayPredictor`]).
+    Replay(ReplayPredictor),
+}
+
+impl AnyPredictor {
+    /// The paper's default: EMA with `alpha = 0.75`.
+    pub fn default_ema() -> Self {
+        AnyPredictor::Ema(LoadPredictor::default_ema())
+    }
+
+    /// Which [`PredictorKind`] this predictor is.
+    pub fn kind(&self) -> PredictorKind {
+        match self {
+            AnyPredictor::Ema(_) => PredictorKind::Ema,
+            AnyPredictor::Replay(_) => PredictorKind::Replay,
+        }
+    }
+
+    /// Whether the next prediction is served from a recorded trace.
+    pub fn serving_trace(&self) -> bool {
+        match self {
+            AnyPredictor::Ema(_) => false,
+            AnyPredictor::Replay(r) => r.serving_trace(),
+        }
+    }
+}
+
+impl Predictor for AnyPredictor {
+    fn observe(&mut self, observed: &RoutingMatrix) -> Result<(), PredictError> {
+        match self {
+            AnyPredictor::Ema(p) => Predictor::observe(p, observed),
+            AnyPredictor::Replay(p) => p.observe(observed),
+        }
+    }
+
+    fn predict(&self) -> Option<RoutingMatrix> {
+        match self {
+            AnyPredictor::Ema(p) => Predictor::predict(p),
+            AnyPredictor::Replay(p) => Predictor::predict(p),
+        }
+    }
+
+    fn is_warm(&self) -> bool {
+        match self {
+            AnyPredictor::Ema(p) => Predictor::is_warm(p),
+            AnyPredictor::Replay(p) => Predictor::is_warm(p),
+        }
+    }
+}
+
+/// Which demand predictor the planner configuration selects.
+///
+/// `Replay` additionally needs a recorded trace installed on the
+/// consuming system (`LaerSystem::with_replay`); until one is, systems
+/// fall back to EMA behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// Exponential moving average of observed demand (the paper).
+    #[default]
+    Ema,
+    /// Recorded routing-trace foresight (RL replay workloads).
+    Replay,
+}
+
+impl PredictorKind {
+    /// Stable lowercase identifier used in artifact/journal labels.
+    pub fn id(self) -> &'static str {
+        match self {
+            PredictorKind::Ema => "ema",
+            PredictorKind::Replay => "replay",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use laer_routing::{RoutingGenerator, RoutingGeneratorConfig};
 
     fn matrix(vals: &[u64]) -> RoutingMatrix {
         RoutingMatrix::from_rows(2, 2, vals.to_vec()).unwrap()
@@ -109,7 +365,7 @@ mod tests {
         let mut p = LoadPredictor::new(0.5);
         assert!(!p.is_warm());
         assert!(p.predict().is_none());
-        p.observe(&matrix(&[10, 20, 30, 40]));
+        p.observe(&matrix(&[10, 20, 30, 40])).unwrap();
         assert!(p.is_warm());
         assert_eq!(p.predict().unwrap(), matrix(&[10, 20, 30, 40]));
     }
@@ -117,8 +373,8 @@ mod tests {
     #[test]
     fn ema_blends_history() {
         let mut p = LoadPredictor::new(0.5);
-        p.observe(&matrix(&[10, 0, 0, 0]));
-        p.observe(&matrix(&[30, 0, 0, 0]));
+        p.observe(&matrix(&[10, 0, 0, 0])).unwrap();
+        p.observe(&matrix(&[30, 0, 0, 0])).unwrap();
         // 0.5*30 + 0.5*10 = 20.
         assert_eq!(
             p.predict().unwrap().get(DeviceId::new(0), ExpertId::new(0)),
@@ -129,8 +385,8 @@ mod tests {
     #[test]
     fn alpha_one_tracks_last() {
         let mut p = LoadPredictor::new(1.0);
-        p.observe(&matrix(&[10, 20, 30, 40]));
-        p.observe(&matrix(&[1, 2, 3, 4]));
+        p.observe(&matrix(&[10, 20, 30, 40])).unwrap();
+        p.observe(&matrix(&[1, 2, 3, 4])).unwrap();
         assert_eq!(p.predict().unwrap(), matrix(&[1, 2, 3, 4]));
     }
 
@@ -139,12 +395,11 @@ mod tests {
     /// property that makes one-iteration-stale layouts effective.
     #[test]
     fn prediction_beats_uniform_on_synthetic_trace() {
-        use laer_routing::{RoutingGenerator, RoutingGeneratorConfig};
         let mut gen = RoutingGenerator::new(RoutingGeneratorConfig::new(8, 8, 8192).with_seed(21));
         let mut p = LoadPredictor::default_ema();
         let mut err_pred = 0.0f64;
         let mut err_uniform = 0.0f64;
-        p.observe(&gen.next_iteration());
+        p.observe(&gen.next_iteration()).unwrap();
         for _ in 0..30 {
             let next = gen.next_iteration();
             let predicted = p.predict().expect("warm").expert_loads();
@@ -156,7 +411,7 @@ mod tests {
             for ac in &actual {
                 err_uniform += (uniform - *ac as f64).abs();
             }
-            p.observe(&next);
+            p.observe(&next).unwrap();
         }
         assert!(
             err_pred < err_uniform * 0.5,
@@ -170,11 +425,122 @@ mod tests {
         let _ = LoadPredictor::new(0.0);
     }
 
+    /// Mid-run shape changes are a typed error, not a panic, and leave
+    /// the EMA state untouched.
     #[test]
-    #[should_panic(expected = "shape changed")]
-    fn shape_change_panics() {
+    fn shape_change_is_typed_error() {
         let mut p = LoadPredictor::new(0.5);
-        p.observe(&matrix(&[1, 2, 3, 4]));
-        p.observe(&RoutingMatrix::zeros(3, 2).unwrap());
+        p.observe(&matrix(&[1, 2, 3, 4])).unwrap();
+        let err = p
+            .observe(&RoutingMatrix::zeros(3, 2).unwrap())
+            .expect_err("shape change must be reported");
+        assert_eq!(
+            err,
+            PredictError::ShapeChanged {
+                expected: (2, 2),
+                got: (3, 2),
+            }
+        );
+        assert!(err.to_string().contains("shape changed"));
+        // State survives: the predictor still serves the old shape.
+        assert_eq!(p.predict().unwrap(), matrix(&[1, 2, 3, 4]));
+    }
+
+    /// The EMA behind the `Predictor` trait object is bit-identical to
+    /// the concrete `LoadPredictor` on a fixed seed — the refactor is
+    /// behaviour-preserving.
+    #[test]
+    fn ema_behind_trait_is_bit_identical() {
+        let mut gen = RoutingGenerator::new(RoutingGeneratorConfig::new(4, 8, 4096).with_seed(7));
+        let mut concrete = LoadPredictor::default_ema();
+        let mut any = AnyPredictor::default_ema();
+        let boxed: &mut dyn Predictor = &mut any;
+        for _ in 0..20 {
+            let m = gen.next_iteration();
+            concrete.observe(&m).unwrap();
+            boxed.observe(&m).unwrap();
+            assert_eq!(concrete.predict(), boxed.predict());
+            assert_eq!(concrete.is_warm(), boxed.is_warm());
+        }
+    }
+
+    fn recorded_trace(iters: usize) -> RoutingTrace {
+        let cfg = RoutingGeneratorConfig::new(4, 8, 4096).with_seed(11);
+        RoutingTrace::record(cfg, iters)
+    }
+
+    /// At `noise = 0` replay serves the recorded matrices verbatim:
+    /// after observing iteration `i`, the prediction for `i + 1` is
+    /// exactly the recorded demand of `i + 1`.
+    #[test]
+    fn replay_serves_recorded_trace_verbatim() {
+        let trace = recorded_trace(6);
+        let mut p = ReplayPredictor::new(trace.clone(), 0.0, 0);
+        // Before any observation, replay predicts the first iteration.
+        assert_eq!(p.predict().as_ref(), trace.get(0));
+        for i in 0..trace.len() - 1 {
+            p.observe(trace.get(i).unwrap()).unwrap();
+            assert_eq!(p.predict().as_ref(), trace.get(i + 1));
+        }
+    }
+
+    /// Past the end of the trace, replay degrades to the EMA it has
+    /// been feeding all along instead of going cold.
+    #[test]
+    fn replay_falls_back_to_ema_past_trace_end() {
+        let trace = recorded_trace(3);
+        let mut p = ReplayPredictor::new(trace.clone(), 0.0, 0);
+        let mut ema = LoadPredictor::default_ema();
+        for i in 0..trace.len() {
+            let m = trace.get(i).unwrap();
+            p.observe(m).unwrap();
+            ema.observe(m).unwrap();
+        }
+        assert!(!p.serving_trace());
+        assert!(p.is_warm());
+        assert_eq!(p.predict(), ema.predict());
+    }
+
+    /// Noise perturbs the served matrix but is deterministic in the
+    /// seed and leaves the verbatim path untouched at 0.
+    #[test]
+    fn replay_noise_is_deterministic_and_bounded() {
+        let trace = recorded_trace(4);
+        let a = ReplayPredictor::new(trace.clone(), 0.25, 99);
+        let b = ReplayPredictor::new(trace.clone(), 0.25, 99);
+        let (pa, pb) = (a.predict().unwrap(), b.predict().unwrap());
+        assert_eq!(pa, pb, "same seed, same perturbation");
+        let recorded = trace.get(0).unwrap();
+        assert_ne!(&pa, recorded, "noise must actually perturb");
+        for dev in 0..recorded.num_devices() {
+            for exp in 0..recorded.num_experts() {
+                let v = recorded.get(DeviceId::new(dev), ExpertId::new(exp)) as f64;
+                let got = pa.get(DeviceId::new(dev), ExpertId::new(exp)) as f64;
+                assert!(
+                    (got - v).abs() <= v * 0.25 + 1.0,
+                    "cell ({dev},{exp}) moved {v} -> {got}, beyond the 25% bound"
+                );
+            }
+        }
+    }
+
+    /// A replay predictor round-trips through serde — the LAER system
+    /// checkpoints its per-layer predictors.
+    #[test]
+    fn any_predictor_serde_round_trip() {
+        let trace = recorded_trace(2);
+        let mut p = AnyPredictor::Replay(ReplayPredictor::new(trace.clone(), 0.0, 3));
+        p.observe(trace.get(0).unwrap()).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: AnyPredictor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.kind(), PredictorKind::Replay);
+        assert_eq!(p.predict(), back.predict());
+    }
+
+    #[test]
+    fn predictor_kind_defaults_to_ema_with_stable_ids() {
+        assert_eq!(PredictorKind::default(), PredictorKind::Ema);
+        assert_eq!(PredictorKind::Ema.id(), "ema");
+        assert_eq!(PredictorKind::Replay.id(), "replay");
     }
 }

@@ -145,6 +145,15 @@ pub struct PlannerConfig {
     /// serialized before the knob existed keep their meaning.
     #[serde(default)]
     pub num_chunks: usize,
+    /// Which demand predictor drives the asynchronous tuner
+    /// ([`crate::Predictor`]): the paper's EMA, or recorded-trace
+    /// replay foresight for RL post-training workloads. `Ema` is the
+    /// serde default so configs serialized before the trait existed
+    /// keep their meaning. Both kinds flow through the same
+    /// [`Planner::evaluate_scheme`] / [`Planner::plan_degraded`] paths
+    /// — only the demand they are handed differs.
+    #[serde(default)]
+    pub predictor: crate::PredictorKind,
 }
 
 impl PlannerConfig {
@@ -158,7 +167,15 @@ impl PlannerConfig {
             seed: 0,
             dedup_disabled: false,
             num_chunks: 0,
+            predictor: crate::PredictorKind::Ema,
         }
+    }
+
+    /// Selects the demand predictor kind the consuming system should
+    /// drive the tuner with.
+    pub fn with_predictor(mut self, predictor: crate::PredictorKind) -> Self {
+        self.predictor = predictor;
+        self
     }
 
     /// Sets the pipeline chunk count candidate plans are priced for
@@ -443,6 +460,14 @@ impl Planner {
         self
     }
 
+    /// Returns this planner with a different demand-predictor kind
+    /// recorded in its configuration (the consuming system constructs
+    /// the matching [`crate::Predictor`]).
+    pub fn with_predictor(mut self, predictor: crate::PredictorKind) -> Self {
+        self.cfg.predictor = predictor;
+        self
+    }
+
     /// Sweeps the executor's pipeline chunk count: plans `demand` once
     /// per candidate chunk count and returns the winner by predicted
     /// pipelined cost (strict `<`, first candidate wins ties — so the
@@ -665,6 +690,23 @@ mod tests {
         let parsed: PlannerConfig = serde_json::from_str(legacy).unwrap();
         assert_eq!(parsed.num_chunks, 0);
         assert_eq!(PlannerConfig::new(2).with_num_chunks(0).num_chunks, 1);
+    }
+
+    /// `predictor` defaults to the paper's EMA and older serialized
+    /// configs (no field) keep meaning EMA.
+    #[test]
+    fn planner_config_predictor_defaults_to_ema() {
+        use crate::PredictorKind;
+        let cfg = PlannerConfig::new(2);
+        assert_eq!(cfg.predictor, PredictorKind::Ema);
+        let legacy = "{\"capacity\":2,\"epsilon\":4,\"scheme\":\"Both\",\"seed\":0}";
+        let parsed: PlannerConfig = serde_json::from_str(legacy).unwrap();
+        assert_eq!(parsed, cfg);
+        let replay = cfg.with_predictor(PredictorKind::Replay);
+        assert_eq!(replay.predictor, PredictorKind::Replay);
+        let json = serde_json::to_string(&replay).unwrap();
+        let back: PlannerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, replay);
     }
 
     /// Chunked pricing never worsens a plan's predicted cost, keeps the

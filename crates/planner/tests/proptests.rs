@@ -8,9 +8,9 @@
 use laer_cluster::{DeviceId, ExpertId, Topology};
 use laer_planner::{
     even_replicas, expert_relocation, lite_route, replica_allocation, CostParams, LoadPredictor,
-    Planner, PlannerConfig,
+    Planner, PlannerConfig, Predictor, ReplayPredictor,
 };
-use laer_routing::RoutingMatrix;
+use laer_routing::{RoutingGeneratorConfig, RoutingMatrix, RoutingTrace};
 use proptest::prelude::*;
 
 /// Strategy: a routing matrix for `devices × experts` with entries in
@@ -169,8 +169,8 @@ proptest! {
         alpha in 0.1f64..1.0,
     ) {
         let mut p = LoadPredictor::new(alpha);
-        p.observe(&a);
-        p.observe(&b);
+        p.observe(&a).expect("first observation");
+        p.observe(&b).expect("same shape");
         let pred = p.predict().expect("warm");
         prop_assert_eq!(pred.num_devices(), 4);
         let lo = a.total().min(b.total());
@@ -178,5 +178,31 @@ proptest! {
         // Rounding may stray by at most one per cell.
         let cells = 16u64;
         prop_assert!(pred.total() + cells >= lo && pred.total() <= hi + cells);
+    }
+
+    /// A `ReplayPredictor` over a recorded trace reproduces the
+    /// recorded matrices verbatim at noise 0 — after observing
+    /// iteration `i` it predicts exactly the recorded demand of
+    /// `i + 1`, which is what makes its audit error vanish.
+    #[test]
+    fn replay_reproduces_recorded_trace(
+        devices in 1usize..5,
+        experts in 1usize..6,
+        budget in 1u64..2_000,
+        seed in 0u64..10_000,
+        iters in 1usize..6,
+    ) {
+        let cfg = RoutingGeneratorConfig::new(devices, experts, budget).with_seed(seed);
+        let trace = RoutingTrace::record(cfg, iters);
+        let mut p = ReplayPredictor::new(trace.clone(), 0.0, seed);
+        let first = p.predict();
+        prop_assert_eq!(first.as_ref(), trace.get(0));
+        for i in 0..trace.len() {
+            p.observe(trace.get(i).expect("recorded")).expect("same shape");
+            if i + 1 < trace.len() {
+                let served = p.predict();
+                prop_assert_eq!(served.as_ref(), trace.get(i + 1));
+            }
+        }
     }
 }

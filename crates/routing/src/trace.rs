@@ -102,10 +102,21 @@ impl RoutingTrace {
             description,
             seed: Some(seed),
         });
-        for _ in 0..iterations {
-            trace.push(gen.next_iteration());
-        }
+        trace.record_from(&mut gen, iterations);
         trace
+    }
+
+    /// Appends `iterations` matrices drawn from a *live* generator,
+    /// continuing wherever it currently stands.
+    ///
+    /// This is the recording half of an RL rollout phase: the same
+    /// generator keeps advancing across epochs, so demand drifts
+    /// naturally between them while each epoch's trace captures exactly
+    /// what the train phase will replay.
+    pub fn record_from(&mut self, gen: &mut RoutingGenerator, iterations: usize) {
+        for _ in 0..iterations {
+            self.push(gen.next_iteration());
+        }
     }
 
     /// Appends one iteration's routing matrix.

@@ -112,6 +112,47 @@ proptest! {
         prop_assert_eq!(trace, back);
     }
 
+    /// `save_json`/`load_json` round-trips a recorded trace exactly
+    /// through the filesystem, including metadata — the property the
+    /// RL replay workload's recorded-rollout artifacts rely on.
+    #[test]
+    fn trace_file_roundtrip_is_exact(
+        devices in 1usize..5,
+        experts in 1usize..5,
+        budget in 1u64..500,
+        seed in 0u64..10_000,
+        iters in 0usize..5,
+    ) {
+        let trace = RoutingTrace::record(
+            RoutingGeneratorConfig::new(devices, experts, budget).with_seed(seed),
+            iters,
+        );
+        let path = std::env::temp_dir().join(format!(
+            "laer-trace-prop-{}-{devices}x{experts}-{budget}-{seed}-{iters}.json",
+            std::process::id()
+        ));
+        trace.save_json(&path).expect("save");
+        let loaded = RoutingTrace::load_json(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(trace, loaded);
+    }
+
+    /// `record_from` continues a live generator: recording two halves
+    /// from one generator equals one recording of the whole run.
+    #[test]
+    fn record_from_continues_generator(
+        seed in 0u64..10_000,
+        split in 0usize..6,
+    ) {
+        let cfg = RoutingGeneratorConfig::new(3, 6, 256).with_seed(seed);
+        let whole = RoutingTrace::record(cfg.clone(), 6);
+        let mut gen = RoutingGenerator::new(cfg);
+        let mut halves = RoutingTrace::new(whole.meta().clone());
+        halves.record_from(&mut gen, split);
+        halves.record_from(&mut gen, 6 - split);
+        prop_assert_eq!(whole, halves);
+    }
+
     /// Balanced matrices differ from every expert's fair share by at
     /// most one token per device.
     #[test]

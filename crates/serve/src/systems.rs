@@ -433,7 +433,15 @@ impl ServingSystem for LaerServing {
         if total.total() == 0 {
             return false;
         }
-        self.predictor.observe(&total);
+        if self.predictor.observe(&total).is_err() {
+            // The served demand re-shaped (fleet reconfiguration): the
+            // accumulated traffic history no longer applies. Restart it
+            // and skip this re-plan window rather than planning on a
+            // stale mixture of shapes.
+            self.predictor = LoadPredictor::default_ema();
+            let _ = self.predictor.observe(&total);
+            return false;
+        }
         // Planner host down: keep serving on the stale layout.
         if !self.planner_available {
             return false;

@@ -12,6 +12,9 @@
 //!   Tab. 4.
 //! * [`faults`] — deterministic fault injection and the detect → re-plan
 //!   → resume recovery state machine behind the robustness experiments.
+//! * [`rl`] — the RL post-training workload: rollout→train epochs where
+//!   the train phase replays routing traces recorded during rollout,
+//!   giving the layout tuner perfect foresight instead of a stale EMA.
 //!
 //! # Example
 //!
@@ -33,6 +36,7 @@
 
 pub mod convergence;
 pub mod faults;
+pub mod rl;
 pub mod runner;
 pub mod scaling;
 
@@ -41,6 +45,7 @@ pub use faults::{
     window_throughput, FaultRunner, IterationReport, RunnerCheckpoint, TrainError,
     CHECKPOINT_RELOAD, COLLECTIVE_TIMEOUT, DETECTION_DELAY, REPLAN_PENALTY,
 };
+pub use rl::{run_rl, run_rl_observed, RlConfig, RlEpochReport, RlResult};
 pub use runner::{
     run_experiment, run_experiment_observed, run_experiment_on_trace, ExperimentConfig,
     ExperimentResult,
