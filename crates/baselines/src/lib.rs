@@ -37,5 +37,7 @@ pub use fsdp_ep::FsdpEpSystem;
 pub use laer::{LaerSystem, PlanningMode};
 pub use megatron::MegatronSystem;
 pub use smartmoe::SmartMoeSystem;
-pub use system::{audit_belief, LayerPlan, MoeSystem, SystemError, SystemKind};
+pub use system::{
+    audit_belief, predicted_bottleneck_device, LayerPlan, MoeSystem, SystemError, SystemKind,
+};
 pub use vanilla::{vanilla_routing, VanillaEpSystem};

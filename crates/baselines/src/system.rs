@@ -70,6 +70,29 @@ pub fn audit_belief(ctx: &SystemContext, trigger: &str, routing: &TokenRouting) 
     )
 }
 
+/// The device Eq. 1 names as one iteration's bottleneck: argmax of the
+/// per-device predicted loads accumulated element-wise across the
+/// iteration's layers (ties break to the lowest device). `None` when no
+/// layer reported a load — the agreement metric of the diagnosis layer
+/// is undefined then.
+pub fn predicted_bottleneck_device(per_layer_loads: &[Vec<u64>]) -> Option<usize> {
+    let mut totals: Vec<u64> = Vec::new();
+    for loads in per_layer_loads {
+        if totals.len() < loads.len() {
+            totals.resize(loads.len(), 0);
+        }
+        for (t, &l) in totals.iter_mut().zip(loads) {
+            *t += l;
+        }
+    }
+    totals
+        .iter()
+        .enumerate()
+        .max_by(|(i, a), (j, b)| a.cmp(b).then(j.cmp(i)))
+        .filter(|&(_, &max)| max > 0)
+        .map(|(d, _)| d)
+}
+
 impl LayerPlan {
     /// Maximum token-assignment count over devices divided by the ideal
     /// balanced count — the metric of Fig. 10(b).
@@ -236,5 +259,19 @@ mod tests {
         }
         assert_eq!("laer".parse::<SystemKind>().unwrap(), SystemKind::Laer);
         assert!("bogus".parse::<SystemKind>().is_err());
+    }
+
+    #[test]
+    fn predicted_bottleneck_accumulates_layers() {
+        // Device 2 leads layer 0, device 1 leads layer 1; summed,
+        // device 1 carries the most load.
+        let layers = vec![vec![1, 4, 5, 0], vec![1, 9, 2, 0]];
+        assert_eq!(predicted_bottleneck_device(&layers), Some(1));
+        // Ties break to the lowest device.
+        assert_eq!(predicted_bottleneck_device(&[vec![3, 3]]), Some(0));
+        // Ragged layers extend the total vector.
+        assert_eq!(predicted_bottleneck_device(&[vec![1], vec![0, 2]]), Some(1));
+        assert_eq!(predicted_bottleneck_device(&[]), None);
+        assert_eq!(predicted_bottleneck_device(&[vec![0, 0]]), None);
     }
 }

@@ -2,18 +2,21 @@
 //! the loop the FSEP scheduler drives tens of thousands of times per
 //! simulated iteration. Exercises both per-device `enqueue` and the
 //! N-device `enqueue_collective`, whose stream frontiers are now a flat
-//! indexed array rather than a hash map.
+//! indexed array rather than a hash map. The `record_deps` variants
+//! guard the opt-in dependency recorder: with the flag off the enqueue
+//! paths must stay within noise of the pre-recorder baseline, and the
+//! `*_recorded` rows price what turning diagnosis on costs.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use laer_cluster::{DeviceId, Topology};
-use laer_sim::{Engine, SpanLabel, StreamKind};
+use laer_sim::{Engine, EngineOptions, SpanLabel, StreamKind};
 
 /// Chains `spans` compute/comm spans per device across all devices.
-fn enqueue_chain(topo: &Topology, spans: usize) -> f64 {
+fn enqueue_chain(topo: &Topology, spans: usize, record_deps: bool) -> f64 {
     let n = topo.num_devices();
-    let mut engine = Engine::new(topo);
+    let mut engine = Engine::with_options(topo, EngineOptions { record_deps });
     engine.reserve_spans(n * spans);
     for d in 0..n {
         let device = DeviceId::new(d);
@@ -32,11 +35,11 @@ fn enqueue_chain(topo: &Topology, spans: usize) -> f64 {
 }
 
 /// Rounds of N-device collectives with per-round dependency chains.
-fn enqueue_collectives(topo: &Topology, rounds: usize) -> f64 {
+fn enqueue_collectives(topo: &Topology, rounds: usize, record_deps: bool) -> f64 {
     let n = topo.num_devices();
     let devices: Vec<DeviceId> = (0..n).map(DeviceId::new).collect();
     let durations = vec![1e-4; n];
-    let mut engine = Engine::new(topo);
+    let mut engine = Engine::with_options(topo, EngineOptions { record_deps });
     engine.reserve_spans(n * rounds);
     let mut deps: Vec<Vec<_>> = vec![Vec::new(); n];
     for _ in 0..rounds {
@@ -59,12 +62,22 @@ fn bench_enqueue(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("chain_N{gpus}")),
             &topo,
-            |b, topo| b.iter(|| black_box(enqueue_chain(topo, 512))),
+            |b, topo| b.iter(|| black_box(enqueue_chain(topo, 512, false))),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("chain_N{gpus}_recorded")),
+            &topo,
+            |b, topo| b.iter(|| black_box(enqueue_chain(topo, 512, true))),
         );
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("collective_N{gpus}")),
             &topo,
-            |b, topo| b.iter(|| black_box(enqueue_collectives(topo, 256))),
+            |b, topo| b.iter(|| black_box(enqueue_collectives(topo, 256, false))),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("collective_N{gpus}_recorded")),
+            &topo,
+            |b, topo| b.iter(|| black_box(enqueue_collectives(topo, 256, true))),
         );
     }
     group.finish();

@@ -7,7 +7,7 @@
 //! targets: fig1a fig1b fig1 fig2 tab2 eq1 fig8 fig9 fig10a fig10b
 //!          fig11 fig12 tab3 tab4 ext-refine ext-staleness ext-rack
 //!          ext-overlap ext-pipeline ext-replay ext-faults ext-serve
-//!          ext-chaos ext-obs all harness-bench
+//!          ext-chaos ext-obs ext-diagnose all harness-bench
 //! ```
 //!
 //! `--jobs N` fans the target's independent experiment cells across `N`
@@ -16,9 +16,9 @@
 //! stdout and every JSON artifact are byte-identical to a `--jobs 1`
 //! run. `repro all` schedules every target's cells on one shared pool.
 //!
-//! `--iters N` only affects `ext-serve` and `ext-chaos`, where it
-//! overrides the number of requests served per operating point (smoke
-//! runs in CI use a small value). The baseline/tolerance flags only
+//! `--iters N` only affects `ext-serve`, `ext-chaos` and
+//! `ext-diagnose`, where it overrides the number of requests served
+//! per operating point (smoke runs in CI use a small value). The baseline/tolerance flags only
 //! affect `ext-obs`, whose perf-regression gate exits non-zero on
 //! failure.
 //!
@@ -27,14 +27,14 @@
 
 use laer_bench::pool::Batch;
 use laer_bench::{
-    eq1, ext_chaos, ext_faults, ext_obs, ext_overlap, ext_pipeline, ext_rack, ext_refine,
-    ext_replay, ext_serve, ext_staleness, fig1, fig10, fig11, fig12, fig2, fig8, fig9, pool, tab2,
-    tab3, tab4, Effort,
+    eq1, ext_chaos, ext_diagnose, ext_faults, ext_obs, ext_overlap, ext_pipeline, ext_rack,
+    ext_refine, ext_replay, ext_serve, ext_staleness, fig1, fig10, fig11, fig12, fig2, fig8, fig9,
+    pool, tab2, tab3, tab4, Effort,
 };
 use std::time::Instant;
 
 /// Target order of `repro all`.
-const ALL_TARGETS: [&str; 21] = [
+const ALL_TARGETS: [&str; 22] = [
     "tab2",
     "eq1",
     "fig1",
@@ -56,6 +56,7 @@ const ALL_TARGETS: [&str; 21] = [
     "ext-serve",
     "ext-chaos",
     "ext-obs",
+    "ext-diagnose",
 ];
 
 fn main() {
@@ -98,7 +99,7 @@ fn main() {
             "usage: repro <target> [--quick|--full] [--jobs N] [--iters N] [--update-baseline] [--baseline PATH] [--tolerance F]\n\
              targets: fig1a fig1b fig1 fig2 tab2 eq1 fig8 fig9 fig10a fig10b fig11 fig12 tab3 tab4 \
              ext-refine ext-staleness ext-rack ext-overlap ext-pipeline ext-replay ext-faults \
-             ext-serve ext-chaos ext-obs all harness-bench"
+             ext-serve ext-chaos ext-obs ext-diagnose all harness-bench"
         );
         std::process::exit(if target == "help" { 0 } else { 2 });
     }
@@ -205,6 +206,9 @@ fn dispatch(
             if !ext_obs::run_jobs(obs, jobs) {
                 std::process::exit(1);
             }
+        }
+        "ext-diagnose" => {
+            ext_diagnose::run_jobs(effort, iters, jobs);
         }
         "all" => run_all(effort, jobs, iters, obs),
         "harness-bench" => harness_bench(),
@@ -371,6 +375,13 @@ fn run_all(effort: Effort, jobs: usize, iters: Option<usize>, obs: &ext_obs::Obs
                 let p = ext_obs::submit(&mut batch);
                 let opts = obs.clone();
                 Box::new(move || ext_obs::finish(&opts, p))
+            }
+            "ext-diagnose" => {
+                let p = ext_diagnose::submit(&mut batch, effort, iters);
+                Box::new(move || {
+                    ext_diagnose::finish(p);
+                    true
+                })
             }
             other => unreachable!("unlisted target {other}"),
         };

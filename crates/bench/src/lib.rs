@@ -20,6 +20,7 @@
 pub mod chart;
 pub mod eq1;
 pub mod ext_chaos;
+pub mod ext_diagnose;
 pub mod ext_faults;
 pub mod ext_obs;
 pub mod ext_overlap;

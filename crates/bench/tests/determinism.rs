@@ -138,6 +138,35 @@ fn ext_chaos_is_byte_identical_across_job_counts() {
     }
 }
 
+/// The diagnosis sweep — dependency-recorded training runs with
+/// critical-path extraction, plus the chaos detector scoreboard —
+/// reproduces its stdout and all four artifacts (the report JSON, the
+/// flow-event Chrome trace and the headline journal/metrics exports)
+/// byte for byte at any job count.
+#[test]
+fn ext_diagnose_is_byte_identical_across_job_counts() {
+    let (serial, serial_dir) = repro("diagnose", 1, &["ext-diagnose", "--quick", "--iters", "40"]);
+    let (pooled, pooled_dir) = repro("diagnose", 2, &["ext-diagnose", "--quick", "--iters", "40"]);
+    assert!(serial.status.success(), "serial run failed");
+    assert!(pooled.status.success(), "pooled run failed");
+    assert_eq!(
+        serial.stdout, pooled.stdout,
+        "ext-diagnose stdout must be byte-identical across job counts"
+    );
+    for artifact in [
+        "ext_diagnose.json",
+        "ext_diagnose_trace.json",
+        "ext_diagnose_metrics.txt",
+        "ext_diagnose_journal.jsonl",
+    ] {
+        assert_eq!(
+            read(&serial_dir, artifact),
+            read(&pooled_dir, artifact),
+            "{artifact} must be byte-identical across job counts"
+        );
+    }
+}
+
 /// The pooled `ext-obs` run reproduces every artifact byte for byte
 /// and reaches the same gate verdict as the serial run.
 #[test]

@@ -1176,4 +1176,61 @@ mod tests {
         );
         assert!(engine.now() >= t1.total + t2.total - 1e-9);
     }
+
+    /// A recording engine running the real chunked executor produces a
+    /// well-formed span DAG: one dep entry per span, every edge points
+    /// backward to a strictly earlier-ending predecessor, collective
+    /// groups are contiguous index runs containing their bottleneck,
+    /// and local work never exceeds the span's wall duration. Recording
+    /// must not perturb the schedule itself.
+    #[test]
+    fn chunked_schedule_records_a_consistent_dag() {
+        use laer_sim::EngineOptions;
+        let n = 4;
+        let topo = Topology::single_node(n).unwrap();
+        let layers: Vec<_> = (0..3).map(|_| layer(n, 1e-3, 5e-3, 0.5e-3, 2e-3)).collect();
+        let opts = ScheduleOptions::optimized().with_num_chunks(3);
+
+        let mut plain = Engine::new(&topo);
+        let t_plain = schedule_iteration(&mut plain, &topo, &layers, opts);
+        let mut engine = Engine::with_options(&topo, EngineOptions { record_deps: true });
+        let t = schedule_iteration(&mut engine, &topo, &layers, opts);
+        assert!((t.total - t_plain.total).abs() < 1e-12, "recording is free");
+        assert_eq!(plain.timeline().spans(), engine.timeline().spans());
+
+        let timeline = engine.timeline();
+        let deps = timeline.dep_log().expect("recording engine");
+        assert_eq!(deps.len(), timeline.spans().len());
+        for (i, span) in timeline.spans().iter().enumerate() {
+            for &p in deps.edges_of(i) {
+                let pred = &timeline.spans()[p as usize];
+                assert!((p as usize) < i, "edge {p} -> {i} must point backward");
+                assert!(
+                    pred.end <= span.start + 1e-12,
+                    "span {i} starts at {} before dep {p} ends at {}",
+                    span.start,
+                    pred.end
+                );
+            }
+            if let Some(work) = deps.work_of(i) {
+                assert!(
+                    work <= span.end - span.start + 1e-12,
+                    "span {i}: local work {work} exceeds duration"
+                );
+            }
+        }
+        // The chunked executor issues dispatch/combine/grad-sync
+        // collectives; each group is a contiguous run holding its
+        // bottleneck, and members share the group's end time.
+        assert!(!deps.groups().is_empty(), "collectives were recorded");
+        for g in deps.groups() {
+            assert!(g.len >= 1);
+            assert!(g.contains(g.bottleneck_span()));
+            let end = timeline.spans()[g.first as usize].end;
+            for m in g.first..g.first + g.len {
+                assert_eq!(deps.group_of(m as usize).map(|h| h.first), Some(g.first));
+                assert!((timeline.spans()[m as usize].end - end).abs() < 1e-12);
+            }
+        }
+    }
 }

@@ -1,0 +1,353 @@
+//! Streaming anomaly detectors and the fault-scored alert scoreboard.
+//!
+//! Detectors consume the same per-step telemetry the journal records
+//! (step time, queue depth, routing imbalance, live-device count) and
+//! emit deterministic [`Alert`] events — no wall clock, no randomness,
+//! every threshold crossed on virtual time. PR 7's chaos machinery
+//! provides labeled fault ground truth ([`laer_sim::FaultPlan`]), so
+//! alerts are *scored*, not eyeballed: [`score_alerts`] joins them
+//! against fault windows into a [`Scoreboard`] of time-to-detect,
+//! precision and recall per fault kind.
+//!
+//! Two detector shapes cover the journal's signals:
+//!
+//! * [`EwmaDetector`] — exponentially-weighted mean/variance with a
+//!   one-sided upward z-score, for drifting scalar series (step time,
+//!   queue depth, imbalance) where "too high vs recent history" is the
+//!   anomaly;
+//! * [`ThresholdRule`] — an edge-triggered comparison against a fixed
+//!   limit, for signals with a hard invariant (live devices dropping
+//!   below the fleet size).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One detector firing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Virtual time of the observation that fired.
+    pub time: f64,
+    /// Detector identifier (e.g. `ewma`, `threshold`).
+    pub detector: String,
+    /// Signal name (e.g. `step_time`, `queue_depth`, `live_devices`).
+    pub signal: String,
+    /// Observed value.
+    pub value: f64,
+    /// Detector score at firing (z-score for EWMA, excursion beyond the
+    /// limit for threshold rules).
+    pub score: f64,
+}
+
+/// Streaming EWMA mean/variance with a one-sided upward z-score.
+///
+/// The detector scores each observation against the mean and variance
+/// of the *previous* observations (so an anomaly cannot mask itself),
+/// then folds the value in. The first `warmup` observations only train.
+/// `min_std` floors the standard deviation so a perfectly flat warmup
+/// (deterministic fault-free steps) doesn't make the first jitter an
+/// infinite-z anomaly.
+#[derive(Debug, Clone)]
+pub struct EwmaDetector {
+    signal: String,
+    alpha: f64,
+    threshold: f64,
+    warmup: usize,
+    min_std: f64,
+    mean: f64,
+    var: f64,
+    seen: usize,
+}
+
+impl EwmaDetector {
+    /// Creates a detector for `signal` with smoothing factor `alpha`,
+    /// firing when the upward z-score exceeds `threshold` after
+    /// `warmup` training observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha <= 1`, `threshold > 0` and
+    /// `min_std > 0`.
+    pub fn new(signal: &str, alpha: f64, threshold: f64, warmup: usize, min_std: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(threshold > 0.0, "threshold must be positive");
+        assert!(min_std > 0.0, "min_std must be positive");
+        Self {
+            signal: signal.to_string(),
+            alpha,
+            threshold,
+            warmup: warmup.max(1),
+            min_std,
+            mean: 0.0,
+            var: 0.0,
+            seen: 0,
+        }
+    }
+
+    /// Scores one observation, then folds it into the running state.
+    pub fn observe(&mut self, time: f64, value: f64) -> Option<Alert> {
+        let alert = if self.seen >= self.warmup {
+            let std = self.var.sqrt().max(self.min_std);
+            let z = (value - self.mean) / std;
+            (z > self.threshold).then(|| Alert {
+                time,
+                detector: "ewma".to_string(),
+                signal: self.signal.clone(),
+                value,
+                score: z,
+            })
+        } else {
+            None
+        };
+        if self.seen == 0 {
+            self.mean = value;
+        } else {
+            let delta = value - self.mean;
+            self.mean += self.alpha * delta;
+            self.var = (1.0 - self.alpha) * (self.var + self.alpha * delta * delta);
+        }
+        self.seen += 1;
+        alert
+    }
+}
+
+/// Edge-triggered fixed-limit rule: fires once when the signal enters
+/// violation and re-arms when it returns to normal, so a sustained
+/// excursion produces one alert, not one per sample.
+#[derive(Debug, Clone)]
+pub struct ThresholdRule {
+    signal: String,
+    limit: f64,
+    below: bool,
+    in_violation: bool,
+}
+
+impl ThresholdRule {
+    /// A rule firing when `signal` drops strictly below `limit`.
+    pub fn below(signal: &str, limit: f64) -> Self {
+        Self {
+            signal: signal.to_string(),
+            limit,
+            below: true,
+            in_violation: false,
+        }
+    }
+
+    /// A rule firing when `signal` rises strictly above `limit`.
+    pub fn above(signal: &str, limit: f64) -> Self {
+        Self {
+            signal: signal.to_string(),
+            limit,
+            below: false,
+            in_violation: false,
+        }
+    }
+
+    /// Scores one observation.
+    pub fn observe(&mut self, time: f64, value: f64) -> Option<Alert> {
+        let violated = if self.below {
+            value < self.limit
+        } else {
+            value > self.limit
+        };
+        let fired = violated && !self.in_violation;
+        self.in_violation = violated;
+        fired.then(|| Alert {
+            time,
+            detector: "threshold".to_string(),
+            signal: self.signal.clone(),
+            value,
+            score: (value - self.limit).abs(),
+        })
+    }
+}
+
+/// One labeled fault's ground-truth window, for scoring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// Fault kind (e.g. `device-failure`, `straggler`).
+    pub kind: String,
+    /// Window start — the instant a detector could first react to.
+    pub start: f64,
+    /// Window end (alerts up to `end + grace` still count).
+    pub end: f64,
+}
+
+/// Per-fault-kind detection quality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreRow {
+    /// Fault kind.
+    pub kind: String,
+    /// Ground-truth fault windows of this kind.
+    pub events: u64,
+    /// Windows with at least one matching alert.
+    pub detected: u64,
+    /// Mean seconds from window start to the first matching alert,
+    /// over detected windows (0 when none detected).
+    pub mean_ttd: f64,
+    /// `detected / events`.
+    pub recall: f64,
+}
+
+/// The detector scoreboard: per-kind rows plus global precision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scoreboard {
+    /// Per-fault-kind rows, sorted by kind.
+    pub rows: Vec<ScoreRow>,
+    /// Alerts matching at least one fault window.
+    pub true_positives: u64,
+    /// Alerts matching no fault window.
+    pub false_positives: u64,
+    /// `TP / (TP + FP)` (1.0 when no alerts fired).
+    pub precision: f64,
+}
+
+impl Scoreboard {
+    /// The row for `kind`, if any fault of that kind was planned.
+    pub fn row(&self, kind: &str) -> Option<&ScoreRow> {
+        self.rows.iter().find(|r| r.kind == kind)
+    }
+}
+
+/// Joins `alerts` against ground-truth `windows`. An alert is a true
+/// positive if it falls inside any window (extended by `grace` seconds
+/// past the end — detectors observing per-step aggregates legitimately
+/// fire just after a short window closes); a window is detected by its
+/// first matching alert, and that alert's delay from the window start
+/// is the window's time-to-detect.
+pub fn score_alerts(alerts: &[Alert], windows: &[FaultWindow], grace: f64) -> Scoreboard {
+    let matches = |a: &Alert, w: &FaultWindow| a.time >= w.start && a.time <= w.end + grace;
+    let mut true_positives = 0;
+    let mut false_positives = 0;
+    for a in alerts {
+        if windows.iter().any(|w| matches(a, w)) {
+            true_positives += 1;
+        } else {
+            false_positives += 1;
+        }
+    }
+    let mut by_kind: BTreeMap<&str, (u64, u64, f64)> = BTreeMap::new();
+    for w in windows {
+        let entry = by_kind.entry(w.kind.as_str()).or_insert((0, 0, 0.0));
+        entry.0 += 1;
+        if let Some(first) = alerts.iter().find(|a| matches(a, w)) {
+            entry.1 += 1;
+            entry.2 += first.time - w.start;
+        }
+    }
+    let rows = by_kind
+        .into_iter()
+        .map(|(kind, (events, detected, ttd_sum))| ScoreRow {
+            kind: kind.to_string(),
+            events,
+            detected,
+            mean_ttd: if detected > 0 {
+                ttd_sum / detected as f64
+            } else {
+                0.0
+            },
+            recall: detected as f64 / events as f64,
+        })
+        .collect();
+    let fired = true_positives + false_positives;
+    Scoreboard {
+        rows,
+        true_positives,
+        false_positives,
+        precision: if fired > 0 {
+            true_positives as f64 / fired as f64
+        } else {
+            1.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_flags_a_step_jump_once_warm() {
+        let mut det = EwmaDetector::new("step_time", 0.3, 4.0, 5, 1e-6);
+        for i in 0..20 {
+            let v = 1.0 + 1e-4 * (i % 3) as f64;
+            assert!(det.observe(i as f64, v).is_none(), "steady state is quiet");
+        }
+        let alert = det.observe(20.0, 3.0).expect("3x jump fires");
+        assert_eq!(alert.signal, "step_time");
+        assert_eq!(alert.detector, "ewma");
+        assert!(alert.score > 4.0);
+    }
+
+    #[test]
+    fn ewma_trains_through_warmup() {
+        let mut det = EwmaDetector::new("x", 0.5, 1.0, 3, 1e-9);
+        // A huge first value cannot fire during warmup.
+        assert!(det.observe(0.0, 100.0).is_none());
+        assert!(det.observe(1.0, 100.0).is_none());
+        assert!(det.observe(2.0, 100.0).is_none());
+    }
+
+    #[test]
+    fn threshold_rule_is_edge_triggered() {
+        let mut rule = ThresholdRule::below("live_devices", 8.0);
+        assert!(rule.observe(0.0, 8.0).is_none());
+        let a = rule.observe(1.0, 6.0).expect("drop fires");
+        assert_eq!(a.score, 2.0);
+        assert!(rule.observe(2.0, 6.0).is_none(), "sustained drop is quiet");
+        assert!(rule.observe(3.0, 8.0).is_none(), "recovery re-arms");
+        assert!(rule.observe(4.0, 7.0).is_some(), "next drop fires again");
+        let mut above = ThresholdRule::above("queue_depth", 10.0);
+        assert!(above.observe(0.0, 10.0).is_none());
+        assert!(above.observe(1.0, 11.0).is_some());
+    }
+
+    #[test]
+    fn scoreboard_joins_alerts_to_windows() {
+        let alerts = vec![
+            Alert {
+                time: 1.05,
+                detector: "threshold".into(),
+                signal: "live_devices".into(),
+                value: 7.0,
+                score: 1.0,
+            },
+            Alert {
+                time: 9.0,
+                detector: "ewma".into(),
+                signal: "queue_depth".into(),
+                value: 50.0,
+                score: 6.0,
+            },
+        ];
+        let windows = vec![
+            FaultWindow {
+                kind: "device-failure".into(),
+                start: 1.0,
+                end: 2.0,
+            },
+            FaultWindow {
+                kind: "straggler".into(),
+                start: 4.0,
+                end: 5.0,
+            },
+        ];
+        let board = score_alerts(&alerts, &windows, 0.0);
+        assert_eq!(board.true_positives, 1);
+        assert_eq!(board.false_positives, 1);
+        assert!((board.precision - 0.5).abs() < 1e-12);
+        let df = board.row("device-failure").unwrap();
+        assert_eq!(df.detected, 1);
+        assert!((df.mean_ttd - 0.05).abs() < 1e-12);
+        assert_eq!(df.recall, 1.0);
+        let st = board.row("straggler").unwrap();
+        assert_eq!(st.detected, 0);
+        assert_eq!(st.recall, 0.0);
+        assert_eq!(st.mean_ttd, 0.0);
+        // Grace extends the straggler window to cover the late alert.
+        let lenient = score_alerts(&alerts, &windows, 4.0);
+        assert_eq!(lenient.row("straggler").unwrap().detected, 1);
+        assert_eq!(lenient.false_positives, 0);
+        // No alerts at all: precision defaults to 1.
+        assert_eq!(score_alerts(&[], &windows, 0.0).precision, 1.0);
+    }
+}

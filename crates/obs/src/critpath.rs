@@ -1,0 +1,526 @@
+//! Critical-path extraction over the recorded span dependency DAG.
+//!
+//! An engine run with [`laer_sim::EngineOptions::record_deps`] leaves a
+//! [`laer_sim::DepLog`] in its [`Timeline`]: finish-to-start edges per
+//! span plus the membership and bottleneck of every synchronising
+//! collective. This module turns that DAG into *blame*:
+//!
+//! * [`critical_path`] walks backwards from the terminal span, always
+//!   crossing a collective through its bottleneck participant, and
+//!   produces a [`CritPathReport`] — the path's segments, blame seconds
+//!   per `label × device × stream`, and a CPM late-finish slack per
+//!   span (0 on the critical path, positive off it);
+//! * [`what_if`] replays the DAG forward with one label's *local work*
+//!   rescaled and reports the predicted makespan without re-simulating —
+//!   the paper's "would 2× A2A bandwidth help?" question answered from
+//!   one recorded schedule;
+//! * [`standard_what_ifs`] bundles the scenarios the `ext-diagnose`
+//!   target reports (2× A2A bandwidth, 2× expert FLOPs, free relayout,
+//!   free prefetch).
+//!
+//! Everything here is a pure function of the timeline; ties are broken
+//! by span index, so reports are byte-identical across runs.
+
+use laer_sim::{SpanLabel, StreamKind, Timeline};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Short stable name of a stream for reports (Fig. 5's S1..S4).
+fn stream_name(stream: StreamKind) -> &'static str {
+    match stream {
+        StreamKind::Compute => "s1-compute",
+        StreamKind::Prefetch => "s2-prefetch",
+        StreamKind::A2a => "s3-a2a",
+        StreamKind::GradSync => "s4-grad-sync",
+    }
+}
+
+/// One interval of the critical path: span `span` was the reason the
+/// makespan clock advanced over `[start, end]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CritSegment {
+    /// Timeline index of the blamed span.
+    pub span: usize,
+    /// Segment start, seconds.
+    pub start: f64,
+    /// Segment end, seconds.
+    pub end: f64,
+}
+
+impl CritSegment {
+    /// Blamed seconds.
+    pub fn seconds(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Aggregated blame of one `label × device × stream` bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlameEntry {
+    /// Span label, display form.
+    pub label: String,
+    /// Device index.
+    pub device: usize,
+    /// Stream name (`s1-compute` .. `s4-grad-sync`).
+    pub stream: String,
+    /// Critical-path seconds attributed to this bucket.
+    pub seconds: f64,
+}
+
+/// The critical path of one recorded timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CritPathReport {
+    /// Timeline makespan (annotation spans excluded).
+    pub makespan: f64,
+    /// Seconds of the makespan covered by blamed segments.
+    pub attributed: f64,
+    /// Makespan seconds no span accounts for (scheduling gaps, e.g.
+    /// barrier jumps); `makespan - attributed`.
+    pub residual: f64,
+    /// Path segments in time order (earliest first).
+    pub segments: Vec<CritSegment>,
+    /// Blame per `label × device × stream`, sorted by descending
+    /// seconds (ties by label, device, stream for determinism).
+    pub blame: Vec<BlameEntry>,
+    /// CPM late-finish slack per span (same indexing as
+    /// [`Timeline::spans`]): how much later the span could finish
+    /// without moving the makespan. 0 on the critical path.
+    pub slack: Vec<f64>,
+}
+
+impl CritPathReport {
+    /// The consecutive `(src, dst)` span pairs of the path, for the
+    /// Chrome-trace flow-event export.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        self.segments
+            .windows(2)
+            .map(|w| (w[0].span, w[1].span))
+            .collect()
+    }
+
+    /// The device carrying the most critical-path seconds — the
+    /// *actual* bottleneck device, to compare against Eq. 1's
+    /// prediction. Ties break to the lowest device index; `None` when
+    /// nothing was blamed.
+    pub fn critical_device(&self) -> Option<usize> {
+        let mut per_device: BTreeMap<usize, f64> = BTreeMap::new();
+        for b in &self.blame {
+            *per_device.entry(b.device).or_insert(0.0) += b.seconds;
+        }
+        per_device
+            .into_iter()
+            .max_by(|(da, a), (db, b)| a.total_cmp(b).then(db.cmp(da)))
+            .map(|(d, _)| d)
+    }
+
+    /// The `k` heaviest blame buckets.
+    pub fn top_blame(&self, k: usize) -> &[BlameEntry] {
+        &self.blame[..k.min(self.blame.len())]
+    }
+}
+
+/// Extracts the critical path of `timeline`, or `None` when the engine
+/// ran without dependency recording (or recorded nothing).
+///
+/// The walk starts at the terminal span (latest-ending non-annotation
+/// span, ties to the lowest index) and repeatedly steps to the
+/// predecessor whose finish released the current span: a recorded edge
+/// ending exactly at the span's start (starts are computed as the max
+/// of predecessor ends, so exact comparison is sound). A collective is
+/// crossed through its bottleneck participant — the member whose local
+/// `ready + work` set the group's completion — so waits are blamed on
+/// the participant that caused them. Time the walk cannot attribute
+/// (frontier jumps from barriers) is reported as `residual`.
+pub fn critical_path(timeline: &Timeline) -> Option<CritPathReport> {
+    let deps = timeline.dep_log()?;
+    let spans = timeline.spans();
+    if spans.is_empty() {
+        return None;
+    }
+    let makespan = timeline.makespan();
+
+    // Terminal span: latest non-annotation end, ties to lowest index.
+    let terminal = spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.label.is_annotation())
+        .max_by(|(i, a), (j, b)| a.end.total_cmp(&b.end).then(j.cmp(i)))
+        .map(|(i, _)| i)?;
+
+    let mut visited = vec![false; spans.len()];
+    let mut segments: Vec<CritSegment> = Vec::new();
+    let mut cur = terminal;
+    let mut t = spans[terminal].end;
+    loop {
+        // Cross collectives through their bottleneck participant: every
+        // member ends at the group completion, but only the bottleneck's
+        // local work set it.
+        if let Some(g) = deps.group_of(cur) {
+            let b = g.bottleneck_span();
+            if b != cur && b < spans.len() && !visited[b] {
+                cur = b;
+                continue;
+            }
+        }
+        visited[cur] = true;
+        let seg_start = spans[cur].start.min(t);
+        if t > seg_start {
+            segments.push(CritSegment {
+                span: cur,
+                start: seg_start,
+                end: t,
+            });
+        }
+        t = spans[cur].start;
+        if t <= 0.0 {
+            break;
+        }
+        // The predecessor that released this span: a recorded edge
+        // ending exactly at the start (edges are sorted ascending, so
+        // the first hit is the lowest index) …
+        let next = deps
+            .edges_of(cur)
+            .iter()
+            .map(|&e| e as usize)
+            .find(|&e| {
+                e < spans.len()
+                    && !visited[e]
+                    && !spans[e].label.is_annotation()
+                    && spans[e].end == t
+            })
+            // … falling back to any earlier span ending there (the
+            // frontier source after a barrier raise is recorded, but a
+            // redirected collective walk can land on a member whose
+            // start no recorded edge explains).
+            .or_else(|| {
+                (0..cur)
+                    .find(|&i| !visited[i] && !spans[i].label.is_annotation() && spans[i].end == t)
+            });
+        match next {
+            Some(n) => cur = n,
+            None => break,
+        }
+    }
+    segments.reverse();
+
+    let attributed: f64 = segments.iter().map(CritSegment::seconds).sum();
+    let residual = (makespan - attributed).max(0.0);
+
+    // Blame aggregation, sorted by descending seconds with a full
+    // deterministic tie-break.
+    let mut buckets: BTreeMap<(String, usize, &'static str), f64> = BTreeMap::new();
+    for seg in &segments {
+        let s = &spans[seg.span];
+        *buckets
+            .entry((s.label.to_string(), s.device.index(), stream_name(s.stream)))
+            .or_insert(0.0) += seg.seconds();
+    }
+    let mut blame: Vec<BlameEntry> = buckets
+        .into_iter()
+        .map(|((label, device, stream), seconds)| BlameEntry {
+            label,
+            device,
+            stream: stream.to_string(),
+            seconds,
+        })
+        .collect();
+    blame.sort_by(|a, b| {
+        b.seconds
+            .total_cmp(&a.seconds)
+            .then_with(|| a.label.cmp(&b.label))
+            .then_with(|| a.device.cmp(&b.device))
+            .then_with(|| a.stream.cmp(&b.stream))
+    });
+
+    // CPM late-finish pass: lf[i] is the latest span i could finish
+    // without delaying the makespan. Descending index order visits every
+    // successor before its predecessors (edges always point backwards).
+    let mut lf = vec![makespan; spans.len()];
+    for i in (0..spans.len().min(deps.len())).rev() {
+        if spans[i].label.is_annotation() {
+            continue;
+        }
+        // Delaying a collective's bottleneck delays every member, so
+        // the bottleneck inherits the tightest member deadline. Applied
+        // at the group's highest index — before any member's own edges
+        // are folded below.
+        if let Some(g) = deps.group_of(i) {
+            if i == (g.first + g.len) as usize - 1 {
+                let members = g.first as usize..=i;
+                let group_lf = members.clone().map(|m| lf[m]).fold(f64::INFINITY, f64::min);
+                let b = g.bottleneck_span();
+                lf[b] = lf[b].min(group_lf);
+            }
+        }
+        let latest_start = lf[i] - spans[i].duration();
+        for &p in deps.edges_of(i) {
+            let p = p as usize;
+            lf[p] = lf[p].min(latest_start);
+        }
+    }
+    let slack: Vec<f64> = spans
+        .iter()
+        .zip(&lf)
+        .map(|(s, &lf)| (lf - s.end).max(0.0))
+        .collect();
+
+    Some(CritPathReport {
+        makespan,
+        attributed,
+        residual,
+        segments,
+        blame,
+        slack,
+    })
+}
+
+/// Replays the recorded DAG forward with every span's *local work*
+/// multiplied by `scale(label)` and returns the predicted makespan —
+/// no re-simulation. Returns `None` without a dependency log.
+///
+/// Each span becomes ready at the max end of its recorded predecessors
+/// and finishes `scaled work` later; collective members all complete at
+/// the group's slowest member. An identity `scale` reproduces the
+/// simulated makespan up to barrier-induced frontier gaps, so compare
+/// scenarios against the identity replay ([`standard_what_ifs`] does).
+pub fn what_if<F: Fn(SpanLabel) -> f64>(timeline: &Timeline, scale: F) -> Option<f64> {
+    let deps = timeline.dep_log()?;
+    let spans = timeline.spans();
+    let n = spans.len().min(deps.len());
+    let mut end = vec![0.0_f64; n];
+    let ready_of = |i: usize, end: &[f64]| -> f64 {
+        deps.edges_of(i)
+            .iter()
+            .map(|&e| end[e as usize])
+            .fold(0.0, f64::max)
+    };
+    let mut i = 0;
+    while i < n {
+        if let Some(g) = deps.group_of(i) {
+            // Groups are contiguous, so the loop always enters at
+            // `first`; process the whole collective atomically.
+            let range = g.first as usize..((g.first + g.len) as usize).min(n);
+            let mut group_end = 0.0_f64;
+            for m in range.clone() {
+                let work = deps.work_of(m).unwrap_or_else(|| spans[m].duration());
+                let finish = ready_of(m, &end) + work * scale(spans[m].label);
+                group_end = group_end.max(finish);
+            }
+            for m in range.clone() {
+                end[m] = group_end;
+            }
+            i = range.end;
+        } else {
+            if !spans[i].label.is_annotation() {
+                let work = deps.work_of(i).unwrap_or_else(|| spans[i].duration());
+                end[i] = ready_of(i, &end) + work * scale(spans[i].label);
+            }
+            i += 1;
+        }
+    }
+    Some(
+        end.iter()
+            .zip(spans)
+            .filter(|(_, s)| !s.label.is_annotation())
+            .map(|(&e, _)| e)
+            .fold(0.0, f64::max),
+    )
+}
+
+/// One what-if scenario's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WhatIf {
+    /// Scenario name.
+    pub name: String,
+    /// Predicted makespan under the scenario, seconds.
+    pub makespan: f64,
+    /// Seconds saved vs the identity replay (≥ 0 for speedups).
+    pub saved: f64,
+}
+
+/// The `ext-diagnose` scenario bundle: 2× A2A bandwidth, 2× expert
+/// FLOPs, free relayout, free prefetch — each as a [`WhatIf`] against
+/// the identity replay of the same DAG. `None` without a dependency
+/// log.
+pub fn standard_what_ifs(timeline: &Timeline) -> Option<Vec<WhatIf>> {
+    let baseline = what_if(timeline, |_| 1.0)?;
+    let scenario = |name: &str, target: SpanLabel, factor: f64| -> Option<WhatIf> {
+        let makespan = what_if(timeline, |l| if l == target { factor } else { 1.0 })?;
+        Some(WhatIf {
+            name: name.to_string(),
+            makespan,
+            saved: baseline - makespan,
+        })
+    };
+    Some(vec![
+        scenario("2x-a2a-bandwidth", SpanLabel::AllToAll, 0.5)?,
+        scenario("2x-expert-flops", SpanLabel::ExpertCompute, 0.5)?,
+        scenario("free-relayout", SpanLabel::Relayout, 0.0)?,
+        scenario("free-prefetch", SpanLabel::Prefetch, 0.0)?,
+    ])
+}
+
+/// One iteration's critical-path journal event: the blame headline and
+/// the Eq.-1-vs-actual bottleneck agreement input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CritPathRecord {
+    /// System under test.
+    pub system: String,
+    /// Global iteration index.
+    pub iteration: u64,
+    /// Iteration makespan, seconds.
+    pub makespan: f64,
+    /// Unattributed seconds.
+    pub residual: f64,
+    /// Device carrying the most critical-path seconds.
+    pub critical_device: usize,
+    /// Eq. 1's predicted bottleneck device (argmax predicted load).
+    pub predicted_device: usize,
+    /// Whether prediction and critical path name the same device.
+    pub agree: bool,
+    /// Heaviest blame buckets (top 3).
+    pub top_blame: Vec<BlameEntry>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laer_cluster::{DeviceId, Topology};
+    use laer_sim::{Engine, EngineOptions, SpanHandle};
+
+    fn recording_engine(n: usize) -> Engine {
+        let topo = Topology::single_node(n).unwrap();
+        Engine::with_options(&topo, EngineOptions { record_deps: true })
+    }
+
+    #[test]
+    fn chain_blames_every_span() {
+        let mut eng = recording_engine(1);
+        let d = DeviceId::new(0);
+        let a = eng.enqueue(d, StreamKind::Compute, SpanLabel::Attention, 1.0, &[]);
+        let b = eng.enqueue(d, StreamKind::A2a, SpanLabel::AllToAll, 2.0, &[a]);
+        eng.enqueue(d, StreamKind::Compute, SpanLabel::ExpertCompute, 3.0, &[b]);
+        let report = critical_path(eng.timeline()).unwrap();
+        assert_eq!(report.makespan, 6.0);
+        assert!((report.attributed - 6.0).abs() < 1e-12);
+        assert_eq!(report.residual, 0.0);
+        assert_eq!(
+            report.segments.iter().map(|s| s.span).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(report.edges(), vec![(0, 1), (1, 2)]);
+        // Every span is on the path: zero slack throughout.
+        assert!(report.slack.iter().all(|&s| s.abs() < 1e-12));
+        assert_eq!(report.critical_device(), Some(0));
+    }
+
+    #[test]
+    fn off_path_spans_carry_slack() {
+        let mut eng = recording_engine(2);
+        let d0 = DeviceId::new(0);
+        let d1 = DeviceId::new(1);
+        eng.enqueue(d0, StreamKind::Compute, SpanLabel::ExpertCompute, 5.0, &[]);
+        // Device 1 finishes early and nothing depends on it.
+        eng.enqueue(d1, StreamKind::Compute, SpanLabel::Attention, 1.0, &[]);
+        let report = critical_path(eng.timeline()).unwrap();
+        assert_eq!(report.makespan, 5.0);
+        assert!(report.slack[0].abs() < 1e-12);
+        assert!((report.slack[1] - 4.0).abs() < 1e-12);
+        assert_eq!(report.critical_device(), Some(0));
+        assert_eq!(report.blame.len(), 1);
+        assert_eq!(report.blame[0].label, "expert-compute");
+        assert_eq!(report.blame[0].stream, "s1-compute");
+    }
+
+    #[test]
+    fn collective_blame_lands_on_the_bottleneck() {
+        let mut eng = recording_engine(2);
+        let d0 = DeviceId::new(0);
+        let d1 = DeviceId::new(1);
+        // Device 1's member takes 4× longer: it is the bottleneck, and
+        // the path should cross the collective through it.
+        let no_deps: [Vec<SpanHandle>; 2] = [Vec::new(), Vec::new()];
+        eng.enqueue_collective(
+            &[DeviceId::new(0), DeviceId::new(1)],
+            StreamKind::A2a,
+            SpanLabel::AllToAll,
+            &[1.0, 4.0],
+            &no_deps,
+        );
+        let h = eng.enqueue(d0, StreamKind::Compute, SpanLabel::ExpertCompute, 1.0, &[]);
+        let _ = (d1, h);
+        let report = critical_path(eng.timeline()).unwrap();
+        assert_eq!(report.makespan, 4.0);
+        let blamed: Vec<usize> = report.segments.iter().map(|s| s.span).collect();
+        assert_eq!(blamed, vec![1], "path crosses the slow member only");
+        assert_eq!(report.critical_device(), Some(1));
+        // The fast member could finish 3s later without hurting.
+        assert!(report.slack[1].abs() < 1e-12);
+        assert!(report.slack[0] >= 0.0);
+    }
+
+    #[test]
+    fn what_if_rescales_only_the_target_label() {
+        let mut eng = recording_engine(1);
+        let d = DeviceId::new(0);
+        let a = eng.enqueue(d, StreamKind::Compute, SpanLabel::Attention, 1.0, &[]);
+        eng.enqueue(d, StreamKind::A2a, SpanLabel::AllToAll, 2.0, &[a]);
+        let identity = what_if(eng.timeline(), |_| 1.0).unwrap();
+        assert!((identity - 3.0).abs() < 1e-12);
+        let fast_a2a = what_if(eng.timeline(), |l| {
+            if l == SpanLabel::AllToAll {
+                0.5
+            } else {
+                1.0
+            }
+        })
+        .unwrap();
+        assert!((fast_a2a - 2.0).abs() < 1e-12);
+        let what_ifs = standard_what_ifs(eng.timeline()).unwrap();
+        assert_eq!(what_ifs.len(), 4);
+        assert_eq!(what_ifs[0].name, "2x-a2a-bandwidth");
+        assert!((what_ifs[0].saved - 1.0).abs() < 1e-12);
+        // No prefetch in this schedule: freeing it saves nothing.
+        assert_eq!(what_ifs[3].name, "free-prefetch");
+        assert!(what_ifs[3].saved.abs() < 1e-12);
+    }
+
+    #[test]
+    fn what_if_collective_tracks_slowest_member() {
+        let mut eng = recording_engine(2);
+        let no_deps: [Vec<SpanHandle>; 2] = [Vec::new(), Vec::new()];
+        eng.enqueue_collective(
+            &[DeviceId::new(0), DeviceId::new(1)],
+            StreamKind::A2a,
+            SpanLabel::AllToAll,
+            &[1.0, 4.0],
+            &no_deps,
+        );
+        // Halving A2A work halves the bottleneck member: 4 → 2.
+        let fast = what_if(eng.timeline(), |l| {
+            if l == SpanLabel::AllToAll {
+                0.5
+            } else {
+                1.0
+            }
+        })
+        .unwrap();
+        assert!((fast - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrecorded_timeline_yields_none() {
+        let topo = Topology::single_node(1).unwrap();
+        let mut eng = Engine::new(&topo);
+        eng.enqueue(
+            DeviceId::new(0),
+            StreamKind::Compute,
+            SpanLabel::Attention,
+            1.0,
+            &[],
+        );
+        assert!(critical_path(eng.timeline()).is_none());
+        assert!(what_if(eng.timeline(), |_| 1.0).is_none());
+        assert!(standard_what_ifs(eng.timeline()).is_none());
+    }
+}

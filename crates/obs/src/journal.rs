@@ -274,18 +274,19 @@ fn merge_intervals(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
 }
 
 /// Length of the intersection of `(s, e)` with the merged interval set.
+///
+/// The set is sorted and disjoint, so a binary search finds the first
+/// interval that can intersect and the walk stops at the first one past
+/// `e` — O(log n + k) for k overlapped intervals, instead of the full
+/// linear scan this used to be (O(spans × intervals) per device across
+/// an iteration record).
 fn overlap_with(busy: &[(f64, f64)], s: f64, e: f64) -> f64 {
-    let mut acc = 0.0;
-    for &(bs, be) in busy {
-        if be <= s {
-            continue;
-        }
-        if bs >= e {
-            break;
-        }
-        acc += be.min(e) - bs.max(s);
-    }
-    acc
+    let first = busy.partition_point(|&(_, be)| be <= s);
+    busy[first..]
+        .iter()
+        .take_while(|&&(bs, _)| bs < e)
+        .map(|&(bs, be)| be.min(e) - bs.max(s))
+        .sum()
 }
 
 /// Computes an [`IterationRecord`] from one iteration's span timeline.

@@ -20,7 +20,14 @@
 //!   depth and per-stream utilisation render alongside the span
 //!   timeline in Perfetto;
 //! * [`gate`] — a perf-regression gate comparing a run's step times
-//!   against a committed `BENCH_obs.json` snapshot with a tolerance.
+//!   against a committed `BENCH_obs.json` snapshot with a tolerance;
+//! * [`critpath`] — critical-path extraction over the span dependency
+//!   DAG an engine records under `record_deps`: blame seconds per
+//!   `label × device × stream`, per-span slack, and what-if replays
+//!   ("2× A2A bandwidth") without re-simulating;
+//! * [`alerts`] — streaming anomaly detectors (EWMA z-score, threshold
+//!   rules) over the journal's step telemetry, scored against chaos
+//!   fault plans into a time-to-detect / precision / recall scoreboard.
 //!
 //! # Determinism rules
 //!
@@ -39,14 +46,23 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod alerts;
 pub mod audit;
 pub mod counters;
+pub mod critpath;
 pub mod gate;
 pub mod journal;
 pub mod registry;
 
+pub use alerts::{
+    score_alerts, Alert, EwmaDetector, FaultWindow, ScoreRow, Scoreboard, ThresholdRule,
+};
 pub use audit::{AuditLog, AuditRecord, AuditSummary, PlanAudit};
 pub use counters::{queue_depth_track, stream_utilization_tracks};
+pub use critpath::{
+    critical_path, standard_what_ifs, what_if, BlameEntry, CritPathRecord, CritPathReport,
+    CritSegment, WhatIf,
+};
 pub use gate::{gate_snapshots, BenchSnapshot, GateCheck, GateReport, GateStatus, SnapshotRow};
 pub use journal::{
     ChunkOverlap, CommOverlap, HistogramSnapshot, IterationRecord, Journal, ResilienceRecord,

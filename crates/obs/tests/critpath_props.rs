@@ -1,0 +1,121 @@
+//! Property-based tests for critical-path extraction: on fault-free
+//! random schedules the path covers the whole makespan (no residual),
+//! every span's slack is non-negative, and the identity what-if replay
+//! reproduces the simulated makespan.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use laer_cluster::{DeviceId, Topology};
+use laer_obs::{critical_path, what_if};
+use laer_sim::{Engine, EngineOptions, SpanHandle, SpanLabel, StreamKind};
+use proptest::prelude::*;
+
+const DEVICES: usize = 4;
+
+/// Builds a random but dependency-consistent schedule on a recording
+/// engine: each op is either a plain span on a random `(device,
+/// stream)` with up to two dependencies on earlier spans, or (every
+/// time `collective` is set) a synchronising collective across all
+/// devices.
+fn random_schedule(ops: &[(usize, usize, f64, usize, usize)]) -> Engine {
+    let topo = Topology::single_node(DEVICES).expect("non-empty");
+    let mut engine = Engine::with_options(&topo, EngineOptions { record_deps: true });
+    let devices: Vec<DeviceId> = topo.devices().collect();
+    let labels = [
+        SpanLabel::Attention,
+        SpanLabel::ExpertCompute,
+        SpanLabel::AllToAll,
+        SpanLabel::Prefetch,
+        SpanLabel::GradSync,
+        SpanLabel::Other,
+    ];
+    let mut handles: Vec<SpanHandle> = Vec::new();
+    for &(dev, stream, dur, dep_seed, collective) in ops {
+        if collective % 5 == 0 {
+            let durations: Vec<f64> = (0..DEVICES)
+                .map(|d| dur * (1.0 + d as f64 * 0.25))
+                .collect();
+            let deps: Vec<Vec<SpanHandle>> = (0..DEVICES)
+                .map(|d| {
+                    handles
+                        .get((dep_seed + d) % handles.len().max(1))
+                        .copied()
+                        .into_iter()
+                        .collect()
+                })
+                .collect();
+            handles.extend(engine.enqueue_collective(
+                &devices,
+                StreamKind::A2a,
+                SpanLabel::AllToAll,
+                &durations,
+                &deps,
+            ));
+        } else {
+            let mut deps: Vec<SpanHandle> = Vec::new();
+            if !handles.is_empty() {
+                deps.push(handles[dep_seed % handles.len()]);
+                if dep_seed % 3 == 0 {
+                    deps.push(handles[(dep_seed / 3) % handles.len()]);
+                }
+            }
+            handles.push(engine.enqueue(
+                DeviceId::new(dev % DEVICES),
+                StreamKind::ALL[stream % StreamKind::COUNT],
+                labels[(dev + stream + dep_seed) % labels.len()],
+                dur,
+                &deps,
+            ));
+        }
+    }
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The blamed segments tile `[0, makespan]` exactly — a fault-free
+    /// schedule has no frontier jumps, so nothing is residual — and the
+    /// CPM pass never reports negative slack.
+    #[test]
+    fn critical_path_covers_the_makespan(
+        ops in proptest::collection::vec(
+            (0usize..DEVICES, 0usize..4, 0.01f64..5.0, 0usize..1000, 0usize..25),
+            1..40,
+        )
+    ) {
+        let engine = random_schedule(&ops);
+        let report = critical_path(engine.timeline()).expect("recording engine");
+        prop_assert!((report.attributed - report.makespan).abs() < 1e-9 * report.makespan.max(1.0));
+        prop_assert!(report.residual < 1e-9 * report.makespan.max(1.0));
+        for (i, &slack) in report.slack.iter().enumerate() {
+            prop_assert!(slack >= 0.0, "span {} has negative slack {}", i, slack);
+        }
+        // Segments are contiguous and ordered.
+        for w in report.segments.windows(2) {
+            prop_assert!((w[0].end - w[1].start).abs() < 1e-12);
+        }
+        if let Some(first) = report.segments.first() {
+            prop_assert!(first.start.abs() < 1e-12);
+        }
+        // Every blamed span sits on a zero-slack chain.
+        for seg in &report.segments {
+            prop_assert!(report.slack[seg.span] < 1e-9);
+        }
+    }
+
+    /// Replaying the DAG with identity scaling reproduces the simulated
+    /// makespan: the recorded edges and local work are sufficient to
+    /// reconstruct the schedule.
+    #[test]
+    fn identity_replay_matches_simulation(
+        ops in proptest::collection::vec(
+            (0usize..DEVICES, 0usize..4, 0.01f64..5.0, 0usize..1000, 0usize..25),
+            1..40,
+        )
+    ) {
+        let engine = random_schedule(&ops);
+        let makespan = engine.timeline().makespan();
+        let replayed = what_if(engine.timeline(), |_| 1.0).expect("recording engine");
+        prop_assert!((replayed - makespan).abs() < 1e-9 * makespan.max(1.0));
+    }
+}

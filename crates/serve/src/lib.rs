@@ -52,8 +52,13 @@ pub mod sla;
 pub mod systems;
 pub mod workload;
 
-pub use resilience::{RecoveryEvent, RetryBuffer, RetryEntry, ServiceRate, ShedBreakdown};
-pub use serving::{record_observability, run_serving, ServeConfig, ServeReport, ServingOutcome};
+pub use resilience::{
+    RecoveryEvent, RetryBuffer, RetryEntry, ServiceRate, ShedBreakdown, SERVE_DETECTION_DELAY,
+    SERVE_FAILOVER_TIMEOUT, SERVE_RELOAD_TIME,
+};
+pub use serving::{
+    record_observability, run_serving, step_records, ServeConfig, ServeReport, ServingOutcome,
+};
 pub use sla::{LatencySummary, SlaConfig};
 pub use systems::{FailureResponse, ServingSystem, ServingSystemKind};
 pub use workload::{generate_requests, Request, TopicMix, WorkloadConfig};

@@ -496,6 +496,13 @@ pub fn run_serving(cfg: &ServeConfig) -> ServingOutcome {
                 for &d in &newly {
                     trial[d] = false;
                 }
+                // The detection instant is telemetry too: without this
+                // edge sample the next regular per-step sample lands
+                // only after the (much longer) recovery response, so no
+                // step-series detector could ever observe the live-set
+                // drop at the detection delay.
+                queue_depth.push((clock, queue.len()));
+                live_trace.push((clock, trial.iter().filter(|&&l| l).count()));
                 let view = capacity_view(&topo, &active, &trial);
                 match system.handle_capacity_change(&view) {
                     FailureResponse::Replan => {
@@ -1129,21 +1136,30 @@ pub fn record_observability(out: &ServingOutcome, obs: &mut Observer) {
                     .collect(),
             },
         );
-        for (step, (&(time, depth), &(_, live))) in
-            out.queue_depth.iter().zip(&out.live_devices).enumerate()
-        {
-            obs.journal.push(
-                "serving-step",
-                &ServeStepRecord {
-                    system: system.to_string(),
-                    step: step as u64,
-                    time,
-                    queue_depth: depth as u64,
-                    live_devices: live as u64,
-                },
-            );
+        for record in step_records(out) {
+            obs.journal.push("serving-step", &record);
         }
     }
+}
+
+/// The run's per-step telemetry stream as [`ServeStepRecord`]s — the
+/// same records a faulted run journals under `serving-step`. Includes
+/// the failure-edge samples taken at detection time, so streaming
+/// detectors replaying this stream see the live-set drop exactly
+/// [`SERVE_DETECTION_DELAY`](crate::SERVE_DETECTION_DELAY) after onset.
+pub fn step_records(out: &ServingOutcome) -> Vec<ServeStepRecord> {
+    out.queue_depth
+        .iter()
+        .zip(&out.live_devices)
+        .enumerate()
+        .map(|(step, (&(time, depth), &(_, live)))| ServeStepRecord {
+            system: out.report.system.clone(),
+            step: step as u64,
+            time,
+            queue_depth: depth as u64,
+            live_devices: live as u64,
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -1576,7 +1592,9 @@ mod tests {
         }
 
         /// Faulted runs export the resilience counters and journal the
-        /// summary plus one record per scheduler step.
+        /// summary plus one record per telemetry sample: every scheduler
+        /// step, plus one failure-edge sample per detection showing the
+        /// reduced live set at the detection instant.
         #[test]
         fn faulted_run_journals_resilience_records() {
             let out = run_serving(&chaos_cfg(
@@ -1592,7 +1610,25 @@ mod tests {
             let jsonl = obs.journal.to_jsonl();
             assert!(jsonl.contains("\"type\":\"serving-resilience\""));
             assert!(jsonl.contains("\"type\":\"serving-step\""));
-            assert_eq!(obs.journal.len() as u64, 2 + out.report.steps);
+            assert_eq!(obs.journal.len(), 2 + out.queue_depth.len());
+            assert!(
+                out.queue_depth.len() as u64 > out.report.steps,
+                "a faulted run with detections carries failure-edge samples"
+            );
+            // The edge sample lands exactly one detection delay after
+            // onset, carrying the reduced live count.
+            let first = out
+                .recovery_events
+                .first()
+                .expect("the plan injects a failure");
+            let sample = out
+                .live_devices
+                .iter()
+                .find(|&&(t, _)| (t - (first.detected + SERVE_DETECTION_DELAY)).abs() < 1e-12)
+                .expect("detection-edge sample present");
+            let full_live = out.live_devices.first().map_or(0, |&(_, l)| l);
+            assert!(sample.1 < full_live, "edge sample shows the drop");
+            assert_eq!(step_records(&out).len(), out.queue_depth.len());
         }
     }
 

@@ -88,11 +88,32 @@ pub fn write_chrome_trace<W: Write>(timeline: &Timeline, out: W) -> io::Result<(
 pub fn write_chrome_trace_with_counters<W: Write>(
     timeline: &Timeline,
     counters: &[CounterTrack],
+    out: W,
+) -> io::Result<()> {
+    write_chrome_trace_with_flow(timeline, counters, &[], out)
+}
+
+/// [`write_chrome_trace_with_counters`] plus flow events: every
+/// `(src, dst)` pair of span indices in `flow` is emitted as a
+/// `ph:"s"` → `ph:"f"` arrow from the source span's end to the
+/// destination span's start, so Perfetto draws the critical path as a
+/// chain of arrows across devices and streams. Pairs referencing spans
+/// outside the timeline are skipped.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_chrome_trace_with_flow<W: Write>(
+    timeline: &Timeline,
+    counters: &[CounterTrack],
+    flow: &[(usize, usize)],
     mut out: W,
 ) -> io::Result<()> {
     out.write_all(b"[")?;
     let mut first = true;
-    // Thread-name metadata so Perfetto shows S1..S4 labels.
+    // Thread-name metadata so Perfetto shows S1..S4 labels, plus a
+    // process_sort_index per device so devices render in numeric order
+    // (the default string sort puts device 10 before device 2).
     let mut named: Vec<(usize, StreamKind)> = timeline
         .spans()
         .iter()
@@ -100,6 +121,19 @@ pub fn write_chrome_trace_with_counters<W: Write>(
         .collect();
     named.sort_by_key(|&(d, k)| (d, stream_tid(k)));
     named.dedup();
+    let mut devices: Vec<usize> = named.iter().map(|&(d, _)| d).collect();
+    devices.dedup();
+    for device in devices {
+        if !first {
+            out.write_all(b",")?;
+        }
+        first = false;
+        write!(
+            out,
+            "{{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":{device},\
+             \"args\":{{\"sort_index\":{device}}}}}"
+        )?;
+    }
     for (device, kind) in named {
         if !first {
             out.write_all(b",")?;
@@ -129,6 +163,31 @@ pub fn write_chrome_trace_with_counters<W: Write>(
             stream_tid(span.stream),
             span.start * 1e6,
             span.duration() * 1e6
+        )?;
+    }
+    // Flow arrows (critical-path edges): a `ph:"s"` at the source span's
+    // end bound to a `ph:"f"` (binding point "e": enclosing slice) at
+    // the destination span's start, one id per edge.
+    for (id, &(src, dst)) in flow.iter().enumerate() {
+        let (Some(s), Some(d)) = (timeline.spans().get(src), timeline.spans().get(dst)) else {
+            continue;
+        };
+        if !first {
+            out.write_all(b",")?;
+        }
+        first = false;
+        write!(
+            out,
+            "{{\"name\":\"critical-path\",\"cat\":\"critpath\",\"ph\":\"s\",\"id\":{id},\
+             \"pid\":{},\"tid\":{},\"ts\":{:.3}}},\
+             {{\"name\":\"critical-path\",\"cat\":\"critpath\",\"ph\":\"f\",\"bp\":\"e\",\
+             \"id\":{id},\"pid\":{},\"tid\":{},\"ts\":{:.3}}}",
+            s.device.index(),
+            stream_tid(s.stream),
+            s.end * 1e6,
+            d.device.index(),
+            stream_tid(d.stream),
+            d.start * 1e6
         )?;
     }
     for track in counters {
@@ -267,6 +326,53 @@ mod tests {
             }
             assert!(last > f64::NEG_INFINITY, "track {track} emitted");
         }
+    }
+
+    /// Flow events render the critical path: one `ph:"s"`/`ph:"f"` pair
+    /// per edge, anchored at the source end and destination start, and
+    /// out-of-range pairs are skipped rather than panicking.
+    #[test]
+    fn flow_events_follow_the_edges() {
+        let (t, _) = golden_input();
+        let mut buf = Vec::new();
+        write_chrome_trace_with_flow(&t, &[], &[(0, 1), (1, 3), (7, 9)], &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        serde_json_shim::parse(&text);
+        assert_eq!(text.matches("\"ph\":\"s\"").count(), 2);
+        assert_eq!(text.matches("\"ph\":\"f\"").count(), 2);
+        assert!(text.contains("\"bp\":\"e\""));
+        // Edge 0 starts at span 0's end (1e-3 s = 1000 µs).
+        assert!(text.contains("\"ph\":\"s\",\"id\":0,\"pid\":0,\"tid\":1,\"ts\":1000.000"));
+        // Without flow edges the writer emits none.
+        let mut plain = Vec::new();
+        write_chrome_trace(&t, &mut plain).unwrap();
+        assert!(!String::from_utf8(plain).unwrap().contains("\"ph\":\"s\""));
+    }
+
+    /// Devices carry a numeric `process_sort_index` so Perfetto orders
+    /// device 2 before device 10 (the string sort would not).
+    #[test]
+    fn devices_sort_numerically() {
+        let mut t = Timeline::new();
+        for device in [10usize, 2] {
+            t.push(Span {
+                device: DeviceId::new(device),
+                stream: StreamKind::Compute,
+                label: SpanLabel::Attention,
+                start: 0.0,
+                end: 1e-3,
+            });
+        }
+        let mut buf = Vec::new();
+        write_chrome_trace(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let idx2 = text
+            .find("{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":2,\"args\":{\"sort_index\":2}}")
+            .expect("device 2 sort index");
+        let idx10 = text
+            .find("{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":10,\"args\":{\"sort_index\":10}}")
+            .expect("device 10 sort index");
+        assert!(idx2 < idx10, "metadata emitted in numeric device order");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use laer_cluster::{DeviceId, Topology};
 use serde::{Deserialize, Serialize};
 
-use crate::timeline::{Span, SpanLabel, Timeline};
+use crate::timeline::{CollectiveGroup, Span, SpanLabel, Timeline};
 
 /// The four per-device streams of Fig. 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -53,6 +53,39 @@ impl StreamKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SpanHandle(usize);
 
+impl SpanHandle {
+    /// The handle's timeline index — the span's stable id. Handles are
+    /// assigned densely in enqueue order, so the id indexes
+    /// [`Timeline::spans`] directly.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Construction-time engine knobs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Record the span dependency DAG into [`Timeline::dep_log`]: the
+    /// finish-to-start edges of every enqueue (explicit deps plus the
+    /// stream-frontier predecessor) and the membership/bottleneck of
+    /// every collective. Off by default — the enqueue hot path stays
+    /// untouched (guarded by `bench_engine`).
+    pub record_deps: bool,
+}
+
+/// Dependency-recording state, boxed behind an `Option` so the default
+/// engine carries one pointer of overhead and no per-enqueue work.
+#[derive(Debug, Clone)]
+struct DepRecorder {
+    /// Last span recorded on each `(device, stream)` slot — the
+    /// stream-frontier predecessor of the slot's next span.
+    frontier_src: Vec<Option<u32>>,
+    /// Span holding the global maximum end time (ties keep the earliest
+    /// span), used to attribute barrier-raised frontiers.
+    latest: Option<u32>,
+    latest_end: f64,
+}
+
 /// Deterministic multi-stream engine over a fixed [`Topology`].
 #[derive(Debug, Clone)]
 pub struct Engine {
@@ -62,16 +95,35 @@ pub struct Engine {
     /// enqueue hot path does no hashing.
     frontiers: Vec<f64>,
     timeline: Timeline,
+    recorder: Option<Box<DepRecorder>>,
 }
 
 impl Engine {
     /// Creates an engine with all stream frontiers at time zero.
     pub fn new(topo: &Topology) -> Self {
+        Self::with_options(topo, EngineOptions::default())
+    }
+
+    /// Creates an engine with explicit [`EngineOptions`].
+    pub fn with_options(topo: &Topology, options: EngineOptions) -> Self {
+        let slots = topo.num_devices() * StreamKind::COUNT;
         Self {
             num_devices: topo.num_devices(),
-            frontiers: vec![0.0; topo.num_devices() * StreamKind::COUNT],
+            frontiers: vec![0.0; slots],
             timeline: Timeline::new(),
+            recorder: options.record_deps.then(|| {
+                Box::new(DepRecorder {
+                    frontier_src: vec![None; slots],
+                    latest: None,
+                    latest_end: 0.0,
+                })
+            }),
         }
+    }
+
+    /// Whether this engine records the span dependency DAG.
+    pub fn records_deps(&self) -> bool {
+        self.recorder.is_some()
     }
 
     /// Number of devices being simulated.
@@ -147,6 +199,22 @@ impl Engine {
             end: ready + duration,
         };
         self.frontiers[slot] = span.end;
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            self.timeline.pad_deps();
+            let idx = self.timeline.len() as u32;
+            let mut edges: Vec<u32> = deps.iter().map(|h| h.0 as u32).collect();
+            if let Some(src) = rec.frontier_src[slot] {
+                edges.push(src);
+            }
+            edges.sort_unstable();
+            edges.dedup();
+            self.timeline.deps_mut().record(edges, duration);
+            rec.frontier_src[slot] = Some(idx);
+            if span.end > rec.latest_end || rec.latest.is_none() {
+                rec.latest = Some(idx);
+                rec.latest_end = span.end;
+            }
+        }
         self.timeline.push(span);
         SpanHandle(self.timeline.len() - 1)
     }
@@ -191,6 +259,37 @@ impl Engine {
             .iter()
             .map(|&(_, _, end)| end)
             .fold(0.0, f64::max);
+        if let (Some(rec), false) = (self.recorder.as_deref_mut(), local_finish.is_empty()) {
+            self.timeline.pad_deps();
+            let first = self.timeline.len() as u32;
+            // The bottleneck participant is the one whose local finish
+            // set the group end; ties resolve to the lowest position.
+            let bottleneck = local_finish
+                .iter()
+                .enumerate()
+                .max_by(|(i, (_, _, a)), (j, (_, _, b))| a.total_cmp(b).then(j.cmp(i)))
+                .map_or(0, |(i, _)| i as u32);
+            for (pos, ((dev, _, _), dep)) in local_finish.iter().zip(deps).enumerate() {
+                let slot = Self::slot(*dev, stream);
+                let mut edges: Vec<u32> = dep.iter().map(|h| h.0 as u32).collect();
+                if let Some(src) = rec.frontier_src[slot] {
+                    edges.push(src);
+                }
+                edges.sort_unstable();
+                edges.dedup();
+                self.timeline.deps_mut().record(edges, durations[pos]);
+                rec.frontier_src[slot] = Some(first + pos as u32);
+            }
+            self.timeline.deps_mut().record_group(CollectiveGroup {
+                first,
+                len: local_finish.len() as u32,
+                bottleneck,
+            });
+            if global_end > rec.latest_end || rec.latest.is_none() {
+                rec.latest = Some(first);
+                rec.latest_end = global_end;
+            }
+        }
         let mut handles = Vec::with_capacity(devices.len());
         for (dev, ready, _) in local_finish {
             let span = Span {
@@ -232,6 +331,19 @@ impl Engine {
     /// Advances every stream of every device to at least `time` —
     /// a global barrier (end of iteration).
     pub fn barrier_at(&mut self, time: f64) {
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            // Slots the barrier raises inherit the global-latest span as
+            // their frontier predecessor: schedulers call
+            // `barrier_at(engine.now())`, so that span's end is the
+            // barrier time and the dependency chain stays exact.
+            if let Some(latest) = rec.latest {
+                for (slot, &frontier) in self.frontiers.iter().enumerate() {
+                    if frontier < time {
+                        rec.frontier_src[slot] = Some(latest);
+                    }
+                }
+            }
+        }
         for frontier in &mut self.frontiers {
             if *frontier < time {
                 *frontier = time;
@@ -403,6 +515,153 @@ mod tests {
         );
         assert_eq!(e.span(h).end, 1.0);
         assert_eq!(e.timeline().len(), 1);
+    }
+
+    fn recording_engine(n: usize) -> Engine {
+        Engine::with_options(
+            &Topology::single_node(n).unwrap(),
+            EngineOptions { record_deps: true },
+        )
+    }
+
+    /// Every edge recorded for a span references a lower index and the
+    /// binding predecessor (the span whose end equals this start) is
+    /// among them.
+    #[test]
+    fn recorded_edges_capture_explicit_and_stream_deps() {
+        let mut e = recording_engine(2);
+        let d = DeviceId::new(0);
+        let a = e.enqueue(d, StreamKind::Compute, SpanLabel::Attention, 1.0, &[]);
+        let b = e.enqueue(d, StreamKind::Compute, SpanLabel::ExpertCompute, 2.0, &[]);
+        let c = e.enqueue(d, StreamKind::Prefetch, SpanLabel::Prefetch, 1.0, &[b]);
+        let dl = e.timeline().dep_log().expect("recording on");
+        assert_eq!(dl.len(), 3);
+        assert_eq!(dl.edges_of(a.index()), &[] as &[u32]);
+        // b's stream-frontier predecessor is a.
+        assert_eq!(dl.edges_of(b.index()), &[a.index() as u32]);
+        // c's only FS edge is the explicit dep on b (fresh stream).
+        assert_eq!(dl.edges_of(c.index()), &[b.index() as u32]);
+        assert_eq!(dl.work_of(c.index()), Some(1.0));
+    }
+
+    /// A collective's group records its membership and the bottleneck
+    /// participant; local work excludes the synchronisation wait.
+    #[test]
+    fn recorded_collective_group_names_the_bottleneck() {
+        let mut e = recording_engine(2);
+        let d0 = DeviceId::new(0);
+        let pre = e.enqueue(d0, StreamKind::Compute, SpanLabel::Attention, 2.0, &[]);
+        let hs = e.enqueue_collective(
+            &[d0, DeviceId::new(1)],
+            StreamKind::A2a,
+            SpanLabel::AllToAll,
+            &[0.5, 1.0],
+            &[vec![pre], vec![]],
+        );
+        let dl = e.timeline().dep_log().expect("recording on");
+        let g = dl.group_of(hs[0].index()).expect("grouped");
+        assert_eq!((g.first, g.len), (hs[0].index() as u32, 2));
+        // Device 0 finishes at 2.5, device 1 at 1.0 — 0 is the
+        // bottleneck even though its local work is smaller.
+        assert_eq!(g.bottleneck_span(), hs[0].index());
+        // Wait is charged into the span but not into the recorded work.
+        assert_eq!(e.span(hs[1]).duration(), 2.5);
+        assert_eq!(dl.work_of(hs[1].index()), Some(1.0));
+        assert!(dl.group_of(pre.index()).is_none());
+    }
+
+    /// After a barrier, the next span's frontier edge points at the
+    /// global-latest span, so the chain across iterations stays closed.
+    #[test]
+    fn barrier_records_latest_span_as_frontier_source() {
+        let mut e = recording_engine(2);
+        let a = e.enqueue(
+            DeviceId::new(0),
+            StreamKind::Compute,
+            SpanLabel::Attention,
+            3.0,
+            &[],
+        );
+        e.barrier_at(e.now());
+        let b = e.enqueue(
+            DeviceId::new(1),
+            StreamKind::GradSync,
+            SpanLabel::GradSync,
+            1.0,
+            &[],
+        );
+        let dl = e.timeline().dep_log().expect("recording on");
+        assert_eq!(dl.edges_of(b.index()), &[a.index() as u32]);
+        assert_eq!(e.span(b).start, 3.0);
+    }
+
+    /// Spans appended directly to the timeline (annotations) keep the
+    /// dependency log aligned: later enqueues pad the gap.
+    #[test]
+    fn manual_pushes_keep_dep_log_aligned() {
+        let mut e = recording_engine(2);
+        e.enqueue(
+            DeviceId::new(0),
+            StreamKind::Compute,
+            SpanLabel::Attention,
+            1.0,
+            &[],
+        );
+        e.timeline_mut().push(Span {
+            device: DeviceId::new(0),
+            stream: StreamKind::Compute,
+            label: SpanLabel::Fault,
+            start: 0.0,
+            end: 9.0,
+        });
+        let h = e.enqueue(
+            DeviceId::new(0),
+            StreamKind::Compute,
+            SpanLabel::ExpertCompute,
+            1.0,
+            &[],
+        );
+        assert_eq!(h.index(), 2);
+        let dl = e.timeline().dep_log().expect("recording on");
+        assert_eq!(dl.len(), 3);
+        assert_eq!(dl.edges_of(1), &[] as &[u32]);
+        assert_eq!(dl.edges_of(2), &[0]);
+    }
+
+    /// Satellite acceptance: with `record_deps = false` the produced
+    /// timeline is byte-identical to the pre-flag engine — same spans,
+    /// same serialized form (the dependency log never appears).
+    #[test]
+    fn unrecorded_timeline_is_byte_identical() {
+        let build = |opts: EngineOptions| {
+            let topo = Topology::single_node(2).unwrap();
+            let mut e = Engine::with_options(&topo, opts);
+            let d0 = DeviceId::new(0);
+            let a = e.enqueue(d0, StreamKind::Compute, SpanLabel::Attention, 1.0, &[]);
+            e.enqueue_collective(
+                &[d0, DeviceId::new(1)],
+                StreamKind::A2a,
+                SpanLabel::AllToAll,
+                &[0.5, 1.5],
+                &[vec![a], vec![]],
+            );
+            e.barrier_at(e.now());
+            e.enqueue(d0, StreamKind::GradSync, SpanLabel::GradSync, 0.25, &[]);
+            e.into_timeline()
+        };
+        let off = build(EngineOptions::default());
+        let on = build(EngineOptions { record_deps: true });
+        // Spans are identical either way; only the side log differs.
+        assert_eq!(off.spans(), on.spans());
+        assert!(off.dep_log().is_none());
+        assert!(on.dep_log().is_some());
+        let json_off = serde_json::to_string(&off).unwrap();
+        // The unrecorded form serializes without any dep-log field,
+        // matching what a pre-flag engine produced.
+        assert!(!json_off.contains("deps"));
+        let legacy: Timeline = serde_json::from_str(&json_off).unwrap();
+        assert_eq!(legacy.spans(), off.spans());
+        assert_eq!(serde_json::to_string(&legacy).unwrap(), json_off);
     }
 
     #[test]

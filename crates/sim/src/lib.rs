@@ -41,15 +41,16 @@ pub mod faults;
 mod timeline;
 
 pub use chrome::{
-    write_chrome_trace, write_chrome_trace_with_counters, CounterSample, CounterTrack,
+    write_chrome_trace, write_chrome_trace_with_counters, write_chrome_trace_with_flow,
+    CounterSample, CounterTrack,
 };
 pub use collective::{
     all_gather_time, all_reduce_time, all_to_all_balanced_time, all_to_all_time,
     reduce_scatter_time, A2aMatrix, CollectiveError,
 };
-pub use engine::{Engine, SpanHandle, StreamKind};
+pub use engine::{Engine, EngineOptions, SpanHandle, StreamKind};
 pub use faults::{
     record_fault_spans, record_timed_fault_spans, ActiveFaults, FaultError, FaultEvent, FaultKind,
     FaultPlan, TimedFaultEvent,
 };
-pub use timeline::{Breakdown, Span, SpanLabel, Timeline};
+pub use timeline::{Breakdown, CollectiveGroup, DepLog, Span, SpanLabel, Timeline};

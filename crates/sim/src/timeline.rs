@@ -103,10 +103,117 @@ impl Span {
     }
 }
 
+/// One synchronising collective recorded by the dependency log: `len`
+/// consecutive spans starting at `first`, all ending at the group's
+/// global completion time. `bottleneck` is the position (within the
+/// group) of the participant whose `ready + work` set that completion —
+/// the deterministic tie-break is the lowest position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectiveGroup {
+    /// Index of the group's first span in the timeline.
+    pub first: u32,
+    /// Number of participant spans (consecutive from `first`).
+    pub len: u32,
+    /// Position within the group of the participant that finished last.
+    pub bottleneck: u32,
+}
+
+impl CollectiveGroup {
+    /// Timeline index of the bottleneck participant's span.
+    pub fn bottleneck_span(&self) -> usize {
+        (self.first + self.bottleneck) as usize
+    }
+
+    /// Whether `span` (a timeline index) belongs to this group.
+    pub fn contains(&self, span: usize) -> bool {
+        (self.first as usize..(self.first + self.len) as usize).contains(&span)
+    }
+}
+
+/// The span dependency DAG recorded by an engine running with
+/// [`crate::EngineOptions::record_deps`]. Empty (and skipped by serde)
+/// when recording was off, so timelines serialized before the flag
+/// existed — and runs with the flag off — keep their exact bytes.
+///
+/// For span `i`, `edges_of(i)` lists the finish-to-start predecessors
+/// the engine waited on: the explicit dependency handles plus the
+/// stream-frontier predecessor (the previous span on the same
+/// `(device, stream)` queue, or the global-latest span after a
+/// barrier). Edges always reference lower span indices. `work_of(i)` is
+/// the span's *local* work in seconds — for collective participants
+/// this excludes the synchronisation wait that the span's recorded
+/// duration includes, which is what lets a what-if pass replay the DAG
+/// with rescaled work without re-simulating.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DepLog {
+    edges: Vec<Vec<u32>>,
+    work: Vec<f64>,
+    groups: Vec<CollectiveGroup>,
+}
+
+impl DepLog {
+    /// Whether nothing was recorded (the `record_deps = false` state).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty() && self.groups.is_empty()
+    }
+
+    /// Number of spans covered by the log. Spans appended directly to
+    /// the timeline (fault/recovery annotations) may trail beyond this.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finish-to-start predecessors of span `i` (sorted, deduplicated),
+    /// or empty for spans outside the recorded range.
+    pub fn edges_of(&self, i: usize) -> &[u32] {
+        self.edges.get(i).map_or(&[], Vec::as_slice)
+    }
+
+    /// Local work seconds of span `i`, if recorded.
+    pub fn work_of(&self, i: usize) -> Option<f64> {
+        self.work.get(i).copied()
+    }
+
+    /// All recorded collective groups, ordered by first span index.
+    pub fn groups(&self) -> &[CollectiveGroup] {
+        &self.groups
+    }
+
+    /// The collective group containing span `i`, if any. Groups cover
+    /// disjoint consecutive ranges, so a binary search over their first
+    /// indices resolves membership.
+    pub fn group_of(&self, i: usize) -> Option<&CollectiveGroup> {
+        let pos = self.groups.partition_point(|g| g.first as usize <= i);
+        let g = &self.groups[pos.checked_sub(1)?];
+        g.contains(i).then_some(g)
+    }
+
+    pub(crate) fn record(&mut self, edges: Vec<u32>, work: f64) {
+        self.edges.push(edges);
+        self.work.push(work);
+    }
+
+    pub(crate) fn record_group(&mut self, group: CollectiveGroup) {
+        self.groups.push(group);
+    }
+
+    fn clear(&mut self) {
+        self.edges.clear();
+        self.work.clear();
+        self.groups.clear();
+    }
+}
+
 /// A recording of every span executed by an [`crate::Engine`].
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Timeline {
     spans: Vec<Span>,
+    /// Dependency DAG, recorded only under
+    /// [`crate::EngineOptions::record_deps`]; empty otherwise and then
+    /// skipped by serde, keeping pre-existing serializations
+    /// byte-identical.
+    #[serde(default, skip_serializing_if = "DepLog::is_empty")]
+    deps: DepLog,
 }
 
 impl Timeline {
@@ -119,6 +226,7 @@ impl Timeline {
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             spans: Vec::with_capacity(capacity),
+            deps: DepLog::default(),
         }
     }
 
@@ -230,9 +338,32 @@ impl Timeline {
         busy / makespan
     }
 
-    /// Removes all spans, keeping the allocation.
+    /// The recorded dependency DAG, or `None` when the engine ran
+    /// without [`crate::EngineOptions::record_deps`].
+    pub fn dep_log(&self) -> Option<&DepLog> {
+        (!self.deps.is_empty()).then_some(&self.deps)
+    }
+
+    /// Mutable dependency log, for the recording engine.
+    pub(crate) fn deps_mut(&mut self) -> &mut DepLog {
+        &mut self.deps
+    }
+
+    /// Extends the dependency log with no-edge entries up to the current
+    /// span count, so spans appended directly (annotations) keep the
+    /// log's index alignment with `spans`.
+    pub(crate) fn pad_deps(&mut self) {
+        while self.deps.len() < self.spans.len() {
+            let work = self.spans[self.deps.len()].duration();
+            self.deps.record(Vec::new(), work);
+        }
+    }
+
+    /// Removes all spans (and any recorded dependency edges), keeping
+    /// the allocations.
     pub fn clear(&mut self) {
         self.spans.clear();
+        self.deps.clear();
     }
 
     /// Number of spans recorded.

@@ -47,7 +47,7 @@ pub use faults::{
 };
 pub use rl::{run_rl, run_rl_observed, RlConfig, RlEpochReport, RlResult};
 pub use runner::{
-    run_experiment, run_experiment_observed, run_experiment_on_trace, ExperimentConfig,
-    ExperimentResult,
+    run_experiment, run_experiment_diagnosed, run_experiment_observed, run_experiment_on_trace,
+    ExperimentConfig, ExperimentResult, TrainDiagnosis,
 };
 pub use scaling::{mlp_speedup, MlpSpeedupRow};

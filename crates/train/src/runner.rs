@@ -1,16 +1,19 @@
 //! The experiment driver.
 
 use laer_baselines::{
-    FasterMoeSystem, FlexMoeSystem, FsdpEpSystem, LaerSystem, MegatronSystem, MoeSystem,
-    SmartMoeSystem, SystemContext, SystemKind, VanillaEpSystem,
+    predicted_bottleneck_device, FasterMoeSystem, FlexMoeSystem, FsdpEpSystem, LaerSystem,
+    MegatronSystem, MoeSystem, SmartMoeSystem, SystemContext, SystemKind, VanillaEpSystem,
 };
 use laer_cluster::Topology;
 use laer_fsep::{schedule_iteration, LayerTimings};
 use laer_model::{GpuSpec, ModelPreset};
-use laer_obs::{journal, AuditRecord, Histogram, Observer};
+use laer_obs::{
+    critpath, journal, AuditRecord, BlameEntry, CritPathRecord, Histogram, Observer, WhatIf,
+};
 use laer_routing::{DatasetProfile, RoutingGenerator, RoutingGeneratorConfig, RoutingMatrix};
-use laer_sim::{Breakdown, Engine, Timeline};
+use laer_sim::{Breakdown, Engine, EngineOptions, Timeline};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Configuration of one end-to-end experiment (one bar of Fig. 8, one
 /// stack of Fig. 10a, ...).
@@ -48,6 +51,14 @@ pub struct ExperimentConfig {
     /// their meaning).
     #[serde(default)]
     pub num_chunks: usize,
+    /// Record the span dependency DAG for critical-path diagnosis
+    /// ([`laer_sim::EngineOptions::record_deps`]). Off by default: the
+    /// engine hot path and every pre-existing artifact are unchanged.
+    /// When on, each measured iteration additionally journals a
+    /// `critpath` event and [`run_experiment_diagnosed`] returns the
+    /// aggregated [`TrainDiagnosis`].
+    #[serde(default)]
+    pub record_deps: bool,
 }
 
 impl ExperimentConfig {
@@ -70,6 +81,7 @@ impl ExperimentConfig {
             seq_len: 8192,
             seed: 0,
             num_chunks: 0,
+            record_deps: false,
         }
     }
 
@@ -117,6 +129,13 @@ impl ExperimentConfig {
     /// Eq. 1 pricing.
     pub fn with_num_chunks(mut self, num_chunks: usize) -> Self {
         self.num_chunks = num_chunks.max(1);
+        self
+    }
+
+    /// Enables (or disables) span dependency recording for critical-path
+    /// diagnosis.
+    pub fn with_record_deps(mut self, record_deps: bool) -> Self {
+        self.record_deps = record_deps;
         self
     }
 
@@ -207,6 +226,33 @@ pub struct ExperimentResult {
     pub iteration_times: Vec<f64>,
 }
 
+/// Aggregated critical-path diagnosis of one training run (requires
+/// [`ExperimentConfig::record_deps`]): the Eq.-1-vs-critical-path
+/// bottleneck agreement, blame seconds summed over measured iterations,
+/// and the last iteration's what-if scenarios and path edges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainDiagnosis {
+    /// System under test.
+    pub system: String,
+    /// Measured iterations diagnosed.
+    pub iterations: u64,
+    /// Iterations where Eq. 1's predicted bottleneck device equals the
+    /// critical-path device.
+    pub agreements: u64,
+    /// `agreements / iterations`.
+    pub agreement_rate: f64,
+    /// Mean unattributed seconds per iteration.
+    pub mean_residual: f64,
+    /// Blame seconds per `label × device × stream`, summed over
+    /// measured iterations, sorted by descending seconds.
+    pub blame: Vec<BlameEntry>,
+    /// What-if scenarios replayed on the last measured iteration's DAG.
+    pub what_ifs: Vec<WhatIf>,
+    /// The last measured iteration's critical-path edges (`(src, dst)`
+    /// span-index pairs), for the flow-event Chrome export.
+    pub critical_edges: Vec<(usize, usize)>,
+}
+
 /// Runs one experiment end to end with synthetic per-layer traces.
 ///
 /// # Panics
@@ -234,11 +280,39 @@ pub fn run_experiment_observed(
     obs: &mut Observer,
 ) -> (ExperimentResult, Timeline) {
     let mut gens = cfg.layer_generators();
-    let (result, timeline) =
+    let (result, timeline, _) =
         run_with_demands_observed(cfg, |l, _| gens[l].next_iteration(), Some(obs));
     (
         result,
         timeline.unwrap_or_else(|| unreachable!("observed runs capture a timeline")),
+    )
+}
+
+/// [`run_experiment_observed`] plus the critical-path diagnosis layer:
+/// the engine records the span dependency DAG, every measured iteration
+/// journals a `critpath` event (blame headline, Eq.-1-vs-actual
+/// bottleneck agreement), and the aggregated [`TrainDiagnosis`] is
+/// returned alongside the result and last timeline.
+///
+/// # Panics
+///
+/// Panics if `cfg.record_deps` is off or the configuration is
+/// degenerate (zero layers/iterations).
+pub fn run_experiment_diagnosed(
+    cfg: &ExperimentConfig,
+    obs: &mut Observer,
+) -> (ExperimentResult, Timeline, TrainDiagnosis) {
+    assert!(
+        cfg.record_deps,
+        "run_experiment_diagnosed requires cfg.record_deps"
+    );
+    let mut gens = cfg.layer_generators();
+    let (result, timeline, diagnosis) =
+        run_with_demands_observed(cfg, |l, _| gens[l].next_iteration(), Some(obs));
+    (
+        result,
+        timeline.unwrap_or_else(|| unreachable!("observed runs capture a timeline")),
+        diagnosis.unwrap_or_else(|| unreachable!("record_deps runs produce a diagnosis")),
     )
 }
 
@@ -282,6 +356,35 @@ fn run_with_demands(
     run_with_demands_observed(cfg, demand_for, None).0
 }
 
+/// Blame accumulator keyed by `(label, device, stream)`, merged across
+/// iterations and re-sorted like [`laer_obs::CritPathReport::blame`].
+fn merge_blame(acc: &mut BTreeMap<(String, usize, String), f64>, blame: &[BlameEntry]) {
+    for b in blame {
+        *acc.entry((b.label.clone(), b.device, b.stream.clone()))
+            .or_insert(0.0) += b.seconds;
+    }
+}
+
+fn sorted_blame(acc: BTreeMap<(String, usize, String), f64>) -> Vec<BlameEntry> {
+    let mut blame: Vec<BlameEntry> = acc
+        .into_iter()
+        .map(|((label, device, stream), seconds)| BlameEntry {
+            label,
+            device,
+            stream,
+            seconds,
+        })
+        .collect();
+    blame.sort_by(|a, b| {
+        b.seconds
+            .total_cmp(&a.seconds)
+            .then_with(|| a.label.cmp(&b.label))
+            .then_with(|| a.device.cmp(&b.device))
+            .then_with(|| a.stream.cmp(&b.stream))
+    });
+    blame
+}
+
 /// Registry families the observed runner populates (documented on
 /// [`run_experiment_observed`]'s export side in `DESIGN.md` §8).
 fn declare_train_metrics(obs: &mut Observer) {
@@ -314,7 +417,7 @@ fn run_with_demands_observed(
     cfg: &ExperimentConfig,
     mut demand_for: impl FnMut(usize, u64) -> RoutingMatrix,
     mut obs: Option<&mut Observer>,
-) -> (ExperimentResult, Option<Timeline>) {
+) -> (ExperimentResult, Option<Timeline>, Option<TrainDiagnosis>) {
     assert!(cfg.layers > 0, "at least one layer");
     assert!(cfg.iterations > 0, "at least one measured iteration");
     let topo = cfg.topology();
@@ -327,6 +430,12 @@ fn run_with_demands_observed(
     }
     if let Some(o) = obs.as_deref_mut() {
         declare_train_metrics(o);
+        if cfg.record_deps {
+            o.registry.declare_gauge(
+                "laer_critpath_agreement_rate",
+                "fraction of iterations where Eq. 1's bottleneck device matches the critical path",
+            );
+        }
     }
 
     let mut iteration_times = Vec::with_capacity(cfg.iterations);
@@ -334,12 +443,19 @@ fn run_with_demands_observed(
     let mut ratio_acc = 0.0f64;
     let mut ratio_count = 0usize;
     let mut last_timeline = None;
+    let mut diag_agreements = 0u64;
+    let mut diag_iterations = 0u64;
+    let mut diag_residual = 0.0f64;
+    let mut diag_blame: BTreeMap<(String, usize, String), f64> = BTreeMap::new();
+    let mut diag_what_ifs: Vec<WhatIf> = Vec::new();
+    let mut diag_edges: Vec<(usize, usize)> = Vec::new();
 
     let total_iters = cfg.warmup + cfg.iterations;
     for iter in 0..total_iters {
         let measured = iter >= cfg.warmup;
         let mut iter_ratio = 0.0f64;
         let mut layer_timings: Vec<LayerTimings> = Vec::with_capacity(cfg.layers);
+        let mut iter_loads: Vec<Vec<u64>> = Vec::new();
         for l in 0..cfg.layers {
             let demand = demand_for(l, iter as u64);
             let plan = system.plan_layer(l, iter as u64, &demand);
@@ -348,6 +464,9 @@ fn run_with_demands_observed(
             if measured {
                 ratio_acc += ratio;
                 ratio_count += 1;
+            }
+            if cfg.record_deps && measured {
+                iter_loads.push(plan.audit.predicted_loads.clone());
             }
             if let Some(o) = obs.as_deref_mut() {
                 // Join the decision's belief with what the executor was
@@ -376,7 +495,12 @@ fn run_with_demands_observed(
             }
             layer_timings.push(plan.timings);
         }
-        let mut engine = Engine::new(&topo);
+        let mut engine = Engine::with_options(
+            &topo,
+            EngineOptions {
+                record_deps: cfg.record_deps,
+            },
+        );
         let t = schedule_iteration(&mut engine, &topo, &layer_timings, opts);
         if measured {
             iteration_times.push(t.total);
@@ -396,6 +520,35 @@ fn run_with_demands_observed(
                     .inc("laer_train_iterations_total", &[("system", name)], 1);
                 o.registry
                     .observe("laer_train_step_seconds", &[("system", name)], t.total);
+                if cfg.record_deps {
+                    let report = critpath::critical_path(engine.timeline())
+                        .unwrap_or_else(|| unreachable!("recording engine has a dep log"));
+                    let critical_device = report.critical_device().unwrap_or(0);
+                    let predicted_device = predicted_bottleneck_device(&iter_loads).unwrap_or(0);
+                    let agree = critical_device == predicted_device;
+                    o.journal.push(
+                        "critpath",
+                        &CritPathRecord {
+                            system: name.to_string(),
+                            iteration: iter as u64,
+                            makespan: report.makespan,
+                            residual: report.residual,
+                            critical_device,
+                            predicted_device,
+                            agree,
+                            top_blame: report.top_blame(3).to_vec(),
+                        },
+                    );
+                    diag_iterations += 1;
+                    diag_agreements += u64::from(agree);
+                    diag_residual += report.residual;
+                    merge_blame(&mut diag_blame, &report.blame);
+                    if iter + 1 == total_iters {
+                        diag_edges = report.edges();
+                        diag_what_ifs = critpath::standard_what_ifs(engine.timeline())
+                            .unwrap_or_else(|| unreachable!("recording engine has a dep log"));
+                    }
+                }
                 if iter + 1 == total_iters {
                     last_timeline = Some(engine.timeline().clone());
                 }
@@ -405,6 +558,16 @@ fn run_with_demands_observed(
 
     let avg_iteration_time = iteration_times.iter().sum::<f64>() / iteration_times.len() as f64;
     let global_tokens = n as u64 * cfg.tokens_per_device;
+    let diagnosis = (cfg.record_deps && diag_iterations > 0).then(|| TrainDiagnosis {
+        system: name.to_string(),
+        iterations: diag_iterations,
+        agreements: diag_agreements,
+        agreement_rate: diag_agreements as f64 / diag_iterations as f64,
+        mean_residual: diag_residual / diag_iterations as f64,
+        blame: sorted_blame(diag_blame),
+        what_ifs: diag_what_ifs,
+        critical_edges: diag_edges,
+    });
     if let Some(o) = obs {
         o.registry.set(
             "laer_train_avg_step_seconds",
@@ -423,6 +586,13 @@ fn run_with_demands_observed(
                 summary.mean_abs_rel_error,
             );
         }
+        if let Some(d) = &diagnosis {
+            o.registry.set(
+                "laer_critpath_agreement_rate",
+                &[("system", name)],
+                d.agreement_rate,
+            );
+        }
     }
     let result = ExperimentResult {
         system: name.to_string(),
@@ -432,7 +602,7 @@ fn run_with_demands_observed(
         avg_max_token_ratio: ratio_acc / ratio_count as f64,
         iteration_times,
     };
-    (result, last_timeline)
+    (result, last_timeline, diagnosis)
 }
 
 #[cfg(test)]
@@ -523,6 +693,46 @@ mod tests {
             chunked.avg_iteration_time,
             whole.avg_iteration_time
         );
+    }
+
+    /// The diagnosis layer: recording the DAG does not change any
+    /// simulated time, the critpath journal events appear once per
+    /// measured iteration, and the diagnosis aggregates cover the run.
+    #[test]
+    fn diagnosed_run_matches_and_reports() {
+        let plain = run_experiment(&quick(SystemKind::Laer));
+        let mut obs = Observer::new();
+        let cfg = quick(SystemKind::Laer).with_record_deps(true);
+        let (diagnosed, timeline, diag) = run_experiment_diagnosed(&cfg, &mut obs);
+        assert_eq!(
+            plain.iteration_times, diagnosed.iteration_times,
+            "recording must not perturb the schedule"
+        );
+        assert!(
+            timeline.dep_log().is_some(),
+            "last timeline carries the DAG"
+        );
+        assert_eq!(diag.iterations, cfg.iterations as u64);
+        assert!(diag.agreement_rate >= 0.0 && diag.agreement_rate <= 1.0);
+        assert!(!diag.blame.is_empty());
+        assert_eq!(diag.what_ifs.len(), 4);
+        assert!(!diag.critical_edges.is_empty());
+        // Blame is sorted descending.
+        for w in diag.blame.windows(2) {
+            assert!(w[0].seconds >= w[1].seconds);
+        }
+        let critpath_events = obs
+            .journal
+            .to_jsonl()
+            .lines()
+            .filter(|l| l.starts_with("{\"type\":\"critpath\""))
+            .count();
+        assert_eq!(critpath_events, cfg.iterations);
+        // Off by default: the observed runner journals no critpath events.
+        let mut plain_obs = Observer::new();
+        let (_, t) = run_experiment_observed(&quick(SystemKind::Laer), &mut plain_obs);
+        assert!(t.dep_log().is_none());
+        assert!(!plain_obs.journal.to_jsonl().contains("\"critpath\""));
     }
 
     /// Trace replay: running on a recorded trace is valid and, with a

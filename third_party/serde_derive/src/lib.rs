@@ -7,7 +7,8 @@
 //!
 //! Supported shapes (everything this workspace derives):
 //!
-//! * structs with named fields (`#[serde(default)]` honoured);
+//! * structs with named fields (`#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "path")]` honoured);
 //! * tuple structs — single-field ones serialize transparently
 //!   (`#[serde(transparent)]` is accepted and implied), multi-field ones
 //!   as arrays;
@@ -59,6 +60,14 @@ fn expand(input: TokenStream, mode: Mode) -> TokenStream {
 struct Field {
     name: String,
     has_default: bool,
+    skip_if: Option<String>,
+}
+
+/// Field-level `#[serde(...)]` options recognised by the stub.
+#[derive(Default)]
+struct FieldAttrs {
+    has_default: bool,
+    skip_if: Option<String>,
 }
 
 enum Payload {
@@ -123,10 +132,11 @@ impl Cursor {
         self.pos >= self.toks.len()
     }
 
-    /// Skips `#[...]` attribute groups, returning whether any of them was
-    /// `#[serde(default)]`.
-    fn skip_attrs(&mut self) -> bool {
-        let mut has_default = false;
+    /// Skips `#[...]` attribute groups, collecting the `#[serde(...)]`
+    /// field options this stub honours: `default` and
+    /// `skip_serializing_if = "path"`.
+    fn skip_attrs(&mut self) -> FieldAttrs {
+        let mut attrs = FieldAttrs::default();
         while let Some(TokenTree::Punct(p)) = self.peek() {
             if p.as_char() != '#' {
                 break;
@@ -134,12 +144,22 @@ impl Cursor {
             self.next(); // '#'
             if let Some(TokenTree::Group(g)) = self.next() {
                 let text = g.stream().to_string();
-                if text.starts_with("serde") && text.contains("default") {
-                    has_default = true;
+                if text.starts_with("serde") {
+                    if text.contains("default") {
+                        attrs.has_default = true;
+                    }
+                    if let Some(pos) = text.find("skip_serializing_if") {
+                        let rest = &text[pos..];
+                        if let Some(q1) = rest.find('"') {
+                            if let Some(q2) = rest[q1 + 1..].find('"') {
+                                attrs.skip_if = Some(rest[q1 + 1..q1 + 1 + q2].to_string());
+                            }
+                        }
+                    }
                 }
             }
         }
-        has_default
+        attrs
     }
 
     /// Skips `pub` / `pub(...)` visibility.
@@ -226,7 +246,7 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let mut c = Cursor::new(body);
     let mut fields = Vec::new();
     loop {
-        let has_default = c.skip_attrs();
+        let attrs = c.skip_attrs();
         if c.at_end() {
             break;
         }
@@ -241,7 +261,11 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
             }
         }
         c.skip_type();
-        fields.push(Field { name, has_default });
+        fields.push(Field {
+            name,
+            has_default: attrs.has_default,
+            skip_if: attrs.skip_if,
+        });
     }
     Ok(fields)
 }
@@ -306,18 +330,26 @@ fn gen_serialize(item: &Item) -> String {
             let entries: String = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::serialize_value(&self.{0})),",
+                    let push = format!(
+                        "__fields.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::serialize_value(&self.{0})));",
                         f.name
-                    )
+                    );
+                    match &f.skip_if {
+                        Some(path) => format!("if !{path}(&self.{}) {{ {push} }}\n", f.name),
+                        None => format!("{push}\n"),
+                    }
                 })
                 .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
                      fn serialize_value(&self) -> ::serde::Value {{\n\
-                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =\n\
+                             ::std::vec::Vec::with_capacity({});\n\
+                         {entries}\
+                         ::serde::Value::Object(__fields)\n\
                      }}\n\
-                 }}"
+                 }}",
+                fields.len()
             )
         }
         Item::TupleStruct { name, arity } => {
@@ -374,15 +406,27 @@ fn gen_serialize(item: &Item) -> String {
                             let items: String = fields
                                 .iter()
                                 .map(|f| {
-                                    format!(
-                                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::serialize_value({0})),",
+                                    let push = format!(
+                                        "__fields.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::serialize_value({0})));",
                                         f.name
-                                    )
+                                    );
+                                    match &f.skip_if {
+                                        Some(path) => {
+                                            format!("if !{path}({}) {{ {push} }}\n", f.name)
+                                        }
+                                        None => format!("{push}\n"),
+                                    }
                                 })
                                 .collect();
                             format!(
-                                "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(::std::vec![{items}]))]),",
-                                binds.join(", ")
+                                "{name}::{vn} {{ {} }} => {{\n\
+                                     let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =\n\
+                                         ::std::vec::Vec::with_capacity({});\n\
+                                     {items}\
+                                     ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(__fields))])\n\
+                                 }}",
+                                binds.join(", "),
+                                fields.len()
                             )
                         }
                     }
