@@ -1,12 +1,32 @@
 //! Criterion bench for the expert layout solver (Fig. 11's quantity):
-//! full Alg. 2 plans across cluster sizes and capacities.
+//! full Alg. 2 plans across cluster sizes and capacities, plus the
+//! fleet-scale hot paths — lite routing with reused scratch and refine
+//! probes through the incremental vs from-scratch evaluator.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use laer_cluster::Topology;
-use laer_planner::{CostParams, Planner, PlannerConfig};
-use laer_routing::{RoutingGenerator, RoutingGeneratorConfig};
+use laer_planner::{
+    lite_route, lite_route_with, refine_layout, refine_layout_scratch, CostParams, Planner,
+    PlannerConfig, RouteScratch,
+};
+use laer_routing::{RoutingGenerator, RoutingGeneratorConfig, RoutingMatrix};
+
+/// The ext-scale sweep's shape at cluster size `gpus`: 8-GPU nodes, 16
+/// experts, capacity 2, seeded Wikitext-profile demand.
+fn scale_instance(gpus: usize) -> (Topology, RoutingMatrix, Planner) {
+    let topo = Topology::new(gpus / 8, 8).expect("cluster");
+    let planner = Planner::new(
+        PlannerConfig::new(2).with_epsilon(8),
+        CostParams::mixtral_8x7b(),
+        topo.clone(),
+    );
+    let demand =
+        RoutingGenerator::new(RoutingGeneratorConfig::new(gpus, 16, 16 * 1024).with_seed(33))
+            .next_iteration();
+    (topo, demand, planner)
+}
 
 fn bench_plan(c: &mut Criterion) {
     let mut group = c.benchmark_group("planner_solve");
@@ -56,5 +76,63 @@ fn bench_dedup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_plan, bench_dedup);
+/// Lite routing (Alg. 3) across fleet sizes: the allocating entry point
+/// vs the scratch-reusing one — the per-call allocation overhead is the
+/// quantity the flat-array refactor removes from the refiner's loop.
+fn bench_lite_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lite_route");
+    for &gpus in &[64usize, 256, 1024] {
+        if gpus >= 1024 {
+            group.sample_size(20);
+        }
+        let (topo, demand, planner) = scale_instance(gpus);
+        let layout = planner.plan(&demand).layout;
+        group.bench_with_input(
+            BenchmarkId::new("fresh", format!("N{gpus}")),
+            &demand,
+            |b, demand| b.iter(|| lite_route(&topo, demand, &layout)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scratch", format!("N{gpus}")),
+            &demand,
+            |b, demand| {
+                let mut scratch = RouteScratch::new();
+                b.iter(|| lite_route_with(&topo, demand, &layout, &mut scratch))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Refinement probe throughput: a fixed probe budget through the
+/// incremental (delta) evaluator vs the from-scratch reference — the
+/// committed `BENCH_planner.json` floor in criterion form.
+fn bench_refine_probes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refine_probes");
+    group.sample_size(10);
+    for &(gpus, budget) in &[(64usize, 200usize), (256, 100), (1024, 50)] {
+        let (topo, demand, planner) = scale_instance(gpus);
+        let layout = planner.plan(&demand).layout;
+        let params = CostParams::mixtral_8x7b();
+        group.bench_with_input(
+            BenchmarkId::new("delta", format!("N{gpus}")),
+            &demand,
+            |b, demand| b.iter(|| refine_layout(&topo, demand, &layout, &params, budget)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scratch", format!("N{gpus}")),
+            &demand,
+            |b, demand| b.iter(|| refine_layout_scratch(&topo, demand, &layout, &params, budget)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_plan,
+    bench_dedup,
+    bench_lite_route,
+    bench_refine_probes
+);
 criterion_main!(benches);

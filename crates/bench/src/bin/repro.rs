@@ -7,7 +7,7 @@
 //! targets: fig1a fig1b fig1 fig2 tab2 eq1 fig8 fig9 fig10a fig10b
 //!          fig11 fig12 tab3 tab4 ext-refine ext-staleness ext-rack
 //!          ext-overlap ext-pipeline ext-replay ext-faults ext-serve
-//!          ext-chaos ext-obs ext-diagnose all harness-bench
+//!          ext-chaos ext-obs ext-diagnose ext-scale all harness-bench
 //! ```
 //!
 //! `--jobs N` fans the target's independent experiment cells across `N`
@@ -28,8 +28,8 @@
 use laer_bench::pool::Batch;
 use laer_bench::{
     eq1, ext_chaos, ext_diagnose, ext_faults, ext_obs, ext_overlap, ext_pipeline, ext_rack,
-    ext_refine, ext_replay, ext_serve, ext_staleness, fig1, fig10, fig11, fig12, fig2, fig8, fig9,
-    pool, tab2, tab3, tab4, Effort,
+    ext_refine, ext_replay, ext_scale, ext_serve, ext_staleness, fig1, fig10, fig11, fig12, fig2,
+    fig8, fig9, pool, tab2, tab3, tab4, Effort,
 };
 use std::time::Instant;
 
@@ -92,14 +92,18 @@ fn main() {
             .and_then(|v| args.get(v + 1))
             .and_then(|v| v.parse::<f64>().ok()),
     };
+    // `ext-scale` defaults to the full N64→N4096 sweep; `--quick`
+    // restricts it to the CI smoke sizes (unlike `Effort`, which
+    // defaults to quick).
+    let scale_quick = args.iter().any(|a| a == "--quick");
     let start = Instant::now();
-    let ran = dispatch(target, effort, jobs, iters, &obs);
+    let ran = dispatch(target, effort, jobs, iters, &obs, scale_quick);
     if !ran {
         eprintln!(
             "usage: repro <target> [--quick|--full] [--jobs N] [--iters N] [--update-baseline] [--baseline PATH] [--tolerance F]\n\
              targets: fig1a fig1b fig1 fig2 tab2 eq1 fig8 fig9 fig10a fig10b fig11 fig12 tab3 tab4 \
              ext-refine ext-staleness ext-rack ext-overlap ext-pipeline ext-replay ext-faults \
-             ext-serve ext-chaos ext-obs ext-diagnose all harness-bench"
+             ext-serve ext-chaos ext-obs ext-diagnose ext-scale all harness-bench"
         );
         std::process::exit(if target == "help" { 0 } else { 2 });
     }
@@ -112,6 +116,7 @@ fn dispatch(
     jobs: usize,
     iters: Option<usize>,
     obs: &ext_obs::ObsOptions,
+    scale_quick: bool,
 ) -> bool {
     match target {
         "fig1a" => {
@@ -209,6 +214,13 @@ fn dispatch(
         }
         "ext-diagnose" => {
             ext_diagnose::run_jobs(effort, iters, jobs);
+        }
+        // Not part of `repro all`: the full sweep reaches N4096 and is
+        // run (or smoked with `--quick`) explicitly.
+        "ext-scale" => {
+            if !ext_scale::run_jobs(obs, scale_quick, jobs) {
+                std::process::exit(1);
+            }
         }
         "all" => run_all(effort, jobs, iters, obs),
         "harness-bench" => harness_bench(),

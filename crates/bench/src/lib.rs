@@ -28,6 +28,7 @@ pub mod ext_pipeline;
 pub mod ext_rack;
 pub mod ext_refine;
 pub mod ext_replay;
+pub mod ext_scale;
 pub mod ext_serve;
 pub mod ext_staleness;
 pub mod fig1;

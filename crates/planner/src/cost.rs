@@ -32,6 +32,18 @@ pub struct CostParams {
     /// Whether activation checkpointing doubles the forward pass
     /// (`F_ckpt` of Eq. 2's computation term).
     pub checkpointing: bool,
+    /// Whether the pairwise communication term also charges the link's
+    /// per-message latency, matching `laer_sim::all_to_all_time`'s
+    /// per-peer `latency + bytes/bw` pricing. The paper's Eq. 2 (and
+    /// the default here) is bandwidth-only — accurate at the paper's 32
+    /// devices, but at fleet scale a rare expert's replica receives
+    /// from hundreds of distinct peers and the accumulated latency
+    /// dominates its A2A time, so fleet-size planning must price it.
+    /// Charged per routing entry (a slight over-count when one peer
+    /// pair carries several experts' traffic — the simulator charges
+    /// per aggregated pair), which is conservative for planning.
+    #[serde(default)]
+    pub latency_aware: bool,
 }
 
 impl CostParams {
@@ -43,7 +55,16 @@ impl CostParams {
             v_comp: cm.v_comp(),
             b_comp: gpu.effective_flops(),
             checkpointing,
+            latency_aware: false,
         }
+    }
+
+    /// Enables or disables per-peer latency in the communication term
+    /// (see [`CostParams::latency_aware`]).
+    #[must_use]
+    pub fn with_latency_aware(mut self, on: bool) -> Self {
+        self.latency_aware = on;
+        self
     }
 
     /// The Mixtral-8x7B e8k2 / A100 operating point used in most of the
@@ -145,7 +166,10 @@ pub fn time_cost<I: Interconnect + ?Sized>(
         if src == dst {
             continue;
         }
-        let t = tokens as f64 * params.v_comm / effective_bw(net, src, dst);
+        let mut t = tokens as f64 * params.v_comm / effective_bw(net, src, dst);
+        if params.latency_aware {
+            t += net.latency(src, dst);
+        }
         send[src.index()] += t;
         recv[dst.index()] += t;
     }

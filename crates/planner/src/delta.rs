@@ -1,0 +1,694 @@
+//! Incremental (delta) evaluation of the planner objective — the
+//! fleet-scale hot path.
+//!
+//! Every probe of the local-search refiner ([`crate::refine`]) and every
+//! state of the exhaustive enumerator ([`crate::exact`]) differs from its
+//! predecessor by the placement of one or two experts. Rebuilding the
+//! whole `lite_route` + `time_cost` pipeline per probe is `O(n·e)` cells
+//! of routing work (each with a sort and several allocations) when only
+//! the affected experts' columns can change: lite routing decides each
+//! `(source, expert)` cell *only* from that expert's replica placement,
+//! so a move touching experts `{a, b}` invalidates exactly the `2n`
+//! cells of those two columns.
+//!
+//! [`IncrementalCost`] exploits this. It caches, per `(source, expert)`
+//! cell, the routed rows `(destination, tokens, t_comm)` — the inner
+//! terms of Eq. 2's per-device max-aggregation — and re-routes only the
+//! columns marked dirty by [`IncrementalCost::apply_retarget`] /
+//! [`IncrementalCost::apply_swap`]. Because Eq. 2 aggregates with `max`
+//! over per-device *sums*, the final fold cannot be maintained by
+//! subtract-and-add (floating-point sums are not reversible and the max
+//! is not decomposable); instead [`IncrementalCost::cost`] re-folds the
+//! cached rows in **exactly** the entry order of
+//! [`crate::lite_routing::lite_route`] + [`crate::cost::time_cost`]
+//! (sources ascending, experts ascending, targets in emission order).
+//! Same addends, same order, same accumulators — the result is
+//! bit-identical to the from-scratch oracle, which the property tests
+//! in `tests/proptests.rs` enforce. The fold is a cheap linear pass of
+//! pre-priced adds; the expensive per-cell work (target selection,
+//! largest-remainder sort, pricing) happens only for dirty columns.
+//!
+//! Rows are stored per expert as one contiguous CSR-style column
+//! (`starts` offsets + a flat entry array): re-routing a column is a
+//! linear rebuild with no per-cell allocation, and the fold streams
+//! `e` contiguous cursors instead of chasing `n·e` heap pointers.
+//!
+//! [`IncrementalCost::apply_retarget`] / [`IncrementalCost::apply_swap`]
+//! snapshot the two affected columns (a pair of flat-array clones), so
+//! [`IncrementalCost::revert`] restores them by swap-back instead of
+//! re-routing — a rejected probe costs two column rebuilds total, not
+//! four. Routing stays a pure function of the layout either way; the
+//! snapshot is purely an optimisation.
+
+use crate::cost::{effective_bw, CostBreakdown, CostParams};
+use crate::layout::ExpertLayout;
+use crate::lite_routing::{distribute_evenly_into, RouteScratch};
+use crate::token_routing::TokenRouting;
+use laer_cluster::{DeviceId, ExpertId, NodeId, Topology};
+use laer_routing::RoutingMatrix;
+
+/// Flat-array replica index: row-major `devices × experts` counts plus a
+/// per-expert device list kept sorted by device id, so both the refiner's
+/// guards (`replica_count`, `expert_replicas`) and lite routing's global
+/// fallback read without scanning or allocating.
+#[derive(Debug, Clone)]
+struct LayoutIndex {
+    devices: usize,
+    experts: usize,
+    capacity: usize,
+    counts: Vec<u32>,
+    /// Per expert: `(device, count)` with count > 0, ascending device id
+    /// — the exact output order of [`ExpertLayout::replica_devices`].
+    per_expert: Vec<Vec<(DeviceId, u32)>>,
+    totals: Vec<usize>,
+}
+
+impl LayoutIndex {
+    fn from_layout(layout: &ExpertLayout) -> Self {
+        let devices = layout.num_devices();
+        let experts = layout.num_experts();
+        let counts = layout.replica_counts().to_vec();
+        let mut per_expert = vec![Vec::new(); experts];
+        let mut totals = vec![0usize; experts];
+        for d in 0..devices {
+            for (j, (pe, total)) in per_expert.iter_mut().zip(totals.iter_mut()).enumerate() {
+                let c = counts[d * experts + j];
+                if c > 0 {
+                    pe.push((DeviceId::new(d), c));
+                    *total += c as usize;
+                }
+            }
+        }
+        Self {
+            devices,
+            experts,
+            capacity: layout.capacity(),
+            counts,
+            per_expert,
+            totals,
+        }
+    }
+
+    fn replica_count(&self, device: DeviceId, expert: ExpertId) -> u32 {
+        self.counts[device.index() * self.experts + expert.index()]
+    }
+
+    fn add_replica(&mut self, device: DeviceId, expert: ExpertId) {
+        self.counts[device.index() * self.experts + expert.index()] += 1;
+        self.totals[expert.index()] += 1;
+        let list = &mut self.per_expert[expert.index()];
+        match list.binary_search_by(|&(d, _)| d.cmp(&device)) {
+            Ok(pos) => list[pos].1 += 1,
+            Err(pos) => list.insert(pos, (device, 1)),
+        }
+    }
+
+    fn remove_replica(&mut self, device: DeviceId, expert: ExpertId) {
+        let cell = device.index() * self.experts + expert.index();
+        assert!(self.counts[cell] > 0, "removing absent replica");
+        self.counts[cell] -= 1;
+        self.totals[expert.index()] -= 1;
+        let list = &mut self.per_expert[expert.index()];
+        let pos = list
+            .binary_search_by(|&(d, _)| d.cmp(&device))
+            .unwrap_or_else(|_| unreachable!("count was positive"));
+        if list[pos].1 == 1 {
+            list.remove(pos);
+        } else {
+            list[pos].1 -= 1;
+        }
+    }
+
+    /// The Alg. 3 target list: intra-node replicas first, all replicas
+    /// globally otherwise — identical output (order and counts) to
+    /// [`crate::lite_routing`]'s `ExpertLayout`-based variant.
+    fn fill_targets(
+        &self,
+        topo: &Topology,
+        expert: ExpertId,
+        node: NodeId,
+        out: &mut Vec<(DeviceId, u32)>,
+    ) {
+        out.clear();
+        for dev in topo.devices_on(node) {
+            let c = self.counts[dev.index() * self.experts + expert.index()];
+            if c > 0 {
+                out.push((dev, c));
+            }
+        }
+        if out.is_empty() {
+            out.extend_from_slice(&self.per_expert[expert.index()]);
+        }
+    }
+
+    fn to_layout(&self) -> ExpertLayout {
+        ExpertLayout::from_counts(
+            self.devices,
+            self.experts,
+            self.capacity,
+            self.counts.clone(),
+        )
+        .unwrap_or_else(|_| unreachable!("index shape came from a constructed layout"))
+    }
+}
+
+/// One expert's routed rows for every source device, CSR-style:
+/// `entries[starts[src]..starts[src + 1]]` is source `src`'s cell in
+/// lite routing's emission order. A re-route is a linear rebuild into
+/// the retained buffers — no per-cell allocation — and a snapshot is a
+/// pair of flat-array clones.
+#[derive(Debug, Clone, Default)]
+struct Column {
+    /// Prefix offsets into `entries`; length `devices + 1` once routed.
+    starts: Vec<u32>,
+    /// `(destination, tokens, t_comm)` rows, sources ascending;
+    /// `t_comm` is the pre-priced pairwise term of Eq. 2 (`0` for local
+    /// traffic, which the fold skips as `time_cost` does).
+    entries: Vec<(DeviceId, u64, f64)>,
+}
+
+/// A move recorded for [`IncrementalCost::revert`]. Undo applies the
+/// inverse index update and restores the two affected columns (and
+/// their dirty flags) from the snapshots taken at apply time — routing
+/// is a pure function of the layout, so the snapshot rows are exactly
+/// what a re-route would reproduce.
+#[derive(Debug, Clone, Copy)]
+enum Move {
+    Retarget {
+        device: DeviceId,
+        from: ExpertId,
+        to: ExpertId,
+    },
+    Swap {
+        d1: DeviceId,
+        a: ExpertId,
+        d2: DeviceId,
+        b: ExpertId,
+    },
+}
+
+#[derive(Debug)]
+struct UndoEntry {
+    mv: Move,
+    /// `(expert, column snapshot, was-dirty)` for the two experts the
+    /// move touches, captured before the index update.
+    snaps: [(usize, Column, bool); 2],
+}
+
+/// Incrementally-maintained Eq. 2 evaluation state: the current layout
+/// (as a flat index), the routed rows it implies, and scratch for the
+/// per-device aggregation fold. See the module docs for the design.
+#[derive(Debug)]
+pub struct IncrementalCost<'a> {
+    topo: &'a Topology,
+    demand: &'a RoutingMatrix,
+    params: CostParams,
+    index: LayoutIndex,
+    /// One CSR column per expert (see [`Column`]).
+    columns: Vec<Column>,
+    dirty: Vec<bool>,
+    any_dirty: bool,
+    undo: Vec<UndoEntry>,
+    scratch: RouteScratch,
+    send: Vec<f64>,
+    recv: Vec<f64>,
+    /// Per-device compute loads, maintained incrementally as columns are
+    /// rebuilt or restored. Integer sums are exact and order-free, so
+    /// unlike the float send/recv aggregates they need no re-fold —
+    /// the invariant is `device_loads == Σ tokens per destination over
+    /// every column's current entries`, dirty or not.
+    device_loads: Vec<u64>,
+}
+
+impl<'a> IncrementalCost<'a> {
+    /// Builds the state for `layout`. Routing is deferred: columns are
+    /// routed lazily on the first [`Self::cost`] / [`Self::routing`]
+    /// call, so a not-yet-covering layout (every expert ≥ 1 replica is
+    /// required only at evaluation time) can be constructed and patched
+    /// first — the exhaustive enumerator depends on this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes of `topo`, `demand` and `layout` disagree.
+    pub fn new(
+        topo: &'a Topology,
+        demand: &'a RoutingMatrix,
+        layout: &ExpertLayout,
+        params: &CostParams,
+    ) -> Self {
+        assert_eq!(demand.num_devices(), topo.num_devices(), "device count");
+        assert_eq!(layout.num_devices(), topo.num_devices(), "layout devices");
+        assert_eq!(layout.num_experts(), demand.num_experts(), "expert count");
+        let index = LayoutIndex::from_layout(layout);
+        let n = index.devices;
+        let e = index.experts;
+        Self {
+            topo,
+            demand,
+            params: *params,
+            index,
+            columns: vec![Column::default(); e],
+            dirty: vec![true; e],
+            any_dirty: true,
+            undo: Vec::new(),
+            scratch: RouteScratch::new(),
+            send: vec![0.0; n],
+            recv: vec![0.0; n],
+            device_loads: vec![0; n],
+        }
+    }
+
+    /// Replica count of `expert` on `device` in the current state.
+    pub fn replica_count(&self, device: DeviceId, expert: ExpertId) -> u32 {
+        self.index.replica_count(device, expert)
+    }
+
+    /// Total replicas of `expert` in the current state.
+    pub fn expert_replicas(&self, expert: ExpertId) -> usize {
+        self.index.totals[expert.index()]
+    }
+
+    /// Whether every expert currently has at least one replica (the
+    /// routability constraint — evaluation panics without it for experts
+    /// with demand).
+    pub fn all_experts_covered(&self) -> bool {
+        self.index.totals.iter().all(|&t| t > 0)
+    }
+
+    /// Moves one replica on `device` from expert `from` to expert `to`
+    /// (the refiner's retarget move), recording it for [`Self::revert`].
+    /// Only the two experts' routing columns are invalidated.
+    pub fn apply_retarget(&mut self, device: DeviceId, from: ExpertId, to: ExpertId) {
+        let snaps = self.snapshot_pair(from.index(), to.index());
+        self.raw_retarget(device, from, to);
+        self.undo.push(UndoEntry {
+            mv: Move::Retarget { device, from, to },
+            snaps,
+        });
+    }
+
+    /// Exchanges `d1`'s replica of `a` with `d2`'s replica of `b` (the
+    /// refiner's swap move), recording it for [`Self::revert`]. Only the
+    /// two experts' routing columns are invalidated.
+    pub fn apply_swap(&mut self, d1: DeviceId, a: ExpertId, d2: DeviceId, b: ExpertId) {
+        let snaps = self.snapshot_pair(a.index(), b.index());
+        self.raw_swap(d1, a, d2, b);
+        self.undo.push(UndoEntry {
+            mv: Move::Swap { d1, a, d2, b },
+            snaps,
+        });
+    }
+
+    fn snapshot_pair(&self, x: usize, y: usize) -> [(usize, Column, bool); 2] {
+        [
+            (x, self.columns[x].clone(), self.dirty[x]),
+            (y, self.columns[y].clone(), self.dirty[y]),
+        ]
+    }
+
+    /// Undoes the most recent un-reverted [`Self::apply_retarget`] /
+    /// [`Self::apply_swap`]: applies the inverse index update and
+    /// restores the two columns from their apply-time snapshots (no
+    /// re-route — the snapshot rows are what re-routing the restored
+    /// layout would produce). Returns `false` if there is nothing to
+    /// revert.
+    pub fn revert(&mut self) -> bool {
+        let Some(entry) = self.undo.pop() else {
+            return false;
+        };
+        match entry.mv {
+            Move::Retarget { device, from, to } => {
+                self.index.remove_replica(device, to);
+                self.index.add_replica(device, from);
+            }
+            Move::Swap { d1, a, d2, b } => {
+                self.index.remove_replica(d1, b);
+                self.index.remove_replica(d2, a);
+                self.index.add_replica(d1, a);
+                self.index.add_replica(d2, b);
+            }
+        }
+        for (j, col, was_dirty) in entry.snaps {
+            for &(dst, tokens, _) in &self.columns[j].entries {
+                self.device_loads[dst.index()] -= tokens;
+            }
+            for &(dst, tokens, _) in &col.entries {
+                self.device_loads[dst.index()] += tokens;
+            }
+            self.columns[j] = col;
+            self.dirty[j] = was_dirty;
+        }
+        self.any_dirty = self.dirty.iter().any(|&d| d);
+        true
+    }
+
+    /// Applies an arbitrary per-device diff: removes one replica of each
+    /// expert index in `remove`, adds one of each in `add`. Not
+    /// revertible — the undo stack is cleared. This is the exhaustive
+    /// enumerator's odometer step; intermediate states may leave experts
+    /// uncovered as long as [`Self::cost`] is only called on covering
+    /// states.
+    pub fn set_device_experts(&mut self, device: DeviceId, remove: &[usize], add: &[usize]) {
+        for &j in remove {
+            self.index.remove_replica(device, ExpertId::new(j));
+            self.mark_dirty(j);
+        }
+        for &j in add {
+            self.index.add_replica(device, ExpertId::new(j));
+            self.mark_dirty(j);
+        }
+        self.undo.clear();
+    }
+
+    fn raw_retarget(&mut self, device: DeviceId, from: ExpertId, to: ExpertId) {
+        self.index.remove_replica(device, from);
+        self.index.add_replica(device, to);
+        self.mark_dirty(from.index());
+        self.mark_dirty(to.index());
+    }
+
+    fn raw_swap(&mut self, d1: DeviceId, a: ExpertId, d2: DeviceId, b: ExpertId) {
+        self.index.remove_replica(d1, a);
+        self.index.remove_replica(d2, b);
+        self.index.add_replica(d1, b);
+        self.index.add_replica(d2, a);
+        self.mark_dirty(a.index());
+        self.mark_dirty(b.index());
+    }
+
+    fn mark_dirty(&mut self, expert: usize) {
+        self.dirty[expert] = true;
+        self.any_dirty = true;
+    }
+
+    /// Re-routes dirty columns.
+    fn flush(&mut self) {
+        if !self.any_dirty {
+            return;
+        }
+        for j in 0..self.index.experts {
+            if self.dirty[j] {
+                self.dirty[j] = false;
+                self.reroute_expert(j);
+            }
+        }
+        self.any_dirty = false;
+    }
+
+    /// Routes expert `j`'s column — one Alg. 3 cell per source device —
+    /// with the exact arithmetic of `lite_route`, pre-pricing each row
+    /// with `time_cost`'s pairwise term.
+    fn reroute_expert(&mut self, j: usize) {
+        let expert = ExpertId::new(j);
+        let v_comm = self.params.v_comm;
+        let latency_aware = self.params.latency_aware;
+        let topo = self.topo;
+        let col = &mut self.columns[j];
+        for &(dst, tokens, _) in &col.entries {
+            self.device_loads[dst.index()] -= tokens;
+        }
+        col.starts.clear();
+        col.entries.clear();
+        col.starts.push(0);
+        let device_loads = &mut self.device_loads;
+        for node in topo.node_ids() {
+            // Alg. 3's target list depends only on `(expert, node)` —
+            // every source in the node shares it — so resolve it once
+            // per node instead of once per source.
+            self.index
+                .fill_targets(topo, expert, node, &mut self.scratch.targets);
+            // Single-target fast path, also hoisted per node: the whole
+            // cell goes to one destination — identical output to
+            // `distribute_evenly_into` (the share is exact, the
+            // remainder zero) — and the link kind from every non-local
+            // source in the node to that destination is the same, so
+            // the bandwidth/latency terms are resolved once. This is
+            // the common case at fleet scale, where layouts cover every
+            // node.
+            let single = if let [(only, _)] = self.scratch.targets[..] {
+                let rep = topo.devices_on(node).find(|&d| d != only);
+                let (bw, lat) = rep.map_or((f64::INFINITY, 0.0), |rep| {
+                    (effective_bw(topo, rep, only), topo.latency(rep, only))
+                });
+                Some((only, bw, lat))
+            } else {
+                None
+            };
+            for src in topo.devices_on(node) {
+                let tokens = self.demand.get(src, expert);
+                if tokens == 0 {
+                    col.starts.push(col.entries.len() as u32);
+                    continue;
+                }
+                assert!(
+                    !self.scratch.targets.is_empty(),
+                    "layout hosts no replica of {expert}; evaluate covering layouts only"
+                );
+                if let Some((only, bw, lat)) = single {
+                    let t = if only == src {
+                        0.0
+                    } else {
+                        // Same expression order as `time_cost`'s fold
+                        // (and the same bandwidth/latency values — link
+                        // kind is uniform within the node), so the
+                        // pre-priced term is bit-identical.
+                        let mut t = tokens as f64 * v_comm / bw;
+                        if latency_aware {
+                            t += lat;
+                        }
+                        t
+                    };
+                    device_loads[only.index()] += tokens;
+                    col.entries.push((only, tokens, t));
+                } else {
+                    let entries = &mut col.entries;
+                    let emit = |dst: DeviceId, count: u64| {
+                        let t = if dst == src {
+                            0.0
+                        } else {
+                            let mut t = count as f64 * v_comm / effective_bw(topo, src, dst);
+                            if latency_aware {
+                                t += topo.latency(src, dst);
+                            }
+                            t
+                        };
+                        device_loads[dst.index()] += count;
+                        entries.push((dst, count, t));
+                    };
+                    let (targets, shares, order) = (
+                        &self.scratch.targets,
+                        &mut self.scratch.shares,
+                        &mut self.scratch.order,
+                    );
+                    distribute_evenly_into(src, tokens, targets, shares, order, emit);
+                }
+                col.starts.push(col.entries.len() as u32);
+            }
+        }
+    }
+
+    /// Evaluates Eq. 2 for the current state, bit-identical to
+    /// `time_cost(topo, &lite_route(topo, demand, &self.layout()),
+    /// params)`: the cached rows are folded in the oracle's exact entry
+    /// order into the per-device send/recv/load aggregates, then
+    /// max-aggregated. Dirty columns are re-routed first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some expert with demand has no replica (see
+    /// [`Self::all_experts_covered`]).
+    pub fn cost(&mut self) -> CostBreakdown {
+        self.flush();
+        let (send, recv) = (&mut self.send, &mut self.recv);
+        send.fill(0.0);
+        recv.fill(0.0);
+        for (src, send_src) in send.iter_mut().enumerate() {
+            for col in &self.columns {
+                let (lo, hi) = (col.starts[src] as usize, col.starts[src + 1] as usize);
+                for &(dst, _, t) in &col.entries[lo..hi] {
+                    if dst.index() != src {
+                        *send_src += t;
+                        recv[dst.index()] += t;
+                    }
+                }
+            }
+        }
+        let straggler = self
+            .send
+            .iter()
+            .zip(&self.recv)
+            .map(|(&s, &r)| s.max(r))
+            .fold(0.0, f64::max);
+        let comm = 4.0 * straggler;
+        let max_load = self.device_loads.iter().copied().max().unwrap_or(0) as f64;
+        let comp =
+            self.params.compute_multiplier() * max_load * self.params.v_comp / self.params.b_comp;
+        CostBreakdown { comm, comp }
+    }
+
+    /// Materialises the current layout.
+    pub fn layout(&self) -> ExpertLayout {
+        self.index.to_layout()
+    }
+
+    /// Materialises the current routing — entry-for-entry identical to
+    /// `lite_route(topo, demand, &self.layout())`.
+    pub fn routing(&mut self) -> TokenRouting {
+        self.flush();
+        let n = self.index.devices;
+        let e = self.index.experts;
+        let mut out = TokenRouting::new(n, e);
+        for src in 0..n {
+            for (j, col) in self.columns.iter().enumerate() {
+                let (lo, hi) = (col.starts[src] as usize, col.starts[src + 1] as usize);
+                for &(dst, tokens, _) in &col.entries[lo..hi] {
+                    out.push(DeviceId::new(src), ExpertId::new(j), dst, tokens);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::time_cost;
+    use crate::lite_routing::lite_route;
+    use laer_routing::{RoutingGenerator, RoutingGeneratorConfig};
+
+    fn setup(seed: u64) -> (Topology, RoutingMatrix, ExpertLayout, CostParams) {
+        let topo = Topology::new(2, 4).unwrap();
+        let demand = RoutingGenerator::new(RoutingGeneratorConfig::new(8, 8, 8192).with_seed(seed))
+            .next_iteration();
+        let layout = ExpertLayout::classic_ep(8, 8, 2).unwrap();
+        (topo, demand, layout, CostParams::mixtral_8x7b())
+    }
+
+    fn oracle(
+        topo: &Topology,
+        demand: &RoutingMatrix,
+        layout: &ExpertLayout,
+        params: &CostParams,
+    ) -> CostBreakdown {
+        time_cost(topo, &lite_route(topo, demand, layout), params)
+    }
+
+    fn assert_bits(a: CostBreakdown, b: CostBreakdown) {
+        assert_eq!(a.comm.to_bits(), b.comm.to_bits(), "comm bits");
+        assert_eq!(a.comp.to_bits(), b.comp.to_bits(), "comp bits");
+    }
+
+    #[test]
+    fn initial_cost_matches_oracle_bitwise() {
+        for seed in 1u64..6 {
+            let (topo, demand, layout, params) = setup(seed);
+            let mut inc = IncrementalCost::new(&topo, &demand, &layout, &params);
+            assert_bits(inc.cost(), oracle(&topo, &demand, &layout, &params));
+            // Routing materialisation is entry-identical too.
+            assert_eq!(
+                inc.routing().entries(),
+                lite_route(&topo, &demand, &layout).entries()
+            );
+        }
+    }
+
+    #[test]
+    fn retarget_and_revert_match_oracle_bitwise() {
+        let (topo, demand, layout, params) = setup(3);
+        let mut inc = IncrementalCost::new(&topo, &demand, &layout, &params);
+        let before = inc.cost();
+        // classic_ep(8,8,2): device 0 hosts experts {0,1}; retarget its
+        // replica of expert 0 to expert 2.
+        let (d, a, b) = (DeviceId::new(0), ExpertId::new(0), ExpertId::new(2));
+        assert!(inc.replica_count(d, a) > 0 && inc.expert_replicas(a) >= 2);
+        inc.apply_retarget(d, a, b);
+        let moved_layout = inc.layout();
+        assert_eq!(moved_layout.replica_count(d, a), 0);
+        assert_eq!(moved_layout.replica_count(d, b), 1);
+        assert_bits(inc.cost(), oracle(&topo, &demand, &moved_layout, &params));
+        assert!(inc.revert());
+        assert_eq!(inc.layout(), layout);
+        assert_bits(inc.cost(), before);
+        assert!(!inc.revert(), "undo stack exhausted");
+    }
+
+    #[test]
+    fn swap_and_revert_match_oracle_bitwise() {
+        let (topo, demand, layout, params) = setup(4);
+        let mut inc = IncrementalCost::new(&topo, &demand, &layout, &params);
+        let before = inc.cost();
+        // Device 0 hosts {0,1}, device 1 hosts {2,3}: swap 0's expert 0
+        // with 1's expert 2.
+        let (d1, a, d2, b) = (
+            DeviceId::new(0),
+            ExpertId::new(0),
+            DeviceId::new(1),
+            ExpertId::new(2),
+        );
+        inc.apply_swap(d1, a, d2, b);
+        let swapped = inc.layout();
+        assert_eq!(swapped.replica_count(d1, b), 1);
+        assert_eq!(swapped.replica_count(d2, a), 1);
+        assert_bits(inc.cost(), oracle(&topo, &demand, &swapped, &params));
+        assert!(inc.revert());
+        assert_eq!(inc.layout(), layout);
+        assert_bits(inc.cost(), before);
+    }
+
+    #[test]
+    fn deferred_construction_allows_uncovered_intermediate_states() {
+        let (topo, demand, _, params) = setup(5);
+        // Start from an empty (uncovered) layout, then patch device by
+        // device into classic-EP via diffs — cost only at the end.
+        let empty = ExpertLayout::empty(8, 8, 2).unwrap();
+        let mut inc = IncrementalCost::new(&topo, &demand, &empty, &params);
+        assert!(!inc.all_experts_covered());
+        for d in 0..8usize {
+            let block = d % 4;
+            inc.set_device_experts(DeviceId::new(d), &[], &[block * 2, block * 2 + 1]);
+        }
+        assert!(inc.all_experts_covered());
+        let classic = ExpertLayout::classic_ep(8, 8, 2).unwrap();
+        assert_eq!(inc.layout(), classic);
+        assert_bits(inc.cost(), oracle(&topo, &demand, &classic, &params));
+    }
+
+    #[test]
+    fn latency_aware_pricing_matches_oracle_bitwise() {
+        let (topo, demand, layout, params) = setup(7);
+        let params = params.with_latency_aware(true);
+        let mut inc = IncrementalCost::new(&topo, &demand, &layout, &params);
+        assert_bits(inc.cost(), oracle(&topo, &demand, &layout, &params));
+        // And through a move/revert cycle.
+        let (d, a, b) = (DeviceId::new(0), ExpertId::new(0), ExpertId::new(2));
+        inc.apply_retarget(d, a, b);
+        let moved = inc.layout();
+        assert_bits(inc.cost(), oracle(&topo, &demand, &moved, &params));
+        assert!(inc.revert());
+        assert_bits(inc.cost(), oracle(&topo, &demand, &layout, &params));
+    }
+
+    #[test]
+    fn guards_read_through_index() {
+        let (_, _, layout, params) = setup(1);
+        let topo = Topology::new(2, 4).unwrap();
+        let demand = RoutingMatrix::zeros(8, 8).unwrap();
+        let inc = IncrementalCost::new(&topo, &demand, &layout, &params);
+        for d in 0..8 {
+            for j in 0..8 {
+                assert_eq!(
+                    inc.replica_count(DeviceId::new(d), ExpertId::new(j)),
+                    layout.replica_count(DeviceId::new(d), ExpertId::new(j))
+                );
+            }
+        }
+        for j in 0..8 {
+            assert_eq!(
+                inc.expert_replicas(ExpertId::new(j)),
+                layout.expert_replicas(ExpertId::new(j))
+            );
+        }
+        assert!(inc.all_experts_covered());
+    }
+}

@@ -7,9 +7,9 @@
 //! cheapest — giving tests a ground-truth bound on the greedy tuner's
 //! optimality gap.
 
-use crate::cost::{time_cost, CostBreakdown, CostParams};
+use crate::cost::{CostBreakdown, CostParams};
+use crate::delta::IncrementalCost;
 use crate::layout::ExpertLayout;
-use crate::lite_routing::lite_route;
 use laer_cluster::{DeviceId, ExpertId, Topology};
 use laer_routing::RoutingMatrix;
 
@@ -44,53 +44,55 @@ pub fn exhaustive_best_layout(
         per_device.len()
     );
 
+    // Walk the odometer through the incremental evaluator: each
+    // increment patches only the changed devices' combinations
+    // (`set_device_experts` diffs), so only the affected experts'
+    // routing columns are rebuilt per state instead of the whole
+    // layout. Intermediate non-covering states are fine — routing is
+    // deferred until `cost()` and only covering states are priced.
+    // Selection is bit-identical to the from-scratch build because the
+    // delta evaluator reproduces `lite_route` + `time_cost` bit for bit.
+    let mut initial = ExpertLayout::empty(n, e, capacity)
+        .unwrap_or_else(|_| unreachable!("caller validated small shapes"));
+    for dev in 0..n {
+        for &expert in &per_device[0] {
+            initial.add_replica(DeviceId::new(dev), ExpertId::new(expert));
+        }
+    }
+    let mut inc = IncrementalCost::new(topo, demand, &initial, params);
     let mut best: Option<(ExpertLayout, CostBreakdown)> = None;
     let mut choice = vec![0usize; n];
     loop {
-        // Build and evaluate the layout for the current choice vector.
-        if covers_all_experts(&choice, &per_device, e) {
-            let mut layout = ExpertLayout::empty(n, e, capacity)
-                .unwrap_or_else(|_| unreachable!("caller validated small shapes"));
-            for (dev, &c) in choice.iter().enumerate() {
-                for &expert in &per_device[c] {
-                    layout.add_replica(DeviceId::new(dev), ExpertId::new(expert));
-                }
-            }
-            let routing = lite_route(topo, demand, &layout);
-            let cost = time_cost(topo, &routing, params);
+        // Evaluate the layout for the current choice vector.
+        if inc.all_experts_covered() {
+            let cost = inc.cost();
             let better = match &best {
                 None => true,
                 Some((_, b)) => cost.total() < b.total(),
             };
             if better {
-                best = Some((layout, cost));
+                best = Some((inc.layout(), cost));
             }
         }
-        // Odometer increment.
+        // Odometer increment, diffing each changed device through the
+        // evaluator.
         let mut i = 0;
         loop {
             if i == n {
                 return best
                     .unwrap_or_else(|| unreachable!("a covering layout exists when N*C >= E"));
             }
+            let old = choice[i];
             choice[i] += 1;
             if choice[i] < per_device.len() {
+                inc.set_device_experts(DeviceId::new(i), &per_device[old], &per_device[choice[i]]);
                 break;
             }
             choice[i] = 0;
+            inc.set_device_experts(DeviceId::new(i), &per_device[old], &per_device[0]);
             i += 1;
         }
     }
-}
-
-fn covers_all_experts(choice: &[usize], per_device: &[Vec<usize>], e: usize) -> bool {
-    let mut seen = vec![false; e];
-    for &c in choice {
-        for &expert in &per_device[c] {
-            seen[expert] = true;
-        }
-    }
-    seen.into_iter().all(|s| s)
 }
 
 /// All `C`-subsets of `0..E`, lexicographically.

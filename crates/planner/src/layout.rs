@@ -302,6 +302,35 @@ impl ExpertLayout {
             .map(|j| self.expert_replicas(ExpertId::new(j)))
             .collect()
     }
+
+    /// The flat row-major `devices × experts` replica-count array — the
+    /// contiguous hot-path representation used by [`crate::delta`].
+    pub fn replica_counts(&self) -> &[u32] {
+        &self.replicas
+    }
+
+    /// Builds a layout directly from a flat row-major `devices ×
+    /// experts` count array (no validity check — callers validate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::EmptyShape`] / [`LayoutError::InsufficientSlots`]
+    /// as [`Self::empty`] does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != devices * experts`.
+    pub fn from_counts(
+        devices: usize,
+        experts: usize,
+        capacity: usize,
+        counts: Vec<u32>,
+    ) -> Result<Self, LayoutError> {
+        let mut layout = Self::empty(devices, experts, capacity)?;
+        assert_eq!(counts.len(), devices * experts, "count array shape");
+        layout.replicas = counts;
+        Ok(layout)
+    }
 }
 
 impl fmt::Display for ExpertLayout {

@@ -22,7 +22,10 @@
 //! * [`exact`] — a brute-force layout enumerator for tiny instances, used
 //!   by tests to bound the greedy optimality gap;
 //! * [`parallel`] — multi-threaded candidate evaluation (the paper's
-//!   multi-process CPU solver, Sec. 4).
+//!   multi-process CPU solver, Sec. 4);
+//! * [`delta`] — incremental Eq. 2 evaluation for the refine/exact hot
+//!   paths: a move re-routes only the affected experts' columns, with
+//!   results bit-identical to `lite_route` + `time_cost` from scratch.
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod delta;
 pub mod exact;
 pub mod layout;
 pub mod lite_routing;
@@ -58,13 +62,15 @@ pub mod tuner;
 mod token_routing;
 
 pub use cost::{time_cost, CostBreakdown, CostParams};
+pub use delta::IncrementalCost;
 pub use exact::exhaustive_best_layout;
 pub use layout::{ExpertLayout, LayoutError};
-pub use lite_routing::lite_route;
+pub use lite_routing::{lite_route, lite_route_into, lite_route_with, RouteScratch};
+pub use parallel::{plan_layers_parallel, plan_parallel, plan_parallel_indexed};
 pub use predictor::{
     AnyPredictor, LoadPredictor, PredictError, Predictor, PredictorKind, ReplayPredictor,
 };
-pub use refine::{refine_layout, RefinedPlan};
+pub use refine::{refine_layout, refine_layout_scratch, RefinedPlan};
 pub use relocation::{expert_relocation, expert_relocation_on, relocation_moves, RelocationMove};
 pub use replica::{even_replicas, replica_allocation};
 pub use token_routing::{RoutingViolation, TokenRouting};

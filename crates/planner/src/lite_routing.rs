@@ -6,11 +6,35 @@
 //! are spread evenly over the replicas inside the sender's node when any
 //! exist, and evenly over all replicas otherwise — minimising inter-node
 //! transfers, the paper's consideration (1).
+//!
+//! Two entry points share one implementation: [`lite_route`] allocates
+//! fresh buffers per call, [`lite_route_with`] reuses a caller-held
+//! [`RouteScratch`] so hot paths (the tuner's candidate loop, the
+//! delta evaluator in [`crate::delta`]) route without per-cell
+//! allocation. Both produce identical output — entry for entry, bit for
+//! bit — because they run the same code.
 
 use crate::layout::ExpertLayout;
 use crate::token_routing::TokenRouting;
-use laer_cluster::{DeviceId, ExpertId, Topology};
+use laer_cluster::{DeviceId, ExpertId, NodeId, Topology};
 use laer_routing::RoutingMatrix;
+
+/// Reusable buffers for allocation-free routing: the per-cell target
+/// list and the largest-remainder working set. One scratch serves any
+/// shape — buffers grow to the largest cell seen and stay allocated.
+#[derive(Debug, Default)]
+pub struct RouteScratch {
+    pub(crate) targets: Vec<(DeviceId, u32)>,
+    pub(crate) shares: Vec<(usize, u64, f64)>,
+    pub(crate) order: Vec<usize>,
+}
+
+impl RouteScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Runs lite routing for every source device, producing the full
 /// `S[i][j][k]` strategy.
@@ -24,14 +48,47 @@ use laer_routing::RoutingMatrix;
 /// some expert in demand has zero replicas (an invalid layout — validate
 /// layouts first).
 pub fn lite_route(topo: &Topology, demand: &RoutingMatrix, layout: &ExpertLayout) -> TokenRouting {
+    lite_route_with(topo, demand, layout, &mut RouteScratch::new())
+}
+
+/// [`lite_route`] with caller-provided scratch buffers — the hot-path
+/// variant that performs no per-cell allocation (only the returned
+/// routing's entry vector is allocated).
+///
+/// # Panics
+///
+/// As [`lite_route`].
+pub fn lite_route_with(
+    topo: &Topology,
+    demand: &RoutingMatrix,
+    layout: &ExpertLayout,
+    scratch: &mut RouteScratch,
+) -> TokenRouting {
+    let mut s = TokenRouting::new(demand.num_devices(), demand.num_experts());
+    lite_route_into(topo, demand, layout, scratch, &mut s);
+    s
+}
+
+/// [`lite_route_with`] writing into an existing routing (cleared first),
+/// so repeated solves reuse the entry vector as well.
+///
+/// # Panics
+///
+/// As [`lite_route`].
+pub fn lite_route_into(
+    topo: &Topology,
+    demand: &RoutingMatrix,
+    layout: &ExpertLayout,
+    scratch: &mut RouteScratch,
+    out: &mut TokenRouting,
+) {
     assert_eq!(demand.num_devices(), topo.num_devices(), "device count");
     assert_eq!(layout.num_devices(), topo.num_devices(), "layout devices");
     assert_eq!(layout.num_experts(), demand.num_experts(), "expert count");
-    let mut s = TokenRouting::new(demand.num_devices(), demand.num_experts());
+    out.reset(demand.num_devices(), demand.num_experts());
     for rank in topo.devices() {
-        route_one_rank(topo, demand, layout, rank, &mut s);
+        route_one_rank(topo, demand, layout, rank, scratch, out);
     }
-    s
 }
 
 /// Alg. 3 for a single rank.
@@ -40,6 +97,7 @@ fn route_one_rank(
     demand: &RoutingMatrix,
     layout: &ExpertLayout,
     rank: DeviceId,
+    scratch: &mut RouteScratch,
     out: &mut TokenRouting,
 ) {
     let node = topo.node_of(rank);
@@ -49,19 +107,44 @@ fn route_one_rank(
         if tokens == 0 {
             continue;
         }
-        // Lines 5-6: intra-node replicas first.
-        let intra = layout.replicas_in_node(topo, expert, node);
-        let targets = if intra.is_empty() {
-            // Lines 8-9: fall back to all replicas globally.
-            layout.replica_devices(expert)
-        } else {
-            intra
-        };
+        fill_targets(topo, layout, expert, node, &mut scratch.targets);
         assert!(
-            !targets.is_empty(),
+            !scratch.targets.is_empty(),
             "layout hosts no replica of {expert}; validate layouts before routing"
         );
-        distribute_evenly(rank, expert, tokens, &targets, out);
+        let (targets, shares, order) = (&scratch.targets, &mut scratch.shares, &mut scratch.order);
+        distribute_evenly_into(rank, tokens, targets, shares, order, |dst, count| {
+            out.push(rank, expert, dst, count);
+        });
+    }
+}
+
+/// Fills `out` with the Alg. 3 target list for one `(sender-node,
+/// expert)` cell: intra-node replicas first (lines 5-6), all replicas
+/// globally otherwise (lines 8-9). Targets are in ascending device-id
+/// order, matching [`ExpertLayout::replicas_in_node`] /
+/// [`ExpertLayout::replica_devices`].
+pub(crate) fn fill_targets(
+    topo: &Topology,
+    layout: &ExpertLayout,
+    expert: ExpertId,
+    node: NodeId,
+    out: &mut Vec<(DeviceId, u32)>,
+) {
+    out.clear();
+    for dev in topo.devices_on(node) {
+        let c = layout.replica_count(dev, expert);
+        if c > 0 {
+            out.push((dev, c));
+        }
+    }
+    if out.is_empty() {
+        for i in 0..layout.num_devices() {
+            let c = layout.replica_count(DeviceId::new(i), expert);
+            if c > 0 {
+                out.push((DeviceId::new(i), c));
+            }
+        }
     }
 }
 
@@ -69,23 +152,30 @@ fn route_one_rank(
 /// counts ("evenly distributed among all replicas"), with deterministic
 /// largest-remainder rounding. Ties prefer the sender itself, then lower
 /// device ids, keeping traffic local when possible.
-fn distribute_evenly(
+///
+/// Emits `(destination, tokens)` pairs in `targets` order, skipping
+/// zero-token shares — the exact entry order and values of the original
+/// allocating implementation, which the delta evaluator's bit-exactness
+/// contract depends on.
+pub(crate) fn distribute_evenly_into(
     src: DeviceId,
-    expert: ExpertId,
     tokens: u64,
     targets: &[(DeviceId, u32)],
-    out: &mut TokenRouting,
+    shares: &mut Vec<(usize, u64, f64)>,
+    order: &mut Vec<usize>,
+    mut emit: impl FnMut(DeviceId, u64),
 ) {
     let total_replicas: u64 = targets.iter().map(|&(_, c)| c as u64).sum();
     let mut assigned = 0u64;
-    let mut shares: Vec<(usize, u64, f64)> = Vec::with_capacity(targets.len());
+    shares.clear();
     for (idx, &(_, count)) in targets.iter().enumerate() {
         let exact = tokens as f64 * count as f64 / total_replicas as f64;
         let floor = exact.floor() as u64;
         assigned += floor;
         shares.push((idx, floor, exact - floor as f64));
     }
-    let mut order: Vec<usize> = (0..shares.len()).collect();
+    order.clear();
+    order.extend(0..shares.len());
     order.sort_by(|&a, &b| {
         let (ia, _, ra) = shares[a];
         let (ib, _, rb) = shares[b];
@@ -104,8 +194,10 @@ fn distribute_evenly(
         left -= 1;
         cursor += 1;
     }
-    for (idx, count, _) in shares {
-        out.push(src, expert, targets[idx].0, count);
+    for &(idx, count, _) in shares.iter() {
+        if count > 0 {
+            emit(targets[idx].0, count);
+        }
     }
 }
 
@@ -230,5 +322,26 @@ mod tests {
         assert_eq!(loads[1], 2);
         assert_eq!(loads[0], 1);
         let _ = l;
+    }
+
+    /// The scratch-reusing entry points reproduce the allocating path
+    /// entry for entry across shapes and repeated solves.
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let topo = Topology::new(2, 4).unwrap();
+        let l = ExpertLayout::classic_ep(8, 8, 2).unwrap();
+        let mut gen = laer_routing::RoutingGenerator::new(
+            laer_routing::RoutingGeneratorConfig::new(8, 8, 4096).with_seed(9),
+        );
+        let mut scratch = RouteScratch::new();
+        let mut reused = TokenRouting::new(8, 8);
+        for _ in 0..4 {
+            let r = gen.next_iteration();
+            let fresh = lite_route(&topo, &r, &l);
+            let with = lite_route_with(&topo, &r, &l, &mut scratch);
+            lite_route_into(&topo, &r, &l, &mut scratch, &mut reused);
+            assert_eq!(fresh.entries(), with.entries());
+            assert_eq!(fresh.entries(), reused.entries());
+        }
     }
 }

@@ -25,6 +25,21 @@ fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 ///
 /// Panics if `threads` is zero.
 pub fn plan_parallel(planner: &Planner, demand: &RoutingMatrix, threads: usize) -> Plan {
+    plan_parallel_indexed(planner, demand, threads).1
+}
+
+/// [`plan_parallel`] also reporting which deduplicated candidate index
+/// won — the determinism tests assert the `(index, plan)` pair is
+/// identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn plan_parallel_indexed(
+    planner: &Planner,
+    demand: &RoutingMatrix,
+    threads: usize,
+) -> (usize, Plan) {
     assert!(threads > 0, "at least one thread");
     // Same dedup as the serial tuner: duplicates cost the same, and ties
     // already break toward the lower index, so dropping repeats keeps the
@@ -36,29 +51,40 @@ pub fn plan_parallel(planner: &Planner, demand: &RoutingMatrix, threads: usize) 
     let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads.min(schemes.len()).max(1) {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if idx >= schemes.len() {
-                    break;
-                }
-                let plan = planner.evaluate_scheme(&schemes[idx], &loads, demand);
-                let mut guard = lock_recover(&best);
-                let replace = match &*guard {
-                    None => true,
-                    Some((best_idx, best_plan)) => {
-                        let t = plan.predicted.total();
-                        let bt = best_plan.predicted.total();
-                        t < bt || (t == bt && idx < *best_idx)
+            scope.spawn(|| {
+                // One routing scratch per worker, reused across every
+                // candidate this worker claims.
+                let mut scratch = crate::lite_routing::RouteScratch::new();
+                loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if idx >= schemes.len() {
+                        break;
                     }
-                };
-                if replace {
-                    *guard = Some((idx, plan));
+                    let plan = planner.evaluate_scheme_inner(
+                        &schemes[idx],
+                        &loads,
+                        demand,
+                        &mut scratch,
+                        None,
+                    );
+                    let mut guard = lock_recover(&best);
+                    let replace = match &*guard {
+                        None => true,
+                        Some((best_idx, best_plan)) => {
+                            let t = plan.predicted.total();
+                            let bt = best_plan.predicted.total();
+                            t < bt || (t == bt && idx < *best_idx)
+                        }
+                    };
+                    if replace {
+                        *guard = Some((idx, plan));
+                    }
                 }
             });
         }
     });
     match best.into_inner() {
-        Ok(Some((_, plan))) => plan,
+        Ok(Some(found)) => found,
         // `schemes` is non-empty (the tuner always emits at least the
         // proportional scheme), so a missing result can only mean a
         // worker panicked — which `std::thread::scope` already turned
@@ -141,6 +167,27 @@ mod tests {
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.layout, p.layout);
+        }
+    }
+
+    /// The pooled tuner picks the identical (candidate index, plan) at
+    /// every thread count — the cross-thread tie-break (strict lower
+    /// total, then lower index) cannot drift with scheduling.
+    #[test]
+    fn thread_count_does_not_change_winner() {
+        let (planner, demands) = setup();
+        for d in &demands {
+            let (idx1, plan1) = plan_parallel_indexed(&planner, d, 1);
+            for threads in [2usize, 4, 8] {
+                let (idx, plan) = plan_parallel_indexed(&planner, d, threads);
+                assert_eq!(idx, idx1, "winning index at {threads} threads");
+                assert_eq!(plan.layout, plan1.layout);
+                assert_eq!(
+                    plan.predicted.total().to_bits(),
+                    plan1.predicted.total().to_bits()
+                );
+                assert_eq!(plan.routing.entries(), plan1.routing.entries());
+            }
         }
     }
 

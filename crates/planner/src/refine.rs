@@ -12,8 +12,24 @@
 //! the Eq. 2 objective, so the search optimises exactly what the tuner
 //! optimises. The search is deterministic (first-improvement over a
 //! fixed move order) and budget-bounded.
+//!
+//! Probing runs through [`crate::delta::IncrementalCost`]: a candidate
+//! move re-routes only the two affected experts' columns and re-folds
+//! the cached rows, instead of rebuilding the layout and re-routing all
+//! `n·e` cells. The selection is bit-identical to the from-scratch path
+//! ([`refine_layout_scratch`], kept as the testing oracle) because the
+//! delta evaluator reproduces `lite_route` + `time_cost` bit for bit.
+//!
+//! **Budget semantics:** `budget` bounds *priced* candidates — moves
+//! that reach routing + cost evaluation. Moves rejected by the cheap
+//! structural guards (no replica to move, expert would lose its last
+//! replica, destination already hosts the expert) cost no budget; they
+//! are filtered before the counter. [`RefinedPlan::probes_evaluated`]
+//! reports the priced count, which is what the throughput benchmarks
+//! meter.
 
 use crate::cost::{time_cost, CostBreakdown, CostParams};
+use crate::delta::IncrementalCost;
 use crate::layout::ExpertLayout;
 use crate::lite_routing::lite_route;
 use crate::token_routing::TokenRouting;
@@ -31,10 +47,16 @@ pub struct RefinedPlan {
     pub cost: CostBreakdown,
     /// Number of accepted moves.
     pub moves_accepted: usize,
+    /// Number of candidate moves priced (routed + costed). Guard-rejected
+    /// moves are not counted and consume no budget.
+    pub probes_evaluated: usize,
 }
 
-/// Hill-climbs `layout` under `demand`, evaluating at most `budget`
+/// Hill-climbs `layout` under `demand`, pricing at most `budget`
 /// candidate moves. Never returns a plan worse than the input.
+///
+/// Probes run through the incremental evaluator; the chosen plan is
+/// bit-identical to [`refine_layout_scratch`].
 ///
 /// # Panics
 ///
@@ -49,16 +71,133 @@ pub fn refine_layout(
     if let Err(e) = layout.validate() {
         panic!("refine requires a valid layout: {e}");
     }
-    let mut current = layout.clone();
-    let mut routing = lite_route(topo, demand, &current);
-    let mut cost = time_cost(topo, &routing, params);
+    let mut inc = IncrementalCost::new(topo, demand, layout, params);
+    let mut cost = inc.cost();
     let mut accepted = 0usize;
     let mut evaluated = 0usize;
 
     // First-improvement search: scan from a consistent snapshot, apply
     // the first improving move, restart the scan on the new layout.
     while evaluated < budget {
-        match find_improving_move(
+        match find_improving_move(&mut inc, cost.total(), budget, &mut evaluated) {
+            Some(cand_cost) => {
+                cost = cand_cost;
+                accepted += 1;
+            }
+            None => break,
+        }
+    }
+    let refined = inc.layout();
+    debug_assert!(refined.validate().is_ok());
+    RefinedPlan {
+        routing: inc.routing(),
+        layout: refined,
+        cost,
+        moves_accepted: accepted,
+        probes_evaluated: evaluated,
+    }
+}
+
+/// Scans retarget and swap moves over a consistent layout snapshot and
+/// applies the first improving candidate, if any, within the budget.
+/// Returns the improved cost; on `None` the state is unchanged (every
+/// probed move was reverted).
+fn find_improving_move(
+    inc: &mut IncrementalCost<'_>,
+    current_total: f64,
+    budget: usize,
+    evaluated: &mut usize,
+) -> Option<CostBreakdown> {
+    let n = inc.layout().num_devices();
+    let e = inc.layout().num_experts();
+    // Move type 1: retarget a replica (device d: expert a -> b).
+    for d in 0..n {
+        for a in 0..e {
+            if inc.replica_count(DeviceId::new(d), ExpertId::new(a)) == 0
+                || inc.expert_replicas(ExpertId::new(a)) < 2
+            {
+                continue;
+            }
+            for b in 0..e {
+                if a == b || inc.replica_count(DeviceId::new(d), ExpertId::new(b)) > 0 {
+                    continue;
+                }
+                if *evaluated >= budget {
+                    return None;
+                }
+                *evaluated += 1;
+                inc.apply_retarget(DeviceId::new(d), ExpertId::new(a), ExpertId::new(b));
+                let cand_cost = inc.cost();
+                if cand_cost.total() + 1e-12 < current_total {
+                    return Some(cand_cost);
+                }
+                inc.revert();
+            }
+        }
+    }
+    // Move type 2: swap replica slots between two devices.
+    for d1 in 0..n {
+        for d2 in (d1 + 1)..n {
+            for a in 0..e {
+                if inc.replica_count(DeviceId::new(d1), ExpertId::new(a)) == 0 {
+                    continue;
+                }
+                for b in 0..e {
+                    if a == b
+                        || inc.replica_count(DeviceId::new(d2), ExpertId::new(b)) == 0
+                        || inc.replica_count(DeviceId::new(d1), ExpertId::new(b)) > 0
+                        || inc.replica_count(DeviceId::new(d2), ExpertId::new(a)) > 0
+                    {
+                        continue;
+                    }
+                    if *evaluated >= budget {
+                        return None;
+                    }
+                    *evaluated += 1;
+                    inc.apply_swap(
+                        DeviceId::new(d1),
+                        ExpertId::new(a),
+                        DeviceId::new(d2),
+                        ExpertId::new(b),
+                    );
+                    let cand_cost = inc.cost();
+                    if cand_cost.total() + 1e-12 < current_total {
+                        return Some(cand_cost);
+                    }
+                    inc.revert();
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The pre-delta from-scratch refiner: every probe rebuilds the layout,
+/// re-routes all cells with `lite_route` and re-scores with `time_cost`.
+/// Kept as the reference implementation — the delta path must select
+/// bit-identically (tested in `tests/proptests.rs`) — and as the
+/// baseline side of the probe-throughput benchmarks.
+///
+/// # Panics
+///
+/// As [`refine_layout`].
+pub fn refine_layout_scratch(
+    topo: &Topology,
+    demand: &RoutingMatrix,
+    layout: &ExpertLayout,
+    params: &CostParams,
+    budget: usize,
+) -> RefinedPlan {
+    if let Err(e) = layout.validate() {
+        panic!("refine requires a valid layout: {e}");
+    }
+    let mut current = layout.clone();
+    let mut routing = lite_route(topo, demand, &current);
+    let mut cost = time_cost(topo, &routing, params);
+    let mut accepted = 0usize;
+    let mut evaluated = 0usize;
+    while evaluated < budget {
+        match find_improving_move_scratch(
             topo,
             demand,
             &current,
@@ -82,13 +221,13 @@ pub fn refine_layout(
         routing,
         cost,
         moves_accepted: accepted,
+        probes_evaluated: evaluated,
     }
 }
 
-/// Scans retarget and swap moves over a consistent layout snapshot and
-/// returns the first improving candidate, if any, within the budget.
+/// The from-scratch scan behind [`refine_layout_scratch`].
 #[allow(clippy::too_many_arguments)]
-fn find_improving_move(
+fn find_improving_move_scratch(
     topo: &Topology,
     demand: &RoutingMatrix,
     current: &ExpertLayout,
@@ -99,7 +238,6 @@ fn find_improving_move(
 ) -> Option<(ExpertLayout, TokenRouting, CostBreakdown)> {
     let n = current.num_devices();
     let e = current.num_experts();
-    // Move type 1: retarget a replica (device d: expert a -> b).
     for d in 0..n {
         for a in 0..e {
             if current.replica_count(DeviceId::new(d), ExpertId::new(a)) == 0
@@ -124,7 +262,6 @@ fn find_improving_move(
             }
         }
     }
-    // Move type 2: swap replica slots between two devices.
     for d1 in 0..n {
         for d2 in (d1 + 1)..n {
             for a in 0..e {
@@ -258,6 +395,7 @@ mod tests {
         let refined = refine_layout(&topo, &demand, &classic, &params, 0);
         assert_eq!(refined.layout, classic);
         assert_eq!(refined.moves_accepted, 0);
+        assert_eq!(refined.probes_evaluated, 0);
     }
 
     #[test]
@@ -268,5 +406,43 @@ mod tests {
         let b = refine_layout(&topo, &demand, &classic, &params, 1000);
         assert_eq!(a.layout, b.layout);
         assert_eq!(a.moves_accepted, b.moves_accepted);
+        assert_eq!(a.probes_evaluated, b.probes_evaluated);
+    }
+
+    /// The delta-probing refiner and the from-scratch oracle walk the
+    /// same move sequence and return bit-identical plans, move counts
+    /// and probe counts.
+    #[test]
+    fn delta_selection_is_bit_identical_to_scratch() {
+        for seed in [1u64, 4, 7, 9, 12] {
+            let (topo, demand, params) = setup(seed);
+            let classic = ExpertLayout::classic_ep(8, 8, 2).unwrap();
+            for budget in [0usize, 37, 500, 5000] {
+                let delta = refine_layout(&topo, &demand, &classic, &params, budget);
+                let scratch = refine_layout_scratch(&topo, &demand, &classic, &params, budget);
+                assert_eq!(delta.layout, scratch.layout, "seed {seed} budget {budget}");
+                assert_eq!(delta.routing.entries(), scratch.routing.entries());
+                assert_eq!(delta.cost.comm.to_bits(), scratch.cost.comm.to_bits());
+                assert_eq!(delta.cost.comp.to_bits(), scratch.cost.comp.to_bits());
+                assert_eq!(delta.moves_accepted, scratch.moves_accepted);
+                assert_eq!(delta.probes_evaluated, scratch.probes_evaluated);
+            }
+        }
+    }
+
+    /// Guard-rejected moves consume no budget: with a budget of exactly
+    /// one, the single priced probe is the first move that passes the
+    /// structural guards, however many guard rejections precede it.
+    #[test]
+    fn guard_rejections_consume_no_budget() {
+        let (topo, demand, params) = setup(2);
+        let classic = ExpertLayout::classic_ep(8, 8, 2).unwrap();
+        let one = refine_layout(&topo, &demand, &classic, &params, 1);
+        assert_eq!(one.probes_evaluated, 1, "exactly the budgeted probe runs");
+        // The probe counter never exceeds the budget.
+        for budget in [3usize, 10, 100] {
+            let r = refine_layout(&topo, &demand, &classic, &params, budget);
+            assert!(r.probes_evaluated <= budget);
+        }
     }
 }

@@ -8,7 +8,9 @@
 
 use crate::cost::{time_cost, CostBreakdown, CostParams};
 use crate::layout::ExpertLayout;
+#[cfg(test)]
 use crate::lite_routing::lite_route;
+use crate::lite_routing::{lite_route_with, RouteScratch};
 use crate::relocation::{expert_relocation, expert_relocation_on};
 use crate::replica::{even_replicas, replica_allocation};
 use crate::token_routing::TokenRouting;
@@ -282,8 +284,12 @@ impl Planner {
     }
 
     /// Applies candidate deduplication unless the configuration turned it
-    /// off (`dedup_disabled`).
-    pub(crate) fn unique_schemes(&self, schemes: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+    /// off (`dedup_disabled`). Public so external fan-out harnesses (the
+    /// `bench::pool` scheme-per-worker path) evaluate exactly the
+    /// candidate set the serial tuner would — duplicates cost the same
+    /// and ties break toward the first occurrence, so dropping repeats
+    /// never changes the chosen plan.
+    pub fn unique_schemes(&self, schemes: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
         if self.cfg.dedup_disabled {
             schemes
         } else {
@@ -300,9 +306,11 @@ impl Planner {
     /// capacity cannot host every expert.
     pub fn plan(&self, demand: &RoutingMatrix) -> Plan {
         let loads = demand.expert_loads();
+        let mut scratch = RouteScratch::new();
         let mut best: Option<Plan> = None;
         for replicas in self.unique_schemes(self.candidate_schemes(demand)) {
-            let candidate = self.evaluate_scheme(&replicas, &loads, demand);
+            let candidate =
+                self.evaluate_scheme_inner(&replicas, &loads, demand, &mut scratch, None);
             let better = match &best {
                 None => true,
                 Some(b) => candidate.predicted.total() < b.predicted.total(),
@@ -317,7 +325,7 @@ impl Planner {
             // proportional scheme so `plan` stays total.
             None => {
                 let rep = replica_allocation(&loads, self.topo.num_devices(), self.cfg.capacity);
-                self.evaluate_scheme(&rep, &loads, demand)
+                self.evaluate_scheme_inner(&rep, &loads, demand, &mut scratch, None)
             }
         }
     }
@@ -348,12 +356,14 @@ impl Planner {
     pub fn plan_within(&self, demand: &RoutingMatrix, budget: Duration) -> Result<Plan, PlanError> {
         let start = Instant::now();
         let loads = demand.expert_loads();
+        let mut scratch = RouteScratch::new();
         let mut best: Option<Plan> = None;
         for replicas in self.unique_schemes(self.candidate_schemes(demand)) {
             if start.elapsed() >= budget {
                 break;
             }
-            let candidate = self.evaluate_scheme(&replicas, &loads, demand);
+            let candidate =
+                self.evaluate_scheme_inner(&replicas, &loads, demand, &mut scratch, None);
             let better = match &best {
                 None => true,
                 Some(b) => candidate.predicted.total() < b.predicted.total(),
@@ -413,10 +423,11 @@ impl Planner {
                 self.cfg.capacity,
             ));
         }
+        let mut scratch = RouteScratch::new();
         for replicas in self.unique_schemes(schemes) {
             let layout =
                 expert_relocation_on(&replicas, &loads, &self.topo, self.cfg.capacity, &survivors);
-            let routing = lite_route(&self.topo, demand, &layout);
+            let routing = lite_route_with(&self.topo, demand, &layout, &mut scratch);
             let predicted = time_cost(view, &routing, &self.cost).pipelined(self.cfg.num_chunks);
             let candidate = Plan {
                 layout,
@@ -441,11 +452,34 @@ impl Planner {
         expert_loads: &[u64],
         demand: &RoutingMatrix,
     ) -> Plan {
+        self.evaluate_scheme_inner(
+            replicas,
+            expert_loads,
+            demand,
+            &mut RouteScratch::new(),
+            None,
+        )
+    }
+
+    /// The scheme-evaluation hot path: caller-held routing scratch (no
+    /// per-candidate allocation) and an optional chunk-count override
+    /// (`None` uses the configured `num_chunks`; `sweep_num_chunks`
+    /// passes `Some(1)` to price once unpipelined and re-price per
+    /// chunk count).
+    pub(crate) fn evaluate_scheme_inner(
+        &self,
+        replicas: &[usize],
+        expert_loads: &[u64],
+        demand: &RoutingMatrix,
+        scratch: &mut RouteScratch,
+        num_chunks: Option<usize>,
+    ) -> Plan {
         #[cfg(test)]
         EVAL_COUNT.with(|c| c.set(c.get() + 1));
+        let chunks = num_chunks.unwrap_or(self.cfg.num_chunks);
         let layout = expert_relocation(replicas, expert_loads, &self.topo, self.cfg.capacity);
-        let routing = lite_route(&self.topo, demand, &layout);
-        let predicted = time_cost(&self.topo, &routing, &self.cost).pipelined(self.cfg.num_chunks);
+        let routing = lite_route_with(&self.topo, demand, &layout, scratch);
+        let predicted = time_cost(&self.topo, &routing, &self.cost).pipelined(chunks);
         Plan {
             layout,
             routing,
@@ -468,11 +502,20 @@ impl Planner {
         self
     }
 
-    /// Sweeps the executor's pipeline chunk count: plans `demand` once
-    /// per candidate chunk count and returns the winner by predicted
-    /// pipelined cost (strict `<`, first candidate wins ties — so the
-    /// sweep is deterministic and, with `1` listed first, never picks a
-    /// higher chunk count that the model prices identically).
+    /// Sweeps the executor's pipeline chunk count and returns the winner
+    /// by predicted pipelined cost (strict `<`, first candidate wins
+    /// ties — so the sweep is deterministic and, with `1` listed first,
+    /// never picks a higher chunk count that the model prices
+    /// identically).
+    ///
+    /// Each candidate scheme is solved and routed exactly **once** at
+    /// whole-iteration pricing; chunk counts only re-price the resulting
+    /// breakdown via [`CostBreakdown::pipelined`] (chunking changes
+    /// neither relocation nor routing). This selects the identical
+    /// `(chunk count, plan)` the per-chunk-count re-planning loop would
+    /// — same candidate order, same strict-`<` comparisons on the same
+    /// bit-exact totals — at `|schemes|` evaluations instead of
+    /// `|chunks| · |schemes|`.
     ///
     /// # Panics
     ///
@@ -480,20 +523,63 @@ impl Planner {
     /// with the topology / capacity (as [`Self::plan`]).
     pub fn sweep_num_chunks(&self, demand: &RoutingMatrix, candidates: &[usize]) -> (usize, Plan) {
         assert!(!candidates.is_empty(), "need at least one chunk count");
-        let mut best: Option<(usize, Plan)> = None;
+        let loads = demand.expert_loads();
+        let mut schemes = self.unique_schemes(self.candidate_schemes(demand));
+        if schemes.is_empty() {
+            // Degenerate `epsilon = 0`: `plan` falls back to the base
+            // proportional scheme; mirror it so the sweep stays total.
+            schemes.push(replica_allocation(
+                &loads,
+                self.topo.num_devices(),
+                self.cfg.capacity,
+            ));
+        }
+        let mut scratch = RouteScratch::new();
+        let base: Vec<Plan> = schemes
+            .iter()
+            .map(|r| self.evaluate_scheme_inner(r, &loads, demand, &mut scratch, Some(1)))
+            .collect();
+        // (chunk count, scheme index, pipelined breakdown) of the winner.
+        let mut best: Option<(usize, usize, CostBreakdown)> = None;
         for &raw in candidates {
             let chunks = raw.max(1);
-            let plan = self.clone().with_num_chunks(chunks).plan(demand);
+            // Inner selection mirrors `plan`: first scheme with a
+            // strictly lower pipelined total wins.
+            let mut inner: Option<(usize, CostBreakdown)> = None;
+            for (i, p) in base.iter().enumerate() {
+                let priced = p.predicted.pipelined(chunks);
+                let better = match &inner {
+                    None => true,
+                    Some((_, b)) => priced.total() < b.total(),
+                };
+                if better {
+                    inner = Some((i, priced));
+                }
+            }
+            let (i, priced) = match inner {
+                Some(found) => found,
+                None => unreachable!("schemes checked non-empty"),
+            };
             let better = match &best {
                 None => true,
-                Some((_, b)) => plan.predicted.total() < b.predicted.total(),
+                Some((_, _, b)) => priced.total() < b.total(),
             };
             if better {
-                best = Some((chunks, plan));
+                best = Some((chunks, i, priced));
             }
         }
         match best {
-            Some(found) => found,
+            Some((chunks, i, priced)) => {
+                let chosen = &base[i];
+                (
+                    chunks,
+                    Plan {
+                        layout: chosen.layout.clone(),
+                        routing: chosen.routing.clone(),
+                        predicted: priced,
+                    },
+                )
+            }
             None => unreachable!("candidates checked non-empty"),
         }
     }

@@ -7,8 +7,9 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use laer_cluster::{DeviceId, ExpertId, Topology};
 use laer_planner::{
-    even_replicas, expert_relocation, lite_route, replica_allocation, CostParams, LoadPredictor,
-    Planner, PlannerConfig, Predictor, ReplayPredictor,
+    even_replicas, expert_relocation, lite_route, refine_layout, refine_layout_scratch,
+    replica_allocation, CostParams, IncrementalCost, LoadPredictor, Planner, PlannerConfig,
+    Predictor, ReplayPredictor,
 };
 use laer_routing::{RoutingGeneratorConfig, RoutingMatrix, RoutingTrace};
 use proptest::prelude::*;
@@ -178,6 +179,194 @@ proptest! {
         // Rounding may stray by at most one per cell.
         let cells = 16u64;
         prop_assert!(pred.total() + cells >= lo && pred.total() <= hi + cells);
+    }
+
+    /// The incremental evaluator tracks the from-scratch
+    /// `lite_route` + `time_cost` oracle through any random sequence of
+    /// retarget / swap / revert operations — to 1e-9 on totals and in
+    /// fact bit-for-bit, the contract the refine/exact rewires rely on.
+    #[test]
+    fn incremental_cost_tracks_oracle_through_random_moves(
+        topo in topo_strategy(),
+        seed_loads in proptest::collection::vec(1u64..1000, 2..8),
+        c in 1usize..3,
+        demand_scale in 1u64..2000,
+        op_seed in 0u64..10_000,
+        latency_aware in any::<bool>(),
+    ) {
+        let n = topo.num_devices();
+        let e = seed_loads.len();
+        prop_assume!(n * c >= e);
+        let rep = replica_allocation(&seed_loads, n, c);
+        let layout = expert_relocation(&rep, &seed_loads, &topo, c);
+        let mut demand = RoutingMatrix::zeros(n, e).expect("shape");
+        for i in 0..n {
+            for (j, &l) in seed_loads.iter().enumerate() {
+                demand.set(
+                    DeviceId::new(i),
+                    ExpertId::new(j),
+                    (l * demand_scale + i as u64) % 5000,
+                );
+            }
+        }
+        let params = CostParams::mixtral_8x7b().with_latency_aware(latency_aware);
+        let mut inc = IncrementalCost::new(&topo, &demand, &layout, &params);
+        // Reference state evolved in lockstep, plus a history stack for
+        // revert.
+        let mut reference = layout.clone();
+        let mut history: Vec<laer_planner::ExpertLayout> = Vec::new();
+        // Tiny deterministic xorshift for op choices.
+        let mut state = op_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        let idx = |d: usize, j: usize| d * e + j;
+        for _ in 0..12 {
+            match next(3) {
+                0 => {
+                    // Retarget under the refiner's guards.
+                    let mut moves = Vec::new();
+                    for d in 0..n {
+                        for a in 0..e {
+                            if reference.replica_count(DeviceId::new(d), ExpertId::new(a)) == 0
+                                || reference.expert_replicas(ExpertId::new(a)) < 2
+                            {
+                                continue;
+                            }
+                            for b in 0..e {
+                                if a != b
+                                    && reference
+                                        .replica_count(DeviceId::new(d), ExpertId::new(b))
+                                        == 0
+                                {
+                                    moves.push((d, a, b));
+                                }
+                            }
+                        }
+                    }
+                    if moves.is_empty() {
+                        continue;
+                    }
+                    let (d, a, b) = moves[next(moves.len() as u64) as usize];
+                    inc.apply_retarget(DeviceId::new(d), ExpertId::new(a), ExpertId::new(b));
+                    history.push(reference.clone());
+                    let mut counts = reference.replica_counts().to_vec();
+                    counts[idx(d, a)] -= 1;
+                    counts[idx(d, b)] += 1;
+                    reference =
+                        laer_planner::ExpertLayout::from_counts(n, e, c, counts).expect("shape");
+                }
+                1 => {
+                    // Swap under the refiner's guards.
+                    let mut moves = Vec::new();
+                    for d1 in 0..n {
+                        for d2 in (d1 + 1)..n {
+                            for a in 0..e {
+                                if reference
+                                    .replica_count(DeviceId::new(d1), ExpertId::new(a))
+                                    == 0
+                                {
+                                    continue;
+                                }
+                                for b in 0..e {
+                                    if a == b
+                                        || reference
+                                            .replica_count(DeviceId::new(d2), ExpertId::new(b))
+                                            == 0
+                                        || reference
+                                            .replica_count(DeviceId::new(d1), ExpertId::new(b))
+                                            > 0
+                                        || reference
+                                            .replica_count(DeviceId::new(d2), ExpertId::new(a))
+                                            > 0
+                                    {
+                                        continue;
+                                    }
+                                    moves.push((d1, a, d2, b));
+                                }
+                            }
+                        }
+                    }
+                    if moves.is_empty() {
+                        continue;
+                    }
+                    let (d1, a, d2, b) = moves[next(moves.len() as u64) as usize];
+                    inc.apply_swap(
+                        DeviceId::new(d1),
+                        ExpertId::new(a),
+                        DeviceId::new(d2),
+                        ExpertId::new(b),
+                    );
+                    history.push(reference.clone());
+                    let mut counts = reference.replica_counts().to_vec();
+                    counts[idx(d1, a)] -= 1;
+                    counts[idx(d2, b)] -= 1;
+                    counts[idx(d1, b)] += 1;
+                    counts[idx(d2, a)] += 1;
+                    reference =
+                        laer_planner::ExpertLayout::from_counts(n, e, c, counts).expect("shape");
+                }
+                _ => {
+                    let popped = history.pop();
+                    prop_assert_eq!(inc.revert(), popped.is_some());
+                    if let Some(prev) = popped {
+                        reference = prev;
+                    }
+                }
+            }
+            prop_assert_eq!(&inc.layout(), &reference);
+            let got = inc.cost();
+            let oracle_routing = lite_route(&topo, &demand, &reference);
+            let want = laer_planner::cost::time_cost(&topo, &oracle_routing, &params);
+            prop_assert!((got.total() - want.total()).abs() <= 1e-9);
+            prop_assert_eq!(got.comm.to_bits(), want.comm.to_bits());
+            prop_assert_eq!(got.comp.to_bits(), want.comp.to_bits());
+        }
+        // Materialised routing is entry-identical at the final state.
+        let materialized = inc.routing();
+        let oracle = lite_route(&topo, &demand, &reference);
+        prop_assert_eq!(materialized.entries(), oracle.entries());
+    }
+
+    /// The delta-probing refiner selects bit-identically to the
+    /// from-scratch reference implementation for arbitrary instances
+    /// and budgets.
+    #[test]
+    fn refine_delta_matches_scratch_oracle(
+        topo in topo_strategy(),
+        seed_loads in proptest::collection::vec(1u64..1000, 2..8),
+        c in 1usize..3,
+        demand_scale in 1u64..2000,
+        budget in 0usize..250,
+        latency_aware in any::<bool>(),
+    ) {
+        let n = topo.num_devices();
+        let e = seed_loads.len();
+        prop_assume!(n * c >= e);
+        let rep = replica_allocation(&seed_loads, n, c);
+        let layout = expert_relocation(&rep, &seed_loads, &topo, c);
+        let mut demand = RoutingMatrix::zeros(n, e).expect("shape");
+        for i in 0..n {
+            for (j, &l) in seed_loads.iter().enumerate() {
+                demand.set(
+                    DeviceId::new(i),
+                    ExpertId::new(j),
+                    (l * demand_scale + i as u64) % 5000,
+                );
+            }
+        }
+        let params = CostParams::mixtral_8x7b().with_latency_aware(latency_aware);
+        let delta = refine_layout(&topo, &demand, &layout, &params, budget);
+        let scratch = refine_layout_scratch(&topo, &demand, &layout, &params, budget);
+        prop_assert_eq!(&delta.layout, &scratch.layout);
+        prop_assert_eq!(delta.routing.entries(), scratch.routing.entries());
+        prop_assert_eq!(delta.cost.comm.to_bits(), scratch.cost.comm.to_bits());
+        prop_assert_eq!(delta.cost.comp.to_bits(), scratch.cost.comp.to_bits());
+        prop_assert_eq!(delta.moves_accepted, scratch.moves_accepted);
+        prop_assert_eq!(delta.probes_evaluated, scratch.probes_evaluated);
     }
 
     /// A `ReplayPredictor` over a recorded trace reproduces the
